@@ -1,0 +1,82 @@
+// Experiments E1-E3: regenerates Figures 1-3 of the paper (the Mission
+// relation and its Jajodia-Sandhu views at U and C), then times view
+// computation on the paper's data.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "mls/integrity.h"
+#include "mls/sample_data.h"
+
+namespace {
+
+using multilog::mls::BuildMissionDataset;
+using multilog::mls::MissionDataset;
+using multilog::mls::Relation;
+
+const MissionDataset& Dataset() {
+  static const MissionDataset& ds = *new MissionDataset(
+      []() {
+        auto r = BuildMissionDataset();
+        if (!r.ok()) {
+          std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+          std::abort();
+        }
+        return std::move(r).value();
+      }());
+  return ds;
+}
+
+void PrintFigures() {
+  const MissionDataset& ds = Dataset();
+  std::printf("Figure 1: MLS relation Mission\n%s\n",
+              ds.mission->ToString().c_str());
+  std::printf("Figure 2: U level view of Mission\n%s\n",
+              ds.mission->ViewAt("u")->ToString().c_str());
+  std::printf("Figure 3: C level view of Mission\n%s\n",
+              ds.mission->ViewAt("c")->ToString().c_str());
+  auto surprises = multilog::mls::FindSurpriseStories(*ds.mission, "c");
+  std::printf("Surprise stories at C (the paper's t4/t5): %zu\n\n",
+              surprises->size());
+}
+
+void BM_ViewAt(benchmark::State& state, const char* level,
+               bool subsumption) {
+  const MissionDataset& ds = Dataset();
+  for (auto _ : state) {
+    auto view = ds.mission->ViewAt(level, subsumption);
+    benchmark::DoNotOptimize(view);
+  }
+}
+
+void BM_SurpriseAudit(benchmark::State& state) {
+  const MissionDataset& ds = Dataset();
+  for (auto _ : state) {
+    auto s = multilog::mls::FindSurpriseStories(*ds.mission, "c");
+    benchmark::DoNotOptimize(s);
+  }
+}
+
+void BM_IntegrityCheck(benchmark::State& state) {
+  const MissionDataset& ds = Dataset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multilog::mls::CheckConsistent(*ds.mission));
+  }
+}
+
+BENCHMARK_CAPTURE(BM_ViewAt, u_subsumed, "u", true);
+BENCHMARK_CAPTURE(BM_ViewAt, c_subsumed, "c", true);
+BENCHMARK_CAPTURE(BM_ViewAt, s_subsumed, "s", true);
+BENCHMARK_CAPTURE(BM_ViewAt, c_raw, "c", false);
+BENCHMARK(BM_SurpriseAudit);
+BENCHMARK(BM_IntegrityCheck);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigures();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

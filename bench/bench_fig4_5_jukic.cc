@@ -1,0 +1,64 @@
+// Experiments E4-E5: regenerates Figures 4-5 (the Jukic-Vrbsky labeled
+// relation and its fixed interpretation matrix), then times the
+// interpretation computation - the baseline belief model the paper
+// criticizes as "too restrictive".
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "mls/sample_data.h"
+
+namespace {
+
+using multilog::mls::BuildMissionDataset;
+using multilog::mls::MissionDataset;
+
+const MissionDataset& Dataset() {
+  static const MissionDataset& ds = *new MissionDataset(
+      []() {
+        auto r = BuildMissionDataset();
+        if (!r.ok()) std::abort();
+        return std::move(r).value();
+      }());
+  return ds;
+}
+
+void PrintFigures() {
+  const MissionDataset& ds = Dataset();
+  std::printf("Figure 4: Jukic and Vrbsky's view of Mission\n%s\n",
+              ds.jv_mission->RenderLabeled().c_str());
+  std::printf("Figure 5: Interpretation of tuples at different levels\n%s\n",
+              ds.jv_mission->RenderInterpretations({"u", "c", "s"})
+                  ->c_str());
+}
+
+void BM_InterpretAll(benchmark::State& state) {
+  const MissionDataset& ds = Dataset();
+  for (auto _ : state) {
+    for (const auto& t : ds.jv_mission->tuples()) {
+      for (const char* level : {"u", "c", "s"}) {
+        benchmark::DoNotOptimize(ds.jv_mission->Interpret(t, level));
+      }
+    }
+  }
+}
+
+void BM_RenderLabeled(benchmark::State& state) {
+  const MissionDataset& ds = Dataset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ds.jv_mission->RenderLabeled());
+  }
+}
+
+BENCHMARK(BM_InterpretAll);
+BENCHMARK(BM_RenderLabeled);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigures();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

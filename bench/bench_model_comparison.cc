@@ -1,0 +1,110 @@
+// Experiment E20 (beyond the paper's figures): the paper's Section 3
+// argument as a single comparison - the three belief models side by
+// side on the Mission relation, plus timings.
+//
+//  1. Jajodia-Sandhu: the sigma view; users "are left to discover the
+//     truth" (and surprise stories leak).
+//  2. Jukic-Vrbsky: fixed asserted interpretations; no reasoning, and
+//     extra label state (mirage) users must maintain. We show both the
+//     asserted matrix (Figure 5) and what is derivable without labels.
+//  3. MultiLog's beta: dynamic belief in three modes, surprise-free.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "mls/belief.h"
+#include "mls/integrity.h"
+#include "mls/interpretation.h"
+#include "mls/sample_data.h"
+
+namespace {
+
+using namespace multilog;
+using namespace multilog::mls;
+
+const MissionDataset& Dataset() {
+  static const MissionDataset& ds = *new MissionDataset(
+      []() {
+        auto r = BuildMissionDataset();
+        if (!r.ok()) std::abort();
+        return std::move(r).value();
+      }());
+  return ds;
+}
+
+void PrintComparison() {
+  const MissionDataset& ds = Dataset();
+
+  std::printf("Model 1 - Jajodia-Sandhu sigma view at C (Figure 3):\n%s",
+              ds.mission->ViewAt("c")->ToString().c_str());
+  auto surprises = FindSurpriseStories(*ds.mission, "c");
+  std::printf("  -> %zu surprise stories leak\n\n", surprises->size());
+
+  std::printf(
+      "Model 2a - Jukic-Vrbsky asserted interpretations (Figure 5):\n%s\n",
+      ds.jv_mission->RenderInterpretations({"u", "c", "s"})->c_str());
+  std::printf(
+      "Model 2b - the same interpretations *derived* from the raw\n"
+      "relation (no labels; mirage degrades to irrelevant):\n%s\n",
+      RenderComputedInterpretations(*ds.mission, {"u", "c", "s"})->c_str());
+
+  std::printf("Model 3 - MultiLog's parametric belief at C:\n");
+  for (auto [mode, name] :
+       {std::pair{BeliefMode::kFirm, "firm"},
+        std::pair{BeliefMode::kOptimistic, "optimistic"},
+        std::pair{BeliefMode::kCautious, "cautious"}}) {
+    auto out = Believe(*ds.mission, "c", mode);
+    std::printf("\nbeta(Mission, c, %s):\n%s", name,
+                out->relation.ToString().c_str());
+  }
+  std::printf("  -> no nulls, no surprise stories, user-chosen semantics\n\n");
+}
+
+void BM_SigmaView(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dataset().mission->ViewAt("c"));
+  }
+}
+
+void BM_JvAsserted(benchmark::State& state) {
+  const MissionDataset& ds = Dataset();
+  for (auto _ : state) {
+    for (const auto& t : ds.jv_mission->tuples()) {
+      benchmark::DoNotOptimize(ds.jv_mission->Interpret(t, "c"));
+    }
+  }
+}
+
+void BM_JvDerived(benchmark::State& state) {
+  const MissionDataset& ds = Dataset();
+  for (auto _ : state) {
+    for (const auto& t : ds.mission->tuples()) {
+      benchmark::DoNotOptimize(ComputeInterpretation(*ds.mission, t, "c"));
+    }
+  }
+}
+
+void BM_BetaAllModes(benchmark::State& state) {
+  const MissionDataset& ds = Dataset();
+  for (auto _ : state) {
+    for (BeliefMode mode : {BeliefMode::kFirm, BeliefMode::kOptimistic,
+                            BeliefMode::kCautious}) {
+      benchmark::DoNotOptimize(Believe(*ds.mission, "c", mode));
+    }
+  }
+}
+
+BENCHMARK(BM_SigmaView);
+BENCHMARK(BM_JvAsserted);
+BENCHMARK(BM_JvDerived);
+BENCHMARK(BM_BetaAllModes);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintComparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

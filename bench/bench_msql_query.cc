@@ -1,0 +1,105 @@
+// Experiment E9: the Section 3.2 extended-SQL query - "list all
+// starships that are spying on Mars without any doubt" - run verbatim
+// through the MSQL front end, then timed, alongside its component
+// single-mode queries.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "mls/sample_data.h"
+#include "msql/executor.h"
+
+namespace {
+
+using namespace multilog;
+
+constexpr const char* kQuery = R"(
+  select starship from mission
+  where starship in (select starship from mission
+                     where destin = mars and objective = spying
+                     believed cautiously)
+    and starship in (select starship from mission
+                     where destin = mars and objective = spying
+                     believed firmly)
+    and starship in (select starship from mission
+                     where destin = mars and objective = spying
+                     believed optimistically)
+)";
+
+struct Fixture {
+  mls::MissionDataset ds;
+  msql::Session session;
+};
+
+Fixture& TheFixture() {
+  static Fixture& f = *new Fixture([]() {
+    auto ds = mls::BuildMissionDataset();
+    if (!ds.ok()) std::abort();
+    Fixture fixture{std::move(ds).value(), msql::Session()};
+    fixture.session.RegisterRelation("mission", fixture.ds.mission.get());
+    fixture.session.SetUserContext("s");
+    return fixture;
+  }());
+  return f;
+}
+
+void PrintFigures() {
+  std::printf(
+      "Section 3.2: \"List all starships that are spying on Mars without "
+      "any doubt.\"\n\nuser context s%s\n",
+      kQuery);
+  auto rs = TheFixture().session.Execute(kQuery);
+  if (!rs.ok()) std::abort();
+  std::printf("%s\n", rs->ToString().c_str());
+
+  std::printf("Per-mode components at s:\n");
+  for (const char* mode : {"firmly", "optimistically", "cautiously"}) {
+    auto part = TheFixture().session.Execute(
+        std::string("select starship from mission where destin = mars and "
+                    "objective = spying believed ") +
+        mode);
+    if (!part.ok()) std::abort();
+    std::printf("believed %s:\n%s", mode, part->ToString().c_str());
+  }
+  std::printf("\n");
+}
+
+void BM_FullQuery(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TheFixture().session.Execute(kQuery));
+  }
+}
+
+void BM_SingleMode(benchmark::State& state, const char* mode) {
+  const std::string sql =
+      std::string("select starship from mission where destin = mars and "
+                  "objective = spying believed ") +
+      mode;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TheFixture().session.Execute(sql));
+  }
+}
+
+void BM_SigmaViewQuery(benchmark::State& state) {
+  // The un-believed baseline: the plain Jajodia-Sandhu view.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TheFixture().session.Execute(
+        "select starship from mission where destin = mars"));
+  }
+}
+
+BENCHMARK(BM_FullQuery);
+BENCHMARK_CAPTURE(BM_SingleMode, firmly, "firmly");
+BENCHMARK_CAPTURE(BM_SingleMode, optimistically, "optimistically");
+BENCHMARK_CAPTURE(BM_SingleMode, cautiously, "cautiously");
+BENCHMARK(BM_SigmaViewQuery);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigures();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Experiments E14/E19: Theorem 6.1 in the large, as an ablation - the
+// operational (tabled top-down) proof system vs the CORAL-style
+// reduction (level-specialized bottom-up), on synthetic MLS databases of
+// growing size, answering the same belief queries. Every data point is
+// first cross-checked for equal answers.
+//
+// Expected shape: the reduction amortizes - it computes the whole bel
+// model once per level, so all-answers queries favour it; the
+// operational prover is goal-directed, so selective queries (bound key)
+// favour it. Exactly the classic bottom-up/top-down trade-off CORAL was
+// built around.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "mls/sample_data.h"
+#include "multilog/engine.h"
+#include "multilog/translate.h"
+
+namespace {
+
+using namespace multilog;
+using namespace multilog::ml;
+
+std::string SyntheticSource(size_t entities) {
+  static lattice::SecurityLattice lat = lattice::SecurityLattice::Military();
+  auto rel = mls::BuildSyntheticRelation(lat, entities, 3, /*seed=*/7);
+  if (!rel.ok()) std::abort();
+  auto db = EncodeRelation(*rel, "data");
+  if (!db.ok()) std::abort();
+  return db->ToString();
+}
+
+void CrossCheck(const std::string& src, const char* goal) {
+  auto engine = Engine::FromSource(src);
+  if (!engine.ok()) std::abort();
+  auto r = engine->QuerySource(goal, "t", ExecMode::kCheckBoth);
+  if (!r.ok()) {
+    std::fprintf(stderr, "Theorem 6.1 cross-check failed: %s\n",
+                 r.status().ToString().c_str());
+    std::abort();
+  }
+}
+
+constexpr const char* kAllAnswers = "t[data(K : payload -C-> V)] << cau";
+constexpr const char* kPointQuery =
+    "t[data(entity0 : payload -C-> V)] << cau";
+
+void BM_Operational(benchmark::State& state, const char* goal) {
+  const std::string src = SyntheticSource(state.range(0));
+  CrossCheck(src, goal);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto engine = Engine::FromSource(src);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        engine->QuerySource(goal, "t", ExecMode::kOperational));
+  }
+}
+
+void BM_Reduced(benchmark::State& state, const char* goal) {
+  const std::string src = SyntheticSource(state.range(0));
+  CrossCheck(src, goal);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto engine = Engine::FromSource(src);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        engine->QuerySource(goal, "t", ExecMode::kReduced));
+  }
+}
+
+void BM_ReducedWarm(benchmark::State& state, const char* goal) {
+  // With the model already evaluated (the amortized regime).
+  const std::string src = SyntheticSource(state.range(0));
+  auto engine = Engine::FromSource(src);
+  if (!engine.ok()) std::abort();
+  (void)engine->ReducedModel("t");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine->QuerySource(goal, "t", ExecMode::kReduced));
+  }
+}
+
+BENCHMARK_CAPTURE(BM_Operational, all_answers, kAllAnswers)
+    ->RangeMultiplier(2)
+    ->Range(8, 64);
+BENCHMARK_CAPTURE(BM_Reduced, all_answers, kAllAnswers)
+    ->RangeMultiplier(2)
+    ->Range(8, 64);
+BENCHMARK_CAPTURE(BM_Operational, point_query, kPointQuery)
+    ->RangeMultiplier(2)
+    ->Range(8, 64);
+BENCHMARK_CAPTURE(BM_Reduced, point_query, kPointQuery)
+    ->RangeMultiplier(2)
+    ->Range(8, 64);
+BENCHMARK_CAPTURE(BM_ReducedWarm, point_query, kPointQuery)
+    ->RangeMultiplier(2)
+    ->Range(8, 64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "E14/E19: operational vs reduced semantics (each size cross-checked "
+      "per Theorem 6.1)\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Experiment E17: scaling of the parametric belief function beta with
+// relation size, polyinstantiation depth, and lattice shape - the
+// comparison the paper defers to future work ("run a comparison with
+// existing relational MLS implementations and MultiLog").
+//
+// Expected shape: firm is a single scan; optimistic adds the dominance
+// test and TC rewrite; cautious pays an extra per-key-group maximality
+// pass, so it grows with versions-per-entity. The sigma view (the
+// Jajodia-Sandhu baseline) pays subsumption, which is quadratic in the
+// per-key version count.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "mls/belief.h"
+#include "mls/sample_data.h"
+
+namespace {
+
+using namespace multilog;
+using namespace multilog::mls;
+
+const lattice::SecurityLattice& Chain4() {
+  static const auto& lat =
+      *new lattice::SecurityLattice(lattice::SecurityLattice::Military());
+  return lat;
+}
+
+const lattice::SecurityLattice& Diamond() {
+  static const auto& lat = *new lattice::SecurityLattice([]() {
+    lattice::SecurityLattice::Builder b;
+    b.AddLevel("bot").AddLevel("l1").AddLevel("l2").AddLevel("top");
+    b.AddOrder("bot", "l1").AddOrder("bot", "l2");
+    b.AddOrder("l1", "top").AddOrder("l2", "top");
+    return std::move(b.Build()).value();
+  }());
+  return lat;
+}
+
+Relation MakeRelation(const lattice::SecurityLattice& lat, size_t entities,
+                      size_t versions) {
+  auto rel = BuildSyntheticRelation(lat, entities, versions, /*seed=*/42);
+  if (!rel.ok()) std::abort();
+  return std::move(rel).value();
+}
+
+void BM_BetaVsEntities(benchmark::State& state, BeliefMode mode) {
+  Relation rel = MakeRelation(Chain4(), state.range(0), 3);
+  const std::string top = Chain4().MaximalElements().front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Believe(rel, top, mode));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_BetaVsVersions(benchmark::State& state, BeliefMode mode) {
+  Relation rel = MakeRelation(Chain4(), 64, state.range(0));
+  const std::string top = Chain4().MaximalElements().front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Believe(rel, top, mode));
+  }
+}
+
+void BM_SigmaViewVsEntities(benchmark::State& state) {
+  Relation rel = MakeRelation(Chain4(), state.range(0), 3);
+  const std::string top = Chain4().MaximalElements().front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rel.ViewAt(top));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_BetaOnDiamond(benchmark::State& state, BeliefMode mode) {
+  Relation rel = MakeRelation(Diamond(), 64, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Believe(rel, "top", mode));
+  }
+}
+
+BENCHMARK_CAPTURE(BM_BetaVsEntities, fir, BeliefMode::kFirm)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Complexity();
+BENCHMARK_CAPTURE(BM_BetaVsEntities, opt, BeliefMode::kOptimistic)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Complexity();
+BENCHMARK_CAPTURE(BM_BetaVsEntities, cau, BeliefMode::kCautious)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Complexity();
+BENCHMARK_CAPTURE(BM_BetaVsVersions, cau, BeliefMode::kCautious)
+    ->DenseRange(1, 4, 1);
+BENCHMARK(BM_SigmaViewVsEntities)
+    ->RangeMultiplier(4)
+    ->Range(16, 1024)
+    ->Complexity();
+BENCHMARK_CAPTURE(BM_BetaOnDiamond, cau, BeliefMode::kCautious);
+BENCHMARK_CAPTURE(BM_BetaOnDiamond, opt, BeliefMode::kOptimistic);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "E17: beta scaling (synthetic relations; see EXPERIMENTS.md for the "
+      "expected shapes)\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,170 @@
+// Experiment E18: the CORAL-substitute Datalog engine itself - the
+// substrate the reduction runs on. Transitive closure on chain and
+// random graphs, semi-naive vs naive (the ablation the strategy option
+// exists for), and tabled top-down point queries vs whole-model
+// bottom-up.
+//
+// Expected shape: semi-naive beats naive by roughly the number of
+// fixpoint rounds; top-down wins on selective point queries, bottom-up
+// on all-answers queries.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <random>
+#include <string>
+
+#include "datalog/eval.h"
+#include "datalog/magic.h"
+#include "datalog/parser.h"
+#include "datalog/topdown.h"
+
+namespace {
+
+using namespace multilog::datalog;
+
+Program ChainGraph(int n) {
+  Program p;
+  for (int i = 0; i + 1 < n; ++i) {
+    p.AddFact(Atom("edge", {Term::Sym("n" + std::to_string(i)),
+                            Term::Sym("n" + std::to_string(i + 1))}));
+  }
+  auto parsed = ParseDatalog(
+      "path(X, Y) :- edge(X, Y). path(X, Y) :- edge(X, Z), path(Z, Y).");
+  p.Append(parsed->program);
+  return p;
+}
+
+Program RandomGraph(int nodes, int edges, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> pick(0, nodes - 1);
+  Program p;
+  for (int i = 0; i < edges; ++i) {
+    p.AddFact(Atom("edge", {Term::Sym("n" + std::to_string(pick(rng))),
+                            Term::Sym("n" + std::to_string(pick(rng)))}));
+  }
+  auto parsed = ParseDatalog(
+      "path(X, Y) :- edge(X, Y). path(X, Y) :- edge(X, Z), path(Z, Y).");
+  p.Append(parsed->program);
+  return p;
+}
+
+void BM_TcChain(benchmark::State& state, EvalOptions::Strategy strategy) {
+  Program p = ChainGraph(static_cast<int>(state.range(0)));
+  EvalOptions options;
+  options.strategy = strategy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Evaluate(p, options));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_TcRandom(benchmark::State& state, EvalOptions::Strategy strategy) {
+  Program p = RandomGraph(static_cast<int>(state.range(0)),
+                          static_cast<int>(state.range(0)) * 2, 7);
+  EvalOptions options;
+  options.strategy = strategy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Evaluate(p, options));
+  }
+}
+
+void BM_PointQueryTopDown(benchmark::State& state) {
+  Program p = ChainGraph(static_cast<int>(state.range(0)));
+  auto goal = ParseGoal("path(n0, Y)");
+  for (auto _ : state) {
+    state.PauseTiming();
+    TopDownEngine engine(p);  // cold tables each iteration
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(engine.Solve(*goal));
+  }
+}
+
+void BM_PointQueryBottomUp(benchmark::State& state) {
+  Program p = ChainGraph(static_cast<int>(state.range(0)));
+  auto goal = ParseGoal("path(n0, Y)");
+  for (auto _ : state) {
+    auto model = Evaluate(p);
+    benchmark::DoNotOptimize(QueryModel(*model, *goal));
+  }
+}
+
+void BM_PointQueryMagic(benchmark::State& state) {
+  // CORAL's magic-sets rewriting: goal-directed bottom-up.
+  Program p = ChainGraph(static_cast<int>(state.range(0)));
+  auto goal = ParseGoal("path(n0, Y)");
+  const Atom& query = (*goal)[0].atom();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MagicSolve(p, query));
+  }
+}
+
+void BM_JoinReordering(benchmark::State& state, bool reorder) {
+  // A deliberately badly-ordered body: the selective literal is last.
+  //   r(X, Y) :- big(X), wide(Y), tiny(a, X, Y).
+  const int n = static_cast<int>(state.range(0));
+  Program p;
+  for (int i = 0; i < n; ++i) {
+    p.AddFact(Atom("big", {Term::Sym("b" + std::to_string(i))}));
+    p.AddFact(Atom("wide", {Term::Sym("w" + std::to_string(i))}));
+  }
+  p.AddFact(Atom("tiny", {Term::Sym("a"), Term::Sym("b1"),
+                          Term::Sym("w1")}));
+  auto parsed =
+      ParseDatalog("r(X, Y) :- big(X), wide(Y), tiny(a, X, Y).");
+  p.Append(parsed->program);
+
+  EvalOptions options;
+  options.reorder_body = reorder;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Evaluate(p, options));
+  }
+}
+
+void BM_StratifiedNegation(benchmark::State& state) {
+  Program p = RandomGraph(static_cast<int>(state.range(0)),
+                          static_cast<int>(state.range(0)) * 2, 11);
+  for (int i = 0; i < state.range(0); ++i) {
+    p.AddFact(Atom("node", {Term::Sym("n" + std::to_string(i))}));
+  }
+  auto parsed = ParseDatalog(
+      "island(X, Y) :- node(X), node(Y), not path(X, Y).");
+  p.Append(parsed->program);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Evaluate(p));
+  }
+}
+
+BENCHMARK_CAPTURE(BM_TcChain, seminaive, EvalOptions::Strategy::kSeminaive)
+    ->RangeMultiplier(2)
+    ->Range(16, 256)
+    ->Complexity();
+BENCHMARK_CAPTURE(BM_TcChain, naive, EvalOptions::Strategy::kNaive)
+    ->RangeMultiplier(2)
+    ->Range(16, 256)
+    ->Complexity();
+BENCHMARK_CAPTURE(BM_TcRandom, seminaive, EvalOptions::Strategy::kSeminaive)
+    ->RangeMultiplier(2)
+    ->Range(32, 256);
+BENCHMARK_CAPTURE(BM_TcRandom, naive, EvalOptions::Strategy::kNaive)
+    ->RangeMultiplier(2)
+    ->Range(32, 256);
+BENCHMARK(BM_PointQueryTopDown)->RangeMultiplier(2)->Range(16, 128);
+BENCHMARK(BM_PointQueryBottomUp)->RangeMultiplier(2)->Range(16, 128);
+BENCHMARK(BM_PointQueryMagic)->RangeMultiplier(2)->Range(16, 128);
+BENCHMARK(BM_StratifiedNegation)->RangeMultiplier(2)->Range(16, 64);
+BENCHMARK_CAPTURE(BM_JoinReordering, on, true)
+    ->RangeMultiplier(4)
+    ->Range(16, 256);
+BENCHMARK_CAPTURE(BM_JoinReordering, off, false)
+    ->RangeMultiplier(4)
+    ->Range(16, 256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("E18: Datalog substrate scaling\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

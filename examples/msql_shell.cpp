@@ -1,0 +1,82 @@
+// An interactive MSQL shell over the paper's Mission relation (plus a
+// writable scratch copy), demonstrating the Section 3.2 dialect:
+//
+//   $ ./msql_shell
+//   msql[-]> user context s
+//   msql[s]> select starship from mission where objective = spying
+//            believed cautiously;
+//   msql[s]> insert into scratch values (nebula, survey, titan);
+//   msql[s]> select count(*) from scratch;
+//
+// Statements may span lines; terminate with ';'. Commands: .help .quit
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/str_util.h"
+#include "mls/cuppens.h"
+#include "mls/sample_data.h"
+#include "msql/executor.h"
+
+int main() {
+  using namespace multilog;
+
+  Result<mls::MissionDataset> ds = mls::BuildMissionDataset();
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+
+  // A writable scratch relation sharing Mission's scheme.
+  mls::Relation scratch(ds->mission->scheme(), ds->lattice.get());
+
+  mls::BeliefModeRegistry registry;
+  if (Status st = mls::RegisterCuppensModes(&registry); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  msql::Session session(&registry);
+  session.RegisterRelation("mission", ds->mission.get());
+  session.RegisterMutableRelation("scratch", &scratch);
+
+  std::printf(
+      "MSQL shell - relations: mission (read-only), scratch (writable).\n"
+      "Belief modes: firmly, optimistically, cautiously, additive,\n"
+      "trusted, suspicious. Start with `user context <u|c|s|t>;`.\n");
+
+  std::string buffer;
+  std::string line;
+  while (true) {
+    std::printf(buffer.empty() ? "msql[%s]> " : "      ...> ",
+                session.user_context().empty()
+                    ? "-"
+                    : session.user_context().c_str());
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string_view trimmed = StripWhitespace(line);
+    if (trimmed == ".quit" || trimmed == ".exit") break;
+    if (trimmed == ".help") {
+      std::printf(
+          "  user context <level>;\n"
+          "  select cols|*|count(*) from rel [where ...] [believed m];\n"
+          "  insert into rel values (...); update rel set c = v where "
+          "k = x;\n"
+          "  delete from rel where k = x;  set ops: intersect/union/"
+          "except\n");
+      continue;
+    }
+    buffer += std::string(trimmed) + " ";
+    if (trimmed.empty() || trimmed.back() != ';') continue;
+
+    Result<msql::ResultSet> result = session.Execute(buffer);
+    buffer.clear();
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s", result->ToString().c_str());
+  }
+  return 0;
+}

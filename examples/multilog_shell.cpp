@@ -1,0 +1,161 @@
+// An interactive MultiLog shell.
+//
+//   $ ./multilog_shell [file.mlog ...]
+//   ml[u]> level(u). level(s). order(u, s).
+//   ml[u]> s[intel(k1 : source -s-> mole)].
+//   ml[u]> .level s
+//   ml[s]> ?- s[intel(K : source -C-> V)] << cau.
+//     {C=s, K=k1, V=mole}
+//
+// Commands:
+//   .level <l>      set the session clearance (default: first level)
+//   .mode op|red|both   execution mode (default both = Theorem 6.1 check)
+//   .proof on|off   print proof trees for operational answers
+//   .list           show the accumulated database
+//   .help  .quit
+// Any other input: MultiLog clauses (added to the database) or
+// `?- goal.` queries.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/str_util.h"
+#include "multilog/engine.h"
+#include "multilog/parser.h"
+
+namespace {
+
+using namespace multilog;
+
+struct Shell {
+  std::string accumulated;
+  std::string level;
+  ml::ExecMode mode = ml::ExecMode::kCheckBoth;
+  bool show_proofs = false;
+
+  /// Rebuilds the engine from the accumulated source; returns the error
+  /// instead of keeping a broken state.
+  Result<ml::Engine> Build() const { return ml::Engine::FromSource(accumulated); }
+
+  void EnsureLevel(const ml::Engine& engine) {
+    if (!level.empty() && engine.lattice().Contains(level)) return;
+    if (engine.lattice().size() > 0) {
+      level = engine.lattice().TopologicalOrder().front();
+    }
+  }
+
+  void RunQuery(const std::string& text) {
+    Result<ml::Engine> engine = Build();
+    if (!engine.ok()) {
+      std::printf("  error: %s\n", engine.status().ToString().c_str());
+      return;
+    }
+    EnsureLevel(*engine);
+    if (level.empty()) {
+      std::printf("  error: no levels declared yet\n");
+      return;
+    }
+    Result<ml::QueryResult> r = engine->QuerySource(text, level, mode);
+    if (!r.ok()) {
+      std::printf("  error: %s\n", r.status().ToString().c_str());
+      return;
+    }
+    if (r->answers.empty()) {
+      std::printf("  no\n");
+      return;
+    }
+    for (size_t i = 0; i < r->answers.size(); ++i) {
+      std::printf("  %s\n", r->answers[i].ToString().c_str());
+      if (show_proofs && i < r->proofs.size()) {
+        std::string proof = ml::RenderProof(*r->proofs[i]);
+        std::istringstream lines(proof);
+        std::string line;
+        while (std::getline(lines, line)) {
+          std::printf("    | %s\n", line.c_str());
+        }
+      }
+    }
+  }
+
+  void AddClauses(const std::string& text) {
+    std::string candidate = accumulated + text + "\n";
+    Result<ml::Engine> engine = ml::Engine::FromSource(candidate);
+    if (!engine.ok()) {
+      std::printf("  rejected: %s\n", engine.status().ToString().c_str());
+      return;
+    }
+    accumulated = std::move(candidate);
+    EnsureLevel(*engine);
+  }
+
+  bool Command(const std::string& line) {
+    std::vector<std::string> parts = Split(std::string(
+        StripWhitespace(line)), ' ');
+    const std::string& cmd = parts[0];
+    if (cmd == ".quit" || cmd == ".exit") return false;
+    if (cmd == ".help") {
+      std::printf(
+          "  .level <l> | .mode op|red|both | .proof on|off | .list | "
+          ".quit\n  clauses end with '.', queries start with '?-'\n");
+    } else if (cmd == ".level" && parts.size() > 1) {
+      level = parts[1];
+      Result<ml::Engine> engine = Build();
+      if (engine.ok() && !engine->lattice().Contains(level)) {
+        std::printf("  warning: level '%s' not declared (yet)\n",
+                    level.c_str());
+      }
+    } else if (cmd == ".mode" && parts.size() > 1) {
+      if (parts[1] == "op") {
+        mode = ml::ExecMode::kOperational;
+      } else if (parts[1] == "red") {
+        mode = ml::ExecMode::kReduced;
+      } else {
+        mode = ml::ExecMode::kCheckBoth;
+      }
+    } else if (cmd == ".proof" && parts.size() > 1) {
+      show_proofs = parts[1] == "on";
+    } else if (cmd == ".list") {
+      std::printf("%s", accumulated.c_str());
+    } else {
+      std::printf("  unknown command; try .help\n");
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Shell shell;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream file(argv[i]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    shell.AddClauses(buffer.str());
+    std::printf("loaded %s\n", argv[i]);
+  }
+
+  std::string line;
+  while (true) {
+    std::printf("ml[%s]> ", shell.level.empty() ? "-" : shell.level.c_str());
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string_view trimmed = multilog::StripWhitespace(line);
+    if (trimmed.empty()) continue;
+    if (trimmed[0] == '.') {
+      if (!shell.Command(std::string(trimmed))) break;
+    } else if (trimmed.substr(0, 2) == "?-") {
+      shell.RunQuery(std::string(trimmed));
+    } else {
+      shell.AddClauses(std::string(trimmed));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Quickstart: the MultiLog engine in ~60 lines.
+//
+// Builds a tiny MLS deductive database in MultiLog's concrete syntax,
+// then asks the same question at two clearance levels and in the three
+// belief modes of the paper (firm / optimistic / cautious), printing the
+// answers and one operational proof tree.
+
+#include <cstdio>
+
+#include "multilog/engine.h"
+
+int main() {
+  using namespace multilog;
+
+  // A two-level database: unclassified logistics and a secret override.
+  const char* source = R"(
+    level(u). level(s). order(u, s).
+
+    % The u-level clerk records the convoy's destination as the depot.
+    u[convoy(c1 : destination -u-> depot, cargo -u-> food)].
+
+    % The s-level planner overrides the destination.
+    s[convoy(c1 : destination -s-> frontline, cargo -u-> food)].
+  )";
+
+  Result<ml::Engine> engine = ml::Engine::FromSource(source);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+
+  auto show = [&](const char* level, const char* goal) {
+    Result<ml::QueryResult> r =
+        engine->QuerySource(goal, level, ml::ExecMode::kCheckBoth);
+    std::printf("  [%s] ?- %s\n", level, goal);
+    if (!r.ok()) {
+      std::printf("      error: %s\n", r.status().ToString().c_str());
+      return;
+    }
+    if (r->answers.empty()) std::printf("      no\n");
+    for (const datalog::Substitution& s : r->answers) {
+      std::printf("      %s\n", s.ToString().c_str());
+    }
+  };
+
+  std::printf("Where is convoy c1 going?\n\n");
+  std::printf("At clearance u (the clerk):\n");
+  show("u", "u[convoy(c1 : destination -C-> D)] << fir");
+  show("u", "u[convoy(c1 : destination -C-> D)] << cau");
+
+  std::printf("\nAt clearance s (the planner):\n");
+  show("s", "s[convoy(c1 : destination -C-> D)] << fir");
+  show("s", "s[convoy(c1 : destination -C-> D)] << opt");
+  show("s", "s[convoy(c1 : destination -C-> D)] << cau");
+
+  // One proof tree, straight from the operational semantics.
+  Result<ml::QueryResult> proof = engine->QuerySource(
+      "s[convoy(c1 : destination -C-> D)] << cau", "s",
+      ml::ExecMode::kOperational);
+  if (proof.ok() && !proof->proofs.empty()) {
+    std::printf("\nProof of the cautious belief at s:\n%s",
+                ml::RenderProof(*proof->proofs[0]).c_str());
+  }
+  return 0;
+}

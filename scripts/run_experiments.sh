@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerates every experiment in EXPERIMENTS.md: builds, runs the full
+# test suite, then every bench binary (each prints its paper artifact
+# before its timings). Outputs land in test_output.txt / bench_output.txt
+# at the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  [ -x "$b" ] && "$b"
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,91 @@
+#ifndef MULTILOG_COMMON_RESULT_H_
+#define MULTILOG_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace multilog {
+
+/// A value-or-error type (the exception-free analogue of a throwing
+/// function): either holds a T or a non-OK Status explaining why no T
+/// could be produced.
+///
+///   Result<Program> r = Parser::Parse(text);
+///   if (!r.ok()) return r.status();
+///   Program p = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value. Intentionally implicit so
+  /// `return value;` works in functions returning Result<T>.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error. Intentionally implicit so
+  /// `return Status::...` and MULTILOG_RETURN_IF_ERROR work.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result must not be constructed from an OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the error status, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Evaluates `expr` (a Result<T>), propagating its error; on success
+/// assigns the value to `lhs`. `lhs` must be a declaration or assignable.
+#define MULTILOG_ASSIGN_OR_RETURN(lhs, expr)           \
+  MULTILOG_ASSIGN_OR_RETURN_IMPL_(                     \
+      MULTILOG_RESULT_CONCAT_(_result_tmp_, __LINE__), lhs, expr)
+
+#define MULTILOG_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#define MULTILOG_RESULT_CONCAT_(a, b) MULTILOG_RESULT_CONCAT_IMPL_(a, b)
+#define MULTILOG_RESULT_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace multilog
+
+#endif  // MULTILOG_COMMON_RESULT_H_

@@ -1,0 +1,134 @@
+#ifndef MULTILOG_COMMON_STATUS_H_
+#define MULTILOG_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace multilog {
+
+/// Error categories used across the library. The taxonomy follows the
+/// needs of a deductive-database stack: parse-time, check-time (static
+/// analysis of programs), and run-time (evaluation) failures are kept
+/// distinct so callers can react differently to each.
+enum class StatusCode {
+  kOk = 0,
+  /// Malformed textual input (MultiLog, Datalog, or MSQL source).
+  kParseError,
+  /// A program failed a static well-formedness check (safety,
+  /// stratification, admissibility, consistency, scheme mismatch...).
+  kInvalidProgram,
+  /// A request referenced an entity that does not exist (unknown level,
+  /// predicate, attribute, relation, belief mode...).
+  kNotFound,
+  /// An argument violated a documented precondition.
+  kInvalidArgument,
+  /// The operation would violate an MLS security policy (e.g. a write
+  /// below the subject's clearance, a read above it).
+  kSecurityViolation,
+  /// An MLS integrity property (entity, null, polyinstantiation,
+  /// subsumption-freeness) would be or is violated.
+  kIntegrityViolation,
+  /// Evaluation exceeded a configured resource bound (depth, steps).
+  kResourceExhausted,
+  /// An invariant the implementation relies on was broken; a bug.
+  kInternal,
+};
+
+/// Returns a stable, human-readable name such as "ParseError".
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value in the RocksDB/Arrow idiom.
+/// The library does not use exceptions; every fallible operation returns
+/// a Status (or a Result<T>, see result.h).
+///
+/// Statuses are cheap to copy in the OK case (no message allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status InvalidProgram(std::string msg) {
+    return Status(StatusCode::kInvalidProgram, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status SecurityViolation(std::string msg) {
+    return Status(StatusCode::kSecurityViolation, std::move(msg));
+  }
+  static Status IntegrityViolation(std::string msg) {
+    return Status(StatusCode::kIntegrityViolation, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsInvalidProgram() const { return code_ == StatusCode::kInvalidProgram; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsSecurityViolation() const {
+    return code_ == StatusCode::kSecurityViolation;
+  }
+  bool IsIntegrityViolation() const {
+    return code_ == StatusCode::kIntegrityViolation;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy of this status with `context` prepended to the
+  /// message, separated by ": ". OK statuses are returned unchanged.
+  Status WithContext(const std::string& context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagates a non-OK Status to the caller. Usable in any function
+/// returning Status (or Result<T>, which converts from Status).
+#define MULTILOG_RETURN_IF_ERROR(expr)              \
+  do {                                              \
+    ::multilog::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+}  // namespace multilog
+
+#endif  // MULTILOG_COMMON_STATUS_H_

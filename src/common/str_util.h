@@ -1,0 +1,35 @@
+#ifndef MULTILOG_COMMON_STR_UTIL_H_
+#define MULTILOG_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace multilog {
+
+/// Splits `s` on `sep`, keeping empty pieces ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `pieces` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// ASCII lower-casing (locale independent).
+std::string ToLower(std::string_view s);
+
+/// ASCII upper-casing (locale independent).
+std::string ToUpper(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// True for [A-Za-z_][A-Za-z0-9_]* — the lexical shape shared by
+/// predicate names, attribute names, and plain constants.
+bool IsIdentifier(std::string_view s);
+
+}  // namespace multilog
+
+#endif  // MULTILOG_COMMON_STR_UTIL_H_

@@ -1,0 +1,70 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+
+namespace multilog {
+
+namespace {
+
+/// Display width in terminal columns: counts UTF-8 code points, not
+/// bytes, so the figures' ⊥ cells stay aligned. (All code points used
+/// here are single-column.)
+size_t DisplayWidth(const std::string& s) {
+  size_t width = 0;
+  for (unsigned char c : s) {
+    if ((c & 0xC0) != 0x80) ++width;  // not a UTF-8 continuation byte
+  }
+  return width;
+}
+
+std::string Separator(const std::vector<size_t>& widths) {
+  std::string line = "+";
+  for (size_t w : widths) {
+    line.append(w + 2, '-');
+    line += '+';
+  }
+  line += '\n';
+  return line;
+}
+
+void AppendRow(std::string* out, const std::vector<std::string>& row,
+               const std::vector<size_t>& widths) {
+  *out += '|';
+  for (size_t i = 0; i < widths.size(); ++i) {
+    const std::string& cell = i < row.size() ? row[i] : std::string();
+    *out += ' ';
+    *out += cell;
+    out->append(widths[i] - DisplayWidth(cell) + 1, ' ');
+    *out += '|';
+  }
+  *out += '\n';
+}
+
+}  // namespace
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = DisplayWidth(header_[i]);
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], DisplayWidth(row[i]));
+    }
+  }
+
+  std::string out = Separator(widths);
+  AppendRow(&out, header_, widths);
+  out += Separator(widths);
+  for (const auto& row : rows_) {
+    AppendRow(&out, row, widths);
+  }
+  out += Separator(widths);
+  return out;
+}
+
+}  // namespace multilog

@@ -1,0 +1,41 @@
+#ifndef MULTILOG_COMMON_TABLE_PRINTER_H_
+#define MULTILOG_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace multilog {
+
+/// Renders rows of strings as an aligned ASCII table, in the visual style
+/// of the paper's figures:
+///
+///   +----------+---+------------+---+
+///   | Starship |   | Objective  |   |
+///   +----------+---+------------+---+
+///   | Avenger  | S | Shipping   | S |
+///   +----------+---+------------+---+
+///
+/// Used by the bench binaries that regenerate Figures 1-8 and by the
+/// examples. Rows shorter than the header are padded with empty cells.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Appends one data row.
+  void AddRow(std::vector<std::string> row);
+
+  /// Number of data rows added so far.
+  size_t row_count() const { return rows_.size(); }
+
+  /// Renders the full table, trailing newline included.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace multilog
+
+#endif  // MULTILOG_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,96 @@
+#include "datalog/atom.h"
+
+#include <functional>
+
+namespace multilog::datalog {
+
+bool Atom::IsGround() const {
+  for (const Term& t : args_) {
+    if (!t.IsGround()) return false;
+  }
+  return true;
+}
+
+void Atom::CollectVariables(std::vector<std::string>* out) const {
+  for (const Term& t : args_) t.CollectVariables(out);
+}
+
+std::string Atom::ToString() const {
+  if (args_.empty()) return predicate_;
+  std::string out = predicate_ + "(";
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+bool Atom::operator<(const Atom& other) const {
+  if (predicate_ != other.predicate_) return predicate_ < other.predicate_;
+  if (args_.size() != other.args_.size()) {
+    return args_.size() < other.args_.size();
+  }
+  for (size_t i = 0; i < args_.size(); ++i) {
+    if (args_[i] != other.args_[i]) return args_[i] < other.args_[i];
+  }
+  return false;
+}
+
+size_t Atom::Hash() const {
+  size_t h = std::hash<std::string>()(predicate_);
+  for (const Term& t : args_) {
+    h ^= t.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+const char* ComparisonToString(Comparison op) {
+  switch (op) {
+    case Comparison::kEq:
+      return "=";
+    case Comparison::kNe:
+      return "!=";
+    case Comparison::kLt:
+      return "<";
+    case Comparison::kLe:
+      return "<=";
+    case Comparison::kGt:
+      return ">";
+    case Comparison::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+Literal Literal::Positive(Atom atom) {
+  Literal l;
+  l.atom_ = std::move(atom);
+  return l;
+}
+
+Literal Literal::Negative(Atom atom) {
+  Literal l;
+  l.atom_ = std::move(atom);
+  l.negated_ = true;
+  return l;
+}
+
+Literal Literal::Builtin(Comparison op, Term lhs, Term rhs) {
+  Literal l;
+  l.is_builtin_ = true;
+  l.comparison_ = op;
+  l.atom_ = Atom(ComparisonToString(op), {std::move(lhs), std::move(rhs)});
+  return l;
+}
+
+std::string Literal::ToString() const {
+  if (is_builtin_) {
+    return lhs().ToString() + " " + ComparisonToString(comparison_) + " " +
+           rhs().ToString();
+  }
+  if (negated_) return "not " + atom_.ToString();
+  return atom_.ToString();
+}
+
+}  // namespace multilog::datalog

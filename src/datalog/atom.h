@@ -1,0 +1,96 @@
+#ifndef MULTILOG_DATALOG_ATOM_H_
+#define MULTILOG_DATALOG_ATOM_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/term.h"
+
+namespace multilog::datalog {
+
+/// A predicate applied to terms: p(t1,...,tn). Predicates are identified
+/// by name and arity; p/2 and p/3 are distinct.
+class Atom {
+ public:
+  Atom() = default;
+  Atom(std::string predicate, std::vector<Term> args)
+      : predicate_(std::move(predicate)), args_(std::move(args)) {}
+
+  const std::string& predicate() const { return predicate_; }
+  const std::vector<Term>& args() const { return args_; }
+  size_t arity() const { return args_.size(); }
+
+  /// "p/3" — the canonical predicate identifier.
+  std::string PredicateId() const {
+    return predicate_ + "/" + std::to_string(args_.size());
+  }
+
+  bool IsGround() const;
+  void CollectVariables(std::vector<std::string>* out) const;
+
+  std::string ToString() const;
+
+  bool operator==(const Atom& other) const {
+    return predicate_ == other.predicate_ && args_ == other.args_;
+  }
+  bool operator!=(const Atom& other) const { return !(*this == other); }
+  bool operator<(const Atom& other) const;
+
+  size_t Hash() const;
+
+ private:
+  std::string predicate_;
+  std::vector<Term> args_;
+};
+
+struct AtomHash {
+  size_t operator()(const Atom& a) const { return a.Hash(); }
+};
+
+/// Comparison builtins usable in rule bodies: X = Y, X != Y, X < Y, ...
+/// Ordering comparisons require both sides to be ground integers or both
+/// ground symbols (lexicographic) at evaluation time.
+enum class Comparison { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* ComparisonToString(Comparison op);
+
+/// A body element: a possibly negated atom, or a builtin comparison.
+class Literal {
+ public:
+  /// Positive or negated predicate literal.
+  static Literal Positive(Atom atom);
+  static Literal Negative(Atom atom);
+  /// Builtin comparison literal.
+  static Literal Builtin(Comparison op, Term lhs, Term rhs);
+
+  bool is_builtin() const { return is_builtin_; }
+  bool negated() const { return negated_; }
+  const Atom& atom() const { return atom_; }
+
+  Comparison comparison() const { return comparison_; }
+  const Term& lhs() const { return atom_.args()[0]; }
+  const Term& rhs() const { return atom_.args()[1]; }
+
+  void CollectVariables(std::vector<std::string>* out) const {
+    atom_.CollectVariables(out);
+  }
+
+  std::string ToString() const;
+
+  bool operator==(const Literal& other) const {
+    return is_builtin_ == other.is_builtin_ && negated_ == other.negated_ &&
+           comparison_ == other.comparison_ && atom_ == other.atom_;
+  }
+
+ private:
+  Literal() = default;
+
+  bool is_builtin_ = false;
+  bool negated_ = false;
+  Comparison comparison_ = Comparison::kEq;
+  Atom atom_;  // for builtins, a pseudo-atom holding {lhs, rhs}
+};
+
+}  // namespace multilog::datalog
+
+#endif  // MULTILOG_DATALOG_ATOM_H_

@@ -1,0 +1,81 @@
+#ifndef MULTILOG_DATALOG_CLAUSE_H_
+#define MULTILOG_DATALOG_CLAUSE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/atom.h"
+
+namespace multilog::datalog {
+
+/// Aggregate operations usable in clause heads (CORAL-style grouping):
+///   outdeg(X, count(Y)) :- edge(X, Y).
+/// The non-aggregate head arguments are the group-by key; the aggregate
+/// argument collapses, per group, the multiset of bindings of its
+/// variable across all body matches. Aggregation is non-monotone and is
+/// stratified like negation: the body may only use strictly lower
+/// strata.
+enum class AggregateOp { kCount, kSum, kMin, kMax };
+
+const char* AggregateOpToString(AggregateOp op);
+
+/// A definite clause with (stratified) negation and builtins in the body:
+///   head :- lit1, ..., litn.
+/// A clause with an empty body is a fact. At most one head argument may
+/// be an aggregate (set via MakeAggregate / detected by the parser from
+/// count(...)/sum(...)/min(...)/max(...) head arguments).
+class Clause {
+ public:
+  Clause() = default;
+  Clause(Atom head, std::vector<Literal> body)
+      : head_(std::move(head)), body_(std::move(body)) {}
+
+  /// Convenience: a bodyless clause.
+  static Clause Fact(Atom head) { return Clause(std::move(head), {}); }
+
+  /// Builds an aggregate clause: the head argument at `position` is the
+  /// aggregate op applied to `term` (e.g. count over Y). The head atom
+  /// passed in should hold a placeholder variable at that position.
+  static Clause MakeAggregate(Atom head, std::vector<Literal> body,
+                              size_t position, AggregateOp op, Term term);
+
+  const Atom& head() const { return head_; }
+  const std::vector<Literal>& body() const { return body_; }
+  bool IsFact() const { return body_.empty(); }
+
+  bool is_aggregate() const { return is_aggregate_; }
+  size_t aggregate_position() const { return aggregate_position_; }
+  AggregateOp aggregate_op() const { return aggregate_op_; }
+  /// The aggregated term (typically a body variable).
+  const Term& aggregate_term() const { return aggregate_term_; }
+
+  /// Range-restriction (safety): every variable occurring in the head, in
+  /// a negated literal, or in a builtin must also occur in a positive,
+  /// non-builtin body literal. Ground facts are trivially safe. Returns
+  /// InvalidProgram naming the offending variable otherwise.
+  Status CheckSafety() const;
+
+  /// "head :- b1, b2." or "head." for facts.
+  std::string ToString() const;
+
+  bool operator==(const Clause& other) const {
+    return head_ == other.head_ && body_ == other.body_ &&
+           is_aggregate_ == other.is_aggregate_ &&
+           aggregate_position_ == other.aggregate_position_ &&
+           aggregate_op_ == other.aggregate_op_ &&
+           aggregate_term_ == other.aggregate_term_;
+  }
+
+ private:
+  Atom head_;
+  std::vector<Literal> body_;
+  bool is_aggregate_ = false;
+  size_t aggregate_position_ = 0;
+  AggregateOp aggregate_op_ = AggregateOp::kCount;
+  Term aggregate_term_ = Term::Sym("");
+};
+
+}  // namespace multilog::datalog
+
+#endif  // MULTILOG_DATALOG_CLAUSE_H_

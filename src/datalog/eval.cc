@@ -1,0 +1,515 @@
+#include "datalog/eval.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "datalog/stratify.h"
+
+namespace multilog::datalog {
+
+Result<Term> EvalArithmetic(const Term& term) {
+  if (!term.IsCompound() || term.args().size() != 2) return term;
+  const std::string& f = term.name();
+  if (f != "plus" && f != "minus" && f != "times" && f != "div" &&
+      f != "mod") {
+    return term;
+  }
+  if (!term.IsGround()) return term;  // structural use stays possible
+
+  MULTILOG_ASSIGN_OR_RETURN(Term a, EvalArithmetic(term.args()[0]));
+  MULTILOG_ASSIGN_OR_RETURN(Term b, EvalArithmetic(term.args()[1]));
+  if (!a.IsInt() || !b.IsInt()) {
+    return Status::InvalidProgram("arithmetic over non-integers: " +
+                                  term.ToString());
+  }
+  const int64_t x = a.int_value();
+  const int64_t y = b.int_value();
+  if (f == "plus") return Term::Int(x + y);
+  if (f == "minus") return Term::Int(x - y);
+  if (f == "times") return Term::Int(x * y);
+  if (y == 0) {
+    return Status::InvalidProgram("division by zero in " + term.ToString());
+  }
+  if (f == "div") return Term::Int(x / y);
+  return Term::Int(x % y);
+}
+
+Result<bool> EvalBuiltin(Comparison op, const Term& raw_lhs,
+                         const Term& raw_rhs) {
+  MULTILOG_ASSIGN_OR_RETURN(Term lhs, EvalArithmetic(raw_lhs));
+  MULTILOG_ASSIGN_OR_RETURN(Term rhs, EvalArithmetic(raw_rhs));
+  if (!lhs.IsGround() || !rhs.IsGround()) {
+    return Status::InvalidProgram(
+        "builtin comparison on non-ground terms: " + lhs.ToString() + " " +
+        ComparisonToString(op) + " " + rhs.ToString());
+  }
+  if (op == Comparison::kEq) return lhs == rhs;
+  if (op == Comparison::kNe) return lhs != rhs;
+
+  // Ordering comparisons need both sides of the same primitive kind.
+  int cmp = 0;
+  if (lhs.IsInt() && rhs.IsInt()) {
+    cmp = lhs.int_value() < rhs.int_value()   ? -1
+          : lhs.int_value() > rhs.int_value() ? 1
+                                              : 0;
+  } else if (lhs.IsSymbol() && rhs.IsSymbol()) {
+    cmp = lhs.name().compare(rhs.name());
+    cmp = cmp < 0 ? -1 : cmp > 0 ? 1 : 0;
+  } else {
+    return Status::InvalidProgram(
+        "ordering comparison between incomparable terms: " + lhs.ToString() +
+        " " + ComparisonToString(op) + " " + rhs.ToString());
+  }
+  switch (op) {
+    case Comparison::kLt:
+      return cmp < 0;
+    case Comparison::kLe:
+      return cmp <= 0;
+    case Comparison::kGt:
+      return cmp > 0;
+    case Comparison::kGe:
+      return cmp >= 0;
+    default:
+      return Status::Internal("unreachable comparison");
+  }
+}
+
+Clause ReorderBody(const Clause& clause) {
+  const std::vector<Literal>& body = clause.body();
+  if (body.size() < 2) return clause;
+
+  std::unordered_set<std::string> bound;
+  std::vector<bool> used(body.size(), false);
+  std::vector<Literal> ordered;
+  ordered.reserve(body.size());
+
+  auto vars_of = [](const Literal& lit) {
+    std::vector<std::string> vars;
+    lit.CollectVariables(&vars);
+    return vars;
+  };
+  auto all_bound = [&bound](const std::vector<std::string>& vars) {
+    return std::all_of(vars.begin(), vars.end(),
+                       [&bound](const std::string& v) {
+                         return bound.count(v) > 0;
+                       });
+  };
+
+  while (ordered.size() < body.size()) {
+    int pick = -1;
+
+    // 1. A negation or non-eq builtin whose variables are all bound, or
+    //    an eq with one bound side, runs immediately (cheap filter).
+    for (size_t i = 0; i < body.size() && pick < 0; ++i) {
+      if (used[i]) continue;
+      const Literal& lit = body[i];
+      if (lit.negated() ||
+          (lit.is_builtin() && lit.comparison() != Comparison::kEq)) {
+        if (all_bound(vars_of(lit))) pick = static_cast<int>(i);
+      } else if (lit.is_builtin()) {  // kEq
+        std::vector<std::string> lhs_vars, rhs_vars;
+        lit.lhs().CollectVariables(&lhs_vars);
+        lit.rhs().CollectVariables(&rhs_vars);
+        if (all_bound(lhs_vars) || all_bound(rhs_vars)) {
+          pick = static_cast<int>(i);
+        }
+      }
+    }
+
+    // 2. Otherwise the positive literal with the most bound/constant
+    //    argument positions (ties keep source order).
+    if (pick < 0) {
+      int best_score = -1;
+      for (size_t i = 0; i < body.size(); ++i) {
+        if (used[i]) continue;
+        const Literal& lit = body[i];
+        if (lit.is_builtin() || lit.negated()) continue;
+        int score = 0;
+        for (const Term& arg : lit.atom().args()) {
+          std::vector<std::string> vars;
+          arg.CollectVariables(&vars);
+          if (vars.empty() || all_bound(vars)) ++score;
+        }
+        if (score > best_score) {
+          best_score = score;
+          pick = static_cast<int>(i);
+        }
+      }
+    }
+
+    // 3. Fallback (unsafe or stalled-eq clauses): first unused literal
+    //    in source order, preserving the original semantics checkpoints.
+    if (pick < 0) {
+      for (size_t i = 0; i < body.size(); ++i) {
+        if (!used[i]) {
+          pick = static_cast<int>(i);
+          break;
+        }
+      }
+    }
+
+    used[static_cast<size_t>(pick)] = true;
+    const Literal& chosen = body[static_cast<size_t>(pick)];
+    ordered.push_back(chosen);
+    if (!chosen.negated()) {
+      std::vector<std::string> vars = vars_of(chosen);
+      bound.insert(vars.begin(), vars.end());
+    }
+  }
+
+  if (clause.is_aggregate()) {
+    return Clause::MakeAggregate(clause.head(), std::move(ordered),
+                                 clause.aggregate_position(),
+                                 clause.aggregate_op(),
+                                 clause.aggregate_term());
+  }
+  return Clause(clause.head(), std::move(ordered));
+}
+
+namespace {
+
+/// Enumerates all substitutions satisfying `body` starting at literal
+/// `index` under `subst`, against `model`. When `delta_index >= 0`, the
+/// literal at that index ranges over `delta` instead of the model (the
+/// semi-naive restriction). Invokes `emit` for each complete match.
+/// Returns an error only for ill-formed builtins / non-ground negation.
+Status JoinBody(const std::vector<Literal>& body, size_t index,
+                const Model& model, const std::vector<Atom>* delta,
+                int delta_index, Substitution subst,
+                const std::function<Status(const Substitution&)>& emit) {
+  if (index == body.size()) return emit(subst);
+  const Literal& lit = body[index];
+
+  if (lit.is_builtin()) {
+    MULTILOG_ASSIGN_OR_RETURN(Term lhs,
+                              EvalArithmetic(subst.Apply(lit.lhs())));
+    MULTILOG_ASSIGN_OR_RETURN(Term rhs,
+                              EvalArithmetic(subst.Apply(lit.rhs())));
+    if (lit.comparison() == Comparison::kEq &&
+        (!lhs.IsGround() || !rhs.IsGround())) {
+      // Allow `=` to act as unification when a side is still free.
+      Substitution extended = subst;
+      if (!UnifyTerms(lhs, rhs, &extended)) return Status::OK();
+      return JoinBody(body, index + 1, model, delta, delta_index,
+                      std::move(extended), emit);
+    }
+    MULTILOG_ASSIGN_OR_RETURN(bool holds,
+                              EvalBuiltin(lit.comparison(), lhs, rhs));
+    if (!holds) return Status::OK();
+    return JoinBody(body, index + 1, model, delta, delta_index,
+                    std::move(subst), emit);
+  }
+
+  if (lit.negated()) {
+    Atom grounded = subst.Apply(lit.atom());
+    if (!grounded.IsGround()) {
+      return Status::InvalidProgram(
+          "negative literal not ground at evaluation time: not " +
+          grounded.ToString());
+    }
+    if (model.Contains(grounded)) return Status::OK();
+    return JoinBody(body, index + 1, model, delta, delta_index,
+                    std::move(subst), emit);
+  }
+
+  const Atom pattern = subst.Apply(lit.atom());
+
+  // Candidate facts: the delta when this is the designated delta literal,
+  // otherwise an indexed selection from the model when some argument is
+  // already ground, otherwise a full predicate scan.
+  auto try_fact = [&](const Atom& fact) -> Status {
+    std::optional<Substitution> extended = UnifyAtoms(pattern, fact, subst);
+    if (!extended.has_value()) return Status::OK();
+    return JoinBody(body, index + 1, model, delta, delta_index,
+                    std::move(*extended), emit);
+  };
+
+  if (delta != nullptr && static_cast<int>(index) == delta_index) {
+    for (const Atom& fact : *delta) {
+      MULTILOG_RETURN_IF_ERROR(try_fact(fact));
+    }
+    return Status::OK();
+  }
+
+  // Among the ground argument positions, use the most selective index
+  // (fewest candidates); fall back to a full predicate scan when no
+  // argument is bound.
+  bool have_index = false;
+  std::vector<const Atom*> best;
+  for (size_t pos = 0; pos < pattern.arity(); ++pos) {
+    if (!pattern.args()[pos].IsConstant()) continue;
+    std::vector<const Atom*> candidates = model.FactsMatching(
+        pattern.PredicateId(), pos, pattern.args()[pos]);
+    if (!have_index || candidates.size() < best.size()) {
+      best = std::move(candidates);
+      have_index = true;
+      if (best.empty()) break;
+    }
+  }
+  if (have_index) {
+    for (const Atom* fact : best) {
+      MULTILOG_RETURN_IF_ERROR(try_fact(*fact));
+    }
+    return Status::OK();
+  }
+  for (const Atom& fact : model.FactsFor(pattern.PredicateId())) {
+    MULTILOG_RETURN_IF_ERROR(try_fact(fact));
+  }
+  return Status::OK();
+}
+
+/// Applies one (non-aggregate) clause, appending newly derivable head
+/// atoms (possibly already known) to `derived`.
+Status ApplyClause(const Clause& clause, const Model& model,
+                   const std::vector<Atom>* delta, int delta_index,
+                   EvalStats* stats, std::vector<Atom>* derived) {
+  if (stats != nullptr) ++stats->rule_applications;
+  return JoinBody(
+      clause.body(), 0, model, delta, delta_index, Substitution(),
+      [&](const Substitution& subst) -> Status {
+        Atom head = subst.Apply(clause.head());
+        if (!head.IsGround()) {
+          return Status::InvalidProgram("derived non-ground head: " +
+                                        head.ToString());
+        }
+        if (stats != nullptr) ++stats->facts_derived;
+        derived->push_back(std::move(head));
+        return Status::OK();
+      });
+}
+
+/// Applies an aggregate clause: groups the body's solutions by the
+/// non-aggregate head arguments and collapses the *set* of distinct
+/// bindings of the aggregated term per group (set semantics, matching
+/// the model's set-based storage).
+Status ApplyAggregateClause(const Clause& clause, const Model& model,
+                            EvalStats* stats, std::vector<Atom>* derived) {
+  if (stats != nullptr) ++stats->rule_applications;
+
+  // Group key (ground head args minus the aggregate slot) -> value set.
+  std::map<std::vector<Term>, std::set<Term>> groups;
+  MULTILOG_RETURN_IF_ERROR(JoinBody(
+      clause.body(), 0, model, nullptr, -1, Substitution(),
+      [&](const Substitution& subst) -> Status {
+        std::vector<Term> key;
+        for (size_t i = 0; i < clause.head().args().size(); ++i) {
+          if (i == clause.aggregate_position()) continue;
+          Term t = subst.Apply(clause.head().args()[i]);
+          if (!t.IsGround()) {
+            return Status::InvalidProgram(
+                "non-ground group-by argument in " + clause.ToString());
+          }
+          key.push_back(std::move(t));
+        }
+        Term value = subst.Apply(clause.aggregate_term());
+        if (!value.IsGround()) {
+          return Status::InvalidProgram("non-ground aggregated term in " +
+                                        clause.ToString());
+        }
+        groups[std::move(key)].insert(std::move(value));
+        return Status::OK();
+      }));
+
+  for (const auto& [key, values] : groups) {
+    Term result = Term::Int(0);
+    switch (clause.aggregate_op()) {
+      case AggregateOp::kCount:
+        result = Term::Int(static_cast<int64_t>(values.size()));
+        break;
+      case AggregateOp::kSum: {
+        int64_t total = 0;
+        for (const Term& v : values) {
+          if (!v.IsInt()) {
+            return Status::InvalidProgram(
+                "sum over a non-integer value " + v.ToString() + " in " +
+                clause.ToString());
+          }
+          total += v.int_value();
+        }
+        result = Term::Int(total);
+        break;
+      }
+      case AggregateOp::kMin:
+        result = *values.begin();
+        break;
+      case AggregateOp::kMax:
+        result = *values.rbegin();
+        break;
+    }
+
+    std::vector<Term> args;
+    size_t key_index = 0;
+    for (size_t i = 0; i < clause.head().args().size(); ++i) {
+      if (i == clause.aggregate_position()) {
+        args.push_back(result);
+      } else {
+        args.push_back(key[key_index++]);
+      }
+    }
+    if (stats != nullptr) ++stats->facts_derived;
+    derived->push_back(Atom(clause.head().predicate(), std::move(args)));
+  }
+  return Status::OK();
+}
+
+Status EvaluateStratumSeminaive(const std::vector<const Clause*>& clauses,
+                                const std::unordered_set<std::string>& stratum_preds,
+                                const EvalOptions& options, Model* model,
+                                EvalStats* stats) {
+  // Round 0: apply every clause against the current model.
+  std::vector<Atom> delta;
+  {
+    std::vector<Atom> derived;
+    for (const Clause* c : clauses) {
+      if (c->is_aggregate()) {
+        MULTILOG_RETURN_IF_ERROR(
+            ApplyAggregateClause(*c, *model, stats, &derived));
+      } else {
+        MULTILOG_RETURN_IF_ERROR(
+            ApplyClause(*c, *model, nullptr, -1, stats, &derived));
+      }
+    }
+    for (Atom& a : derived) {
+      if (model->Insert(a)) delta.push_back(std::move(a));
+    }
+    if (stats != nullptr) ++stats->iterations;
+  }
+
+  // Recursive rounds: only clauses with a positive literal on a predicate
+  // of this stratum can fire on new facts.
+  while (!delta.empty()) {
+    if (model->size() > options.max_facts) {
+      return Status::ResourceExhausted(
+          "evaluation exceeded max_facts = " +
+          std::to_string(options.max_facts));
+    }
+    std::vector<Atom> derived;
+    for (const Clause* c : clauses) {
+      for (size_t i = 0; i < c->body().size(); ++i) {
+        const Literal& lit = c->body()[i];
+        if (lit.is_builtin() || lit.negated()) continue;
+        if (!stratum_preds.count(lit.atom().PredicateId())) continue;
+        // Rotate the delta literal to the front: it is scanned linearly
+        // (the delta has no index), so binding its variables first lets
+        // every remaining positive literal use the model's argument
+        // indexes. Safe for negation/builtins - they only ever see more
+        // bindings than before.
+        std::vector<Literal> body;
+        body.reserve(c->body().size());
+        body.push_back(lit);
+        for (size_t j = 0; j < c->body().size(); ++j) {
+          if (j != i) body.push_back(c->body()[j]);
+        }
+        Clause rotated(c->head(), std::move(body));
+        MULTILOG_RETURN_IF_ERROR(
+            ApplyClause(rotated, *model, &delta, 0, stats, &derived));
+      }
+    }
+    std::vector<Atom> next_delta;
+    for (Atom& a : derived) {
+      if (model->Insert(a)) next_delta.push_back(std::move(a));
+    }
+    delta = std::move(next_delta);
+    if (stats != nullptr) ++stats->iterations;
+  }
+  return Status::OK();
+}
+
+Status EvaluateStratumNaive(const std::vector<const Clause*>& clauses,
+                            const EvalOptions& options, Model* model,
+                            EvalStats* stats) {
+  bool changed = true;
+  while (changed) {
+    if (model->size() > options.max_facts) {
+      return Status::ResourceExhausted(
+          "evaluation exceeded max_facts = " +
+          std::to_string(options.max_facts));
+    }
+    changed = false;
+    std::vector<Atom> derived;
+    for (const Clause* c : clauses) {
+      if (c->is_aggregate()) {
+        MULTILOG_RETURN_IF_ERROR(
+            ApplyAggregateClause(*c, *model, stats, &derived));
+      } else {
+        MULTILOG_RETURN_IF_ERROR(
+            ApplyClause(*c, *model, nullptr, -1, stats, &derived));
+      }
+    }
+    for (const Atom& a : derived) {
+      if (model->Insert(a)) changed = true;
+    }
+    if (stats != nullptr) ++stats->iterations;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Model> Evaluate(const Program& program, const EvalOptions& options,
+                       EvalStats* stats) {
+  MULTILOG_RETURN_IF_ERROR(program.CheckSafety());
+  MULTILOG_ASSIGN_OR_RETURN(Stratification strat, Stratify(program));
+
+  Program reordered;
+  const Program* effective = &program;
+  if (options.reorder_body) {
+    for (const Clause& c : program.clauses()) {
+      reordered.AddClause(ReorderBody(c));
+    }
+    effective = &reordered;
+  }
+
+  Model model;
+  for (size_t s = 0; s < strat.num_strata(); ++s) {
+    std::unordered_set<std::string> stratum_preds(strat.strata[s].begin(),
+                                                  strat.strata[s].end());
+    std::vector<const Clause*> clauses;
+    for (const Clause& c : effective->clauses()) {
+      if (stratum_preds.count(c.head().PredicateId())) clauses.push_back(&c);
+    }
+    if (options.strategy == EvalOptions::Strategy::kSeminaive) {
+      MULTILOG_RETURN_IF_ERROR(EvaluateStratumSeminaive(
+          clauses, stratum_preds, options, &model, stats));
+    } else {
+      MULTILOG_RETURN_IF_ERROR(
+          EvaluateStratumNaive(clauses, options, &model, stats));
+    }
+  }
+  return model;
+}
+
+Result<std::vector<Substitution>> QueryModel(
+    const Model& model, const std::vector<Literal>& goal) {
+  std::vector<std::string> goal_vars;
+  for (const Literal& l : goal) l.CollectVariables(&goal_vars);
+  std::sort(goal_vars.begin(), goal_vars.end());
+  goal_vars.erase(std::unique(goal_vars.begin(), goal_vars.end()),
+                  goal_vars.end());
+
+  std::set<std::string> seen;  // canonical text of the restricted answer
+  std::vector<Substitution> answers;
+  MULTILOG_RETURN_IF_ERROR(JoinBody(
+      goal, 0, model, nullptr, -1, Substitution(),
+      [&](const Substitution& subst) -> Status {
+        Substitution restricted;
+        for (const std::string& v : goal_vars) {
+          Term value = subst.Apply(Term::Var(v));
+          if (!value.IsVariable()) restricted.Bind(v, value);
+        }
+        if (seen.insert(restricted.ToString()).second) {
+          answers.push_back(std::move(restricted));
+        }
+        return Status::OK();
+      }));
+  std::sort(answers.begin(), answers.end(),
+            [](const Substitution& a, const Substitution& b) {
+              return a.ToString() < b.ToString();
+            });
+  return answers;
+}
+
+}  // namespace multilog::datalog

@@ -1,0 +1,85 @@
+#ifndef MULTILOG_DATALOG_EVAL_H_
+#define MULTILOG_DATALOG_EVAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "datalog/model.h"
+#include "datalog/program.h"
+#include "datalog/unify.h"
+
+namespace multilog::datalog {
+
+/// Knobs for bottom-up evaluation.
+struct EvalOptions {
+  enum class Strategy {
+    /// Semi-naive: per stratum, iterate only rule instantiations that use
+    /// at least one fact derived in the previous round. The default, and
+    /// what CORAL's bottom-up engine does.
+    kSeminaive,
+    /// Naive: re-derive everything each round. Kept as a test oracle and
+    /// ablation baseline.
+    kNaive,
+  };
+  Strategy strategy = Strategy::kSeminaive;
+
+  /// Hard cap on the total number of derived facts; exceeded means
+  /// ResourceExhausted (guards against runaway programs with compound
+  /// terms, which make the Herbrand base infinite).
+  size_t max_facts = 10'000'000;
+
+  /// Greedy join reordering: before evaluation, each clause body is
+  /// reordered so that literals with more already-bound arguments join
+  /// first and negations/builtins run as soon as their variables are
+  /// bound. Purely an optimization - the stratified model is unchanged
+  /// (property-tested); disable for ablation.
+  bool reorder_body = true;
+};
+
+/// Counters for benchmarking and tests.
+struct EvalStats {
+  size_t iterations = 0;         // fixpoint rounds across all strata
+  size_t rule_applications = 0;  // body-join attempts
+  size_t facts_derived = 0;      // successful head derivations (pre-dedup)
+};
+
+/// Computes the stratified minimal model of `program`. The program must
+/// be safe (range-restricted) and stratifiable; both are checked.
+Result<Model> Evaluate(const Program& program, const EvalOptions& options = {},
+                       EvalStats* stats = nullptr);
+
+/// Matches a conjunctive goal (with negation and builtins) against a
+/// completed model. Negative and builtin literals must be ground by the
+/// time they are reached left-to-right (a dynamic safety check). Returns
+/// one substitution per answer, restricted to the goal's variables,
+/// deduplicated, in deterministic order.
+Result<std::vector<Substitution>> QueryModel(const Model& model,
+                                             const std::vector<Literal>& goal);
+
+/// The greedy body reordering used when EvalOptions::reorder_body is
+/// set (exposed for tests and for the ablation bench): negations and
+/// non-eq builtins are scheduled as soon as their variables are bound,
+/// `=` as soon as one side is bound, and among positive literals the one
+/// with the most bound/constant arguments joins next (ties keep source
+/// order). Semantics-preserving for safe clauses.
+Clause ReorderBody(const Clause& clause);
+
+/// Folds ground arithmetic terms: plus/2, minus/2, times/2, div/2 and
+/// mod/2 over integers evaluate recursively (e.g. plus(2, times(3, 4))
+/// -> 14). Non-arithmetic terms and arithmetic terms with unbound
+/// arguments are returned unchanged (so structural use stays possible);
+/// ground arithmetic over non-integers and division by zero error.
+/// Arithmetic folding applies inside builtin comparisons - `Z = plus(N,
+/// 1)` is CORAL-style assignment.
+Result<Term> EvalArithmetic(const Term& term);
+
+/// Evaluates a ground builtin comparison (after arithmetic folding).
+/// Errors when a side is not ground or the sides are of incomparable
+/// kinds (int vs symbol) for ordering operators; = and != compare
+/// structurally.
+Result<bool> EvalBuiltin(Comparison op, const Term& lhs, const Term& rhs);
+
+}  // namespace multilog::datalog
+
+#endif  // MULTILOG_DATALOG_EVAL_H_

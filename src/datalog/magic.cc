@@ -1,0 +1,189 @@
+#include "datalog/magic.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <unordered_set>
+
+#include "datalog/eval.h"
+
+namespace multilog::datalog {
+
+namespace {
+
+/// Adorned predicate name, e.g. p + "bf" -> "p__bf".
+std::string AdornedName(const std::string& pred,
+                        const std::string& adornment) {
+  return pred + "__" + adornment;
+}
+
+std::string MagicName(const std::string& pred,
+                      const std::string& adornment) {
+  return "magic__" + pred + "__" + adornment;
+}
+
+/// True when every variable of `t` is in `bound` (constants trivially).
+bool TermBound(const Term& t, const std::set<std::string>& bound) {
+  std::vector<std::string> vars;
+  t.CollectVariables(&vars);
+  return std::all_of(vars.begin(), vars.end(),
+                     [&bound](const std::string& v) {
+                       return bound.count(v) > 0;
+                     });
+}
+
+/// Binding pattern of `atom` under `bound`.
+std::string AdornmentOf(const Atom& atom, const std::set<std::string>& bound) {
+  std::string adornment;
+  adornment.reserve(atom.arity());
+  for (const Term& t : atom.args()) {
+    adornment += TermBound(t, bound) ? 'b' : 'f';
+  }
+  return adornment;
+}
+
+/// The arguments at the bound positions of `adornment`.
+std::vector<Term> BoundArgs(const Atom& atom, const std::string& adornment) {
+  std::vector<Term> out;
+  for (size_t i = 0; i < atom.arity(); ++i) {
+    if (adornment[i] == 'b') out.push_back(atom.args()[i]);
+  }
+  return out;
+}
+
+void AddVars(const Atom& atom, std::set<std::string>* bound) {
+  std::vector<std::string> vars;
+  atom.CollectVariables(&vars);
+  bound->insert(vars.begin(), vars.end());
+}
+
+}  // namespace
+
+Result<MagicProgram> MagicTransform(const Program& program,
+                                    const Atom& query) {
+  for (const Clause& c : program.clauses()) {
+    if (c.is_aggregate()) {
+      return Status::InvalidProgram(
+          "magic-sets rewriting does not support aggregate clauses");
+    }
+    for (const Literal& l : c.body()) {
+      if (l.negated()) {
+        return Status::InvalidProgram(
+            "magic-sets rewriting supports only positive programs; found: " +
+            l.ToString());
+      }
+    }
+  }
+
+  const std::vector<std::string> defined = program.DefinedPredicates();
+  std::unordered_set<std::string> idb(defined.begin(), defined.end());
+
+  MagicProgram out;
+
+  // EDB facts and EDB-only predicates pass through untouched; everything
+  // defined by a head is rewritten per adornment.
+  const std::string query_id = query.PredicateId();
+  if (!idb.count(query_id)) {
+    // Nothing to specialize: the query touches only EDB (or nothing).
+    out.program = program;
+    out.query = query;
+    return out;
+  }
+
+  std::set<std::string> no_bound;
+  const std::string query_adornment = AdornmentOf(query, no_bound);
+
+  // Seed: the query's bound constants.
+  {
+    Atom seed(MagicName(query.predicate(), query_adornment),
+              BoundArgs(query, query_adornment));
+    out.program.AddFact(std::move(seed));
+  }
+
+  std::deque<std::pair<std::string, std::string>> worklist;  // (pred id, a)
+  std::set<std::pair<std::string, std::string>> processed;
+  worklist.emplace_back(query_id, query_adornment);
+
+  while (!worklist.empty()) {
+    auto [pred_id, adornment] = worklist.front();
+    worklist.pop_front();
+    if (!processed.emplace(pred_id, adornment).second) continue;
+
+    for (const Clause* clause : program.ClausesFor(pred_id)) {
+      const Atom& head = clause->head();
+
+      std::set<std::string> bound;
+      for (size_t i = 0; i < head.arity(); ++i) {
+        if (adornment[i] == 'b') AddVars(Atom("", {head.args()[i]}), &bound);
+      }
+
+      // The rewritten body starts with the head's magic guard.
+      std::vector<Literal> rewritten;
+      rewritten.push_back(Literal::Positive(
+          Atom(MagicName(head.predicate(), adornment),
+               BoundArgs(head, adornment))));
+
+      for (const Literal& lit : clause->body()) {
+        if (lit.is_builtin()) {
+          // `=` binds (as in the safety analysis); other comparisons are
+          // pure filters.
+          if (lit.comparison() == Comparison::kEq) {
+            bool lhs_bound = TermBound(lit.lhs(), bound);
+            bool rhs_bound = TermBound(lit.rhs(), bound);
+            if (lhs_bound || rhs_bound) {
+              std::vector<std::string> vars;
+              lit.lhs().CollectVariables(&vars);
+              lit.rhs().CollectVariables(&vars);
+              bound.insert(vars.begin(), vars.end());
+            }
+          }
+          rewritten.push_back(lit);
+          continue;
+        }
+        const Atom& atom = lit.atom();
+        if (!idb.count(atom.PredicateId())) {
+          rewritten.push_back(lit);
+          AddVars(atom, &bound);
+          continue;
+        }
+        // IDB literal: adorn, emit its magic rule, enqueue.
+        const std::string sub_adornment = AdornmentOf(atom, bound);
+        worklist.emplace_back(atom.PredicateId(), sub_adornment);
+
+        std::vector<Term> magic_args = BoundArgs(atom, sub_adornment);
+        out.program.AddClause(Clause(
+            Atom(MagicName(atom.predicate(), sub_adornment),
+                 std::move(magic_args)),
+            rewritten));
+
+        rewritten.push_back(Literal::Positive(
+            Atom(AdornedName(atom.predicate(), sub_adornment), atom.args())));
+        AddVars(atom, &bound);
+      }
+
+      out.program.AddClause(Clause(
+          Atom(AdornedName(head.predicate(), adornment), head.args()),
+          std::move(rewritten)));
+    }
+  }
+
+  // EDB facts (clauses whose head predicate never appears... all EDB
+  // predicates are body-only, so they have no clauses; IDB facts were
+  // rewritten above). Pass through clauses of predicates that are IDB
+  // but never reached - they cannot affect the query - and all builtin
+  // support is inline, so nothing else is needed.
+
+  out.query = Atom(AdornedName(query.predicate(), query_adornment),
+                   query.args());
+  return out;
+}
+
+Result<std::vector<Substitution>> MagicSolve(const Program& program,
+                                             const Atom& query) {
+  MULTILOG_ASSIGN_OR_RETURN(MagicProgram magic,
+                            MagicTransform(program, query));
+  MULTILOG_ASSIGN_OR_RETURN(Model model, Evaluate(magic.program));
+  return QueryModel(model, {Literal::Positive(magic.query)});
+}
+
+}  // namespace multilog::datalog

@@ -1,0 +1,56 @@
+#ifndef MULTILOG_DATALOG_MAGIC_H_
+#define MULTILOG_DATALOG_MAGIC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "datalog/model.h"
+#include "datalog/program.h"
+#include "datalog/unify.h"
+
+namespace multilog::datalog {
+
+/// The magic-sets rewriting - CORAL's signature evaluation technique:
+/// specializes a program to a query's binding pattern so that bottom-up
+/// evaluation only derives facts relevant to the query, combining
+/// bottom-up's termination/duplicate handling with top-down's
+/// goal-direction.
+///
+/// Supported fragment: positive programs (no negation; magic sets under
+/// stratified negation needs the full supplementary-magic machinery and
+/// is out of scope). Builtins are allowed and treated as filters.
+///
+/// The rewriting is the textbook one (Bancilhon/Maier/Sagiv/Ullman):
+///  - predicates are *adorned* with their binding pattern ("bf" = first
+///    argument bound, second free), propagated left-to-right through
+///    rule bodies (sideways information passing);
+///  - each adorned IDB predicate p^a gets a magic predicate
+///    magic_p_a(bound args) seeding the relevant calls;
+///  - every rule is guarded by the magic of its head, and each IDB body
+///    literal contributes a magic rule for its own calls.
+struct MagicProgram {
+  /// The rewritten program (adorned + magic + seed).
+  Program program;
+  /// The adorned query atom to match against the evaluated model.
+  Atom query;
+};
+
+/// Rewrites `program` for `query` (one atom; its constant arguments
+/// become the bound pattern). Returns InvalidProgram for programs with
+/// negation or for queries on unknown predicates... an unknown predicate
+/// simply yields an empty program and no answers, mirroring plain
+/// evaluation, so only negation errors.
+Result<MagicProgram> MagicTransform(const Program& program,
+                                    const Atom& query);
+
+/// Convenience: rewrite, evaluate bottom-up, and return the answers to
+/// `query` as substitutions (restricted to the query's variables,
+/// deduplicated, sorted) - a drop-in alternative to
+/// Evaluate + QueryModel for positive programs with selective queries.
+Result<std::vector<Substitution>> MagicSolve(const Program& program,
+                                             const Atom& query);
+
+}  // namespace multilog::datalog
+
+#endif  // MULTILOG_DATALOG_MAGIC_H_

@@ -1,0 +1,88 @@
+#include "datalog/model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace multilog::datalog {
+
+namespace {
+const std::vector<Atom> kNoFacts;
+}  // namespace
+
+bool Model::Insert(const Atom& atom) {
+  assert(atom.IsGround());
+  Relation& rel = relations_[atom.PredicateId()];
+  if (!rel.set.insert(atom).second) return false;
+  size_t idx = rel.facts.size();
+  rel.facts.push_back(atom);
+  for (size_t pos = 0; pos < atom.arity(); ++pos) {
+    rel.index[pos][atom.args()[pos]].push_back(idx);
+  }
+  ++size_;
+  return true;
+}
+
+bool Model::Contains(const Atom& atom) const {
+  auto it = relations_.find(atom.PredicateId());
+  if (it == relations_.end()) return false;
+  return it->second.set.count(atom) > 0;
+}
+
+const std::vector<Atom>& Model::FactsFor(
+    const std::string& predicate_id) const {
+  auto it = relations_.find(predicate_id);
+  if (it == relations_.end()) return kNoFacts;
+  return it->second.facts;
+}
+
+std::vector<const Atom*> Model::FactsMatching(const std::string& predicate_id,
+                                              size_t position,
+                                              const Term& value) const {
+  std::vector<const Atom*> out;
+  auto it = relations_.find(predicate_id);
+  if (it == relations_.end()) return out;
+  auto pos_it = it->second.index.find(position);
+  if (pos_it == it->second.index.end()) return out;
+  auto val_it = pos_it->second.find(value);
+  if (val_it == pos_it->second.end()) return out;
+  out.reserve(val_it->second.size());
+  for (size_t idx : val_it->second) {
+    out.push_back(&it->second.facts[idx]);
+  }
+  return out;
+}
+
+std::vector<std::string> Model::Predicates() const {
+  std::vector<std::string> out;
+  out.reserve(relations_.size());
+  for (const auto& [id, rel] : relations_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string Model::ToString() const {
+  std::vector<std::string> lines;
+  lines.reserve(size_);
+  for (const auto& [id, rel] : relations_) {
+    for (const Atom& a : rel.facts) lines.push_back(a.ToString() + ".");
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += "\n";
+  }
+  return out;
+}
+
+bool Model::operator==(const Model& other) const {
+  if (size_ != other.size_) return false;
+  for (const auto& [id, rel] : relations_) {
+    for (const Atom& a : rel.facts) {
+      if (!other.Contains(a)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace multilog::datalog

@@ -1,0 +1,68 @@
+#ifndef MULTILOG_DATALOG_MODEL_H_
+#define MULTILOG_DATALOG_MODEL_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "datalog/atom.h"
+
+namespace multilog::datalog {
+
+/// A set of ground atoms (an Herbrand interpretation), indexed for the
+/// access patterns of bottom-up evaluation:
+///  - membership test (duplicate elimination),
+///  - scan of one predicate's facts,
+///  - scan of the facts matching a (predicate, argument position,
+///    constant) selection - used to drive joins from bound arguments.
+class Model {
+ public:
+  Model() = default;
+
+  /// Inserts a ground atom. Returns true if it was new. Precondition:
+  /// atom.IsGround().
+  bool Insert(const Atom& atom);
+
+  bool Contains(const Atom& atom) const;
+
+  /// All facts for "p/n", in insertion order. Empty vector if none.
+  const std::vector<Atom>& FactsFor(const std::string& predicate_id) const;
+
+  /// Facts for "p/n" whose argument at `position` equals `value`
+  /// (a ground term). Uses the argument index; falls back to an empty
+  /// result when the predicate is absent.
+  std::vector<const Atom*> FactsMatching(const std::string& predicate_id,
+                                         size_t position,
+                                         const Term& value) const;
+
+  /// Total number of facts.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Predicate ids present, sorted.
+  std::vector<std::string> Predicates() const;
+
+  /// All facts of all predicates, sorted, one per line - used by tests
+  /// to compare models structurally.
+  std::string ToString() const;
+
+  bool operator==(const Model& other) const;
+
+ private:
+  struct Relation {
+    std::vector<Atom> facts;
+    std::unordered_set<Atom, AtomHash> set;
+    // (position, term) -> indices into `facts`.
+    std::unordered_map<size_t, std::unordered_map<Term, std::vector<size_t>,
+                                                  TermHash>>
+        index;
+  };
+
+  std::unordered_map<std::string, Relation> relations_;
+  size_t size_ = 0;
+};
+
+}  // namespace multilog::datalog
+
+#endif  // MULTILOG_DATALOG_MODEL_H_

@@ -1,0 +1,296 @@
+#include "datalog/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+
+namespace multilog::datalog {
+
+namespace {
+
+/// A hand-rolled lexer/recursive-descent parser. Kept private to this
+/// translation unit; the public API is the three Parse* functions.
+class DatalogParser {
+ public:
+  explicit DatalogParser(std::string_view source) : src_(source) {}
+
+  Result<ParsedProgram> ParseProgram() {
+    ParsedProgram out;
+    SkipWhitespaceAndComments();
+    while (!AtEnd()) {
+      if (TryConsume("?-")) {
+        MULTILOG_ASSIGN_OR_RETURN(std::vector<Literal> goal, ParseBody());
+        MULTILOG_RETURN_IF_ERROR(Expect("."));
+        out.queries.push_back(std::move(goal));
+      } else {
+        MULTILOG_ASSIGN_OR_RETURN(Atom head, ParseAtom());
+        std::vector<Literal> body;
+        if (TryConsume(":-")) {
+          MULTILOG_ASSIGN_OR_RETURN(body, ParseBody());
+        }
+        MULTILOG_RETURN_IF_ERROR(Expect("."));
+        MULTILOG_ASSIGN_OR_RETURN(
+            Clause clause, FinishClause(std::move(head), std::move(body)));
+        out.program.AddClause(std::move(clause));
+      }
+      SkipWhitespaceAndComments();
+    }
+    return out;
+  }
+
+  Result<Term> ParseSingleTerm() {
+    SkipWhitespaceAndComments();
+    MULTILOG_ASSIGN_OR_RETURN(Term t, ParseTermInternal());
+    SkipWhitespaceAndComments();
+    if (!AtEnd()) return Error("trailing input after term");
+    return t;
+  }
+
+  Result<std::vector<Literal>> ParseGoalList() {
+    MULTILOG_ASSIGN_OR_RETURN(std::vector<Literal> body, ParseBody());
+    SkipWhitespaceAndComments();
+    TryConsume(".");
+    SkipWhitespaceAndComments();
+    if (!AtEnd()) return Error("trailing input after goal");
+    return body;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek() const { return pos_ < src_.size() ? src_[pos_] : '\0'; }
+
+  void SkipWhitespaceAndComments() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        if (c == '\n') ++line_;
+        ++pos_;
+      } else if (c == '%' ||
+                 (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '/')) {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool TryConsume(std::string_view token) {
+    SkipWhitespaceAndComments();
+    if (src_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(std::string_view token) {
+    if (!TryConsume(token)) {
+      return Error("expected '" + std::string(token) + "'");
+    }
+    return Status::OK();
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError("line " + std::to_string(line_) + ": " +
+                              message);
+  }
+
+  Result<std::string> ParseIdentifier() {
+    SkipWhitespaceAndComments();
+    size_t start = pos_;
+    if (AtEnd() || !(std::isalpha(static_cast<unsigned char>(Peek())) ||
+                     Peek() == '_')) {
+      return Error("expected identifier");
+    }
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_')) {
+      ++pos_;
+    }
+    return std::string(src_.substr(start, pos_ - start));
+  }
+
+  Result<Term> ParseTermInternal() {
+    SkipWhitespaceAndComments();
+    if (AtEnd()) return Error("expected term");
+    char c = Peek();
+
+    if (c == '\'') {
+      ++pos_;
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != '\'') ++pos_;
+      if (AtEnd()) return Error("unterminated quoted constant");
+      std::string text(src_.substr(start, pos_ - start));
+      ++pos_;  // closing quote
+      return Term::Sym(std::move(text));
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < src_.size() &&
+         std::isdigit(static_cast<unsigned char>(src_[pos_ + 1])))) {
+      size_t start = pos_;
+      if (c == '-') ++pos_;
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+      return Term::Int(
+          std::strtoll(std::string(src_.substr(start, pos_ - start)).c_str(),
+                       nullptr, 10));
+    }
+
+    MULTILOG_ASSIGN_OR_RETURN(std::string id, ParseIdentifier());
+    bool is_var = std::isupper(static_cast<unsigned char>(id[0])) || id[0] == '_';
+    if (is_var) {
+      return Term::Var(std::move(id));
+    }
+    SkipWhitespaceAndComments();
+    if (Peek() == '(') {
+      ++pos_;
+      std::vector<Term> args;
+      MULTILOG_ASSIGN_OR_RETURN(Term first, ParseTermInternal());
+      args.push_back(std::move(first));
+      while (TryConsume(",")) {
+        MULTILOG_ASSIGN_OR_RETURN(Term next, ParseTermInternal());
+        args.push_back(std::move(next));
+      }
+      MULTILOG_RETURN_IF_ERROR(Expect(")"));
+      return Term::Fn(std::move(id), std::move(args));
+    }
+    return Term::Sym(std::move(id));
+  }
+
+  /// Detects an aggregate head argument - count(T), sum(T), min(T),
+  /// max(T) - and builds the corresponding aggregate clause; at most one
+  /// is allowed. These functors are reserved in head argument positions.
+  Result<Clause> FinishClause(Atom head, std::vector<Literal> body) {
+    static constexpr struct {
+      const char* name;
+      AggregateOp op;
+    } kOps[] = {{"count", AggregateOp::kCount},
+                {"sum", AggregateOp::kSum},
+                {"min", AggregateOp::kMin},
+                {"max", AggregateOp::kMax}};
+
+    std::optional<size_t> agg_pos;
+    AggregateOp agg_op = AggregateOp::kCount;
+    Term agg_term = Term::Sym("");
+    for (size_t i = 0; i < head.args().size(); ++i) {
+      const Term& arg = head.args()[i];
+      if (!arg.IsCompound() || arg.args().size() != 1) continue;
+      for (const auto& op : kOps) {
+        if (arg.name() != op.name) continue;
+        if (agg_pos.has_value()) {
+          return Error("at most one aggregate argument per head");
+        }
+        agg_pos = i;
+        agg_op = op.op;
+        agg_term = arg.args()[0];
+      }
+    }
+    if (!agg_pos.has_value()) {
+      return Clause(std::move(head), std::move(body));
+    }
+    std::vector<Term> args = head.args();
+    args[*agg_pos] = Term::Var("_agg");
+    return Clause::MakeAggregate(Atom(head.predicate(), std::move(args)),
+                                 std::move(body), *agg_pos, agg_op,
+                                 std::move(agg_term));
+  }
+
+  Result<Atom> ParseAtom() {
+    MULTILOG_ASSIGN_OR_RETURN(std::string pred, ParseIdentifier());
+    if (std::isupper(static_cast<unsigned char>(pred[0])) || pred[0] == '_') {
+      return Error("predicate name '" + pred +
+                   "' must start with a lower-case letter");
+    }
+    std::vector<Term> args;
+    SkipWhitespaceAndComments();
+    if (Peek() == '(') {
+      ++pos_;
+      MULTILOG_ASSIGN_OR_RETURN(Term first, ParseTermInternal());
+      args.push_back(std::move(first));
+      while (TryConsume(",")) {
+        MULTILOG_ASSIGN_OR_RETURN(Term next, ParseTermInternal());
+        args.push_back(std::move(next));
+      }
+      MULTILOG_RETURN_IF_ERROR(Expect(")"));
+    }
+    return Atom(std::move(pred), std::move(args));
+  }
+
+  /// Parses one body element: `not atom`, an atom, or `term OP term`.
+  Result<Literal> ParseLiteral() {
+    SkipWhitespaceAndComments();
+    size_t save = pos_;
+    if (TryConsume("not") &&
+        (AtEnd() || (!std::isalnum(static_cast<unsigned char>(Peek())) &&
+                     Peek() != '_'))) {
+      MULTILOG_ASSIGN_OR_RETURN(Atom a, ParseAtom());
+      return Literal::Negative(std::move(a));
+    }
+    pos_ = save;
+
+    // Try `term OP term` first when an operator follows a term; otherwise
+    // fall back to a plain atom. Strategy: parse a term, look for an
+    // operator; if the term was actually an atom (compound/symbol) and no
+    // operator follows, reinterpret.
+    MULTILOG_ASSIGN_OR_RETURN(Term lhs, ParseTermInternal());
+    SkipWhitespaceAndComments();
+
+    struct OpToken {
+      const char* text;
+      Comparison op;
+    };
+    // Longest tokens first so "<=" is not read as "<".
+    static constexpr OpToken kOps[] = {
+        {"!=", Comparison::kNe}, {"<=", Comparison::kLe},
+        {">=", Comparison::kGe}, {"=", Comparison::kEq},
+        {"<", Comparison::kLt},  {">", Comparison::kGt},
+    };
+    for (const OpToken& op : kOps) {
+      if (TryConsume(op.text)) {
+        MULTILOG_ASSIGN_OR_RETURN(Term rhs, ParseTermInternal());
+        return Literal::Builtin(op.op, std::move(lhs), std::move(rhs));
+      }
+    }
+
+    // No operator: the term must be usable as an atom.
+    if (lhs.IsCompound()) {
+      return Literal::Positive(Atom(lhs.name(), lhs.args()));
+    }
+    if (lhs.IsSymbol()) {
+      return Literal::Positive(Atom(lhs.name(), {}));
+    }
+    return Error("expected a predicate literal or comparison");
+  }
+
+  Result<std::vector<Literal>> ParseBody() {
+    std::vector<Literal> body;
+    MULTILOG_ASSIGN_OR_RETURN(Literal first, ParseLiteral());
+    body.push_back(std::move(first));
+    while (TryConsume(",")) {
+      MULTILOG_ASSIGN_OR_RETURN(Literal next, ParseLiteral());
+      body.push_back(std::move(next));
+    }
+    return body;
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+Result<ParsedProgram> ParseDatalog(std::string_view source) {
+  return DatalogParser(source).ParseProgram();
+}
+
+Result<Term> ParseTerm(std::string_view source) {
+  return DatalogParser(source).ParseSingleTerm();
+}
+
+Result<std::vector<Literal>> ParseGoal(std::string_view source) {
+  return DatalogParser(source).ParseGoalList();
+}
+
+}  // namespace multilog::datalog

@@ -1,0 +1,45 @@
+#ifndef MULTILOG_DATALOG_PARSER_H_
+#define MULTILOG_DATALOG_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "datalog/program.h"
+
+namespace multilog::datalog {
+
+/// A parsed source file: the program plus any `?- goal.` queries it
+/// contained, in source order.
+struct ParsedProgram {
+  Program program;
+  std::vector<std::vector<Literal>> queries;
+};
+
+/// Parses Datalog source in the concrete syntax used by CORAL-era
+/// systems:
+///
+///   % line comment            // line comment
+///   edge(a, b).                          facts
+///   path(X, Y) :- edge(X, Y).            rules
+///   path(X, Y) :- edge(X, Z), path(Z, Y).
+///   safe(X) :- node(X), not bad(X).      stratified negation
+///   big(X)  :- val(X, N), N >= 10.       builtins: = != < <= > >=
+///   ?- path(a, X).                       queries
+///
+/// Lexical conventions: identifiers starting with a lower-case letter are
+/// symbols (constants/functors/predicates); identifiers starting with an
+/// upper-case letter or '_' are variables; 'quoted text' is a symbolic
+/// constant with arbitrary characters; integers are 64-bit.
+Result<ParsedProgram> ParseDatalog(std::string_view source);
+
+/// Parses a single term, e.g. "f(X, 42)".
+Result<Term> ParseTerm(std::string_view source);
+
+/// Parses a comma-separated literal list (a clause body / query goal).
+Result<std::vector<Literal>> ParseGoal(std::string_view source);
+
+}  // namespace multilog::datalog
+
+#endif  // MULTILOG_DATALOG_PARSER_H_

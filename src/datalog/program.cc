@@ -1,0 +1,56 @@
+#include "datalog/program.h"
+
+#include <algorithm>
+#include <set>
+
+namespace multilog::datalog {
+
+void Program::Append(const Program& other) {
+  clauses_.insert(clauses_.end(), other.clauses_.begin(),
+                  other.clauses_.end());
+}
+
+std::vector<std::string> Program::Predicates() const {
+  std::set<std::string> ids;
+  for (const Clause& c : clauses_) {
+    ids.insert(c.head().PredicateId());
+    for (const Literal& l : c.body()) {
+      if (!l.is_builtin()) ids.insert(l.atom().PredicateId());
+    }
+  }
+  return {ids.begin(), ids.end()};
+}
+
+std::vector<std::string> Program::DefinedPredicates() const {
+  std::set<std::string> ids;
+  for (const Clause& c : clauses_) ids.insert(c.head().PredicateId());
+  return {ids.begin(), ids.end()};
+}
+
+std::vector<const Clause*> Program::ClausesFor(
+    const std::string& predicate_id) const {
+  std::vector<const Clause*> out;
+  for (const Clause& c : clauses_) {
+    if (c.head().PredicateId() == predicate_id) out.push_back(&c);
+  }
+  return out;
+}
+
+Status Program::CheckSafety() const {
+  for (const Clause& c : clauses_) {
+    Status s = c.CheckSafety();
+    if (!s.ok()) return s.WithContext("in clause '" + c.ToString() + "'");
+  }
+  return Status::OK();
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const Clause& c : clauses_) {
+    out += c.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace multilog::datalog

@@ -1,0 +1,52 @@
+#ifndef MULTILOG_DATALOG_PROGRAM_H_
+#define MULTILOG_DATALOG_PROGRAM_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/clause.h"
+
+namespace multilog::datalog {
+
+/// A Datalog program: an ordered collection of clauses. Clause order has
+/// no semantic significance (the semantics is the stratified minimal
+/// model) but is preserved for printing and diagnostics.
+class Program {
+ public:
+  Program() = default;
+
+  void AddClause(Clause clause) { clauses_.push_back(std::move(clause)); }
+  void AddFact(Atom fact) { clauses_.push_back(Clause::Fact(std::move(fact))); }
+
+  /// Appends every clause of `other`.
+  void Append(const Program& other);
+
+  const std::vector<Clause>& clauses() const { return clauses_; }
+  size_t size() const { return clauses_.size(); }
+
+  /// All predicate ids ("p/2"), sorted; includes predicates that occur
+  /// only in bodies.
+  std::vector<std::string> Predicates() const;
+
+  /// Predicate ids defined by at least one clause head.
+  std::vector<std::string> DefinedPredicates() const;
+
+  /// Clauses whose head predicate id equals `predicate_id`, in program
+  /// order.
+  std::vector<const Clause*> ClausesFor(const std::string& predicate_id) const;
+
+  /// Checks every clause for range-restriction.
+  Status CheckSafety() const;
+
+  /// Full listing, one clause per line.
+  std::string ToString() const;
+
+ private:
+  std::vector<Clause> clauses_;
+};
+
+}  // namespace multilog::datalog
+
+#endif  // MULTILOG_DATALOG_PROGRAM_H_

@@ -1,0 +1,56 @@
+#include "datalog/stratify.h"
+
+#include <algorithm>
+
+namespace multilog::datalog {
+
+Result<Stratification> Stratify(const Program& program) {
+  Stratification out;
+  std::vector<std::string> predicates = program.Predicates();
+  for (const std::string& p : predicates) out.stratum_of[p] = 0;
+  if (predicates.empty()) {
+    return out;
+  }
+
+  // Relax until fixpoint:
+  //   stratum(head) >= stratum(q)      for positive body literal q,
+  //   stratum(head) >= stratum(q) + 1  for negative body literal q.
+  // If any stratum exceeds the number of predicates, there is a cycle
+  // containing a negative edge and the program is not stratifiable.
+  const size_t limit = predicates.size();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Clause& clause : program.clauses()) {
+      const std::string head_id = clause.head().PredicateId();
+      size_t& head_stratum = out.stratum_of[head_id];
+      for (const Literal& lit : clause.body()) {
+        if (lit.is_builtin()) continue;
+        const std::string body_id = lit.atom().PredicateId();
+        // Aggregation is non-monotone: like negation, the whole body of
+        // an aggregate clause must live in strictly lower strata.
+        const bool strict = lit.negated() || clause.is_aggregate();
+        size_t required = out.stratum_of[body_id] + (strict ? 1 : 0);
+        if (required > head_stratum) {
+          head_stratum = required;
+          changed = true;
+          if (head_stratum > limit) {
+            return Status::InvalidProgram(
+                "program is not stratifiable: predicate '" + head_id +
+                "' is involved in recursion through negation (via '" +
+                body_id + "')");
+          }
+        }
+      }
+    }
+  }
+
+  size_t max_stratum = 0;
+  for (const auto& [p, s] : out.stratum_of) max_stratum = std::max(max_stratum, s);
+  out.strata.assign(max_stratum + 1, {});
+  for (const auto& [p, s] : out.stratum_of) out.strata[s].push_back(p);
+  for (auto& stratum : out.strata) std::sort(stratum.begin(), stratum.end());
+  return out;
+}
+
+}  // namespace multilog::datalog

@@ -1,0 +1,35 @@
+#ifndef MULTILOG_DATALOG_STRATIFY_H_
+#define MULTILOG_DATALOG_STRATIFY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "datalog/program.h"
+
+namespace multilog::datalog {
+
+/// The result of stratifying a program: an assignment of each predicate
+/// to a stratum such that
+///  - a predicate depends positively only on predicates in the same or
+///    lower strata, and
+///  - depends negatively only on predicates in strictly lower strata.
+struct Stratification {
+  /// Stratum index (0-based) per predicate id ("p/2").
+  std::unordered_map<std::string, size_t> stratum_of;
+  /// Predicates per stratum, each list sorted.
+  std::vector<std::vector<std::string>> strata;
+
+  size_t num_strata() const { return strata.size(); }
+};
+
+/// Computes a stratification by iterated relaxation over the predicate
+/// dependency graph (Ullman's classic algorithm). Returns InvalidProgram
+/// when the program has recursion through negation (a negative edge
+/// inside a dependency cycle), naming an offending predicate.
+Result<Stratification> Stratify(const Program& program);
+
+}  // namespace multilog::datalog
+
+#endif  // MULTILOG_DATALOG_STRATIFY_H_

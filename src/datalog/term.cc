@@ -1,0 +1,143 @@
+#include "datalog/term.h"
+
+#include <functional>
+
+namespace multilog::datalog {
+
+namespace {
+const std::vector<Term> kNoArgs;
+
+size_t CombineHash(size_t seed, size_t value) {
+  // Boost-style mix.
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+}  // namespace
+
+Term Term::Var(std::string name) {
+  return Term(Kind::kVariable, std::move(name), 0);
+}
+
+Term Term::Sym(std::string name) {
+  return Term(Kind::kSymbol, std::move(name), 0);
+}
+
+Term Term::Int(int64_t value) { return Term(Kind::kInt, "", value); }
+
+Term Term::Fn(std::string functor, std::vector<Term> args) {
+  Term t(Kind::kCompound, std::move(functor), 0);
+  t.args_ = std::make_shared<const std::vector<Term>>(std::move(args));
+  return t;
+}
+
+const std::vector<Term>& Term::args() const {
+  if (args_) return *args_;
+  return kNoArgs;
+}
+
+bool Term::IsGround() const {
+  switch (kind_) {
+    case Kind::kVariable:
+      return false;
+    case Kind::kSymbol:
+    case Kind::kInt:
+      return true;
+    case Kind::kCompound:
+      for (const Term& a : args()) {
+        if (!a.IsGround()) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+void Term::CollectVariables(std::vector<std::string>* out) const {
+  switch (kind_) {
+    case Kind::kVariable:
+      out->push_back(name_);
+      return;
+    case Kind::kSymbol:
+    case Kind::kInt:
+      return;
+    case Kind::kCompound:
+      for (const Term& a : args()) a.CollectVariables(out);
+      return;
+  }
+}
+
+std::string Term::ToString() const {
+  switch (kind_) {
+    case Kind::kVariable:
+    case Kind::kSymbol:
+      return name_;
+    case Kind::kInt:
+      return std::to_string(int_value_);
+    case Kind::kCompound: {
+      std::string out = name_ + "(";
+      const auto& as = args();
+      for (size_t i = 0; i < as.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += as[i].ToString();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+bool Term::operator==(const Term& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kVariable:
+    case Kind::kSymbol:
+      return name_ == other.name_;
+    case Kind::kInt:
+      return int_value_ == other.int_value_;
+    case Kind::kCompound:
+      return name_ == other.name_ && args() == other.args();
+  }
+  return false;
+}
+
+bool Term::operator<(const Term& other) const {
+  if (kind_ != other.kind_) {
+    return static_cast<int>(kind_) < static_cast<int>(other.kind_);
+  }
+  switch (kind_) {
+    case Kind::kVariable:
+    case Kind::kSymbol:
+      return name_ < other.name_;
+    case Kind::kInt:
+      return int_value_ < other.int_value_;
+    case Kind::kCompound: {
+      if (name_ != other.name_) return name_ < other.name_;
+      const auto& a = args();
+      const auto& b = other.args();
+      if (a.size() != b.size()) return a.size() < b.size();
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != b[i]) return a[i] < b[i];
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+size_t Term::Hash() const {
+  size_t h = static_cast<size_t>(kind_);
+  switch (kind_) {
+    case Kind::kVariable:
+    case Kind::kSymbol:
+      return CombineHash(h, std::hash<std::string>()(name_));
+    case Kind::kInt:
+      return CombineHash(h, std::hash<int64_t>()(int_value_));
+    case Kind::kCompound: {
+      h = CombineHash(h, std::hash<std::string>()(name_));
+      for (const Term& a : args()) h = CombineHash(h, a.Hash());
+      return h;
+    }
+  }
+  return h;
+}
+
+}  // namespace multilog::datalog

@@ -1,0 +1,77 @@
+#ifndef MULTILOG_DATALOG_TERM_H_
+#define MULTILOG_DATALOG_TERM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace multilog::datalog {
+
+/// First-order terms over the signature F ∪ V of the paper's language L:
+/// variables, symbolic constants, integer constants, and compound
+/// (function) terms. Terms are immutable values; compound arguments are
+/// shared via copy-on-write vectors.
+class Term {
+ public:
+  enum class Kind { kVariable, kSymbol, kInt, kCompound };
+
+  /// Named variable, e.g. Var("X").
+  static Term Var(std::string name);
+  /// Symbolic constant, e.g. Sym("avenger").
+  static Term Sym(std::string name);
+  /// Integer constant.
+  static Term Int(int64_t value);
+  /// Function term f(t1,...,tn); n may be 0 (then prefer Sym).
+  static Term Fn(std::string functor, std::vector<Term> args);
+
+  Kind kind() const { return kind_; }
+  bool IsVariable() const { return kind_ == Kind::kVariable; }
+  bool IsSymbol() const { return kind_ == Kind::kSymbol; }
+  bool IsInt() const { return kind_ == Kind::kInt; }
+  bool IsCompound() const { return kind_ == Kind::kCompound; }
+  bool IsConstant() const {
+    return kind_ == Kind::kSymbol || kind_ == Kind::kInt;
+  }
+
+  /// Variable name, symbol text, or functor, depending on kind.
+  const std::string& name() const { return name_; }
+  int64_t int_value() const { return int_value_; }
+  const std::vector<Term>& args() const;
+
+  /// True when no variable occurs anywhere in the term.
+  bool IsGround() const;
+
+  /// Appends the names of all variables, in first-occurrence order,
+  /// possibly with duplicates.
+  void CollectVariables(std::vector<std::string>* out) const;
+
+  /// Prolog-ish rendering: X, avenger, 42, f(a, X).
+  std::string ToString() const;
+
+  bool operator==(const Term& other) const;
+  bool operator!=(const Term& other) const { return !(*this == other); }
+
+  /// Total order over terms (kind, then content); gives deterministic
+  /// output ordering everywhere.
+  bool operator<(const Term& other) const;
+
+  size_t Hash() const;
+
+ private:
+  Term(Kind kind, std::string name, int64_t int_value)
+      : kind_(kind), name_(std::move(name)), int_value_(int_value) {}
+
+  Kind kind_ = Kind::kSymbol;
+  std::string name_;
+  int64_t int_value_ = 0;
+  std::shared_ptr<const std::vector<Term>> args_;  // only for kCompound
+};
+
+struct TermHash {
+  size_t operator()(const Term& t) const { return t.Hash(); }
+};
+
+}  // namespace multilog::datalog
+
+#endif  // MULTILOG_DATALOG_TERM_H_

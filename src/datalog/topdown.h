@@ -1,0 +1,91 @@
+#ifndef MULTILOG_DATALOG_TOPDOWN_H_
+#define MULTILOG_DATALOG_TOPDOWN_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "datalog/model.h"
+#include "datalog/program.h"
+#include "datalog/stratify.h"
+#include "datalog/unify.h"
+
+namespace multilog::datalog {
+
+/// Options for the top-down engine.
+struct TopDownOptions {
+  /// Maximum outer fixpoint passes over the answer tables (each pass can
+  /// only grow the tables, so for function-free programs convergence is
+  /// guaranteed well before any sane bound).
+  size_t max_passes = 1024;
+  /// Hard cap on the total number of tabled answers.
+  size_t max_answers = 10'000'000;
+};
+
+/// Statistics from a Solve call.
+struct TopDownStats {
+  size_t passes = 0;
+  size_t calls = 0;           // SLD expansions attempted
+  size_t tabled_answers = 0;  // total answers across all call tables
+};
+
+/// A goal-directed, tabled SLD(NF) prover - the analogue of CORAL's
+/// pipelined evaluation mode. Unlike plain SLD it terminates on
+/// left-recursive programs: answers are memoized per call pattern, a call
+/// already on the resolution path consumes only previously tabled
+/// answers, and an outer fixpoint re-runs the query until the tables
+/// stop growing.
+///
+/// Negation is handled by complete evaluation of the (necessarily
+/// ground, necessarily lower-stratum) negated subgoal, so the program
+/// must be stratifiable - checked at construction.
+class TopDownEngine {
+ public:
+  /// Validates safety and stratifiability of `program` (call ok() after).
+  explicit TopDownEngine(Program program);
+
+  /// Construction-time validation status.
+  const Status& status() const { return status_; }
+
+  /// Solves a conjunctive goal. Returns answer substitutions restricted
+  /// to the goal's variables, deduplicated, deterministically ordered.
+  /// Tables persist across Solve calls (monotone growth).
+  Result<std::vector<Substitution>> Solve(const std::vector<Literal>& goal,
+                                          const TopDownOptions& options = {});
+
+  const TopDownStats& stats() const { return stats_; }
+
+ private:
+  /// Canonical key for a call pattern: predicate + args with variables
+  /// renamed to v0, v1, ... in order of first occurrence.
+  static std::string CallKey(const Atom& pattern);
+
+  size_t TotalTableSize() const;
+
+  Status SolveAtomOnce(const Atom& pattern, size_t depth,
+                       const TopDownOptions& options);
+
+  Status SolveBody(const std::vector<Literal>& body, size_t index,
+                   const Substitution& subst, size_t depth,
+                   const TopDownOptions& options,
+                   std::vector<Substitution>* out);
+
+  Program program_;
+  Status status_;
+  std::unordered_map<std::string, std::vector<const Clause*>> clauses_by_pred_;
+
+  struct AnswerTable {
+    std::vector<Atom> answers;
+    std::unordered_set<Atom, AtomHash> set;
+  };
+  std::unordered_map<std::string, AnswerTable> tables_;
+  std::unordered_set<std::string> active_;
+  int rename_counter_ = 0;
+  TopDownStats stats_;
+};
+
+}  // namespace multilog::datalog
+
+#endif  // MULTILOG_DATALOG_TOPDOWN_H_

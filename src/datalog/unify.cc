@@ -1,0 +1,160 @@
+#include "datalog/unify.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace multilog::datalog {
+
+void Substitution::Bind(const std::string& var, Term term) {
+  assert(!Contains(var));
+  bindings_.emplace(var, std::move(term));
+}
+
+Term Substitution::Walk(const Term& t) const {
+  Term cur = t;
+  while (cur.IsVariable()) {
+    auto it = bindings_.find(cur.name());
+    if (it == bindings_.end()) return cur;
+    cur = it->second;
+  }
+  return cur;
+}
+
+Term Substitution::Apply(const Term& t) const {
+  Term walked = Walk(t);
+  if (walked.IsCompound()) {
+    std::vector<Term> args;
+    args.reserve(walked.args().size());
+    for (const Term& a : walked.args()) args.push_back(Apply(a));
+    return Term::Fn(walked.name(), std::move(args));
+  }
+  return walked;
+}
+
+Atom Substitution::Apply(const Atom& a) const {
+  std::vector<Term> args;
+  args.reserve(a.args().size());
+  for (const Term& t : a.args()) args.push_back(Apply(t));
+  return Atom(a.predicate(), std::move(args));
+}
+
+Literal Substitution::Apply(const Literal& l) const {
+  if (l.is_builtin()) {
+    return Literal::Builtin(l.comparison(), Apply(l.lhs()), Apply(l.rhs()));
+  }
+  if (l.negated()) return Literal::Negative(Apply(l.atom()));
+  return Literal::Positive(Apply(l.atom()));
+}
+
+std::string Substitution::ToString() const {
+  std::map<std::string, Term> sorted(bindings_.begin(), bindings_.end());
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [var, term] : sorted) {
+    if (!first) out += ", ";
+    first = false;
+    out += var + "=" + Apply(term).ToString();
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+bool OccursIn(const std::string& var, const Term& t,
+              const Substitution& subst) {
+  Term walked = subst.Walk(t);
+  if (walked.IsVariable()) return walked.name() == var;
+  if (walked.IsCompound()) {
+    for (const Term& a : walked.args()) {
+      if (OccursIn(var, a, subst)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool UnifyTerms(const Term& a, const Term& b, Substitution* subst) {
+  Term x = subst->Walk(a);
+  Term y = subst->Walk(b);
+
+  if (x.IsVariable()) {
+    if (y.IsVariable() && y.name() == x.name()) return true;
+    if (OccursIn(x.name(), y, *subst)) return false;
+    subst->Bind(x.name(), y);
+    return true;
+  }
+  if (y.IsVariable()) {
+    if (OccursIn(y.name(), x, *subst)) return false;
+    subst->Bind(y.name(), x);
+    return true;
+  }
+  if (x.kind() != y.kind()) return false;
+  switch (x.kind()) {
+    case Term::Kind::kSymbol:
+      return x.name() == y.name();
+    case Term::Kind::kInt:
+      return x.int_value() == y.int_value();
+    case Term::Kind::kCompound: {
+      if (x.name() != y.name() || x.args().size() != y.args().size()) {
+        return false;
+      }
+      for (size_t i = 0; i < x.args().size(); ++i) {
+        if (!UnifyTerms(x.args()[i], y.args()[i], subst)) return false;
+      }
+      return true;
+    }
+    case Term::Kind::kVariable:
+      break;  // unreachable: handled above
+  }
+  return false;
+}
+
+std::optional<Substitution> UnifyAtoms(const Atom& a, const Atom& b,
+                                       const Substitution& base) {
+  if (a.predicate() != b.predicate() || a.arity() != b.arity()) {
+    return std::nullopt;
+  }
+  Substitution subst = base;
+  for (size_t i = 0; i < a.arity(); ++i) {
+    if (!UnifyTerms(a.args()[i], b.args()[i], &subst)) return std::nullopt;
+  }
+  return subst;
+}
+
+Term RenameTerm(const Term& t, int suffix) {
+  switch (t.kind()) {
+    case Term::Kind::kVariable:
+      return Term::Var(t.name() + "#" + std::to_string(suffix));
+    case Term::Kind::kSymbol:
+    case Term::Kind::kInt:
+      return t;
+    case Term::Kind::kCompound: {
+      std::vector<Term> args;
+      args.reserve(t.args().size());
+      for (const Term& a : t.args()) args.push_back(RenameTerm(a, suffix));
+      return Term::Fn(t.name(), std::move(args));
+    }
+  }
+  return t;
+}
+
+Atom RenameAtom(const Atom& a, int suffix) {
+  std::vector<Term> args;
+  args.reserve(a.args().size());
+  for (const Term& t : a.args()) args.push_back(RenameTerm(t, suffix));
+  return Atom(a.predicate(), std::move(args));
+}
+
+Literal RenameLiteral(const Literal& l, int suffix) {
+  if (l.is_builtin()) {
+    return Literal::Builtin(l.comparison(), RenameTerm(l.lhs(), suffix),
+                            RenameTerm(l.rhs(), suffix));
+  }
+  if (l.negated()) return Literal::Negative(RenameAtom(l.atom(), suffix));
+  return Literal::Positive(RenameAtom(l.atom(), suffix));
+}
+
+}  // namespace multilog::datalog

@@ -1,0 +1,68 @@
+#ifndef MULTILOG_DATALOG_UNIFY_H_
+#define MULTILOG_DATALOG_UNIFY_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "datalog/atom.h"
+#include "datalog/term.h"
+
+namespace multilog::datalog {
+
+/// A substitution: a finite map from variable names to terms. Bindings
+/// may chain (X -> Y, Y -> a); Resolve/Apply follow chains.
+class Substitution {
+ public:
+  Substitution() = default;
+
+  bool Contains(const std::string& var) const {
+    return bindings_.count(var) > 0;
+  }
+
+  /// Adds var -> term. Precondition: var is unbound.
+  void Bind(const std::string& var, Term term);
+
+  /// Follows variable chains from `t` until a non-variable or unbound
+  /// variable is reached. Does not descend into compound args.
+  Term Walk(const Term& t) const;
+
+  /// Fully applies the substitution, descending into compound terms.
+  Term Apply(const Term& t) const;
+  Atom Apply(const Atom& a) const;
+  Literal Apply(const Literal& l) const;
+
+  size_t size() const { return bindings_.size(); }
+  bool empty() const { return bindings_.empty(); }
+  const std::unordered_map<std::string, Term>& bindings() const {
+    return bindings_;
+  }
+
+  /// "{X=a, Y=f(b)}" with keys sorted; "{}" when empty.
+  std::string ToString() const;
+
+ private:
+  std::unordered_map<std::string, Term> bindings_;
+};
+
+/// Unifies `a` and `b` under `subst`, extending it in place on success.
+/// Performs the occurs check (needed because compound terms are allowed).
+/// On failure `subst` may hold partial bindings; callers that need
+/// backtracking should copy first (see UnifyAtoms).
+bool UnifyTerms(const Term& a, const Term& b, Substitution* subst);
+
+/// Unifies two atoms (same predicate and arity, then argument-wise).
+/// Returns the extended substitution, or nullopt. `base` is not modified.
+std::optional<Substitution> UnifyAtoms(const Atom& a, const Atom& b,
+                                       const Substitution& base);
+
+/// Returns a copy of the clause with every variable X renamed to
+/// "X#<suffix>", making it variable-disjoint from any other renaming.
+class Clause;
+Atom RenameAtom(const Atom& a, int suffix);
+Term RenameTerm(const Term& t, int suffix);
+Literal RenameLiteral(const Literal& l, int suffix);
+
+}  // namespace multilog::datalog
+
+#endif  // MULTILOG_DATALOG_UNIFY_H_

@@ -1,0 +1,333 @@
+#include "lattice/lattice.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace multilog::lattice {
+
+SecurityLattice::Builder& SecurityLattice::Builder::AddLevel(
+    const std::string& name) {
+  if (index_.emplace(name, levels_.size()).second) {
+    levels_.push_back(name);
+  }
+  return *this;
+}
+
+SecurityLattice::Builder& SecurityLattice::Builder::AddOrder(
+    const std::string& low, const std::string& high) {
+  pending_edges_.emplace_back(low, high);
+  return *this;
+}
+
+Result<SecurityLattice> SecurityLattice::Builder::Build() const {
+  SecurityLattice lat;
+  lat.names_ = levels_;
+  lat.index_ = index_;
+
+  const size_t n = levels_.size();
+  lat.leq_.assign(n, std::vector<bool>(n, false));
+  for (size_t i = 0; i < n; ++i) lat.leq_[i][i] = true;
+
+  for (const auto& [low, high] : pending_edges_) {
+    auto lo = lat.index_.find(low);
+    auto hi = lat.index_.find(high);
+    if (lo == lat.index_.end()) {
+      return Status::InvalidProgram("order(" + low + ", " + high +
+                                    ") references undeclared level '" + low +
+                                    "'");
+    }
+    if (hi == lat.index_.end()) {
+      return Status::InvalidProgram("order(" + low + ", " + high +
+                                    ") references undeclared level '" + high +
+                                    "'");
+    }
+    if (lo->second == hi->second) {
+      return Status::InvalidProgram("order(" + low + ", " + high +
+                                    ") is a self-loop");
+    }
+    lat.leq_[lo->second][hi->second] = true;
+    lat.covers_.emplace_back(low, high);
+  }
+
+  // Reflexive-transitive closure (Warshall).
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!lat.leq_[i][k]) continue;
+      for (size_t j = 0; j < n; ++j) {
+        if (lat.leq_[k][j]) lat.leq_[i][j] = true;
+      }
+    }
+  }
+
+  // Antisymmetry: a <= b and b <= a implies a == b; otherwise the order
+  // graph has a cycle and Lambda does not denote a partial order
+  // (Definition 5.3's third condition).
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (lat.leq_[i][j] && lat.leq_[j][i]) {
+        return Status::InvalidProgram(
+            "order declarations create a cycle through levels '" +
+            levels_[i] + "' and '" + levels_[j] +
+            "'; security levels must form a partial order");
+      }
+    }
+  }
+
+  return lat;
+}
+
+SecurityLattice SecurityLattice::Chain(
+    const std::vector<std::string>& low_to_high) {
+  Builder b;
+  for (const auto& name : low_to_high) b.AddLevel(name);
+  for (size_t i = 0; i + 1 < low_to_high.size(); ++i) {
+    b.AddOrder(low_to_high[i], low_to_high[i + 1]);
+  }
+  Result<SecurityLattice> r = b.Build();
+  // A chain over distinct names cannot fail validation; duplicates are
+  // merged by AddLevel, which may make an edge a self-loop - treat that
+  // as a programming error.
+  return std::move(r).value();
+}
+
+SecurityLattice SecurityLattice::Military() {
+  return Chain({"u", "c", "s", "t"});
+}
+
+namespace {
+
+std::string SubsetName(const std::vector<std::string>& sorted_categories,
+                       unsigned mask) {
+  std::vector<std::string> members;
+  for (size_t i = 0; i < sorted_categories.size(); ++i) {
+    if (mask & (1u << i)) members.push_back(sorted_categories[i]);
+  }
+  return "{" + Join(members, ",") + "}";
+}
+
+}  // namespace
+
+SecurityLattice SecurityLattice::Powerset(
+    const std::vector<std::string>& categories) {
+  std::vector<std::string> sorted = categories;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  const unsigned count = 1u << sorted.size();
+  Builder b;
+  for (unsigned mask = 0; mask < count; ++mask) {
+    b.AddLevel(SubsetName(sorted, mask));
+  }
+  // Cover edges: add one element.
+  for (unsigned mask = 0; mask < count; ++mask) {
+    for (size_t i = 0; i < sorted.size(); ++i) {
+      if (!(mask & (1u << i))) {
+        b.AddOrder(SubsetName(sorted, mask),
+                   SubsetName(sorted, mask | (1u << i)));
+      }
+    }
+  }
+  return std::move(b.Build()).value();
+}
+
+SecurityLattice SecurityLattice::Product(const SecurityLattice& a,
+                                         const SecurityLattice& b) {
+  Builder builder;
+  auto name = [&](size_t i, size_t j) {
+    return a.Name(i) + "." + b.Name(j);
+  };
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < b.size(); ++j) {
+      builder.AddLevel(name(i, j));
+    }
+  }
+  // Cover edges of a product: step along one component's cover edge while
+  // holding the other fixed.
+  for (const auto& [lo, hi] : a.CoverEdges()) {
+    size_t li = a.Index(lo).value();
+    size_t hi_i = a.Index(hi).value();
+    for (size_t j = 0; j < b.size(); ++j) {
+      builder.AddOrder(name(li, j), name(hi_i, j));
+    }
+  }
+  for (const auto& [lo, hi] : b.CoverEdges()) {
+    size_t lj = b.Index(lo).value();
+    size_t hj = b.Index(hi).value();
+    for (size_t i = 0; i < a.size(); ++i) {
+      builder.AddOrder(name(i, lj), name(i, hj));
+    }
+  }
+  return std::move(builder.Build()).value();
+}
+
+Result<size_t> SecurityLattice::Index(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("unknown security level '" + name + "'");
+  }
+  return it->second;
+}
+
+Result<bool> SecurityLattice::Leq(const std::string& a,
+                                  const std::string& b) const {
+  MULTILOG_ASSIGN_OR_RETURN(size_t ia, Index(a));
+  MULTILOG_ASSIGN_OR_RETURN(size_t ib, Index(b));
+  return leq_[ia][ib];
+}
+
+Result<bool> SecurityLattice::Lt(const std::string& a,
+                                 const std::string& b) const {
+  MULTILOG_ASSIGN_OR_RETURN(size_t ia, Index(a));
+  MULTILOG_ASSIGN_OR_RETURN(size_t ib, Index(b));
+  return LtIndex(ia, ib);
+}
+
+Result<bool> SecurityLattice::Comparable(const std::string& a,
+                                         const std::string& b) const {
+  MULTILOG_ASSIGN_OR_RETURN(size_t ia, Index(a));
+  MULTILOG_ASSIGN_OR_RETURN(size_t ib, Index(b));
+  return leq_[ia][ib] || leq_[ib][ia];
+}
+
+Result<std::optional<std::string>> SecurityLattice::Lub(
+    const std::string& a, const std::string& b) const {
+  MULTILOG_ASSIGN_OR_RETURN(size_t ia, Index(a));
+  MULTILOG_ASSIGN_OR_RETURN(size_t ib, Index(b));
+
+  std::vector<size_t> uppers;
+  for (size_t k = 0; k < size(); ++k) {
+    if (leq_[ia][k] && leq_[ib][k]) uppers.push_back(k);
+  }
+  for (size_t k : uppers) {
+    bool least = true;
+    for (size_t other : uppers) {
+      if (!leq_[k][other]) {
+        least = false;
+        break;
+      }
+    }
+    if (least) return std::optional<std::string>(names_[k]);
+  }
+  return std::optional<std::string>();
+}
+
+Result<std::optional<std::string>> SecurityLattice::LubOfSet(
+    const std::vector<std::string>& names) const {
+  if (names.empty()) {
+    return Status::InvalidArgument("LubOfSet requires a non-empty set");
+  }
+  std::string acc = names[0];
+  MULTILOG_RETURN_IF_ERROR(Index(acc).status());
+  for (size_t i = 1; i < names.size(); ++i) {
+    MULTILOG_ASSIGN_OR_RETURN(std::optional<std::string> step,
+                              Lub(acc, names[i]));
+    if (!step.has_value()) return std::optional<std::string>();
+    acc = *step;
+  }
+  return std::optional<std::string>(acc);
+}
+
+Result<std::optional<std::string>> SecurityLattice::Glb(
+    const std::string& a, const std::string& b) const {
+  MULTILOG_ASSIGN_OR_RETURN(size_t ia, Index(a));
+  MULTILOG_ASSIGN_OR_RETURN(size_t ib, Index(b));
+
+  std::vector<size_t> lowers;
+  for (size_t k = 0; k < size(); ++k) {
+    if (leq_[k][ia] && leq_[k][ib]) lowers.push_back(k);
+  }
+  for (size_t k : lowers) {
+    bool greatest = true;
+    for (size_t other : lowers) {
+      if (!leq_[other][k]) {
+        greatest = false;
+        break;
+      }
+    }
+    if (greatest) return std::optional<std::string>(names_[k]);
+  }
+  return std::optional<std::string>();
+}
+
+std::vector<std::string> SecurityLattice::MinimalElements() const {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < size(); ++i) {
+    bool minimal = true;
+    for (size_t j = 0; j < size(); ++j) {
+      if (LtIndex(j, i)) {
+        minimal = false;
+        break;
+      }
+    }
+    if (minimal) out.push_back(names_[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> SecurityLattice::MaximalElements() const {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < size(); ++i) {
+    bool maximal = true;
+    for (size_t j = 0; j < size(); ++j) {
+      if (LtIndex(i, j)) {
+        maximal = false;
+        break;
+      }
+    }
+    if (maximal) out.push_back(names_[i]);
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> SecurityLattice::DownSet(
+    const std::string& bound) const {
+  MULTILOG_ASSIGN_OR_RETURN(size_t ib, Index(bound));
+  std::vector<std::string> out;
+  for (size_t i = 0; i < size(); ++i) {
+    if (leq_[i][ib]) out.push_back(names_[i]);
+  }
+  return out;
+}
+
+bool SecurityLattice::IsTotalOrder() const {
+  for (size_t i = 0; i < size(); ++i) {
+    for (size_t j = i + 1; j < size(); ++j) {
+      if (!leq_[i][j] && !leq_[j][i]) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> SecurityLattice::TopologicalOrder() const {
+  // Counting sort on the size of each element's strict down-set gives a
+  // valid topological order for a finite poset.
+  std::vector<std::pair<size_t, size_t>> keyed;  // (downset size, index)
+  keyed.reserve(size());
+  for (size_t i = 0; i < size(); ++i) {
+    size_t below = 0;
+    for (size_t j = 0; j < size(); ++j) {
+      if (LtIndex(j, i)) ++below;
+    }
+    keyed.emplace_back(below, i);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<std::string> out;
+  out.reserve(size());
+  for (const auto& [unused, i] : keyed) out.push_back(names_[i]);
+  return out;
+}
+
+std::string SecurityLattice::ToDot() const {
+  std::string out = "digraph lattice {\n  rankdir=BT;\n  node [shape=box];\n";
+  for (const std::string& name : names_) {
+    out += "  \"" + name + "\";\n";
+  }
+  for (const auto& [low, high] : covers_) {
+    out += "  \"" + low + "\" -> \"" + high + "\";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace multilog::lattice

@@ -1,0 +1,141 @@
+#ifndef MULTILOG_LATTICE_LATTICE_H_
+#define MULTILOG_LATTICE_LATTICE_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace multilog::lattice {
+
+/// A finite partially ordered set of security levels (access classes),
+/// exactly the structure MultiLog's Λ component denotes: `level(l)` facts
+/// declare elements and `order(l, h)` facts declare cover edges (l is
+/// immediately below h). Definition 5.3 of the paper requires Λ's meaning
+/// to be a partial order; SecurityLattice::Builder::Build enforces that
+/// (no cycles through order edges, all edge endpoints declared).
+///
+/// Despite the name — kept from the paper, which says "access classes are
+/// partially ordered in a lattice" — unique least upper bounds are NOT
+/// required to exist; Lub/Glb report absence or ambiguity, and the belief
+/// machinery copes with incomparable levels (the paper's "multiple models
+/// and associated unpredictability" remark in Section 3.1).
+class SecurityLattice {
+ public:
+  /// Incrementally collects level() and order() declarations.
+  class Builder {
+   public:
+    /// Declares a level. Duplicate declarations are idempotent.
+    Builder& AddLevel(const std::string& name);
+
+    /// Declares that `low` is immediately below `high` (an h-atom
+    /// `order(low, high)`). Endpoints must also be declared as levels by
+    /// the time Build() runs.
+    Builder& AddOrder(const std::string& low, const std::string& high);
+
+    /// Validates and produces the lattice:
+    ///   - every order() endpoint was declared via AddLevel,
+    ///   - the reflexive-transitive closure of order() is antisymmetric
+    ///     (i.e. the order graph is acyclic).
+    Result<SecurityLattice> Build() const;
+
+   private:
+    std::vector<std::string> levels_;
+    std::unordered_map<std::string, size_t> index_;
+    std::vector<std::pair<size_t, size_t>> edges_;  // (low, high)
+    std::vector<std::pair<std::string, std::string>> pending_edges_;
+  };
+
+  SecurityLattice() = default;
+
+  /// Convenience factory: a total order low-to-high, e.g.
+  /// Chain({"u","c","s","t"}) is the paper's U < C < S < T hierarchy.
+  static SecurityLattice Chain(const std::vector<std::string>& low_to_high);
+
+  /// The paper's four-level military hierarchy: u < c < s < t
+  /// (Unclassified < Classified < Secret < Top Secret).
+  static SecurityLattice Military();
+
+  /// The powerset of `categories` ordered by inclusion; element names are
+  /// "{}", "{a}", "{a,b}", ... with categories sorted. This is the
+  /// category component of a Bell-LaPadula access class.
+  static SecurityLattice Powerset(const std::vector<std::string>& categories);
+
+  /// Product order of two lattices; element names are "a.b". This builds
+  /// full Bell-LaPadula access classes as hierarchy x category-set, where
+  /// (h1,c1) <= (h2,c2) iff h1 <= h2 and c1 <= c2.
+  static SecurityLattice Product(const SecurityLattice& a,
+                                 const SecurityLattice& b);
+
+  size_t size() const { return names_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+
+  bool Contains(const std::string& name) const {
+    return index_.count(name) > 0;
+  }
+
+  /// Index of a declared level; NotFound otherwise.
+  Result<size_t> Index(const std::string& name) const;
+  const std::string& Name(size_t i) const { return names_[i]; }
+
+  /// a <= b (b dominates a). Both must be declared (checked).
+  Result<bool> Leq(const std::string& a, const std::string& b) const;
+  /// a < b.
+  Result<bool> Lt(const std::string& a, const std::string& b) const;
+  /// a <= b or b <= a.
+  Result<bool> Comparable(const std::string& a, const std::string& b) const;
+
+  /// Index-based fast paths; indices must come from Index()/size().
+  bool LeqIndex(size_t a, size_t b) const { return leq_[a][b]; }
+  bool LtIndex(size_t a, size_t b) const { return a != b && leq_[a][b]; }
+
+  /// Least upper bound, if a unique one exists: the minimum of the common
+  /// upper bounds. nullopt when there is no upper bound or no least one.
+  Result<std::optional<std::string>> Lub(const std::string& a,
+                                         const std::string& b) const;
+
+  /// Lub folded over a non-empty set; nullopt if undefined at any step.
+  Result<std::optional<std::string>> LubOfSet(
+      const std::vector<std::string>& names) const;
+
+  /// Greatest lower bound, dually to Lub.
+  Result<std::optional<std::string>> Glb(const std::string& a,
+                                         const std::string& b) const;
+
+  /// Levels with nothing strictly below / above them.
+  std::vector<std::string> MinimalElements() const;
+  std::vector<std::string> MaximalElements() const;
+
+  /// All levels l with l <= bound (the clearance-visible sub-order).
+  Result<std::vector<std::string>> DownSet(const std::string& bound) const;
+
+  /// True when every pair of levels is comparable.
+  bool IsTotalOrder() const;
+
+  /// The declared cover edges (low, high), i.e. the h-atoms.
+  const std::vector<std::pair<std::string, std::string>>& CoverEdges() const {
+    return covers_;
+  }
+
+  /// Level names in a topological order (lower levels first).
+  std::vector<std::string> TopologicalOrder() const;
+
+  /// Renders the Hasse diagram as a Graphviz digraph (edges point from
+  /// lower to higher levels); pipe through `dot -Tsvg` to visualize.
+  std::string ToDot() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, size_t> index_;
+  std::vector<std::vector<bool>> leq_;  // leq_[a][b] <=> a <= b
+  std::vector<std::pair<std::string, std::string>> covers_;
+};
+
+}  // namespace multilog::lattice
+
+#endif  // MULTILOG_LATTICE_LATTICE_H_

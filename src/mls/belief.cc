@@ -1,0 +1,281 @@
+#include "mls/belief.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/str_util.h"
+
+namespace multilog::mls {
+
+Result<BeliefMode> ParseBeliefMode(const std::string& name) {
+  std::string n = ToLower(name);
+  if (n == "fir" || n == "firm" || n == "firmly") return BeliefMode::kFirm;
+  if (n == "opt" || n == "optimistic" || n == "optimistically") {
+    return BeliefMode::kOptimistic;
+  }
+  if (n == "cau" || n == "cautious" || n == "cautiously") {
+    return BeliefMode::kCautious;
+  }
+  return Status::NotFound("unknown belief mode '" + name + "'");
+}
+
+const char* BeliefModeToString(BeliefMode mode) {
+  switch (mode) {
+    case BeliefMode::kFirm:
+      return "fir";
+    case BeliefMode::kOptimistic:
+      return "opt";
+    case BeliefMode::kCautious:
+      return "cau";
+  }
+  return "?";
+}
+
+namespace {
+
+Result<BeliefOutcome> BelieveFirm(const Relation& relation,
+                                  const std::string& level) {
+  BeliefOutcome out{Relation(relation.scheme(), &relation.lat()), false};
+  for (const Tuple& t : relation.tuples()) {
+    if (t.tc == level) {
+      MULTILOG_RETURN_IF_ERROR(out.relation.AppendDerived(t));
+    }
+  }
+  return out;
+}
+
+Result<BeliefOutcome> BelieveOptimistic(const Relation& relation,
+                                        const std::string& level) {
+  const lattice::SecurityLattice& lat = relation.lat();
+  std::vector<Tuple> believed;
+  for (const Tuple& t : relation.tuples()) {
+    MULTILOG_ASSIGN_OR_RETURN(bool visible, lat.Leq(t.tc, level));
+    if (!visible) continue;
+    Tuple copy = t;
+    copy.tc = level;  // the believer adopts the data at its own level
+    believed.push_back(std::move(copy));
+  }
+  std::sort(believed.begin(), believed.end());
+  believed.erase(std::unique(believed.begin(), believed.end()),
+                 believed.end());
+
+  BeliefOutcome out{Relation(relation.scheme(), &relation.lat()), false};
+  for (Tuple& t : believed) {
+    MULTILOG_RETURN_IF_ERROR(out.relation.AppendDerived(std::move(t)));
+  }
+  return out;
+}
+
+/// Keeps the classification-maximal cells of `candidates` (no candidate
+/// strictly dominates them); deduplicated and sorted.
+Result<std::vector<Cell>> MaximalCells(const lattice::SecurityLattice& lat,
+                                       std::vector<Cell> candidates) {
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  std::vector<Cell> maximal;
+  for (const Cell& c : candidates) {
+    bool dominated = false;
+    for (const Cell& other : candidates) {
+      MULTILOG_ASSIGN_OR_RETURN(
+          bool lt, lat.Lt(c.classification, other.classification));
+      if (lt) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) maximal.push_back(c);
+  }
+  return maximal;
+}
+
+Result<BeliefOutcome> BelieveCautious(const Relation& relation,
+                                      const std::string& level,
+                                      const BeliefOptions& options) {
+  const lattice::SecurityLattice& lat = relation.lat();
+  const size_t arity = relation.scheme().arity();
+  const size_t key_arity = relation.scheme().key_arity();
+
+  // Visible tuples, grouped by (possibly composite) key value.
+  std::vector<const Tuple*> visible;
+  for (const Tuple& t : relation.tuples()) {
+    MULTILOG_ASSIGN_OR_RETURN(bool sees, lat.Leq(t.tc, level));
+    if (sees) visible.push_back(&t);
+  }
+
+  std::vector<std::vector<Value>> key_values;
+  for (const Tuple* t : visible) key_values.push_back(relation.KeyOf(*t));
+  std::sort(key_values.begin(), key_values.end());
+  key_values.erase(std::unique(key_values.begin(), key_values.end()),
+                   key_values.end());
+
+  bool conflict = false;
+  std::vector<Tuple> believed;
+  for (const std::vector<Value>& key : key_values) {
+    std::vector<const Tuple*> group;
+    for (const Tuple* t : visible) {
+      if (relation.KeyMatches(*t, key)) group.push_back(t);
+    }
+
+    // Key versions: every distinct visible (AK, C_AK) prefix (Definition
+    // 3.1's "exists u"; with a composite key the prefix is the first
+    // key_arity cells, uniformly classified), or - with
+    // merge_key_versions - only the classification-maximal ones (the
+    // Section 3.1 overriding story).
+    std::vector<std::vector<Cell>> key_versions;
+    for (const Tuple* t : group) {
+      key_versions.emplace_back(t->cells.begin(),
+                                t->cells.begin() + key_arity);
+    }
+    std::sort(key_versions.begin(), key_versions.end());
+    key_versions.erase(
+        std::unique(key_versions.begin(), key_versions.end()),
+        key_versions.end());
+    if (options.merge_key_versions) {
+      // Keep versions whose (uniform) classification is maximal.
+      std::vector<std::vector<Cell>> maximal;
+      for (const std::vector<Cell>& v : key_versions) {
+        bool dominated = false;
+        for (const std::vector<Cell>& other : key_versions) {
+          MULTILOG_ASSIGN_OR_RETURN(
+              bool lt, lat.Lt(v.front().classification,
+                              other.front().classification));
+          if (lt) {
+            dominated = true;
+            break;
+          }
+        }
+        if (!dominated) maximal.push_back(v);
+      }
+      key_versions = std::move(maximal);
+    }
+
+    // Per non-key attribute: the classification-maximal candidate cells,
+    // pooled across every visible version of the entity.
+    std::vector<std::vector<Cell>> attr_choices(arity);
+    for (size_t i = key_arity; i < arity; ++i) {
+      std::vector<Cell> candidates;
+      for (const Tuple* t : group) candidates.push_back(t->cells[i]);
+      MULTILOG_ASSIGN_OR_RETURN(attr_choices[i],
+                                MaximalCells(lat, std::move(candidates)));
+      if (attr_choices[i].size() > 1) conflict = true;
+    }
+    if (key_versions.size() > 1 && options.merge_key_versions) {
+      conflict = true;
+    }
+
+    // Cartesian assembly of one believed tuple per combination.
+    for (const std::vector<Cell>& key_cells : key_versions) {
+      std::vector<Tuple> partial(1);
+      partial[0].cells = key_cells;
+      for (size_t i = key_arity; i < arity; ++i) {
+        std::vector<Tuple> next;
+        for (const Tuple& p : partial) {
+          for (const Cell& choice : attr_choices[i]) {
+            Tuple extended = p;
+            extended.cells.push_back(choice);
+            next.push_back(std::move(extended));
+          }
+        }
+        partial = std::move(next);
+      }
+      for (Tuple& t : partial) {
+        t.tc = level;
+        believed.push_back(std::move(t));
+      }
+    }
+  }
+
+  std::sort(believed.begin(), believed.end());
+  believed.erase(std::unique(believed.begin(), believed.end()),
+                 believed.end());
+
+  // The assembled tuples may violate per-tuple entity integrity when a
+  // maximal cell's class does not dominate the chosen key class (possible
+  // across polyinstantiated key versions); such combinations are not
+  // representable and are dropped, mirroring the paper's observation
+  // that cautious views under partial orders may lose predictability.
+  BeliefOutcome out{Relation(relation.scheme(), &relation.lat()), conflict};
+  for (Tuple& t : believed) {
+    bool representable = true;
+    for (size_t i = key_arity; i < t.cells.size(); ++i) {
+      MULTILOG_ASSIGN_OR_RETURN(
+          bool dominates, lat.Leq(t.key_cell().classification,
+                                  t.cells[i].classification));
+      if (!dominates) {
+        representable = false;
+        break;
+      }
+    }
+    if (!representable) {
+      out.conflict = true;
+      continue;
+    }
+    MULTILOG_RETURN_IF_ERROR(out.relation.AppendDerived(std::move(t)));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<BeliefOutcome> Believe(const Relation& relation,
+                              const std::string& level, BeliefMode mode,
+                              const BeliefOptions& options) {
+  MULTILOG_RETURN_IF_ERROR(relation.lat().Index(level).status());
+  switch (mode) {
+    case BeliefMode::kFirm:
+      return BelieveFirm(relation, level);
+    case BeliefMode::kOptimistic:
+      return BelieveOptimistic(relation, level);
+    case BeliefMode::kCautious:
+      return BelieveCautious(relation, level, options);
+  }
+  return Status::Internal("unreachable belief mode");
+}
+
+Status BeliefModeRegistry::Register(const std::string& name,
+                                    UserBeliefFn fn) {
+  if (ParseBeliefMode(name).ok()) {
+    return Status::InvalidArgument("cannot override built-in belief mode '" +
+                                   name + "'");
+  }
+  if (user_modes_.count(name)) {
+    return Status::InvalidArgument("belief mode '" + name +
+                                   "' already registered");
+  }
+  user_modes_.emplace(name, std::move(fn));
+  return Status::OK();
+}
+
+bool BeliefModeRegistry::Has(const std::string& name) const {
+  return ParseBeliefMode(name).ok() || user_modes_.count(name) > 0;
+}
+
+Result<BeliefOutcome> BeliefModeRegistry::Believe(
+    const Relation& relation, const std::string& level,
+    const std::string& mode_name, const BeliefOptions& options) const {
+  Result<BeliefMode> builtin = ParseBeliefMode(mode_name);
+  if (builtin.ok()) {
+    return mls::Believe(relation, level, builtin.value(), options);
+  }
+  auto it = user_modes_.find(mode_name);
+  if (it == user_modes_.end()) {
+    return Status::NotFound("unknown belief mode '" + mode_name + "'");
+  }
+  MULTILOG_ASSIGN_OR_RETURN(std::vector<Tuple> tuples,
+                            it->second(relation, level));
+  BeliefOutcome out{Relation(relation.scheme(), &relation.lat()), false};
+  for (Tuple& t : tuples) {
+    MULTILOG_RETURN_IF_ERROR(out.relation.AppendDerived(std::move(t)));
+  }
+  return out;
+}
+
+std::vector<std::string> BeliefModeRegistry::ModeNames() const {
+  std::vector<std::string> names = {"cau", "fir", "opt"};
+  for (const auto& [name, fn] : user_modes_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace multilog::mls

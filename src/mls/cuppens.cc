@@ -1,0 +1,67 @@
+#include "mls/cuppens.h"
+
+namespace multilog::mls {
+
+Result<std::vector<Tuple>> AdditiveView(const Relation& relation,
+                                        const std::string& level) {
+  MULTILOG_ASSIGN_OR_RETURN(BeliefOutcome out,
+                            Believe(relation, level,
+                                    BeliefMode::kOptimistic));
+  return out.relation.tuples();
+}
+
+Result<std::vector<Tuple>> TrustedView(const Relation& relation,
+                                       const std::string& level) {
+  BeliefOptions options;
+  options.merge_key_versions = true;
+  MULTILOG_ASSIGN_OR_RETURN(
+      BeliefOutcome out,
+      Believe(relation, level, BeliefMode::kCautious, options));
+  return out.relation.tuples();
+}
+
+Result<std::vector<Tuple>> SuspiciousView(const Relation& relation,
+                                          const std::string& level) {
+  const lattice::SecurityLattice& lat = relation.lat();
+
+  // Start from the firm core...
+  MULTILOG_ASSIGN_OR_RETURN(BeliefOutcome firm,
+                            Believe(relation, level, BeliefMode::kFirm));
+
+  std::vector<Tuple> out;
+  for (const Tuple& t : firm.relation.tuples()) {
+    // ...and keep only tuples whose every cell is classified exactly at
+    // the believing level (nothing a higher level could silently have
+    // polyinstantiated under a lower classification)...
+    bool all_own_level = true;
+    for (const Cell& c : t.cells) {
+      if (c.classification != level) {
+        all_own_level = false;
+        break;
+      }
+    }
+    if (!all_own_level) continue;
+
+    // ...and with no polyinstantiated sibling anywhere in the stored
+    // instance (a sibling version is evidence someone disputes the
+    // entity, which the suspicious reader takes as taint).
+    bool disputed = false;
+    for (const Tuple* sibling : relation.TuplesWithKey(relation.KeyOf(t))) {
+      if (sibling->tc != t.tc || sibling->cells != t.cells) {
+        disputed = true;
+        break;
+      }
+    }
+    if (!disputed) out.push_back(t);
+  }
+  (void)lat;
+  return out;
+}
+
+Status RegisterCuppensModes(BeliefModeRegistry* registry) {
+  MULTILOG_RETURN_IF_ERROR(registry->Register("additive", AdditiveView));
+  MULTILOG_RETURN_IF_ERROR(registry->Register("trusted", TrustedView));
+  return registry->Register("suspicious", SuspiciousView);
+}
+
+}  // namespace multilog::mls

@@ -1,0 +1,41 @@
+#ifndef MULTILOG_MLS_CUPPENS_H_
+#define MULTILOG_MLS_CUPPENS_H_
+
+#include "common/status.h"
+#include "mls/belief.h"
+
+namespace multilog::mls {
+
+/// The three views Cuppens proposes for multilevel databases (the
+/// paper's Section 3.1 cites them and claims "our views subsume all the
+/// views he has proposed, namely the additive view, the suspicious view
+/// and the trusted view"). We implement them as user-defined belief
+/// modes over beta, which makes the subsumption claim executable
+/// (tested in tests/mls/cuppens_test.cc):
+///
+///  - **additive**: accumulate every assertion visible at the level,
+///    each taken at face value - beta's *optimistic* mode verbatim;
+///  - **trusted**: when sources conflict, trust the dominating (more
+///    classified) source - beta's *cautious* mode with key versions
+///    merged (inheritance with overriding);
+///  - **suspicious**: distrust anything a strictly dominating level has
+///    overridden *or could have overridden*: keep only tuples all of
+///    whose cells are classified exactly at the believing level - the
+///    *firm* core of what no higher level ever touched, restricted
+///    further to entities with no polyinstantiated sibling anywhere in
+///    the visible instance.
+///
+/// Registered names: "additive", "trusted", "suspicious".
+Status RegisterCuppensModes(BeliefModeRegistry* registry);
+
+/// The individual mode functions (also usable directly).
+Result<std::vector<Tuple>> AdditiveView(const Relation& relation,
+                                        const std::string& level);
+Result<std::vector<Tuple>> TrustedView(const Relation& relation,
+                                       const std::string& level);
+Result<std::vector<Tuple>> SuspiciousView(const Relation& relation,
+                                          const std::string& level);
+
+}  // namespace multilog::mls
+
+#endif  // MULTILOG_MLS_CUPPENS_H_

@@ -1,0 +1,181 @@
+#include "mls/integrity.h"
+
+#include <algorithm>
+
+namespace multilog::mls {
+
+Status CheckEntityIntegrity(const Relation& relation) {
+  const lattice::SecurityLattice& lat = relation.lat();
+  const size_t key_arity = relation.scheme().key_arity();
+  for (const Tuple& t : relation.tuples()) {
+    for (size_t i = 0; i < key_arity; ++i) {
+      if (t.cells[i].value.is_null()) {
+        return Status::IntegrityViolation("entity integrity: null key in " +
+                                          t.ToString());
+      }
+      if (t.cells[i].classification != t.key_cell().classification) {
+        return Status::IntegrityViolation(
+            "entity integrity: apparent key not uniformly classified in " +
+            t.ToString());
+      }
+    }
+    for (size_t i = key_arity; i < t.cells.size(); ++i) {
+      MULTILOG_ASSIGN_OR_RETURN(
+          bool dominates, lat.Leq(t.key_cell().classification,
+                                  t.cells[i].classification));
+      if (!dominates) {
+        return Status::IntegrityViolation(
+            "entity integrity: attribute '" +
+            relation.scheme().attributes()[i].name +
+            "' classified below the key in " + t.ToString());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckNullIntegrity(const Relation& relation) {
+  const size_t key_arity = relation.scheme().key_arity();
+  for (const Tuple& t : relation.tuples()) {
+    for (size_t i = key_arity; i < t.cells.size(); ++i) {
+      if (t.cells[i].value.is_null() &&
+          t.cells[i].classification != t.key_cell().classification) {
+        return Status::IntegrityViolation(
+            "null integrity: null attribute '" +
+            relation.scheme().attributes()[i].name +
+            "' not classified at the key level in " + t.ToString());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckSubsumptionFreeness(const Relation& relation) {
+  const std::vector<Tuple>& tuples = relation.tuples();
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    for (size_t j = i + 1; j < tuples.size(); ++j) {
+      if (tuples[i].tc != tuples[j].tc) continue;
+      if (tuples[i].SubsumesCells(tuples[j]) &&
+          tuples[j].SubsumesCells(tuples[i])) {
+        return Status::IntegrityViolation(
+            "subsumption-freeness: tuples " + tuples[i].ToString() + " and " +
+            tuples[j].ToString() + " subsume each other at TC '" +
+            tuples[i].tc + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckPolyinstantiationIntegrity(const Relation& relation) {
+  const std::vector<Tuple>& tuples = relation.tuples();
+  const size_t key_arity = relation.scheme().key_arity();
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    for (size_t j = i + 1; j < tuples.size(); ++j) {
+      const Tuple& a = tuples[i];
+      const Tuple& b = tuples[j];
+      bool same_key = true;
+      for (size_t k = 0; same_key && k < key_arity; ++k) {
+        same_key = a.cells[k] == b.cells[k];
+      }
+      if (!same_key) continue;
+      for (size_t k = key_arity; k < a.cells.size(); ++k) {
+        if (a.cells[k].classification == b.cells[k].classification &&
+            a.cells[k].value != b.cells[k].value) {
+          return Status::IntegrityViolation(
+              "polyinstantiation integrity: AK,C_AK,C_i -> A_i violated for "
+              "attribute '" +
+              relation.scheme().attributes()[k].name + "' between " +
+              a.ToString() + " and " + b.ToString());
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckConsistent(const Relation& relation) {
+  MULTILOG_RETURN_IF_ERROR(CheckEntityIntegrity(relation));
+  MULTILOG_RETURN_IF_ERROR(CheckNullIntegrity(relation));
+  MULTILOG_RETURN_IF_ERROR(CheckSubsumptionFreeness(relation));
+  return CheckPolyinstantiationIntegrity(relation);
+}
+
+Status CheckFilterCompositionality(const Relation& relation) {
+  const lattice::SecurityLattice& lat = relation.lat();
+  for (const std::string& high : lat.names()) {
+    MULTILOG_ASSIGN_OR_RETURN(Relation high_view, relation.ViewAt(high));
+    for (const std::string& low : lat.names()) {
+      MULTILOG_ASSIGN_OR_RETURN(bool leq, lat.Leq(low, high));
+      if (!leq) continue;
+      MULTILOG_ASSIGN_OR_RETURN(Relation direct, relation.ViewAt(low));
+      MULTILOG_ASSIGN_OR_RETURN(Relation composed, high_view.ViewAt(low));
+      std::vector<Tuple> a = direct.tuples();
+      std::vector<Tuple> b = composed.tuples();
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      if (a != b) {
+        return Status::IntegrityViolation(
+            "filter compositionality fails: sigma_" + low + "(sigma_" + high +
+            "(r)) differs from sigma_" + low + "(r)");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Tuple>> FindSurpriseStories(const Relation& relation,
+                                               const std::string& level) {
+  MULTILOG_ASSIGN_OR_RETURN(Relation view, relation.ViewAt(level));
+  std::vector<Tuple> surprises;
+  for (const Tuple& t : view.tuples()) {
+    for (const Cell& c : t.cells) {
+      if (c.value.is_null()) {
+        surprises.push_back(t);
+        break;
+      }
+    }
+  }
+  return surprises;
+}
+
+Result<std::vector<SurpriseStoryExplanation>> ExplainSurpriseStories(
+    const Relation& relation, const std::string& level) {
+  const lattice::SecurityLattice& lat = relation.lat();
+  MULTILOG_ASSIGN_OR_RETURN(std::vector<Tuple> leaks,
+                            FindSurpriseStories(relation, level));
+  std::vector<SurpriseStoryExplanation> out;
+  for (const Tuple& leaked : leaks) {
+    // A stored source masks into `leaked` when its key cell matches and
+    // each leaked cell is either equal to the stored one or a null
+    // standing for a stored cell classified above `level`.
+    for (const Tuple& source : relation.tuples()) {
+      if (source.key_cell() != leaked.key_cell()) continue;
+      bool matches = true;
+      std::vector<std::pair<std::string, std::string>> masked;
+      for (size_t i = 0; i < leaked.cells.size() && matches; ++i) {
+        if (leaked.cells[i].value.is_null() &&
+            !source.cells[i].value.is_null()) {
+          MULTILOG_ASSIGN_OR_RETURN(
+              bool hidden,
+              lat.Leq(source.cells[i].classification, level));
+          if (hidden) {
+            matches = false;  // a visible cell cannot mask to null
+          } else {
+            masked.emplace_back(relation.scheme().attributes()[i].name,
+                                source.cells[i].classification);
+          }
+        } else if (leaked.cells[i] != source.cells[i]) {
+          matches = false;
+        }
+      }
+      if (matches && !masked.empty()) {
+        out.push_back(SurpriseStoryExplanation{leaked, source,
+                                               std::move(masked)});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace multilog::mls

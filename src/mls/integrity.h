@@ -1,0 +1,72 @@
+#ifndef MULTILOG_MLS_INTEGRITY_H_
+#define MULTILOG_MLS_INTEGRITY_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "mls/relation.h"
+
+namespace multilog::mls {
+
+/// Instance-level checks of the core integrity properties the paper
+/// adopts from Jajodia-Sandhu (Definition 5.4). Relation mutators enforce
+/// these incrementally; the free functions re-validate a whole instance
+/// (used on loaded datasets and as property-test oracles).
+
+/// Entity integrity: every tuple has a non-null key and non-key
+/// classifications dominating the key classification.
+Status CheckEntityIntegrity(const Relation& relation);
+
+/// Null integrity, first clause: nulls are classified at the key level.
+Status CheckNullIntegrity(const Relation& relation);
+
+/// Null integrity, second clause (subsumption-freeness): no two distinct
+/// tuples *at the same TC* subsume each other. The same-TC restriction is
+/// our reading of Definition 5.4: the paper's own running example stores
+/// identical cells at several levels (Figure 1's t2/t6/t7), so mutual
+/// subsumption can only be meant per level.
+Status CheckSubsumptionFreeness(const Relation& relation);
+
+/// Polyinstantiation integrity: the functional dependency
+/// AK, C_AK, C_i -> A_i holds across the instance.
+Status CheckPolyinstantiationIntegrity(const Relation& relation);
+
+/// All of the above - Definition 5.4's "consistent".
+Status CheckConsistent(const Relation& relation);
+
+/// Filter compositionality: for every pair of levels c' <= c,
+/// sigma_{c'}(sigma_c(r)) = sigma_{c'}(r) - the sane fragment of
+/// Jajodia-Sandhu's inter-instance property in our view semantics.
+Status CheckFilterCompositionality(const Relation& relation);
+
+/// The paper's *surprise stories* (Section 3): null-bearing tuples that
+/// survive subsumption in the view at `level`, i.e. leaked evidence of
+/// higher-level polyinstantiation (Figure 3's t4/t5). Returns the
+/// offending view tuples; empty means the view is surprise-free.
+Result<std::vector<Tuple>> FindSurpriseStories(const Relation& relation,
+                                               const std::string& level);
+
+/// Root-cause analysis for one leak: identifies the stored tuples whose
+/// masked cells produced a surprise story, and per masked attribute the
+/// hidden classification level - the information a *high-side* auditor
+/// needs to fix the leak (lower the key classification, re-insert a low
+/// cover tuple, or purge the low key). The paper attributes such leaks
+/// to "unawareness or intentional malice on the part of the higher
+/// level user"; this is the tool for the unaware.
+struct SurpriseStoryExplanation {
+  /// The leaked view tuple.
+  Tuple leaked;
+  /// The stored source tuple whose cells were masked.
+  Tuple source;
+  /// For each masked attribute: its name and the hidden classification.
+  std::vector<std::pair<std::string, std::string>> masked;
+};
+
+Result<std::vector<SurpriseStoryExplanation>> ExplainSurpriseStories(
+    const Relation& relation, const std::string& level);
+
+}  // namespace multilog::mls
+
+#endif  // MULTILOG_MLS_INTEGRITY_H_

@@ -1,0 +1,61 @@
+#include "mls/interpretation.h"
+
+#include "common/table_printer.h"
+
+namespace multilog::mls {
+
+Result<JvInterpretation> ComputeInterpretation(const Relation& relation,
+                                               const Tuple& tuple,
+                                               const std::string& level) {
+  const lattice::SecurityLattice& lat = relation.lat();
+
+  MULTILOG_ASSIGN_OR_RETURN(bool visible, lat.Leq(tuple.tc, level));
+  if (!visible) return JvInterpretation::kInvisible;
+
+  const std::vector<const Tuple*> versions =
+      relation.TuplesWithKey(relation.KeyOf(tuple));
+
+  // True: the level itself (or rather, exactly this level) asserts a
+  // version with identical attribute values.
+  for (const Tuple* v : versions) {
+    if (v->tc == level && v->cells == tuple.cells) {
+      return JvInterpretation::kTrue;
+    }
+  }
+
+  // Cover story: a strictly higher yet visible version disagrees on some
+  // attribute value.
+  for (const Tuple* v : versions) {
+    MULTILOG_ASSIGN_OR_RETURN(bool higher, lat.Lt(tuple.tc, v->tc));
+    if (!higher) continue;
+    MULTILOG_ASSIGN_OR_RETURN(bool sees, lat.Leq(v->tc, level));
+    if (!sees) continue;
+    bool disagrees = false;
+    for (size_t i = relation.scheme().key_arity();
+         i < tuple.cells.size() && !disagrees; ++i) {
+      disagrees = v->cells[i].value != tuple.cells[i].value;
+    }
+    if (disagrees) return JvInterpretation::kCoverStory;
+  }
+
+  return JvInterpretation::kIrrelevant;
+}
+
+Result<std::string> RenderComputedInterpretations(
+    const Relation& relation, const std::vector<std::string>& levels) {
+  std::vector<std::string> header = {"Tuple"};
+  for (const std::string& l : levels) header.push_back(l + " level");
+  TablePrinter printer(std::move(header));
+  for (const Tuple& t : relation.tuples()) {
+    std::vector<std::string> row = {t.ToString()};
+    for (const std::string& l : levels) {
+      MULTILOG_ASSIGN_OR_RETURN(JvInterpretation i,
+                                ComputeInterpretation(relation, t, l));
+      row.push_back(JvInterpretationToString(i));
+    }
+    printer.AddRow(std::move(row));
+  }
+  return printer.ToString();
+}
+
+}  // namespace multilog::mls

@@ -1,0 +1,44 @@
+#ifndef MULTILOG_MLS_INTERPRETATION_H_
+#define MULTILOG_MLS_INTERPRETATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mls/jukic_vrbsky.h"
+#include "mls/relation.h"
+
+namespace multilog::mls {
+
+/// Computes a Jukic-Vrbsky-style interpretation (Figure 5's categories)
+/// for a *stored tuple version* of a plain MLS relation, without any
+/// asserted belief labels - the labels are reconstructed from the
+/// polyinstantiation structure itself:
+///
+///  - invisible:   the version's TC is not dominated by `level`;
+///  - true:        some visible version of the entity with the same
+///                 attribute values is asserted exactly at `level` (the
+///                 level itself stands behind the data);
+///  - cover story: a strictly higher (but visible) version of the entity
+///                 disagrees on some attribute value - the level can see
+///                 that better-informed data supersedes this version;
+///  - irrelevant:  visible, but the level neither asserts nor disputes
+///                 it.
+///
+/// *mirage* is NOT derivable from a plain relation: it encodes an
+/// explicit "verified false, no replacement" assertion that exists only
+/// as Jukic-Vrbsky label data (see JvRelation). This is precisely the
+/// paper's Section 3.1 point - fixed interpretations need extra asserted
+/// state, while the belief function beta lets users reason dynamically.
+Result<JvInterpretation> ComputeInterpretation(const Relation& relation,
+                                               const Tuple& tuple,
+                                               const std::string& level);
+
+/// Renders the computed interpretation matrix for every stored version
+/// across `levels` (Figure 5's shape, derived instead of asserted).
+Result<std::string> RenderComputedInterpretations(
+    const Relation& relation, const std::vector<std::string>& levels);
+
+}  // namespace multilog::mls
+
+#endif  // MULTILOG_MLS_INTERPRETATION_H_

@@ -1,0 +1,159 @@
+#include "mls/jukic_vrbsky.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "common/table_printer.h"
+
+namespace multilog::mls {
+
+const char* JvInterpretationToString(JvInterpretation i) {
+  switch (i) {
+    case JvInterpretation::kInvisible:
+      return "invisible";
+    case JvInterpretation::kTrue:
+      return "true";
+    case JvInterpretation::kCoverStory:
+      return "cover story";
+    case JvInterpretation::kMirage:
+      return "mirage";
+    case JvInterpretation::kIrrelevant:
+      return "irrelevant";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Sorts level names bottom-up using the lattice's topological order.
+std::vector<std::string> SortLevels(const lattice::SecurityLattice& lat,
+                                    std::vector<std::string> levels) {
+  std::vector<std::string> topo = lat.TopologicalOrder();
+  std::sort(levels.begin(), levels.end(),
+            [&topo](const std::string& a, const std::string& b) {
+              auto pa = std::find(topo.begin(), topo.end(), a);
+              auto pb = std::find(topo.begin(), topo.end(), b);
+              return pa < pb;
+            });
+  return levels;
+}
+
+bool Contains(const std::vector<std::string>& v, const std::string& x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+}  // namespace
+
+std::string JvLabel::Render(const lattice::SecurityLattice& lat) const {
+  std::string out;
+  for (const std::string& l : SortLevels(lat, believed_by)) {
+    out += ToUpper(l);
+  }
+  if (!verified_false_by.empty()) {
+    out += "-";
+    for (const std::string& l : SortLevels(lat, verified_false_by)) {
+      out += ToUpper(l);
+    }
+  }
+  return out;
+}
+
+Status JvRelation::Add(JvTuple tuple) {
+  if (tuple.values.size() != scheme_.arity() ||
+      tuple.cell_labels.size() != scheme_.arity()) {
+    return Status::InvalidArgument(
+        "J-V tuple arity does not match the scheme");
+  }
+  MULTILOG_RETURN_IF_ERROR(lat_->Index(tuple.created_at).status());
+  // Cell labels may list believers below the version's creating level
+  // (they believe the *value* through another visible version, e.g. the
+  // paper's t3 whose Voyager key is also believed at U via t8); only the
+  // tuple-level label is constrained: a level strictly below the
+  // creating level cannot assert belief in a version it cannot see.
+  auto check_levels = [this](const JvLabel& label) -> Status {
+    for (const std::string& l : label.believed_by) {
+      MULTILOG_RETURN_IF_ERROR(lat_->Index(l).status());
+    }
+    for (const std::string& l : label.verified_false_by) {
+      MULTILOG_RETURN_IF_ERROR(lat_->Index(l).status());
+    }
+    return Status::OK();
+  };
+  for (const JvLabel& label : tuple.cell_labels) {
+    MULTILOG_RETURN_IF_ERROR(check_levels(label));
+  }
+  MULTILOG_RETURN_IF_ERROR(check_levels(tuple.tuple_label));
+  for (const std::string& l : tuple.tuple_label.believed_by) {
+    MULTILOG_ASSIGN_OR_RETURN(bool strictly_below,
+                              lat_->Lt(l, tuple.created_at));
+    if (strictly_below) {
+      return Status::InvalidArgument(
+          "level '" + l + "' cannot believe a tuple created above it at '" +
+          tuple.created_at + "'");
+    }
+  }
+  tuples_.push_back(std::move(tuple));
+  return Status::OK();
+}
+
+Result<JvInterpretation> JvRelation::Interpret(
+    const JvTuple& tuple, const std::string& level) const {
+  MULTILOG_ASSIGN_OR_RETURN(bool sees, lat_->Leq(tuple.created_at, level));
+  if (!sees) return JvInterpretation::kInvisible;
+  if (Contains(tuple.tuple_label.believed_by, level)) {
+    return JvInterpretation::kTrue;
+  }
+  if (Contains(tuple.tuple_label.verified_false_by, level)) {
+    // Cover story when a replacement version for the same entity is
+    // believed at this level; mirage otherwise.
+    for (const JvTuple& other : tuples_) {
+      if (&other == &tuple) continue;
+      if (other.values[0] != tuple.values[0]) continue;
+      if (Contains(other.tuple_label.believed_by, level)) {
+        return JvInterpretation::kCoverStory;
+      }
+    }
+    return JvInterpretation::kMirage;
+  }
+  return JvInterpretation::kIrrelevant;
+}
+
+std::string JvRelation::RenderLabeled() const {
+  std::vector<std::string> header = {"Tid"};
+  for (const AttributeDef& a : scheme_.attributes()) {
+    header.push_back(a.name);
+    header.push_back("");
+  }
+  header.push_back("TC");
+  TablePrinter printer(std::move(header));
+  for (const JvTuple& t : tuples_) {
+    std::vector<std::string> row = {t.id};
+    for (size_t i = 0; i < t.values.size(); ++i) {
+      row.push_back(t.values[i].ToString());
+      row.push_back(t.cell_labels[i].Render(*lat_));
+    }
+    row.push_back(t.tuple_label.Render(*lat_));
+    printer.AddRow(std::move(row));
+  }
+  return printer.ToString();
+}
+
+Result<std::string> JvRelation::RenderInterpretations(
+    const std::vector<std::string>& levels) const {
+  std::vector<std::string> header = {"Tid"};
+  for (const std::string& l : levels) {
+    header.push_back(ToUpper(l) + " level");
+  }
+  TablePrinter printer(std::move(header));
+  for (const JvTuple& t : tuples_) {
+    std::vector<std::string> row = {t.id};
+    for (const std::string& l : levels) {
+      MULTILOG_ASSIGN_OR_RETURN(JvInterpretation i, Interpret(t, l));
+      row.push_back(JvInterpretationToString(i));
+    }
+    printer.AddRow(std::move(row));
+  }
+  return printer.ToString();
+}
+
+}  // namespace multilog::mls

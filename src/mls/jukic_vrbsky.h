@@ -1,0 +1,94 @@
+#ifndef MULTILOG_MLS_JUKIC_VRBSKY_H_
+#define MULTILOG_MLS_JUKIC_VRBSKY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "lattice/lattice.h"
+#include "mls/scheme.h"
+#include "mls/value.h"
+
+namespace multilog::mls {
+
+/// The five-way tuple interpretation of Jukic and Vrbsky's belief model
+/// (the paper's Figure 5):
+///  - invisible:   the level cannot see the tuple version at all;
+///  - true:        the level asserts belief in it;
+///  - cover story: the level has verified it false and holds a
+///                 replacement version;
+///  - mirage:      the level has verified it false with no replacement;
+///  - irrelevant:  the level sees it but neither believes nor disputes it
+///                 (lower-level data the level does not care about).
+enum class JvInterpretation {
+  kInvisible,
+  kTrue,
+  kCoverStory,
+  kMirage,
+  kIrrelevant,
+};
+
+const char* JvInterpretationToString(JvInterpretation i);
+
+/// A Jukic-Vrbsky belief label on one asserted value: the levels that
+/// believe this version's value, and the levels that have verified it
+/// false. Rendered in the style of the paper's Figure 4: believers
+/// concatenated bottom-up ("UCS", "US"), with verified-false levels
+/// appended after a dash ("U-S" = believed at U, verified false at S).
+struct JvLabel {
+  std::vector<std::string> believed_by;
+  std::vector<std::string> verified_false_by;
+
+  /// Renders against `lat` (levels sorted bottom-up, upper-cased).
+  std::string Render(const lattice::SecurityLattice& lat) const;
+};
+
+/// One tuple version in the Jukic-Vrbsky representation: plain values
+/// with per-cell labels plus a tuple-level label. `id` is a display tag
+/// ("t4"); `created_at` is the level that asserted the version (versions
+/// are invisible below it).
+struct JvTuple {
+  std::string id;
+  std::string created_at;
+  std::vector<Value> values;
+  std::vector<JvLabel> cell_labels;
+  JvLabel tuple_label;
+};
+
+/// A relation in the Jukic-Vrbsky labeled model. The labels are *data* -
+/// users assert beliefs explicitly - which is exactly the rigidity the
+/// paper criticizes ("too restrictive... only fixed interpretations");
+/// this class exists to reproduce Figures 4-5 and to contrast with the
+/// dynamic belief function beta.
+class JvRelation {
+ public:
+  JvRelation(Scheme scheme, const lattice::SecurityLattice* lat)
+      : scheme_(std::move(scheme)), lat_(lat) {}
+
+  /// Validates arity, level names, and that believers dominate the
+  /// creating level.
+  Status Add(JvTuple tuple);
+
+  const std::vector<JvTuple>& tuples() const { return tuples_; }
+  const Scheme& scheme() const { return scheme_; }
+
+  /// The Figure 5 logic: classify `tuple` as seen from `level`.
+  Result<JvInterpretation> Interpret(const JvTuple& tuple,
+                                     const std::string& level) const;
+
+  /// Renders the labeled relation (Figure 4).
+  std::string RenderLabeled() const;
+
+  /// Renders the interpretation matrix (Figure 5) for the given levels.
+  Result<std::string> RenderInterpretations(
+      const std::vector<std::string>& levels) const;
+
+ private:
+  Scheme scheme_;
+  const lattice::SecurityLattice* lat_;
+  std::vector<JvTuple> tuples_;
+};
+
+}  // namespace multilog::mls
+
+#endif  // MULTILOG_MLS_JUKIC_VRBSKY_H_

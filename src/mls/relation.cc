@@ -1,0 +1,393 @@
+#include "mls/relation.h"
+
+#include <algorithm>
+
+#include "common/table_printer.h"
+
+namespace multilog::mls {
+
+Status Relation::ValidateTuple(const Tuple& t) const {
+  if (t.cells.size() != scheme_.arity()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(t.cells.size()) +
+        " does not match scheme arity " + std::to_string(scheme_.arity()));
+  }
+
+  // Classifications are known levels within attribute ranges.
+  for (size_t i = 0; i < t.cells.size(); ++i) {
+    MULTILOG_ASSIGN_OR_RETURN(bool in_range,
+                              scheme_.InRange(i, t.cells[i].classification,
+                                              *lat_));
+    if (!in_range) {
+      return Status::IntegrityViolation(
+          "classification '" + t.cells[i].classification +
+          "' of attribute '" + scheme_.attributes()[i].name +
+          "' is outside its range");
+    }
+  }
+
+  // Entity integrity (Definition 5.4): key attributes non-null and
+  // uniformly classified; non-key classifications dominate the key
+  // classification.
+  const size_t key_arity = scheme_.key_arity();
+  const Cell& key = t.key_cell();
+  for (size_t i = 0; i < key_arity; ++i) {
+    if (t.cells[i].value.is_null()) {
+      return Status::IntegrityViolation(
+          "entity integrity: null apparent-key attribute '" +
+          scheme_.attributes()[i].name + "'");
+    }
+    if (t.cells[i].classification != key.classification) {
+      return Status::IntegrityViolation(
+          "entity integrity: the apparent key is not uniformly classified "
+          "('" +
+          key.classification + "' vs '" + t.cells[i].classification + "')");
+    }
+  }
+  for (size_t i = key_arity; i < t.cells.size(); ++i) {
+    MULTILOG_ASSIGN_OR_RETURN(
+        bool dominates, lat_->Leq(key.classification,
+                                  t.cells[i].classification));
+    if (!dominates) {
+      return Status::IntegrityViolation(
+          "entity integrity: classification of attribute '" +
+          scheme_.attributes()[i].name +
+          "' does not dominate the key classification");
+    }
+    // Null integrity: nulls are classified at the key level.
+    if (t.cells[i].value.is_null() &&
+        t.cells[i].classification != key.classification) {
+      return Status::IntegrityViolation(
+          "null integrity: null in attribute '" + scheme_.attributes()[i].name +
+          "' must be classified at the key classification '" +
+          key.classification + "'");
+    }
+  }
+
+  // TC records the access class where the tuple was inserted or last
+  // updated (Section 2 of the paper), so it must dominate the lub of the
+  // cell classifications. (Definition 2.2 states tc = lub, but the
+  // paper's own Figure 1 stores all-U cells under TC = S - e.g. t2 -
+  // because an S subject re-asserted the tuple; we follow the figures.)
+  std::vector<std::string> classes;
+  classes.reserve(t.cells.size());
+  for (const Cell& c : t.cells) classes.push_back(c.classification);
+  MULTILOG_ASSIGN_OR_RETURN(std::optional<std::string> lub,
+                            lat_->LubOfSet(classes));
+  if (!lub.has_value()) {
+    return Status::IntegrityViolation(
+        "cell classifications have no least upper bound; cannot assign TC");
+  }
+  MULTILOG_ASSIGN_OR_RETURN(bool tc_dominates, lat_->Leq(*lub, t.tc));
+  if (!tc_dominates) {
+    return Status::IntegrityViolation(
+        "TC '" + t.tc +
+        "' does not dominate the lub of the cell classifications '" + *lub +
+        "'");
+  }
+
+  // Polyinstantiation integrity: AK, C_AK, C_i -> A_i. Also reject exact
+  // duplicates.
+  for (const Tuple& existing : tuples_) {
+    if (existing == t) {
+      return Status::IntegrityViolation("exact duplicate tuple " +
+                                        t.ToString());
+    }
+    bool same_key = existing.key_cell().classification == key.classification;
+    for (size_t i = 0; same_key && i < key_arity; ++i) {
+      same_key = existing.cells[i].value == t.cells[i].value;
+    }
+    if (!same_key) continue;
+    for (size_t i = key_arity; i < t.cells.size(); ++i) {
+      if (existing.cells[i].classification == t.cells[i].classification &&
+          existing.cells[i].value != t.cells[i].value) {
+        return Status::IntegrityViolation(
+            "polyinstantiation integrity: attribute '" +
+            scheme_.attributes()[i].name + "' of key " + key.value.ToString() +
+            " already has value " + existing.cells[i].value.ToString() +
+            " at classification '" + t.cells[i].classification + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Relation::InsertTuple(Tuple t) {
+  // Fill in TC when the caller left it empty.
+  if (t.tc.empty()) {
+    std::vector<std::string> classes;
+    for (const Cell& c : t.cells) classes.push_back(c.classification);
+    MULTILOG_ASSIGN_OR_RETURN(std::optional<std::string> lub,
+                              lat_->LubOfSet(classes));
+    if (!lub.has_value()) {
+      return Status::IntegrityViolation(
+          "cell classifications have no least upper bound; cannot assign TC");
+    }
+    t.tc = *lub;
+  }
+  MULTILOG_RETURN_IF_ERROR(ValidateTuple(t));
+  tuples_.push_back(std::move(t));
+  return Status::OK();
+}
+
+Status Relation::InsertAt(const std::string& level,
+                          const std::vector<Value>& values) {
+  MULTILOG_RETURN_IF_ERROR(lat_->Index(level).status());
+  if (values.size() != scheme_.arity()) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(scheme_.arity()) + " values, got " +
+        std::to_string(values.size()));
+  }
+  Tuple t;
+  t.cells.reserve(values.size());
+  for (const Value& v : values) t.cells.push_back(Cell{v, level});
+  t.tc = level;
+  return InsertTuple(std::move(t)).WithContext("insert at level '" + level +
+                                               "'");
+}
+
+Status Relation::UpdateAt(const std::string& level, const Value& key,
+                          const std::string& attribute, const Value& value) {
+  return UpdateAt(level, std::vector<Value>{key}, attribute, value);
+}
+
+Status Relation::UpdateAt(const std::string& level,
+                          const std::vector<Value>& key,
+                          const std::string& attribute, const Value& value) {
+  MULTILOG_RETURN_IF_ERROR(lat_->Index(level).status());
+  if (key.size() != scheme_.key_arity()) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(scheme_.key_arity()) +
+        " key value(s), got " + std::to_string(key.size()));
+  }
+  MULTILOG_ASSIGN_OR_RETURN(size_t attr, scheme_.AttributeIndex(attribute));
+  if (scheme_.IsKeyPosition(attr)) {
+    return Status::InvalidArgument(
+        "cannot update the apparent key; delete and re-insert instead");
+  }
+
+  // Versions of the entity whose key classification the subject can see.
+  std::vector<size_t> visible;
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    const Tuple& t = tuples_[i];
+    if (!KeyMatches(t, key)) continue;
+    MULTILOG_ASSIGN_OR_RETURN(bool sees,
+                              lat_->Leq(t.key_cell().classification, level));
+    if (sees) visible.push_back(i);
+  }
+  if (visible.empty()) {
+    return Status::NotFound("no visible tuple with key " +
+                            key.front().ToString() + " at level '" + level +
+                            "'");
+  }
+
+  // In-place when the subject owns a version of the cell at its level.
+  for (size_t i : visible) {
+    if (tuples_[i].cells[attr].classification == level) {
+      Tuple updated = tuples_[i];
+      updated.cells[attr].value = value;
+      Tuple original = std::move(tuples_[i]);
+      tuples_.erase(tuples_.begin() + i);
+      Status st = InsertTuple(std::move(updated));
+      if (!st.ok()) {
+        tuples_.insert(tuples_.begin() + i, std::move(original));
+        return st.WithContext("update at level '" + level + "'");
+      }
+      return Status::OK();
+    }
+  }
+
+  // Otherwise polyinstantiate: start from the version the subject sees
+  // best (maximal TC among those with TC <= level, falling back to the
+  // first visible one), copy the visible cells, hide the rest as nulls
+  // at the key classification - which stays unchanged, the very step the
+  // paper identifies as the genesis of surprise stories.
+  size_t base = visible[0];
+  bool have_dominated_version = false;
+  for (size_t i : visible) {
+    MULTILOG_ASSIGN_OR_RETURN(bool below, lat_->Leq(tuples_[i].tc, level));
+    if (!below) continue;
+    if (!have_dominated_version) {
+      base = i;
+      have_dominated_version = true;
+      continue;
+    }
+    MULTILOG_ASSIGN_OR_RETURN(bool better,
+                              lat_->Leq(tuples_[base].tc, tuples_[i].tc));
+    if (better) base = i;
+  }
+
+  const Tuple& src = tuples_[base];
+  Tuple fresh;
+  fresh.cells.reserve(scheme_.arity());
+  for (size_t i = 0; i < scheme_.arity(); ++i) {
+    MULTILOG_ASSIGN_OR_RETURN(bool sees,
+                              lat_->Leq(src.cells[i].classification, level));
+    if (sees) {
+      fresh.cells.push_back(src.cells[i]);
+    } else {
+      fresh.cells.push_back(
+          Cell{Value::NullValue(), src.key_cell().classification});
+    }
+  }
+  fresh.cells[attr] = Cell{value, level};
+  fresh.tc.clear();  // recomputed by InsertTuple
+  return InsertTuple(std::move(fresh))
+      .WithContext("polyinstantiating update at level '" + level + "'");
+}
+
+Status Relation::DeleteAt(const std::string& level, const Value& key) {
+  return DeleteAt(level, std::vector<Value>{key});
+}
+
+Status Relation::DeleteAt(const std::string& level,
+                          const std::vector<Value>& key) {
+  MULTILOG_RETURN_IF_ERROR(lat_->Index(level).status());
+  if (key.size() != scheme_.key_arity()) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(scheme_.key_arity()) +
+        " key value(s), got " + std::to_string(key.size()));
+  }
+  size_t before = tuples_.size();
+  tuples_.erase(std::remove_if(tuples_.begin(), tuples_.end(),
+                               [&](const Tuple& t) {
+                                 return KeyMatches(t, key) && t.tc == level;
+                               }),
+                tuples_.end());
+  if (tuples_.size() == before) {
+    return Status::NotFound("no tuple with key " + key.front().ToString() +
+                            " at level '" + level + "' to delete");
+  }
+  return Status::OK();
+}
+
+std::vector<Value> Relation::KeyOf(const Tuple& t) const {
+  std::vector<Value> out;
+  out.reserve(scheme_.key_arity());
+  for (size_t i = 0; i < scheme_.key_arity(); ++i) {
+    out.push_back(t.cells[i].value);
+  }
+  return out;
+}
+
+bool Relation::KeyMatches(const Tuple& t,
+                          const std::vector<Value>& key) const {
+  if (key.size() != scheme_.key_arity()) return false;
+  for (size_t i = 0; i < key.size(); ++i) {
+    if (t.cells[i].value != key[i]) return false;
+  }
+  return true;
+}
+
+std::vector<Tuple> Relation::Subsume(const lattice::SecurityLattice& lat,
+                                     std::vector<Tuple> tuples) {
+  std::vector<Tuple> kept;
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    bool subsumed = false;
+    for (size_t j = 0; j < tuples.size() && !subsumed; ++j) {
+      if (i == j) continue;
+      const Tuple& other = tuples[j];
+      const Tuple& mine = tuples[i];
+      if (!other.SubsumesCells(mine)) continue;
+      if (other.cells != mine.cells) {
+        subsumed = true;  // strictly more informative cells
+      } else {
+        // Equal cells: the higher-TC copy wins; break exact ties by
+        // index so exactly one copy survives.
+        bool other_higher = lat.Lt(mine.tc, other.tc).value_or(false);
+        bool equal = other.tc == mine.tc;
+        if (other_higher || (equal && j < i)) subsumed = true;
+      }
+    }
+    if (!subsumed) kept.push_back(tuples[i]);
+  }
+  return kept;
+}
+
+Result<Relation> Relation::ViewAt(const std::string& level,
+                                  bool apply_subsumption) const {
+  MULTILOG_RETURN_IF_ERROR(lat_->Index(level).status());
+  Relation view(scheme_, lat_);
+
+  std::vector<Tuple> produced;
+  for (const Tuple& t : tuples_) {
+    MULTILOG_ASSIGN_OR_RETURN(bool key_visible,
+                              lat_->Leq(t.key_cell().classification, level));
+    if (!key_visible) continue;
+
+    Tuple vt;
+    vt.cells.reserve(t.cells.size());
+    for (const Cell& c : t.cells) {
+      MULTILOG_ASSIGN_OR_RETURN(bool sees, lat_->Leq(c.classification, level));
+      if (sees) {
+        vt.cells.push_back(c);
+      } else {
+        vt.cells.push_back(
+            Cell{Value::NullValue(), t.key_cell().classification});
+      }
+    }
+    MULTILOG_ASSIGN_OR_RETURN(bool tc_visible, lat_->Leq(t.tc, level));
+    vt.tc = tc_visible ? t.tc : level;
+    produced.push_back(std::move(vt));
+  }
+
+  // Set semantics: identical view tuples collapse.
+  std::sort(produced.begin(), produced.end());
+  produced.erase(std::unique(produced.begin(), produced.end()),
+                 produced.end());
+
+  if (apply_subsumption) {
+    produced = Subsume(*lat_, std::move(produced));
+  }
+  view.tuples_ = std::move(produced);
+  return view;
+}
+
+Status Relation::AppendDerived(Tuple t) {
+  if (t.cells.size() != scheme_.arity()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(t.cells.size()) +
+        " does not match scheme arity " + std::to_string(scheme_.arity()));
+  }
+  for (const Cell& c : t.cells) {
+    MULTILOG_RETURN_IF_ERROR(lat_->Index(c.classification).status());
+  }
+  MULTILOG_RETURN_IF_ERROR(lat_->Index(t.tc).status());
+  tuples_.push_back(std::move(t));
+  return Status::OK();
+}
+
+std::vector<const Tuple*> Relation::TuplesWithKey(const Value& key) const {
+  return TuplesWithKey(std::vector<Value>{key});
+}
+
+std::vector<const Tuple*> Relation::TuplesWithKey(
+    const std::vector<Value>& key) const {
+  std::vector<const Tuple*> out;
+  for (const Tuple& t : tuples_) {
+    if (KeyMatches(t, key)) out.push_back(&t);
+  }
+  return out;
+}
+
+std::string Relation::ToString() const {
+  std::vector<std::string> header;
+  for (const AttributeDef& a : scheme_.attributes()) {
+    header.push_back(a.name);
+    header.push_back("C");
+  }
+  header.push_back("TC");
+  TablePrinter printer(std::move(header));
+  for (const Tuple& t : tuples_) {
+    std::vector<std::string> row;
+    for (const Cell& c : t.cells) {
+      row.push_back(c.value.ToString());
+      row.push_back(c.classification);
+    }
+    row.push_back(t.tc);
+    printer.AddRow(std::move(row));
+  }
+  return scheme_.relation_name() + "\n" + printer.ToString();
+}
+
+}  // namespace multilog::mls

@@ -1,0 +1,121 @@
+#ifndef MULTILOG_MLS_RELATION_H_
+#define MULTILOG_MLS_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "lattice/lattice.h"
+#include "mls/scheme.h"
+#include "mls/tuple.h"
+
+namespace multilog::mls {
+
+/// A multilevel relation instance (Definition 2.2) over a Scheme, with
+/// the Jajodia-Sandhu-style operations the paper builds on:
+///
+///  - polyinstantiating insert/update/delete performed *by a subject at
+///    a clearance level*, enforcing the Bell-LaPadula properties
+///    (simple security: no read up; star-property: writes happen at the
+///    subject's own level),
+///  - the filter function sigma = the view at an access class
+///    (Definition 2.3), with subsumption,
+///  - per-tuple integrity validation (entity, null, polyinstantiation
+///    integrity of Definition 5.4) at every mutation.
+///
+/// The lattice is borrowed; it must outlive the relation.
+class Relation {
+ public:
+  Relation(Scheme scheme, const lattice::SecurityLattice* lat)
+      : scheme_(std::move(scheme)), lat_(lat) {}
+
+  const Scheme& scheme() const { return scheme_; }
+  const lattice::SecurityLattice& lat() const { return *lat_; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  size_t size() const { return tuples_.size(); }
+
+  /// Inserts a fully specified tuple (used to load datasets such as the
+  /// paper's Figure 1, whose tuples carry mixed classifications from
+  /// their update history). Validates:
+  ///  - every classification is a lattice level within its attribute
+  ///    range,
+  ///  - entity integrity: key non-null, non-key classes dominate the key
+  ///    class,
+  ///  - null integrity: nulls are classified at the key class,
+  ///  - tc equals the lub of the cell classes (computed when empty),
+  ///  - polyinstantiation integrity against the existing instance,
+  ///  - the tuple is not an exact duplicate.
+  Status InsertTuple(Tuple t);
+
+  /// Insert by a subject cleared at `level`: all cells and TC classified
+  /// at `level` (a subject writes at its own level - star-property).
+  Status InsertAt(const std::string& level, const std::vector<Value>& values);
+
+  /// Update by a subject at `level`: sets `attribute` of the entity named
+  /// by `key` to `value`. If the subject owns a version whose cell is
+  /// classified exactly at `level`, the cell is updated in place;
+  /// otherwise the update *polyinstantiates*: a new tuple is created at
+  /// the subject's level that copies the cells the subject can see and
+  /// keeps the key classification unchanged - the mechanism that, after
+  /// a later delete of the low tuple, yields the paper's surprise
+  /// stories (Section 3). The composite-key overload takes one value per
+  /// key attribute (Section 7 relaxation).
+  Status UpdateAt(const std::string& level, const Value& key,
+                  const std::string& attribute, const Value& value);
+  Status UpdateAt(const std::string& level, const std::vector<Value>& key,
+                  const std::string& attribute, const Value& value);
+
+  /// Delete by a subject at `level`: removes the versions of `key` whose
+  /// TC is exactly `level` (a subject deletes only what lives at its own
+  /// level). Returns NotFound if nothing was removed.
+  Status DeleteAt(const std::string& level, const Value& key);
+  Status DeleteAt(const std::string& level, const std::vector<Value>& key);
+
+  /// The view at access class `level` (Definition 2.3; Jajodia-Sandhu's
+  /// filter): keeps tuples whose key classification is dominated by
+  /// `level`; hides cells classified above `level` as ⊥ at the key
+  /// class (null integrity); clamps TC into the view (TC' = TC when
+  /// TC <= level, else `level` - the view must not reveal a
+  /// classification above the viewer); optionally removes subsumed
+  /// tuples. Reproduces the paper's Figures 2 and 3.
+  Result<Relation> ViewAt(const std::string& level,
+                          bool apply_subsumption = true) const;
+
+  /// Appends a tuple to a *derived* relation (a sigma view or a believed
+  /// relation), bypassing base-instance integrity: derived tuples
+  /// legitimately carry a TC above the lub of their cells (Figures 7-8
+  /// set TC to the believing level while the cells keep their source
+  /// classifications). Validates only arity and that every level exists.
+  Status AppendDerived(Tuple t);
+
+  /// All stored versions of `key` (any classification).
+  std::vector<const Tuple*> TuplesWithKey(const Value& key) const;
+  std::vector<const Tuple*> TuplesWithKey(const std::vector<Value>& key) const;
+
+  /// The key values of a tuple (the first key_arity() cells).
+  std::vector<Value> KeyOf(const Tuple& t) const;
+
+  /// True when `t`'s key values equal `key`.
+  bool KeyMatches(const Tuple& t, const std::vector<Value>& key) const;
+
+  /// Renders the instance in the visual style of the paper's figures.
+  std::string ToString() const;
+
+  /// Removes tuples cell-subsumed by another tuple (strictly more
+  /// informative cells, or equal cells with strictly higher TC).
+  static std::vector<Tuple> Subsume(const lattice::SecurityLattice& lat,
+                                    std::vector<Tuple> tuples);
+
+ private:
+  /// Shared validation for InsertTuple (exact-duplicate and
+  /// polyinstantiation checks against the current instance).
+  Status ValidateTuple(const Tuple& t) const;
+
+  Scheme scheme_;
+  const lattice::SecurityLattice* lat_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace multilog::mls
+
+#endif  // MULTILOG_MLS_RELATION_H_

@@ -1,0 +1,173 @@
+#include "mls/sample_data.h"
+
+#include <random>
+
+namespace multilog::mls {
+
+namespace {
+
+Result<Scheme> MissionScheme(const lattice::SecurityLattice& lat) {
+  return Scheme::Create("Mission",
+                        {{"Starship", "u", "t"},
+                         {"Objective", "u", "t"},
+                         {"Destin", "u", "t"}},
+                        "Starship", lat);
+}
+
+Tuple MakeTuple(const std::string& starship, const std::string& c1,
+                const std::string& objective, const std::string& c2,
+                const std::string& destination, const std::string& c3,
+                const std::string& tc) {
+  Tuple t;
+  t.cells = {Cell{Value::Str(starship), c1}, Cell{Value::Str(objective), c2},
+             Cell{Value::Str(destination), c3}};
+  t.tc = tc;
+  return t;
+}
+
+JvLabel B(std::vector<std::string> believed) {
+  return JvLabel{std::move(believed), {}};
+}
+
+JvLabel BV(std::vector<std::string> believed,
+           std::vector<std::string> verified_false) {
+  return JvLabel{std::move(believed), std::move(verified_false)};
+}
+
+Status AddJv(JvRelation* rel, const std::string& id,
+             const std::string& created_at, const std::string& starship,
+             const std::string& objective, const std::string& destination,
+             JvLabel l1, JvLabel l2, JvLabel l3, JvLabel tuple_label) {
+  JvTuple t;
+  t.id = id;
+  t.created_at = created_at;
+  t.values = {Value::Str(starship), Value::Str(objective),
+              Value::Str(destination)};
+  t.cell_labels = {std::move(l1), std::move(l2), std::move(l3)};
+  t.tuple_label = std::move(tuple_label);
+  return rel->Add(std::move(t));
+}
+
+}  // namespace
+
+Result<MissionDataset> BuildMissionDataset() {
+  MissionDataset ds;
+  ds.lattice = std::make_unique<lattice::SecurityLattice>(
+      lattice::SecurityLattice::Military());
+
+  MULTILOG_ASSIGN_OR_RETURN(Scheme scheme, MissionScheme(*ds.lattice));
+  ds.mission = std::make_unique<Relation>(scheme, ds.lattice.get());
+
+  // Figure 1, tuples t1..t10 in order.
+  const Tuple tuples[] = {
+      MakeTuple("Avenger", "s", "Shipping", "s", "Pluto", "s", "s"),
+      MakeTuple("Atlantis", "u", "Diplomacy", "u", "Vulcan", "u", "s"),
+      MakeTuple("Voyager", "u", "Spying", "s", "Mars", "u", "s"),
+      MakeTuple("Phantom", "u", "Spying", "s", "Omega", "u", "s"),
+      MakeTuple("Phantom", "c", "Supply", "s", "Venus", "s", "s"),
+      MakeTuple("Atlantis", "u", "Diplomacy", "u", "Vulcan", "u", "c"),
+      MakeTuple("Atlantis", "u", "Diplomacy", "u", "Vulcan", "u", "u"),
+      MakeTuple("Voyager", "u", "Training", "u", "Mars", "u", "u"),
+      MakeTuple("Falcon", "u", "Piracy", "u", "Venus", "u", "u"),
+      MakeTuple("Eagle", "u", "Patrolling", "u", "Degoba", "u", "u"),
+  };
+  for (const Tuple& t : tuples) {
+    MULTILOG_RETURN_IF_ERROR(
+        ds.mission->InsertTuple(t).WithContext("loading Figure 1"));
+  }
+
+  // Figure 4: the Jukic-Vrbsky labeled representation.
+  ds.jv_mission = std::make_unique<JvRelation>(scheme, ds.lattice.get());
+  JvRelation* jv = ds.jv_mission.get();
+  MULTILOG_RETURN_IF_ERROR(AddJv(jv, "t1", "s", "Avenger", "Shipping",
+                                 "Pluto", B({"s"}), B({"s"}), B({"s"}),
+                                 B({"s"})));
+  MULTILOG_RETURN_IF_ERROR(AddJv(
+      jv, "t2", "u", "Atlantis", "Diplomacy", "Vulcan", B({"u", "c", "s"}),
+      B({"u", "c", "s"}), B({"u", "c", "s"}), B({"u", "c", "s"})));
+  MULTILOG_RETURN_IF_ERROR(AddJv(jv, "t3", "s", "Voyager", "Spying", "Mars",
+                                 B({"u", "s"}), B({"s"}), B({"u", "s"}),
+                                 B({"s"})));
+  MULTILOG_RETURN_IF_ERROR(AddJv(jv, "t4", "u", "Phantom", "Spying", "Omega",
+                                 B({"u", "s"}), BV({"u"}, {"s"}),
+                                 B({"u", "s"}), BV({"u"}, {"s"})));
+  MULTILOG_RETURN_IF_ERROR(AddJv(jv, "t4'", "s", "Phantom", "Spying", "Omega",
+                                 B({"u", "s"}), B({"s"}), B({"u", "s"}),
+                                 B({"s"})));
+  MULTILOG_RETURN_IF_ERROR(AddJv(jv, "t5", "s", "Phantom", "Supply", "Venus",
+                                 B({"c", "s"}), B({"s"}), B({"s"}),
+                                 B({"s"})));
+  MULTILOG_RETURN_IF_ERROR(AddJv(jv, "t5'", "c", "Phantom", "Supply", "Venus",
+                                 B({"c", "s"}), BV({"c"}, {"s"}),
+                                 BV({"c"}, {"s"}), BV({"c"}, {"s"})));
+  MULTILOG_RETURN_IF_ERROR(AddJv(jv, "t8", "u", "Voyager", "Training", "Mars",
+                                 B({"u", "s"}), BV({"u"}, {"s"}),
+                                 B({"u", "s"}), BV({"u"}, {"s"})));
+  MULTILOG_RETURN_IF_ERROR(AddJv(jv, "t9", "u", "Falcon", "Piracy", "Venus",
+                                 BV({"u"}, {"s"}), BV({"u"}, {"s"}),
+                                 BV({"u"}, {"s"}), BV({"u"}, {"s"})));
+  MULTILOG_RETURN_IF_ERROR(AddJv(jv, "t10", "u", "Eagle", "Patrolling",
+                                 "Degoba", B({"u"}), B({"u"}), B({"u"}),
+                                 B({"u"})));
+  return ds;
+}
+
+const char* D1Source() {
+  return R"(
+% Figure 10: database D1.
+level(u).                                   % r1
+level(c).                                   % r2
+level(s).                                   % r3
+order(u, c).                                % r4
+order(c, s).                                % r5
+u[p(k : a -u-> v)].                         % r6
+c[p(k : a -c-> t)] :- q(j).                 % r7
+s[p(k : a -u-> v)] :- c[p(k : a -c-> t)] << cau.   % r8
+q(j).                                       % r9
+?- c[p(k : a -R-> v)] << opt.               % r10
+)";
+}
+
+Result<Relation> BuildSyntheticRelation(const lattice::SecurityLattice& lat,
+                                        size_t entities,
+                                        size_t versions_per_entity,
+                                        unsigned seed) {
+  MULTILOG_ASSIGN_OR_RETURN(
+      Scheme scheme,
+      Scheme::Create("Synthetic",
+                     {{"Id", lat.MinimalElements().front(),
+                       lat.MaximalElements().front()},
+                      {"Payload", lat.MinimalElements().front(),
+                       lat.MaximalElements().front()},
+                      {"Region", lat.MinimalElements().front(),
+                       lat.MaximalElements().front()}},
+                     "Id", lat));
+  Relation rel(scheme, &lat);
+
+  std::mt19937 rng(seed);
+  const std::vector<std::string> topo = lat.TopologicalOrder();
+  std::uniform_int_distribution<size_t> level_dist(0, topo.size() - 1);
+  std::uniform_int_distribution<int> payload_dist(0, 9999);
+
+  for (size_t e = 0; e < entities; ++e) {
+    const std::string key = "entity" + std::to_string(e);
+    for (size_t v = 0; v < versions_per_entity; ++v) {
+      // A uniformly classified version at a random level; duplicate
+      // (key class, attr class) pairs with new values would break
+      // polyinstantiation integrity, so retry with fresh payloads and
+      // give up quietly after a few attempts (the instance stays valid).
+      const std::string& level = topo[level_dist(rng)];
+      Tuple t;
+      t.cells = {Cell{Value::Str(key), level},
+                 Cell{Value::Int(payload_dist(rng)), level},
+                 Cell{Value::Str("region" + std::to_string(level_dist(rng))),
+                      level}};
+      t.tc = level;
+      Status st = rel.InsertTuple(std::move(t));
+      if (!st.ok() && !st.IsIntegrityViolation()) return st;
+    }
+  }
+  return rel;
+}
+
+}  // namespace multilog::mls

@@ -1,0 +1,46 @@
+#ifndef MULTILOG_MLS_SAMPLE_DATA_H_
+#define MULTILOG_MLS_SAMPLE_DATA_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "lattice/lattice.h"
+#include "mls/jukic_vrbsky.h"
+#include "mls/relation.h"
+
+namespace multilog::mls {
+
+/// The paper's running example, shared by tests, examples, and the
+/// figure-regeneration benches.
+struct MissionDataset {
+  /// u < c < s < t (only u, c, s are used by the data). Heap-allocated so
+  /// the relations' lattice pointers survive moves of the dataset.
+  std::unique_ptr<lattice::SecurityLattice> lattice;
+  /// Figure 1: Mission(Starship, C1, Objective, C2, Destination, C3, TC)
+  /// with tuples t1..t10.
+  std::unique_ptr<Relation> mission;
+  /// Figure 4: the Jukic-Vrbsky labeled rendering (versions t1, t2, t3,
+  /// t4, t4', t5, t5', t8, t9, t10).
+  std::unique_ptr<JvRelation> jv_mission;
+};
+
+/// Builds the full Mission dataset. Infallible by construction; any
+/// internal failure indicates a bug and is returned as a Status.
+Result<MissionDataset> BuildMissionDataset();
+
+/// The MultiLog database D1 of Figure 10, in MultiLog concrete syntax,
+/// including the query r10 used by the Figure 11 proof tree.
+const char* D1Source();
+
+/// A synthetic MLS relation for scaling benchmarks: `entities` keys, each
+/// polyinstantiated across the levels of `lat` with probability
+/// proportional to `versions_per_entity`, deterministic in `seed`.
+Result<Relation> BuildSyntheticRelation(const lattice::SecurityLattice& lat,
+                                        size_t entities,
+                                        size_t versions_per_entity,
+                                        unsigned seed);
+
+}  // namespace multilog::mls
+
+#endif  // MULTILOG_MLS_SAMPLE_DATA_H_

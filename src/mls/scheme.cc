@@ -1,0 +1,87 @@
+#include "mls/scheme.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace multilog::mls {
+
+Result<Scheme> Scheme::Create(std::string relation_name,
+                              std::vector<AttributeDef> attributes,
+                              const std::string& key,
+                              const lattice::SecurityLattice& lat) {
+  return CreateComposite(std::move(relation_name), std::move(attributes),
+                         {key}, lat);
+}
+
+Result<Scheme> Scheme::CreateComposite(
+    std::string relation_name, std::vector<AttributeDef> attributes,
+    const std::vector<std::string>& key,
+    const lattice::SecurityLattice& lat) {
+  if (attributes.empty()) {
+    return Status::InvalidArgument("scheme needs at least one attribute");
+  }
+  if (key.empty()) {
+    return Status::InvalidArgument("the apparent key needs at least one "
+                                   "attribute");
+  }
+  std::unordered_set<std::string> names;
+  for (const AttributeDef& a : attributes) {
+    if (a.name.empty()) {
+      return Status::InvalidArgument("empty attribute name");
+    }
+    if (!names.insert(a.name).second) {
+      return Status::InvalidArgument("duplicate attribute name '" + a.name +
+                                     "'");
+    }
+    MULTILOG_ASSIGN_OR_RETURN(bool ok, lat.Leq(a.low, a.high));
+    if (!ok) {
+      return Status::InvalidArgument(
+          "attribute '" + a.name + "' has an empty classification range [" +
+          a.low + ", " + a.high + "]");
+    }
+  }
+
+  // Move the key attributes to the front, in key order.
+  std::vector<AttributeDef> reordered;
+  std::unordered_set<std::string> key_set;
+  for (const std::string& k : key) {
+    if (!key_set.insert(k).second) {
+      return Status::InvalidArgument("duplicate key attribute '" + k + "'");
+    }
+    auto it = std::find_if(
+        attributes.begin(), attributes.end(),
+        [&k](const AttributeDef& a) { return a.name == k; });
+    if (it == attributes.end()) {
+      return Status::InvalidArgument("apparent key attribute '" + k +
+                                     "' is not an attribute");
+    }
+    reordered.push_back(*it);
+  }
+  for (const AttributeDef& a : attributes) {
+    if (!key_set.count(a.name)) reordered.push_back(a);
+  }
+
+  Scheme s;
+  s.relation_name_ = std::move(relation_name);
+  s.attributes_ = std::move(reordered);
+  s.key_arity_ = key.size();
+  return s;
+}
+
+Result<size_t> Scheme::AttributeIndex(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return Status::NotFound("no attribute '" + name + "' in relation '" +
+                          relation_name_ + "'");
+}
+
+Result<bool> Scheme::InRange(size_t attribute_index, const std::string& level,
+                             const lattice::SecurityLattice& lat) const {
+  const AttributeDef& a = attributes_[attribute_index];
+  MULTILOG_ASSIGN_OR_RETURN(bool above_low, lat.Leq(a.low, level));
+  MULTILOG_ASSIGN_OR_RETURN(bool below_high, lat.Leq(level, a.high));
+  return above_low && below_high;
+}
+
+}  // namespace multilog::mls

@@ -1,0 +1,73 @@
+#ifndef MULTILOG_MLS_SCHEME_H_
+#define MULTILOG_MLS_SCHEME_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "lattice/lattice.h"
+
+namespace multilog::mls {
+
+/// One data attribute A_i of a multilevel relation scheme, with the
+/// classification range [low, high] of its classification attribute C_i
+/// (Definition 2.1 of the paper).
+struct AttributeDef {
+  std::string name;
+  /// Lower and upper bounds of admissible classifications; level names in
+  /// the lattice the scheme is validated against.
+  std::string low;
+  std::string high;
+};
+
+/// A multilevel relation scheme R(A1,C1,...,An,Cn,TC) per Definition 2.1.
+/// The apparent key AK (Section 2) is a designated attribute - or, per
+/// the Section 7 relaxation, a set of attributes, uniformly classified
+/// (Definition 5.4's entity integrity). Key attributes always occupy the
+/// first `key_arity()` positions.
+class Scheme {
+ public:
+  /// Single-attribute key (the paper's default). Validates attribute
+  /// names (non-empty, unique), that `key` names one of them, and that
+  /// every range [low, high] satisfies low <= high in `lat`. On success
+  /// the key attribute is moved to position 0.
+  static Result<Scheme> Create(std::string relation_name,
+                               std::vector<AttributeDef> attributes,
+                               const std::string& key,
+                               const lattice::SecurityLattice& lat);
+
+  /// Multi-attribute key (Section 7). The key attributes are moved to
+  /// the front, in the order given.
+  static Result<Scheme> CreateComposite(
+      std::string relation_name, std::vector<AttributeDef> attributes,
+      const std::vector<std::string>& key,
+      const lattice::SecurityLattice& lat);
+
+  const std::string& relation_name() const { return relation_name_; }
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+  size_t arity() const { return attributes_.size(); }
+
+  /// Number of key attributes (>= 1); they are attributes 0..key_arity-1.
+  size_t key_arity() const { return key_arity_; }
+  bool IsKeyPosition(size_t i) const { return i < key_arity_; }
+
+  /// The first key attribute (the whole key when key_arity() == 1).
+  const std::string& key_attribute() const { return attributes_[0].name; }
+
+  /// Index of `name`, or NotFound.
+  Result<size_t> AttributeIndex(const std::string& name) const;
+
+  /// True when classification `level` lies within attribute i's range.
+  Result<bool> InRange(size_t attribute_index, const std::string& level,
+                       const lattice::SecurityLattice& lat) const;
+
+ private:
+  std::string relation_name_;
+  std::vector<AttributeDef> attributes_;
+  size_t key_arity_ = 1;
+};
+
+}  // namespace multilog::mls
+
+#endif  // MULTILOG_MLS_SCHEME_H_

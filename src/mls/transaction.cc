@@ -1,0 +1,108 @@
+#include "mls/transaction.h"
+
+namespace multilog::mls {
+
+Result<Transaction> Transaction::Begin(Relation* relation,
+                                       const std::string& level) {
+  MULTILOG_RETURN_IF_ERROR(relation->lat().Index(level).status());
+  // Snapshot: a deep copy of the live relation (tuples are values).
+  Relation scratch(relation->scheme(), &relation->lat());
+  for (const Tuple& t : relation->tuples()) {
+    MULTILOG_RETURN_IF_ERROR(scratch.InsertTuple(t));
+  }
+  return Transaction(relation, std::move(scratch), level);
+}
+
+Status Transaction::RequireActive() const {
+  if (state_ == State::kActive) return Status::OK();
+  return Status::InvalidArgument(
+      state_ == State::kCommitted
+          ? "transaction already committed"
+          : "transaction already aborted");
+}
+
+Status Transaction::Insert(const std::vector<Value>& values) {
+  MULTILOG_RETURN_IF_ERROR(RequireActive());
+  MULTILOG_RETURN_IF_ERROR(scratch_.InsertAt(level_, values));
+  Op op;
+  op.kind = Op::Kind::kInsert;
+  op.values = values;
+  log_.push_back(std::move(op));
+  return Status::OK();
+}
+
+Status Transaction::Update(const Value& key, const std::string& attribute,
+                           const Value& value) {
+  MULTILOG_RETURN_IF_ERROR(RequireActive());
+  MULTILOG_RETURN_IF_ERROR(scratch_.UpdateAt(level_, key, attribute, value));
+  Op op;
+  op.kind = Op::Kind::kUpdate;
+  op.key = key;
+  op.attribute = attribute;
+  op.value = value;
+  log_.push_back(std::move(op));
+  return Status::OK();
+}
+
+Status Transaction::Delete(const Value& key) {
+  MULTILOG_RETURN_IF_ERROR(RequireActive());
+  MULTILOG_RETURN_IF_ERROR(scratch_.DeleteAt(level_, key));
+  Op op;
+  op.kind = Op::Kind::kDelete;
+  op.key = key;
+  log_.push_back(std::move(op));
+  return Status::OK();
+}
+
+Result<Relation> Transaction::View() const {
+  MULTILOG_RETURN_IF_ERROR(RequireActive());
+  return scratch_.ViewAt(level_);
+}
+
+Status Transaction::Commit() {
+  MULTILOG_RETURN_IF_ERROR(RequireActive());
+
+  // Dry-run against a copy of the *current* live state so a mid-replay
+  // failure cannot leave the live relation half-updated.
+  Relation trial(live_->scheme(), &live_->lat());
+  for (const Tuple& t : live_->tuples()) {
+    MULTILOG_RETURN_IF_ERROR(trial.InsertTuple(t));
+  }
+  auto replay = [this](Relation* target) -> Status {
+    for (const Op& op : log_) {
+      switch (op.kind) {
+        case Op::Kind::kInsert:
+          MULTILOG_RETURN_IF_ERROR(target->InsertAt(level_, op.values));
+          break;
+        case Op::Kind::kUpdate:
+          MULTILOG_RETURN_IF_ERROR(
+              target->UpdateAt(level_, op.key, op.attribute, op.value));
+          break;
+        case Op::Kind::kDelete:
+          MULTILOG_RETURN_IF_ERROR(target->DeleteAt(level_, op.key));
+          break;
+      }
+    }
+    return Status::OK();
+  };
+  Status dry = replay(&trial);
+  if (!dry.ok()) {
+    return dry.WithContext("commit conflict; transaction still active");
+  }
+
+  Status real = replay(live_);
+  if (!real.ok()) {
+    // The dry run succeeded on an identical copy, so this is a bug.
+    return Status::Internal("commit diverged from its dry run: " +
+                            real.message());
+  }
+  state_ = State::kCommitted;
+  return Status::OK();
+}
+
+void Transaction::Abort() {
+  if (state_ == State::kActive) state_ = State::kAborted;
+  log_.clear();
+}
+
+}  // namespace multilog::mls

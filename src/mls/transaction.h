@@ -1,0 +1,85 @@
+#ifndef MULTILOG_MLS_TRANSACTION_H_
+#define MULTILOG_MLS_TRANSACTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mls/relation.h"
+
+namespace multilog::mls {
+
+/// A single-subject transaction over one MLS relation: operations are
+/// buffered against a snapshot copy and only applied to the live
+/// relation on Commit. Abort (or destruction without Commit) leaves the
+/// live relation untouched.
+///
+/// The transaction is bound to one clearance level - the paper's model
+/// fixes the subject's level per session - so every buffered operation
+/// runs at that level, and reads inside the transaction see the
+/// snapshot plus the transaction's own writes (read-your-writes at the
+/// subject's clearance).
+///
+/// Single-writer semantics: Commit re-plays the operation log against
+/// the live relation and fails atomically (no partial application) if
+/// the live relation changed incompatibly since Begin.
+class Transaction {
+ public:
+  /// Starts a transaction for a subject cleared at `level`. `relation`
+  /// must outlive the transaction.
+  static Result<Transaction> Begin(Relation* relation,
+                                   const std::string& level);
+
+  Transaction(Transaction&&) = default;
+  Transaction& operator=(Transaction&&) = default;
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  /// Buffered polyinstantiating operations (see Relation).
+  Status Insert(const std::vector<Value>& values);
+  Status Update(const Value& key, const std::string& attribute,
+                const Value& value);
+  Status Delete(const Value& key);
+
+  /// The subject's view of the in-transaction state (snapshot + own
+  /// writes), through the Jajodia-Sandhu view at the subject's level.
+  Result<Relation> View() const;
+
+  /// Re-plays the buffered operations against the live relation; all or
+  /// nothing. A committed or aborted transaction rejects further use.
+  Status Commit();
+
+  /// Discards all buffered operations.
+  void Abort();
+
+  bool active() const { return state_ == State::kActive; }
+  size_t pending_operations() const { return log_.size(); }
+  const std::string& level() const { return level_; }
+
+ private:
+  enum class State { kActive, kCommitted, kAborted };
+
+  struct Op {
+    enum class Kind { kInsert, kUpdate, kDelete };
+    Kind kind;
+    std::vector<Value> values;  // insert
+    Value key;                  // update/delete
+    std::string attribute;      // update
+    Value value;                // update
+  };
+
+  Transaction(Relation* live, Relation scratch, std::string level)
+      : live_(live), scratch_(std::move(scratch)), level_(std::move(level)) {}
+
+  Status RequireActive() const;
+
+  Relation* live_;
+  Relation scratch_;  // snapshot + own writes
+  std::string level_;
+  std::vector<Op> log_;
+  State state_ = State::kActive;
+};
+
+}  // namespace multilog::mls
+
+#endif  // MULTILOG_MLS_TRANSACTION_H_

@@ -1,0 +1,25 @@
+#include "mls/tuple.h"
+
+namespace multilog::mls {
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += cells[i].ToString();
+  }
+  out += " | TC=" + tc + ")";
+  return out;
+}
+
+bool Tuple::SubsumesCells(const Tuple& other) const {
+  if (cells.size() != other.cells.size()) return false;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (cells[i] == other.cells[i]) continue;
+    if (!cells[i].value.is_null() && other.cells[i].value.is_null()) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace multilog::mls

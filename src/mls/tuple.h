@@ -1,0 +1,60 @@
+#ifndef MULTILOG_MLS_TUPLE_H_
+#define MULTILOG_MLS_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "mls/value.h"
+
+namespace multilog::mls {
+
+/// An attribute value together with its classification attribute:
+/// the pair (A_i, C_i) of Definition 2.2.
+struct Cell {
+  Value value;
+  std::string classification;
+
+  bool operator==(const Cell& other) const {
+    return value == other.value && classification == other.classification;
+  }
+  bool operator!=(const Cell& other) const { return !(*this == other); }
+  bool operator<(const Cell& other) const {
+    if (value != other.value) return value < other.value;
+    return classification < other.classification;
+  }
+
+  /// "Shipping/s" or "⊥/u".
+  std::string ToString() const {
+    return value.ToString() + "/" + classification;
+  }
+};
+
+/// A multilevel tuple: one cell per scheme attribute (cell 0 is the
+/// apparent key) plus the tuple class TC.
+struct Tuple {
+  std::vector<Cell> cells;
+  std::string tc;
+
+  const Cell& key_cell() const { return cells[0]; }
+
+  bool operator==(const Tuple& other) const {
+    return cells == other.cells && tc == other.tc;
+  }
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
+  bool operator<(const Tuple& other) const {
+    if (cells != other.cells) return cells < other.cells;
+    return tc < other.tc;
+  }
+
+  /// "(avenger/s, shipping/s, pluto/s | TC=s)".
+  std::string ToString() const;
+
+  /// True when `this` subsumes `other` cell-wise (Definition 5.4's null
+  /// integrity, clause 2): for every position either the cells are equal,
+  /// or this cell is non-null while the other is null. TC is ignored.
+  bool SubsumesCells(const Tuple& other) const;
+};
+
+}  // namespace multilog::mls
+
+#endif  // MULTILOG_MLS_TUPLE_H_

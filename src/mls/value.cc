@@ -1,0 +1,11 @@
+#include "mls/value.h"
+
+namespace multilog::mls {
+
+std::string Value::ToString() const {
+  if (is_null()) return "⊥";
+  if (is_string()) return str();
+  return std::to_string(int_value());
+}
+
+}  // namespace multilog::mls

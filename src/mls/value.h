@@ -1,0 +1,56 @@
+#ifndef MULTILOG_MLS_VALUE_H_
+#define MULTILOG_MLS_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace multilog::mls {
+
+/// An attribute value in a multilevel relation: a string, an integer, or
+/// the distinguished null ⊥ (the paper's bottom symbol, produced when a
+/// classified cell is hidden from a lower view).
+class Value {
+ public:
+  /// Constructs ⊥.
+  Value() : repr_(Null{}) {}
+
+  static Value NullValue() { return Value(); }
+  static Value Str(std::string s) {
+    Value v;
+    v.repr_ = std::move(s);
+    return v;
+  }
+  static Value Int(int64_t i) {
+    Value v;
+    v.repr_ = i;
+    return v;
+  }
+
+  bool is_null() const { return std::holds_alternative<Null>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(repr_); }
+
+  /// Requires is_string().
+  const std::string& str() const { return std::get<std::string>(repr_); }
+  /// Requires is_int().
+  int64_t int_value() const { return std::get<int64_t>(repr_); }
+
+  /// "⊥" for null, the text for strings, digits for ints.
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return repr_ == other.repr_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const { return repr_ < other.repr_; }
+
+ private:
+  struct Null {
+    bool operator==(const Null&) const { return true; }
+    bool operator<(const Null&) const { return false; }
+  };
+  std::variant<Null, std::string, int64_t> repr_;
+};
+
+}  // namespace multilog::mls
+
+#endif  // MULTILOG_MLS_VALUE_H_

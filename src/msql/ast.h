@@ -1,0 +1,107 @@
+#ifndef MULTILOG_MSQL_AST_H_
+#define MULTILOG_MSQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mls/value.h"
+
+namespace multilog::msql {
+
+/// Comparison operators of the WHERE clause.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+const char* CompareOpToString(CompareOp op);
+
+struct Expr;
+struct QueryExpr;
+
+/// A scalar operand: a column reference or a literal.
+struct Operand {
+  enum class Kind { kColumn, kLiteral };
+  Kind kind = Kind::kLiteral;
+  std::string column;  // kColumn
+  mls::Value literal;  // kLiteral
+};
+
+/// A boolean WHERE expression.
+struct Expr {
+  enum class Kind { kCompare, kAnd, kOr, kNot, kInSubquery };
+  Kind kind = Kind::kCompare;
+
+  // kCompare
+  CompareOp op = CompareOp::kEq;
+  Operand lhs;
+  Operand rhs;
+
+  // kAnd / kOr (two operands) and kNot (one operand, in children[0])
+  std::vector<std::unique_ptr<Expr>> children;
+
+  // kInSubquery: `lhs IN (subquery)`; the subquery must produce a single
+  // column.
+  std::unique_ptr<QueryExpr> subquery;
+};
+
+/// A single SELECT:
+///   SELECT cols|* FROM relation [WHERE expr] [BELIEVED mode]
+/// Without BELIEVED the relation is read through the Jajodia-Sandhu view
+/// at the session level; with it, through the belief function beta.
+struct SelectStmt {
+  std::vector<std::string> columns;  // empty means *
+  bool count_star = false;           // SELECT COUNT(*) ...
+  std::string relation;
+  std::unique_ptr<Expr> where;   // may be null
+  std::string believed_mode;     // empty when absent
+};
+
+/// SELECT ... INTERSECT/UNION/EXCEPT SELECT ... (left-associative).
+struct QueryExpr {
+  enum class Kind { kSelect, kUnion, kIntersect, kExcept };
+  Kind kind = Kind::kSelect;
+  std::unique_ptr<SelectStmt> select;  // kSelect
+  std::unique_ptr<QueryExpr> lhs;      // set ops
+  std::unique_ptr<QueryExpr> rhs;
+};
+
+/// INSERT INTO rel VALUES (v1, ..., vn) - executed as a polyinstantiating
+/// insert at the session level (every cell classified at the subject's
+/// clearance, per the star-property).
+struct InsertStmt {
+  std::string relation;
+  std::vector<mls::Value> values;
+};
+
+/// UPDATE rel SET col = value WHERE key = k - the Jajodia-Sandhu update:
+/// in place when the subject owns the cell at its level, otherwise
+/// polyinstantiating. The WHERE clause must be an equality on the
+/// apparent key.
+struct UpdateStmt {
+  std::string relation;
+  std::string column;
+  mls::Value value;
+  std::string key_column;
+  mls::Value key;
+};
+
+/// DELETE FROM rel WHERE key = k - removes the versions living at the
+/// session level.
+struct DeleteStmt {
+  std::string relation;
+  std::string key_column;
+  mls::Value key;
+};
+
+/// A full statement: `USER CONTEXT level`, a query expression, or DML.
+struct Statement {
+  enum class Kind { kUserContext, kQuery, kInsert, kUpdate, kDelete };
+  Kind kind = Kind::kQuery;
+  std::string user_level;              // kUserContext
+  std::unique_ptr<QueryExpr> query;    // kQuery
+  std::unique_ptr<InsertStmt> insert;  // kInsert
+  std::unique_ptr<UpdateStmt> update;  // kUpdate
+  std::unique_ptr<DeleteStmt> del;     // kDelete
+};
+
+}  // namespace multilog::msql
+
+#endif  // MULTILOG_MSQL_AST_H_

@@ -1,0 +1,376 @@
+#include "msql/executor.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/str_util.h"
+#include "common/table_printer.h"
+#include "msql/parser.h"
+
+namespace multilog::msql {
+
+namespace {
+
+/// Case-insensitive value comparison: -1 / 0 / +1, or no value when the
+/// kinds are incomparable (null vs non-null compares unequal but
+/// unordered).
+std::optional<int> CompareValues(const mls::Value& a, const mls::Value& b) {
+  if (a.is_null() || b.is_null()) {
+    return (a.is_null() && b.is_null()) ? std::optional<int>(0)
+                                        : std::nullopt;
+  }
+  if (a.is_int() && b.is_int()) {
+    if (a.int_value() < b.int_value()) return -1;
+    if (a.int_value() > b.int_value()) return 1;
+    return 0;
+  }
+  if (a.is_string() && b.is_string()) {
+    std::string la = ToLower(a.str());
+    std::string lb = ToLower(b.str());
+    if (la < lb) return -1;
+    if (la > lb) return 1;
+    return 0;
+  }
+  return std::nullopt;
+}
+
+bool EvalCompare(CompareOp op, std::optional<int> cmp) {
+  if (!cmp.has_value()) {
+    // Incomparable kinds: only != holds.
+    return op == CompareOp::kNe;
+  }
+  switch (op) {
+    case CompareOp::kEq:
+      return *cmp == 0;
+    case CompareOp::kNe:
+      return *cmp != 0;
+    case CompareOp::kLt:
+      return *cmp < 0;
+    case CompareOp::kLe:
+      return *cmp <= 0;
+    case CompareOp::kGt:
+      return *cmp > 0;
+    case CompareOp::kGe:
+      return *cmp >= 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string ResultSet::ToString() const {
+  TablePrinter printer(columns);
+  for (const auto& row : rows) printer.AddRow(row);
+  return printer.ToString();
+}
+
+Status Session::RegisterRelation(const std::string& name,
+                                 const mls::Relation* relation) {
+  std::string key = ToLower(name);
+  if (!catalog_.emplace(std::move(key), relation).second) {
+    return Status::InvalidArgument("relation '" + name +
+                                   "' already registered");
+  }
+  return Status::OK();
+}
+
+Status Session::RegisterMutableRelation(const std::string& name,
+                                        mls::Relation* relation) {
+  MULTILOG_RETURN_IF_ERROR(RegisterRelation(name, relation));
+  mutable_catalog_.emplace(ToLower(name), relation);
+  return Status::OK();
+}
+
+Result<mls::Relation*> Session::MutableRelation(const std::string& name) {
+  auto it = mutable_catalog_.find(ToLower(name));
+  if (it == mutable_catalog_.end()) {
+    if (catalog_.count(ToLower(name))) {
+      return Status::InvalidArgument("relation '" + name +
+                                     "' is registered read-only");
+    }
+    return Status::NotFound("unknown relation '" + name + "'");
+  }
+  return it->second;
+}
+
+Status Session::RequireContext() const {
+  if (user_level_.empty()) {
+    return Status::InvalidArgument(
+        "no user context set; run `user context <level>` first");
+  }
+  return Status::OK();
+}
+
+Status Session::SetUserContext(const std::string& level) {
+  // Validated lazily against each queried relation's lattice (relations
+  // may use different lattices); only non-emptiness is checked here.
+  if (level.empty()) {
+    return Status::InvalidArgument("empty user context level");
+  }
+  user_level_ = ToLower(level);
+  return Status::OK();
+}
+
+Result<ResultSet> Session::Execute(std::string_view sql) {
+  MULTILOG_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  return ExecuteStatement(stmt);
+}
+
+Result<ResultSet> Session::ExecuteStatement(const Statement& stmt) {
+  switch (stmt.kind) {
+    case Statement::Kind::kUserContext: {
+      MULTILOG_RETURN_IF_ERROR(SetUserContext(stmt.user_level));
+      ResultSet ack;
+      ack.columns = {"context"};
+      ack.rows = {{user_level_}};
+      return ack;
+    }
+    case Statement::Kind::kInsert:
+      return ExecuteInsert(*stmt.insert);
+    case Statement::Kind::kUpdate:
+      return ExecuteUpdate(*stmt.update);
+    case Statement::Kind::kDelete:
+      return ExecuteDelete(*stmt.del);
+    case Statement::Kind::kQuery:
+      break;
+  }
+  return ExecuteQuery(*stmt.query);
+}
+
+Result<ResultSet> Session::ExecuteInsert(const InsertStmt& insert) {
+  MULTILOG_RETURN_IF_ERROR(RequireContext());
+  MULTILOG_ASSIGN_OR_RETURN(mls::Relation * rel,
+                            MutableRelation(insert.relation));
+  MULTILOG_RETURN_IF_ERROR(rel->InsertAt(user_level_, insert.values));
+  ResultSet ack;
+  ack.columns = {"inserted"};
+  ack.rows = {{"1"}};
+  return ack;
+}
+
+Result<ResultSet> Session::ExecuteUpdate(const UpdateStmt& update) {
+  MULTILOG_RETURN_IF_ERROR(RequireContext());
+  MULTILOG_ASSIGN_OR_RETURN(mls::Relation * rel,
+                            MutableRelation(update.relation));
+  if (rel->scheme().key_arity() != 1) {
+    return Status::InvalidArgument(
+        "MSQL DML supports single-attribute keys; use the Relation API "
+        "for composite keys");
+  }
+  if (ToLower(rel->scheme().key_attribute()) !=
+      ToLower(update.key_column)) {
+    return Status::InvalidArgument(
+        "UPDATE requires `where <apparent key> = <value>`; the key of '" +
+        update.relation + "' is '" + rel->scheme().key_attribute() + "'");
+  }
+  // Resolve the target column case-insensitively.
+  std::string column;
+  for (const mls::AttributeDef& a : rel->scheme().attributes()) {
+    if (ToLower(a.name) == ToLower(update.column)) column = a.name;
+  }
+  if (column.empty()) {
+    return Status::NotFound("no column '" + update.column +
+                            "' in relation '" + update.relation + "'");
+  }
+  MULTILOG_RETURN_IF_ERROR(
+      rel->UpdateAt(user_level_, update.key, column, update.value));
+  ResultSet ack;
+  ack.columns = {"updated"};
+  ack.rows = {{"1"}};
+  return ack;
+}
+
+Result<ResultSet> Session::ExecuteDelete(const DeleteStmt& del) {
+  MULTILOG_RETURN_IF_ERROR(RequireContext());
+  MULTILOG_ASSIGN_OR_RETURN(mls::Relation * rel,
+                            MutableRelation(del.relation));
+  if (rel->scheme().key_arity() != 1) {
+    return Status::InvalidArgument(
+        "MSQL DML supports single-attribute keys; use the Relation API "
+        "for composite keys");
+  }
+  if (ToLower(rel->scheme().key_attribute()) != ToLower(del.key_column)) {
+    return Status::InvalidArgument(
+        "DELETE requires `where <apparent key> = <value>`");
+  }
+  MULTILOG_RETURN_IF_ERROR(rel->DeleteAt(user_level_, del.key));
+  ResultSet ack;
+  ack.columns = {"deleted"};
+  ack.rows = {{"1"}};
+  return ack;
+}
+
+Result<ResultSet> Session::ExecuteQuery(const QueryExpr& query) {
+  if (query.kind == QueryExpr::Kind::kSelect) {
+    return ExecuteSelect(*query.select);
+  }
+  MULTILOG_ASSIGN_OR_RETURN(ResultSet lhs, ExecuteQuery(*query.lhs));
+  MULTILOG_ASSIGN_OR_RETURN(ResultSet rhs, ExecuteQuery(*query.rhs));
+  if (lhs.columns.size() != rhs.columns.size()) {
+    return Status::InvalidArgument(
+        "set operation between results of different arity");
+  }
+
+  std::set<std::vector<std::string>> right(rhs.rows.begin(), rhs.rows.end());
+  ResultSet out;
+  out.columns = lhs.columns;
+  std::set<std::vector<std::string>> emitted;
+  auto emit = [&](const std::vector<std::string>& row) {
+    if (emitted.insert(row).second) out.rows.push_back(row);
+  };
+  switch (query.kind) {
+    case QueryExpr::Kind::kUnion:
+      for (const auto& row : lhs.rows) emit(row);
+      for (const auto& row : rhs.rows) emit(row);
+      break;
+    case QueryExpr::Kind::kIntersect:
+      for (const auto& row : lhs.rows) {
+        if (right.count(row)) emit(row);
+      }
+      break;
+    case QueryExpr::Kind::kExcept:
+      for (const auto& row : lhs.rows) {
+        if (!right.count(row)) emit(row);
+      }
+      break;
+    case QueryExpr::Kind::kSelect:
+      break;  // unreachable
+  }
+  std::sort(out.rows.begin(), out.rows.end());
+  return out;
+}
+
+Result<ResultSet> Session::ExecuteSelect(const SelectStmt& select) {
+  if (user_level_.empty()) {
+    return Status::InvalidArgument(
+        "no user context set; run `user context <level>` first");
+  }
+  auto it = catalog_.find(ToLower(select.relation));
+  if (it == catalog_.end()) {
+    return Status::NotFound("unknown relation '" + select.relation + "'");
+  }
+  const mls::Relation& base = *it->second;
+
+  // Materialize the readable relation: sigma view by default, beta under
+  // BELIEVED.
+  mls::Relation source(base.scheme(), &base.lat());
+  if (select.believed_mode.empty()) {
+    MULTILOG_ASSIGN_OR_RETURN(source, base.ViewAt(user_level_));
+  } else if (registry_ != nullptr) {
+    MULTILOG_ASSIGN_OR_RETURN(
+        mls::BeliefOutcome outcome,
+        registry_->Believe(base, user_level_, select.believed_mode));
+    source = std::move(outcome.relation);
+  } else {
+    MULTILOG_ASSIGN_OR_RETURN(mls::BeliefMode mode,
+                              mls::ParseBeliefMode(select.believed_mode));
+    MULTILOG_ASSIGN_OR_RETURN(mls::BeliefOutcome outcome,
+                              mls::Believe(base, user_level_, mode));
+    source = std::move(outcome.relation);
+  }
+
+  // Resolve projection columns.
+  const mls::Scheme& scheme = source.scheme();
+  std::vector<size_t> projection;
+  ResultSet out;
+  if (select.columns.empty()) {
+    for (size_t i = 0; i < scheme.arity(); ++i) {
+      projection.push_back(i);
+      out.columns.push_back(ToLower(scheme.attributes()[i].name));
+    }
+  } else {
+    for (const std::string& name : select.columns) {
+      bool found = false;
+      for (size_t i = 0; i < scheme.arity(); ++i) {
+        if (ToLower(scheme.attributes()[i].name) == name) {
+          projection.push_back(i);
+          out.columns.push_back(name);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::NotFound("no column '" + name + "' in relation '" +
+                                select.relation + "'");
+      }
+    }
+  }
+
+  // Evaluate WHERE per tuple; bare identifiers that are not columns read
+  // as string literals (so `destination = mars` works as sketched in the
+  // paper).
+  auto resolve = [&scheme](const Operand& op,
+                           const mls::Tuple& t) -> Result<mls::Value> {
+    if (op.kind == Operand::Kind::kLiteral) return op.literal;
+    for (size_t i = 0; i < scheme.arity(); ++i) {
+      if (ToLower(scheme.attributes()[i].name) == op.column) {
+        return t.cells[i].value;
+      }
+    }
+    return mls::Value::Str(op.column);
+  };
+
+  std::function<Result<bool>(const Expr&, const mls::Tuple&)> eval =
+      [&](const Expr& expr, const mls::Tuple& t) -> Result<bool> {
+    switch (expr.kind) {
+      case Expr::Kind::kCompare: {
+        MULTILOG_ASSIGN_OR_RETURN(mls::Value lhs, resolve(expr.lhs, t));
+        MULTILOG_ASSIGN_OR_RETURN(mls::Value rhs, resolve(expr.rhs, t));
+        return EvalCompare(expr.op, CompareValues(lhs, rhs));
+      }
+      case Expr::Kind::kAnd: {
+        MULTILOG_ASSIGN_OR_RETURN(bool a, eval(*expr.children[0], t));
+        if (!a) return false;
+        return eval(*expr.children[1], t);
+      }
+      case Expr::Kind::kOr: {
+        MULTILOG_ASSIGN_OR_RETURN(bool a, eval(*expr.children[0], t));
+        if (a) return true;
+        return eval(*expr.children[1], t);
+      }
+      case Expr::Kind::kNot: {
+        MULTILOG_ASSIGN_OR_RETURN(bool a, eval(*expr.children[0], t));
+        return !a;
+      }
+      case Expr::Kind::kInSubquery: {
+        MULTILOG_ASSIGN_OR_RETURN(mls::Value lhs, resolve(expr.lhs, t));
+        MULTILOG_ASSIGN_OR_RETURN(ResultSet sub,
+                                  ExecuteQuery(*expr.subquery));
+        if (sub.columns.size() != 1) {
+          return Status::InvalidArgument(
+              "IN subquery must produce exactly one column");
+        }
+        std::string needle = ToLower(lhs.ToString());
+        for (const auto& row : sub.rows) {
+          if (ToLower(row[0]) == needle) return true;
+        }
+        return false;
+      }
+    }
+    return Status::Internal("unreachable expression kind");
+  };
+
+  std::set<std::vector<std::string>> emitted;
+  size_t matched = 0;
+  for (const mls::Tuple& t : source.tuples()) {
+    if (select.where != nullptr) {
+      MULTILOG_ASSIGN_OR_RETURN(bool keep, eval(*select.where, t));
+      if (!keep) continue;
+    }
+    ++matched;
+    if (select.count_star) continue;
+    std::vector<std::string> row;
+    row.reserve(projection.size());
+    for (size_t i : projection) row.push_back(t.cells[i].value.ToString());
+    if (emitted.insert(row).second) out.rows.push_back(std::move(row));
+  }
+  if (select.count_star) {
+    out.columns = {"count"};
+    out.rows = {{std::to_string(matched)}};
+    return out;
+  }
+  std::sort(out.rows.begin(), out.rows.end());
+  return out;
+}
+
+}  // namespace multilog::msql

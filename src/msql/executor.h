@@ -1,0 +1,85 @@
+#ifndef MULTILOG_MSQL_EXECUTOR_H_
+#define MULTILOG_MSQL_EXECUTOR_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "mls/belief.h"
+#include "mls/relation.h"
+#include "msql/ast.h"
+
+namespace multilog::msql {
+
+/// A query result: projected column names and stringified rows,
+/// deduplicated (set semantics) and deterministically ordered.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+
+  bool operator==(const ResultSet& other) const {
+    return columns == other.columns && rows == other.rows;
+  }
+
+  /// Renders as an aligned table (empty result renders the header only).
+  std::string ToString() const;
+};
+
+/// An MSQL session: a catalog of MLS relations, a user context (the
+/// clearance fixed by `user context <level>`), and the belief-mode
+/// registry dispatching `believed <mode>`.
+///
+/// Reads without BELIEVED go through the Jajodia-Sandhu view at the
+/// session level (sigma, with subsumption); `believed m` goes through
+/// the belief function beta instead - the paper's linguistic instrument
+/// for ad hoc belief queries (Section 3.2). String comparisons are
+/// case-insensitive, so `destination = mars` matches 'Mars'.
+class Session {
+ public:
+  /// `registry` may be null (built-in modes only). Registered relations
+  /// and the registry must outlive the session.
+  explicit Session(const mls::BeliefModeRegistry* registry = nullptr)
+      : registry_(registry) {}
+
+  /// Adds `relation` under `name` (case-insensitive lookup), read-only:
+  /// DML statements against it are rejected.
+  Status RegisterRelation(const std::string& name,
+                          const mls::Relation* relation);
+
+  /// Adds a writable relation: INSERT/UPDATE/DELETE execute the
+  /// polyinstantiating operations at the session level.
+  Status RegisterMutableRelation(const std::string& name,
+                                 mls::Relation* relation);
+
+  /// Sets the user context level directly (as `user context l` does).
+  Status SetUserContext(const std::string& level);
+  const std::string& user_context() const { return user_level_; }
+
+  /// Parses and executes one statement. `user context` statements return
+  /// an empty ResultSet with a "context" pseudo-column.
+  Result<ResultSet> Execute(std::string_view sql);
+
+  /// Executes an already-parsed statement.
+  Result<ResultSet> ExecuteStatement(const Statement& stmt);
+
+ private:
+  Result<ResultSet> ExecuteQuery(const QueryExpr& query);
+  Result<ResultSet> ExecuteSelect(const SelectStmt& select);
+  Result<ResultSet> ExecuteInsert(const InsertStmt& insert);
+  Result<ResultSet> ExecuteUpdate(const UpdateStmt& update);
+  Result<ResultSet> ExecuteDelete(const DeleteStmt& del);
+
+  Result<mls::Relation*> MutableRelation(const std::string& name);
+  Status RequireContext() const;
+
+  const mls::BeliefModeRegistry* registry_;
+  std::map<std::string, const mls::Relation*> catalog_;
+  std::map<std::string, mls::Relation*> mutable_catalog_;
+  std::string user_level_;
+};
+
+}  // namespace multilog::msql
+
+#endif  // MULTILOG_MSQL_EXECUTOR_H_

@@ -1,0 +1,437 @@
+#include "msql/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/str_util.h"
+
+namespace multilog::msql {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+namespace {
+
+enum class TokenKind { kIdent, kString, kInt, kSymbol, kEnd };
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // identifier (lower-cased), string body, or symbol
+  int64_t number = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) { Advance(); }
+
+  const Token& current() const { return cur_; }
+
+  void Advance() {
+    SkipWhitespace();
+    if (pos_ >= src_.size()) {
+      cur_ = Token{TokenKind::kEnd, "", 0};
+      return;
+    }
+    char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '_')) {
+        ++pos_;
+      }
+      cur_ = Token{TokenKind::kIdent,
+                   ToLower(src_.substr(start, pos_ - start)), 0};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos_;
+      while (pos_ < src_.size() &&
+             std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+        ++pos_;
+      }
+      cur_ = Token{TokenKind::kInt, "", 0};
+      cur_.number = std::strtoll(
+          std::string(src_.substr(start, pos_ - start)).c_str(), nullptr, 10);
+      return;
+    }
+    if (c == '\'') {
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < src_.size() && src_[pos_] != '\'') ++pos_;
+      std::string body(src_.substr(start, pos_ - start));
+      if (pos_ < src_.size()) ++pos_;  // closing quote
+      cur_ = Token{TokenKind::kString, std::move(body), 0};
+      return;
+    }
+    // Multi-char operators first.
+    for (std::string_view op : {"<>", "<=", ">=", "!="}) {
+      if (src_.substr(pos_, 2) == op) {
+        pos_ += 2;
+        cur_ = Token{TokenKind::kSymbol, std::string(op), 0};
+        return;
+      }
+    }
+    ++pos_;
+    cur_ = Token{TokenKind::kSymbol, std::string(1, c), 0};
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < src_.size() &&
+           (std::isspace(static_cast<unsigned char>(src_[pos_])) ||
+            (src_[pos_] == '-' && pos_ + 1 < src_.size() &&
+             src_[pos_ + 1] == '-'))) {
+      if (src_[pos_] == '-') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else {
+        ++pos_;
+      }
+    }
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  Token cur_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view sql) : lex_(sql) {}
+
+  Result<Statement> Parse() {
+    Statement stmt;
+    if (AtKeyword("user")) {
+      lex_.Advance();
+      MULTILOG_RETURN_IF_ERROR(ExpectKeyword("context"));
+      MULTILOG_ASSIGN_OR_RETURN(std::string level, ExpectIdent());
+      stmt.kind = Statement::Kind::kUserContext;
+      stmt.user_level = std::move(level);
+    } else if (AtKeyword("insert")) {
+      lex_.Advance();
+      MULTILOG_RETURN_IF_ERROR(ExpectKeyword("into"));
+      auto insert = std::make_unique<InsertStmt>();
+      MULTILOG_ASSIGN_OR_RETURN(insert->relation, ExpectIdent());
+      MULTILOG_RETURN_IF_ERROR(ExpectKeyword("values"));
+      MULTILOG_RETURN_IF_ERROR(ExpectSymbol("("));
+      MULTILOG_ASSIGN_OR_RETURN(mls::Value first, ExpectValue());
+      insert->values.push_back(std::move(first));
+      while (TrySymbol(",")) {
+        MULTILOG_ASSIGN_OR_RETURN(mls::Value next, ExpectValue());
+        insert->values.push_back(std::move(next));
+      }
+      MULTILOG_RETURN_IF_ERROR(ExpectSymbol(")"));
+      stmt.kind = Statement::Kind::kInsert;
+      stmt.insert = std::move(insert);
+    } else if (AtKeyword("update")) {
+      lex_.Advance();
+      auto update = std::make_unique<UpdateStmt>();
+      MULTILOG_ASSIGN_OR_RETURN(update->relation, ExpectIdent());
+      MULTILOG_RETURN_IF_ERROR(ExpectKeyword("set"));
+      MULTILOG_ASSIGN_OR_RETURN(update->column, ExpectIdent());
+      MULTILOG_RETURN_IF_ERROR(ExpectSymbol("="));
+      MULTILOG_ASSIGN_OR_RETURN(update->value, ExpectValue());
+      MULTILOG_RETURN_IF_ERROR(ExpectKeyword("where"));
+      MULTILOG_ASSIGN_OR_RETURN(update->key_column, ExpectIdent());
+      MULTILOG_RETURN_IF_ERROR(ExpectSymbol("="));
+      MULTILOG_ASSIGN_OR_RETURN(update->key, ExpectValue());
+      stmt.kind = Statement::Kind::kUpdate;
+      stmt.update = std::move(update);
+    } else if (AtKeyword("delete")) {
+      lex_.Advance();
+      MULTILOG_RETURN_IF_ERROR(ExpectKeyword("from"));
+      auto del = std::make_unique<DeleteStmt>();
+      MULTILOG_ASSIGN_OR_RETURN(del->relation, ExpectIdent());
+      MULTILOG_RETURN_IF_ERROR(ExpectKeyword("where"));
+      MULTILOG_ASSIGN_OR_RETURN(del->key_column, ExpectIdent());
+      MULTILOG_RETURN_IF_ERROR(ExpectSymbol("="));
+      MULTILOG_ASSIGN_OR_RETURN(del->key, ExpectValue());
+      stmt.kind = Statement::Kind::kDelete;
+      stmt.del = std::move(del);
+    } else {
+      MULTILOG_ASSIGN_OR_RETURN(std::unique_ptr<QueryExpr> query,
+                                ParseQueryExpr());
+      stmt.kind = Statement::Kind::kQuery;
+      stmt.query = std::move(query);
+    }
+    TrySymbol(";");
+    if (lex_.current().kind != TokenKind::kEnd) {
+      return Error("trailing input after statement");
+    }
+    return stmt;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message);
+  }
+
+  bool AtKeyword(std::string_view kw) const {
+    return lex_.current().kind == TokenKind::kIdent &&
+           lex_.current().text == kw;
+  }
+
+  bool TryKeyword(std::string_view kw) {
+    if (AtKeyword(kw)) {
+      lex_.Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(std::string_view kw) {
+    if (!TryKeyword(kw)) {
+      return Error("expected keyword '" + std::string(kw) + "'");
+    }
+    return Status::OK();
+  }
+
+  bool TrySymbol(std::string_view sym) {
+    if (lex_.current().kind == TokenKind::kSymbol &&
+        lex_.current().text == sym) {
+      lex_.Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectSymbol(std::string_view sym) {
+    if (!TrySymbol(sym)) return Error("expected '" + std::string(sym) + "'");
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (lex_.current().kind != TokenKind::kIdent) {
+      return Error("expected identifier");
+    }
+    std::string text = lex_.current().text;
+    lex_.Advance();
+    return text;
+  }
+
+  /// A literal value: 'string', integer, NULL, or a bare identifier read
+  /// as a string.
+  Result<mls::Value> ExpectValue() {
+    const Token& t = lex_.current();
+    if (t.kind == TokenKind::kString) {
+      mls::Value v = mls::Value::Str(t.text);
+      lex_.Advance();
+      return v;
+    }
+    if (t.kind == TokenKind::kInt) {
+      mls::Value v = mls::Value::Int(t.number);
+      lex_.Advance();
+      return v;
+    }
+    if (t.kind == TokenKind::kIdent) {
+      mls::Value v = t.text == "null" ? mls::Value::NullValue()
+                                      : mls::Value::Str(t.text);
+      lex_.Advance();
+      return v;
+    }
+    return Error("expected a value");
+  }
+
+  Result<std::unique_ptr<QueryExpr>> ParseQueryExpr() {
+    MULTILOG_ASSIGN_OR_RETURN(std::unique_ptr<QueryExpr> lhs, ParseLeaf());
+    while (true) {
+      QueryExpr::Kind kind;
+      if (TryKeyword("intersect")) {
+        kind = QueryExpr::Kind::kIntersect;
+      } else if (TryKeyword("union")) {
+        kind = QueryExpr::Kind::kUnion;
+      } else if (TryKeyword("except")) {
+        kind = QueryExpr::Kind::kExcept;
+      } else {
+        return lhs;
+      }
+      MULTILOG_ASSIGN_OR_RETURN(std::unique_ptr<QueryExpr> rhs, ParseLeaf());
+      auto combined = std::make_unique<QueryExpr>();
+      combined->kind = kind;
+      combined->lhs = std::move(lhs);
+      combined->rhs = std::move(rhs);
+      lhs = std::move(combined);
+    }
+  }
+
+  Result<std::unique_ptr<QueryExpr>> ParseLeaf() {
+    if (TrySymbol("(")) {
+      MULTILOG_ASSIGN_OR_RETURN(std::unique_ptr<QueryExpr> inner,
+                                ParseQueryExpr());
+      MULTILOG_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return inner;
+    }
+    MULTILOG_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> select,
+                              ParseSelect());
+    auto leaf = std::make_unique<QueryExpr>();
+    leaf->kind = QueryExpr::Kind::kSelect;
+    leaf->select = std::move(select);
+    return leaf;
+  }
+
+  Result<std::unique_ptr<SelectStmt>> ParseSelect() {
+    MULTILOG_RETURN_IF_ERROR(ExpectKeyword("select"));
+    auto select = std::make_unique<SelectStmt>();
+
+    if (AtKeyword("count")) {
+      lex_.Advance();
+      MULTILOG_RETURN_IF_ERROR(ExpectSymbol("("));
+      MULTILOG_RETURN_IF_ERROR(ExpectSymbol("*"));
+      MULTILOG_RETURN_IF_ERROR(ExpectSymbol(")"));
+      select->count_star = true;
+    } else if (!TrySymbol("*")) {
+      MULTILOG_ASSIGN_OR_RETURN(std::string first, ExpectIdent());
+      select->columns.push_back(std::move(first));
+      while (TrySymbol(",")) {
+        MULTILOG_ASSIGN_OR_RETURN(std::string next, ExpectIdent());
+        select->columns.push_back(std::move(next));
+      }
+    }
+
+    MULTILOG_RETURN_IF_ERROR(ExpectKeyword("from"));
+    MULTILOG_ASSIGN_OR_RETURN(select->relation, ExpectIdent());
+
+    if (TryKeyword("where")) {
+      MULTILOG_ASSIGN_OR_RETURN(select->where, ParseOr());
+    }
+    if (TryKeyword("believed")) {
+      MULTILOG_ASSIGN_OR_RETURN(select->believed_mode, ExpectIdent());
+    }
+    return select;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseOr() {
+    MULTILOG_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseAnd());
+    while (TryKeyword("or")) {
+      MULTILOG_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseAnd());
+      auto combined = std::make_unique<Expr>();
+      combined->kind = Expr::Kind::kOr;
+      combined->children.push_back(std::move(lhs));
+      combined->children.push_back(std::move(rhs));
+      lhs = std::move(combined);
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAnd() {
+    MULTILOG_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseUnary());
+    while (TryKeyword("and")) {
+      MULTILOG_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseUnary());
+      auto combined = std::make_unique<Expr>();
+      combined->kind = Expr::Kind::kAnd;
+      combined->children.push_back(std::move(lhs));
+      combined->children.push_back(std::move(rhs));
+      lhs = std::move(combined);
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseUnary() {
+    if (TryKeyword("not")) {
+      MULTILOG_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParseUnary());
+      auto negated = std::make_unique<Expr>();
+      negated->kind = Expr::Kind::kNot;
+      negated->children.push_back(std::move(inner));
+      return negated;
+    }
+    if (TrySymbol("(")) {
+      MULTILOG_ASSIGN_OR_RETURN(std::unique_ptr<Expr> inner, ParseOr());
+      MULTILOG_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return inner;
+    }
+    return ParseComparison();
+  }
+
+  Result<Operand> ParseOperand() {
+    const Token& t = lex_.current();
+    Operand op;
+    if (t.kind == TokenKind::kIdent) {
+      op.kind = Operand::Kind::kColumn;
+      op.column = t.text;
+      lex_.Advance();
+      return op;
+    }
+    if (t.kind == TokenKind::kString) {
+      op.kind = Operand::Kind::kLiteral;
+      op.literal = mls::Value::Str(t.text);
+      lex_.Advance();
+      return op;
+    }
+    if (t.kind == TokenKind::kInt) {
+      op.kind = Operand::Kind::kLiteral;
+      op.literal = mls::Value::Int(t.number);
+      lex_.Advance();
+      return op;
+    }
+    return Error("expected column, string, or integer");
+  }
+
+  Result<std::unique_ptr<Expr>> ParseComparison() {
+    MULTILOG_ASSIGN_OR_RETURN(Operand lhs, ParseOperand());
+
+    if (TryKeyword("in")) {
+      if (lhs.kind != Operand::Kind::kColumn) {
+        return Error("IN requires a column on the left");
+      }
+      MULTILOG_RETURN_IF_ERROR(ExpectSymbol("("));
+      MULTILOG_ASSIGN_OR_RETURN(std::unique_ptr<QueryExpr> sub,
+                                ParseQueryExpr());
+      MULTILOG_RETURN_IF_ERROR(ExpectSymbol(")"));
+      auto expr = std::make_unique<Expr>();
+      expr->kind = Expr::Kind::kInSubquery;
+      expr->lhs = std::move(lhs);
+      expr->subquery = std::move(sub);
+      return expr;
+    }
+
+    CompareOp op;
+    if (TrySymbol("=")) {
+      op = CompareOp::kEq;
+    } else if (TrySymbol("<>") || TrySymbol("!=")) {
+      op = CompareOp::kNe;
+    } else if (TrySymbol("<=")) {
+      op = CompareOp::kLe;
+    } else if (TrySymbol(">=")) {
+      op = CompareOp::kGe;
+    } else if (TrySymbol("<")) {
+      op = CompareOp::kLt;
+    } else if (TrySymbol(">")) {
+      op = CompareOp::kGt;
+    } else {
+      return Error("expected a comparison operator or IN");
+    }
+    MULTILOG_ASSIGN_OR_RETURN(Operand rhs, ParseOperand());
+
+    auto expr = std::make_unique<Expr>();
+    expr->kind = Expr::Kind::kCompare;
+    expr->op = op;
+    expr->lhs = std::move(lhs);
+    expr->rhs = std::move(rhs);
+    return expr;
+  }
+
+  Lexer lex_;
+};
+
+}  // namespace
+
+Result<Statement> ParseStatement(std::string_view sql) {
+  return Parser(sql).Parse();
+}
+
+}  // namespace multilog::msql

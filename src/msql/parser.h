@@ -1,0 +1,36 @@
+#ifndef MULTILOG_MSQL_PARSER_H_
+#define MULTILOG_MSQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "msql/ast.h"
+
+namespace multilog::msql {
+
+/// Parses one MSQL statement - the extended-SQL dialect the paper
+/// sketches in Section 3.2:
+///
+///   user context u
+///
+///   select starship from mission
+///   where destination = 'mars' and objective = 'spying'
+///   believed cautiously
+///
+///   select starship from mission where starship in
+///     (select starship from mission where destination = 'mars'
+///      believed cautiously)
+///   intersect
+///   select starship from mission believed firmly
+///
+/// Keywords are case-insensitive; identifiers are [a-zA-Z_][a-zA-Z0-9_]*;
+/// string literals are single-quoted (bare identifiers in value position
+/// also read as strings, so `destination = mars` works); integers are
+/// 64-bit. A trailing ';' is optional. Belief modes: the long adverbial
+/// forms (firmly / optimistically / cautiously), the paper's short forms
+/// (fir / opt / cau), or any registered user-defined mode name.
+Result<Statement> ParseStatement(std::string_view sql);
+
+}  // namespace multilog::msql
+
+#endif  // MULTILOG_MSQL_PARSER_H_

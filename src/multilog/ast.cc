@@ -1,0 +1,113 @@
+#include "multilog/ast.h"
+
+namespace multilog::ml {
+
+Term NullTerm() { return Term::Sym("null"); }
+
+bool IsNullTerm(const Term& t) { return t.IsSymbol() && t.name() == "null"; }
+
+std::string MCell::ToString() const {
+  return attribute + " -" + classification.ToString() + "-> " +
+         value.ToString();
+}
+
+std::vector<MAtom> MAtom::Atomize() const {
+  std::vector<MAtom> out;
+  out.reserve(cells.size());
+  for (const MCell& cell : cells) {
+    out.push_back(MAtom{level, predicate, key, {cell}});
+  }
+  return out;
+}
+
+std::string MAtom::ToString() const {
+  std::string out = level.ToString() + "[" + predicate + "(" +
+                    key.ToString() + " : ";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += cells[i].ToString();
+  }
+  out += ")]";
+  return out;
+}
+
+std::string BAtom::ToString() const {
+  return matom.ToString() + " << " + mode.ToString();
+}
+
+std::string LAtom::ToString() const {
+  return "level(" + level.ToString() + ")";
+}
+
+std::string HAtom::ToString() const {
+  return "order(" + low.ToString() + ", " + high.ToString() + ")";
+}
+
+std::string CAtom::ToString() const {
+  return lhs.ToString() + " " + datalog::ComparisonToString(op) + " " +
+         rhs.ToString();
+}
+
+std::string MlAtomToString(const MlAtom& atom) {
+  return std::visit([](const auto& a) { return a.ToString(); }, atom);
+}
+
+std::string MlLiteral::ToString() const {
+  return (negated ? "not " : "") + MlAtomToString(atom);
+}
+
+std::string MlClause::ToString() const {
+  std::string out = MlAtomToString(head);
+  if (!body.empty()) {
+    out += " :- ";
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += body[i].ToString();
+    }
+  }
+  out += ".";
+  return out;
+}
+
+ClauseComponent ComponentOf(const MlClause& clause) {
+  if (std::holds_alternative<LAtom>(clause.head) ||
+      std::holds_alternative<HAtom>(clause.head)) {
+    return ClauseComponent::kLambda;
+  }
+  if (std::holds_alternative<MAtom>(clause.head)) {
+    return ClauseComponent::kSigma;
+  }
+  return ClauseComponent::kPi;
+}
+
+void Database::AddClause(MlClause clause) {
+  switch (ComponentOf(clause)) {
+    case ClauseComponent::kLambda:
+      lambda.push_back(std::move(clause));
+      return;
+    case ClauseComponent::kSigma:
+      sigma.push_back(std::move(clause));
+      return;
+    case ClauseComponent::kPi:
+      pi.push_back(std::move(clause));
+      return;
+  }
+}
+
+std::string Database::ToString() const {
+  std::string out;
+  for (const MlClause& c : lambda) out += c.ToString() + "\n";
+  for (const MlClause& c : sigma) out += c.ToString() + "\n";
+  for (const MlClause& c : pi) out += c.ToString() + "\n";
+  for (const std::vector<MlLiteral>& q : queries) {
+    out += "?- ";
+    for (size_t i = 0; i < q.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += q[i].ToString();
+    }
+    out += ".\n";
+  }
+  return out;
+}
+
+}  // namespace multilog::ml

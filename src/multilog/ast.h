@@ -1,0 +1,161 @@
+#ifndef MULTILOG_MULTILOG_AST_H_
+#define MULTILOG_MULTILOG_AST_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "datalog/atom.h"
+#include "datalog/term.h"
+
+namespace multilog::ml {
+
+using datalog::Term;
+
+/// The distinguished null value ⊥ of the language's function symbols F;
+/// rendered and parsed as `null`.
+Term NullTerm();
+bool IsNullTerm(const Term& t);
+
+/// One labeled column of an m-atom: `a -c-> v` (attribute a holds value
+/// v under classification c). The classification may be a level symbol
+/// or a variable; a "don't care" classification (Section 7) parses to a
+/// fresh variable.
+struct MCell {
+  std::string attribute;
+  Term classification;
+  Term value;
+
+  bool operator==(const MCell& other) const {
+    return attribute == other.attribute &&
+           classification == other.classification && value == other.value;
+  }
+  std::string ToString() const;
+};
+
+/// An m-atom `s[p(k : a -c-> v)]` or m-molecule
+/// `s[p(k : a1 -c1-> v1, ..., an -cn-> vn)]` (Section 5.1). The level may
+/// be a symbol or a variable.
+struct MAtom {
+  Term level;
+  std::string predicate;
+  Term key;
+  std::vector<MCell> cells;
+
+  bool IsAtomicForm() const { return cells.size() == 1; }
+
+  /// Molecule -> list of atomic m-atoms (one per cell), per the paper's
+  /// equivalence of a molecule with the conjunction of its atoms.
+  std::vector<MAtom> Atomize() const;
+
+  bool operator==(const MAtom& other) const {
+    return level == other.level && predicate == other.predicate &&
+           key == other.key && cells == other.cells;
+  }
+  std::string ToString() const;
+};
+
+/// A b-atom `s[p(k : a -c-> v)] << m`: a rational agent believes the
+/// m-atom at level s in mode m. Modes are symbols (built-ins cau, opt,
+/// fir, or a user-defined mode name - Section 7) or variables, which
+/// enumerate the available modes when queried.
+struct BAtom {
+  MAtom matom;
+  Term mode;
+
+  bool operator==(const BAtom& other) const {
+    return matom == other.matom && mode == other.mode;
+  }
+  std::string ToString() const;
+};
+
+/// An l-atom `level(s)`.
+struct LAtom {
+  Term level;
+  bool operator==(const LAtom& other) const { return level == other.level; }
+  std::string ToString() const;
+};
+
+/// An h-atom `order(l, h)`: l is immediately below h.
+struct HAtom {
+  Term low;
+  Term high;
+  bool operator==(const HAtom& other) const {
+    return low == other.low && high == other.high;
+  }
+  std::string ToString() const;
+};
+
+/// A comparison builtin usable in clause bodies and queries
+/// (`N >= 100`, `X != Y`, `D = times(N, 2)`) - not in the paper's
+/// grammar, but CORAL has them and the reduction passes them through
+/// untouched.
+struct CAtom {
+  datalog::Comparison op = datalog::Comparison::kEq;
+  Term lhs;
+  Term rhs;
+
+  bool operator==(const CAtom& other) const {
+    return op == other.op && lhs == other.lhs && rhs == other.rhs;
+  }
+  std::string ToString() const;
+};
+
+/// A p-atom is a plain datalog::Atom. MlAtom is the sum of the five atom
+/// kinds of Section 5.1 plus comparison builtins.
+using PAtom = datalog::Atom;
+using MlAtom = std::variant<MAtom, BAtom, PAtom, LAtom, HAtom, CAtom>;
+
+std::string MlAtomToString(const MlAtom& atom);
+
+/// A body element: an atom, possibly negated. The paper's language is
+/// the definite fragment; stratified negation over p-, l- and h-atoms is
+/// our extension (following the author's own Datalog^neg line of work,
+/// VLDB'97). Negation of secured atoms (m-/b-atoms) is rejected - it
+/// would entangle negation-as-failure with the Bell-LaPadula guards.
+struct MlLiteral {
+  MlAtom atom;
+  bool negated = false;
+
+  bool operator==(const MlLiteral& other) const {
+    return negated == other.negated && atom == other.atom;
+  }
+  std::string ToString() const;
+};
+
+/// A MultiLog clause `A :- B1, ..., Bm` (b-atoms may not head a clause -
+/// checked at parse/assembly time).
+struct MlClause {
+  MlAtom head;
+  std::vector<MlLiteral> body;
+
+  bool IsFact() const { return body.empty(); }
+  std::string ToString() const;
+};
+
+/// Which component of Delta = (Lambda, Sigma, Pi, Q) a clause belongs
+/// to, by its head kind (Definition 5.1).
+enum class ClauseComponent { kLambda, kSigma, kPi };
+ClauseComponent ComponentOf(const MlClause& clause);
+
+/// A MultiLog database Delta = (Lambda, Sigma, Pi, Q).
+struct Database {
+  std::vector<MlClause> lambda;  // l- and h-clauses
+  std::vector<MlClause> sigma;   // m-clauses
+  std::vector<MlClause> pi;      // p-clauses
+  std::vector<std::vector<MlLiteral>> queries;
+
+  /// Routes a clause into lambda/sigma/pi by head kind.
+  void AddClause(MlClause clause);
+
+  size_t clause_count() const {
+    return lambda.size() + sigma.size() + pi.size();
+  }
+
+  /// Full source listing (lambda, sigma, pi, then queries).
+  std::string ToString() const;
+};
+
+}  // namespace multilog::ml
+
+#endif  // MULTILOG_MULTILOG_AST_H_

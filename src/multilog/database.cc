@@ -1,0 +1,200 @@
+#include "multilog/database.h"
+
+#include <map>
+#include <set>
+
+#include "datalog/eval.h"
+#include "datalog/program.h"
+
+namespace multilog::ml {
+
+namespace {
+
+/// Converts an l-/h-atom to its Datalog form; other atom kinds are an
+/// admissibility error inside Lambda.
+Result<datalog::Atom> LambdaAtomToDatalog(const MlAtom& atom) {
+  if (const auto* l = std::get_if<LAtom>(&atom)) {
+    return datalog::Atom("level", {l->level});
+  }
+  if (const auto* h = std::get_if<HAtom>(&atom)) {
+    return datalog::Atom("order", {h->low, h->high});
+  }
+  return Status::InvalidProgram(
+      "Lambda clause depends on a non-Lambda atom '" + MlAtomToString(atom) +
+      "'; the dependency graph of l-/h-atoms must contain only l- and "
+      "h-atoms (Definition 5.3)");
+}
+
+/// Collects the ground security-label symbols of an m-atom (level and
+/// every classification position).
+void CollectLabels(const MAtom& m, std::set<std::string>* out) {
+  if (m.level.IsSymbol()) out->insert(m.level.name());
+  for (const MCell& c : m.cells) {
+    if (c.classification.IsSymbol()) out->insert(c.classification.name());
+  }
+}
+
+}  // namespace
+
+Result<lattice::SecurityLattice> ExtractLattice(const Database& db) {
+  datalog::Program lambda;
+  for (const MlClause& clause : db.lambda) {
+    MULTILOG_ASSIGN_OR_RETURN(datalog::Atom head,
+                              LambdaAtomToDatalog(clause.head));
+    std::vector<datalog::Literal> body;
+    for (const MlLiteral& b : clause.body) {
+      MULTILOG_ASSIGN_OR_RETURN(datalog::Atom atom,
+                                LambdaAtomToDatalog(b.atom));
+      body.push_back(b.negated
+                         ? datalog::Literal::Negative(std::move(atom))
+                         : datalog::Literal::Positive(std::move(atom)));
+    }
+    lambda.AddClause(datalog::Clause(std::move(head), std::move(body)));
+  }
+
+  MULTILOG_ASSIGN_OR_RETURN(datalog::Model model, datalog::Evaluate(lambda));
+
+  lattice::SecurityLattice::Builder builder;
+  for (const datalog::Atom& fact : model.FactsFor("level/1")) {
+    if (!fact.args()[0].IsSymbol()) {
+      return Status::InvalidProgram("level() fact with non-symbolic level: " +
+                                    fact.ToString());
+    }
+    builder.AddLevel(fact.args()[0].name());
+  }
+  for (const datalog::Atom& fact : model.FactsFor("order/2")) {
+    if (!fact.args()[0].IsSymbol() || !fact.args()[1].IsSymbol()) {
+      return Status::InvalidProgram("order() fact with non-symbolic level: " +
+                                    fact.ToString());
+    }
+    builder.AddOrder(fact.args()[0].name(), fact.args()[1].name());
+  }
+  return builder.Build();
+}
+
+Status CheckAdmissible(const Database& db,
+                       const lattice::SecurityLattice& lat) {
+  std::set<std::string> labels;
+  for (const MlClause& clause : db.sigma) {
+    if (const auto* m = std::get_if<MAtom>(&clause.head)) {
+      CollectLabels(*m, &labels);
+    }
+    for (const MlLiteral& lit : clause.body) {
+      if (const auto* m = std::get_if<MAtom>(&lit.atom)) {
+        CollectLabels(*m, &labels);
+      }
+      if (const auto* b = std::get_if<BAtom>(&lit.atom)) {
+        CollectLabels(b->matom, &labels);
+      }
+    }
+  }
+  // Labels in Pi bodies and queries count too: they are part of the
+  // program's use of the security vocabulary.
+  for (const MlClause& clause : db.pi) {
+    for (const MlLiteral& lit : clause.body) {
+      if (const auto* m = std::get_if<MAtom>(&lit.atom)) {
+        CollectLabels(*m, &labels);
+      }
+      if (const auto* b = std::get_if<BAtom>(&lit.atom)) {
+        CollectLabels(b->matom, &labels);
+      }
+    }
+  }
+  for (const std::string& label : labels) {
+    if (!lat.Contains(label)) {
+      return Status::InvalidProgram(
+          "security label '" + label +
+          "' used in Sigma is not asserted by Lambda (Definition 5.3)");
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckConsistent(const Database& db,
+                       const lattice::SecurityLattice& lat) {
+  // (p, k, c_AK, attribute, c_i) -> value, for polyinstantiation
+  // integrity across facts.
+  std::map<std::string, Term> fd;
+
+  for (const MlClause& clause : db.sigma) {
+    if (!clause.IsFact()) continue;
+    const auto* m = std::get_if<MAtom>(&clause.head);
+    if (m == nullptr) continue;
+
+    // Only ground molecular facts carry checkable tuple identity.
+    bool ground = m->level.IsSymbol() && m->key.IsGround();
+    for (const MCell& c : m->cells) {
+      ground = ground && c.classification.IsSymbol() && c.value.IsGround();
+    }
+    if (!ground) continue;
+
+    if (IsNullTerm(m->key)) {
+      return Status::IntegrityViolation("entity integrity: null key in " +
+                                        m->ToString());
+    }
+
+    // Locate the key cell a -c_AK-> k. For composite keys (a compound
+    // key(v1,...,vk) term, the Section 7 F-logic-style encoding) a cell
+    // matching any key component counts.
+    const MCell* key_cell = nullptr;
+    for (const MCell& c : m->cells) {
+      if (c.value == m->key) {
+        key_cell = &c;
+        break;
+      }
+      if (m->key.IsCompound() && m->key.name() == "key") {
+        for (const Term& part : m->key.args()) {
+          if (c.value == part) {
+            key_cell = &c;
+            break;
+          }
+        }
+        if (key_cell != nullptr) break;
+      }
+    }
+    if (key_cell == nullptr) {
+      return Status::IntegrityViolation(
+          "no key cell (a -c-> k with value = key) in m-predicate " +
+          m->ToString());
+    }
+    const std::string c_ak = key_cell->classification.name();
+
+    for (const MCell& c : m->cells) {
+      MULTILOG_ASSIGN_OR_RETURN(bool dominates,
+                                lat.Leq(c_ak, c.classification.name()));
+      if (!dominates) {
+        return Status::IntegrityViolation(
+            "entity integrity: classification of '" + c.attribute +
+            "' does not dominate c_AK in " + m->ToString());
+      }
+      if (IsNullTerm(c.value) && c.classification.name() != c_ak) {
+        return Status::IntegrityViolation(
+            "null integrity: null attribute '" + c.attribute +
+            "' not classified at c_AK in " + m->ToString());
+      }
+      std::string fd_key = m->predicate + "|" + m->key.ToString() + "|" +
+                           c_ak + "|" + c.attribute + "|" +
+                           c.classification.name();
+      auto [it, inserted] = fd.emplace(fd_key, c.value);
+      if (!inserted && it->second != c.value) {
+        return Status::IntegrityViolation(
+            "polyinstantiation integrity: (p, k, c_AK, a, c_i) -> v "
+            "violated for attribute '" +
+            c.attribute + "' of key " + m->key.ToString() + ": values " +
+            it->second.ToString() + " and " + c.value.ToString());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<CheckedDatabase> CheckDatabase(Database db, bool require_consistency) {
+  MULTILOG_ASSIGN_OR_RETURN(lattice::SecurityLattice lat, ExtractLattice(db));
+  MULTILOG_RETURN_IF_ERROR(CheckAdmissible(db, lat));
+  if (require_consistency) {
+    MULTILOG_RETURN_IF_ERROR(CheckConsistent(db, lat));
+  }
+  return CheckedDatabase{std::move(db), std::move(lat)};
+}
+
+}  // namespace multilog::ml

@@ -1,0 +1,60 @@
+#ifndef MULTILOG_MULTILOG_DATABASE_H_
+#define MULTILOG_MULTILOG_DATABASE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "lattice/lattice.h"
+#include "multilog/ast.h"
+
+namespace multilog::ml {
+
+/// Evaluates the Lambda component as a Datalog program (l- and h-clauses
+/// may have bodies, themselves restricted to l-/h-atoms - the first
+/// admissibility condition of Definition 5.3) and builds the security
+/// lattice from the derived level/1 and order/2 facts. Fails when a
+/// Lambda clause depends on non-Lambda atoms or when the derived order
+/// is not a partial order (third admissibility condition).
+Result<lattice::SecurityLattice> ExtractLattice(const Database& db);
+
+/// Definition 5.3: Lambda is self-contained, its meaning is a partial
+/// order, and every ground security label appearing in Sigma (in level
+/// or classification position, in heads and bodies) is asserted by
+/// Lambda. `lat` must come from ExtractLattice(db).
+Status CheckAdmissible(const Database& db,
+                       const lattice::SecurityLattice& lat);
+
+/// Definition 5.4 on the stored (ground, bodyless, molecular) Sigma
+/// facts - the m-predicates whose tuple identity is syntactically
+/// available:
+///  - every molecular fact carries a key cell `a -c-> k` whose value is
+///    the key itself (the paper's AK convention); its classification is
+///    c_AK;
+///  - entity integrity: k != null, every other classification dominates
+///    c_AK;
+///  - null integrity: nulls are classified at c_AK;
+///  - polyinstantiation integrity: (p, k, c_AK, a, c_i) -> v_i across
+///    all facts.
+/// Derived m-atoms are not checked, mirroring relational practice where
+/// integrity is enforced on base tables, not on views.
+Status CheckConsistent(const Database& db,
+                       const lattice::SecurityLattice& lat);
+
+/// Convenience: parsed + lattice-extracted + admissibility-checked
+/// database, ready for the interpreter or the reduction.
+struct CheckedDatabase {
+  Database db;
+  lattice::SecurityLattice lattice;
+};
+
+/// Runs ExtractLattice + CheckAdmissible (+ CheckConsistent when
+/// `require_consistency`; the paper "assumes only consistent databases"
+/// but its own Figure 10 example D1 omits key cells, so the check is
+/// optional).
+Result<CheckedDatabase> CheckDatabase(Database db,
+                                      bool require_consistency = false);
+
+}  // namespace multilog::ml
+
+#endif  // MULTILOG_MULTILOG_DATABASE_H_

@@ -1,0 +1,206 @@
+#include "multilog/engine.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/str_util.h"
+#include "multilog/parser.h"
+
+namespace multilog::ml {
+
+namespace {
+
+using datalog::Atom;
+using datalog::Model;
+using datalog::Substitution;
+
+/// Rewrites a level-specialized fact (rel__u(P,K,A,V,C)) back to its
+/// generic form (rel(P,K,A,V,C,u)). Non-specialized facts pass through.
+Atom DecodeFact(const Atom& fact) {
+  static const struct {
+    const char* prefix;
+    size_t level_pos;
+  } kTargets[] = {
+      {"rel__", 5}, {"bel__", 5}, {"vis__", 5}, {"overridden__", 4}};
+  for (const auto& target : kTargets) {
+    const std::string& name = fact.predicate();
+    if (!StartsWith(name, target.prefix)) continue;
+    std::string base(name.substr(0, std::string(target.prefix).size() - 2));
+    std::string level = name.substr(std::string(target.prefix).size());
+    std::vector<datalog::Term> args = fact.args();
+    args.insert(args.begin() + static_cast<long>(target.level_pos),
+                datalog::Term::Sym(level));
+    return Atom(base, std::move(args));
+  }
+  return fact;
+}
+
+/// Removes bindings of don't-care variables (the parser's "_dc<n>"
+/// placeholders for omitted classifications, Section 7) and deduplicates
+/// the remaining answers, keeping proof alignment.
+void StripDontCare(std::vector<Substitution>* answers,
+                   std::vector<ProofPtr>* proofs) {
+  std::set<std::string> seen;
+  std::vector<Substitution> kept_answers;
+  std::vector<ProofPtr> kept_proofs;
+  for (size_t i = 0; i < answers->size(); ++i) {
+    Substitution restricted;
+    std::map<std::string, datalog::Term> sorted(
+        (*answers)[i].bindings().begin(), (*answers)[i].bindings().end());
+    for (const auto& [var, term] : sorted) {
+      if (StartsWith(var, "_dc")) continue;
+      restricted.Bind(var, (*answers)[i].Apply(datalog::Term::Var(var)));
+    }
+    if (!seen.insert(restricted.ToString()).second) continue;
+    kept_answers.push_back(std::move(restricted));
+    if (proofs != nullptr && i < proofs->size()) {
+      kept_proofs.push_back((*proofs)[i]);
+    }
+  }
+  *answers = std::move(kept_answers);
+  if (proofs != nullptr) *proofs = std::move(kept_proofs);
+}
+
+std::string AnswersKey(const std::vector<Substitution>& answers) {
+  std::string key;
+  for (const Substitution& s : answers) {
+    key += s.ToString();
+    key += ";";
+  }
+  return key;
+}
+
+}  // namespace
+
+Result<Engine> Engine::FromSource(std::string_view source,
+                                  EngineOptions options) {
+  MULTILOG_ASSIGN_OR_RETURN(Database db, ParseMultiLog(source));
+  return FromDatabase(std::move(db), options);
+}
+
+Result<Engine> Engine::FromDatabase(Database db, EngineOptions options) {
+  MULTILOG_ASSIGN_OR_RETURN(
+      CheckedDatabase cdb,
+      CheckDatabase(std::move(db), options.require_consistency));
+  return Engine(std::move(cdb), options);
+}
+
+Result<const ReducedProgram*> Engine::Reduced(const std::string& user_level) {
+  auto it = reduced_.find(user_level);
+  if (it == reduced_.end()) {
+    MULTILOG_ASSIGN_OR_RETURN(ReducedProgram rp,
+                              Reduce(cdb_, user_level, options_.reduction));
+    it = reduced_.emplace(user_level, std::move(rp)).first;
+  }
+  return &it->second;
+}
+
+Result<const datalog::Model*> Engine::ReducedModel(
+    const std::string& user_level) {
+  auto it = models_.find(user_level);
+  if (it == models_.end()) {
+    MULTILOG_ASSIGN_OR_RETURN(const ReducedProgram* rp, Reduced(user_level));
+    MULTILOG_ASSIGN_OR_RETURN(Model raw, datalog::Evaluate(rp->program));
+    Model decoded;
+    for (const std::string& pred : raw.Predicates()) {
+      for (const Atom& fact : raw.FactsFor(pred)) {
+        decoded.Insert(DecodeFact(fact));
+      }
+    }
+    it = models_.emplace(user_level, std::move(decoded)).first;
+  }
+  return &it->second;
+}
+
+Result<Interpreter*> Engine::OperationalInterpreter(
+    const std::string& user_level) {
+  auto it = interpreters_.find(user_level);
+  if (it == interpreters_.end()) {
+    MULTILOG_ASSIGN_OR_RETURN(
+        Interpreter interp,
+        Interpreter::Create(&cdb_, user_level, options_.interpreter));
+    it = interpreters_
+             .emplace(user_level,
+                      std::make_unique<Interpreter>(std::move(interp)))
+             .first;
+  }
+  return it->second.get();
+}
+
+Result<QueryResult> Engine::Query(const std::vector<MlLiteral>& goal,
+                                  const std::string& user_level,
+                                  ExecMode mode) {
+  MULTILOG_RETURN_IF_ERROR(cdb_.lattice.Index(user_level).status());
+
+  QueryResult operational;
+  if (mode == ExecMode::kOperational || mode == ExecMode::kCheckBoth) {
+    MULTILOG_ASSIGN_OR_RETURN(Interpreter * interp,
+                              OperationalInterpreter(user_level));
+    MULTILOG_ASSIGN_OR_RETURN(std::vector<Interpreter::Answer> answers,
+                              interp->Solve(goal));
+    for (Interpreter::Answer& a : answers) {
+      operational.answers.push_back(std::move(a.subst));
+      operational.proofs.push_back(std::move(a.proof));
+    }
+    StripDontCare(&operational.answers, &operational.proofs);
+    if (mode == ExecMode::kOperational) return operational;
+  }
+
+  QueryResult reduced;
+  {
+    // Evaluate the cached model, then match each (possibly specialized)
+    // goal variant against it, unioning the answers.
+    MULTILOG_ASSIGN_OR_RETURN(const ReducedProgram* rp, Reduced(user_level));
+    MULTILOG_ASSIGN_OR_RETURN(const Model* model, ReducedModel(user_level));
+
+    // The decoded model holds generic facts; match the *generic* goal
+    // against it (specialization only matters for evaluation).
+    MULTILOG_ASSIGN_OR_RETURN(std::vector<datalog::Literal> generic,
+                              TranslateGoalGeneric(goal, user_level));
+    (void)rp;
+    MULTILOG_ASSIGN_OR_RETURN(std::vector<Substitution> answers,
+                              datalog::QueryModel(*model, generic));
+    reduced.answers = std::move(answers);
+    StripDontCare(&reduced.answers, nullptr);
+  }
+  if (mode == ExecMode::kReduced) return reduced;
+
+  // kCheckBoth: Theorem 6.1 as an executable assertion.
+  std::vector<Substitution> a = operational.answers;
+  std::vector<Substitution> b = reduced.answers;
+  auto by_text = [](const Substitution& x, const Substitution& y) {
+    return x.ToString() < y.ToString();
+  };
+  std::sort(a.begin(), a.end(), by_text);
+  std::sort(b.begin(), b.end(), by_text);
+  if (AnswersKey(a) != AnswersKey(b)) {
+    std::string msg =
+        "operational and reduced semantics disagree (Theorem 6.1 "
+        "violation)\noperational:\n";
+    for (const Substitution& s : a) msg += "  " + s.ToString() + "\n";
+    msg += "reduced:\n";
+    for (const Substitution& s : b) msg += "  " + s.ToString() + "\n";
+    return Status::Internal(msg);
+  }
+  return operational;
+}
+
+Result<QueryResult> Engine::QuerySource(std::string_view goal_text,
+                                        const std::string& user_level,
+                                        ExecMode mode) {
+  MULTILOG_ASSIGN_OR_RETURN(std::vector<MlLiteral> goal,
+                            ParseMlGoal(goal_text));
+  return Query(goal, user_level, mode);
+}
+
+Result<std::vector<QueryResult>> Engine::RunStoredQueries(
+    const std::string& user_level, ExecMode mode) {
+  std::vector<QueryResult> out;
+  for (const std::vector<MlLiteral>& goal : cdb_.db.queries) {
+    MULTILOG_ASSIGN_OR_RETURN(QueryResult r, Query(goal, user_level, mode));
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace multilog::ml

@@ -1,0 +1,96 @@
+#ifndef MULTILOG_MULTILOG_ENGINE_H_
+#define MULTILOG_MULTILOG_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "datalog/eval.h"
+#include "multilog/database.h"
+#include "multilog/interpreter.h"
+#include "multilog/reduction.h"
+
+namespace multilog::ml {
+
+/// How to execute a query.
+enum class ExecMode {
+  /// The goal-directed proof system of Section 5 (yields proof trees).
+  kOperational,
+  /// The CORAL-style reduction of Section 6 (bottom-up over tau(Delta)+A).
+  kReduced,
+  /// Run both and verify they agree - Theorem 6.1 as an executable
+  /// assertion; disagreement returns an Internal error.
+  kCheckBoth,
+};
+
+struct EngineOptions {
+  Interpreter::Options interpreter;
+  ReductionOptions reduction;
+  /// Enforce Definition 5.4 on load (see CheckDatabase).
+  bool require_consistency = false;
+};
+
+/// One query's outcome. `answers[i]` pairs with `proofs[i]` when proofs
+/// were produced (operational / check-both modes); otherwise `proofs` is
+/// empty.
+struct QueryResult {
+  std::vector<datalog::Substitution> answers;
+  std::vector<ProofPtr> proofs;
+};
+
+/// The MultiLog engine: parses/checks a database once, then answers
+/// queries at any session level through either semantics. Reduced
+/// programs, their models, and interpreters are cached per level.
+class Engine {
+ public:
+  /// Parses MultiLog source; stored `?- ...` queries are kept and can be
+  /// run with RunStoredQueries.
+  static Result<Engine> FromSource(std::string_view source,
+                                   EngineOptions options = {});
+  static Result<Engine> FromDatabase(Database db, EngineOptions options = {});
+
+  const CheckedDatabase& checked() const { return cdb_; }
+  const lattice::SecurityLattice& lattice() const { return cdb_.lattice; }
+
+  /// Answers a goal at session level `user_level`.
+  Result<QueryResult> Query(const std::vector<MlLiteral>& goal,
+                            const std::string& user_level,
+                            ExecMode mode = ExecMode::kReduced);
+
+  /// Parses `goal_text` ("?- ..." optional) and answers it.
+  Result<QueryResult> QuerySource(std::string_view goal_text,
+                                  const std::string& user_level,
+                                  ExecMode mode = ExecMode::kReduced);
+
+  /// Runs every stored query of the database, in order.
+  Result<std::vector<QueryResult>> RunStoredQueries(
+      const std::string& user_level, ExecMode mode = ExecMode::kReduced);
+
+  /// The reduced program compiled for `user_level` (cached).
+  Result<const ReducedProgram*> Reduced(const std::string& user_level);
+
+  /// The evaluated model of the reduced program, with any level
+  /// specialization decoded back to generic rel/6, bel/7, vis/6 and
+  /// overridden/5 atoms.
+  Result<const datalog::Model*> ReducedModel(const std::string& user_level);
+
+  /// The operational interpreter for `user_level` (cached).
+  Result<Interpreter*> OperationalInterpreter(const std::string& user_level);
+
+ private:
+  Engine(CheckedDatabase cdb, EngineOptions options)
+      : cdb_(std::move(cdb)), options_(options) {}
+
+  CheckedDatabase cdb_;
+  EngineOptions options_;
+  std::map<std::string, ReducedProgram> reduced_;
+  std::map<std::string, datalog::Model> models_;
+  std::map<std::string, std::unique_ptr<Interpreter>> interpreters_;
+};
+
+}  // namespace multilog::ml
+
+#endif  // MULTILOG_MULTILOG_ENGINE_H_

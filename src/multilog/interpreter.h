@@ -1,0 +1,145 @@
+#ifndef MULTILOG_MULTILOG_INTERPRETER_H_
+#define MULTILOG_MULTILOG_INTERPRETER_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "datalog/program.h"
+#include "datalog/unify.h"
+#include "multilog/database.h"
+#include "multilog/proof.h"
+#include "multilog/reduction.h"
+
+namespace multilog::ml {
+
+/// The operational semantics of Section 5: a goal-directed, tabled
+/// implementation of the Figure 9 proof system, evaluated in the context
+/// of a session (database) level u. Produces proof trees.
+///
+/// Rule mapping:
+///  - EMPTY/AND      - goal-list recursion; facts carry an (empty) leaf;
+///  - DEDUCTION-G    - SLD resolution for p-, l- and h-atoms;
+///  - DEDUCTION-G'   - resolution for m-atoms; the no-read-up guards
+///                     dominate(l, u) / dominate(c, u) are part of the
+///                     lambda-translated clause bodies, as in Section 6;
+///  - BELIEF         - dispatch of b-atoms to the mode rules;
+///  - DESCEND-O      - optimistic belief: descend to any level R <= l;
+///  - DESCEND-C1..C4 - cautious belief: descend plus the overriding
+///                     (maximality) check of Definition 3.1; the printed
+///                     Figure 9 variants collapse to two cases here -
+///                     descend-c1 (own-level cell) and descend-c2
+///                     (inherited cell) - each implicitly carrying the
+///                     not-overridden side condition;
+///  - DEDUCTION-B    - b-atoms in bodies are proved by the same BELIEF
+///                     machinery;
+///  - REFLEXIVITY /
+///    TRANSITIVITY   - dominance goals discharged against the lattice;
+///  - FILTER /
+///    FILTER-NULL /
+///    USER-BELIEF    - the Figure 13 extensions; the first two are
+///                     opt-in, user belief modes are always available
+///                     through Pi clauses over the distinguished bel/7
+///                     predicate.
+///
+/// Termination: calls are tabled per call pattern with an outer fixpoint
+/// (as in CORAL-style memoing engines); cautious belief's overriding
+/// check runs the relevant sub-tables to completion first. Programs must
+/// be level-stratified for cautious belief (no cell's presence at a
+/// level may depend on cautious belief at a non-lower level) - the same
+/// requirement the reduction imposes through stratification.
+class Interpreter {
+ public:
+  struct Options {
+    /// Enables the FILTER rule: a lower level inherits higher-level
+    /// cells whose classification it dominates (Figure 13).
+    bool enable_filter = false;
+    /// Enables FILTER-NULL: hidden higher-level cells surface as nulls
+    /// classified at the inheriting level (Figure 13).
+    bool enable_filter_null = false;
+    size_t max_passes = 256;
+    size_t max_answers = 1'000'000;
+  };
+
+  struct Answer {
+    /// Bindings restricted to the goal's variables.
+    datalog::Substitution subst;
+    /// Proof of the full goal (an "and" node for conjunctions).
+    ProofPtr proof;
+  };
+
+  struct Stats {
+    size_t passes = 0;
+    size_t calls = 0;
+    size_t tabled_answers = 0;
+  };
+
+  /// `cdb` must outlive the interpreter. The session level is fixed per
+  /// interpreter (the paper determines it at login / compile time).
+  static Result<Interpreter> Create(const CheckedDatabase* cdb,
+                                    std::string user_level, Options options);
+  static Result<Interpreter> Create(const CheckedDatabase* cdb,
+                                    std::string user_level);
+
+  /// Proves a MultiLog goal conjunction, returning every answer with its
+  /// proof tree, deterministically ordered. Negated (p-/l-/h-) literals
+  /// are proved by negation-as-failure over completed call tables.
+  Result<std::vector<Answer>> Solve(const std::vector<MlLiteral>& goal);
+
+  /// As Solve, over the internal guarded-literal form.
+  Result<std::vector<Answer>> SolveLiterals(
+      const std::vector<datalog::Literal>& goal);
+
+  const Stats& stats() const { return stats_; }
+  const std::string& user_level() const { return user_level_; }
+
+ private:
+  Interpreter(const CheckedDatabase* cdb, std::string user_level,
+              Options options, datalog::Program program);
+
+  struct TabledAnswer {
+    datalog::Atom atom;
+    ProofPtr proof;
+  };
+  struct AnswerTable {
+    std::vector<TabledAnswer> answers;
+    std::unordered_set<datalog::Atom, datalog::AtomHash> set;
+  };
+  struct Match {
+    datalog::Substitution subst;
+    std::vector<ProofPtr> proofs;
+  };
+
+  Status SolveCallOnce(const datalog::Atom& pattern);
+  Status CompleteCall(const datalog::Atom& pattern);
+  Status SolveBody(const std::vector<datalog::Literal>& body, size_t index,
+                   Match current, std::vector<Match>* out);
+
+  Status ExpandClauses(const datalog::Atom& pattern, AnswerTable* table);
+  Status ExpandDominate(const datalog::Atom& pattern, AnswerTable* table);
+  Status ExpandBelief(const datalog::Atom& pattern, AnswerTable* table);
+  Status ExpandFilter(const datalog::Atom& pattern, AnswerTable* table);
+
+  Status AddAnswer(AnswerTable* table, datalog::Atom atom, ProofPtr proof);
+
+  /// Ground levels the pattern's argument can take: the singleton when
+  /// ground, every lattice level when a variable.
+  Result<std::vector<std::string>> LevelCandidates(const datalog::Term& t) const;
+
+  const CheckedDatabase* cdb_;
+  std::string user_level_;
+  Options options_;
+  datalog::Program program_;  // tau(Delta), guarded, no axioms
+  std::unordered_map<std::string, std::vector<const datalog::Clause*>>
+      clauses_by_pred_;
+  std::unordered_map<std::string, AnswerTable> tables_;
+  std::unordered_set<std::string> active_;
+  int rename_counter_ = 0;
+  Stats stats_;
+};
+
+}  // namespace multilog::ml
+
+#endif  // MULTILOG_MULTILOG_INTERPRETER_H_

@@ -1,0 +1,306 @@
+#include "multilog/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+
+namespace multilog::ml {
+
+namespace {
+
+class MlParser {
+ public:
+  explicit MlParser(std::string_view source) : src_(source) {}
+
+  Result<Database> ParseProgram() {
+    Database db;
+    SkipWhitespaceAndComments();
+    while (!AtEnd()) {
+      if (TryConsume("?-")) {
+        MULTILOG_ASSIGN_OR_RETURN(std::vector<MlLiteral> goal, ParseBody());
+        MULTILOG_RETURN_IF_ERROR(Expect("."));
+        db.queries.push_back(std::move(goal));
+      } else {
+        MULTILOG_ASSIGN_OR_RETURN(MlAtom head, ParseMlAtom());
+        if (std::holds_alternative<BAtom>(head)) {
+          return Error("b-atoms may not appear in a clause head");
+        }
+        if (std::holds_alternative<CAtom>(head)) {
+          return Error("comparisons may not appear in a clause head");
+        }
+        std::vector<MlLiteral> body;
+        if (TryConsume(":-") || TryConsume("<-")) {
+          MULTILOG_ASSIGN_OR_RETURN(body, ParseBody());
+        }
+        MULTILOG_RETURN_IF_ERROR(Expect("."));
+        db.AddClause(MlClause{std::move(head), std::move(body)});
+      }
+      SkipWhitespaceAndComments();
+    }
+    return db;
+  }
+
+  Result<std::vector<MlLiteral>> ParseGoalOnly() {
+    SkipWhitespaceAndComments();
+    TryConsume("?-");
+    MULTILOG_ASSIGN_OR_RETURN(std::vector<MlLiteral> goal, ParseBody());
+    TryConsume(".");
+    SkipWhitespaceAndComments();
+    if (!AtEnd()) return Error("trailing input after goal");
+    return goal;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        if (c == '\n') ++line_;
+        ++pos_;
+      } else if (c == '%' || (c == '/' && Peek(1) == '/')) {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool TryConsume(std::string_view token) {
+    SkipWhitespaceAndComments();
+    if (src_.substr(pos_, token.size()) == token) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(std::string_view token) {
+    if (!TryConsume(token)) {
+      return Error("expected '" + std::string(token) + "'");
+    }
+    return Status::OK();
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError("line " + std::to_string(line_) + ": " +
+                              message);
+  }
+
+  Result<std::string> ParseIdentifier() {
+    SkipWhitespaceAndComments();
+    size_t start = pos_;
+    if (AtEnd() || !(std::isalpha(static_cast<unsigned char>(Peek())) ||
+                     Peek() == '_')) {
+      return Error("expected identifier");
+    }
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_')) {
+      ++pos_;
+    }
+    return std::string(src_.substr(start, pos_ - start));
+  }
+
+  Result<Term> ParseTerm() {
+    SkipWhitespaceAndComments();
+    if (AtEnd()) return Error("expected term");
+    char c = Peek();
+
+    if (c == '\'') {
+      ++pos_;
+      size_t start = pos_;
+      while (!AtEnd() && Peek() != '\'') ++pos_;
+      if (AtEnd()) return Error("unterminated quoted constant");
+      std::string text(src_.substr(start, pos_ - start));
+      ++pos_;
+      return Term::Sym(std::move(text));
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos_;
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+      return Term::Int(std::strtoll(
+          std::string(src_.substr(start, pos_ - start)).c_str(), nullptr,
+          10));
+    }
+    MULTILOG_ASSIGN_OR_RETURN(std::string id, ParseIdentifier());
+    bool is_var =
+        std::isupper(static_cast<unsigned char>(id[0])) || id[0] == '_';
+    if (is_var) return Term::Var(std::move(id));
+    SkipWhitespaceAndComments();
+    if (Peek() == '(') {
+      ++pos_;
+      std::vector<Term> args;
+      MULTILOG_ASSIGN_OR_RETURN(Term first, ParseTerm());
+      args.push_back(std::move(first));
+      while (TryConsume(",")) {
+        MULTILOG_ASSIGN_OR_RETURN(Term next, ParseTerm());
+        args.push_back(std::move(next));
+      }
+      MULTILOG_RETURN_IF_ERROR(Expect(")"));
+      return Term::Fn(std::move(id), std::move(args));
+    }
+    return Term::Sym(std::move(id));
+  }
+
+  /// Parses `attr -class-> value` or `attr -> value` (don't care).
+  Result<MCell> ParseCell() {
+    MULTILOG_ASSIGN_OR_RETURN(std::string attribute, ParseIdentifier());
+    SkipWhitespaceAndComments();
+    if (!TryConsume("-")) {
+      return Error("expected '->' or '-class->' after attribute '" +
+                   attribute + "'");
+    }
+    Term classification = Term::Var("_dc" + std::to_string(dont_care_++));
+    if (!TryConsume(">")) {
+      MULTILOG_ASSIGN_OR_RETURN(classification, ParseTerm());
+      MULTILOG_RETURN_IF_ERROR(Expect("-"));
+      MULTILOG_RETURN_IF_ERROR(Expect(">"));
+    }
+    MULTILOG_ASSIGN_OR_RETURN(Term value, ParseTerm());
+    return MCell{std::move(attribute), std::move(classification),
+                 std::move(value)};
+  }
+
+  /// Parses the bracketed part of an m-atom after the level term:
+  /// `[p(k : cell (,|;) cell ...)]`, then an optional `<< mode`.
+  Result<MlAtom> ParseMAtomTail(Term level) {
+    MULTILOG_RETURN_IF_ERROR(Expect("["));
+    MULTILOG_ASSIGN_OR_RETURN(std::string predicate, ParseIdentifier());
+    MULTILOG_RETURN_IF_ERROR(Expect("("));
+    MULTILOG_ASSIGN_OR_RETURN(Term key, ParseTerm());
+    MULTILOG_RETURN_IF_ERROR(Expect(":"));
+
+    std::vector<MCell> cells;
+    MULTILOG_ASSIGN_OR_RETURN(MCell first, ParseCell());
+    cells.push_back(std::move(first));
+    while (TryConsume(",") || TryConsume(";")) {
+      MULTILOG_ASSIGN_OR_RETURN(MCell next, ParseCell());
+      cells.push_back(std::move(next));
+    }
+    MULTILOG_RETURN_IF_ERROR(Expect(")"));
+    MULTILOG_RETURN_IF_ERROR(Expect("]"));
+
+    MAtom matom{std::move(level), std::move(predicate), std::move(key),
+                std::move(cells)};
+    if (TryConsume("<<")) {
+      MULTILOG_ASSIGN_OR_RETURN(std::string mode, ParseIdentifier());
+      bool is_var = std::isupper(static_cast<unsigned char>(mode[0])) ||
+                    mode[0] == '_';
+      Term mode_term =
+          is_var ? Term::Var(std::move(mode)) : Term::Sym(std::move(mode));
+      return MlAtom(BAtom{std::move(matom), std::move(mode_term)});
+    }
+    return MlAtom(std::move(matom));
+  }
+
+  /// Tries to read a comparison operator ('<' is only an operator when
+  /// not part of the '<-' rule arrow and '<<' belief operator).
+  std::optional<datalog::Comparison> TryComparisonOp() {
+    SkipWhitespaceAndComments();
+    if (TryConsume("!=")) return datalog::Comparison::kNe;
+    if (TryConsume("<=")) return datalog::Comparison::kLe;
+    if (TryConsume(">=")) return datalog::Comparison::kGe;
+    if (Peek() == '<' && Peek(1) != '-' && Peek(1) != '<') {
+      ++pos_;
+      return datalog::Comparison::kLt;
+    }
+    if (TryConsume(">")) return datalog::Comparison::kGt;
+    if (TryConsume("=")) return datalog::Comparison::kEq;
+    return std::nullopt;
+  }
+
+  Result<MlAtom> ParseMlAtom() {
+    SkipWhitespaceAndComments();
+    MULTILOG_ASSIGN_OR_RETURN(Term first, ParseTerm());
+
+    // `term[...]` is an m-atom (or b-atom).
+    SkipWhitespaceAndComments();
+    if (Peek() == '[') {
+      if (!(first.IsSymbol() || first.IsVariable())) {
+        return Error("m-atom level must be a symbol or variable");
+      }
+      return ParseMAtomTail(std::move(first));
+    }
+
+    // `term OP term` is a comparison builtin.
+    if (std::optional<datalog::Comparison> op = TryComparisonOp()) {
+      MULTILOG_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
+      return MlAtom(CAtom{*op, std::move(first), std::move(rhs)});
+    }
+
+    // level/1 and order/2 compounds are l-/h-atoms; other compounds and
+    // bare symbols are p-atoms.
+    if (first.IsCompound()) {
+      if (first.name() == "level" && first.args().size() == 1) {
+        return MlAtom(LAtom{first.args()[0]});
+      }
+      if (first.name() == "order" && first.args().size() == 2) {
+        return MlAtom(HAtom{first.args()[0], first.args()[1]});
+      }
+      return MlAtom(PAtom(first.name(), first.args()));
+    }
+    if (first.IsSymbol()) {
+      return MlAtom(PAtom(first.name(), {}));
+    }
+    return Error("expected an atom");
+  }
+
+  /// Parses `not atom` or an atom. Negation is restricted to p-, l- and
+  /// h-atoms (see MlLiteral's doc comment).
+  Result<MlLiteral> ParseLiteral() {
+    SkipWhitespaceAndComments();
+    bool negated = false;
+    size_t save = pos_;
+    if (TryConsume("not") &&
+        (AtEnd() || (!std::isalnum(static_cast<unsigned char>(Peek())) &&
+                     Peek() != '_'))) {
+      negated = true;
+    } else {
+      pos_ = save;
+    }
+    MULTILOG_ASSIGN_OR_RETURN(MlAtom atom, ParseMlAtom());
+    if (negated && (std::holds_alternative<MAtom>(atom) ||
+                    std::holds_alternative<BAtom>(atom))) {
+      return Error(
+          "negation of secured atoms (m-/b-atoms) is not supported");
+    }
+    if (negated && std::holds_alternative<CAtom>(atom)) {
+      return Error("negate the comparison operator instead of the atom");
+    }
+    return MlLiteral{std::move(atom), negated};
+  }
+
+  Result<std::vector<MlLiteral>> ParseBody() {
+    std::vector<MlLiteral> body;
+    MULTILOG_ASSIGN_OR_RETURN(MlLiteral first, ParseLiteral());
+    body.push_back(std::move(first));
+    while (TryConsume(",")) {
+      MULTILOG_ASSIGN_OR_RETURN(MlLiteral next, ParseLiteral());
+      body.push_back(std::move(next));
+    }
+    return body;
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int dont_care_ = 0;
+};
+
+}  // namespace
+
+Result<Database> ParseMultiLog(std::string_view source) {
+  return MlParser(source).ParseProgram();
+}
+
+Result<std::vector<MlLiteral>> ParseMlGoal(std::string_view source) {
+  return MlParser(source).ParseGoalOnly();
+}
+
+}  // namespace multilog::ml

@@ -1,0 +1,37 @@
+#ifndef MULTILOG_MULTILOG_PARSER_H_
+#define MULTILOG_MULTILOG_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "multilog/ast.h"
+
+namespace multilog::ml {
+
+/// Parses MultiLog source in the paper's concrete syntax:
+///
+///   level(u).  level(c).  level(s).          % l-atoms
+///   order(u, c).  order(c, s).               % h-atoms
+///   u[p(k : a -u-> v)].                      % m-atom fact
+///   s[mission(avenger : starship -s-> avenger,
+///             objective -s-> shipping)].     % m-molecule (',' or ';')
+///   c[p(k : a -c-> t)] :- q(j).              % m-clause with p-atom body
+///   s[p(k : a -u-> v)] :-
+///       c[p(k : a -c-> t)] << cau.           % b-atom body
+///   ?- c[p(k : a -R-> v)] << opt.            % query (r10 of Figure 10)
+///   u[p(k : a -> v)].                        % don't-care classification
+///
+/// Lexical rules follow Datalog: lower-case identifiers are symbols,
+/// upper-case or '_' are variables, 'quoted' constants and integers are
+/// allowed as values. `a -> v` (no classification) introduces a fresh
+/// don't-care variable (Section 7). Comments: `%` or `//` to end of line.
+Result<Database> ParseMultiLog(std::string_view source);
+
+/// Parses a single query body "g1, g2" (optionally with "?-" prefix and
+/// trailing ".").
+Result<std::vector<MlLiteral>> ParseMlGoal(std::string_view source);
+
+}  // namespace multilog::ml
+
+#endif  // MULTILOG_MULTILOG_PARSER_H_

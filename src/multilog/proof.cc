@@ -1,0 +1,91 @@
+#include "multilog/proof.h"
+
+#include <algorithm>
+#include <set>
+
+namespace multilog::ml {
+
+ProofPtr MakeProof(std::string rule, std::string conclusion,
+                   std::vector<ProofPtr> premises) {
+  auto node = std::make_shared<ProofNode>();
+  node->rule = std::move(rule);
+  node->conclusion = std::move(conclusion);
+  node->premises = std::move(premises);
+  return node;
+}
+
+size_t ProofHeight(const ProofNode& node) {
+  size_t best = 0;
+  for (const ProofPtr& p : node.premises) {
+    best = std::max(best, ProofHeight(*p));
+  }
+  return best + 1;
+}
+
+size_t ProofSize(const ProofNode& node) {
+  size_t total = 1;
+  for (const ProofPtr& p : node.premises) total += ProofSize(*p);
+  return total;
+}
+
+namespace {
+
+void Render(const ProofNode& node, size_t depth, std::string* out) {
+  out->append(depth * 2, ' ');
+  *out += "(" + node.rule + ") " + node.conclusion + "\n";
+  for (const ProofPtr& p : node.premises) Render(*p, depth + 1, out);
+}
+
+void Collect(const ProofNode& node, std::set<std::string>* rules) {
+  rules->insert(node.rule);
+  for (const ProofPtr& p : node.premises) Collect(*p, rules);
+}
+
+}  // namespace
+
+std::string RenderProof(const ProofNode& node) {
+  std::string out;
+  Render(node, 0, &out);
+  return out;
+}
+
+std::vector<std::string> ProofRules(const ProofNode& node) {
+  std::set<std::string> rules;
+  Collect(node, &rules);
+  return {rules.begin(), rules.end()};
+}
+
+namespace {
+
+std::string EscapeDot(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+size_t EmitDot(const ProofNode& node, size_t* counter, std::string* out) {
+  const size_t id = (*counter)++;
+  *out += "  n" + std::to_string(id) + " [label=\"" + EscapeDot(node.rule) +
+          "\\n" + EscapeDot(node.conclusion) + "\"];\n";
+  for (const ProofPtr& p : node.premises) {
+    size_t child = EmitDot(*p, counter, out);
+    *out += "  n" + std::to_string(id) + " -> n" + std::to_string(child) +
+            ";\n";
+  }
+  return id;
+}
+
+}  // namespace
+
+std::string ProofToDot(const ProofNode& node) {
+  std::string out = "digraph proof {\n  node [shape=box, fontsize=10];\n";
+  size_t counter = 0;
+  EmitDot(node, &counter, &out);
+  out += "}\n";
+  return out;
+}
+
+}  // namespace multilog::ml

@@ -1,0 +1,54 @@
+#ifndef MULTILOG_MULTILOG_PROOF_H_
+#define MULTILOG_MULTILOG_PROOF_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace multilog::ml {
+
+/// A node of a MultiLog proof tree (Section 5.4): the name of the proof
+/// rule whose instance it is, the rendered conclusion sequent, and the
+/// premise subtrees. Leaves are instances of EMPTY (or side conditions
+/// discharged by the lattice). Subtrees may be shared when tabled
+/// answers are reused; rendering duplicates them, matching the tree
+/// reading of the paper.
+struct ProofNode {
+  std::string rule;
+  std::string conclusion;
+  std::vector<std::shared_ptr<const ProofNode>> premises;
+};
+
+using ProofPtr = std::shared_ptr<const ProofNode>;
+
+/// Creates a leaf/internal node.
+ProofPtr MakeProof(std::string rule, std::string conclusion,
+                   std::vector<ProofPtr> premises = {});
+
+/// Maximum number of nodes on any root-to-leaf path (the paper's
+/// "height of a proof").
+size_t ProofHeight(const ProofNode& node);
+
+/// Total node count, duplicating shared subtrees (the paper's "size of
+/// a proof").
+size_t ProofSize(const ProofNode& node);
+
+/// Renders the tree with indentation, premises below their conclusion:
+///
+///   (belief) <D1, c> |- c[p(k : a -u-> v)] << opt
+///     (descend-o) ...
+///       (deduction-g') ...
+std::string RenderProof(const ProofNode& node);
+
+/// Collects the distinct rule names used in the proof, sorted - the
+/// "rule census" used when regenerating Figure 9's coverage.
+std::vector<std::string> ProofRules(const ProofNode& node);
+
+/// Renders the proof as a Graphviz digraph (one node per proof-rule
+/// instance, edges from conclusions to their premises); pipe through
+/// `dot -Tsvg` to visualize Figure 11-style trees.
+std::string ProofToDot(const ProofNode& node);
+
+}  // namespace multilog::ml
+
+#endif  // MULTILOG_MULTILOG_PROOF_H_

@@ -1,0 +1,67 @@
+#ifndef MULTILOG_MULTILOG_TRANSLATE_H_
+#define MULTILOG_MULTILOG_TRANSLATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mls/relation.h"
+#include "multilog/ast.h"
+#include "multilog/engine.h"
+
+namespace multilog::ml {
+
+/// Encodes an MLS relation as a MultiLog database (Example 5.1): the
+/// relation's lattice becomes Lambda (level/order facts) and every tuple
+/// becomes a molecular m-fact
+///
+///   tc[pred(key : keyattr -c_ak-> key, attr -c-> value, ...)].
+///
+/// Attribute names are lower-cased to be identifiers; string values
+/// become symbols, integers stay integers, nulls become `null`.
+Result<Database> EncodeRelation(const mls::Relation& relation,
+                                const std::string& predicate);
+
+/// A cell-level fact extracted from a believed or stored relation; the
+/// common currency for comparing the relational belief function beta
+/// against the deductive bel/7 axioms.
+struct CellFact {
+  std::string key;             // rendered key value
+  std::string attribute;       // lower-cased attribute name
+  std::string value;           // rendered value ("null" for nulls)
+  std::string classification;  // level name
+
+  bool operator==(const CellFact& other) const {
+    return key == other.key && attribute == other.attribute &&
+           value == other.value && classification == other.classification;
+  }
+  bool operator<(const CellFact& other) const;
+  std::string ToString() const;
+};
+
+/// Flattens a relation's tuples to cell facts (TC is dropped; it is the
+/// believing level for derived relations).
+std::vector<CellFact> RelationCells(const mls::Relation& relation);
+
+/// Queries the engine's reduced model for bel(pred, K, A, V, C, level,
+/// mode) facts and returns them as cell facts - what a deductive user at
+/// `level` believes in `mode`.
+Result<std::vector<CellFact>> BelievedCells(Engine* engine,
+                                            const std::string& predicate,
+                                            const std::string& level,
+                                            const std::string& mode);
+
+/// The inverse of EncodeRelation: reconstructs an MLS relation from the
+/// ground molecular m-facts of `predicate` in a checked database (e.g. a
+/// .mlog file). The scheme is inferred: attribute order from the first
+/// molecule, classification ranges spanning the whole lattice, the key
+/// from the cell(s) matching the molecule's key term (plain value, or a
+/// compound `key(v1,...,vk)` for composite keys). The relation borrows
+/// `cdb`'s lattice - `cdb` must outlive it. Round-trips with
+/// EncodeRelation modulo string case (encoding lower-cases values).
+Result<mls::Relation> DecodeRelation(const CheckedDatabase& cdb,
+                                     const std::string& predicate);
+
+}  // namespace multilog::ml
+
+#endif  // MULTILOG_MULTILOG_TRANSLATE_H_

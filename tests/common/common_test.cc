@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/str_util.h"
+#include "common/table_printer.h"
+
+namespace multilog {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_EQ(s, Status::OK());
+}
+
+TEST(StatusTest, FactoriesAndPredicates) {
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::InvalidProgram("x").IsInvalidProgram());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::SecurityViolation("x").IsSecurityViolation());
+  EXPECT_TRUE(Status::IntegrityViolation("x").IsIntegrityViolation());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_FALSE(Status::ParseError("x").ok());
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  Status s = Status::NotFound("no such level");
+  EXPECT_EQ(s.ToString(), "NotFound: no such level");
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::ParseError("bad token").WithContext("line 3");
+  EXPECT_EQ(s.message(), "line 3: bad token");
+  EXPECT_TRUE(Status::OK().WithContext("ignored").ok());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(0), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("gone"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto f = [](bool fail) -> Result<int> {
+    auto inner = [fail]() -> Result<int> {
+      if (fail) return Status::Internal("boom");
+      return 7;
+    };
+    MULTILOG_ASSIGN_OR_RETURN(int x, inner());
+    return x + 1;
+  };
+  EXPECT_EQ(f(false).value(), 8);
+  EXPECT_TRUE(f(true).status().IsInternal());
+}
+
+TEST(StrUtilTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), std::vector<std::string>{""});
+}
+
+TEST(StrUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StrUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y \t\n"), "x y");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(StrUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("AbC1"), "abc1");
+  EXPECT_EQ(ToUpper("aBc1"), "ABC1");
+}
+
+TEST(StrUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("rel__u", "rel__"));
+  EXPECT_FALSE(StartsWith("re", "rel"));
+  EXPECT_TRUE(EndsWith("file.cc", ".cc"));
+  EXPECT_FALSE(EndsWith("c", ".cc"));
+}
+
+TEST(StrUtilTest, IsIdentifier) {
+  EXPECT_TRUE(IsIdentifier("abc_1"));
+  EXPECT_TRUE(IsIdentifier("_x"));
+  EXPECT_FALSE(IsIdentifier("1abc"));
+  EXPECT_FALSE(IsIdentifier(""));
+  EXPECT_FALSE(IsIdentifier("a-b"));
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter p({"Name", "Level"});
+  p.AddRow({"Avenger", "s"});
+  p.AddRow({"Eagle", "u"});
+  std::string out = p.ToString();
+  EXPECT_NE(out.find("| Name    | Level |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| Avenger | s     |"), std::string::npos) << out;
+  EXPECT_EQ(p.row_count(), 2u);
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter p({"A", "B", "C"});
+  p.AddRow({"x"});
+  std::string out = p.ToString();
+  EXPECT_NE(out.find("| x | "), std::string::npos) << out;
+}
+
+TEST(TablePrinterTest, EmptyTableRendersHeaderOnly) {
+  TablePrinter p({"A"});
+  std::string out = p.ToString();
+  EXPECT_NE(out.find("| A |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace multilog

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "datalog/eval.h"
+#include "datalog/magic.h"
+#include "datalog/parser.h"
+#include "datalog/stratify.h"
+#include "datalog/topdown.h"
+
+namespace multilog::datalog {
+namespace {
+
+Result<Model> EvalSource(std::string_view source,
+                         EvalOptions::Strategy strategy =
+                             EvalOptions::Strategy::kSeminaive) {
+  Result<ParsedProgram> parsed = ParseDatalog(source);
+  if (!parsed.ok()) return parsed.status();
+  EvalOptions options;
+  options.strategy = strategy;
+  return Evaluate(parsed->program, options);
+}
+
+constexpr const char* kGraph = R"(
+  edge(a, b). edge(a, c). edge(b, c). edge(c, a).
+  outdeg(X, count(Y)) :- edge(X, Y).
+)";
+
+TEST(AggregateTest, Count) {
+  Result<Model> m = EvalSource(kGraph);
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_TRUE(m->Contains(Atom("outdeg", {Term::Sym("a"), Term::Int(2)})));
+  EXPECT_TRUE(m->Contains(Atom("outdeg", {Term::Sym("b"), Term::Int(1)})));
+  EXPECT_TRUE(m->Contains(Atom("outdeg", {Term::Sym("c"), Term::Int(1)})));
+  EXPECT_EQ(m->FactsFor("outdeg/2").size(), 3u);
+}
+
+TEST(AggregateTest, SumMinMax) {
+  Result<Model> m = EvalSource(R"(
+    sale(shop1, 10). sale(shop1, 25). sale(shop2, 7).
+    total(S, sum(N)) :- sale(S, N).
+    best(S, max(N)) :- sale(S, N).
+    worst(S, min(N)) :- sale(S, N).
+  )");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_TRUE(m->Contains(Atom("total", {Term::Sym("shop1"), Term::Int(35)})));
+  EXPECT_TRUE(m->Contains(Atom("total", {Term::Sym("shop2"), Term::Int(7)})));
+  EXPECT_TRUE(m->Contains(Atom("best", {Term::Sym("shop1"), Term::Int(25)})));
+  EXPECT_TRUE(m->Contains(Atom("worst", {Term::Sym("shop1"), Term::Int(10)})));
+}
+
+TEST(AggregateTest, MinMaxOverSymbols) {
+  Result<Model> m = EvalSource(R"(
+    name(alice). name(bob). name(carol).
+    first(min(X)) :- name(X).
+    last(max(X)) :- name(X).
+  )");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_TRUE(m->Contains(Atom("first", {Term::Sym("alice")})));
+  EXPECT_TRUE(m->Contains(Atom("last", {Term::Sym("carol")})));
+}
+
+TEST(AggregateTest, AggregateOverDerivedPredicate) {
+  Result<Model> m = EvalSource(R"(
+    edge(a, b). edge(b, c). edge(c, d).
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+    reachcount(X, count(Y)) :- path(X, Y).
+  )");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_TRUE(
+      m->Contains(Atom("reachcount", {Term::Sym("a"), Term::Int(3)})));
+}
+
+TEST(AggregateTest, SetSemanticsCountsDistinctValues) {
+  // Two derivations of the same (X, Y) pair count once.
+  Result<Model> m = EvalSource(R"(
+    e1(a, b). e2(a, b). e2(a, c).
+    any(X, Y) :- e1(X, Y).
+    any(X, Y) :- e2(X, Y).
+    deg(X, count(Y)) :- any(X, Y).
+  )");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_TRUE(m->Contains(Atom("deg", {Term::Sym("a"), Term::Int(2)})));
+}
+
+TEST(AggregateTest, AggregationOverAggregation) {
+  Result<Model> m = EvalSource(R"(
+    edge(a, b). edge(a, c). edge(b, c).
+    outdeg(X, count(Y)) :- edge(X, Y).
+    maxdeg(max(N)) :- outdeg(X, N).
+  )");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_TRUE(m->Contains(Atom("maxdeg", {Term::Int(2)})));
+}
+
+TEST(AggregateTest, StratificationTreatsAggregationAsNegation) {
+  Result<ParsedProgram> parsed = ParseDatalog(kGraph);
+  ASSERT_TRUE(parsed.ok());
+  Result<Stratification> strat = Stratify(parsed->program);
+  ASSERT_TRUE(strat.ok());
+  EXPECT_LT(strat->stratum_of.at("edge/2"),
+            strat->stratum_of.at("outdeg/2"));
+}
+
+TEST(AggregateTest, RecursionThroughAggregationRejected) {
+  Result<Model> m = EvalSource(R"(
+    seed(a, 1).
+    val(X, N) :- seed(X, N).
+    val(X, sum(N)) :- val(X, N).
+  )");
+  ASSERT_FALSE(m.ok());
+  EXPECT_TRUE(m.status().IsInvalidProgram());
+}
+
+TEST(AggregateTest, SumOverSymbolsRejected) {
+  Result<Model> m = EvalSource(R"(
+    name(x, alice).
+    bad(X, sum(N)) :- name(X, N).
+  )");
+  ASSERT_FALSE(m.ok());
+  EXPECT_TRUE(m.status().IsInvalidProgram()) << m.status();
+}
+
+TEST(AggregateTest, TwoAggregatesRejected) {
+  Result<ParsedProgram> parsed =
+      ParseDatalog("bad(count(X), count(Y)) :- e(X, Y).");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsParseError());
+}
+
+TEST(AggregateTest, SafetyRequiresBoundAggregateTerm) {
+  Result<Model> m = EvalSource("agg(count(Y)) :- node(X).");
+  EXPECT_FALSE(m.ok());
+  EXPECT_TRUE(m.status().IsInvalidProgram());
+}
+
+TEST(AggregateTest, NaiveStrategyAgrees) {
+  Result<Model> semi = EvalSource(kGraph, EvalOptions::Strategy::kSeminaive);
+  Result<Model> naive = EvalSource(kGraph, EvalOptions::Strategy::kNaive);
+  ASSERT_TRUE(semi.ok() && naive.ok());
+  EXPECT_EQ(semi->ToString(), naive->ToString());
+}
+
+TEST(AggregateTest, ToStringRoundTrips) {
+  Result<ParsedProgram> p1 = ParseDatalog(kGraph);
+  ASSERT_TRUE(p1.ok());
+  Result<ParsedProgram> p2 = ParseDatalog(p1->program.ToString());
+  ASSERT_TRUE(p2.ok()) << p2.status() << "\n" << p1->program.ToString();
+  EXPECT_EQ(p1->program.ToString(), p2->program.ToString());
+}
+
+TEST(AggregateTest, TopDownAndMagicReject) {
+  Result<ParsedProgram> parsed = ParseDatalog(kGraph);
+  ASSERT_TRUE(parsed.ok());
+  TopDownEngine engine(parsed->program);
+  EXPECT_FALSE(engine.status().ok());
+  Result<std::vector<Literal>> goal = ParseGoal("outdeg(a, N)");
+  ASSERT_TRUE(goal.ok());
+  EXPECT_FALSE(MagicSolve(parsed->program, (*goal)[0].atom()).ok());
+}
+
+TEST(AggregateTest, GroupByMultipleColumns) {
+  Result<Model> m = EvalSource(R"(
+    shipment(north, widget, 5). shipment(north, widget, 8).
+    shipment(north, gadget, 3). shipment(south, widget, 2).
+    regional(R, P, sum(N)) :- shipment(R, P, N).
+  )");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_TRUE(m->Contains(Atom(
+      "regional", {Term::Sym("north"), Term::Sym("widget"), Term::Int(13)})));
+  EXPECT_TRUE(m->Contains(Atom(
+      "regional", {Term::Sym("south"), Term::Sym("widget"), Term::Int(2)})));
+  EXPECT_EQ(m->FactsFor("regional/3").size(), 3u);
+}
+
+}  // namespace
+}  // namespace multilog::datalog

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "datalog/eval.h"
+#include "datalog/parser.h"
+#include "datalog/topdown.h"
+
+namespace multilog::datalog {
+namespace {
+
+Result<Model> EvalSource(std::string_view source) {
+  Result<ParsedProgram> parsed = ParseDatalog(source);
+  if (!parsed.ok()) return parsed.status();
+  return Evaluate(parsed->program);
+}
+
+TEST(ArithmeticTest, FoldGroundTerms) {
+  Result<Term> r = EvalArithmetic(
+      Term::Fn("plus", {Term::Int(2), Term::Fn("times", {Term::Int(3),
+                                                         Term::Int(4)})}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Term::Int(14));
+
+  EXPECT_EQ(EvalArithmetic(Term::Fn("minus", {Term::Int(1), Term::Int(5)}))
+                .value(),
+            Term::Int(-4));
+  EXPECT_EQ(
+      EvalArithmetic(Term::Fn("div", {Term::Int(9), Term::Int(2)})).value(),
+      Term::Int(4));
+  EXPECT_EQ(
+      EvalArithmetic(Term::Fn("mod", {Term::Int(9), Term::Int(2)})).value(),
+      Term::Int(1));
+}
+
+TEST(ArithmeticTest, NonArithmeticTermsUntouched) {
+  Term data = Term::Fn("car", {Term::Sym("ford"), Term::Int(1990)});
+  EXPECT_EQ(EvalArithmetic(data).value(), data);
+  // Unbound arithmetic stays structural.
+  Term open = Term::Fn("plus", {Term::Var("X"), Term::Int(1)});
+  EXPECT_EQ(EvalArithmetic(open).value(), open);
+}
+
+TEST(ArithmeticTest, Errors) {
+  EXPECT_FALSE(
+      EvalArithmetic(Term::Fn("plus", {Term::Sym("a"), Term::Int(1)})).ok());
+  EXPECT_FALSE(
+      EvalArithmetic(Term::Fn("div", {Term::Int(1), Term::Int(0)})).ok());
+}
+
+TEST(ArithmeticTest, AssignmentInRules) {
+  Result<Model> m = EvalSource(R"(
+    val(a, 3). val(b, 7).
+    doubled(X, D) :- val(X, N), D = times(N, 2).
+    shifted(X, S) :- doubled(X, D), S = plus(D, 1).
+  )");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_TRUE(m->Contains(Atom("doubled", {Term::Sym("a"), Term::Int(6)})));
+  EXPECT_TRUE(m->Contains(Atom("shifted", {Term::Sym("b"), Term::Int(15)})));
+}
+
+TEST(ArithmeticTest, ComparisonsFoldBothSides) {
+  Result<Model> m = EvalSource(R"(
+    val(a, 3). val(b, 7).
+    big(X) :- val(X, N), times(N, 2) > 10.
+  )");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->FactsFor("big/1").size(), 1u);
+  EXPECT_TRUE(m->Contains(Atom("big", {Term::Sym("b")})));
+}
+
+TEST(ArithmeticTest, BoundedRecursionCounter) {
+  // The classic bounded counter: arithmetic + comparison keeps the
+  // Herbrand expansion finite.
+  Result<Model> m = EvalSource(R"(
+    n(0).
+    n(M) :- n(N), N < 5, M = plus(N, 1).
+  )");
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->FactsFor("n/1").size(), 6u);  // 0..5
+}
+
+TEST(ArithmeticTest, TopDownAgrees) {
+  const char* src = R"(
+    val(a, 3). val(b, 7).
+    doubled(X, D) :- val(X, N), D = times(N, 2).
+  )";
+  Result<ParsedProgram> parsed = ParseDatalog(src);
+  ASSERT_TRUE(parsed.ok());
+  TopDownEngine engine(parsed->program);
+  ASSERT_TRUE(engine.status().ok());
+  Result<std::vector<Literal>> goal = ParseGoal("doubled(b, D)");
+  ASSERT_TRUE(goal.ok());
+  Result<std::vector<Substitution>> answers = engine.Solve(*goal);
+  ASSERT_TRUE(answers.ok()) << answers.status();
+  ASSERT_EQ(answers->size(), 1u);
+  EXPECT_EQ((*answers)[0].ToString(), "{D=14}");
+}
+
+TEST(ArithmeticTest, DivisionByZeroSurfacesAsError) {
+  Result<Model> m = EvalSource(R"(
+    val(a, 0).
+    bad(X, R) :- val(X, N), R = div(1, N).
+  )");
+  EXPECT_FALSE(m.ok());
+  EXPECT_TRUE(m.status().IsInvalidProgram());
+}
+
+}  // namespace
+}  // namespace multilog::datalog

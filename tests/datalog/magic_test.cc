@@ -1,0 +1,175 @@
+#include "datalog/magic.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "datalog/eval.h"
+#include "datalog/parser.h"
+
+namespace multilog::datalog {
+namespace {
+
+std::vector<std::string> Solve(std::string_view src,
+                               std::string_view query_text) {
+  Result<ParsedProgram> parsed = ParseDatalog(src);
+  if (!parsed.ok()) return {"parse error"};
+  Result<std::vector<Literal>> goal = ParseGoal(query_text);
+  if (!goal.ok() || goal->size() != 1) return {"goal error"};
+  Result<std::vector<Substitution>> answers =
+      MagicSolve(parsed->program, (*goal)[0].atom());
+  if (!answers.ok()) return {"solve: " + answers.status().ToString()};
+  std::vector<std::string> out;
+  for (const Substitution& s : *answers) out.push_back(s.ToString());
+  return out;
+}
+
+std::vector<std::string> SolveFull(std::string_view src,
+                                   std::string_view query_text) {
+  Result<ParsedProgram> parsed = ParseDatalog(src);
+  Result<std::vector<Literal>> goal = ParseGoal(query_text);
+  Result<Model> model = Evaluate(parsed->program);
+  if (!model.ok()) return {"eval error"};
+  Result<std::vector<Substitution>> answers = QueryModel(*model, *goal);
+  std::vector<std::string> out;
+  for (const Substitution& s : *answers) out.push_back(s.ToString());
+  return out;
+}
+
+constexpr const char* kChain = R"(
+  edge(a, b). edge(b, c). edge(c, d). edge(d, e).
+  path(X, Y) :- edge(X, Y).
+  path(X, Y) :- edge(X, Z), path(Z, Y).
+)";
+
+TEST(MagicTest, BoundFirstArgument) {
+  EXPECT_EQ(Solve(kChain, "path(b, Y)"),
+            (std::vector<std::string>{"{Y=c}", "{Y=d}", "{Y=e}"}));
+}
+
+TEST(MagicTest, FullyBoundQuery) {
+  EXPECT_EQ(Solve(kChain, "path(a, e)"), std::vector<std::string>{"{}"});
+  EXPECT_TRUE(Solve(kChain, "path(e, a)").empty());
+}
+
+TEST(MagicTest, FullyFreeQueryStillComplete) {
+  EXPECT_EQ(Solve(kChain, "path(X, Y)"), SolveFull(kChain, "path(X, Y)"));
+}
+
+TEST(MagicTest, OnlyRelevantFactsAreDerived) {
+  // With the query bound to d, the rewritten program must not derive
+  // any path fact starting from a, b, or c.
+  Result<ParsedProgram> parsed = ParseDatalog(kChain);
+  ASSERT_TRUE(parsed.ok());
+  Result<std::vector<Literal>> goal = ParseGoal("path(d, Y)");
+  ASSERT_TRUE(goal.ok());
+  Result<MagicProgram> magic =
+      MagicTransform(parsed->program, (*goal)[0].atom());
+  ASSERT_TRUE(magic.ok()) << magic.status();
+  Result<Model> model = Evaluate(magic->program);
+  ASSERT_TRUE(model.ok()) << model.status();
+
+  size_t path_facts = 0;
+  for (const std::string& pred : model->Predicates()) {
+    if (pred.rfind("path__", 0) == 0) {
+      path_facts += model->FactsFor(pred).size();
+    }
+  }
+  EXPECT_EQ(path_facts, 1u);  // only path(d, e)
+}
+
+TEST(MagicTest, CyclicGraph) {
+  const char* src = R"(
+    edge(a, b). edge(b, a). edge(b, c).
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+  )";
+  EXPECT_EQ(Solve(src, "path(a, Y)"), SolveFull(src, "path(a, Y)"));
+}
+
+TEST(MagicTest, NonLinearRecursion) {
+  const char* src = R"(
+    edge(a, b). edge(b, c). edge(c, d).
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- path(X, Z), path(Z, Y).
+  )";
+  EXPECT_EQ(Solve(src, "path(a, Y)"), SolveFull(src, "path(a, Y)"));
+}
+
+TEST(MagicTest, MutualRecursion) {
+  const char* src = R"(
+    e(a, b). o(b, c). e(c, d).
+    even(X, Y) :- e(X, Y).
+    even(X, Y) :- e(X, Z), odd(Z, Y).
+    odd(X, Y) :- o(X, Y).
+    odd(X, Y) :- o(X, Z), even(Z, Y).
+  )";
+  EXPECT_EQ(Solve(src, "even(a, Y)"), SolveFull(src, "even(a, Y)"));
+}
+
+TEST(MagicTest, BuiltinsAsFilters) {
+  const char* src = R"(
+    val(a, 1). val(b, 5). val(c, 9).
+    link(a, b). link(b, c).
+    big(X, N) :- val(X, N), N >= 5.
+    bignext(X, Y, N) :- link(X, Y), big(Y, N).
+  )";
+  EXPECT_EQ(Solve(src, "bignext(a, Y, N)"),
+            SolveFull(src, "bignext(a, Y, N)"));
+}
+
+TEST(MagicTest, SecondArgumentBound) {
+  EXPECT_EQ(Solve(kChain, "path(X, d)"), SolveFull(kChain, "path(X, d)"));
+}
+
+TEST(MagicTest, QueryOnUnknownPredicate) {
+  EXPECT_TRUE(Solve(kChain, "nosuch(X)").empty());
+}
+
+TEST(MagicTest, NegationRejected) {
+  const char* src = "p(a). q(X) :- p(X), not r(X).";
+  Result<ParsedProgram> parsed = ParseDatalog(src);
+  ASSERT_TRUE(parsed.ok());
+  Result<std::vector<Literal>> goal = ParseGoal("q(a)");
+  ASSERT_TRUE(goal.ok());
+  Result<MagicProgram> magic =
+      MagicTransform(parsed->program, (*goal)[0].atom());
+  EXPECT_FALSE(magic.ok());
+  EXPECT_TRUE(magic.status().IsInvalidProgram());
+}
+
+class MagicPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MagicPropertyTest, AgreesWithFullEvaluationOnRandomGraphs) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> node_count(3, 7);
+  const int nodes = node_count(rng);
+  std::uniform_int_distribution<int> pick(0, nodes - 1);
+  std::uniform_int_distribution<int> edge_count(3, 12);
+
+  std::string src;
+  const int edges = edge_count(rng);
+  for (int i = 0; i < edges; ++i) {
+    src += "edge(n" + std::to_string(pick(rng)) + ", n" +
+           std::to_string(pick(rng)) + ").\n";
+  }
+  src += "path(X, Y) :- edge(X, Y).\n";
+  src += "path(X, Y) :- edge(X, Z), path(Z, Y).\n";
+  src += "twohop(X, Y) :- path(X, Z), path(Z, Y).\n";
+
+  const std::string start = "n" + std::to_string(pick(rng));
+  const std::vector<std::string> queries = {
+      "path(" + start + ", Y)", "twohop(" + start + ", Y)",
+      "path(X, " + start + ")", "path(X, Y)"};
+  for (const std::string& query : queries) {
+    EXPECT_EQ(Solve(src, query), SolveFull(src, query))
+        << "query " << query << "\n"
+        << src;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, MagicPropertyTest,
+                         ::testing::Range(0u, 20u));
+
+}  // namespace
+}  // namespace multilog::datalog

@@ -1,0 +1,127 @@
+#include "datalog/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace multilog::datalog {
+namespace {
+
+TEST(DatalogParserTest, Fact) {
+  Result<ParsedProgram> p = ParseDatalog("edge(a, b).");
+  ASSERT_TRUE(p.ok()) << p.status();
+  ASSERT_EQ(p->program.size(), 1u);
+  EXPECT_EQ(p->program.clauses()[0].ToString(), "edge(a, b).");
+  EXPECT_TRUE(p->program.clauses()[0].IsFact());
+}
+
+TEST(DatalogParserTest, NullaryPredicate) {
+  Result<ParsedProgram> p = ParseDatalog("go. stop :- go.");
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(p->program.size(), 2u);
+  EXPECT_EQ(p->program.clauses()[1].ToString(), "stop :- go.");
+}
+
+TEST(DatalogParserTest, RuleWithNegationAndBuiltin) {
+  Result<ParsedProgram> p = ParseDatalog(
+      "good(X) :- node(X), not bad(X), X != root.");
+  ASSERT_TRUE(p.ok()) << p.status();
+  const Clause& c = p->program.clauses()[0];
+  ASSERT_EQ(c.body().size(), 3u);
+  EXPECT_FALSE(c.body()[0].negated());
+  EXPECT_TRUE(c.body()[1].negated());
+  EXPECT_TRUE(c.body()[2].is_builtin());
+  EXPECT_EQ(c.body()[2].comparison(), Comparison::kNe);
+}
+
+TEST(DatalogParserTest, VariablesAndConstants) {
+  Result<Term> var = ParseTerm("Xyz");
+  ASSERT_TRUE(var.ok());
+  EXPECT_TRUE(var->IsVariable());
+
+  Result<Term> underscore = ParseTerm("_x");
+  ASSERT_TRUE(underscore.ok());
+  EXPECT_TRUE(underscore->IsVariable());
+
+  Result<Term> sym = ParseTerm("xyz");
+  ASSERT_TRUE(sym.ok());
+  EXPECT_TRUE(sym->IsSymbol());
+
+  Result<Term> num = ParseTerm("-42");
+  ASSERT_TRUE(num.ok());
+  EXPECT_EQ(num->int_value(), -42);
+
+  Result<Term> quoted = ParseTerm("'Hello World'");
+  ASSERT_TRUE(quoted.ok());
+  EXPECT_EQ(quoted->name(), "Hello World");
+
+  Result<Term> fn = ParseTerm("f(a, g(X), 3)");
+  ASSERT_TRUE(fn.ok());
+  EXPECT_TRUE(fn->IsCompound());
+  EXPECT_EQ(fn->ToString(), "f(a, g(X), 3)");
+}
+
+TEST(DatalogParserTest, Comments) {
+  Result<ParsedProgram> p = ParseDatalog(R"(
+    % a comment
+    edge(a, b).  // another
+    edge(b, c).
+  )");
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(p->program.size(), 2u);
+}
+
+TEST(DatalogParserTest, Queries) {
+  Result<ParsedProgram> p = ParseDatalog(R"(
+    edge(a, b).
+    ?- edge(X, Y), not loop(X).
+  )");
+  ASSERT_TRUE(p.ok()) << p.status();
+  ASSERT_EQ(p->queries.size(), 1u);
+  EXPECT_EQ(p->queries[0].size(), 2u);
+}
+
+TEST(DatalogParserTest, NotPrefixedIdentifierIsNotNegation) {
+  Result<ParsedProgram> p = ParseDatalog("p(X) :- nothing(X), not_x(X).");
+  ASSERT_TRUE(p.ok()) << p.status();
+  const Clause& c = p->program.clauses()[0];
+  EXPECT_FALSE(c.body()[0].negated());
+  EXPECT_FALSE(c.body()[1].negated());
+  EXPECT_EQ(c.body()[1].atom().predicate(), "not_x");
+}
+
+TEST(DatalogParserTest, ComparisonOperatorsAll) {
+  Result<std::vector<Literal>> goal =
+      ParseGoal("X = 1, X != 2, X < 3, X <= 4, X > 0, X >= 1");
+  ASSERT_TRUE(goal.ok()) << goal.status();
+  ASSERT_EQ(goal->size(), 6u);
+  EXPECT_EQ((*goal)[0].comparison(), Comparison::kEq);
+  EXPECT_EQ((*goal)[3].comparison(), Comparison::kLe);
+}
+
+TEST(DatalogParserTest, Errors) {
+  EXPECT_FALSE(ParseDatalog("edge(a, b)").ok());     // missing dot
+  EXPECT_FALSE(ParseDatalog("edge(a,.").ok());       // bad term
+  EXPECT_FALSE(ParseDatalog("Xbad(a).").ok());       // variable predicate
+  EXPECT_FALSE(ParseDatalog("p('unterminated).").ok());
+  EXPECT_FALSE(ParseTerm("f(a").ok());
+  EXPECT_FALSE(ParseTerm("a b").ok());  // trailing input
+}
+
+TEST(DatalogParserTest, ErrorsMentionLineNumbers) {
+  Result<ParsedProgram> p = ParseDatalog("edge(a, b).\nbroken(");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("line 2"), std::string::npos)
+      << p.status();
+}
+
+TEST(DatalogParserTest, RoundTripThroughToString) {
+  const char* src =
+      "path(X, Y) :- edge(X, Z), path(Z, Y), not blocked(Z), X != Y.";
+  Result<ParsedProgram> p1 = ParseDatalog(src);
+  ASSERT_TRUE(p1.ok());
+  Result<ParsedProgram> p2 = ParseDatalog(p1->program.ToString());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p1->program.ToString(), p2->program.ToString());
+}
+
+}  // namespace
+}  // namespace multilog::datalog

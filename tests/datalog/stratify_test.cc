@@ -1,0 +1,95 @@
+#include "datalog/stratify.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+
+namespace multilog::datalog {
+namespace {
+
+Result<Stratification> StratifySource(std::string_view src) {
+  Result<ParsedProgram> parsed = ParseDatalog(src);
+  if (!parsed.ok()) return parsed.status();
+  return Stratify(parsed->program);
+}
+
+TEST(StratifyTest, PositiveProgramIsOneStratum) {
+  Result<Stratification> s = StratifySource(R"(
+    edge(a, b).
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+  )");
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->num_strata(), 1u);
+}
+
+TEST(StratifyTest, NegationPushesUp) {
+  Result<Stratification> s = StratifySource(R"(
+    node(a). bad(a).
+    good(X) :- node(X), not bad(X).
+    worst(X) :- good(X), bad(X).
+    best(X) :- good(X), not worst(X).
+  )");
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->num_strata(), 3u);
+  EXPECT_EQ(s->stratum_of.at("node/1"), 0u);
+  EXPECT_EQ(s->stratum_of.at("good/1"), 1u);
+  EXPECT_EQ(s->stratum_of.at("worst/1"), 1u);
+  EXPECT_EQ(s->stratum_of.at("best/1"), 2u);
+}
+
+TEST(StratifyTest, RecursionThroughNegationDetected) {
+  Result<Stratification> s =
+      StratifySource("p(a) :- not q(a). q(a) :- not p(a).");
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.status().IsInvalidProgram());
+}
+
+TEST(StratifyTest, SelfNegationDetected) {
+  Result<Stratification> s = StratifySource("base(a). p(X) :- base(X), not p(X).");
+  ASSERT_FALSE(s.ok());
+}
+
+TEST(StratifyTest, LongNegationChain) {
+  // A chain p0 <- not p1 <- not p2 ... gives one stratum per predicate.
+  std::string src = "p9(a).\n";
+  for (int i = 8; i >= 0; --i) {
+    src += "p" + std::to_string(i) + "(X) :- p9(X), not p" +
+           std::to_string(i + 1) + "(X).\n";
+  }
+  Result<Stratification> s = StratifySource(src);
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->num_strata(), 10u);
+}
+
+TEST(StratifyTest, PositiveCycleThroughManyPredicatesIsFine) {
+  Result<Stratification> s = StratifySource(R"(
+    a(x).
+    b(X) :- a(X).
+    c(X) :- b(X).
+    a(X) :- c(X).
+  )");
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->num_strata(), 1u);
+}
+
+TEST(StratifyTest, EmptyProgram) {
+  Result<Stratification> s = StratifySource("");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_strata(), 0u);
+}
+
+TEST(StratifyTest, StrataPartitionPredicates) {
+  Result<Stratification> s = StratifySource(R"(
+    n(a). m(b).
+    p(X) :- n(X), not m(X).
+    q(X) :- p(X), m(X).
+  )");
+  ASSERT_TRUE(s.ok());
+  size_t total = 0;
+  for (const auto& stratum : s->strata) total += stratum.size();
+  EXPECT_EQ(total, s->stratum_of.size());
+}
+
+}  // namespace
+}  // namespace multilog::datalog

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "datalog/model.h"
+#include "datalog/term.h"
+
+namespace multilog::datalog {
+namespace {
+
+TEST(TermTest, KindsAndAccessors) {
+  Term v = Term::Var("X");
+  Term s = Term::Sym("abc");
+  Term i = Term::Int(-7);
+  Term f = Term::Fn("f", {s, i});
+
+  EXPECT_TRUE(v.IsVariable());
+  EXPECT_FALSE(v.IsConstant());
+  EXPECT_TRUE(s.IsSymbol());
+  EXPECT_TRUE(s.IsConstant());
+  EXPECT_TRUE(i.IsInt());
+  EXPECT_EQ(i.int_value(), -7);
+  EXPECT_TRUE(f.IsCompound());
+  EXPECT_EQ(f.args().size(), 2u);
+  EXPECT_EQ(f.ToString(), "f(abc, -7)");
+}
+
+TEST(TermTest, Groundness) {
+  EXPECT_FALSE(Term::Var("X").IsGround());
+  EXPECT_TRUE(Term::Sym("a").IsGround());
+  EXPECT_TRUE(Term::Fn("f", {Term::Sym("a"), Term::Int(1)}).IsGround());
+  EXPECT_FALSE(Term::Fn("f", {Term::Fn("g", {Term::Var("X")})}).IsGround());
+}
+
+TEST(TermTest, CollectVariablesInOrder) {
+  Term t = Term::Fn("f", {Term::Var("X"), Term::Fn("g", {Term::Var("Y")}),
+                          Term::Var("X")});
+  std::vector<std::string> vars;
+  t.CollectVariables(&vars);
+  EXPECT_EQ(vars, (std::vector<std::string>{"X", "Y", "X"}));
+}
+
+TEST(TermTest, EqualityAndHash) {
+  Term a = Term::Fn("f", {Term::Sym("a"), Term::Int(1)});
+  Term b = Term::Fn("f", {Term::Sym("a"), Term::Int(1)});
+  Term c = Term::Fn("f", {Term::Sym("a"), Term::Int(2)});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_NE(a, c);
+  // Different kinds never compare equal.
+  EXPECT_NE(Term::Sym("1"), Term::Int(1));
+  EXPECT_NE(Term::Var("x"), Term::Sym("x"));
+}
+
+TEST(TermTest, TotalOrderIsStrictWeak) {
+  std::vector<Term> terms = {
+      Term::Var("B"),  Term::Var("A"),  Term::Sym("b"), Term::Sym("a"),
+      Term::Int(2),    Term::Int(1),
+      Term::Fn("f", {Term::Sym("a")}),
+      Term::Fn("f", {Term::Sym("a"), Term::Sym("b")}),
+  };
+  std::sort(terms.begin(), terms.end());
+  for (size_t i = 0; i + 1 < terms.size(); ++i) {
+    EXPECT_FALSE(terms[i + 1] < terms[i]);
+  }
+}
+
+TEST(AtomTest, PredicateIdAndToString) {
+  Atom a("p", {Term::Sym("x"), Term::Var("Y")});
+  EXPECT_EQ(a.PredicateId(), "p/2");
+  EXPECT_EQ(a.ToString(), "p(x, Y)");
+  EXPECT_FALSE(a.IsGround());
+  Atom nullary("go", {});
+  EXPECT_EQ(nullary.PredicateId(), "go/0");
+  EXPECT_EQ(nullary.ToString(), "go");
+  EXPECT_TRUE(nullary.IsGround());
+}
+
+TEST(ModelTest, InsertDeduplicates) {
+  Model m;
+  Atom a("p", {Term::Sym("x")});
+  EXPECT_TRUE(m.Insert(a));
+  EXPECT_FALSE(m.Insert(a));
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(m.Contains(a));
+  EXPECT_FALSE(m.Contains(Atom("p", {Term::Sym("y")})));
+}
+
+TEST(ModelTest, ArityDistinguishesPredicates) {
+  Model m;
+  m.Insert(Atom("p", {Term::Sym("x")}));
+  m.Insert(Atom("p", {Term::Sym("x"), Term::Sym("y")}));
+  EXPECT_EQ(m.FactsFor("p/1").size(), 1u);
+  EXPECT_EQ(m.FactsFor("p/2").size(), 1u);
+  EXPECT_EQ(m.Predicates(), (std::vector<std::string>{"p/1", "p/2"}));
+}
+
+TEST(ModelTest, ArgumentIndex) {
+  Model m;
+  m.Insert(Atom("e", {Term::Sym("a"), Term::Sym("b")}));
+  m.Insert(Atom("e", {Term::Sym("a"), Term::Sym("c")}));
+  m.Insert(Atom("e", {Term::Sym("b"), Term::Sym("c")}));
+  EXPECT_EQ(m.FactsMatching("e/2", 0, Term::Sym("a")).size(), 2u);
+  EXPECT_EQ(m.FactsMatching("e/2", 1, Term::Sym("c")).size(), 2u);
+  EXPECT_TRUE(m.FactsMatching("e/2", 0, Term::Sym("z")).empty());
+  EXPECT_TRUE(m.FactsMatching("nosuch/2", 0, Term::Sym("a")).empty());
+}
+
+TEST(ModelTest, EqualityIsSetEquality) {
+  Model a, b;
+  a.Insert(Atom("p", {Term::Sym("x")}));
+  a.Insert(Atom("q", {Term::Sym("y")}));
+  b.Insert(Atom("q", {Term::Sym("y")}));
+  EXPECT_FALSE(a == b);
+  b.Insert(Atom("p", {Term::Sym("x")}));
+  EXPECT_TRUE(a == b);
+}
+
+TEST(ModelTest, ToStringSortedStable) {
+  Model m;
+  m.Insert(Atom("b", {Term::Int(2)}));
+  m.Insert(Atom("a", {Term::Int(1)}));
+  EXPECT_EQ(m.ToString(), "a(1).\nb(2).\n");
+}
+
+}  // namespace
+}  // namespace multilog::datalog

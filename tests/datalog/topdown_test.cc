@@ -1,0 +1,136 @@
+#include "datalog/topdown.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/eval.h"
+#include "datalog/parser.h"
+
+namespace multilog::datalog {
+namespace {
+
+std::vector<std::string> Solve(std::string_view source,
+                               std::string_view goal_text) {
+  Result<ParsedProgram> parsed = ParseDatalog(source);
+  if (!parsed.ok()) return {"parse error"};
+  TopDownEngine engine(parsed->program);
+  if (!engine.status().ok()) return {"engine: " + engine.status().ToString()};
+  Result<std::vector<Literal>> goal = ParseGoal(goal_text);
+  if (!goal.ok()) return {"goal parse error"};
+  Result<std::vector<Substitution>> answers = engine.Solve(*goal);
+  if (!answers.ok()) return {"solve: " + answers.status().ToString()};
+  std::vector<std::string> out;
+  for (const Substitution& s : *answers) out.push_back(s.ToString());
+  return out;
+}
+
+TEST(TopDownTest, GroundFact) {
+  EXPECT_EQ(Solve("p(a).", "p(a)"), std::vector<std::string>{"{}"});
+  EXPECT_TRUE(Solve("p(a).", "p(b)").empty());
+}
+
+TEST(TopDownTest, SimpleRule) {
+  EXPECT_EQ(Solve("q(a). p(X) :- q(X).", "p(X)"),
+            std::vector<std::string>{"{X=a}"});
+}
+
+TEST(TopDownTest, LeftRecursionTerminates) {
+  std::vector<std::string> answers = Solve(R"(
+    edge(a, b). edge(b, c).
+    path(X, Y) :- path(X, Z), edge(Z, Y).
+    path(X, Y) :- edge(X, Y).
+  )",
+                                           "path(a, Y)");
+  EXPECT_EQ(answers, (std::vector<std::string>{"{Y=b}", "{Y=c}"}));
+}
+
+TEST(TopDownTest, CyclicDataComplete) {
+  // The case plain loop-checking SLD misses: path(b, b) through the
+  // cycle a -> b -> a.
+  std::vector<std::string> answers = Solve(R"(
+    edge(a, b). edge(b, a).
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+  )",
+                                           "path(b, Y)");
+  EXPECT_EQ(answers, (std::vector<std::string>{"{Y=a}", "{Y=b}"}));
+}
+
+TEST(TopDownTest, NegationOnLowerStratum) {
+  std::vector<std::string> answers = Solve(R"(
+    node(a). node(b). bad(b).
+    good(X) :- node(X), not bad(X).
+  )",
+                                           "good(X)");
+  EXPECT_EQ(answers, std::vector<std::string>{"{X=a}"});
+}
+
+TEST(TopDownTest, UnstratifiableRejectedAtConstruction) {
+  Result<ParsedProgram> parsed =
+      ParseDatalog("p(a) :- not q(a). q(a) :- not p(a).");
+  ASSERT_TRUE(parsed.ok());
+  TopDownEngine engine(parsed->program);
+  EXPECT_FALSE(engine.status().ok());
+}
+
+TEST(TopDownTest, AgreesWithBottomUpOnTransitiveClosure) {
+  const char* src = R"(
+    edge(a, b). edge(b, c). edge(c, a). edge(c, d).
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+  )";
+  Result<ParsedProgram> parsed = ParseDatalog(src);
+  ASSERT_TRUE(parsed.ok());
+  Result<Model> model = Evaluate(parsed->program);
+  ASSERT_TRUE(model.ok());
+
+  TopDownEngine engine(parsed->program);
+  ASSERT_TRUE(engine.status().ok());
+  Result<std::vector<Literal>> goal = ParseGoal("path(X, Y)");
+  ASSERT_TRUE(goal.ok());
+  Result<std::vector<Substitution>> td = engine.Solve(*goal);
+  ASSERT_TRUE(td.ok()) << td.status();
+  Result<std::vector<Substitution>> bu = QueryModel(*model, *goal);
+  ASSERT_TRUE(bu.ok());
+
+  std::vector<std::string> td_strings, bu_strings;
+  for (const Substitution& s : *td) td_strings.push_back(s.ToString());
+  for (const Substitution& s : *bu) bu_strings.push_back(s.ToString());
+  EXPECT_EQ(td_strings, bu_strings);
+}
+
+TEST(TopDownTest, ConjunctionGoal) {
+  std::vector<std::string> answers = Solve(R"(
+    p(a). p(b). q(b). q(c).
+  )",
+                                           "p(X), q(X)");
+  EXPECT_EQ(answers, std::vector<std::string>{"{X=b}"});
+}
+
+TEST(TopDownTest, BuiltinInGoal) {
+  std::vector<std::string> answers = Solve(R"(
+    val(a, 1). val(b, 9).
+  )",
+                                           "val(X, N), N > 5");
+  EXPECT_EQ(answers, std::vector<std::string>{"{N=9, X=b}"});
+}
+
+TEST(TopDownTest, TablesPersistAcrossSolves) {
+  Result<ParsedProgram> parsed = ParseDatalog(R"(
+    edge(a, b). edge(b, c).
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+  )");
+  ASSERT_TRUE(parsed.ok());
+  TopDownEngine engine(parsed->program);
+  ASSERT_TRUE(engine.status().ok());
+  Result<std::vector<Literal>> goal = ParseGoal("path(a, Y)");
+  ASSERT_TRUE(goal.ok());
+  ASSERT_TRUE(engine.Solve(*goal).ok());
+  size_t calls_after_first = engine.stats().calls;
+  ASSERT_TRUE(engine.Solve(*goal).ok());
+  // The second solve reuses tables; only the outer pass re-runs.
+  EXPECT_LE(engine.stats().calls, calls_after_first * 2);
+}
+
+}  // namespace
+}  // namespace multilog::datalog

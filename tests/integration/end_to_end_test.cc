@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "mls/belief.h"
+#include "mls/integrity.h"
+#include "mls/sample_data.h"
+#include "msql/executor.h"
+#include "multilog/engine.h"
+#include "multilog/translate.h"
+
+namespace multilog {
+namespace {
+
+// The whole stack on one scenario: build an MLS relation through
+// subject-level operations, check integrity, encode it as MultiLog, run
+// both semantics, cross-check against beta and against MSQL.
+TEST(EndToEndTest, FullStackRoundTrip) {
+  lattice::SecurityLattice lat = lattice::SecurityLattice::Military();
+  Result<mls::Scheme> scheme = mls::Scheme::Create(
+      "Assets",
+      {{"Asset", "u", "t"}, {"Status", "u", "t"}, {"Site", "u", "t"}},
+      "Asset", lat);
+  ASSERT_TRUE(scheme.ok());
+  mls::Relation rel(std::move(scheme).value(), &lat);
+
+  // A small polyinstantiation history.
+  using mls::Value;
+  ASSERT_TRUE(rel.InsertAt("u", {Value::Str("drone1"), Value::Str("idle"),
+                                 Value::Str("base")})
+                  .ok());
+  ASSERT_TRUE(rel.InsertAt("u", {Value::Str("drone2"), Value::Str("idle"),
+                                 Value::Str("base")})
+                  .ok());
+  ASSERT_TRUE(
+      rel.UpdateAt("s", Value::Str("drone1"), "Status", Value::Str("strike"))
+          .ok());
+  ASSERT_TRUE(rel.UpdateAt("c", Value::Str("drone2"), "Site",
+                           Value::Str("forward"))
+                  .ok());
+  ASSERT_TRUE(mls::CheckConsistent(rel).ok());
+
+  // Relational belief.
+  Result<mls::BeliefOutcome> cau =
+      mls::Believe(rel, "s", mls::BeliefMode::kCautious,
+                   mls::BeliefOptions{/*merge_key_versions=*/true});
+  ASSERT_TRUE(cau.ok()) << cau.status();
+
+  // Deductive belief through the engine agrees cell-wise.
+  Result<ml::Database> db = ml::EncodeRelation(rel, "assets");
+  ASSERT_TRUE(db.ok());
+  Result<ml::Engine> engine = ml::Engine::FromDatabase(std::move(*db));
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  Result<std::vector<ml::CellFact>> bel_cells =
+      ml::BelievedCells(&*engine, "assets", "s", "cau");
+  ASSERT_TRUE(bel_cells.ok()) << bel_cells.status();
+  EXPECT_EQ(ml::RelationCells(cau->relation), *bel_cells);
+
+  // Both semantics agree on a mixed query at every level.
+  for (const std::string level : {"u", "c", "s"}) {
+    Result<ml::QueryResult> r = engine->QuerySource(
+        "L[assets(K : status -C-> V)] << cau", level,
+        ml::ExecMode::kCheckBoth);
+    ASSERT_TRUE(r.ok()) << "level " << level << ": " << r.status();
+  }
+
+  // And MSQL sees the same world through beta.
+  msql::Session session;
+  ASSERT_TRUE(session.RegisterRelation("assets", &rel).ok());
+  ASSERT_TRUE(session.SetUserContext("s").ok());
+  Result<msql::ResultSet> strike = session.Execute(
+      "select asset from assets where status = strike believed cautiously");
+  ASSERT_TRUE(strike.ok()) << strike.status();
+  EXPECT_EQ(strike->rows,
+            (std::vector<std::vector<std::string>>{{"drone1"}}));
+
+  // The u subject, meanwhile, still believes drone1 idle - and the
+  // engine enforces no-read-up on the s-level strike order.
+  ASSERT_TRUE(session.SetUserContext("u").ok());
+  Result<msql::ResultSet> idle = session.Execute(
+      "select asset from assets where status = idle believed firmly");
+  ASSERT_TRUE(idle.ok());
+  EXPECT_EQ(idle->rows.size(), 2u);
+  Result<ml::QueryResult> no_read_up = engine->QuerySource(
+      "s[assets(K : status -C-> V)]", "u", ml::ExecMode::kCheckBoth);
+  ASSERT_TRUE(no_read_up.ok());
+  EXPECT_TRUE(no_read_up->answers.empty());
+}
+
+// The Mission narrative end to end: surprise stories exist in the
+// Jajodia-Sandhu views, the J-V model labels them, and beta suppresses
+// them - the paper's core argument, executable.
+TEST(EndToEndTest, PaperNarrative) {
+  Result<mls::MissionDataset> ds = mls::BuildMissionDataset();
+  ASSERT_TRUE(ds.ok());
+
+  // 1. Jajodia-Sandhu: surprise stories at c.
+  Result<std::vector<mls::Tuple>> surprises =
+      mls::FindSurpriseStories(*ds->mission, "c");
+  ASSERT_TRUE(surprises.ok());
+  EXPECT_EQ(surprises->size(), 2u);
+
+  // 2. Jukic-Vrbsky: fixed interpretations, no reasoning.
+  Result<mls::JvInterpretation> t4_at_c = ds->jv_mission->Interpret(
+      ds->jv_mission->tuples()[3], "c");  // t4
+  ASSERT_TRUE(t4_at_c.ok());
+  EXPECT_EQ(*t4_at_c, mls::JvInterpretation::kIrrelevant);
+
+  // 3. MultiLog: dynamic belief, surprise-free.
+  for (const char* mode : {"fir", "opt", "cau"}) {
+    Result<mls::BeliefOutcome> out = mls::Believe(
+        *ds->mission, "c", mls::ParseBeliefMode(mode).value());
+    ASSERT_TRUE(out.ok());
+    for (const mls::Tuple& t : out->relation.tuples()) {
+      for (const mls::Cell& cell : t.cells) {
+        EXPECT_FALSE(cell.value.is_null());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace multilog

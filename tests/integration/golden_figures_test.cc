@@ -1,0 +1,75 @@
+#include "mls/belief.h"
+#include <gtest/gtest.h>
+
+#include "mls/sample_data.h"
+
+namespace multilog::mls {
+namespace {
+
+// Byte-exact golden renderings of the paper's tabular figures, freezing
+// both content and presentation. Unit tests elsewhere pin the *content*
+// set-theoretically; these pin the regenerated artifacts end to end.
+
+TEST(GoldenFigures, Figure4LabeledMission) {
+  Result<MissionDataset> ds = BuildMissionDataset();
+  ASSERT_TRUE(ds.ok());
+  const char* expected =
+      "+-----+----------+-----+------------+-----+--------+-----+-----+\n"
+      "| Tid | Starship |     | Objective  |     | Destin |     | TC  |\n"
+      "+-----+----------+-----+------------+-----+--------+-----+-----+\n"
+      "| t1  | Avenger  | S   | Shipping   | S   | Pluto  | S   | S   |\n"
+      "| t2  | Atlantis | UCS | Diplomacy  | UCS | Vulcan | UCS | UCS |\n"
+      "| t3  | Voyager  | US  | Spying     | S   | Mars   | US  | S   |\n"
+      "| t4  | Phantom  | US  | Spying     | U-S | Omega  | US  | U-S |\n"
+      "| t4' | Phantom  | US  | Spying     | S   | Omega  | US  | S   |\n"
+      "| t5  | Phantom  | CS  | Supply     | S   | Venus  | S   | S   |\n"
+      "| t5' | Phantom  | CS  | Supply     | C-S | Venus  | C-S | C-S |\n"
+      "| t8  | Voyager  | US  | Training   | U-S | Mars   | US  | U-S |\n"
+      "| t9  | Falcon   | U-S | Piracy     | U-S | Venus  | U-S | U-S |\n"
+      "| t10 | Eagle    | U   | Patrolling | U   | Degoba | U   | U   |\n"
+      "+-----+----------+-----+------------+-----+--------+-----+-----+\n";
+  EXPECT_EQ(ds->jv_mission->RenderLabeled(), expected);
+}
+
+TEST(GoldenFigures, Figure5InterpretationMatrix) {
+  Result<MissionDataset> ds = BuildMissionDataset();
+  ASSERT_TRUE(ds.ok());
+  Result<std::string> table =
+      ds->jv_mission->RenderInterpretations({"u", "c", "s"});
+  ASSERT_TRUE(table.ok());
+  const char* expected =
+      "+-----+-----------+------------+-------------+\n"
+      "| Tid | U level   | C level    | S level     |\n"
+      "+-----+-----------+------------+-------------+\n"
+      "| t1  | invisible | invisible  | true        |\n"
+      "| t2  | true      | true       | true        |\n"
+      "| t3  | invisible | invisible  | true        |\n"
+      "| t4  | true      | irrelevant | cover story |\n"
+      "| t4' | invisible | invisible  | true        |\n"
+      "| t5  | invisible | invisible  | true        |\n"
+      "| t5' | invisible | true       | cover story |\n"
+      "| t8  | true      | irrelevant | cover story |\n"
+      "| t9  | true      | irrelevant | mirage      |\n"
+      "| t10 | true      | irrelevant | irrelevant  |\n"
+      "+-----+-----------+------------+-------------+\n";
+  EXPECT_EQ(*table, expected);
+}
+
+TEST(GoldenFigures, Figure6FirmViewTable) {
+  Result<MissionDataset> ds = BuildMissionDataset();
+  ASSERT_TRUE(ds.ok());
+  Result<BeliefOutcome> firm =
+      Believe(*ds->mission, "c", BeliefMode::kFirm);
+  ASSERT_TRUE(firm.ok());
+  const char* expected =
+      "Mission\n"
+      "+----------+---+-----------+---+--------+---+----+\n"
+      "| Starship | C | Objective | C | Destin | C | TC |\n"
+      "+----------+---+-----------+---+--------+---+----+\n"
+      "| Atlantis | u | Diplomacy | u | Vulcan | u | c  |\n"
+      "+----------+---+-----------+---+--------+---+----+\n";
+  EXPECT_EQ(firm->relation.ToString(), expected);
+}
+
+}  // namespace
+}  // namespace multilog::mls

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "lattice/lattice.h"
+
+namespace multilog::lattice {
+namespace {
+
+/// Builds a random DAG poset over n levels, deterministic in `seed`:
+/// edges only go from lower to higher index, guaranteeing acyclicity.
+SecurityLattice RandomPoset(unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> size_dist(2, 8);
+  std::uniform_int_distribution<int> coin(0, 2);
+  const int n = size_dist(rng);
+
+  SecurityLattice::Builder b;
+  auto name = [](int i) { return "l" + std::to_string(i); };
+  for (int i = 0; i < n; ++i) b.AddLevel(name(i));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (coin(rng) == 0) b.AddOrder(name(i), name(j));
+    }
+  }
+  Result<SecurityLattice> lat = b.Build();
+  EXPECT_TRUE(lat.ok()) << lat.status();
+  return std::move(lat).value();
+}
+
+class LatticePropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LatticePropertyTest, DominanceIsAPartialOrder) {
+  SecurityLattice lat = RandomPoset(GetParam());
+  const size_t n = lat.size();
+  for (size_t a = 0; a < n; ++a) {
+    EXPECT_TRUE(lat.LeqIndex(a, a)) << "reflexivity";
+    for (size_t b = 0; b < n; ++b) {
+      if (a != b && lat.LeqIndex(a, b)) {
+        EXPECT_FALSE(lat.LeqIndex(b, a)) << "antisymmetry";
+      }
+      for (size_t c = 0; c < n; ++c) {
+        if (lat.LeqIndex(a, b) && lat.LeqIndex(b, c)) {
+          EXPECT_TRUE(lat.LeqIndex(a, c)) << "transitivity";
+        }
+      }
+    }
+  }
+}
+
+TEST_P(LatticePropertyTest, LubIsALeastUpperBound) {
+  SecurityLattice lat = RandomPoset(GetParam());
+  for (const std::string& a : lat.names()) {
+    for (const std::string& b : lat.names()) {
+      Result<std::optional<std::string>> lub = lat.Lub(a, b);
+      ASSERT_TRUE(lub.ok());
+      if (!lub->has_value()) continue;
+      const std::string& l = **lub;
+      EXPECT_TRUE(lat.Leq(a, l).value_or(false));
+      EXPECT_TRUE(lat.Leq(b, l).value_or(false));
+      // Least: below every other common upper bound.
+      for (const std::string& other : lat.names()) {
+        if (lat.Leq(a, other).value_or(false) &&
+            lat.Leq(b, other).value_or(false)) {
+          EXPECT_TRUE(lat.Leq(l, other).value_or(false));
+        }
+      }
+    }
+  }
+}
+
+TEST_P(LatticePropertyTest, GlbDualOfLub) {
+  SecurityLattice lat = RandomPoset(GetParam());
+  for (const std::string& a : lat.names()) {
+    for (const std::string& b : lat.names()) {
+      Result<std::optional<std::string>> glb = lat.Glb(a, b);
+      ASSERT_TRUE(glb.ok());
+      if (!glb->has_value()) continue;
+      EXPECT_TRUE(lat.Leq(**glb, a).value_or(false));
+      EXPECT_TRUE(lat.Leq(**glb, b).value_or(false));
+    }
+  }
+}
+
+TEST_P(LatticePropertyTest, DownSetIsDownwardClosed) {
+  SecurityLattice lat = RandomPoset(GetParam());
+  for (const std::string& bound : lat.names()) {
+    Result<std::vector<std::string>> down = lat.DownSet(bound);
+    ASSERT_TRUE(down.ok());
+    for (const std::string& member : *down) {
+      EXPECT_TRUE(lat.Leq(member, bound).value_or(false));
+      // Everything below a member is in the set too.
+      for (const std::string& lower : lat.names()) {
+        if (lat.Leq(lower, member).value_or(false)) {
+          EXPECT_NE(std::find(down->begin(), down->end(), lower),
+                    down->end());
+        }
+      }
+    }
+  }
+}
+
+TEST_P(LatticePropertyTest, MinimalAndMaximalElementsExist) {
+  SecurityLattice lat = RandomPoset(GetParam());
+  EXPECT_FALSE(lat.MinimalElements().empty());
+  EXPECT_FALSE(lat.MaximalElements().empty());
+  for (const std::string& m : lat.MinimalElements()) {
+    for (const std::string& other : lat.names()) {
+      EXPECT_FALSE(lat.Lt(other, m).value_or(true));
+    }
+  }
+}
+
+TEST_P(LatticePropertyTest, TopologicalOrderIsLinearExtension) {
+  SecurityLattice lat = RandomPoset(GetParam());
+  std::vector<std::string> topo = lat.TopologicalOrder();
+  ASSERT_EQ(topo.size(), lat.size());
+  for (size_t i = 0; i < topo.size(); ++i) {
+    for (size_t j = i + 1; j < topo.size(); ++j) {
+      EXPECT_FALSE(lat.Lt(topo[j], topo[i]).value_or(true));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, LatticePropertyTest,
+                         ::testing::Range(0u, 30u));
+
+}  // namespace
+}  // namespace multilog::lattice

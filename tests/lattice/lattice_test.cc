@@ -1,0 +1,164 @@
+#include "lattice/lattice.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace multilog::lattice {
+namespace {
+
+TEST(LatticeTest, MilitaryChain) {
+  SecurityLattice lat = SecurityLattice::Military();
+  EXPECT_EQ(lat.size(), 4u);
+  EXPECT_TRUE(lat.Leq("u", "t").value_or(false));
+  EXPECT_TRUE(lat.Leq("u", "u").value_or(false));
+  EXPECT_FALSE(lat.Leq("t", "u").value_or(true));
+  EXPECT_TRUE(lat.Lt("c", "s").value_or(false));
+  EXPECT_FALSE(lat.Lt("c", "c").value_or(true));
+  EXPECT_TRUE(lat.IsTotalOrder());
+  EXPECT_EQ(lat.MinimalElements(), std::vector<std::string>{"u"});
+  EXPECT_EQ(lat.MaximalElements(), std::vector<std::string>{"t"});
+}
+
+TEST(LatticeTest, UnknownLevelErrors) {
+  SecurityLattice lat = SecurityLattice::Military();
+  EXPECT_FALSE(lat.Leq("u", "zz").ok());
+  EXPECT_FALSE(lat.Index("zz").ok());
+  EXPECT_TRUE(lat.Contains("s"));
+  EXPECT_FALSE(lat.Contains("zz"));
+}
+
+TEST(LatticeTest, BuilderRejectsUndeclaredEndpoints) {
+  SecurityLattice::Builder b;
+  b.AddLevel("a").AddOrder("a", "b");
+  Result<SecurityLattice> lat = b.Build();
+  EXPECT_FALSE(lat.ok());
+  EXPECT_TRUE(lat.status().IsInvalidProgram());
+}
+
+TEST(LatticeTest, BuilderRejectsCycles) {
+  SecurityLattice::Builder b;
+  b.AddLevel("a").AddLevel("b").AddLevel("c");
+  b.AddOrder("a", "b").AddOrder("b", "c").AddOrder("c", "a");
+  Result<SecurityLattice> lat = b.Build();
+  EXPECT_FALSE(lat.ok());
+}
+
+TEST(LatticeTest, BuilderRejectsSelfLoop) {
+  SecurityLattice::Builder b;
+  b.AddLevel("a").AddOrder("a", "a");
+  EXPECT_FALSE(b.Build().ok());
+}
+
+TEST(LatticeTest, DuplicateLevelIsIdempotent) {
+  SecurityLattice::Builder b;
+  b.AddLevel("a").AddLevel("a").AddLevel("b").AddOrder("a", "b");
+  Result<SecurityLattice> lat = b.Build();
+  ASSERT_TRUE(lat.ok());
+  EXPECT_EQ(lat->size(), 2u);
+}
+
+TEST(LatticeTest, DiamondLubGlb) {
+  // u < {left, right} < top, with left/right incomparable.
+  SecurityLattice::Builder b;
+  b.AddLevel("u").AddLevel("left").AddLevel("right").AddLevel("top");
+  b.AddOrder("u", "left").AddOrder("u", "right");
+  b.AddOrder("left", "top").AddOrder("right", "top");
+  Result<SecurityLattice> lat = b.Build();
+  ASSERT_TRUE(lat.ok());
+
+  EXPECT_FALSE(lat->IsTotalOrder());
+  EXPECT_FALSE(lat->Comparable("left", "right").value_or(true));
+  EXPECT_EQ(lat->Lub("left", "right").value().value_or("?"), "top");
+  EXPECT_EQ(lat->Glb("left", "right").value().value_or("?"), "u");
+  EXPECT_EQ(lat->Lub("u", "left").value().value_or("?"), "left");
+  EXPECT_EQ(lat->LubOfSet({"u", "left", "right"}).value().value_or("?"),
+            "top");
+}
+
+TEST(LatticeTest, LubMayNotExist) {
+  // Two incomparable tops: no upper bound for {a, b}.
+  SecurityLattice::Builder b;
+  b.AddLevel("bot").AddLevel("a").AddLevel("b");
+  b.AddOrder("bot", "a").AddOrder("bot", "b");
+  Result<SecurityLattice> lat = b.Build();
+  ASSERT_TRUE(lat.ok());
+  Result<std::optional<std::string>> lub = lat->Lub("a", "b");
+  ASSERT_TRUE(lub.ok());
+  EXPECT_FALSE(lub->has_value());
+}
+
+TEST(LatticeTest, LubAmbiguousWhenNoLeastUpperBound) {
+  // a, b below both c and d (c, d incomparable): upper bounds exist but
+  // no least one.
+  SecurityLattice::Builder b;
+  b.AddLevel("a").AddLevel("b").AddLevel("c").AddLevel("d");
+  b.AddOrder("a", "c").AddOrder("a", "d");
+  b.AddOrder("b", "c").AddOrder("b", "d");
+  Result<SecurityLattice> lat = b.Build();
+  ASSERT_TRUE(lat.ok());
+  Result<std::optional<std::string>> lub = lat->Lub("a", "b");
+  ASSERT_TRUE(lub.ok());
+  EXPECT_FALSE(lub->has_value());
+}
+
+TEST(LatticeTest, DownSet) {
+  SecurityLattice lat = SecurityLattice::Military();
+  Result<std::vector<std::string>> down = lat.DownSet("c");
+  ASSERT_TRUE(down.ok());
+  std::vector<std::string> expected = {"u", "c"};
+  EXPECT_EQ(*down, expected);
+}
+
+TEST(LatticeTest, TopologicalOrderRespectsDominance) {
+  SecurityLattice lat = SecurityLattice::Military();
+  std::vector<std::string> topo = lat.TopologicalOrder();
+  ASSERT_EQ(topo.size(), 4u);
+  for (size_t i = 0; i < topo.size(); ++i) {
+    for (size_t j = i + 1; j < topo.size(); ++j) {
+      EXPECT_FALSE(lat.Lt(topo[j], topo[i]).value_or(true))
+          << topo[j] << " before " << topo[i];
+    }
+  }
+}
+
+TEST(LatticeTest, PowersetOfCategories) {
+  SecurityLattice lat = SecurityLattice::Powerset({"navy", "army"});
+  EXPECT_EQ(lat.size(), 4u);
+  EXPECT_TRUE(lat.Leq("{}", "{army,navy}").value_or(false));
+  EXPECT_TRUE(lat.Leq("{army}", "{army,navy}").value_or(false));
+  EXPECT_FALSE(lat.Comparable("{army}", "{navy}").value_or(true));
+  EXPECT_EQ(lat.Lub("{army}", "{navy}").value().value_or("?"),
+            "{army,navy}");
+}
+
+TEST(LatticeTest, ProductBuildsFullAccessClasses) {
+  SecurityLattice hierarchy = SecurityLattice::Chain({"u", "s"});
+  SecurityLattice categories = SecurityLattice::Powerset({"n"});
+  SecurityLattice lat = SecurityLattice::Product(hierarchy, categories);
+  EXPECT_EQ(lat.size(), 4u);
+  EXPECT_TRUE(lat.Leq("u.{}", "s.{n}").value_or(false));
+  EXPECT_FALSE(lat.Comparable("u.{n}", "s.{}").value_or(true));
+  EXPECT_EQ(lat.Lub("u.{n}", "s.{}").value().value_or("?"), "s.{n}");
+}
+
+TEST(LatticeTest, CoverEdgesPreserved) {
+  SecurityLattice lat = SecurityLattice::Military();
+  EXPECT_EQ(lat.CoverEdges().size(), 3u);
+}
+
+TEST(LatticeTest, EmptyLattice) {
+  Result<SecurityLattice> lat = SecurityLattice::Builder().Build();
+  ASSERT_TRUE(lat.ok());
+  EXPECT_EQ(lat->size(), 0u);
+  EXPECT_TRUE(lat->IsTotalOrder());
+  EXPECT_TRUE(lat->MinimalElements().empty());
+}
+
+TEST(LatticeTest, LubOfSetRequiresNonEmpty) {
+  SecurityLattice lat = SecurityLattice::Military();
+  EXPECT_FALSE(lat.LubOfSet({}).ok());
+}
+
+}  // namespace
+}  // namespace multilog::lattice

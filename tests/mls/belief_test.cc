@@ -1,0 +1,246 @@
+#include "mls/belief.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mls/sample_data.h"
+
+namespace multilog::mls {
+namespace {
+
+std::string Row(const Tuple& t) {
+  std::string out;
+  for (const Cell& c : t.cells) {
+    out += c.ToString();
+    out += " ";
+  }
+  out += "TC=" + t.tc;
+  return out;
+}
+
+std::set<std::string> Rows(const Relation& r) {
+  std::set<std::string> out;
+  for (const Tuple& t : r.tuples()) out.insert(Row(t));
+  return out;
+}
+
+class BeliefTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<MissionDataset> ds = BuildMissionDataset();
+    ASSERT_TRUE(ds.ok()) << ds.status();
+    ds_ = std::move(ds).value();
+  }
+
+  Result<Relation> Beta(const std::string& level, BeliefMode mode,
+                        bool merge_keys = false) {
+    BeliefOptions options;
+    options.merge_key_versions = merge_keys;
+    Result<BeliefOutcome> out = Believe(*ds_.mission, level, mode, options);
+    if (!out.ok()) return out.status();
+    return std::move(out->relation);
+  }
+
+  MissionDataset ds_;
+};
+
+TEST_F(BeliefTest, Figure6FirmViewAtC) {
+  Result<Relation> firm = Beta("c", BeliefMode::kFirm);
+  ASSERT_TRUE(firm.ok()) << firm.status();
+  // Only t6 was asserted at C.
+  EXPECT_EQ(Rows(*firm),
+            std::set<std::string>{"Atlantis/u Diplomacy/u Vulcan/u TC=c"});
+}
+
+TEST_F(BeliefTest, Figure7OptimisticViewAtC) {
+  Result<Relation> opt = Beta("c", BeliefMode::kOptimistic);
+  ASSERT_TRUE(opt.ok()) << opt.status();
+  // Figure 7 minus the surprise stories t4/t5, which beta deliberately
+  // does not generate (Sections 3.2 and 7); TC becomes c everywhere.
+  std::set<std::string> expected = {
+      "Atlantis/u Diplomacy/u Vulcan/u TC=c",
+      "Voyager/u Training/u Mars/u TC=c",
+      "Falcon/u Piracy/u Venus/u TC=c",
+      "Eagle/u Patrolling/u Degoba/u TC=c",
+  };
+  EXPECT_EQ(Rows(*opt), expected);
+}
+
+TEST_F(BeliefTest, Figure8CautiousViewAtC) {
+  Result<Relation> cau = Beta("c", BeliefMode::kCautious);
+  ASSERT_TRUE(cau.ok()) << cau.status();
+  // Figure 8 minus the surprise story t5; at C every visible Mission
+  // entity has uniformly-U cells, so cautious equals optimistic here.
+  std::set<std::string> expected = {
+      "Atlantis/u Diplomacy/u Vulcan/u TC=c",
+      "Voyager/u Training/u Mars/u TC=c",
+      "Falcon/u Piracy/u Venus/u TC=c",
+      "Eagle/u Patrolling/u Degoba/u TC=c",
+  };
+  EXPECT_EQ(Rows(*cau), expected);
+}
+
+TEST_F(BeliefTest, FirmAtUSeesOnlyULevelAssertions) {
+  Result<Relation> firm = Beta("u", BeliefMode::kFirm);
+  ASSERT_TRUE(firm.ok()) << firm.status();
+  std::set<std::string> expected = {
+      "Atlantis/u Diplomacy/u Vulcan/u TC=u",  // t7
+      "Voyager/u Training/u Mars/u TC=u",      // t8
+      "Falcon/u Piracy/u Venus/u TC=u",        // t9
+      "Eagle/u Patrolling/u Degoba/u TC=u",    // t10
+  };
+  EXPECT_EQ(Rows(*firm), expected);
+}
+
+TEST_F(BeliefTest, CautiousAtSOverridesTrainingWithSpying) {
+  Result<Relation> cau = Beta("s", BeliefMode::kCautious);
+  ASSERT_TRUE(cau.ok()) << cau.status();
+  // Voyager: objective candidates Training/u (t8) and Spying/s (t3);
+  // s strictly dominates u, so cautious belief at s keeps Spying only.
+  bool saw_spying = false;
+  for (const Tuple& t : cau->tuples()) {
+    if (t.key_cell().value == Value::Str("Voyager")) {
+      EXPECT_EQ(t.cells[1].value, Value::Str("Spying")) << Row(t);
+      saw_spying = true;
+    }
+  }
+  EXPECT_TRUE(saw_spying);
+}
+
+TEST_F(BeliefTest, CautiousAtSPolyinstantiatedPhantomKeepsBothKeyVersions) {
+  // Definition 3.1 literally: both visible key versions (Phantom,u) and
+  // (Phantom,c) yield believed tuples; objectives Spying/s (via t4) and
+  // Supply/s (via t5) tie at classification s - a belief conflict.
+  BeliefOptions options;
+  Result<BeliefOutcome> out =
+      Believe(*ds_.mission, "s", BeliefMode::kCautious, options);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(out->conflict);
+
+  std::set<std::string> key_classes;
+  for (const Tuple& t : out->relation.tuples()) {
+    if (t.key_cell().value == Value::Str("Phantom")) {
+      key_classes.insert(t.key_cell().classification);
+    }
+  }
+  EXPECT_EQ(key_classes, (std::set<std::string>{"u", "c"}));
+}
+
+TEST_F(BeliefTest, CautiousMergedKeysKeepOnlyDominatingKeyClass) {
+  BeliefOptions options;
+  options.merge_key_versions = true;
+  Result<BeliefOutcome> out =
+      Believe(*ds_.mission, "s", BeliefMode::kCautious, options);
+  ASSERT_TRUE(out.ok()) << out.status();
+  std::set<std::string> key_classes;
+  for (const Tuple& t : out->relation.tuples()) {
+    if (t.key_cell().value == Value::Str("Phantom")) {
+      key_classes.insert(t.key_cell().classification);
+    }
+  }
+  EXPECT_EQ(key_classes, std::set<std::string>{"c"});
+}
+
+TEST_F(BeliefTest, NoSurpriseStoriesInAnyBelievedRelation) {
+  for (const std::string level : {"u", "c", "s"}) {
+    for (BeliefMode mode : {BeliefMode::kFirm, BeliefMode::kOptimistic,
+                            BeliefMode::kCautious}) {
+      Result<Relation> believed = Beta(level, mode);
+      ASSERT_TRUE(believed.ok()) << believed.status();
+      for (const Tuple& t : believed->tuples()) {
+        for (const Cell& c : t.cells) {
+          EXPECT_FALSE(c.value.is_null())
+              << "surprise story leaked into beta(" << level << ", "
+              << BeliefModeToString(mode) << "): " << Row(t);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(BeliefTest, FirmSubsetOfOptimistic) {
+  for (const std::string level : {"u", "c", "s"}) {
+    Result<Relation> firm = Beta(level, BeliefMode::kFirm);
+    Result<Relation> opt = Beta(level, BeliefMode::kOptimistic);
+    ASSERT_TRUE(firm.ok() && opt.ok());
+    // Firm tuples keep TC = level = believing level, so cell-wise they
+    // must all appear among the optimistic tuples.
+    std::set<std::string> opt_rows = Rows(*opt);
+    for (const Tuple& t : firm->tuples()) {
+      EXPECT_TRUE(opt_rows.count(Row(t))) << Row(t);
+    }
+  }
+}
+
+TEST_F(BeliefTest, OptimisticAtUEqualsFirmAtU) {
+  // u is the bottom level: nothing below to accumulate.
+  Result<Relation> firm = Beta("u", BeliefMode::kFirm);
+  Result<Relation> opt = Beta("u", BeliefMode::kOptimistic);
+  ASSERT_TRUE(firm.ok() && opt.ok());
+  EXPECT_EQ(Rows(*firm), Rows(*opt));
+}
+
+TEST_F(BeliefTest, ParseBeliefModeAcceptsPaperSpellings) {
+  EXPECT_TRUE(ParseBeliefMode("fir").ok());
+  EXPECT_TRUE(ParseBeliefMode("FIRMLY").ok());
+  EXPECT_TRUE(ParseBeliefMode("optimistically").ok());
+  EXPECT_TRUE(ParseBeliefMode("cau").ok());
+  EXPECT_FALSE(ParseBeliefMode("suspicious").ok());
+}
+
+TEST_F(BeliefTest, UnknownLevelRejected) {
+  Result<BeliefOutcome> out =
+      Believe(*ds_.mission, "zz", BeliefMode::kFirm);
+  EXPECT_FALSE(out.ok());
+}
+
+TEST_F(BeliefTest, UserDefinedModeThroughRegistry) {
+  BeliefModeRegistry registry;
+  // "suspicious": believe only data created strictly below one's level
+  // (distrust peers, trust the rank and file) - a Cuppens-style view.
+  Status st = registry.Register(
+      "suspicious",
+      [](const Relation& r,
+         const std::string& level) -> Result<std::vector<Tuple>> {
+        std::vector<Tuple> out;
+        for (const Tuple& t : r.tuples()) {
+          MULTILOG_ASSIGN_OR_RETURN(bool lt, r.lat().Lt(t.tc, level));
+          if (!lt) continue;
+          Tuple copy = t;
+          copy.tc = level;
+          out.push_back(std::move(copy));
+        }
+        return out;
+      });
+  ASSERT_TRUE(st.ok()) << st;
+
+  Result<BeliefOutcome> out =
+      registry.Believe(*ds_.mission, "c", "suspicious");
+  ASSERT_TRUE(out.ok()) << out.status();
+  // Only the four u-level tuples qualify below c.
+  EXPECT_EQ(out->relation.size(), 4u);
+}
+
+TEST_F(BeliefTest, RegistryRejectsBuiltinOverrides) {
+  BeliefModeRegistry registry;
+  EXPECT_FALSE(registry
+                   .Register("cau",
+                             [](const Relation&, const std::string&)
+                                 -> Result<std::vector<Tuple>> {
+                               return std::vector<Tuple>{};
+                             })
+                   .ok());
+}
+
+TEST_F(BeliefTest, RegistryDispatchesBuiltins) {
+  BeliefModeRegistry registry;
+  Result<BeliefOutcome> out = registry.Believe(*ds_.mission, "c", "firmly");
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->relation.size(), 1u);
+  EXPECT_TRUE(registry.Has("opt"));
+  EXPECT_FALSE(registry.Has("nope"));
+}
+
+}  // namespace
+}  // namespace multilog::mls

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "mls/belief.h"
+#include "mls/integrity.h"
+#include "mls/relation.h"
+#include "multilog/engine.h"
+#include "multilog/translate.h"
+
+namespace multilog::mls {
+namespace {
+
+// Section 7 of the paper: "we have also assumed single attribute keys...
+// This restriction can also be relaxed in an actual implementation
+// without much difficulty." These tests exercise that relaxation.
+class CompositeKeyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lattice_ = lattice::SecurityLattice::Military();
+    // Flights keyed by (Airline, Number).
+    Result<Scheme> scheme = Scheme::CreateComposite(
+        "Flights",
+        {{"Number", "u", "t"},
+         {"Dest", "u", "t"},
+         {"Airline", "u", "t"},
+         {"Cargo", "u", "t"}},
+        {"Airline", "Number"}, lattice_);
+    ASSERT_TRUE(scheme.ok()) << scheme.status();
+    relation_ =
+        std::make_unique<Relation>(std::move(scheme).value(), &lattice_);
+  }
+
+  lattice::SecurityLattice lattice_;
+  std::unique_ptr<Relation> relation_;
+};
+
+TEST_F(CompositeKeyTest, KeyAttributesMoveToFront) {
+  EXPECT_EQ(relation_->scheme().key_arity(), 2u);
+  EXPECT_EQ(relation_->scheme().attributes()[0].name, "Airline");
+  EXPECT_EQ(relation_->scheme().attributes()[1].name, "Number");
+  EXPECT_EQ(relation_->scheme().attributes()[2].name, "Dest");
+}
+
+TEST_F(CompositeKeyTest, CreateCompositeValidation) {
+  EXPECT_FALSE(Scheme::CreateComposite("R", {{"A", "u", "t"}}, {}, lattice_)
+                   .ok());
+  EXPECT_FALSE(Scheme::CreateComposite("R", {{"A", "u", "t"}}, {"A", "A"},
+                                       lattice_)
+                   .ok());
+  EXPECT_FALSE(Scheme::CreateComposite("R", {{"A", "u", "t"}}, {"B"},
+                                       lattice_)
+                   .ok());
+}
+
+TEST_F(CompositeKeyTest, InsertAndKeyMatching) {
+  ASSERT_TRUE(relation_
+                  ->InsertAt("u", {Value::Str("klm"), Value::Int(101),
+                                   Value::Str("oslo"), Value::Str("mail")})
+                  .ok());
+  ASSERT_TRUE(relation_
+                  ->InsertAt("u", {Value::Str("klm"), Value::Int(102),
+                                   Value::Str("rome"), Value::Str("mail")})
+                  .ok());
+  EXPECT_EQ(relation_
+                ->TuplesWithKey({Value::Str("klm"), Value::Int(101)})
+                .size(),
+            1u);
+  EXPECT_EQ(relation_->KeyOf(relation_->tuples()[0]).size(), 2u);
+}
+
+TEST_F(CompositeKeyTest, EntityIntegrityRequiresUniformKeyClass) {
+  Tuple t;
+  t.cells = {Cell{Value::Str("klm"), "u"}, Cell{Value::Int(101), "s"},
+             Cell{Value::Str("oslo"), "s"}, Cell{Value::Str("mail"), "s"}};
+  t.tc = "s";
+  Status st = relation_->InsertTuple(std::move(t));
+  EXPECT_TRUE(st.IsIntegrityViolation()) << st;
+}
+
+TEST_F(CompositeKeyTest, NullKeyComponentRejected) {
+  Tuple t;
+  t.cells = {Cell{Value::Str("klm"), "u"}, Cell{Value::NullValue(), "u"},
+             Cell{Value::Str("oslo"), "u"}, Cell{Value::Str("mail"), "u"}};
+  t.tc = "u";
+  EXPECT_TRUE(relation_->InsertTuple(std::move(t)).IsIntegrityViolation());
+}
+
+TEST_F(CompositeKeyTest, UpdateAndDeleteByCompositeKey) {
+  ASSERT_TRUE(relation_
+                  ->InsertAt("u", {Value::Str("klm"), Value::Int(101),
+                                   Value::Str("oslo"), Value::Str("mail")})
+                  .ok());
+  // Arity mismatch rejected.
+  EXPECT_TRUE(relation_
+                  ->UpdateAt("u", std::vector<Value>{Value::Str("klm")},
+                             "Dest", Value::Str("bonn"))
+                  .IsInvalidArgument());
+  // Polyinstantiating s-level update.
+  ASSERT_TRUE(relation_
+                  ->UpdateAt("s",
+                             {Value::Str("klm"), Value::Int(101)}, "Cargo",
+                             Value::Str("arms"))
+                  .ok());
+  ASSERT_EQ(relation_->size(), 2u);
+  EXPECT_TRUE(CheckConsistent(*relation_).ok());
+
+  // Key attributes cannot be updated.
+  EXPECT_TRUE(relation_
+                  ->UpdateAt("u", {Value::Str("klm"), Value::Int(101)},
+                             "Number", Value::Int(9))
+                  .IsInvalidArgument());
+
+  // Delete at u removes only the u version.
+  ASSERT_TRUE(
+      relation_->DeleteAt("u", {Value::Str("klm"), Value::Int(101)}).ok());
+  ASSERT_EQ(relation_->size(), 1u);
+  EXPECT_EQ(relation_->tuples()[0].tc, "s");
+}
+
+TEST_F(CompositeKeyTest, CautiousBeliefGroupsByFullKey) {
+  // Two entities sharing the airline but differing in number must not
+  // merge; polyinstantiated versions of one entity must.
+  ASSERT_TRUE(relation_
+                  ->InsertAt("u", {Value::Str("klm"), Value::Int(101),
+                                   Value::Str("oslo"), Value::Str("mail")})
+                  .ok());
+  ASSERT_TRUE(relation_
+                  ->InsertAt("u", {Value::Str("klm"), Value::Int(102),
+                                   Value::Str("rome"), Value::Str("mail")})
+                  .ok());
+  ASSERT_TRUE(relation_
+                  ->UpdateAt("s", {Value::Str("klm"), Value::Int(101)},
+                             "Cargo", Value::Str("arms"))
+                  .ok());
+
+  Result<BeliefOutcome> cau = Believe(*relation_, "s", BeliefMode::kCautious);
+  ASSERT_TRUE(cau.ok()) << cau.status();
+  ASSERT_EQ(cau->relation.size(), 2u);
+  for (const Tuple& t : cau->relation.tuples()) {
+    if (t.cells[1].value == Value::Int(101)) {
+      EXPECT_EQ(t.cells[3].value, Value::Str("arms"));  // s overrides
+    } else {
+      EXPECT_EQ(t.cells[3].value, Value::Str("mail"));
+    }
+  }
+}
+
+TEST_F(CompositeKeyTest, ViewsAndSurpriseStories) {
+  ASSERT_TRUE(relation_
+                  ->InsertAt("u", {Value::Str("klm"), Value::Int(101),
+                                   Value::Str("oslo"), Value::Str("mail")})
+                  .ok());
+  ASSERT_TRUE(relation_
+                  ->UpdateAt("s", {Value::Str("klm"), Value::Int(101)},
+                             "Cargo", Value::Str("arms"))
+                  .ok());
+  ASSERT_TRUE(
+      relation_->DeleteAt("u", {Value::Str("klm"), Value::Int(101)}).ok());
+
+  Result<std::vector<Tuple>> leaks = FindSurpriseStories(*relation_, "u");
+  ASSERT_TRUE(leaks.ok());
+  EXPECT_EQ(leaks->size(), 1u);
+}
+
+TEST_F(CompositeKeyTest, DeductiveEncodingUsesKeyTerm) {
+  ASSERT_TRUE(relation_
+                  ->InsertAt("u", {Value::Str("klm"), Value::Int(101),
+                                   Value::Str("oslo"), Value::Str("mail")})
+                  .ok());
+  Result<ml::Database> db = ml::EncodeRelation(*relation_, "flights");
+  ASSERT_TRUE(db.ok()) << db.status();
+  std::string text = db->ToString();
+  EXPECT_NE(text.find("key(klm, 101)"), std::string::npos) << text;
+
+  Result<ml::Engine> engine = ml::Engine::FromDatabase(std::move(*db));
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  Result<ml::QueryResult> r = engine->QuerySource(
+      "u[flights(key(klm, N) : dest -C-> V)]", "u",
+      ml::ExecMode::kCheckBoth);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->answers.size(), 1u);
+  EXPECT_EQ(r->answers[0].ToString(), "{C=u, N=101, V=oslo}");
+}
+
+}  // namespace
+}  // namespace multilog::mls

@@ -1,0 +1,107 @@
+#include "mls/cuppens.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mls/sample_data.h"
+
+namespace multilog::mls {
+namespace {
+
+std::set<std::string> Rows(const std::vector<Tuple>& tuples) {
+  std::set<std::string> out;
+  for (const Tuple& t : tuples) out.insert(t.ToString());
+  return out;
+}
+
+class CuppensTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<MissionDataset> ds = BuildMissionDataset();
+    ASSERT_TRUE(ds.ok()) << ds.status();
+    ds_ = std::move(ds).value();
+    ASSERT_TRUE(RegisterCuppensModes(&registry_).ok());
+  }
+
+  MissionDataset ds_;
+  BeliefModeRegistry registry_;
+};
+
+TEST_F(CuppensTest, AllThreeModesRegistered) {
+  EXPECT_TRUE(registry_.Has("additive"));
+  EXPECT_TRUE(registry_.Has("trusted"));
+  EXPECT_TRUE(registry_.Has("suspicious"));
+}
+
+// The paper's subsumption claim, executable: each Cuppens view is
+// definable through beta's modes.
+TEST_F(CuppensTest, AdditiveEqualsOptimistic) {
+  for (const std::string level : {"u", "c", "s"}) {
+    Result<std::vector<Tuple>> additive =
+        AdditiveView(*ds_.mission, level);
+    Result<BeliefOutcome> opt =
+        Believe(*ds_.mission, level, BeliefMode::kOptimistic);
+    ASSERT_TRUE(additive.ok() && opt.ok());
+    EXPECT_EQ(Rows(*additive), Rows(opt->relation.tuples()))
+        << "level " << level;
+  }
+}
+
+TEST_F(CuppensTest, TrustedEqualsMergedCautious) {
+  for (const std::string level : {"u", "c", "s"}) {
+    Result<std::vector<Tuple>> trusted = TrustedView(*ds_.mission, level);
+    BeliefOptions options;
+    options.merge_key_versions = true;
+    Result<BeliefOutcome> cau =
+        Believe(*ds_.mission, level, BeliefMode::kCautious, options);
+    ASSERT_TRUE(trusted.ok() && cau.ok());
+    EXPECT_EQ(Rows(*trusted), Rows(cau->relation.tuples()))
+        << "level " << level;
+  }
+}
+
+TEST_F(CuppensTest, SuspiciousIsSubsetOfFirm) {
+  for (const std::string level : {"u", "c", "s"}) {
+    Result<std::vector<Tuple>> suspicious =
+        SuspiciousView(*ds_.mission, level);
+    Result<BeliefOutcome> firm =
+        Believe(*ds_.mission, level, BeliefMode::kFirm);
+    ASSERT_TRUE(suspicious.ok() && firm.ok());
+    std::set<std::string> firm_rows = Rows(firm->relation.tuples());
+    for (const Tuple& t : *suspicious) {
+      EXPECT_TRUE(firm_rows.count(t.ToString()))
+          << t.ToString() << " at " << level;
+    }
+  }
+}
+
+TEST_F(CuppensTest, SuspiciousAtURejectsPolyinstantiatedEntities) {
+  Result<std::vector<Tuple>> suspicious = SuspiciousView(*ds_.mission, "u");
+  ASSERT_TRUE(suspicious.ok());
+  std::set<std::string> keys;
+  for (const Tuple& t : *suspicious) keys.insert(t.key_cell().value.str());
+  // Voyager (s-level spying version exists) and Atlantis (re-asserted at
+  // c and s) are disputed; Falcon and Eagle are clean u-level facts.
+  EXPECT_EQ(keys, (std::set<std::string>{"Falcon", "Eagle"}));
+}
+
+TEST_F(CuppensTest, SuspiciousAtSRejectsMixedClassificationTuples) {
+  Result<std::vector<Tuple>> suspicious = SuspiciousView(*ds_.mission, "s");
+  ASSERT_TRUE(suspicious.ok());
+  // Only t1 (Avenger) is uniformly s-classified, s-asserted, and
+  // undisputed.
+  std::set<std::string> keys;
+  for (const Tuple& t : *suspicious) keys.insert(t.key_cell().value.str());
+  EXPECT_EQ(keys, std::set<std::string>{"Avenger"});
+}
+
+TEST_F(CuppensTest, ThroughTheRegistry) {
+  Result<BeliefOutcome> out =
+      registry_.Believe(*ds_.mission, "c", "additive");
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->relation.size(), 4u);  // Figure 7's surprise-free rows
+}
+
+}  // namespace
+}  // namespace multilog::mls

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "mls/belief.h"
+#include "mls/integrity.h"
+#include "mls/relation.h"
+
+namespace multilog::mls {
+namespace {
+
+/// Drives a random polyinstantiation history - subject-level inserts,
+/// updates, and deletes at random levels - and checks the model's
+/// invariants after every operation. Deterministic in the seed.
+class HistoryPropertyTest : public ::testing::TestWithParam<unsigned> {
+ protected:
+  void SetUp() override {
+    rng_.seed(GetParam());
+    if (GetParam() % 2 == 0) {
+      lattice_ = lattice::SecurityLattice::Military();
+    } else {
+      // A diamond: bot < {left, right} < top.
+      lattice::SecurityLattice::Builder b;
+      b.AddLevel("bot").AddLevel("left").AddLevel("right").AddLevel("top");
+      b.AddOrder("bot", "left").AddOrder("bot", "right");
+      b.AddOrder("left", "top").AddOrder("right", "top");
+      lattice_ = std::move(b.Build()).value();
+    }
+    Result<Scheme> scheme = Scheme::Create(
+        "H",
+        {{"K", lattice_.MinimalElements().front(),
+          lattice_.MaximalElements().front()},
+         {"A", lattice_.MinimalElements().front(),
+          lattice_.MaximalElements().front()},
+         {"B", lattice_.MinimalElements().front(),
+          lattice_.MaximalElements().front()}},
+        "K", lattice_);
+    ASSERT_TRUE(scheme.ok());
+    relation_ =
+        std::make_unique<Relation>(std::move(scheme).value(), &lattice_);
+  }
+
+  std::string RandomLevel() {
+    const auto& names = lattice_.names();
+    std::uniform_int_distribution<size_t> d(0, names.size() - 1);
+    return names[d(rng_)];
+  }
+
+  Value RandomKey() {
+    std::uniform_int_distribution<int> d(0, 4);
+    return Value::Str("k" + std::to_string(d(rng_)));
+  }
+
+  Value RandomValue() {
+    std::uniform_int_distribution<int> d(0, 9);
+    return Value::Str("v" + std::to_string(d(rng_)));
+  }
+
+  void CheckInvariants() {
+    // The mutators must preserve the Definition 5.4 integrity bundle.
+    ASSERT_TRUE(CheckConsistent(*relation_).ok())
+        << relation_->ToString();
+
+    // Every stored cell class participates in the lattice and every
+    // view clamps below the viewer.
+    for (const std::string& level : lattice_.names()) {
+      Result<Relation> view = relation_->ViewAt(level);
+      ASSERT_TRUE(view.ok());
+      for (const Tuple& t : view->tuples()) {
+        EXPECT_TRUE(lattice_.Leq(t.tc, level).value_or(false));
+        for (const Cell& c : t.cells) {
+          EXPECT_TRUE(
+              lattice_.Leq(c.classification, level).value_or(false));
+        }
+      }
+    }
+  }
+
+  std::mt19937 rng_;
+  lattice::SecurityLattice lattice_;
+  std::unique_ptr<Relation> relation_;
+};
+
+TEST_P(HistoryPropertyTest, MutatorsPreserveIntegrity) {
+  std::uniform_int_distribution<int> op_dist(0, 9);
+  for (int step = 0; step < 40; ++step) {
+    int op = op_dist(rng_);
+    if (op < 5) {
+      (void)relation_->InsertAt(RandomLevel(),
+                                {RandomKey(), RandomValue(), RandomValue()});
+    } else if (op < 8) {
+      (void)relation_->UpdateAt(RandomLevel(), RandomKey(),
+                                op % 2 == 0 ? "A" : "B", RandomValue());
+    } else {
+      (void)relation_->DeleteAt(RandomLevel(), RandomKey());
+    }
+    CheckInvariants();
+  }
+}
+
+TEST_P(HistoryPropertyTest, BeliefInvariantsOnFinalState) {
+  std::uniform_int_distribution<int> op_dist(0, 9);
+  for (int step = 0; step < 40; ++step) {
+    int op = op_dist(rng_);
+    if (op < 5) {
+      (void)relation_->InsertAt(RandomLevel(),
+                                {RandomKey(), RandomValue(), RandomValue()});
+    } else if (op < 8) {
+      (void)relation_->UpdateAt(RandomLevel(), RandomKey(),
+                                op % 2 == 0 ? "A" : "B", RandomValue());
+    } else {
+      (void)relation_->DeleteAt(RandomLevel(), RandomKey());
+    }
+  }
+
+  // Every stored cell, as (key, attribute, value, class).
+  std::set<std::string> stored_cells;
+  for (const Tuple& t : relation_->tuples()) {
+    for (size_t i = 0; i < t.cells.size(); ++i) {
+      stored_cells.insert(t.key_cell().value.ToString() + "|" +
+                          std::to_string(i) + "|" + t.cells[i].ToString());
+    }
+  }
+
+  for (const std::string& level : lattice_.names()) {
+    Result<BeliefOutcome> fir =
+        Believe(*relation_, level, BeliefMode::kFirm);
+    Result<BeliefOutcome> opt =
+        Believe(*relation_, level, BeliefMode::kOptimistic);
+    Result<BeliefOutcome> cau =
+        Believe(*relation_, level, BeliefMode::kCautious);
+    ASSERT_TRUE(fir.ok() && opt.ok() && cau.ok());
+
+    // beta never invents cells: every believed cell is a stored cell.
+    for (const Relation* believed :
+         {&fir->relation, &opt->relation, &cau->relation}) {
+      for (const Tuple& t : believed->tuples()) {
+        for (size_t i = 0; i < t.cells.size(); ++i) {
+          EXPECT_TRUE(stored_cells.count(
+              t.key_cell().value.ToString() + "|" + std::to_string(i) +
+              "|" + t.cells[i].ToString()))
+              << "invented cell " << t.cells[i].ToString() << " at "
+              << level;
+        }
+      }
+    }
+
+    // Firm tuples reappear among optimistic ones (cell-wise; firm keeps
+    // TC = level = optimistic's retargeted TC).
+    std::set<std::string> opt_rows;
+    for (const Tuple& t : opt->relation.tuples()) {
+      opt_rows.insert(t.ToString());
+    }
+    for (const Tuple& t : fir->relation.tuples()) {
+      EXPECT_TRUE(opt_rows.count(t.ToString())) << t.ToString();
+    }
+
+    // Cautious cells are maximal among visible cells of their key/attr.
+    for (const Tuple& t : cau->relation.tuples()) {
+      for (size_t i = 1; i < t.cells.size(); ++i) {
+        for (const Tuple& other : relation_->tuples()) {
+          if (other.key_cell().value != t.key_cell().value) continue;
+          if (!lattice_.Leq(other.tc, level).value_or(false)) continue;
+          EXPECT_FALSE(lattice_
+                           .Lt(t.cells[i].classification,
+                               other.cells[i].classification)
+                           .value_or(false))
+              << "non-maximal cautious cell " << t.cells[i].ToString()
+              << " overridden by " << other.cells[i].ToString() << " at "
+              << level;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, HistoryPropertyTest,
+                         ::testing::Range(0u, 20u));
+
+}  // namespace
+}  // namespace multilog::mls

@@ -1,0 +1,131 @@
+#include "mls/jukic_vrbsky.h"
+
+#include <gtest/gtest.h>
+
+#include "mls/sample_data.h"
+
+namespace multilog::mls {
+namespace {
+
+class JvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<MissionDataset> ds = BuildMissionDataset();
+    ASSERT_TRUE(ds.ok()) << ds.status();
+    ds_ = std::move(ds).value();
+  }
+
+  const JvTuple& Find(const std::string& id) {
+    for (const JvTuple& t : ds_.jv_mission->tuples()) {
+      if (t.id == id) return t;
+    }
+    ADD_FAILURE() << "no J-V tuple " << id;
+    static JvTuple dummy;
+    return dummy;
+  }
+
+  std::string InterpretationOf(const std::string& id,
+                               const std::string& level) {
+    Result<JvInterpretation> i = ds_.jv_mission->Interpret(Find(id), level);
+    if (!i.ok()) return i.status().ToString();
+    return JvInterpretationToString(*i);
+  }
+
+  MissionDataset ds_;
+};
+
+TEST_F(JvTest, Figure5InterpretationMatrix) {
+  // The exact matrix of Figure 5, row by row.
+  struct Row {
+    const char* id;
+    const char* at_u;
+    const char* at_c;
+    const char* at_s;
+  };
+  const Row kFigure5[] = {
+      {"t1", "invisible", "invisible", "true"},
+      {"t2", "true", "true", "true"},
+      {"t3", "invisible", "invisible", "true"},
+      {"t4", "true", "irrelevant", "cover story"},
+      {"t4'", "invisible", "invisible", "true"},
+      {"t5", "invisible", "invisible", "true"},
+      {"t5'", "invisible", "true", "cover story"},
+      {"t8", "true", "irrelevant", "cover story"},
+      {"t9", "true", "irrelevant", "mirage"},
+      {"t10", "true", "irrelevant", "irrelevant"},
+  };
+  for (const Row& row : kFigure5) {
+    EXPECT_EQ(InterpretationOf(row.id, "u"), row.at_u) << row.id << " at u";
+    EXPECT_EQ(InterpretationOf(row.id, "c"), row.at_c) << row.id << " at c";
+    EXPECT_EQ(InterpretationOf(row.id, "s"), row.at_s) << row.id << " at s";
+  }
+}
+
+TEST_F(JvTest, Figure4LabelRendering) {
+  // Spot-check the label strings of Figure 4.
+  const JvTuple& t2 = Find("t2");
+  EXPECT_EQ(t2.cell_labels[0].Render(*ds_.lattice), "UCS");
+  EXPECT_EQ(t2.tuple_label.Render(*ds_.lattice), "UCS");
+
+  const JvTuple& t4 = Find("t4");
+  EXPECT_EQ(t4.cell_labels[0].Render(*ds_.lattice), "US");   // starship
+  EXPECT_EQ(t4.cell_labels[1].Render(*ds_.lattice), "U-S");  // objective
+  EXPECT_EQ(t4.tuple_label.Render(*ds_.lattice), "U-S");
+
+  const JvTuple& t5p = Find("t5'");
+  EXPECT_EQ(t5p.cell_labels[0].Render(*ds_.lattice), "CS");
+  EXPECT_EQ(t5p.cell_labels[1].Render(*ds_.lattice), "C-S");
+
+  const JvTuple& t10 = Find("t10");
+  EXPECT_EQ(t10.tuple_label.Render(*ds_.lattice), "U");
+}
+
+TEST_F(JvTest, RenderLabeledTableContainsAllVersions) {
+  std::string table = ds_.jv_mission->RenderLabeled();
+  for (const char* id :
+       {"t1", "t2", "t3", "t4", "t4'", "t5", "t5'", "t8", "t9", "t10"}) {
+    EXPECT_NE(table.find(id), std::string::npos) << "missing " << id;
+  }
+  EXPECT_NE(table.find("U-S"), std::string::npos);
+}
+
+TEST_F(JvTest, RenderInterpretationsMatchesFigure5Shape) {
+  Result<std::string> table =
+      ds_.jv_mission->RenderInterpretations({"u", "c", "s"});
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_NE(table->find("cover story"), std::string::npos);
+  EXPECT_NE(table->find("mirage"), std::string::npos);
+  EXPECT_NE(table->find("irrelevant"), std::string::npos);
+}
+
+TEST_F(JvTest, MirageRequiresNoReplacement) {
+  // t9 (Falcon) has no s-level replacement: mirage. t8 (Voyager) has t3:
+  // cover story. The distinction is exactly "does a believed replacement
+  // exist at that level".
+  EXPECT_EQ(InterpretationOf("t9", "s"), "mirage");
+  EXPECT_EQ(InterpretationOf("t8", "s"), "cover story");
+}
+
+TEST_F(JvTest, AddRejectsArityMismatch) {
+  JvTuple bad;
+  bad.id = "bad";
+  bad.created_at = "u";
+  bad.values = {Value::Str("X")};
+  bad.cell_labels = {JvLabel{{"u"}, {}}};
+  bad.tuple_label = JvLabel{{"u"}, {}};
+  EXPECT_FALSE(ds_.jv_mission->Add(bad).ok());
+}
+
+TEST_F(JvTest, AddRejectsBelieverBelowCreation) {
+  JvTuple bad;
+  bad.id = "bad";
+  bad.created_at = "s";
+  bad.values = {Value::Str("X"), Value::Str("Y"), Value::Str("Z")};
+  bad.cell_labels = {JvLabel{{"s"}, {}}, JvLabel{{"s"}, {}},
+                     JvLabel{{"s"}, {}}};
+  bad.tuple_label = JvLabel{{"u"}, {}};  // u cannot see an s-created tuple
+  EXPECT_FALSE(ds_.jv_mission->Add(bad).ok());
+}
+
+}  // namespace
+}  // namespace multilog::mls

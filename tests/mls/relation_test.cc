@@ -1,0 +1,246 @@
+#include "mls/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "mls/integrity.h"
+#include "mls/sample_data.h"
+
+namespace multilog::mls {
+namespace {
+
+class RelationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lattice_ = lattice::SecurityLattice::Military();
+    Result<Scheme> scheme = Scheme::Create(
+        "Mission",
+        {{"Starship", "u", "t"}, {"Objective", "u", "t"}, {"Destin", "u", "t"}},
+        "Starship", lattice_);
+    ASSERT_TRUE(scheme.ok()) << scheme.status();
+    relation_ = std::make_unique<Relation>(std::move(scheme).value(),
+                                           &lattice_);
+  }
+
+  Tuple Make(const std::string& ship, const std::string& c1,
+             const std::string& obj, const std::string& c2,
+             const std::string& dest, const std::string& c3,
+             const std::string& tc = "") {
+    Tuple t;
+    t.cells = {Cell{Value::Str(ship), c1}, Cell{Value::Str(obj), c2},
+               Cell{Value::Str(dest), c3}};
+    t.tc = tc;
+    return t;
+  }
+
+  lattice::SecurityLattice lattice_;
+  std::unique_ptr<Relation> relation_;
+};
+
+TEST_F(RelationTest, InsertComputesTcAsLub) {
+  ASSERT_TRUE(
+      relation_->InsertTuple(Make("A", "u", "B", "s", "C", "u")).ok());
+  EXPECT_EQ(relation_->tuples()[0].tc, "s");
+}
+
+TEST_F(RelationTest, InsertAcceptsTcAboveLub) {
+  // Figure 1's t2: all-u cells under TC = s.
+  ASSERT_TRUE(
+      relation_->InsertTuple(Make("A", "u", "B", "u", "C", "u", "s")).ok());
+}
+
+TEST_F(RelationTest, InsertRejectsTcBelowLub) {
+  Status st =
+      relation_->InsertTuple(Make("A", "u", "B", "s", "C", "u", "u"));
+  EXPECT_TRUE(st.IsIntegrityViolation()) << st;
+}
+
+TEST_F(RelationTest, InsertRejectsNullKey) {
+  Tuple t = Make("x", "u", "B", "u", "C", "u");
+  t.cells[0].value = Value::NullValue();
+  EXPECT_TRUE(relation_->InsertTuple(t).IsIntegrityViolation());
+}
+
+TEST_F(RelationTest, InsertRejectsAttributeBelowKey) {
+  Status st = relation_->InsertTuple(Make("A", "c", "B", "u", "C", "c"));
+  EXPECT_TRUE(st.IsIntegrityViolation()) << st;
+}
+
+TEST_F(RelationTest, InsertRejectsMisclassifiedNull) {
+  Tuple t = Make("A", "u", "B", "s", "C", "u");
+  t.cells[1].value = Value::NullValue();  // null must sit at key class u
+  EXPECT_TRUE(relation_->InsertTuple(t).IsIntegrityViolation());
+}
+
+TEST_F(RelationTest, InsertAcceptsNullAtKeyClass) {
+  Tuple t = Make("A", "u", "B", "u", "C", "u");
+  t.cells[1].value = Value::NullValue();
+  EXPECT_TRUE(relation_->InsertTuple(t).ok());
+}
+
+TEST_F(RelationTest, InsertRejectsExactDuplicate) {
+  Tuple t = Make("A", "u", "B", "u", "C", "u", "u");
+  ASSERT_TRUE(relation_->InsertTuple(t).ok());
+  EXPECT_TRUE(relation_->InsertTuple(t).IsIntegrityViolation());
+}
+
+TEST_F(RelationTest, InsertRejectsPolyinstantiationConflict) {
+  ASSERT_TRUE(
+      relation_->InsertTuple(Make("A", "u", "B", "u", "C", "u", "u")).ok());
+  // Same key cell (A, u), same objective class u, different value.
+  Status st = relation_->InsertTuple(Make("A", "u", "X", "u", "C", "u", "c"));
+  EXPECT_TRUE(st.IsIntegrityViolation()) << st;
+}
+
+TEST_F(RelationTest, InsertAllowsPolyinstantiationAcrossClasses) {
+  ASSERT_TRUE(
+      relation_->InsertTuple(Make("A", "u", "B", "u", "C", "u", "u")).ok());
+  // Different objective class: a legitimate polyinstantiated version.
+  EXPECT_TRUE(
+      relation_->InsertTuple(Make("A", "u", "X", "s", "C", "u", "s")).ok());
+}
+
+TEST_F(RelationTest, InsertRejectsUnknownLevel) {
+  Status st = relation_->InsertTuple(Make("A", "zz", "B", "zz", "C", "zz"));
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(RelationTest, InsertAtClassifiesUniformly) {
+  ASSERT_TRUE(relation_
+                  ->InsertAt("c", {Value::Str("A"), Value::Str("B"),
+                                   Value::Str("C")})
+                  .ok());
+  const Tuple& t = relation_->tuples()[0];
+  EXPECT_EQ(t.tc, "c");
+  for (const Cell& cell : t.cells) EXPECT_EQ(cell.classification, "c");
+}
+
+TEST_F(RelationTest, UpdateInPlaceAtOwnLevel) {
+  ASSERT_TRUE(relation_
+                  ->InsertAt("u", {Value::Str("A"), Value::Str("B"),
+                                   Value::Str("C")})
+                  .ok());
+  ASSERT_TRUE(relation_
+                  ->UpdateAt("u", Value::Str("A"), "Objective",
+                             Value::Str("B2"))
+                  .ok());
+  ASSERT_EQ(relation_->size(), 1u);
+  EXPECT_EQ(relation_->tuples()[0].cells[1].value, Value::Str("B2"));
+}
+
+TEST_F(RelationTest, UpdateFromAboveCreatesPolyinstantiatedVersion) {
+  ASSERT_TRUE(relation_
+                  ->InsertAt("u", {Value::Str("Phantom"), Value::Str("Cargo"),
+                                   Value::Str("Omega")})
+                  .ok());
+  ASSERT_TRUE(relation_
+                  ->UpdateAt("s", Value::Str("Phantom"), "Objective",
+                             Value::Str("Spying"))
+                  .ok());
+  ASSERT_EQ(relation_->size(), 2u);
+  // The new version keeps the key classification u - the surprise-story
+  // precursor of Section 3.
+  const Tuple& fresh = relation_->tuples()[1];
+  EXPECT_EQ(fresh.key_cell().classification, "u");
+  EXPECT_EQ(fresh.cells[1].classification, "s");
+  EXPECT_EQ(fresh.tc, "s");
+}
+
+TEST_F(RelationTest, SurpriseStoryLifecycle) {
+  // The paper's genesis story: U inserts, S updates, U deletes - the
+  // S version with a U key classification remains, and the U view now
+  // shows a null-bearing tuple it cannot explain.
+  ASSERT_TRUE(relation_
+                  ->InsertAt("u", {Value::Str("Phantom"), Value::Str("Cargo"),
+                                   Value::Str("Omega")})
+                  .ok());
+  ASSERT_TRUE(relation_
+                  ->UpdateAt("s", Value::Str("Phantom"), "Objective",
+                             Value::Str("Spying"))
+                  .ok());
+  Result<std::vector<Tuple>> before =
+      FindSurpriseStories(*relation_, "u");
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(before->empty());  // the u tuple subsumes the masked view
+
+  ASSERT_TRUE(relation_->DeleteAt("u", Value::Str("Phantom")).ok());
+  Result<std::vector<Tuple>> after = FindSurpriseStories(*relation_, "u");
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after->size(), 1u);
+  EXPECT_TRUE(after->front().cells[1].value.is_null());
+}
+
+TEST_F(RelationTest, UpdateUnknownKeyFails) {
+  Status st = relation_->UpdateAt("s", Value::Str("Ghost"), "Objective",
+                                  Value::Str("X"));
+  EXPECT_TRUE(st.IsNotFound()) << st;
+}
+
+TEST_F(RelationTest, UpdateKeyAttributeRejected) {
+  ASSERT_TRUE(relation_
+                  ->InsertAt("u", {Value::Str("A"), Value::Str("B"),
+                                   Value::Str("C")})
+                  .ok());
+  Status st = relation_->UpdateAt("u", Value::Str("A"), "Starship",
+                                  Value::Str("A2"));
+  EXPECT_TRUE(st.IsInvalidArgument()) << st;
+}
+
+TEST_F(RelationTest, DeleteOnlyRemovesOwnLevel) {
+  ASSERT_TRUE(relation_
+                  ->InsertAt("u", {Value::Str("A"), Value::Str("B"),
+                                   Value::Str("C")})
+                  .ok());
+  ASSERT_TRUE(relation_
+                  ->UpdateAt("s", Value::Str("A"), "Objective",
+                             Value::Str("X"))
+                  .ok());
+  ASSERT_TRUE(relation_->DeleteAt("u", Value::Str("A")).ok());
+  ASSERT_EQ(relation_->size(), 1u);
+  EXPECT_EQ(relation_->tuples()[0].tc, "s");
+  // Deleting again at u finds nothing.
+  EXPECT_TRUE(relation_->DeleteAt("u", Value::Str("A")).IsNotFound());
+}
+
+TEST_F(RelationTest, SchemeRejectsUnknownKey) {
+  Result<Scheme> bad = Scheme::Create(
+      "R", {{"A", "u", "t"}}, "Nope", lattice_);
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(RelationTest, SchemeRejectsEmptyRange) {
+  Result<Scheme> bad = Scheme::Create(
+      "R", {{"A", "t", "u"}}, "A", lattice_);
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(RelationTest, SchemeMovesKeyFirst) {
+  Result<Scheme> s = Scheme::Create(
+      "R", {{"A", "u", "t"}, {"K", "u", "t"}}, "K", lattice_);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->attributes()[0].name, "K");
+  EXPECT_EQ(s->key_attribute(), "K");
+}
+
+TEST_F(RelationTest, ClassificationRangeEnforced) {
+  Result<Scheme> narrow = Scheme::Create(
+      "R", {{"K", "u", "c"}, {"A", "u", "c"}}, "K", lattice_);
+  ASSERT_TRUE(narrow.ok());
+  Relation r(std::move(narrow).value(), &lattice_);
+  // s is outside [u, c].
+  Status st = r.InsertAt("s", {Value::Str("k"), Value::Str("v")});
+  EXPECT_TRUE(st.IsIntegrityViolation()) << st;
+}
+
+TEST_F(RelationTest, ToStringRendersTable) {
+  ASSERT_TRUE(relation_
+                  ->InsertAt("u", {Value::Str("A"), Value::Str("B"),
+                                   Value::Str("C")})
+                  .ok());
+  std::string table = relation_->ToString();
+  EXPECT_NE(table.find("Starship"), std::string::npos);
+  EXPECT_NE(table.find("TC"), std::string::npos);
+  EXPECT_NE(table.find("A"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace multilog::mls

@@ -1,0 +1,119 @@
+#include "mls/transaction.h"
+
+#include <gtest/gtest.h>
+
+#include "mls/integrity.h"
+
+namespace multilog::mls {
+namespace {
+
+class TransactionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lattice_ = lattice::SecurityLattice::Military();
+    Result<Scheme> scheme = Scheme::Create(
+        "T", {{"K", "u", "t"}, {"V", "u", "t"}}, "K", lattice_);
+    ASSERT_TRUE(scheme.ok());
+    relation_ =
+        std::make_unique<Relation>(std::move(scheme).value(), &lattice_);
+    ASSERT_TRUE(
+        relation_->InsertAt("u", {Value::Str("k1"), Value::Str("v1")}).ok());
+  }
+
+  lattice::SecurityLattice lattice_;
+  std::unique_ptr<Relation> relation_;
+};
+
+TEST_F(TransactionTest, CommitAppliesBufferedOps) {
+  Result<Transaction> txn = Transaction::Begin(relation_.get(), "u");
+  ASSERT_TRUE(txn.ok()) << txn.status();
+  ASSERT_TRUE(txn->Insert({Value::Str("k2"), Value::Str("v2")}).ok());
+  ASSERT_TRUE(txn->Update(Value::Str("k1"), "V", Value::Str("v1b")).ok());
+  EXPECT_EQ(relation_->size(), 1u);  // live untouched pre-commit
+  ASSERT_TRUE(txn->Commit().ok());
+  EXPECT_EQ(relation_->size(), 2u);
+  std::vector<const Tuple*> k1 = relation_->TuplesWithKey(Value::Str("k1"));
+  ASSERT_EQ(k1.size(), 1u);
+  EXPECT_EQ(k1[0]->cells[1].value, Value::Str("v1b"));
+  EXPECT_TRUE(CheckConsistent(*relation_).ok());
+}
+
+TEST_F(TransactionTest, AbortDiscardsEverything) {
+  Result<Transaction> txn = Transaction::Begin(relation_.get(), "u");
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE(txn->Insert({Value::Str("k2"), Value::Str("v2")}).ok());
+  ASSERT_TRUE(txn->Delete(Value::Str("k1")).ok());
+  txn->Abort();
+  EXPECT_EQ(relation_->size(), 1u);
+  EXPECT_FALSE(txn->active());
+  EXPECT_TRUE(txn->Commit().IsInvalidArgument());
+}
+
+TEST_F(TransactionTest, ReadYourWrites) {
+  Result<Transaction> txn = Transaction::Begin(relation_.get(), "u");
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE(txn->Insert({Value::Str("k2"), Value::Str("v2")}).ok());
+  Result<Relation> view = txn->View();
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->size(), 2u);
+  // The live relation still shows one tuple.
+  EXPECT_EQ(relation_->ViewAt("u")->size(), 1u);
+}
+
+TEST_F(TransactionTest, OperationsRunAtTransactionLevel) {
+  Result<Transaction> txn = Transaction::Begin(relation_.get(), "s");
+  ASSERT_TRUE(txn.ok());
+  // An s-subject's update polyinstantiates instead of overwriting.
+  ASSERT_TRUE(txn->Update(Value::Str("k1"), "V", Value::Str("secret")).ok());
+  ASSERT_TRUE(txn->Commit().ok());
+  EXPECT_EQ(relation_->size(), 2u);
+  EXPECT_EQ(relation_->tuples()[1].tc, "s");
+}
+
+TEST_F(TransactionTest, InvalidOperationsDoNotEnterTheLog) {
+  Result<Transaction> txn = Transaction::Begin(relation_.get(), "u");
+  ASSERT_TRUE(txn.ok());
+  EXPECT_FALSE(txn->Insert({Value::Str("only-one")}).ok());  // arity
+  EXPECT_FALSE(txn->Delete(Value::Str("ghost")).ok());       // not found
+  EXPECT_EQ(txn->pending_operations(), 0u);
+  ASSERT_TRUE(txn->Commit().ok());  // empty commit is fine
+  EXPECT_EQ(relation_->size(), 1u);
+}
+
+TEST_F(TransactionTest, CommitConflictLeavesLiveUntouched) {
+  Result<Transaction> txn = Transaction::Begin(relation_.get(), "u");
+  ASSERT_TRUE(txn.ok());
+  ASSERT_TRUE(txn->Insert({Value::Str("k2"), Value::Str("v2")}).ok());
+  ASSERT_TRUE(txn->Delete(Value::Str("k1")).ok());
+
+  // Meanwhile another subject commits a conflicting change: k1 vanishes
+  // from u (deleted directly), making the buffered delete un-replayable.
+  ASSERT_TRUE(relation_->DeleteAt("u", Value::Str("k1")).ok());
+
+  Status st = txn->Commit();
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(txn->active());  // still active; caller may Abort
+  // The failed commit applied nothing.
+  EXPECT_EQ(relation_->size(), 0u);
+  txn->Abort();
+}
+
+TEST_F(TransactionTest, UnknownLevelRejectedAtBegin) {
+  EXPECT_FALSE(Transaction::Begin(relation_.get(), "zz").ok());
+}
+
+TEST_F(TransactionTest, SequentialTransactions) {
+  for (int i = 2; i <= 4; ++i) {
+    Result<Transaction> txn = Transaction::Begin(relation_.get(), "u");
+    ASSERT_TRUE(txn.ok());
+    ASSERT_TRUE(txn->Insert({Value::Str("k" + std::to_string(i)),
+                             Value::Str("v")})
+                    .ok());
+    ASSERT_TRUE(txn->Commit().ok());
+  }
+  EXPECT_EQ(relation_->size(), 4u);
+  EXPECT_TRUE(CheckConsistent(*relation_).ok());
+}
+
+}  // namespace
+}  // namespace multilog::mls

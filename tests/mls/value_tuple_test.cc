@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "mls/scheme.h"
+#include "mls/tuple.h"
+#include "mls/value.h"
+
+namespace multilog::mls {
+namespace {
+
+TEST(ValueTest, KindsAndAccessors) {
+  Value n;
+  EXPECT_TRUE(n.is_null());
+  EXPECT_EQ(n.ToString(), "⊥");
+  EXPECT_EQ(n, Value::NullValue());
+
+  Value s = Value::Str("abc");
+  EXPECT_TRUE(s.is_string());
+  EXPECT_EQ(s.str(), "abc");
+  EXPECT_EQ(s.ToString(), "abc");
+
+  Value i = Value::Int(-3);
+  EXPECT_TRUE(i.is_int());
+  EXPECT_EQ(i.int_value(), -3);
+  EXPECT_EQ(i.ToString(), "-3");
+}
+
+TEST(ValueTest, EqualityAcrossKinds) {
+  EXPECT_NE(Value::Str("1"), Value::Int(1));
+  EXPECT_NE(Value::NullValue(), Value::Str(""));
+  EXPECT_EQ(Value::Int(7), Value::Int(7));
+  EXPECT_NE(Value::Int(7), Value::Int(8));
+}
+
+TEST(ValueTest, TotalOrderIsConsistent) {
+  std::vector<Value> values = {Value::Str("b"), Value::NullValue(),
+                               Value::Int(2), Value::Str("a"),
+                               Value::Int(1)};
+  std::sort(values.begin(), values.end());
+  for (size_t i = 0; i + 1 < values.size(); ++i) {
+    EXPECT_FALSE(values[i + 1] < values[i]);
+  }
+}
+
+TEST(TupleTest, ToStringShowsCellsAndTc) {
+  Tuple t;
+  t.cells = {Cell{Value::Str("k"), "u"}, Cell{Value::NullValue(), "u"}};
+  t.tc = "s";
+  EXPECT_EQ(t.ToString(), "(k/u, ⊥/u | TC=s)");
+  EXPECT_EQ(t.key_cell().value, Value::Str("k"));
+}
+
+TEST(TupleTest, SubsumesCells) {
+  Tuple full, holey, other;
+  full.cells = {Cell{Value::Str("k"), "u"}, Cell{Value::Str("v"), "u"}};
+  holey.cells = {Cell{Value::Str("k"), "u"}, Cell{Value::NullValue(), "u"}};
+  other.cells = {Cell{Value::Str("k"), "u"}, Cell{Value::Str("w"), "u"}};
+
+  EXPECT_TRUE(full.SubsumesCells(holey));
+  EXPECT_FALSE(holey.SubsumesCells(full));
+  EXPECT_TRUE(full.SubsumesCells(full));
+  EXPECT_FALSE(full.SubsumesCells(other));
+
+  // Classification mismatch blocks subsumption even with equal values.
+  Tuple reclassified = full;
+  reclassified.cells[1].classification = "s";
+  EXPECT_FALSE(reclassified.SubsumesCells(full));
+
+  // Arity mismatch never subsumes.
+  Tuple shorter;
+  shorter.cells = {Cell{Value::Str("k"), "u"}};
+  EXPECT_FALSE(full.SubsumesCells(shorter));
+}
+
+TEST(SchemeTest, AttributeIndexAndRanges) {
+  lattice::SecurityLattice lat = lattice::SecurityLattice::Military();
+  Result<Scheme> scheme = Scheme::Create(
+      "R", {{"K", "u", "t"}, {"Mid", "c", "s"}}, "K", lat);
+  ASSERT_TRUE(scheme.ok());
+  EXPECT_EQ(scheme->AttributeIndex("Mid").value(), 1u);
+  EXPECT_TRUE(scheme->AttributeIndex("Nope").status().IsNotFound());
+  EXPECT_TRUE(scheme->InRange(1, "c", lat).value());
+  EXPECT_TRUE(scheme->InRange(1, "s", lat).value());
+  EXPECT_FALSE(scheme->InRange(1, "u", lat).value());
+  EXPECT_FALSE(scheme->InRange(1, "t", lat).value());
+  EXPECT_EQ(scheme->key_arity(), 1u);
+  EXPECT_TRUE(scheme->IsKeyPosition(0));
+  EXPECT_FALSE(scheme->IsKeyPosition(1));
+}
+
+TEST(SchemeTest, ValidationErrors) {
+  lattice::SecurityLattice lat = lattice::SecurityLattice::Military();
+  EXPECT_FALSE(Scheme::Create("R", {}, "K", lat).ok());
+  EXPECT_FALSE(Scheme::Create("R", {{"", "u", "t"}}, "", lat).ok());
+  EXPECT_FALSE(
+      Scheme::Create("R", {{"A", "u", "t"}, {"A", "u", "t"}}, "A", lat)
+          .ok());
+}
+
+}  // namespace
+}  // namespace multilog::mls

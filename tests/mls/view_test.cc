@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "mls/integrity.h"
+#include "mls/relation.h"
+#include "mls/sample_data.h"
+
+namespace multilog::mls {
+namespace {
+
+/// Renders a tuple compactly for golden comparisons:
+/// "Avenger/s Shipping/s Pluto/s TC=s".
+std::string Row(const Tuple& t) {
+  std::string out;
+  for (const Cell& c : t.cells) {
+    out += c.ToString();
+    out += " ";
+  }
+  out += "TC=" + t.tc;
+  return out;
+}
+
+std::set<std::string> Rows(const Relation& r) {
+  std::set<std::string> out;
+  for (const Tuple& t : r.tuples()) out.insert(Row(t));
+  return out;
+}
+
+class ViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<MissionDataset> ds = BuildMissionDataset();
+    ASSERT_TRUE(ds.ok()) << ds.status();
+    ds_ = std::move(ds).value();
+  }
+
+  MissionDataset ds_;
+};
+
+TEST_F(ViewTest, Figure1Loads) {
+  EXPECT_EQ(ds_.mission->size(), 10u);
+  EXPECT_TRUE(CheckEntityIntegrity(*ds_.mission).ok());
+  EXPECT_TRUE(CheckNullIntegrity(*ds_.mission).ok());
+  EXPECT_TRUE(CheckPolyinstantiationIntegrity(*ds_.mission).ok());
+}
+
+TEST_F(ViewTest, Figure2ULevelView) {
+  Result<Relation> view = ds_.mission->ViewAt("u");
+  ASSERT_TRUE(view.ok()) << view.status();
+  std::set<std::string> expected = {
+      "Phantom/u ⊥/u Omega/u TC=u",          // t4, the leaked null
+      "Atlantis/u Diplomacy/u Vulcan/u TC=u",  // t7* (t2, t6 collapse)
+      "Voyager/u Training/u Mars/u TC=u",      // t8* (subsumes t3's view)
+      "Falcon/u Piracy/u Venus/u TC=u",        // t9
+      "Eagle/u Patrolling/u Degoba/u TC=u",    // t10
+  };
+  EXPECT_EQ(Rows(*view), expected);
+}
+
+TEST_F(ViewTest, Figure3CLevelView) {
+  Result<Relation> view = ds_.mission->ViewAt("c");
+  ASSERT_TRUE(view.ok()) << view.status();
+  std::set<std::string> expected = {
+      "Phantom/u ⊥/u Omega/u TC=c",            // t4, surprise story
+      "Phantom/c ⊥/c ⊥/c TC=c",                // t5, surprise story
+      "Atlantis/u Diplomacy/u Vulcan/u TC=c",  // t6* (t2, t7 collapse)
+      "Voyager/u Training/u Mars/u TC=u",      // t8* (subsumes t3's view)
+      "Falcon/u Piracy/u Venus/u TC=u",        // t9
+      "Eagle/u Patrolling/u Degoba/u TC=u",    // t10
+  };
+  EXPECT_EQ(Rows(*view), expected);
+}
+
+TEST_F(ViewTest, SLevelViewSeesEverything) {
+  Result<Relation> view = ds_.mission->ViewAt("s", /*apply_subsumption=*/false);
+  ASSERT_TRUE(view.ok()) << view.status();
+  // All ten tuples are fully visible at s (no nulls introduced).
+  EXPECT_EQ(view->size(), 10u);
+  for (const Tuple& t : view->tuples()) {
+    for (const Cell& c : t.cells) {
+      EXPECT_FALSE(c.value.is_null()) << Row(t);
+    }
+  }
+}
+
+TEST_F(ViewTest, SurpriseStoriesDetectedAtC) {
+  Result<std::vector<Tuple>> surprises =
+      FindSurpriseStories(*ds_.mission, "c");
+  ASSERT_TRUE(surprises.ok()) << surprises.status();
+  ASSERT_EQ(surprises->size(), 2u);  // Figure 3's t4 and t5
+  std::set<std::string> keys;
+  for (const Tuple& t : *surprises) keys.insert(t.key_cell().value.str());
+  EXPECT_EQ(keys, std::set<std::string>{"Phantom"});
+}
+
+TEST_F(ViewTest, SurpriseStoryAtUToo) {
+  Result<std::vector<Tuple>> surprises =
+      FindSurpriseStories(*ds_.mission, "u");
+  ASSERT_TRUE(surprises.ok()) << surprises.status();
+  EXPECT_EQ(surprises->size(), 1u);  // Figure 2's t4
+}
+
+TEST_F(ViewTest, NoSurpriseStoriesAtS) {
+  Result<std::vector<Tuple>> surprises =
+      FindSurpriseStories(*ds_.mission, "s");
+  ASSERT_TRUE(surprises.ok()) << surprises.status();
+  EXPECT_TRUE(surprises->empty());
+}
+
+TEST_F(ViewTest, ViewTupleClassNeverExceedsViewer) {
+  for (const std::string level : {"u", "c", "s"}) {
+    Result<Relation> view = ds_.mission->ViewAt(level);
+    ASSERT_TRUE(view.ok());
+    for (const Tuple& t : view->tuples()) {
+      EXPECT_TRUE(ds_.lattice->Leq(t.tc, level).value_or(false))
+          << "TC " << t.tc << " above viewer " << level;
+      for (const Cell& c : t.cells) {
+        EXPECT_TRUE(ds_.lattice->Leq(c.classification, level).value_or(false));
+      }
+    }
+  }
+}
+
+TEST_F(ViewTest, FilterCompositionalityHolds) {
+  EXPECT_TRUE(CheckFilterCompositionality(*ds_.mission).ok());
+}
+
+TEST_F(ViewTest, ViewAtUnknownLevelFails) {
+  Result<Relation> view = ds_.mission->ViewAt("zz");
+  EXPECT_FALSE(view.ok());
+  EXPECT_TRUE(view.status().IsNotFound());
+}
+
+TEST_F(ViewTest, SubsumptionKeepsHigherTcOnEqualCells) {
+  // t2 (TC=s), t6 (TC=c), t7 (TC=u) share cells; at c, t2 clamps to c and
+  // collapses with t6, which then subsumes t7.
+  Result<Relation> view = ds_.mission->ViewAt("c");
+  ASSERT_TRUE(view.ok());
+  int atlantis_count = 0;
+  for (const Tuple& t : view->tuples()) {
+    if (t.key_cell().value == Value::Str("Atlantis")) {
+      ++atlantis_count;
+      EXPECT_EQ(t.tc, "c");
+    }
+  }
+  EXPECT_EQ(atlantis_count, 1);
+}
+
+TEST_F(ViewTest, ViewWithoutSubsumptionKeepsDuplicateVersions) {
+  Result<Relation> view = ds_.mission->ViewAt("c", /*apply_subsumption=*/false);
+  ASSERT_TRUE(view.ok());
+  int atlantis_count = 0;
+  for (const Tuple& t : view->tuples()) {
+    if (t.key_cell().value == Value::Str("Atlantis")) ++atlantis_count;
+  }
+  // t2/t6 collapse (both clamp to TC=c) but t7 (TC=u) stays distinct.
+  EXPECT_EQ(atlantis_count, 2);
+}
+
+}  // namespace
+}  // namespace multilog::mls

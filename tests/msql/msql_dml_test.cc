@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "mls/integrity.h"
+#include "msql/executor.h"
+
+namespace multilog::msql {
+namespace {
+
+class MsqlDmlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lattice_ = lattice::SecurityLattice::Military();
+    Result<mls::Scheme> scheme = mls::Scheme::Create(
+        "Fleet",
+        {{"Ship", "u", "t"}, {"Mission", "u", "t"}, {"Port", "u", "t"}},
+        "Ship", lattice_);
+    ASSERT_TRUE(scheme.ok());
+    relation_ = std::make_unique<mls::Relation>(std::move(scheme).value(),
+                                                &lattice_);
+    session_ = std::make_unique<Session>();
+    ASSERT_TRUE(
+        session_->RegisterMutableRelation("fleet", relation_.get()).ok());
+  }
+
+  Status Exec(const std::string& sql) {
+    return session_->Execute(sql).status();
+  }
+
+  lattice::SecurityLattice lattice_;
+  std::unique_ptr<mls::Relation> relation_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(MsqlDmlTest, InsertAtSessionLevel) {
+  ASSERT_TRUE(Exec("user context u").ok());
+  ASSERT_TRUE(Exec("insert into fleet values (kestrel, patrol, kiel)").ok());
+  ASSERT_EQ(relation_->size(), 1u);
+  EXPECT_EQ(relation_->tuples()[0].tc, "u");
+  EXPECT_EQ(relation_->tuples()[0].cells[0].value, mls::Value::Str("kestrel"));
+}
+
+TEST_F(MsqlDmlTest, InsertRequiresContext) {
+  EXPECT_TRUE(
+      Exec("insert into fleet values (a, b, c)").IsInvalidArgument());
+}
+
+TEST_F(MsqlDmlTest, InsertArityChecked) {
+  ASSERT_TRUE(Exec("user context u").ok());
+  EXPECT_TRUE(Exec("insert into fleet values (a, b)").IsInvalidArgument());
+}
+
+TEST_F(MsqlDmlTest, UpdateInPlaceAndPolyinstantiating) {
+  ASSERT_TRUE(Exec("user context u").ok());
+  ASSERT_TRUE(Exec("insert into fleet values (kestrel, patrol, kiel)").ok());
+
+  // Same-level update is in place.
+  ASSERT_TRUE(
+      Exec("update fleet set mission = escort where ship = kestrel").ok());
+  ASSERT_EQ(relation_->size(), 1u);
+  EXPECT_EQ(relation_->tuples()[0].cells[1].value, mls::Value::Str("escort"));
+
+  // Higher-level update polyinstantiates.
+  ASSERT_TRUE(Exec("user context s").ok());
+  ASSERT_TRUE(
+      Exec("update fleet set mission = strike where ship = kestrel").ok());
+  ASSERT_EQ(relation_->size(), 2u);
+
+  // Each level reads its own truth.
+  ASSERT_TRUE(Exec("user context u").ok());
+  Result<ResultSet> u_view = session_->Execute(
+      "select mission from fleet believed cautiously");
+  ASSERT_TRUE(u_view.ok());
+  EXPECT_EQ(u_view->rows,
+            (std::vector<std::vector<std::string>>{{"escort"}}));
+
+  ASSERT_TRUE(Exec("user context s").ok());
+  Result<ResultSet> s_view = session_->Execute(
+      "select mission from fleet believed cautiously");
+  ASSERT_TRUE(s_view.ok());
+  EXPECT_EQ(s_view->rows,
+            (std::vector<std::vector<std::string>>{{"strike"}}));
+}
+
+TEST_F(MsqlDmlTest, DeleteOnlyOwnLevelThenSurpriseStory) {
+  ASSERT_TRUE(Exec("user context u").ok());
+  ASSERT_TRUE(Exec("insert into fleet values (kestrel, patrol, kiel)").ok());
+  ASSERT_TRUE(Exec("user context s").ok());
+  ASSERT_TRUE(
+      Exec("update fleet set mission = strike where ship = kestrel").ok());
+  ASSERT_TRUE(Exec("user context u").ok());
+  ASSERT_TRUE(Exec("delete from fleet where ship = kestrel").ok());
+
+  // The s version with the u key classification survives: the u view now
+  // contains a surprise story.
+  ASSERT_EQ(relation_->size(), 1u);
+  Result<std::vector<mls::Tuple>> leaks =
+      mls::FindSurpriseStories(*relation_, "u");
+  ASSERT_TRUE(leaks.ok());
+  EXPECT_EQ(leaks->size(), 1u);
+
+  // Deleting again at u finds nothing (the s version is not u's).
+  EXPECT_TRUE(
+      Exec("delete from fleet where ship = kestrel").IsNotFound());
+}
+
+TEST_F(MsqlDmlTest, UpdateRequiresKeyPredicate) {
+  ASSERT_TRUE(Exec("user context u").ok());
+  ASSERT_TRUE(Exec("insert into fleet values (kestrel, patrol, kiel)").ok());
+  EXPECT_TRUE(
+      Exec("update fleet set mission = x where port = kiel")
+          .IsInvalidArgument());
+  EXPECT_TRUE(
+      Exec("update fleet set nosuch = x where ship = kestrel").IsNotFound());
+}
+
+TEST_F(MsqlDmlTest, ReadOnlyRelationRejectsDml) {
+  mls::Relation read_only(relation_->scheme(), &lattice_);
+  Session session;
+  ASSERT_TRUE(session.RegisterRelation("ro", &read_only).ok());
+  ASSERT_TRUE(session.SetUserContext("u").ok());
+  EXPECT_TRUE(session.Execute("insert into ro values (a, b, c)")
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(session.Execute("delete from ro where ship = a")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(MsqlDmlTest, InsertIntegerAndNullValues) {
+  ASSERT_TRUE(Exec("user context u").ok());
+  ASSERT_TRUE(Exec("insert into fleet values (kestrel, 42, null)").ok());
+  EXPECT_EQ(relation_->tuples()[0].cells[1].value, mls::Value::Int(42));
+  EXPECT_TRUE(relation_->tuples()[0].cells[2].value.is_null());
+}
+
+TEST_F(MsqlDmlTest, DmlParseErrors) {
+  ASSERT_TRUE(Exec("user context u").ok());
+  EXPECT_TRUE(Exec("insert fleet values (a)").IsParseError());
+  EXPECT_TRUE(Exec("insert into fleet values ()").IsParseError());
+  EXPECT_TRUE(Exec("update fleet set mission where ship = a").IsParseError());
+  EXPECT_TRUE(Exec("delete from fleet").IsParseError());
+}
+
+TEST_F(MsqlDmlTest, WritesRespectStarProperty) {
+  // A subject's writes land at its own level: after a c-level insert,
+  // the u view cannot see the tuple.
+  ASSERT_TRUE(Exec("user context c").ok());
+  ASSERT_TRUE(Exec("insert into fleet values (ghost, recon, kiel)").ok());
+  ASSERT_TRUE(Exec("user context u").ok());
+  Result<ResultSet> rows = session_->Execute("select * from fleet");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->rows.empty());
+}
+
+}  // namespace
+}  // namespace multilog::msql

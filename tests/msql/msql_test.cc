@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include "mls/sample_data.h"
+#include "msql/executor.h"
+#include "msql/parser.h"
+
+namespace multilog::msql {
+namespace {
+
+class MsqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Result<mls::MissionDataset> ds = mls::BuildMissionDataset();
+    ASSERT_TRUE(ds.ok()) << ds.status();
+    ds_ = std::move(ds).value();
+    session_ = std::make_unique<Session>();
+    ASSERT_TRUE(
+        session_->RegisterRelation("mission", ds_.mission.get()).ok());
+  }
+
+  std::vector<std::vector<std::string>> Rows(const std::string& sql) {
+    Result<ResultSet> r = session_->Execute(sql);
+    if (!r.ok()) {
+      ADD_FAILURE() << sql << "\n" << r.status();
+      return {};
+    }
+    return r->rows;
+  }
+
+  mls::MissionDataset ds_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(MsqlTest, RequiresUserContext) {
+  Result<ResultSet> r = session_->Execute("select * from mission");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST_F(MsqlTest, UserContextStatement) {
+  Result<ResultSet> r = session_->Execute("user context s");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(session_->user_context(), "s");
+}
+
+TEST_F(MsqlTest, SelectStarThroughSigmaView) {
+  ASSERT_TRUE(session_->SetUserContext("u").ok());
+  // Figure 2's view has five tuples.
+  EXPECT_EQ(Rows("select * from mission").size(), 5u);
+}
+
+TEST_F(MsqlTest, WhereEqualityIsCaseInsensitive) {
+  ASSERT_TRUE(session_->SetUserContext("u").ok());
+  std::vector<std::vector<std::string>> rows =
+      Rows("select starship from mission where destin = 'MARS'");
+  EXPECT_EQ(rows, (std::vector<std::vector<std::string>>{{"Voyager"}}));
+}
+
+TEST_F(MsqlTest, WhereFiltersRows) {
+  ASSERT_TRUE(session_->SetUserContext("u").ok());
+  std::vector<std::vector<std::string>> rows =
+      Rows("select starship from mission where destin = 'Mars'");
+  EXPECT_EQ(rows, (std::vector<std::vector<std::string>>{{"Voyager"}}));
+  // Bare identifier works like a string literal, case-insensitively.
+  rows = Rows("select starship from mission where destin = mars");
+  EXPECT_EQ(rows, (std::vector<std::vector<std::string>>{{"Voyager"}}));
+}
+
+TEST_F(MsqlTest, BelievedFirmly) {
+  ASSERT_TRUE(session_->SetUserContext("c").ok());
+  std::vector<std::vector<std::string>> rows =
+      Rows("select starship from mission believed firmly");
+  EXPECT_EQ(rows, (std::vector<std::vector<std::string>>{{"Atlantis"}}));
+}
+
+TEST_F(MsqlTest, BelievedOptimistically) {
+  ASSERT_TRUE(session_->SetUserContext("c").ok());
+  std::vector<std::vector<std::string>> rows =
+      Rows("select starship from mission believed optimistically");
+  EXPECT_EQ(rows.size(), 4u);  // Figure 7 minus the surprise stories
+}
+
+TEST_F(MsqlTest, BelievedCautiously) {
+  ASSERT_TRUE(session_->SetUserContext("s").ok());
+  std::vector<std::vector<std::string>> rows = Rows(
+      "select objective from mission where starship = voyager "
+      "believed cautiously");
+  // Spying/s overrides Training/u at level s.
+  EXPECT_EQ(rows, (std::vector<std::vector<std::string>>{{"Spying"}}));
+}
+
+TEST_F(MsqlTest, Paper32QueryWithoutAnyDoubt) {
+  // The Section 3.2 query, verbatim in structure: starships spying on
+  // Mars in every belief mode.
+  ASSERT_TRUE(session_->SetUserContext("s").ok());
+  const char* sql = R"(
+    select starship from mission
+    where starship in (select starship from mission
+                       where destin = mars and objective = spying
+                       believed cautiously)
+      and starship in (select starship from mission
+                       where destin = mars and objective = spying
+                       believed firmly)
+      and starship in (select starship from mission
+                       where destin = mars and objective = spying
+                       believed optimistically)
+  )";
+  std::vector<std::vector<std::string>> rows = Rows(sql);
+  EXPECT_EQ(rows, (std::vector<std::vector<std::string>>{{"Voyager"}}));
+}
+
+TEST_F(MsqlTest, Paper32QueryAsIntersect) {
+  ASSERT_TRUE(session_->SetUserContext("s").ok());
+  const char* sql = R"(
+    select starship from mission
+    where destin = mars and objective = spying believed cautiously
+    intersect
+    select starship from mission
+    where destin = mars and objective = spying believed firmly
+    intersect
+    select starship from mission
+    where destin = mars and objective = spying believed optimistically
+  )";
+  std::vector<std::vector<std::string>> rows = Rows(sql);
+  EXPECT_EQ(rows, (std::vector<std::vector<std::string>>{{"Voyager"}}));
+}
+
+TEST_F(MsqlTest, AtLevelCTheSpyIsInvisible) {
+  // The same query at level c is empty - t3 sits above c.
+  ASSERT_TRUE(session_->SetUserContext("c").ok());
+  std::vector<std::vector<std::string>> rows = Rows(
+      "select starship from mission where objective = spying "
+      "believed optimistically");
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST_F(MsqlTest, UnionAndExcept) {
+  ASSERT_TRUE(session_->SetUserContext("u").ok());
+  std::vector<std::vector<std::string>> rows = Rows(R"(
+    select starship from mission where destin = mars
+    union
+    select starship from mission where destin = venus
+  )");
+  EXPECT_EQ(rows, (std::vector<std::vector<std::string>>{{"Falcon"},
+                                                         {"Voyager"}}));
+  rows = Rows(R"(
+    select starship from mission
+    except
+    select starship from mission where destin = mars
+  )");
+  EXPECT_EQ(rows.size(), 4u);
+}
+
+TEST_F(MsqlTest, AndOrNotPrecedence) {
+  ASSERT_TRUE(session_->SetUserContext("u").ok());
+  std::vector<std::vector<std::string>> rows = Rows(
+      "select starship from mission "
+      "where destin = mars or destin = venus and objective = piracy");
+  // AND binds tighter: mars OR (venus AND piracy).
+  EXPECT_EQ(rows, (std::vector<std::vector<std::string>>{{"Falcon"},
+                                                         {"Voyager"}}));
+  rows = Rows(
+      "select starship from mission where not (destin = mars)");
+  EXPECT_EQ(rows.size(), 4u);
+}
+
+TEST_F(MsqlTest, ComparisonOperators) {
+  ASSERT_TRUE(session_->SetUserContext("u").ok());
+  std::vector<std::vector<std::string>> rows = Rows(
+      "select starship from mission where starship <> eagle");
+  EXPECT_EQ(rows.size(), 4u);
+  rows = Rows("select starship from mission where starship < eagle");
+  EXPECT_EQ(rows, (std::vector<std::vector<std::string>>{{"Atlantis"}}));
+}
+
+TEST_F(MsqlTest, ProjectionErrors) {
+  ASSERT_TRUE(session_->SetUserContext("u").ok());
+  Result<ResultSet> r =
+      session_->Execute("select nosuch from mission");
+  EXPECT_TRUE(r.status().IsNotFound());
+  r = session_->Execute("select * from nosuchrel");
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST_F(MsqlTest, ParseErrors) {
+  EXPECT_TRUE(ParseStatement("selec * from t").status().IsParseError());
+  EXPECT_TRUE(ParseStatement("select from t").status().IsParseError());
+  EXPECT_TRUE(
+      ParseStatement("select a from t where").status().IsParseError());
+  EXPECT_TRUE(ParseStatement("user context").status().IsParseError());
+  EXPECT_TRUE(ParseStatement("select a from t extra").status()
+                  .IsParseError());
+}
+
+TEST_F(MsqlTest, UserDefinedModeThroughRegistry) {
+  mls::BeliefModeRegistry registry;
+  ASSERT_TRUE(registry
+                  .Register("skeptical",
+                            [](const mls::Relation& r, const std::string&)
+                                -> Result<std::vector<mls::Tuple>> {
+                              (void)r;
+                              return std::vector<mls::Tuple>{};
+                            })
+                  .ok());
+  Session session(&registry);
+  ASSERT_TRUE(session.RegisterRelation("mission", ds_.mission.get()).ok());
+  ASSERT_TRUE(session.SetUserContext("s").ok());
+  Result<ResultSet> r =
+      session.Execute("select * from mission believed skeptical");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->rows.empty());
+  EXPECT_TRUE(session.Execute("select * from mission believed nosuch")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(MsqlTest, CountStar) {
+  ASSERT_TRUE(session_->SetUserContext("u").ok());
+  std::vector<std::vector<std::string>> rows =
+      Rows("select count(*) from mission");
+  EXPECT_EQ(rows, (std::vector<std::vector<std::string>>{{"5"}}));
+  rows = Rows("select count(*) from mission where destin = venus");
+  EXPECT_EQ(rows, (std::vector<std::vector<std::string>>{{"1"}}));
+  ASSERT_TRUE(session_->SetUserContext("s").ok());
+  rows = Rows("select count(*) from mission believed firmly");
+  EXPECT_EQ(rows, (std::vector<std::vector<std::string>>{{"5"}}));
+  // COUNT counts tuples pre-projection (no dedup collapse).
+  EXPECT_TRUE(
+      session_->Execute("select count(* from mission").status().IsParseError());
+}
+
+TEST_F(MsqlTest, SetOpArityMismatchRejected) {
+  ASSERT_TRUE(session_->SetUserContext("u").ok());
+  Result<ResultSet> r = session_->Execute(
+      "select starship from mission union select starship, destin from "
+      "mission");
+  EXPECT_TRUE(r.status().IsInvalidArgument()) << r.status();
+}
+
+TEST_F(MsqlTest, UnknownContextLevelFailsAtQueryTime) {
+  ASSERT_TRUE(session_->SetUserContext("warp9").ok());  // validated lazily
+  Result<ResultSet> r = session_->Execute("select * from mission");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound()) << r.status();
+}
+
+TEST_F(MsqlTest, NestedSubqueriesWithDifferentModes) {
+  ASSERT_TRUE(session_->SetUserContext("s").ok());
+  std::vector<std::vector<std::string>> rows = Rows(R"(
+    select starship from mission
+    where starship in (select starship from mission
+                       where starship in (select starship from mission
+                                          where destin = mars
+                                          believed firmly)
+                       believed cautiously)
+  )");
+  EXPECT_EQ(rows, (std::vector<std::vector<std::string>>{{"Voyager"}}));
+}
+
+TEST_F(MsqlTest, ParenthesizedSetExpressions) {
+  ASSERT_TRUE(session_->SetUserContext("u").ok());
+  std::vector<std::vector<std::string>> rows = Rows(R"(
+    (select starship from mission where destin = mars
+     union
+     select starship from mission where destin = venus)
+    except
+    select starship from mission where starship = falcon
+  )");
+  EXPECT_EQ(rows, (std::vector<std::vector<std::string>>{{"Voyager"}}));
+}
+
+TEST_F(MsqlTest, ResultSetToString) {
+  ASSERT_TRUE(session_->SetUserContext("u").ok());
+  Result<ResultSet> r = session_->Execute(
+      "select starship from mission where destin = mars");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r->ToString().find("Voyager"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace multilog::msql

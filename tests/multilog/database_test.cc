@@ -1,0 +1,171 @@
+#include "multilog/database.h"
+
+#include <gtest/gtest.h>
+
+#include "multilog/parser.h"
+
+namespace multilog::ml {
+namespace {
+
+Result<CheckedDatabase> Check(std::string_view src,
+                              bool require_consistency = false) {
+  Result<Database> db = ParseMultiLog(src);
+  if (!db.ok()) return db.status();
+  return CheckDatabase(std::move(*db), require_consistency);
+}
+
+TEST(DatabaseTest, ExtractsLatticeFromFacts) {
+  Result<CheckedDatabase> cdb = Check(R"(
+    level(u). level(c). level(s).
+    order(u, c). order(c, s).
+  )");
+  ASSERT_TRUE(cdb.ok()) << cdb.status();
+  EXPECT_EQ(cdb->lattice.size(), 3u);
+  EXPECT_TRUE(cdb->lattice.Leq("u", "s").value_or(false));
+}
+
+TEST(DatabaseTest, LambdaMayUseRules) {
+  // Derived levels: Lambda clauses may have (Lambda-only) bodies.
+  Result<CheckedDatabase> cdb = Check(R"(
+    level(u). level(c).
+    order(u, c).
+    level(s) :- level(c).
+    order(c, s) :- level(s).
+  )");
+  ASSERT_TRUE(cdb.ok()) << cdb.status();
+  EXPECT_EQ(cdb->lattice.size(), 3u);
+  EXPECT_TRUE(cdb->lattice.Leq("u", "s").value_or(false));
+}
+
+TEST(DatabaseTest, LambdaDependingOnPiRejected) {
+  Result<CheckedDatabase> cdb = Check(R"(
+    q(x).
+    level(u) :- q(x).
+  )");
+  ASSERT_FALSE(cdb.ok());
+  EXPECT_TRUE(cdb.status().IsInvalidProgram());
+}
+
+TEST(DatabaseTest, CyclicOrderRejected) {
+  Result<CheckedDatabase> cdb = Check(R"(
+    level(a). level(b).
+    order(a, b). order(b, a).
+  )");
+  ASSERT_FALSE(cdb.ok());
+  EXPECT_TRUE(cdb.status().IsInvalidProgram());
+}
+
+TEST(DatabaseTest, UndeclaredLabelInSigmaRejected) {
+  Result<CheckedDatabase> cdb = Check(R"(
+    level(u).
+    s[p(k : a -u-> v)].
+  )");
+  ASSERT_FALSE(cdb.ok());
+  EXPECT_NE(cdb.status().message().find("'s'"), std::string::npos)
+      << cdb.status();
+}
+
+TEST(DatabaseTest, UndeclaredClassificationRejected) {
+  Result<CheckedDatabase> cdb = Check(R"(
+    level(u).
+    u[p(k : a -s-> v)].
+  )");
+  ASSERT_FALSE(cdb.ok());
+}
+
+TEST(DatabaseTest, OrderEndpointMustBeDeclared) {
+  Result<CheckedDatabase> cdb = Check("level(u). order(u, c).");
+  ASSERT_FALSE(cdb.ok());
+}
+
+TEST(DatabaseTest, ConsistentMolecularFactsPass) {
+  Result<CheckedDatabase> cdb = Check(R"(
+    level(u). level(s). order(u, s).
+    s[m(k1 : key -u-> k1, val -s-> a)].
+    u[m(k2 : key -u-> k2, val -u-> b)].
+  )",
+                                      /*require_consistency=*/true);
+  EXPECT_TRUE(cdb.ok()) << cdb.status();
+}
+
+TEST(DatabaseTest, MissingKeyCellRejected) {
+  Result<CheckedDatabase> cdb = Check(R"(
+    level(u).
+    u[m(k1 : val -u-> a)].
+  )",
+                                      /*require_consistency=*/true);
+  ASSERT_FALSE(cdb.ok());
+  EXPECT_TRUE(cdb.status().IsIntegrityViolation());
+}
+
+TEST(DatabaseTest, EntityIntegrityOnFacts) {
+  // The value classification u sits below the key classification s.
+  Result<CheckedDatabase> cdb = Check(R"(
+    level(u). level(s). order(u, s).
+    s[m(k1 : key -s-> k1, val -u-> a)].
+  )",
+                                      /*require_consistency=*/true);
+  ASSERT_FALSE(cdb.ok());
+  EXPECT_TRUE(cdb.status().IsIntegrityViolation());
+}
+
+TEST(DatabaseTest, NullIntegrityOnFacts) {
+  Result<CheckedDatabase> cdb = Check(R"(
+    level(u). level(s). order(u, s).
+    s[m(k1 : key -u-> k1, val -s-> null)].
+  )",
+                                      /*require_consistency=*/true);
+  ASSERT_FALSE(cdb.ok());
+  EXPECT_TRUE(cdb.status().IsIntegrityViolation());
+}
+
+TEST(DatabaseTest, NullAtKeyClassOk) {
+  Result<CheckedDatabase> cdb = Check(R"(
+    level(u). level(s). order(u, s).
+    s[m(k1 : key -u-> k1, val -u-> null)].
+  )",
+                                      /*require_consistency=*/true);
+  EXPECT_TRUE(cdb.ok()) << cdb.status();
+}
+
+TEST(DatabaseTest, PolyinstantiationIntegrityOnFacts) {
+  // Same key, key class, and value class but different values.
+  Result<CheckedDatabase> cdb = Check(R"(
+    level(u). level(s). order(u, s).
+    s[m(k1 : key -u-> k1, val -s-> a)].
+    s[m(k1 : key -u-> k1, val -s-> b)].
+  )",
+                                      /*require_consistency=*/true);
+  ASSERT_FALSE(cdb.ok());
+  EXPECT_TRUE(cdb.status().IsIntegrityViolation());
+}
+
+TEST(DatabaseTest, PolyinstantiationAcrossKeyClassesOk) {
+  // Distinct key classifications keep the FD intact (Figure 1's t4/t5).
+  Result<CheckedDatabase> cdb = Check(R"(
+    level(u). level(c). level(s). order(u, c). order(c, s).
+    s[m(k1 : key -u-> k1, val -s-> a)].
+    s[m(k1 : key -c-> k1, val -s-> b)].
+  )",
+                                      /*require_consistency=*/true);
+  EXPECT_TRUE(cdb.ok()) << cdb.status();
+}
+
+TEST(DatabaseTest, ConsistencyIsOptional) {
+  // D1-style abstract databases without key cells pass when consistency
+  // is not required (the paper's own Figure 10 example).
+  Result<CheckedDatabase> cdb = Check(R"(
+    level(u).
+    u[m(k1 : val -u-> a)].
+  )");
+  EXPECT_TRUE(cdb.ok()) << cdb.status();
+}
+
+TEST(DatabaseTest, EmptyDatabase) {
+  Result<CheckedDatabase> cdb = Check("");
+  ASSERT_TRUE(cdb.ok()) << cdb.status();
+  EXPECT_EQ(cdb->lattice.size(), 0u);
+}
+
+}  // namespace
+}  // namespace multilog::ml

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <string>
+
+#include "datalog/eval.h"
+#include "datalog/parser.h"
+#include "multilog/engine.h"
+
+namespace multilog::ml {
+namespace {
+
+/// A random *positive* Datalog program (MultiLog's definite fragment has
+/// no negation), deterministic in `seed`.
+std::string RandomDatalog(unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> node_count(3, 6);
+  std::uniform_int_distribution<int> edge_count(3, 9);
+  const int nodes = node_count(rng);
+  std::uniform_int_distribution<int> node_pick(0, nodes - 1);
+  auto node = [&](int i) { return "n" + std::to_string(i); };
+
+  std::string src;
+  for (int i = 0; i < nodes; ++i) src += "node(" + node(i) + ").\n";
+  const int edges = edge_count(rng);
+  for (int i = 0; i < edges; ++i) {
+    src += "edge(" + node(node_pick(rng)) + ", " + node(node_pick(rng)) +
+           ").\n";
+  }
+  src += "reach(X, Y) :- edge(X, Y).\n";
+  src += "reach(X, Y) :- edge(X, Z), reach(Z, Y).\n";
+  src += "looped(X) :- reach(X, X).\n";
+  src += "pal(X, Y) :- reach(X, Y), reach(Y, X).\n";
+  return src;
+}
+
+class DatalogSpecialCaseTest : public ::testing::TestWithParam<unsigned> {};
+
+// Proposition 6.1: a MultiLog database with empty Lambda and Sigma and a
+// pure Datalog Pi behaves exactly like Datalog - both through the
+// operational proof system and through the reduction - at any session
+// level (here a nominal `system` level, since a session needs a level to
+// exist).
+TEST_P(DatalogSpecialCaseTest, MultiLogDegeneratesToDatalog) {
+  const std::string datalog_src = RandomDatalog(GetParam());
+  const std::string ml_src = "level(system).\n" + datalog_src;
+
+  // Plain Datalog semantics.
+  Result<datalog::ParsedProgram> parsed = datalog::ParseDatalog(datalog_src);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  Result<datalog::Model> model = datalog::Evaluate(parsed->program);
+  ASSERT_TRUE(model.ok()) << model.status();
+
+  // MultiLog engine.
+  Result<Engine> engine = Engine::FromSource(ml_src);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  for (const char* goal_text :
+       {"reach(X, Y)", "looped(X)", "pal(X, Y)", "edge(X, Y)", "node(X)"}) {
+    Result<std::vector<datalog::Literal>> goal =
+        datalog::ParseGoal(goal_text);
+    ASSERT_TRUE(goal.ok());
+    Result<std::vector<datalog::Substitution>> expected =
+        datalog::QueryModel(*model, *goal);
+    ASSERT_TRUE(expected.ok());
+
+    Result<QueryResult> got =
+        engine->QuerySource(goal_text, "system", ExecMode::kCheckBoth);
+    ASSERT_TRUE(got.ok()) << got.status() << "\ngoal " << goal_text << "\n"
+                          << datalog_src;
+
+    std::set<std::string> e, g;
+    for (const datalog::Substitution& s : *expected) e.insert(s.ToString());
+    for (const datalog::Substitution& s : got->answers) {
+      g.insert(s.ToString());
+    }
+    EXPECT_EQ(e, g) << "goal " << goal_text << "\n" << datalog_src;
+  }
+}
+
+// Datalog proofs through MultiLog use only the classical rules
+// (DEDUCTION-G, AND, EMPTY) - Proposition 6.1's proof-tree claim.
+TEST_P(DatalogSpecialCaseTest, ProofsUseOnlyClassicalRules) {
+  const std::string ml_src = "level(system).\n" + RandomDatalog(GetParam());
+  Result<Engine> engine = Engine::FromSource(ml_src);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  Result<QueryResult> r =
+      engine->QuerySource("reach(X, Y)", "system", ExecMode::kOperational);
+  ASSERT_TRUE(r.ok()) << r.status();
+  for (const ProofPtr& proof : r->proofs) {
+    for (const std::string& rule : ProofRules(*proof)) {
+      EXPECT_TRUE(rule == "deduction-g" || rule == "and" || rule == "empty")
+          << "non-classical rule in Datalog proof: " << rule;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, DatalogSpecialCaseTest,
+                         ::testing::Range(0u, 15u));
+
+}  // namespace
+}  // namespace multilog::ml

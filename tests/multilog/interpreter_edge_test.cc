@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "multilog/engine.h"
+#include "multilog/parser.h"
+
+namespace multilog::ml {
+namespace {
+
+std::vector<std::string> Answers(Result<QueryResult> r) {
+  std::vector<std::string> out;
+  if (!r.ok()) return {"error: " + r.status().ToString()};
+  for (const datalog::Substitution& s : r->answers) {
+    out.push_back(s.ToString());
+  }
+  return out;
+}
+
+constexpr const char* kBase = R"(
+  level(u). level(c). level(s). order(u, c). order(c, s).
+  u[ship(k1 : name -u-> falcon, dest -u-> venus)].
+  c[ship(k1 : name -u-> falcon, dest -c-> mars)].
+  s[ship(k2 : name -s-> ghost, dest -s-> pluto)].
+)";
+
+TEST(InterpreterEdgeTest, MoleculeQueriesAreConjunctions) {
+  Result<Engine> engine = Engine::FromSource(kBase);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  // The molecular goal requires both cells provable at the same (level,
+  // key); k1 at c qualifies via the two facts.
+  Result<QueryResult> r = engine->QuerySource(
+      "c[ship(K : name -C1-> N, dest -C2-> D)]", "c",
+      ExecMode::kCheckBoth);
+  EXPECT_EQ(Answers(std::move(r)),
+            std::vector<std::string>{"{C1=u, C2=c, D=mars, K=k1, N=falcon}"});
+}
+
+TEST(InterpreterEdgeTest, DontCareClassificationInQueries) {
+  // Section 7: don't-care levels present the illusion of a classical
+  // relation.
+  Result<Engine> engine = Engine::FromSource(kBase);
+  ASSERT_TRUE(engine.ok());
+  Result<QueryResult> r = engine->QuerySource(
+      "c[ship(k1 : dest -> D)]", "c", ExecMode::kCheckBoth);
+  EXPECT_EQ(Answers(std::move(r)), std::vector<std::string>{"{D=mars}"});
+}
+
+TEST(InterpreterEdgeTest, VariableLevelEnumerates) {
+  Result<Engine> engine = Engine::FromSource(kBase);
+  ASSERT_TRUE(engine.ok());
+  Result<QueryResult> r = engine->QuerySource(
+      "L[ship(k1 : dest -C-> D)]", "s", ExecMode::kCheckBoth);
+  EXPECT_EQ(Answers(std::move(r)),
+            (std::vector<std::string>{"{C=c, D=mars, L=c}",
+                                      "{C=u, D=venus, L=u}"}));
+}
+
+TEST(InterpreterEdgeTest, VariableModeEnumeratesBuiltins) {
+  Result<Engine> engine = Engine::FromSource(kBase);
+  ASSERT_TRUE(engine.ok());
+  // M ranges over the built-in modes in the operational semantics; the
+  // reduction derives bel facts for all three as well.
+  Result<QueryResult> r = engine->QuerySource(
+      "u[ship(k1 : dest -C-> D)] << M", "u", ExecMode::kCheckBoth);
+  std::vector<std::string> answers = Answers(std::move(r));
+  ASSERT_EQ(answers.size(), 3u);
+  EXPECT_NE(answers[0].find("M=cau"), std::string::npos);
+  EXPECT_NE(answers[1].find("M=fir"), std::string::npos);
+  EXPECT_NE(answers[2].find("M=opt"), std::string::npos);
+}
+
+TEST(InterpreterEdgeTest, CrossEntityConjunction) {
+  Result<Engine> engine = Engine::FromSource(kBase);
+  ASSERT_TRUE(engine.ok());
+  Result<QueryResult> r = engine->QuerySource(
+      "s[ship(K1 : dest -C1-> D)] << opt, s[ship(K2 : dest -C2-> D)] << opt",
+      "s", ExecMode::kCheckBoth);
+  ASSERT_TRUE(r.ok()) << r.status();
+  // Every entity pairs with itself on its own destination; no two
+  // entities share one.
+  for (const datalog::Substitution& s : r->answers) {
+    std::string text = s.ToString();
+    // K1 and K2 must coincide in every answer.
+    auto k1 = text.find("K1=k");
+    auto k2 = text.find("K2=k");
+    ASSERT_NE(k1, std::string::npos);
+    ASSERT_NE(k2, std::string::npos);
+    EXPECT_EQ(text[k1 + 4], text[k2 + 4]) << text;
+  }
+}
+
+TEST(InterpreterEdgeTest, SessionLevelCapsBeliefLevel) {
+  Result<Engine> engine = Engine::FromSource(kBase);
+  ASSERT_TRUE(engine.ok());
+  // Asking about s-level belief from a c session violates no-read-up.
+  Result<QueryResult> r = engine->QuerySource(
+      "s[ship(K : dest -C-> D)] << opt", "c", ExecMode::kCheckBoth);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->answers.empty());
+}
+
+TEST(InterpreterEdgeTest, EmptyDatabaseQueries) {
+  Result<Engine> engine = Engine::FromSource("level(u).");
+  ASSERT_TRUE(engine.ok());
+  Result<QueryResult> r = engine->QuerySource(
+      "u[ghost(K : a -C-> V)] << cau", "u", ExecMode::kCheckBoth);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->answers.empty());
+}
+
+TEST(InterpreterEdgeTest, UnknownSessionLevelFails) {
+  Result<Engine> engine = Engine::FromSource(kBase);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_FALSE(engine->QuerySource("q(X)", "zz").ok());
+}
+
+TEST(InterpreterEdgeTest, EnginesCacheModelsPerLevel) {
+  Result<Engine> engine = Engine::FromSource(kBase);
+  ASSERT_TRUE(engine.ok());
+  Result<const datalog::Model*> m1 = engine->ReducedModel("c");
+  Result<const datalog::Model*> m2 = engine->ReducedModel("c");
+  ASSERT_TRUE(m1.ok() && m2.ok());
+  EXPECT_EQ(*m1, *m2);  // same cached pointer
+  Result<Interpreter*> i1 = engine->OperationalInterpreter("c");
+  Result<Interpreter*> i2 = engine->OperationalInterpreter("c");
+  ASSERT_TRUE(i1.ok() && i2.ok());
+  EXPECT_EQ(*i1, *i2);
+}
+
+TEST(InterpreterEdgeTest, Example51EncodingParses) {
+  // The paper's Example 5.1, verbatim modulo concrete arrow syntax.
+  const char* src = R"(
+    level(u). level(c). level(s). order(u, c). order(c, s).
+    s[mission(avenger : starship -s-> avenger; objective -s-> shipping;
+              destination -s-> pluto)].
+  )";
+  Result<Engine> engine = Engine::FromSource(src);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  Result<QueryResult> r = engine->QuerySource(
+      "s[mission(avenger : objective -C-> O)] << fir", "s",
+      ExecMode::kCheckBoth);
+  EXPECT_EQ(Answers(std::move(r)),
+            std::vector<std::string>{"{C=s, O=shipping}"});
+}
+
+TEST(InterpreterEdgeTest, RecursivePClausesThroughMAtoms) {
+  // Pi recursion interleaved with Sigma: supply chains over m-atoms.
+  const char* src = R"(
+    level(u).
+    u[link(a : next -u-> b)].
+    u[link(b : next -u-> c)].
+    u[link(c : next -u-> d)].
+    reach(X, Y) :- u[link(X : next -C-> Y)].
+    reach(X, Y) :- u[link(X : next -C-> Z)], reach(Z, Y).
+  )";
+  Result<Engine> engine = Engine::FromSource(src);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  Result<QueryResult> r =
+      engine->QuerySource("reach(a, Y)", "u", ExecMode::kCheckBoth);
+  EXPECT_EQ(Answers(std::move(r)),
+            (std::vector<std::string>{"{Y=b}", "{Y=c}", "{Y=d}"}));
+}
+
+}  // namespace
+}  // namespace multilog::ml

@@ -1,0 +1,187 @@
+#include "multilog/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace multilog::ml {
+namespace {
+
+TEST(MlParserTest, LevelAndOrderFacts) {
+  Result<Database> db = ParseMultiLog("level(u). order(u, c). level(c).");
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->lambda.size(), 3u);
+  EXPECT_TRUE(db->sigma.empty());
+  EXPECT_TRUE(db->pi.empty());
+}
+
+TEST(MlParserTest, AtomicMFact) {
+  Result<Database> db = ParseMultiLog("u[p(k : a -u-> v)].");
+  ASSERT_TRUE(db.ok()) << db.status();
+  ASSERT_EQ(db->sigma.size(), 1u);
+  const auto& m = std::get<MAtom>(db->sigma[0].head);
+  EXPECT_EQ(m.level, Term::Sym("u"));
+  EXPECT_EQ(m.predicate, "p");
+  EXPECT_EQ(m.key, Term::Sym("k"));
+  ASSERT_EQ(m.cells.size(), 1u);
+  EXPECT_EQ(m.cells[0].attribute, "a");
+  EXPECT_EQ(m.cells[0].classification, Term::Sym("u"));
+  EXPECT_EQ(m.cells[0].value, Term::Sym("v"));
+}
+
+TEST(MlParserTest, MoleculeWithBothSeparators) {
+  // Example 5.1 uses ';' between cells; we also accept ','.
+  Result<Database> db = ParseMultiLog(
+      "s[mission(avenger : starship -s-> avenger; objective -s-> shipping, "
+      "destination -s-> pluto)].");
+  ASSERT_TRUE(db.ok()) << db.status();
+  const auto& m = std::get<MAtom>(db->sigma[0].head);
+  EXPECT_EQ(m.cells.size(), 3u);
+  EXPECT_EQ(m.Atomize().size(), 3u);
+}
+
+TEST(MlParserTest, VariableLevelAndClassification) {
+  Result<Database> db = ParseMultiLog("?- L[p(K : a -C-> V)] << cau.");
+  ASSERT_TRUE(db.ok()) << db.status();
+  ASSERT_EQ(db->queries.size(), 1u);
+  const auto& b = std::get<BAtom>(db->queries[0][0].atom);
+  EXPECT_TRUE(b.matom.level.IsVariable());
+  EXPECT_TRUE(b.matom.cells[0].classification.IsVariable());
+  EXPECT_EQ(b.mode, Term::Sym("cau"));
+}
+
+TEST(MlParserTest, DontCareClassification) {
+  Result<Database> db = ParseMultiLog("?- u[p(k : a -> V)].");
+  ASSERT_TRUE(db.ok()) << db.status();
+  const auto& m = std::get<MAtom>(db->queries[0][0].atom);
+  EXPECT_TRUE(m.cells[0].classification.IsVariable());
+}
+
+TEST(MlParserTest, RuleWithMixedBody) {
+  Result<Database> db = ParseMultiLog(
+      "s[p(k : a -u-> v)] :- c[p(k : a -c-> t)] << cau, q(j), level(s), "
+      "order(u, c).");
+  ASSERT_TRUE(db.ok()) << db.status();
+  ASSERT_EQ(db->sigma.size(), 1u);
+  const MlClause& clause = db->sigma[0];
+  ASSERT_EQ(clause.body.size(), 4u);
+  EXPECT_TRUE(std::holds_alternative<BAtom>(clause.body[0].atom));
+  EXPECT_TRUE(std::holds_alternative<PAtom>(clause.body[1].atom));
+  EXPECT_TRUE(std::holds_alternative<LAtom>(clause.body[2].atom));
+  EXPECT_TRUE(std::holds_alternative<HAtom>(clause.body[3].atom));
+}
+
+TEST(MlParserTest, ArrowAcceptsLeftArrowToo) {
+  Result<Database> db = ParseMultiLog("p(a) <- q(a).");
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->pi.size(), 1u);
+}
+
+TEST(MlParserTest, BAtomHeadRejected) {
+  Result<Database> db = ParseMultiLog("u[p(k : a -u-> v)] << cau :- q(j).");
+  EXPECT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsParseError());
+}
+
+TEST(MlParserTest, PClausesRouted) {
+  Result<Database> db = ParseMultiLog("q(j). r(X) :- q(X).");
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->pi.size(), 2u);
+}
+
+TEST(MlParserTest, CommentsAndWhitespace) {
+  Result<Database> db = ParseMultiLog(R"(
+    % Lambda
+    level(u).   // trailing comment
+    u[p(k : a -u-> v)].  % fact
+  )");
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->clause_count(), 2u);
+}
+
+TEST(MlParserTest, QuotedAndIntegerValues) {
+  Result<Database> db =
+      ParseMultiLog("u[p(k : a -u-> 'Hello World', b -u-> 42)].");
+  ASSERT_TRUE(db.ok()) << db.status();
+  const auto& m = std::get<MAtom>(db->sigma[0].head);
+  EXPECT_EQ(m.cells[0].value, Term::Sym("Hello World"));
+  EXPECT_EQ(m.cells[1].value, Term::Int(42));
+}
+
+TEST(MlParserTest, Errors) {
+  EXPECT_FALSE(ParseMultiLog("u[p(k : a -u-> v)]").ok());   // missing dot
+  EXPECT_FALSE(ParseMultiLog("u[p(k a -u-> v)].").ok());    // missing colon
+  EXPECT_FALSE(ParseMultiLog("u[p(k : a u-> v)].").ok());   // bad arrow
+  EXPECT_FALSE(ParseMultiLog("u[p(k : a -u-> )].").ok());   // missing value
+  EXPECT_FALSE(ParseMultiLog("3[p(k : a -u-> v)].").ok());  // numeric level
+  EXPECT_FALSE(ParseMultiLog("?- .").ok());                 // empty goal
+}
+
+TEST(MlParserTest, GoalParser) {
+  Result<std::vector<MlLiteral>> goal =
+      ParseMlGoal("?- c[p(k : a -R-> v)] << opt, q(X).");
+  ASSERT_TRUE(goal.ok()) << goal.status();
+  EXPECT_EQ(goal->size(), 2u);
+
+  // Also without the ?- prefix and the trailing dot.
+  goal = ParseMlGoal("q(X)");
+  ASSERT_TRUE(goal.ok());
+  EXPECT_EQ(goal->size(), 1u);
+}
+
+TEST(MlParserTest, RoundTripThroughToString) {
+  const char* src =
+      "s[p(k : a -u-> v)] :- c[p(k : a -c-> t)] << cau, q(j).";
+  Result<Database> db1 = ParseMultiLog(src);
+  ASSERT_TRUE(db1.ok());
+  Result<Database> db2 = ParseMultiLog(db1->ToString());
+  ASSERT_TRUE(db2.ok()) << db2.status() << "\n" << db1->ToString();
+  EXPECT_EQ(db1->ToString(), db2->ToString());
+}
+
+TEST(MlParserTest, ComparisonBuiltins) {
+  Result<Database> db = ParseMultiLog(
+      "rich(K) :- bal(K, N), N >= 100, N != 0, K < zzz, D = plus(N, 1).");
+  ASSERT_TRUE(db.ok()) << db.status();
+  const MlClause& clause = db->pi[0];
+  ASSERT_EQ(clause.body.size(), 5u);
+  EXPECT_TRUE(std::holds_alternative<CAtom>(clause.body[1].atom));
+  EXPECT_TRUE(std::holds_alternative<CAtom>(clause.body[2].atom));
+  EXPECT_TRUE(std::holds_alternative<CAtom>(clause.body[3].atom));
+  EXPECT_TRUE(std::holds_alternative<CAtom>(clause.body[4].atom));
+  EXPECT_EQ(std::get<CAtom>(clause.body[1].atom).op,
+            datalog::Comparison::kGe);
+
+  // '<-' stays a rule arrow and '<<' stays the belief operator.
+  EXPECT_TRUE(ParseMultiLog("p(a) <- q(a).").ok());
+  EXPECT_TRUE(
+      ParseMultiLog("level(u). ?- u[p(k : a -u-> v)] << cau.").ok());
+
+  // Comparisons cannot head clauses and cannot be negated.
+  EXPECT_FALSE(ParseMultiLog("X = 1 :- q(X).").ok());
+  EXPECT_FALSE(ParseMultiLog("p(X) :- q(X), not X = 1.").ok());
+}
+
+TEST(MlParserTest, ComparisonRoundTrip) {
+  const char* src = "rich(K) :- bal(K, N), N >= 100.";
+  Result<Database> db1 = ParseMultiLog(src);
+  ASSERT_TRUE(db1.ok());
+  Result<Database> db2 = ParseMultiLog(db1->ToString());
+  ASSERT_TRUE(db2.ok()) << db2.status() << "\n" << db1->ToString();
+  EXPECT_EQ(db1->ToString(), db2->ToString());
+}
+
+TEST(MlParserTest, ComponentRouting) {
+  Result<Database> db = ParseMultiLog(R"(
+    level(u). order(u, c). level(c).
+    u[p(k : a -u-> v)].
+    q(j).
+    ?- q(X).
+  )");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->lambda.size(), 3u);
+  EXPECT_EQ(db->sigma.size(), 1u);
+  EXPECT_EQ(db->pi.size(), 1u);
+  EXPECT_EQ(db->queries.size(), 1u);
+}
+
+}  // namespace
+}  // namespace multilog::ml

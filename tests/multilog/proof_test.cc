@@ -1,0 +1,73 @@
+#include "multilog/proof.h"
+
+#include <gtest/gtest.h>
+
+#include "mls/sample_data.h"
+#include "multilog/engine.h"
+
+namespace multilog::ml {
+namespace {
+
+TEST(ProofTest, LeafMetrics) {
+  ProofPtr leaf = MakeProof("empty", "[]");
+  EXPECT_EQ(ProofHeight(*leaf), 1u);
+  EXPECT_EQ(ProofSize(*leaf), 1u);
+  EXPECT_EQ(ProofRules(*leaf), std::vector<std::string>{"empty"});
+}
+
+TEST(ProofTest, NestedMetrics) {
+  ProofPtr leaf1 = MakeProof("empty", "[]");
+  ProofPtr leaf2 = MakeProof("reflexivity", "u <= u");
+  ProofPtr mid = MakeProof("deduction-g", "|- q(j)", {leaf1});
+  ProofPtr root = MakeProof("deduction-g'", "|- u[p(...)]", {mid, leaf2});
+  EXPECT_EQ(ProofHeight(*root), 3u);
+  EXPECT_EQ(ProofSize(*root), 4u);
+  EXPECT_EQ(ProofRules(*root),
+            (std::vector<std::string>{"deduction-g", "deduction-g'", "empty",
+                                      "reflexivity"}));
+}
+
+TEST(ProofTest, SharedSubtreesCountTwice) {
+  ProofPtr leaf = MakeProof("empty", "[]");
+  ProofPtr root = MakeProof("and", "goal", {leaf, leaf});
+  EXPECT_EQ(ProofSize(*root), 3u);  // tree reading duplicates the leaf
+}
+
+TEST(ProofTest, RenderIndentsPremises) {
+  ProofPtr leaf = MakeProof("empty", "[]");
+  ProofPtr root = MakeProof("belief", "|- b", {leaf});
+  std::string text = RenderProof(*root);
+  EXPECT_EQ(text, "(belief) |- b\n  (empty) []\n");
+}
+
+TEST(ProofTest, DotExport) {
+  ProofPtr leaf = MakeProof("empty", "[]");
+  ProofPtr root = MakeProof("belief", "|- b \"quoted\"", {leaf});
+  std::string dot = ProofToDot(*root);
+  EXPECT_NE(dot.find("digraph proof"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("\\\"quoted\\\""), std::string::npos) << dot;
+}
+
+TEST(ProofTest, Figure11ProofRendersAllStages) {
+  // The full D1/r10 proof of Figure 11, rendered.
+  Result<Engine> engine = Engine::FromSource(mls::D1Source());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  Result<QueryResult> r = engine->QuerySource("c[p(k : a -R-> v)] << opt",
+                                              "c", ExecMode::kOperational);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->proofs.size(), 1u);
+  std::string text = RenderProof(*r->proofs[0]);
+  // The rendered proof shows the belief dispatch, the optimistic descent
+  // to level u, the m-atom deduction, and the dominance side conditions.
+  EXPECT_NE(text.find("(belief)"), std::string::npos) << text;
+  EXPECT_NE(text.find("(descend-o)"), std::string::npos) << text;
+  EXPECT_NE(text.find("(deduction-g')"), std::string::npos) << text;
+  EXPECT_NE(text.find("u <= c"), std::string::npos) << text;
+  // Height and size are the paper's proof metrics.
+  EXPECT_GE(ProofHeight(*r->proofs[0]), 3u);
+  EXPECT_GE(ProofSize(*r->proofs[0]), 4u);
+}
+
+}  // namespace
+}  // namespace multilog::ml

@@ -1,0 +1,191 @@
+#include "multilog/reduction.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/eval.h"
+#include "datalog/stratify.h"
+#include "mls/sample_data.h"
+#include "multilog/parser.h"
+
+namespace multilog::ml {
+namespace {
+
+Result<CheckedDatabase> Check(std::string_view src) {
+  Result<Database> db = ParseMultiLog(src);
+  if (!db.ok()) return db.status();
+  return CheckDatabase(std::move(*db));
+}
+
+TEST(ReductionTest, EngineAxiomsAreSafeAndStratified) {
+  datalog::Program axioms = EngineAxioms();
+  EXPECT_TRUE(axioms.CheckSafety().ok());
+  Result<datalog::Stratification> strat = datalog::Stratify(axioms);
+  ASSERT_TRUE(strat.ok()) << strat.status();
+  // dominate/order/level below vis, overridden below bel(cau).
+  EXPECT_GE(strat->num_strata(), 2u);
+}
+
+TEST(ReductionTest, EngineAxiomsContainFigure12Rules) {
+  std::string text = EngineAxioms().ToString();
+  EXPECT_NE(text.find("dominate(X, X) :- level(X)."), std::string::npos);
+  EXPECT_NE(text.find("dominate(X, Y) :- order(X, Y)."), std::string::npos);
+  EXPECT_NE(text.find("fir"), std::string::npos);
+  EXPECT_NE(text.find("opt"), std::string::npos);
+  EXPECT_NE(text.find("cau"), std::string::npos);
+  EXPECT_NE(text.find("not overridden"), std::string::npos);
+}
+
+TEST(ReductionTest, MAtomTranslation) {
+  Result<CheckedDatabase> cdb = Check(R"(
+    level(u).
+    u[p(k : a -u-> v)].
+  )");
+  ASSERT_TRUE(cdb.ok()) << cdb.status();
+  Result<ReducedProgram> rp = Reduce(*cdb, "u");
+  ASSERT_TRUE(rp.ok()) << rp.status();
+  EXPECT_FALSE(rp->specialized);
+  EXPECT_NE(rp->display.ToString().find("rel(p, k, a, v, u, u)."),
+            std::string::npos)
+      << rp->display.ToString();
+}
+
+TEST(ReductionTest, BodyAtomsGetSessionGuards) {
+  Result<CheckedDatabase> cdb = Check(R"(
+    level(u). level(c). order(u, c).
+    u[p(k : a -u-> v)].
+    q(X) :- u[p(k : a -u-> X)].
+  )");
+  ASSERT_TRUE(cdb.ok()) << cdb.status();
+  Result<ReducedProgram> rp = Reduce(*cdb, "c");
+  ASSERT_TRUE(rp.ok());
+  std::string text = rp->display.ToString();
+  EXPECT_NE(text.find("q(X) :- rel(p, k, a, X, u, u), dominate(u, c), "
+                      "dominate(u, c)."),
+            std::string::npos)
+      << text;
+}
+
+TEST(ReductionTest, MoleculeExpandsToAtomicConjunction) {
+  Result<CheckedDatabase> cdb = Check(R"(
+    level(u).
+    u[p(k : a -u-> v, b -u-> w)].
+  )");
+  ASSERT_TRUE(cdb.ok());
+  Result<ReducedProgram> rp = Reduce(*cdb, "u");
+  ASSERT_TRUE(rp.ok());
+  // Two head atoms, one clause each.
+  std::string text = rp->display.ToString();
+  EXPECT_NE(text.find("rel(p, k, a, v, u, u)."), std::string::npos);
+  EXPECT_NE(text.find("rel(p, k, b, w, u, u)."), std::string::npos);
+}
+
+TEST(ReductionTest, SpecializationTriggersOnBAtomBodies) {
+  Result<CheckedDatabase> cdb = Check(mls::D1Source());
+  ASSERT_TRUE(cdb.ok()) << cdb.status();
+  Result<ReducedProgram> rp = Reduce(*cdb, "s");
+  ASSERT_TRUE(rp.ok()) << rp.status();
+  EXPECT_TRUE(rp->specialized);
+  // The generic display program does NOT stratify (recursion through
+  // negation via r8)...
+  EXPECT_FALSE(datalog::Stratify(rp->display).ok());
+  // ...but the specialized executable program does, and evaluates.
+  Result<datalog::Stratification> strat = datalog::Stratify(rp->program);
+  EXPECT_TRUE(strat.ok()) << strat.status();
+  Result<datalog::Model> model = datalog::Evaluate(rp->program);
+  EXPECT_TRUE(model.ok()) << model.status();
+}
+
+TEST(ReductionTest, SpecializationCanBeForced) {
+  Result<CheckedDatabase> cdb = Check(R"(
+    level(u).
+    u[p(k : a -u-> v)].
+  )");
+  ASSERT_TRUE(cdb.ok());
+  ReductionOptions options;
+  options.specialization = ReductionOptions::Specialization::kAlways;
+  Result<ReducedProgram> rp = Reduce(*cdb, "u", options);
+  ASSERT_TRUE(rp.ok());
+  EXPECT_TRUE(rp->specialized);
+  EXPECT_NE(rp->program.ToString().find("rel__u"), std::string::npos);
+
+  // Both forms evaluate to models with the same u-level fact.
+  Result<datalog::Model> m = datalog::Evaluate(rp->program);
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->FactsFor("rel__u/5").size(), 1u);
+}
+
+TEST(ReductionTest, ReservedPredicatesRejected) {
+  for (const char* bad :
+       {"rel(a, b, c, d, e, f).", "dominate(u, c).", "vis(a, b, c, d, e, f).",
+        "overridden(a, b, c, d, e).", "sdom(a, b)."}) {
+    Result<CheckedDatabase> cdb = Check(std::string("level(u).\n") + bad);
+    ASSERT_TRUE(cdb.ok()) << bad;
+    Result<ReducedProgram> rp = Reduce(*cdb, "u");
+    EXPECT_FALSE(rp.ok()) << "should reject: " << bad;
+  }
+}
+
+TEST(ReductionTest, UserBelClausesAllowed) {
+  // bel/7 is the documented exception: user-defined belief modes.
+  Result<CheckedDatabase> cdb = Check(R"(
+    level(u).
+    u[p(k : a -u-> v)].
+    bel(P, K, A, V, C, L, mymode) :- rel(P, K, A, V, C, L).
+  )");
+  ASSERT_TRUE(cdb.ok()) << cdb.status();
+  Result<ReducedProgram> rp = Reduce(*cdb, "u");
+  EXPECT_TRUE(rp.ok()) << rp.status();
+}
+
+TEST(ReductionTest, UnknownUserLevelRejected) {
+  Result<CheckedDatabase> cdb = Check("level(u).");
+  ASSERT_TRUE(cdb.ok());
+  EXPECT_FALSE(Reduce(*cdb, "zz").ok());
+}
+
+TEST(ReductionTest, ReducedModelComputesBeliefFacts) {
+  Result<CheckedDatabase> cdb = Check(R"(
+    level(u). level(c). order(u, c).
+    u[p(k : a -u-> v)].
+    c[p(k : a -c-> w)].
+  )");
+  ASSERT_TRUE(cdb.ok());
+  Result<ReducedProgram> rp = Reduce(*cdb, "c");
+  ASSERT_TRUE(rp.ok());
+  Result<datalog::Model> m = datalog::Evaluate(rp->program);
+  ASSERT_TRUE(m.ok()) << m.status();
+
+  using datalog::Atom;
+  using datalog::Term;
+  auto bel = [](const char* value, const char* cls, const char* level,
+                const char* mode) {
+    return Atom("bel", {Term::Sym("p"), Term::Sym("k"), Term::Sym("a"),
+                        Term::Sym(value), Term::Sym(cls), Term::Sym(level),
+                        Term::Sym(mode)});
+  };
+  // Firm at c sees only the c fact; optimistic at c sees both; cautious
+  // at c keeps only the c-classified cell (it overrides u).
+  EXPECT_TRUE(m->Contains(bel("w", "c", "c", "fir")));
+  EXPECT_FALSE(m->Contains(bel("v", "u", "c", "fir")));
+  EXPECT_TRUE(m->Contains(bel("v", "u", "c", "opt")));
+  EXPECT_TRUE(m->Contains(bel("w", "c", "c", "opt")));
+  EXPECT_TRUE(m->Contains(bel("w", "c", "c", "cau")));
+  EXPECT_FALSE(m->Contains(bel("v", "u", "c", "cau")));
+  // At level u, cautious keeps the u cell (nothing above is visible).
+  EXPECT_TRUE(m->Contains(bel("v", "u", "u", "cau")));
+}
+
+TEST(ReductionTest, TranslateGoalGenericAddsGuards) {
+  Result<std::vector<MlLiteral>> goal = ParseMlGoal("c[p(k : a -R-> v)] << opt");
+  ASSERT_TRUE(goal.ok());
+  Result<std::vector<datalog::Literal>> lits =
+      TranslateGoalGeneric(*goal, "c");
+  ASSERT_TRUE(lits.ok());
+  ASSERT_EQ(lits->size(), 3u);
+  EXPECT_EQ((*lits)[0].atom().predicate(), "bel");
+  EXPECT_EQ((*lits)[1].atom().predicate(), "dominate");
+  EXPECT_EQ((*lits)[2].atom().predicate(), "dominate");
+}
+
+}  // namespace
+}  // namespace multilog::ml
