@@ -13,6 +13,8 @@
 #include <cstdio>
 #include <random>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "datalog/eval.h"
 #include "datalog/magic.h"
@@ -159,6 +161,59 @@ BENCHMARK_CAPTURE(BM_JoinReordering, on, true)
 BENCHMARK_CAPTURE(BM_JoinReordering, off, false)
     ->RangeMultiplier(4)
     ->Range(16, 256);
+
+// Interning ablation: the primitive operation the Symbol refactor
+// targets, in isolation. Build an index over n two-column facts and
+// probe it n times - once keyed by the rendered "pred(a, b)" strings
+// (the pre-interning representation) and once by interned Term values
+// with integer hashing. The gap bounds how much of the engine speedup
+// is attributable to key representation alone.
+void BM_InternAblationStringKey(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<std::string> names;
+  for (int i = 0; i < n; ++i) names.push_back("n" + std::to_string(i));
+  for (auto _ : state) {
+    std::unordered_map<std::string, std::vector<size_t>> index;
+    for (int i = 0; i < n; ++i) {
+      index["edge(" + names[static_cast<size_t>(i)] + ", " +
+            names[static_cast<size_t>((i * 7 + 1) % n)] + ")"]
+          .push_back(static_cast<size_t>(i));
+    }
+    size_t hits = 0;
+    for (int i = 0; i < n; ++i) {
+      auto it = index.find("edge(" + names[static_cast<size_t>(i)] + ", " +
+                           names[static_cast<size_t>((i * 7 + 1) % n)] +
+                           ")");
+      if (it != index.end()) hits += it->second.size();
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+}
+
+void BM_InternAblationSymbolKey(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<Term> keys;
+  for (int i = 0; i < n; ++i) {
+    keys.push_back(Term::Fn(
+        "edge", {Term::Sym("n" + std::to_string(i)),
+                 Term::Sym("n" + std::to_string((i * 7 + 1) % n))}));
+  }
+  for (auto _ : state) {
+    std::unordered_map<Term, std::vector<size_t>, TermHash> index;
+    for (int i = 0; i < n; ++i) {
+      index[keys[static_cast<size_t>(i)]].push_back(static_cast<size_t>(i));
+    }
+    size_t hits = 0;
+    for (int i = 0; i < n; ++i) {
+      auto it = index.find(keys[static_cast<size_t>(i)]);
+      if (it != index.end()) hits += it->second.size();
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+}
+
+BENCHMARK(BM_InternAblationStringKey)->RangeMultiplier(4)->Range(256, 16384);
+BENCHMARK(BM_InternAblationSymbolKey)->RangeMultiplier(4)->Range(256, 16384);
 
 }  // namespace
 

@@ -1,0 +1,121 @@
+#ifndef MULTILOG_COMMON_SYMBOL_H_
+#define MULTILOG_COMMON_SYMBOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace multilog {
+
+/// A 32-bit handle to an interned string. Equality and hashing are
+/// integer operations; `str()` resolves against the global SymbolTable
+/// in O(1) without locking. Ordering (`operator<`) is *lexicographic*
+/// on the resolved text, so `std::set<Symbol>` / `std::map<Symbol, V>`
+/// iterate in exactly the order the string-keyed containers they
+/// replace did - the engine's deterministic output ordering depends on
+/// this.
+///
+/// Symbol ids are assigned in interning order and are stable for the
+/// lifetime of the process. Id 0 is always the empty string, so a
+/// default-constructed Symbol is valid.
+class Symbol {
+ public:
+  constexpr Symbol() = default;
+  constexpr explicit Symbol(uint32_t id) : id_(id) {}
+
+  /// Interns `text` (or finds its existing id).
+  static Symbol Intern(std::string_view text);
+
+  uint32_t id() const { return id_; }
+  bool empty() const { return id_ == 0; }
+
+  /// The interned text; the reference is stable for the process
+  /// lifetime (arena-backed).
+  const std::string& str() const;
+
+  bool operator==(Symbol other) const { return id_ == other.id_; }
+  bool operator!=(Symbol other) const { return id_ != other.id_; }
+
+  /// Lexicographic order on the resolved text (see class comment).
+  bool operator<(Symbol other) const {
+    return id_ != other.id_ && str() < other.str();
+  }
+
+  size_t Hash() const {
+    // Fibonacci scramble so sequential ids spread across buckets.
+    return static_cast<size_t>(id_) * 0x9e3779b97f4a7c15ULL;
+  }
+
+ private:
+  uint32_t id_ = 0;
+};
+
+struct SymbolHash {
+  size_t operator()(Symbol s) const { return s.Hash(); }
+};
+
+/// Process-wide intern table. Thread-safe: `Intern` takes a shared
+/// lock on the hit path (an exclusive lock only when inserting a new
+/// string); `NameOf` is lock-free - resolved strings live in
+/// fixed-size arena blocks whose addresses never move, published with
+/// release/acquire ordering.
+class SymbolTable {
+ public:
+  static SymbolTable& Global();
+
+  uint32_t Intern(std::string_view text);
+
+  /// Resolves an id previously returned by Intern. The reference is
+  /// stable for the lifetime of the process.
+  const std::string& NameOf(uint32_t id) const;
+
+  /// Number of distinct symbols interned so far (>= 1: id 0 is "").
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+ private:
+  SymbolTable();
+
+  static constexpr uint32_t kBlockBits = 12;  // 4096 strings per block
+  static constexpr uint32_t kBlockSize = 1u << kBlockBits;
+  static constexpr uint32_t kMaxBlocks = 1u << 12;  // ~16.7M symbols
+
+  struct Block {
+    std::string strings[kBlockSize];
+  };
+
+  /// Appends `text` under the exclusive lock; returns its new id.
+  uint32_t Append(std::string_view text);
+
+  std::atomic<Block*> blocks_[kMaxBlocks] = {};
+  std::atomic<uint32_t> size_{0};
+
+  mutable std::shared_mutex mu_;
+  /// Keys view into the arena blocks, so they stay valid forever.
+  std::unordered_map<std::string_view, uint32_t> ids_;
+};
+
+inline Symbol Symbol::Intern(std::string_view text) {
+  return Symbol(SymbolTable::Global().Intern(text));
+}
+
+inline const std::string& Symbol::str() const {
+  return SymbolTable::Global().NameOf(id_);
+}
+
+}  // namespace multilog
+
+namespace std {
+template <>
+struct hash<multilog::Symbol> {
+  size_t operator()(multilog::Symbol s) const { return s.Hash(); }
+};
+}  // namespace std
+
+#endif  // MULTILOG_COMMON_SYMBOL_H_

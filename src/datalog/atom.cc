@@ -1,8 +1,48 @@
 #include "datalog/atom.h"
 
 #include <functional>
+#include <ostream>
 
 namespace multilog::datalog {
+
+PredicateId::PredicateId(std::string_view text) {
+  size_t slash = text.rfind('/');
+  if (slash != std::string_view::npos && slash + 1 < text.size()) {
+    uint32_t parsed = 0;
+    bool numeric = true;
+    for (size_t i = slash + 1; i < text.size(); ++i) {
+      char c = text[i];
+      if (c < '0' || c > '9') {
+        numeric = false;
+        break;
+      }
+      parsed = parsed * 10 + static_cast<uint32_t>(c - '0');
+    }
+    if (numeric) {
+      name = Symbol::Intern(text.substr(0, slash));
+      arity = parsed;
+      return;
+    }
+  }
+  name = Symbol::Intern(text);
+  arity = 0;
+}
+
+std::string PredicateId::ToString() const {
+  return name.str() + "/" + std::to_string(arity);
+}
+
+bool PredicateId::operator<(const PredicateId& o) const {
+  if (name != o.name) return name.str() < o.name.str();
+  if (arity == o.arity) return false;
+  // The old representation compared "p/10" < "p/2" as strings; keep
+  // that order so sorted listings are byte-identical.
+  return std::to_string(arity) < std::to_string(o.arity);
+}
+
+std::ostream& operator<<(std::ostream& os, const PredicateId& id) {
+  return os << id.ToString();
+}
 
 bool Atom::IsGround() const {
   for (const Term& t : args_) {
@@ -11,13 +51,13 @@ bool Atom::IsGround() const {
   return true;
 }
 
-void Atom::CollectVariables(std::vector<std::string>* out) const {
+void Atom::CollectVariables(std::vector<Symbol>* out) const {
   for (const Term& t : args_) t.CollectVariables(out);
 }
 
 std::string Atom::ToString() const {
-  if (args_.empty()) return predicate_;
-  std::string out = predicate_ + "(";
+  if (args_.empty()) return predicate();
+  std::string out = predicate() + "(";
   for (size_t i = 0; i < args_.size(); ++i) {
     if (i > 0) out += ", ";
     out += args_[i].ToString();
@@ -27,7 +67,9 @@ std::string Atom::ToString() const {
 }
 
 bool Atom::operator<(const Atom& other) const {
-  if (predicate_ != other.predicate_) return predicate_ < other.predicate_;
+  if (predicate_ != other.predicate_) {
+    return predicate_ < other.predicate_;  // lexicographic via resolution
+  }
   if (args_.size() != other.args_.size()) {
     return args_.size() < other.args_.size();
   }
@@ -38,7 +80,7 @@ bool Atom::operator<(const Atom& other) const {
 }
 
 size_t Atom::Hash() const {
-  size_t h = std::hash<std::string>()(predicate_);
+  size_t h = predicate_.Hash();
   for (const Term& t : args_) {
     h ^= t.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
   }

@@ -1,6 +1,8 @@
 #ifndef MULTILOG_DATALOG_ATOM_H_
 #define MULTILOG_DATALOG_ATOM_H_
 
+#include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -8,25 +10,70 @@
 
 namespace multilog::datalog {
 
+/// The canonical predicate identifier "name/arity", packed as an
+/// interned symbol plus a 32-bit arity - 8 bytes, integer equality and
+/// hashing. Implicitly constructible from "p/3"-style strings so
+/// string-literal call sites (lookups, comparisons) keep working;
+/// `ToString()` re-renders the classic form. `operator<` matches the
+/// ordering of the old string representation ("p/10" < "p/2").
+struct PredicateId {
+  Symbol name;
+  uint32_t arity = 0;
+
+  PredicateId() = default;
+  PredicateId(Symbol name, uint32_t arity) : name(name), arity(arity) {}
+  /// Parses "p/3". Text without a "/arity" suffix becomes name/0.
+  PredicateId(std::string_view text);
+  PredicateId(const std::string& text)
+      : PredicateId(std::string_view(text)) {}
+  PredicateId(const char* text) : PredicateId(std::string_view(text)) {}
+
+  /// "p/3" - the classic rendering.
+  std::string ToString() const;
+
+  bool operator==(const PredicateId& o) const {
+    return name == o.name && arity == o.arity;
+  }
+  bool operator!=(const PredicateId& o) const { return !(*this == o); }
+  /// Lexicographic on the "p/3" rendering (so "p/10" < "p/2"), keeping
+  /// every ordered container's iteration order identical to the
+  /// string-keyed era.
+  bool operator<(const PredicateId& o) const;
+
+  size_t Hash() const {
+    return name.Hash() ^ (static_cast<size_t>(arity) * 0x9e3779b9u);
+  }
+};
+
+struct PredicateIdHash {
+  size_t operator()(const PredicateId& p) const { return p.Hash(); }
+};
+
+std::ostream& operator<<(std::ostream& os, const PredicateId& id);
+
 /// A predicate applied to terms: p(t1,...,tn). Predicates are identified
-/// by name and arity; p/2 and p/3 are distinct.
+/// by name and arity; p/2 and p/3 are distinct. The predicate name is
+/// interned; equality and hashing are integer operations.
 class Atom {
  public:
   Atom() = default;
-  Atom(std::string predicate, std::vector<Term> args)
-      : predicate_(std::move(predicate)), args_(std::move(args)) {}
+  Atom(std::string_view predicate, std::vector<Term> args)
+      : predicate_(Symbol::Intern(predicate)), args_(std::move(args)) {}
+  Atom(Symbol predicate, std::vector<Term> args)
+      : predicate_(predicate), args_(std::move(args)) {}
 
-  const std::string& predicate() const { return predicate_; }
+  const std::string& predicate() const { return predicate_.str(); }
+  Symbol predicate_symbol() const { return predicate_; }
   const std::vector<Term>& args() const { return args_; }
   size_t arity() const { return args_.size(); }
 
-  /// "p/3" — the canonical predicate identifier.
-  std::string PredicateId() const {
-    return predicate_ + "/" + std::to_string(args_.size());
+  /// The packed name/arity identifier (no string building).
+  datalog::PredicateId PredicateId() const {
+    return {predicate_, static_cast<uint32_t>(args_.size())};
   }
 
   bool IsGround() const;
-  void CollectVariables(std::vector<std::string>* out) const;
+  void CollectVariables(std::vector<Symbol>* out) const;
 
   std::string ToString() const;
 
@@ -39,7 +86,7 @@ class Atom {
   size_t Hash() const;
 
  private:
-  std::string predicate_;
+  Symbol predicate_;
   std::vector<Term> args_;
 };
 
@@ -71,7 +118,7 @@ class Literal {
   const Term& lhs() const { return atom_.args()[0]; }
   const Term& rhs() const { return atom_.args()[1]; }
 
-  void CollectVariables(std::vector<std::string>* out) const {
+  void CollectVariables(std::vector<Symbol>* out) const {
     atom_.CollectVariables(out);
   }
 

@@ -1,0 +1,57 @@
+#include "datalog/call_key.h"
+
+#include <functional>
+#include <unordered_map>
+
+namespace multilog::datalog {
+
+size_t CallKeyHash::operator()(const CallKey& key) const {
+  size_t h = 0x9e3779b97f4a7c15ULL;
+  for (uint64_t word : key.code) {
+    h ^= std::hash<uint64_t>()(word) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+  }
+  return h;
+}
+
+CallKey MakeCallKey(const Atom& pattern) {
+  // A tag in the upper bits, a symbol id / variable rank / payload
+  // below. Arities make the encoding unambiguous.
+  constexpr uint64_t kVarTag = 1ULL << 32;
+  constexpr uint64_t kSymTag = 2ULL << 32;
+  constexpr uint64_t kIntTag = 3ULL << 32;
+  constexpr uint64_t kFnTag = 4ULL << 32;
+
+  std::unordered_map<Symbol, uint32_t> renaming;
+  CallKey key;
+  key.code.reserve(2 + pattern.arity());
+  key.code.push_back(pattern.PredicateId().name.id());
+  key.code.push_back(pattern.arity());
+  std::function<void(const Term&)> visit = [&](const Term& t) {
+    switch (t.kind()) {
+      case Term::Kind::kVariable: {
+        auto [it, inserted] = renaming.emplace(
+            t.symbol(), static_cast<uint32_t>(renaming.size()));
+        (void)inserted;
+        key.code.push_back(kVarTag | it->second);
+        return;
+      }
+      case Term::Kind::kSymbol:
+        key.code.push_back(kSymTag | t.symbol().id());
+        return;
+      case Term::Kind::kInt:
+        key.code.push_back(kIntTag);
+        key.code.push_back(static_cast<uint64_t>(t.int_value()));
+        return;
+      case Term::Kind::kCompound:
+        key.code.push_back(kFnTag | t.symbol().id());
+        key.code.push_back(t.args().size());
+        for (const Term& a : t.args()) visit(a);
+        return;
+    }
+  };
+  for (const Term& t : pattern.args()) visit(t);
+  return key;
+}
+
+}  // namespace multilog::datalog

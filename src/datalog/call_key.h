@@ -1,0 +1,29 @@
+#ifndef MULTILOG_DATALOG_CALL_KEY_H_
+#define MULTILOG_DATALOG_CALL_KEY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datalog/atom.h"
+
+namespace multilog::datalog {
+
+/// Canonical key for a tabled call pattern: predicate + args with
+/// variables alpha-renamed to v0, v1, ... in order of first occurrence,
+/// encoded as a flat sequence of tagged 64-bit words. Alpha-equivalent
+/// calls share a table, and no strings are built per call.
+struct CallKey {
+  std::vector<uint64_t> code;
+  bool operator==(const CallKey& other) const { return code == other.code; }
+};
+
+struct CallKeyHash {
+  size_t operator()(const CallKey& key) const;
+};
+
+/// Builds the key for `pattern`.
+CallKey MakeCallKey(const Atom& pattern);
+
+}  // namespace multilog::datalog
+
+#endif  // MULTILOG_DATALOG_CALL_KEY_H_

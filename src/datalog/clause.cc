@@ -30,10 +30,10 @@ Clause Clause::MakeAggregate(Atom head, std::vector<Literal> body,
 }
 
 Status Clause::CheckSafety() const {
-  std::unordered_set<std::string> bound;
+  std::unordered_set<Symbol> bound;
   for (const Literal& lit : body_) {
     if (!lit.is_builtin() && !lit.negated()) {
-      std::vector<std::string> vars;
+      std::vector<Symbol> vars;
       lit.CollectVariables(&vars);
       bound.insert(vars.begin(), vars.end());
     }
@@ -46,28 +46,27 @@ Status Clause::CheckSafety() const {
     changed = false;
     for (const Literal& lit : body_) {
       if (!lit.is_builtin() || lit.comparison() != Comparison::kEq) continue;
-      std::vector<std::string> lhs_vars, rhs_vars;
+      std::vector<Symbol> lhs_vars, rhs_vars;
       lit.lhs().CollectVariables(&lhs_vars);
       lit.rhs().CollectVariables(&rhs_vars);
-      auto all_bound = [&bound](const std::vector<std::string>& vars) {
-        return std::all_of(vars.begin(), vars.end(),
-                           [&bound](const std::string& v) {
-                             return bound.count(v) > 0;
-                           });
+      auto all_bound = [&bound](const std::vector<Symbol>& vars) {
+        return std::all_of(vars.begin(), vars.end(), [&bound](Symbol v) {
+          return bound.count(v) > 0;
+        });
       };
       if (all_bound(lhs_vars) && !all_bound(rhs_vars)) {
-        for (const std::string& v : rhs_vars) changed |= bound.insert(v).second;
+        for (Symbol v : rhs_vars) changed |= bound.insert(v).second;
       } else if (all_bound(rhs_vars) && !all_bound(lhs_vars)) {
-        for (const std::string& v : lhs_vars) changed |= bound.insert(v).second;
+        for (Symbol v : lhs_vars) changed |= bound.insert(v).second;
       }
     }
   }
 
-  auto check = [&bound](const std::vector<std::string>& vars,
+  auto check = [&bound](const std::vector<Symbol>& vars,
                         const std::string& where) -> Status {
-    for (const std::string& v : vars) {
+    for (Symbol v : vars) {
       if (!bound.count(v)) {
-        return Status::InvalidProgram("unsafe clause: variable '" + v +
+        return Status::InvalidProgram("unsafe clause: variable '" + v.str() +
                                       "' in " + where +
                                       " does not occur in any positive "
                                       "body literal");
@@ -76,7 +75,7 @@ Status Clause::CheckSafety() const {
     return Status::OK();
   };
 
-  std::vector<std::string> head_vars;
+  std::vector<Symbol> head_vars;
   if (is_aggregate_) {
     // The aggregate-position placeholder is produced by grouping, not by
     // the body; the aggregated term itself must be body-bound.
@@ -92,7 +91,7 @@ Status Clause::CheckSafety() const {
 
   for (const Literal& lit : body_) {
     if (lit.is_builtin() || lit.negated()) {
-      std::vector<std::string> vars;
+      std::vector<Symbol> vars;
       lit.CollectVariables(&vars);
       MULTILOG_RETURN_IF_ERROR(check(vars, "literal " + lit.ToString()));
     }

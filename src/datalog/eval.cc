@@ -81,21 +81,20 @@ Clause ReorderBody(const Clause& clause) {
   const std::vector<Literal>& body = clause.body();
   if (body.size() < 2) return clause;
 
-  std::unordered_set<std::string> bound;
+  std::unordered_set<Symbol> bound;
   std::vector<bool> used(body.size(), false);
   std::vector<Literal> ordered;
   ordered.reserve(body.size());
 
   auto vars_of = [](const Literal& lit) {
-    std::vector<std::string> vars;
+    std::vector<Symbol> vars;
     lit.CollectVariables(&vars);
     return vars;
   };
-  auto all_bound = [&bound](const std::vector<std::string>& vars) {
-    return std::all_of(vars.begin(), vars.end(),
-                       [&bound](const std::string& v) {
-                         return bound.count(v) > 0;
-                       });
+  auto all_bound = [&bound](const std::vector<Symbol>& vars) {
+    return std::all_of(vars.begin(), vars.end(), [&bound](Symbol v) {
+      return bound.count(v) > 0;
+    });
   };
 
   while (ordered.size() < body.size()) {
@@ -110,7 +109,7 @@ Clause ReorderBody(const Clause& clause) {
           (lit.is_builtin() && lit.comparison() != Comparison::kEq)) {
         if (all_bound(vars_of(lit))) pick = static_cast<int>(i);
       } else if (lit.is_builtin()) {  // kEq
-        std::vector<std::string> lhs_vars, rhs_vars;
+        std::vector<Symbol> lhs_vars, rhs_vars;
         lit.lhs().CollectVariables(&lhs_vars);
         lit.rhs().CollectVariables(&rhs_vars);
         if (all_bound(lhs_vars) || all_bound(rhs_vars)) {
@@ -129,7 +128,7 @@ Clause ReorderBody(const Clause& clause) {
         if (lit.is_builtin() || lit.negated()) continue;
         int score = 0;
         for (const Term& arg : lit.atom().args()) {
-          std::vector<std::string> vars;
+          std::vector<Symbol> vars;
           arg.CollectVariables(&vars);
           if (vars.empty() || all_bound(vars)) ++score;
         }
@@ -155,7 +154,7 @@ Clause ReorderBody(const Clause& clause) {
     const Literal& chosen = body[static_cast<size_t>(pick)];
     ordered.push_back(chosen);
     if (!chosen.negated()) {
-      std::vector<std::string> vars = vars_of(chosen);
+      std::vector<Symbol> vars = vars_of(chosen);
       bound.insert(vars.begin(), vars.end());
     }
   }
@@ -237,25 +236,26 @@ Status JoinBody(const std::vector<Literal>& body, size_t index,
   // Among the ground argument positions, use the most selective index
   // (fewest candidates); fall back to a full predicate scan when no
   // argument is bound.
+  const PredicateId pred = pattern.PredicateId();
   bool have_index = false;
-  std::vector<const Atom*> best;
+  FactSlice best;
   for (size_t pos = 0; pos < pattern.arity(); ++pos) {
     if (!pattern.args()[pos].IsConstant()) continue;
-    std::vector<const Atom*> candidates = model.FactsMatching(
-        pattern.PredicateId(), pos, pattern.args()[pos]);
+    FactSlice candidates =
+        model.FactsMatching(pred, pos, pattern.args()[pos]);
     if (!have_index || candidates.size() < best.size()) {
-      best = std::move(candidates);
+      best = candidates;
       have_index = true;
       if (best.empty()) break;
     }
   }
   if (have_index) {
-    for (const Atom* fact : best) {
-      MULTILOG_RETURN_IF_ERROR(try_fact(*fact));
+    for (const Atom& fact : best) {
+      MULTILOG_RETURN_IF_ERROR(try_fact(fact));
     }
     return Status::OK();
   }
-  for (const Atom& fact : model.FactsFor(pattern.PredicateId())) {
+  for (const Atom& fact : model.FactsFor(pred)) {
     MULTILOG_RETURN_IF_ERROR(try_fact(fact));
   }
   return Status::OK();
@@ -350,13 +350,16 @@ Status ApplyAggregateClause(const Clause& clause, const Model& model,
       }
     }
     if (stats != nullptr) ++stats->facts_derived;
-    derived->push_back(Atom(clause.head().predicate(), std::move(args)));
+    derived->push_back(
+        Atom(clause.head().predicate_symbol(), std::move(args)));
   }
   return Status::OK();
 }
 
+using PredicateIdSet = std::unordered_set<PredicateId, PredicateIdHash>;
+
 Status EvaluateStratumSeminaive(const std::vector<const Clause*>& clauses,
-                                const std::unordered_set<std::string>& stratum_preds,
+                                const PredicateIdSet& stratum_preds,
                                 const EvalOptions& options, Model* model,
                                 EvalStats* stats) {
   // Round 0: apply every clause against the current model.
@@ -465,8 +468,8 @@ Result<Model> Evaluate(const Program& program, const EvalOptions& options,
 
   Model model;
   for (size_t s = 0; s < strat.num_strata(); ++s) {
-    std::unordered_set<std::string> stratum_preds(strat.strata[s].begin(),
-                                                  strat.strata[s].end());
+    PredicateIdSet stratum_preds(strat.strata[s].begin(),
+                                 strat.strata[s].end());
     std::vector<const Clause*> clauses;
     for (const Clause& c : effective->clauses()) {
       if (stratum_preds.count(c.head().PredicateId())) clauses.push_back(&c);
@@ -484,7 +487,7 @@ Result<Model> Evaluate(const Program& program, const EvalOptions& options,
 
 Result<std::vector<Substitution>> QueryModel(
     const Model& model, const std::vector<Literal>& goal) {
-  std::vector<std::string> goal_vars;
+  std::vector<Symbol> goal_vars;
   for (const Literal& l : goal) l.CollectVariables(&goal_vars);
   std::sort(goal_vars.begin(), goal_vars.end());
   goal_vars.erase(std::unique(goal_vars.begin(), goal_vars.end()),
@@ -496,7 +499,7 @@ Result<std::vector<Substitution>> QueryModel(
       goal, 0, model, nullptr, -1, Substitution(),
       [&](const Substitution& subst) -> Status {
         Substitution restricted;
-        for (const std::string& v : goal_vars) {
+        for (Symbol v : goal_vars) {
           Term value = subst.Apply(Term::Var(v));
           if (!value.IsVariable()) restricted.Bind(v, value);
         }

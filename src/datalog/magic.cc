@@ -23,17 +23,15 @@ std::string MagicName(const std::string& pred,
 }
 
 /// True when every variable of `t` is in `bound` (constants trivially).
-bool TermBound(const Term& t, const std::set<std::string>& bound) {
-  std::vector<std::string> vars;
+bool TermBound(const Term& t, const std::set<Symbol>& bound) {
+  std::vector<Symbol> vars;
   t.CollectVariables(&vars);
   return std::all_of(vars.begin(), vars.end(),
-                     [&bound](const std::string& v) {
-                       return bound.count(v) > 0;
-                     });
+                     [&bound](Symbol v) { return bound.count(v) > 0; });
 }
 
 /// Binding pattern of `atom` under `bound`.
-std::string AdornmentOf(const Atom& atom, const std::set<std::string>& bound) {
+std::string AdornmentOf(const Atom& atom, const std::set<Symbol>& bound) {
   std::string adornment;
   adornment.reserve(atom.arity());
   for (const Term& t : atom.args()) {
@@ -51,8 +49,8 @@ std::vector<Term> BoundArgs(const Atom& atom, const std::string& adornment) {
   return out;
 }
 
-void AddVars(const Atom& atom, std::set<std::string>* bound) {
-  std::vector<std::string> vars;
+void AddVars(const Atom& atom, std::set<Symbol>* bound) {
+  std::vector<Symbol> vars;
   atom.CollectVariables(&vars);
   bound->insert(vars.begin(), vars.end());
 }
@@ -75,14 +73,16 @@ Result<MagicProgram> MagicTransform(const Program& program,
     }
   }
 
-  const std::vector<std::string> defined = program.DefinedPredicates();
-  std::unordered_set<std::string> idb(defined.begin(), defined.end());
+  std::unordered_set<PredicateId, PredicateIdHash> idb;
+  for (const Clause& c : program.clauses()) {
+    idb.insert(c.head().PredicateId());
+  }
 
   MagicProgram out;
 
   // EDB facts and EDB-only predicates pass through untouched; everything
   // defined by a head is rewritten per adornment.
-  const std::string query_id = query.PredicateId();
+  const PredicateId query_id = query.PredicateId();
   if (!idb.count(query_id)) {
     // Nothing to specialize: the query touches only EDB (or nothing).
     out.program = program;
@@ -90,7 +90,7 @@ Result<MagicProgram> MagicTransform(const Program& program,
     return out;
   }
 
-  std::set<std::string> no_bound;
+  std::set<Symbol> no_bound;
   const std::string query_adornment = AdornmentOf(query, no_bound);
 
   // Seed: the query's bound constants.
@@ -100,8 +100,8 @@ Result<MagicProgram> MagicTransform(const Program& program,
     out.program.AddFact(std::move(seed));
   }
 
-  std::deque<std::pair<std::string, std::string>> worklist;  // (pred id, a)
-  std::set<std::pair<std::string, std::string>> processed;
+  std::deque<std::pair<PredicateId, std::string>> worklist;  // (pred id, a)
+  std::set<std::pair<PredicateId, std::string>> processed;
   worklist.emplace_back(query_id, query_adornment);
 
   while (!worklist.empty()) {
@@ -112,7 +112,7 @@ Result<MagicProgram> MagicTransform(const Program& program,
     for (const Clause* clause : program.ClausesFor(pred_id)) {
       const Atom& head = clause->head();
 
-      std::set<std::string> bound;
+      std::set<Symbol> bound;
       for (size_t i = 0; i < head.arity(); ++i) {
         if (adornment[i] == 'b') AddVars(Atom("", {head.args()[i]}), &bound);
       }
@@ -131,7 +131,7 @@ Result<MagicProgram> MagicTransform(const Program& program,
             bool lhs_bound = TermBound(lit.lhs(), bound);
             bool rhs_bound = TermBound(lit.rhs(), bound);
             if (lhs_bound || rhs_bound) {
-              std::vector<std::string> vars;
+              std::vector<Symbol> vars;
               lit.lhs().CollectVariables(&vars);
               lit.rhs().CollectVariables(&vars);
               bound.insert(vars.begin(), vars.end());

@@ -15,6 +15,7 @@ bool Model::Insert(const Atom& atom) {
   if (!rel.set.insert(atom).second) return false;
   size_t idx = rel.facts.size();
   rel.facts.push_back(atom);
+  if (rel.index.size() < atom.arity()) rel.index.resize(atom.arity());
   for (size_t pos = 0; pos < atom.arity(); ++pos) {
     rel.index[pos][atom.args()[pos]].push_back(idx);
   }
@@ -28,34 +29,27 @@ bool Model::Contains(const Atom& atom) const {
   return it->second.set.count(atom) > 0;
 }
 
-const std::vector<Atom>& Model::FactsFor(
-    const std::string& predicate_id) const {
-  auto it = relations_.find(predicate_id);
+const std::vector<Atom>& Model::FactsFor(const PredicateId& id) const {
+  auto it = relations_.find(id);
   if (it == relations_.end()) return kNoFacts;
   return it->second.facts;
 }
 
-std::vector<const Atom*> Model::FactsMatching(const std::string& predicate_id,
-                                              size_t position,
-                                              const Term& value) const {
-  std::vector<const Atom*> out;
-  auto it = relations_.find(predicate_id);
-  if (it == relations_.end()) return out;
-  auto pos_it = it->second.index.find(position);
-  if (pos_it == it->second.index.end()) return out;
-  auto val_it = pos_it->second.find(value);
-  if (val_it == pos_it->second.end()) return out;
-  out.reserve(val_it->second.size());
-  for (size_t idx : val_it->second) {
-    out.push_back(&it->second.facts[idx]);
-  }
-  return out;
+FactSlice Model::FactsMatching(const PredicateId& id, size_t position,
+                               const Term& value) const {
+  auto it = relations_.find(id);
+  if (it == relations_.end()) return FactSlice();
+  const Relation& rel = it->second;
+  if (position >= rel.index.size()) return FactSlice();
+  auto val_it = rel.index[position].find(value);
+  if (val_it == rel.index[position].end()) return FactSlice();
+  return FactSlice(&rel.facts, &val_it->second);
 }
 
 std::vector<std::string> Model::Predicates() const {
   std::vector<std::string> out;
   out.reserve(relations_.size());
-  for (const auto& [id, rel] : relations_) out.push_back(id);
+  for (const auto& [id, rel] : relations_) out.push_back(id.ToString());
   std::sort(out.begin(), out.end());
   return out;
 }

@@ -1,6 +1,7 @@
 #ifndef MULTILOG_DATALOG_MODEL_H_
 #define MULTILOG_DATALOG_MODEL_H_
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -10,12 +11,55 @@
 
 namespace multilog::datalog {
 
+/// A non-owning view of the facts selected by one argument-index
+/// posting list: resolves indices into the relation's fact vector on
+/// the fly, so a join probe allocates nothing. Iterators yield
+/// `const Atom&`. Invalidated by any mutation of the owning Model.
+class FactSlice {
+ public:
+  FactSlice() = default;
+  FactSlice(const std::vector<Atom>* facts, const std::vector<size_t>* ids)
+      : facts_(facts), ids_(ids) {}
+
+  size_t size() const { return ids_ == nullptr ? 0 : ids_->size(); }
+  bool empty() const { return size() == 0; }
+  const Atom& operator[](size_t i) const { return (*facts_)[(*ids_)[i]]; }
+
+  class iterator {
+   public:
+    iterator(const FactSlice* slice, size_t i) : slice_(slice), i_(i) {}
+    const Atom& operator*() const { return (*slice_)[i_]; }
+    const Atom* operator->() const { return &(*slice_)[i_]; }
+    iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator!=(const iterator& o) const { return i_ != o.i_; }
+    bool operator==(const iterator& o) const { return i_ == o.i_; }
+
+   private:
+    const FactSlice* slice_;
+    size_t i_;
+  };
+
+  iterator begin() const { return iterator(this, 0); }
+  iterator end() const { return iterator(this, size()); }
+
+ private:
+  const std::vector<Atom>* facts_ = nullptr;
+  const std::vector<size_t>* ids_ = nullptr;
+};
+
 /// A set of ground atoms (an Herbrand interpretation), indexed for the
 /// access patterns of bottom-up evaluation:
 ///  - membership test (duplicate elimination),
 ///  - scan of one predicate's facts,
 ///  - scan of the facts matching a (predicate, argument position,
 ///    constant) selection - used to drive joins from bound arguments.
+///
+/// Relations are keyed by interned PredicateId and argument indexes by
+/// (u32 position, Term) with integer hashing; no strings are touched
+/// on the insert or probe paths.
 class Model {
  public:
   Model() = default;
@@ -26,21 +70,21 @@ class Model {
 
   bool Contains(const Atom& atom) const;
 
-  /// All facts for "p/n", in insertion order. Empty vector if none.
-  const std::vector<Atom>& FactsFor(const std::string& predicate_id) const;
+  /// All facts for p/n, in insertion order. Empty vector if none.
+  /// (String call sites like FactsFor("edge/2") convert implicitly.)
+  const std::vector<Atom>& FactsFor(const PredicateId& id) const;
 
-  /// Facts for "p/n" whose argument at `position` equals `value`
-  /// (a ground term). Uses the argument index; falls back to an empty
-  /// result when the predicate is absent.
-  std::vector<const Atom*> FactsMatching(const std::string& predicate_id,
-                                         size_t position,
-                                         const Term& value) const;
+  /// Facts for p/n whose argument at `position` equals `value` (a
+  /// ground term), as a zero-allocation view over the posting list.
+  /// Empty slice when the predicate or value is absent.
+  FactSlice FactsMatching(const PredicateId& id, size_t position,
+                          const Term& value) const;
 
   /// Total number of facts.
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
-  /// Predicate ids present, sorted.
+  /// Predicate ids present, rendered "p/n", sorted.
   std::vector<std::string> Predicates() const;
 
   /// All facts of all predicates, sorted, one per line - used by tests
@@ -53,13 +97,13 @@ class Model {
   struct Relation {
     std::vector<Atom> facts;
     std::unordered_set<Atom, AtomHash> set;
-    // (position, term) -> indices into `facts`.
-    std::unordered_map<size_t, std::unordered_map<Term, std::vector<size_t>,
-                                                  TermHash>>
+    // One posting map per argument position: term -> indices into
+    // `facts`. Sized to the relation's arity on first insert.
+    std::vector<std::unordered_map<Term, std::vector<size_t>, TermHash>>
         index;
   };
 
-  std::unordered_map<std::string, Relation> relations_;
+  std::unordered_map<PredicateId, Relation, PredicateIdHash> relations_;
   size_t size_ = 0;
 };
 

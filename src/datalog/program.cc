@@ -13,9 +13,9 @@ void Program::Append(const Program& other) {
 std::vector<std::string> Program::Predicates() const {
   std::set<std::string> ids;
   for (const Clause& c : clauses_) {
-    ids.insert(c.head().PredicateId());
+    ids.insert(c.head().PredicateId().ToString());
     for (const Literal& l : c.body()) {
-      if (!l.is_builtin()) ids.insert(l.atom().PredicateId());
+      if (!l.is_builtin()) ids.insert(l.atom().PredicateId().ToString());
     }
   }
   return {ids.begin(), ids.end()};
@@ -23,15 +23,16 @@ std::vector<std::string> Program::Predicates() const {
 
 std::vector<std::string> Program::DefinedPredicates() const {
   std::set<std::string> ids;
-  for (const Clause& c : clauses_) ids.insert(c.head().PredicateId());
+  for (const Clause& c : clauses_) {
+    ids.insert(c.head().PredicateId().ToString());
+  }
   return {ids.begin(), ids.end()};
 }
 
-std::vector<const Clause*> Program::ClausesFor(
-    const std::string& predicate_id) const {
+std::vector<const Clause*> Program::ClausesFor(const PredicateId& id) const {
   std::vector<const Clause*> out;
   for (const Clause& c : clauses_) {
-    if (c.head().PredicateId() == predicate_id) out.push_back(&c);
+    if (c.head().PredicateId() == id) out.push_back(&c);
   }
   return out;
 }

@@ -33,9 +33,9 @@ class Program {
   /// Predicate ids defined by at least one clause head.
   std::vector<std::string> DefinedPredicates() const;
 
-  /// Clauses whose head predicate id equals `predicate_id`, in program
-  /// order.
-  std::vector<const Clause*> ClausesFor(const std::string& predicate_id) const;
+  /// Clauses whose head predicate id equals `id`, in program order.
+  /// (String call sites like ClausesFor("p/2") convert implicitly.)
+  std::vector<const Clause*> ClausesFor(const PredicateId& id) const;
 
   /// Checks every clause for range-restriction.
   Status CheckSafety() const;

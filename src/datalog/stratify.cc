@@ -6,9 +6,17 @@ namespace multilog::datalog {
 
 Result<Stratification> Stratify(const Program& program) {
   Stratification out;
-  std::vector<std::string> predicates = program.Predicates();
-  for (const std::string& p : predicates) out.stratum_of[p] = 0;
-  if (predicates.empty()) {
+  size_t predicate_count = 0;
+  for (const Clause& clause : program.clauses()) {
+    predicate_count += out.stratum_of.emplace(clause.head().PredicateId(), 0)
+                           .second;
+    for (const Literal& lit : clause.body()) {
+      if (lit.is_builtin()) continue;
+      predicate_count +=
+          out.stratum_of.emplace(lit.atom().PredicateId(), 0).second;
+    }
+  }
+  if (out.stratum_of.empty()) {
     return out;
   }
 
@@ -17,16 +25,16 @@ Result<Stratification> Stratify(const Program& program) {
   //   stratum(head) >= stratum(q) + 1  for negative body literal q.
   // If any stratum exceeds the number of predicates, there is a cycle
   // containing a negative edge and the program is not stratifiable.
-  const size_t limit = predicates.size();
+  const size_t limit = predicate_count;
   bool changed = true;
   while (changed) {
     changed = false;
     for (const Clause& clause : program.clauses()) {
-      const std::string head_id = clause.head().PredicateId();
+      const PredicateId head_id = clause.head().PredicateId();
       size_t& head_stratum = out.stratum_of[head_id];
       for (const Literal& lit : clause.body()) {
         if (lit.is_builtin()) continue;
-        const std::string body_id = lit.atom().PredicateId();
+        const PredicateId body_id = lit.atom().PredicateId();
         // Aggregation is non-monotone: like negation, the whole body of
         // an aggregate clause must live in strictly lower strata.
         const bool strict = lit.negated() || clause.is_aggregate();
@@ -36,9 +44,10 @@ Result<Stratification> Stratify(const Program& program) {
           changed = true;
           if (head_stratum > limit) {
             return Status::InvalidProgram(
-                "program is not stratifiable: predicate '" + head_id +
+                "program is not stratifiable: predicate '" +
+                head_id.ToString() +
                 "' is involved in recursion through negation (via '" +
-                body_id + "')");
+                body_id.ToString() + "')");
           }
         }
       }
@@ -46,7 +55,9 @@ Result<Stratification> Stratify(const Program& program) {
   }
 
   size_t max_stratum = 0;
-  for (const auto& [p, s] : out.stratum_of) max_stratum = std::max(max_stratum, s);
+  for (const auto& [p, s] : out.stratum_of) {
+    max_stratum = std::max(max_stratum, s);
+  }
   out.strata.assign(max_stratum + 1, {});
   for (const auto& [p, s] : out.stratum_of) out.strata[s].push_back(p);
   for (auto& stratum : out.strata) std::sort(stratum.begin(), stratum.end());

@@ -16,10 +16,12 @@ namespace multilog::datalog {
 ///    lower strata, and
 ///  - depends negatively only on predicates in strictly lower strata.
 struct Stratification {
-  /// Stratum index (0-based) per predicate id ("p/2").
-  std::unordered_map<std::string, size_t> stratum_of;
-  /// Predicates per stratum, each list sorted.
-  std::vector<std::vector<std::string>> strata;
+  /// Stratum index (0-based) per predicate id. String lookups like
+  /// stratum_of.at("p/2") keep working via PredicateId's implicit
+  /// conversion.
+  std::unordered_map<PredicateId, size_t, PredicateIdHash> stratum_of;
+  /// Predicates per stratum, each list sorted (by "p/n" rendering).
+  std::vector<std::vector<PredicateId>> strata;
 
   size_t num_strata() const { return strata.size(); }
 };

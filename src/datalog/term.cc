@@ -13,18 +13,22 @@ size_t CombineHash(size_t seed, size_t value) {
 }
 }  // namespace
 
-Term Term::Var(std::string name) {
-  return Term(Kind::kVariable, std::move(name), 0);
+Term Term::Var(std::string_view name) { return Var(Symbol::Intern(name)); }
+
+Term Term::Var(Symbol name) { return Term(Kind::kVariable, name, 0); }
+
+Term Term::Sym(std::string_view name) { return Sym(Symbol::Intern(name)); }
+
+Term Term::Sym(Symbol name) { return Term(Kind::kSymbol, name, 0); }
+
+Term Term::Int(int64_t value) { return Term(Kind::kInt, Symbol(), value); }
+
+Term Term::Fn(std::string_view functor, std::vector<Term> args) {
+  return Fn(Symbol::Intern(functor), std::move(args));
 }
 
-Term Term::Sym(std::string name) {
-  return Term(Kind::kSymbol, std::move(name), 0);
-}
-
-Term Term::Int(int64_t value) { return Term(Kind::kInt, "", value); }
-
-Term Term::Fn(std::string functor, std::vector<Term> args) {
-  Term t(Kind::kCompound, std::move(functor), 0);
+Term Term::Fn(Symbol functor, std::vector<Term> args) {
+  Term t(Kind::kCompound, functor, 0);
   t.args_ = std::make_shared<const std::vector<Term>>(std::move(args));
   return t;
 }
@@ -50,10 +54,10 @@ bool Term::IsGround() const {
   return false;
 }
 
-void Term::CollectVariables(std::vector<std::string>* out) const {
+void Term::CollectVariables(std::vector<Symbol>* out) const {
   switch (kind_) {
     case Kind::kVariable:
-      out->push_back(name_);
+      out->push_back(sym_);
       return;
     case Kind::kSymbol:
     case Kind::kInt:
@@ -68,11 +72,11 @@ std::string Term::ToString() const {
   switch (kind_) {
     case Kind::kVariable:
     case Kind::kSymbol:
-      return name_;
+      return name();
     case Kind::kInt:
       return std::to_string(int_value_);
     case Kind::kCompound: {
-      std::string out = name_ + "(";
+      std::string out = name() + "(";
       const auto& as = args();
       for (size_t i = 0; i < as.size(); ++i) {
         if (i > 0) out += ", ";
@@ -90,11 +94,11 @@ bool Term::operator==(const Term& other) const {
   switch (kind_) {
     case Kind::kVariable:
     case Kind::kSymbol:
-      return name_ == other.name_;
+      return sym_ == other.sym_;
     case Kind::kInt:
       return int_value_ == other.int_value_;
     case Kind::kCompound:
-      return name_ == other.name_ && args() == other.args();
+      return sym_ == other.sym_ && args() == other.args();
   }
   return false;
 }
@@ -106,11 +110,11 @@ bool Term::operator<(const Term& other) const {
   switch (kind_) {
     case Kind::kVariable:
     case Kind::kSymbol:
-      return name_ < other.name_;
+      return sym_ < other.sym_;  // lexicographic via resolution
     case Kind::kInt:
       return int_value_ < other.int_value_;
     case Kind::kCompound: {
-      if (name_ != other.name_) return name_ < other.name_;
+      if (sym_ != other.sym_) return sym_ < other.sym_;
       const auto& a = args();
       const auto& b = other.args();
       if (a.size() != b.size()) return a.size() < b.size();
@@ -128,11 +132,11 @@ size_t Term::Hash() const {
   switch (kind_) {
     case Kind::kVariable:
     case Kind::kSymbol:
-      return CombineHash(h, std::hash<std::string>()(name_));
+      return CombineHash(h, sym_.Hash());
     case Kind::kInt:
       return CombineHash(h, std::hash<int64_t>()(int_value_));
     case Kind::kCompound: {
-      h = CombineHash(h, std::hash<std::string>()(name_));
+      h = CombineHash(h, sym_.Hash());
       for (const Term& a : args()) h = CombineHash(h, a.Hash());
       return h;
     }

@@ -6,24 +6,37 @@
 #include <string>
 #include <vector>
 
+#include "common/symbol.h"
+
 namespace multilog::datalog {
 
 /// First-order terms over the signature F ∪ V of the paper's language L:
 /// variables, symbolic constants, integer constants, and compound
 /// (function) terms. Terms are immutable values; compound arguments are
 /// shared via copy-on-write vectors.
+///
+/// Names (variable names, symbolic constants, functors) are interned:
+/// a Term is a small tagged value holding a kind, a 32-bit Symbol id or
+/// an inline int64, and (for compounds only) a shared argument vector.
+/// Equality and hashing are integer operations; `operator<` resolves
+/// symbols so ordering stays lexicographic (deterministic output
+/// ordering everywhere depends on this). Strings appear only at the
+/// parser/printer boundary.
 class Term {
  public:
   enum class Kind { kVariable, kSymbol, kInt, kCompound };
 
   /// Named variable, e.g. Var("X").
-  static Term Var(std::string name);
+  static Term Var(std::string_view name);
+  static Term Var(Symbol name);
   /// Symbolic constant, e.g. Sym("avenger").
-  static Term Sym(std::string name);
+  static Term Sym(std::string_view name);
+  static Term Sym(Symbol name);
   /// Integer constant.
   static Term Int(int64_t value);
   /// Function term f(t1,...,tn); n may be 0 (then prefer Sym).
-  static Term Fn(std::string functor, std::vector<Term> args);
+  static Term Fn(std::string_view functor, std::vector<Term> args);
+  static Term Fn(Symbol functor, std::vector<Term> args);
 
   Kind kind() const { return kind_; }
   bool IsVariable() const { return kind_ == Kind::kVariable; }
@@ -34,8 +47,11 @@ class Term {
     return kind_ == Kind::kSymbol || kind_ == Kind::kInt;
   }
 
-  /// Variable name, symbol text, or functor, depending on kind.
-  const std::string& name() const { return name_; }
+  /// Variable name, symbol text, or functor, depending on kind
+  /// (resolved from the symbol table; the reference is stable).
+  const std::string& name() const { return sym_.str(); }
+  /// The interned name; meaningless for kInt.
+  Symbol symbol() const { return sym_; }
   int64_t int_value() const { return int_value_; }
   const std::vector<Term>& args() const;
 
@@ -44,7 +60,7 @@ class Term {
 
   /// Appends the names of all variables, in first-occurrence order,
   /// possibly with duplicates.
-  void CollectVariables(std::vector<std::string>* out) const;
+  void CollectVariables(std::vector<Symbol>* out) const;
 
   /// Prolog-ish rendering: X, avenger, 42, f(a, X).
   std::string ToString() const;
@@ -52,18 +68,19 @@ class Term {
   bool operator==(const Term& other) const;
   bool operator!=(const Term& other) const { return !(*this == other); }
 
-  /// Total order over terms (kind, then content); gives deterministic
-  /// output ordering everywhere.
+  /// Total order over terms (kind, then content); symbol content
+  /// compares lexicographically, giving deterministic output ordering
+  /// everywhere.
   bool operator<(const Term& other) const;
 
   size_t Hash() const;
 
  private:
-  Term(Kind kind, std::string name, int64_t int_value)
-      : kind_(kind), name_(std::move(name)), int_value_(int_value) {}
+  Term(Kind kind, Symbol sym, int64_t int_value)
+      : kind_(kind), sym_(sym), int_value_(int_value) {}
 
   Kind kind_ = Kind::kSymbol;
-  std::string name_;
+  Symbol sym_;
   int64_t int_value_ = 0;
   std::shared_ptr<const std::vector<Term>> args_;  // only for kCompound
 };

@@ -28,37 +28,6 @@ TopDownEngine::TopDownEngine(Program program) : program_(std::move(program)) {
   }
 }
 
-std::string TopDownEngine::CallKey(const Atom& pattern) {
-  // Rename variables to v0, v1, ... in first-occurrence order so that
-  // alpha-equivalent calls share a table.
-  std::unordered_map<std::string, std::string> renaming;
-  std::string key = pattern.PredicateId();
-  std::function<void(const Term&)> visit = [&](const Term& t) {
-    switch (t.kind()) {
-      case Term::Kind::kVariable: {
-        auto [it, inserted] = renaming.emplace(
-            t.name(), "v" + std::to_string(renaming.size()));
-        key += "|" + it->second;
-        (void)inserted;
-        return;
-      }
-      case Term::Kind::kSymbol:
-        key += "|s:" + t.name();
-        return;
-      case Term::Kind::kInt:
-        key += "|i:" + std::to_string(t.int_value());
-        return;
-      case Term::Kind::kCompound:
-        key += "|f:" + t.name() + "(";
-        for (const Term& a : t.args()) visit(a);
-        key += ")";
-        return;
-    }
-  };
-  for (const Term& t : pattern.args()) visit(t);
-  return key;
-}
-
 size_t TopDownEngine::TotalTableSize() const {
   size_t total = 0;
   for (const auto& [key, table] : tables_) total += table.answers.size();
@@ -67,7 +36,7 @@ size_t TopDownEngine::TotalTableSize() const {
 
 Status TopDownEngine::SolveAtomOnce(const Atom& pattern, size_t depth,
                                     const TopDownOptions& options) {
-  const std::string key = CallKey(pattern);
+  const CallKey key = MakeCallKey(pattern);
   if (active_.count(key)) {
     // Already on the resolution path: consume tabled answers only; the
     // outer fixpoint will bring late answers around.
@@ -153,7 +122,7 @@ Status TopDownEngine::SolveBody(const std::vector<Literal>& body, size_t index,
     }
     // Complete evaluation of the (lower-stratum) subgoal: iterate its
     // table to a local fixpoint, then test membership.
-    const std::string key = CallKey(grounded);
+    const CallKey key = MakeCallKey(grounded);
     size_t before;
     do {
       before = TotalTableSize();
@@ -168,7 +137,7 @@ Status TopDownEngine::SolveBody(const std::vector<Literal>& body, size_t index,
 
   const Atom pattern = subst.Apply(lit.atom());
   MULTILOG_RETURN_IF_ERROR(SolveAtomOnce(pattern, depth, options));
-  const std::string key = CallKey(pattern);
+  const CallKey key = MakeCallKey(pattern);
   auto it = tables_.find(key);
   if (it == tables_.end()) return Status::OK();
   // Iterate over a copy: recursive calls may grow the table.
@@ -186,7 +155,7 @@ Result<std::vector<Substitution>> TopDownEngine::Solve(
     const std::vector<Literal>& goal, const TopDownOptions& options) {
   MULTILOG_RETURN_IF_ERROR(status_);
 
-  std::vector<std::string> goal_vars;
+  std::vector<Symbol> goal_vars;
   for (const Literal& l : goal) l.CollectVariables(&goal_vars);
   std::sort(goal_vars.begin(), goal_vars.end());
   goal_vars.erase(std::unique(goal_vars.begin(), goal_vars.end()),
@@ -211,7 +180,7 @@ Result<std::vector<Substitution>> TopDownEngine::Solve(
   std::vector<Substitution> answers;
   for (const Substitution& s : raw) {
     Substitution restricted;
-    for (const std::string& v : goal_vars) {
+    for (Symbol v : goal_vars) {
       Term value = s.Apply(Term::Var(v));
       if (!value.IsVariable()) restricted.Bind(v, value);
     }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "datalog/call_key.h"
 #include "datalog/model.h"
 #include "datalog/program.h"
 #include "datalog/stratify.h"
@@ -58,10 +59,6 @@ class TopDownEngine {
   const TopDownStats& stats() const { return stats_; }
 
  private:
-  /// Canonical key for a call pattern: predicate + args with variables
-  /// renamed to v0, v1, ... in order of first occurrence.
-  static std::string CallKey(const Atom& pattern);
-
   size_t TotalTableSize() const;
 
   Status SolveAtomOnce(const Atom& pattern, size_t depth,
@@ -74,14 +71,16 @@ class TopDownEngine {
 
   Program program_;
   Status status_;
-  std::unordered_map<std::string, std::vector<const Clause*>> clauses_by_pred_;
+  std::unordered_map<PredicateId, std::vector<const Clause*>,
+                     PredicateIdHash>
+      clauses_by_pred_;
 
   struct AnswerTable {
     std::vector<Atom> answers;
     std::unordered_set<Atom, AtomHash> set;
   };
-  std::unordered_map<std::string, AnswerTable> tables_;
-  std::unordered_set<std::string> active_;
+  std::unordered_map<CallKey, AnswerTable, CallKeyHash> tables_;
+  std::unordered_set<CallKey, CallKeyHash> active_;
   int rename_counter_ = 0;
   TopDownStats stats_;
 };

@@ -2,21 +2,20 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
 
 namespace multilog::datalog {
 
-void Substitution::Bind(const std::string& var, Term term) {
+void Substitution::Bind(Symbol var, Term term) {
   assert(!Contains(var));
-  bindings_.emplace(var, std::move(term));
+  bindings_.emplace_back(var, std::move(term));
 }
 
 Term Substitution::Walk(const Term& t) const {
   Term cur = t;
   while (cur.IsVariable()) {
-    auto it = bindings_.find(cur.name());
-    if (it == bindings_.end()) return cur;
-    cur = it->second;
+    const Term* bound = Find(cur.symbol());
+    if (bound == nullptr) return cur;
+    cur = *bound;
   }
   return cur;
 }
@@ -27,7 +26,7 @@ Term Substitution::Apply(const Term& t) const {
     std::vector<Term> args;
     args.reserve(walked.args().size());
     for (const Term& a : walked.args()) args.push_back(Apply(a));
-    return Term::Fn(walked.name(), std::move(args));
+    return Term::Fn(walked.symbol(), std::move(args));
   }
   return walked;
 }
@@ -36,7 +35,7 @@ Atom Substitution::Apply(const Atom& a) const {
   std::vector<Term> args;
   args.reserve(a.args().size());
   for (const Term& t : a.args()) args.push_back(Apply(t));
-  return Atom(a.predicate(), std::move(args));
+  return Atom(a.predicate_symbol(), std::move(args));
 }
 
 Literal Substitution::Apply(const Literal& l) const {
@@ -48,13 +47,15 @@ Literal Substitution::Apply(const Literal& l) const {
 }
 
 std::string Substitution::ToString() const {
-  std::map<std::string, Term> sorted(bindings_.begin(), bindings_.end());
+  std::vector<std::pair<Symbol, Term>> sorted = bindings_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   std::string out = "{";
   bool first = true;
   for (const auto& [var, term] : sorted) {
     if (!first) out += ", ";
     first = false;
-    out += var + "=" + Apply(term).ToString();
+    out += var.str() + "=" + Apply(term).ToString();
   }
   out += "}";
   return out;
@@ -62,10 +63,9 @@ std::string Substitution::ToString() const {
 
 namespace {
 
-bool OccursIn(const std::string& var, const Term& t,
-              const Substitution& subst) {
+bool OccursIn(Symbol var, const Term& t, const Substitution& subst) {
   Term walked = subst.Walk(t);
-  if (walked.IsVariable()) return walked.name() == var;
+  if (walked.IsVariable()) return walked.symbol() == var;
   if (walked.IsCompound()) {
     for (const Term& a : walked.args()) {
       if (OccursIn(var, a, subst)) return true;
@@ -81,24 +81,24 @@ bool UnifyTerms(const Term& a, const Term& b, Substitution* subst) {
   Term y = subst->Walk(b);
 
   if (x.IsVariable()) {
-    if (y.IsVariable() && y.name() == x.name()) return true;
-    if (OccursIn(x.name(), y, *subst)) return false;
-    subst->Bind(x.name(), y);
+    if (y.IsVariable() && y.symbol() == x.symbol()) return true;
+    if (OccursIn(x.symbol(), y, *subst)) return false;
+    subst->Bind(x.symbol(), y);
     return true;
   }
   if (y.IsVariable()) {
-    if (OccursIn(y.name(), x, *subst)) return false;
-    subst->Bind(y.name(), x);
+    if (OccursIn(y.symbol(), x, *subst)) return false;
+    subst->Bind(y.symbol(), x);
     return true;
   }
   if (x.kind() != y.kind()) return false;
   switch (x.kind()) {
     case Term::Kind::kSymbol:
-      return x.name() == y.name();
+      return x.symbol() == y.symbol();
     case Term::Kind::kInt:
       return x.int_value() == y.int_value();
     case Term::Kind::kCompound: {
-      if (x.name() != y.name() || x.args().size() != y.args().size()) {
+      if (x.symbol() != y.symbol() || x.args().size() != y.args().size()) {
         return false;
       }
       for (size_t i = 0; i < x.args().size(); ++i) {
@@ -114,7 +114,8 @@ bool UnifyTerms(const Term& a, const Term& b, Substitution* subst) {
 
 std::optional<Substitution> UnifyAtoms(const Atom& a, const Atom& b,
                                        const Substitution& base) {
-  if (a.predicate() != b.predicate() || a.arity() != b.arity()) {
+  if (a.predicate_symbol() != b.predicate_symbol() ||
+      a.arity() != b.arity()) {
     return std::nullopt;
   }
   Substitution subst = base;
@@ -135,7 +136,7 @@ Term RenameTerm(const Term& t, int suffix) {
       std::vector<Term> args;
       args.reserve(t.args().size());
       for (const Term& a : t.args()) args.push_back(RenameTerm(a, suffix));
-      return Term::Fn(t.name(), std::move(args));
+      return Term::Fn(t.symbol(), std::move(args));
     }
   }
   return t;
@@ -145,7 +146,7 @@ Atom RenameAtom(const Atom& a, int suffix) {
   std::vector<Term> args;
   args.reserve(a.args().size());
   for (const Term& t : a.args()) args.push_back(RenameTerm(t, suffix));
-  return Atom(a.predicate(), std::move(args));
+  return Atom(a.predicate_symbol(), std::move(args));
 }
 
 Literal RenameLiteral(const Literal& l, int suffix) {

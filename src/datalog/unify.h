@@ -3,25 +3,33 @@
 
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "datalog/atom.h"
 #include "datalog/term.h"
 
 namespace multilog::datalog {
 
-/// A substitution: a finite map from variable names to terms. Bindings
-/// may chain (X -> Y, Y -> a); Resolve/Apply follow chains.
+/// A substitution: a finite map from variables (interned symbols) to
+/// terms. Bindings may chain (X -> Y, Y -> a); Resolve/Apply follow
+/// chains. Stored as a flat vector with linear lookup - clause-level
+/// binding sets are tiny, so the scan beats hashing and makes the
+/// per-candidate copies in UnifyAtoms cheap.
 class Substitution {
  public:
   Substitution() = default;
 
+  bool Contains(Symbol var) const { return Find(var) != nullptr; }
   bool Contains(const std::string& var) const {
-    return bindings_.count(var) > 0;
+    return Contains(Symbol::Intern(var));
   }
 
   /// Adds var -> term. Precondition: var is unbound.
-  void Bind(const std::string& var, Term term);
+  void Bind(Symbol var, Term term);
+  void Bind(const std::string& var, Term term) {
+    Bind(Symbol::Intern(var), std::move(term));
+  }
 
   /// Follows variable chains from `t` until a non-variable or unbound
   /// variable is reached. Does not descend into compound args.
@@ -34,15 +42,22 @@ class Substitution {
 
   size_t size() const { return bindings_.size(); }
   bool empty() const { return bindings_.empty(); }
-  const std::unordered_map<std::string, Term>& bindings() const {
+  const std::vector<std::pair<Symbol, Term>>& bindings() const {
     return bindings_;
   }
 
-  /// "{X=a, Y=f(b)}" with keys sorted; "{}" when empty.
+  /// "{X=a, Y=f(b)}" with keys sorted by name; "{}" when empty.
   std::string ToString() const;
 
  private:
-  std::unordered_map<std::string, Term> bindings_;
+  const Term* Find(Symbol var) const {
+    for (const auto& [v, t] : bindings_) {
+      if (v == var) return &t;
+    }
+    return nullptr;
+  }
+
+  std::vector<std::pair<Symbol, Term>> bindings_;
 };
 
 /// Unifies `a` and `b` under `subst`, extending it in place on success.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_map>
 
 #include "common/str_util.h"
 
@@ -47,10 +48,11 @@ Result<BeliefOutcome> BelieveFirm(const Relation& relation,
 Result<BeliefOutcome> BelieveOptimistic(const Relation& relation,
                                         const std::string& level) {
   const lattice::SecurityLattice& lat = relation.lat();
+  MULTILOG_ASSIGN_OR_RETURN(size_t level_index, lat.Index(level));
   std::vector<Tuple> believed;
   for (const Tuple& t : relation.tuples()) {
-    MULTILOG_ASSIGN_OR_RETURN(bool visible, lat.Leq(t.tc, level));
-    if (!visible) continue;
+    MULTILOG_ASSIGN_OR_RETURN(size_t tc_index, lat.Index(t.tc));
+    if (!lat.LeqIndex(tc_index, level_index)) continue;
     Tuple copy = t;
     copy.tc = level;  // the believer adopts the data at its own level
     believed.push_back(std::move(copy));
@@ -67,27 +69,43 @@ Result<BeliefOutcome> BelieveOptimistic(const Relation& relation,
 }
 
 /// Keeps the classification-maximal cells of `candidates` (no candidate
-/// strictly dominates them); deduplicated and sorted.
+/// strictly dominates them); deduplicated and sorted. Classifications
+/// are resolved to lattice indices once, so the pairwise dominance test
+/// is the O(1) index fast path.
 Result<std::vector<Cell>> MaximalCells(const lattice::SecurityLattice& lat,
                                        std::vector<Cell> candidates) {
   std::sort(candidates.begin(), candidates.end());
   candidates.erase(std::unique(candidates.begin(), candidates.end()),
                    candidates.end());
+  std::vector<size_t> cls(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    MULTILOG_ASSIGN_OR_RETURN(cls[i],
+                              lat.Index(candidates[i].classification));
+  }
   std::vector<Cell> maximal;
-  for (const Cell& c : candidates) {
+  for (size_t i = 0; i < candidates.size(); ++i) {
     bool dominated = false;
-    for (const Cell& other : candidates) {
-      MULTILOG_ASSIGN_OR_RETURN(
-          bool lt, lat.Lt(c.classification, other.classification));
-      if (lt) {
+    for (size_t j = 0; j < candidates.size(); ++j) {
+      if (lat.LtIndex(cls[i], cls[j])) {
         dominated = true;
         break;
       }
     }
-    if (!dominated) maximal.push_back(c);
+    if (!dominated) maximal.push_back(candidates[i]);
   }
   return maximal;
 }
+
+/// Integer hash of a composite key value (symbol ids / ints / null).
+struct KeyVectorHash {
+  size_t operator()(const std::vector<Value>& key) const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (const Value& v : key) {
+      h ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
 
 Result<BeliefOutcome> BelieveCautious(const Relation& relation,
                                       const std::string& level,
@@ -96,26 +114,35 @@ Result<BeliefOutcome> BelieveCautious(const Relation& relation,
   const size_t arity = relation.scheme().arity();
   const size_t key_arity = relation.scheme().key_arity();
 
-  // Visible tuples, grouped by (possibly composite) key value.
+  // Visible tuples, grouped by (possibly composite) key value in one
+  // hashed pass (each group keeps raw-relation order); the distinct
+  // keys are then sorted so the per-key processing order - and with it
+  // every output - is identical to the old sorted-scan implementation.
+  MULTILOG_ASSIGN_OR_RETURN(size_t level_index, lat.Index(level));
   std::vector<const Tuple*> visible;
   for (const Tuple& t : relation.tuples()) {
-    MULTILOG_ASSIGN_OR_RETURN(bool sees, lat.Leq(t.tc, level));
-    if (sees) visible.push_back(&t);
+    MULTILOG_ASSIGN_OR_RETURN(size_t tc_index, lat.Index(t.tc));
+    if (lat.LeqIndex(tc_index, level_index)) visible.push_back(&t);
   }
 
-  std::vector<std::vector<Value>> key_values;
-  for (const Tuple* t : visible) key_values.push_back(relation.KeyOf(*t));
-  std::sort(key_values.begin(), key_values.end());
-  key_values.erase(std::unique(key_values.begin(), key_values.end()),
-                   key_values.end());
+  std::unordered_map<std::vector<Value>, std::vector<const Tuple*>,
+                     KeyVectorHash>
+      groups;
+  for (const Tuple* t : visible) {
+    groups[relation.KeyOf(*t)].push_back(t);
+  }
+  std::vector<const std::vector<Value>*> key_values;
+  key_values.reserve(groups.size());
+  for (const auto& [key, group] : groups) key_values.push_back(&key);
+  std::sort(key_values.begin(), key_values.end(),
+            [](const std::vector<Value>* a, const std::vector<Value>* b) {
+              return *a < *b;
+            });
 
   bool conflict = false;
   std::vector<Tuple> believed;
-  for (const std::vector<Value>& key : key_values) {
-    std::vector<const Tuple*> group;
-    for (const Tuple* t : visible) {
-      if (relation.KeyMatches(*t, key)) group.push_back(t);
-    }
+  for (const std::vector<Value>* key : key_values) {
+    const std::vector<const Tuple*>& group = groups.find(*key)->second;
 
     // Key versions: every distinct visible (AK, C_AK) prefix (Definition
     // 3.1's "exists u"; with a composite key the prefix is the first
@@ -133,19 +160,21 @@ Result<BeliefOutcome> BelieveCautious(const Relation& relation,
         key_versions.end());
     if (options.merge_key_versions) {
       // Keep versions whose (uniform) classification is maximal.
+      std::vector<size_t> cls(key_versions.size());
+      for (size_t i = 0; i < key_versions.size(); ++i) {
+        MULTILOG_ASSIGN_OR_RETURN(
+            cls[i], lat.Index(key_versions[i].front().classification));
+      }
       std::vector<std::vector<Cell>> maximal;
-      for (const std::vector<Cell>& v : key_versions) {
+      for (size_t i = 0; i < key_versions.size(); ++i) {
         bool dominated = false;
-        for (const std::vector<Cell>& other : key_versions) {
-          MULTILOG_ASSIGN_OR_RETURN(
-              bool lt, lat.Lt(v.front().classification,
-                              other.front().classification));
-          if (lt) {
+        for (size_t j = 0; j < key_versions.size(); ++j) {
+          if (lat.LtIndex(cls[i], cls[j])) {
             dominated = true;
             break;
           }
         }
-        if (!dominated) maximal.push_back(v);
+        if (!dominated) maximal.push_back(key_versions[i]);
       }
       key_versions = std::move(maximal);
     }
@@ -198,11 +227,12 @@ Result<BeliefOutcome> BelieveCautious(const Relation& relation,
   BeliefOutcome out{Relation(relation.scheme(), &relation.lat()), conflict};
   for (Tuple& t : believed) {
     bool representable = true;
+    MULTILOG_ASSIGN_OR_RETURN(size_t key_cls,
+                              lat.Index(t.key_cell().classification));
     for (size_t i = key_arity; i < t.cells.size(); ++i) {
-      MULTILOG_ASSIGN_OR_RETURN(
-          bool dominates, lat.Leq(t.key_cell().classification,
-                                  t.cells[i].classification));
-      if (!dominates) {
+      MULTILOG_ASSIGN_OR_RETURN(size_t cell_cls,
+                                lat.Index(t.cells[i].classification));
+      if (!lat.LeqIndex(key_cls, cell_cls)) {
         representable = false;
         break;
       }

@@ -2,23 +2,38 @@
 #define MULTILOG_MLS_VALUE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <string_view>
 #include <variant>
+
+#include "common/symbol.h"
 
 namespace multilog::mls {
 
 /// An attribute value in a multilevel relation: a string, an integer, or
 /// the distinguished null ⊥ (the paper's bottom symbol, produced when a
 /// classified cell is hidden from a lower view).
+///
+/// String values are interned: the variant holds a 32-bit Symbol, so
+/// equality is an integer compare (the dominant operation of the belief
+/// computation's key matching). `operator<` keeps the old ordering -
+/// null < strings (lexicographic) < ints - because Symbol compares by
+/// resolved text.
 class Value {
  public:
   /// Constructs ⊥.
   Value() : repr_(Null{}) {}
 
   static Value NullValue() { return Value(); }
-  static Value Str(std::string s) {
+  static Value Str(std::string_view s) {
     Value v;
-    v.repr_ = std::move(s);
+    v.repr_ = Symbol::Intern(s);
+    return v;
+  }
+  static Value Str(Symbol s) {
+    Value v;
+    v.repr_ = s;
     return v;
   }
   static Value Int(int64_t i) {
@@ -28,11 +43,13 @@ class Value {
   }
 
   bool is_null() const { return std::holds_alternative<Null>(repr_); }
-  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+  bool is_string() const { return std::holds_alternative<Symbol>(repr_); }
   bool is_int() const { return std::holds_alternative<int64_t>(repr_); }
 
+  /// Requires is_string(). The reference is stable (arena-backed).
+  const std::string& str() const { return std::get<Symbol>(repr_).str(); }
   /// Requires is_string().
-  const std::string& str() const { return std::get<std::string>(repr_); }
+  Symbol symbol() const { return std::get<Symbol>(repr_); }
   /// Requires is_int().
   int64_t int_value() const { return std::get<int64_t>(repr_); }
 
@@ -43,12 +60,19 @@ class Value {
   bool operator!=(const Value& other) const { return !(*this == other); }
   bool operator<(const Value& other) const { return repr_ < other.repr_; }
 
+  /// Integer hash (null tag / symbol id / int), for hashed grouping.
+  size_t Hash() const {
+    if (is_null()) return 0x517cc1b727220a95ULL;
+    if (is_string()) return symbol().Hash();
+    return std::hash<int64_t>()(int_value()) * 0x9e3779b97f4a7c15ULL + 2;
+  }
+
  private:
   struct Null {
     bool operator==(const Null&) const { return true; }
     bool operator<(const Null&) const { return false; }
   };
-  std::variant<Null, std::string, int64_t> repr_;
+  std::variant<Null, Symbol, int64_t> repr_;
 };
 
 }  // namespace multilog::mls

@@ -45,10 +45,10 @@ void StripDontCare(std::vector<Substitution>* answers,
   std::vector<ProofPtr> kept_proofs;
   for (size_t i = 0; i < answers->size(); ++i) {
     Substitution restricted;
-    std::map<std::string, datalog::Term> sorted(
+    std::map<Symbol, datalog::Term> sorted(
         (*answers)[i].bindings().begin(), (*answers)[i].bindings().end());
     for (const auto& [var, term] : sorted) {
-      if (StartsWith(var, "_dc")) continue;
+      if (StartsWith(var.str(), "_dc")) continue;
       restricted.Bind(var, (*answers)[i].Apply(datalog::Term::Var(var)));
     }
     if (!seen.insert(restricted.ToString()).second) continue;
@@ -86,18 +86,20 @@ Result<Engine> Engine::FromDatabase(Database db, EngineOptions options) {
 }
 
 Result<const ReducedProgram*> Engine::Reduced(const std::string& user_level) {
-  auto it = reduced_.find(user_level);
+  const Symbol level = Symbol::Intern(user_level);
+  auto it = reduced_.find(level);
   if (it == reduced_.end()) {
     MULTILOG_ASSIGN_OR_RETURN(ReducedProgram rp,
                               Reduce(cdb_, user_level, options_.reduction));
-    it = reduced_.emplace(user_level, std::move(rp)).first;
+    it = reduced_.emplace(level, std::move(rp)).first;
   }
   return &it->second;
 }
 
 Result<const datalog::Model*> Engine::ReducedModel(
     const std::string& user_level) {
-  auto it = models_.find(user_level);
+  const Symbol level = Symbol::Intern(user_level);
+  auto it = models_.find(level);
   if (it == models_.end()) {
     MULTILOG_ASSIGN_OR_RETURN(const ReducedProgram* rp, Reduced(user_level));
     MULTILOG_ASSIGN_OR_RETURN(Model raw, datalog::Evaluate(rp->program));
@@ -107,20 +109,21 @@ Result<const datalog::Model*> Engine::ReducedModel(
         decoded.Insert(DecodeFact(fact));
       }
     }
-    it = models_.emplace(user_level, std::move(decoded)).first;
+    it = models_.emplace(level, std::move(decoded)).first;
   }
   return &it->second;
 }
 
 Result<Interpreter*> Engine::OperationalInterpreter(
     const std::string& user_level) {
-  auto it = interpreters_.find(user_level);
+  const Symbol level = Symbol::Intern(user_level);
+  auto it = interpreters_.find(level);
   if (it == interpreters_.end()) {
     MULTILOG_ASSIGN_OR_RETURN(
         Interpreter interp,
         Interpreter::Create(&cdb_, user_level, options_.interpreter));
     it = interpreters_
-             .emplace(user_level,
+             .emplace(level,
                       std::make_unique<Interpreter>(std::move(interp)))
              .first;
   }

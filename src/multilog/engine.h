@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/symbol.h"
 #include "datalog/eval.h"
 #include "multilog/database.h"
 #include "multilog/interpreter.h"
@@ -86,9 +87,11 @@ class Engine {
 
   CheckedDatabase cdb_;
   EngineOptions options_;
-  std::map<std::string, ReducedProgram> reduced_;
-  std::map<std::string, datalog::Model> models_;
-  std::map<std::string, std::unique_ptr<Interpreter>> interpreters_;
+  // Per-level caches are keyed by the interned level symbol: lookup is an
+  // integer compare, and iteration order still matches the level names.
+  std::map<Symbol, ReducedProgram> reduced_;
+  std::map<Symbol, datalog::Model> models_;
+  std::map<Symbol, std::unique_ptr<Interpreter>> interpreters_;
 };
 
 }  // namespace multilog::ml

@@ -15,59 +15,38 @@ using datalog::Clause;
 using datalog::Literal;
 using datalog::Substitution;
 
-/// Canonical call key: predicate + args with variables alpha-renamed.
-std::string CallKey(const Atom& pattern) {
-  std::unordered_map<std::string, std::string> renaming;
-  std::string key = pattern.PredicateId();
-  std::function<void(const Term&)> visit = [&](const Term& t) {
-    switch (t.kind()) {
-      case Term::Kind::kVariable: {
-        auto [it, unused] = renaming.emplace(
-            t.name(), "v" + std::to_string(renaming.size()));
-        key += "|" + it->second;
-        return;
-      }
-      case Term::Kind::kSymbol:
-        key += "|s:" + t.name();
-        return;
-      case Term::Kind::kInt:
-        key += "|i:" + std::to_string(t.int_value());
-        return;
-      case Term::Kind::kCompound:
-        key += "|f:" + t.name() + "(";
-        for (const Term& a : t.args()) visit(a);
-        key += ")";
-        return;
-    }
-  };
-  for (const Term& t : pattern.args()) visit(t);
-  return key;
-}
+using datalog::CallKey;
+using datalog::MakeCallKey;
 
 /// Renders an internal atom back in MultiLog surface syntax for proof
 /// conclusions.
 std::string DecodeAtom(const Atom& atom) {
-  const std::string id = atom.PredicateId();
+  static const datalog::PredicateId kRel6("rel/6");
+  static const datalog::PredicateId kBel7("bel/7");
+  static const datalog::PredicateId kDominate2("dominate/2");
+  const datalog::PredicateId id = atom.PredicateId();
   const auto& a = atom.args();
-  if (id == "rel/6") {
+  if (id == kRel6) {
     return a[5].ToString() + "[" + a[0].ToString() + "(" + a[1].ToString() +
            " : " + a[2].ToString() + " -" + a[4].ToString() + "-> " +
            a[3].ToString() + ")]";
   }
-  if (id == "bel/7") {
+  if (id == kBel7) {
     Atom rel("rel", {a[0], a[1], a[2], a[3], a[4], a[5]});
     return DecodeAtom(rel) + " << " + a[6].ToString();
   }
-  if (id == "dominate/2") {
+  if (id == kDominate2) {
     return a[0].ToString() + " <= " + a[1].ToString();
   }
   return atom.ToString();
 }
 
 std::string RuleNameForHead(const Atom& head) {
-  const std::string id = head.PredicateId();
-  if (id == "rel/6") return "deduction-g'";
-  if (id == "bel/7") return "user-belief";
+  static const datalog::PredicateId kRel6("rel/6");
+  static const datalog::PredicateId kBel7("bel/7");
+  const datalog::PredicateId id = head.PredicateId();
+  if (id == kRel6) return "deduction-g'";
+  if (id == kBel7) return "user-belief";
   return "deduction-g";
 }
 
@@ -161,7 +140,7 @@ Status Interpreter::SolveBody(const std::vector<Literal>& body, size_t index,
           grounded.ToString());
     }
     MULTILOG_RETURN_IF_ERROR(CompleteCall(grounded));
-    auto table_it = tables_.find(CallKey(grounded));
+    auto table_it = tables_.find(MakeCallKey(grounded));
     if (table_it != tables_.end() && table_it->second.set.count(grounded)) {
       return Status::OK();  // the atom holds, so its negation fails
     }
@@ -174,7 +153,7 @@ Status Interpreter::SolveBody(const std::vector<Literal>& body, size_t index,
 
   const Atom pattern = current.subst.Apply(lit.atom());
   MULTILOG_RETURN_IF_ERROR(SolveCallOnce(pattern));
-  auto it = tables_.find(CallKey(pattern));
+  auto it = tables_.find(MakeCallKey(pattern));
   if (it == tables_.end()) return Status::OK();
   const std::vector<TabledAnswer> answers = it->second.answers;  // copy
   for (const TabledAnswer& answer : answers) {
@@ -287,7 +266,7 @@ Status Interpreter::ExpandBelief(const Atom& pattern, AnswerTable* table) {
         // Trivially captured by DEDUCTION-G' at the b-atom's own level.
         Atom rel("rel", {args[0], args[1], args[2], args[3], args[4], l});
         MULTILOG_RETURN_IF_ERROR(SolveCallOnce(rel));
-        auto it = tables_.find(CallKey(rel));
+        auto it = tables_.find(MakeCallKey(rel));
         if (it == tables_.end()) continue;
         const std::vector<TabledAnswer> answers = it->second.answers;
         for (const TabledAnswer& ra : answers) {
@@ -300,7 +279,7 @@ Status Interpreter::ExpandBelief(const Atom& pattern, AnswerTable* table) {
           Atom rel("rel", {args[0], args[1], args[2], args[3], args[4],
                            Term::Sym(r)});
           MULTILOG_RETURN_IF_ERROR(SolveCallOnce(rel));
-          auto it = tables_.find(CallKey(rel));
+          auto it = tables_.find(MakeCallKey(rel));
           if (it == tables_.end()) continue;
           const std::vector<TabledAnswer> answers = it->second.answers;
           for (const TabledAnswer& ra : answers) {
@@ -334,7 +313,7 @@ Status Interpreter::ExpandBelief(const Atom& pattern, AnswerTable* table) {
           Atom rel("rel",
                    {args[0], args[1], args[2], v_any, c_any, Term::Sym(r)});
           MULTILOG_RETURN_IF_ERROR(CompleteCall(rel));
-          auto it = tables_.find(CallKey(rel));
+          auto it = tables_.find(MakeCallKey(rel));
           if (it == tables_.end()) continue;
           for (const TabledAnswer& ra : it->second.answers) {
             visible.push_back(VisibleCell{ra.atom, ra.proof, r});
@@ -391,7 +370,7 @@ Status Interpreter::ExpandFilter(const Atom& pattern, AnswerTable* table) {
       Atom rel("rel",
                {args[0], args[1], args[2], v_any, c_any, Term::Sym(upper)});
       MULTILOG_RETURN_IF_ERROR(SolveCallOnce(rel));
-      auto it = tables_.find(CallKey(rel));
+      auto it = tables_.find(MakeCallKey(rel));
       if (it == tables_.end()) continue;
       const std::vector<TabledAnswer> answers = it->second.answers;
       for (const TabledAnswer& ra : answers) {
@@ -438,20 +417,23 @@ Status Interpreter::ExpandFilter(const Atom& pattern, AnswerTable* table) {
 }
 
 Status Interpreter::SolveCallOnce(const Atom& pattern) {
-  const std::string key = CallKey(pattern);
+  static const datalog::PredicateId kRel6("rel/6");
+  static const datalog::PredicateId kBel7("bel/7");
+  static const datalog::PredicateId kDominate2("dominate/2");
+  const CallKey key = MakeCallKey(pattern);
   if (active_.count(key)) return Status::OK();
   active_.insert(key);
   ++stats_.calls;
 
   AnswerTable& table = tables_[key];
   Status st;
-  const std::string id = pattern.PredicateId();
-  if (id == "dominate/2") {
+  const datalog::PredicateId id = pattern.PredicateId();
+  if (id == kDominate2) {
     st = ExpandDominate(pattern, &table);
-  } else if (id == "bel/7") {
+  } else if (id == kBel7) {
     st = ExpandBelief(pattern, &table);
     if (st.ok()) st = ExpandClauses(pattern, &table);  // USER-BELIEF
-  } else if (id == "rel/6") {
+  } else if (id == kRel6) {
     st = ExpandClauses(pattern, &table);
     if (st.ok() && (options_.enable_filter || options_.enable_filter_null)) {
       st = ExpandFilter(pattern, &table);
@@ -482,7 +464,7 @@ Result<std::vector<Interpreter::Answer>> Interpreter::Solve(
 
 Result<std::vector<Interpreter::Answer>> Interpreter::SolveLiterals(
     const std::vector<Literal>& goal) {
-  std::vector<std::string> goal_vars;
+  std::vector<Symbol> goal_vars;
   for (const Literal& l : goal) l.CollectVariables(&goal_vars);
   std::sort(goal_vars.begin(), goal_vars.end());
   goal_vars.erase(std::unique(goal_vars.begin(), goal_vars.end()),
@@ -506,7 +488,7 @@ Result<std::vector<Interpreter::Answer>> Interpreter::SolveLiterals(
   std::vector<Answer> answers;
   for (Match& m : matches) {
     Substitution restricted;
-    for (const std::string& v : goal_vars) {
+    for (Symbol v : goal_vars) {
       Term value = m.subst.Apply(Term::Var(v));
       if (!value.IsVariable()) restricted.Bind(v, value);
     }

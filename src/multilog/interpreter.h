@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "datalog/call_key.h"
 #include "datalog/program.h"
 #include "datalog/unify.h"
 #include "multilog/database.h"
@@ -132,10 +133,13 @@ class Interpreter {
   std::string user_level_;
   Options options_;
   datalog::Program program_;  // tau(Delta), guarded, no axioms
-  std::unordered_map<std::string, std::vector<const datalog::Clause*>>
+  std::unordered_map<datalog::PredicateId,
+                     std::vector<const datalog::Clause*>,
+                     datalog::PredicateIdHash>
       clauses_by_pred_;
-  std::unordered_map<std::string, AnswerTable> tables_;
-  std::unordered_set<std::string> active_;
+  std::unordered_map<datalog::CallKey, AnswerTable, datalog::CallKeyHash>
+      tables_;
+  std::unordered_set<datalog::CallKey, datalog::CallKeyHash> active_;
   int rename_counter_ = 0;
   Stats stats_;
 };

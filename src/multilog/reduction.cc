@@ -146,11 +146,16 @@ Result<std::vector<Clause>> TranslateClause(const MlClause& clause,
 }
 
 /// Level-argument position of a specialization target, or -1.
+/// The reserved predicate ids are interned once.
 int LevelPosition(const Atom& atom) {
-  const std::string id = atom.PredicateId();
-  if (id == "rel/6" || id == "vis/6") return 5;
-  if (id == "bel/7") return 5;
-  if (id == "overridden/5") return 4;
+  static const datalog::PredicateId kRel("rel/6");
+  static const datalog::PredicateId kVis("vis/6");
+  static const datalog::PredicateId kBel("bel/7");
+  static const datalog::PredicateId kOverridden("overridden/5");
+  const datalog::PredicateId id = atom.PredicateId();
+  if (id == kRel || id == kVis) return 5;
+  if (id == kBel) return 5;
+  if (id == kOverridden) return 4;
   return -1;
 }
 
@@ -175,15 +180,18 @@ Result<Atom> SpecializeAtom(const Atom& atom, int pos) {
 /// lattice. Returns 1 (true), 0 (false), -1 (not statically known).
 int StaticTruth(const lattice::SecurityLattice& lat, const Literal& lit) {
   if (lit.is_builtin()) return -1;
+  static const datalog::PredicateId kDominate("dominate/2");
+  static const datalog::PredicateId kSdom("sdom/2");
+  static const datalog::PredicateId kLevel("level/1");
   const Atom& a = lit.atom();
-  const std::string id = a.PredicateId();
+  const datalog::PredicateId id = a.PredicateId();
   bool truth;
-  if (id == "dominate/2" && a.args()[0].IsSymbol() && a.args()[1].IsSymbol()) {
+  if (id == kDominate && a.args()[0].IsSymbol() && a.args()[1].IsSymbol()) {
     truth = lat.Leq(a.args()[0].name(), a.args()[1].name()).value_or(false);
-  } else if (id == "sdom/2" && a.args()[0].IsSymbol() &&
+  } else if (id == kSdom && a.args()[0].IsSymbol() &&
              a.args()[1].IsSymbol()) {
     truth = lat.Lt(a.args()[0].name(), a.args()[1].name()).value_or(false);
-  } else if (id == "level/1" && a.args()[0].IsSymbol()) {
+  } else if (id == kLevel && a.args()[0].IsSymbol()) {
     truth = lat.Contains(a.args()[0].name());
   } else {
     return -1;
@@ -199,11 +207,13 @@ Status SpecializeClause(const Clause& clause,
                         const lattice::SecurityLattice& lat,
                         Program* out) {
   // Collect level-position variables across head and body targets.
-  std::set<std::string> level_vars;
+  // std::set<Symbol> iterates in lexicographic (resolved-name) order,
+  // so the emitted clause order matches the string-keyed era exactly.
+  std::set<Symbol> level_vars;
   auto collect = [&level_vars](const Atom& atom) {
     int pos = LevelPosition(atom);
     if (pos >= 0 && atom.args()[pos].IsVariable()) {
-      level_vars.insert(atom.args()[pos].name());
+      level_vars.insert(atom.args()[pos].symbol());
     }
   };
   collect(clause.head());
@@ -211,7 +221,7 @@ Status SpecializeClause(const Clause& clause,
     if (!lit.is_builtin()) collect(lit.atom());
   }
 
-  std::vector<std::string> vars(level_vars.begin(), level_vars.end());
+  std::vector<Symbol> vars(level_vars.begin(), level_vars.end());
   std::vector<size_t> choice(vars.size(), 0);
   const std::vector<std::string>& levels = lat.names();
 
@@ -429,18 +439,18 @@ ReducedProgram::TranslateGoal(const std::vector<MlLiteral>& goal) const {
   // variables and recording their bindings as explicit equalities so
   // answer substitutions still mention them. Statically false goals are
   // dropped; static pruning of true guards keeps the lists small.
-  std::set<std::string> level_vars;
+  std::set<Symbol> level_vars;
   for (const Literal& lit : generic) {
     if (lit.is_builtin()) continue;
     int pos = LevelPosition(lit.atom());
     if (pos >= 0 && lit.atom().args()[pos].IsVariable()) {
-      level_vars.insert(lit.atom().args()[pos].name());
+      level_vars.insert(lit.atom().args()[pos].symbol());
     }
   }
   // Reuse SpecializeClause by synthesizing a head that carries the level
   // variables, then stripping it off.
   std::vector<Term> head_args;
-  for (const std::string& v : level_vars) head_args.push_back(Var(v));
+  for (Symbol v : level_vars) head_args.push_back(Term::Var(v));
   Clause pseudo(Atom("__goal", head_args), generic);
 
   Program expanded;
@@ -451,9 +461,9 @@ ReducedProgram::TranslateGoal(const std::vector<MlLiteral>& goal) const {
     std::vector<Literal> list = c.body();
     // Re-attach level-variable bindings from the synthesized head.
     size_t i = 0;
-    for (const std::string& v : level_vars) {
-      list.push_back(Literal::Builtin(datalog::Comparison::kEq, Var(v),
-                                      c.head().args()[i]));
+    for (Symbol v : level_vars) {
+      list.push_back(Literal::Builtin(datalog::Comparison::kEq,
+                                      Term::Var(v), c.head().args()[i]));
       ++i;
     }
     out.push_back(std::move(list));

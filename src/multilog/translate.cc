@@ -115,7 +115,7 @@ namespace {
 mls::Value TermToValue(const Term& t) {
   if (IsNullTerm(t)) return mls::Value::NullValue();
   if (t.IsInt()) return mls::Value::Int(t.int_value());
-  return mls::Value::Str(t.name());
+  return mls::Value::Str(t.symbol());  // no re-interning
 }
 
 }  // namespace

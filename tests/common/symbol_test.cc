@@ -1,0 +1,134 @@
+#include "common/symbol.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+namespace multilog {
+namespace {
+
+TEST(SymbolTest, InternResolveRoundTrip) {
+  Symbol a = Symbol::Intern("alpha");
+  Symbol b = Symbol::Intern("beta");
+  EXPECT_EQ(a.str(), "alpha");
+  EXPECT_EQ(b.str(), "beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, Symbol::Intern("alpha"));
+}
+
+TEST(SymbolTest, DefaultIsEmptySymbol) {
+  Symbol s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.str(), "");
+  EXPECT_EQ(s, Symbol::Intern(""));
+}
+
+TEST(SymbolTest, IdsAreStableAcrossRepeatedInterning) {
+  std::vector<std::string> names;
+  for (int i = 0; i < 500; ++i) {
+    names.push_back("stable_" + std::to_string(i));
+  }
+  std::vector<uint32_t> first_ids;
+  for (const std::string& n : names) {
+    first_ids.push_back(Symbol::Intern(n).id());
+  }
+  // Interning more symbols must not move existing ids or their storage.
+  const std::string* addr_before = &Symbol::Intern(names[0]).str();
+  for (int i = 0; i < 500; ++i) {
+    Symbol::Intern("churn_" + std::to_string(i));
+  }
+  for (size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(Symbol::Intern(names[i]).id(), first_ids[i]);
+  }
+  EXPECT_EQ(&Symbol::Intern(names[0]).str(), addr_before);
+}
+
+TEST(SymbolTest, OrderingIsLexicographic) {
+  // Intern in an order unrelated to the lexicographic one, so id order
+  // and name order disagree.
+  std::vector<std::string> names = {"zeta", "mu", "aleph", "pi", "bb", "ba"};
+  std::set<Symbol> sorted;
+  for (const std::string& n : names) sorted.insert(Symbol::Intern(n));
+  std::vector<std::string> got;
+  for (Symbol s : sorted) got.push_back(s.str());
+  std::vector<std::string> want = names;
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(SymbolTest, HashAgreesWithEquality) {
+  std::unordered_set<Symbol, SymbolHash> set;
+  set.insert(Symbol::Intern("h1"));
+  set.insert(Symbol::Intern("h1"));
+  set.insert(Symbol::Intern("h2"));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(std::hash<Symbol>()(Symbol::Intern("h1")),
+            Symbol::Intern("h1").Hash());
+}
+
+// Property test: interning any set of strings and resolving them back is
+// the identity, and equal ids mean equal strings.
+TEST(SymbolTest, PropertyRoundTripRandomStrings) {
+  std::mt19937 rng(20260805);
+  std::uniform_int_distribution<int> len(0, 24);
+  std::uniform_int_distribution<int> ch('a', 'z');
+  std::map<std::string, uint32_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    std::string s;
+    int n = len(rng);
+    for (int j = 0; j < n; ++j) s.push_back(static_cast<char>(ch(rng)));
+    Symbol sym = Symbol::Intern(s);
+    ASSERT_EQ(sym.str(), s);
+    auto [it, inserted] = seen.emplace(s, sym.id());
+    if (!inserted) {
+      ASSERT_EQ(it->second, sym.id()) << "duplicate string got a new id";
+    }
+  }
+}
+
+// Eight threads intern overlapping name sets concurrently; every thread
+// must observe the same id for the same name, and resolution must never
+// tear. Run under TSan to check the acquire/release publication.
+TEST(SymbolTest, ConcurrentInterningIsConsistent) {
+  constexpr int kThreads = 8;
+  constexpr int kNames = 1000;
+  std::vector<std::vector<uint32_t>> ids(kThreads,
+                                         std::vector<uint32_t>(kNames));
+  std::atomic<int> start{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &ids, &start] {
+      start.fetch_add(1);
+      while (start.load() < kThreads) {
+      }
+      for (int i = 0; i < kNames; ++i) {
+        // Even names are shared across threads; odd names are
+        // thread-private, forcing both contended and fresh inserts.
+        std::string name = (i % 2 == 0)
+                               ? "shared_" + std::to_string(i)
+                               : "t" + std::to_string(t) + "_" +
+                                     std::to_string(i);
+        Symbol sym = Symbol::Intern(name);
+        EXPECT_EQ(sym.str(), name);
+        ids[t][i] = sym.id();
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int i = 0; i < kNames; i += 2) {
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(ids[t][i], ids[0][i]) << "shared name diverged at " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace multilog

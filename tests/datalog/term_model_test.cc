@@ -33,9 +33,11 @@ TEST(TermTest, Groundness) {
 TEST(TermTest, CollectVariablesInOrder) {
   Term t = Term::Fn("f", {Term::Var("X"), Term::Fn("g", {Term::Var("Y")}),
                           Term::Var("X")});
-  std::vector<std::string> vars;
+  std::vector<multilog::Symbol> vars;
   t.CollectVariables(&vars);
-  EXPECT_EQ(vars, (std::vector<std::string>{"X", "Y", "X"}));
+  EXPECT_EQ(vars, (std::vector<multilog::Symbol>{multilog::Symbol::Intern("X"),
+                                                 multilog::Symbol::Intern("Y"),
+                                                 multilog::Symbol::Intern("X")}));
 }
 
 TEST(TermTest, EqualityAndHash) {

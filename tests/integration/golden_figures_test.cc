@@ -2,9 +2,76 @@
 #include <gtest/gtest.h>
 
 #include "mls/sample_data.h"
+#include "multilog/engine.h"
+#include "multilog/proof.h"
 
 namespace multilog::mls {
 namespace {
+
+// The expected strings below were generated from the pre-interning
+// (string-keyed) engine; they pin the symbol-interned representation to
+// byte-identical renderings, i.e. interning is observationally invisible.
+
+TEST(GoldenFigures, Figure1RawMission) {
+  Result<MissionDataset> ds = BuildMissionDataset();
+  ASSERT_TRUE(ds.ok());
+  const char* expected =
+      "Mission\n"
+      "+----------+---+------------+---+--------+---+----+\n"
+      "| Starship | C | Objective  | C | Destin | C | TC |\n"
+      "+----------+---+------------+---+--------+---+----+\n"
+      "| Avenger  | s | Shipping   | s | Pluto  | s | s  |\n"
+      "| Atlantis | u | Diplomacy  | u | Vulcan | u | s  |\n"
+      "| Voyager  | u | Spying     | s | Mars   | u | s  |\n"
+      "| Phantom  | u | Spying     | s | Omega  | u | s  |\n"
+      "| Phantom  | c | Supply     | s | Venus  | s | s  |\n"
+      "| Atlantis | u | Diplomacy  | u | Vulcan | u | c  |\n"
+      "| Atlantis | u | Diplomacy  | u | Vulcan | u | u  |\n"
+      "| Voyager  | u | Training   | u | Mars   | u | u  |\n"
+      "| Falcon   | u | Piracy     | u | Venus  | u | u  |\n"
+      "| Eagle    | u | Patrolling | u | Degoba | u | u  |\n"
+      "+----------+---+------------+---+--------+---+----+\n";
+  EXPECT_EQ(ds->mission->ToString(), expected);
+}
+
+TEST(GoldenFigures, Figure2ULevelView) {
+  Result<MissionDataset> ds = BuildMissionDataset();
+  ASSERT_TRUE(ds.ok());
+  Result<Relation> view = ds->mission->ViewAt("u");
+  ASSERT_TRUE(view.ok());
+  const char* expected =
+      "Mission\n"
+      "+----------+---+------------+---+--------+---+----+\n"
+      "| Starship | C | Objective  | C | Destin | C | TC |\n"
+      "+----------+---+------------+---+--------+---+----+\n"
+      "| Atlantis | u | Diplomacy  | u | Vulcan | u | u  |\n"
+      "| Eagle    | u | Patrolling | u | Degoba | u | u  |\n"
+      "| Falcon   | u | Piracy     | u | Venus  | u | u  |\n"
+      "| Phantom  | u | ⊥          | u | Omega  | u | u  |\n"
+      "| Voyager  | u | Training   | u | Mars   | u | u  |\n"
+      "+----------+---+------------+---+--------+---+----+\n";
+  EXPECT_EQ(view->ToString(), expected);
+}
+
+TEST(GoldenFigures, Figure3CLevelView) {
+  Result<MissionDataset> ds = BuildMissionDataset();
+  ASSERT_TRUE(ds.ok());
+  Result<Relation> view = ds->mission->ViewAt("c");
+  ASSERT_TRUE(view.ok());
+  const char* expected =
+      "Mission\n"
+      "+----------+---+------------+---+--------+---+----+\n"
+      "| Starship | C | Objective  | C | Destin | C | TC |\n"
+      "+----------+---+------------+---+--------+---+----+\n"
+      "| Atlantis | u | Diplomacy  | u | Vulcan | u | c  |\n"
+      "| Eagle    | u | Patrolling | u | Degoba | u | u  |\n"
+      "| Falcon   | u | Piracy     | u | Venus  | u | u  |\n"
+      "| Phantom  | c | ⊥          | c | ⊥      | c | c  |\n"
+      "| Phantom  | u | ⊥          | u | Omega  | u | c  |\n"
+      "| Voyager  | u | Training   | u | Mars   | u | u  |\n"
+      "+----------+---+------------+---+--------+---+----+\n";
+  EXPECT_EQ(view->ToString(), expected);
+}
 
 // Byte-exact golden renderings of the paper's tabular figures, freezing
 // both content and presentation. Unit tests elsewhere pin the *content*
@@ -69,6 +136,67 @@ TEST(GoldenFigures, Figure6FirmViewTable) {
       "| Atlantis | u | Diplomacy | u | Vulcan | u | c  |\n"
       "+----------+---+-----------+---+--------+---+----+\n";
   EXPECT_EQ(firm->relation.ToString(), expected);
+}
+
+TEST(GoldenFigures, Figure7OptimisticViewTable) {
+  Result<MissionDataset> ds = BuildMissionDataset();
+  ASSERT_TRUE(ds.ok());
+  Result<BeliefOutcome> opt =
+      Believe(*ds->mission, "c", BeliefMode::kOptimistic);
+  ASSERT_TRUE(opt.ok());
+  const char* expected =
+      "Mission\n"
+      "+----------+---+------------+---+--------+---+----+\n"
+      "| Starship | C | Objective  | C | Destin | C | TC |\n"
+      "+----------+---+------------+---+--------+---+----+\n"
+      "| Atlantis | u | Diplomacy  | u | Vulcan | u | c  |\n"
+      "| Eagle    | u | Patrolling | u | Degoba | u | c  |\n"
+      "| Falcon   | u | Piracy     | u | Venus  | u | c  |\n"
+      "| Voyager  | u | Training   | u | Mars   | u | c  |\n"
+      "+----------+---+------------+---+--------+---+----+\n";
+  EXPECT_EQ(opt->relation.ToString(), expected);
+}
+
+TEST(GoldenFigures, Figure8CautiousViewTable) {
+  Result<MissionDataset> ds = BuildMissionDataset();
+  ASSERT_TRUE(ds.ok());
+  Result<BeliefOutcome> cau =
+      Believe(*ds->mission, "c", BeliefMode::kCautious);
+  ASSERT_TRUE(cau.ok());
+  const char* expected =
+      "Mission\n"
+      "+----------+---+------------+---+--------+---+----+\n"
+      "| Starship | C | Objective  | C | Destin | C | TC |\n"
+      "+----------+---+------------+---+--------+---+----+\n"
+      "| Atlantis | u | Diplomacy  | u | Vulcan | u | c  |\n"
+      "| Eagle    | u | Patrolling | u | Degoba | u | c  |\n"
+      "| Falcon   | u | Piracy     | u | Venus  | u | c  |\n"
+      "| Voyager  | u | Training   | u | Mars   | u | c  |\n"
+      "+----------+---+------------+---+--------+---+----+\n";
+  EXPECT_EQ(cau->relation.ToString(), expected);
+}
+
+TEST(GoldenFigures, Figure11ProofTree) {
+  Result<ml::Engine> engine = ml::Engine::FromSource(D1Source());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  Result<ml::QueryResult> r = engine->QuerySource(
+      "c[p(k : a -R-> v)] << opt", "c", ml::ExecMode::kOperational);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->answers.size(), 1u);
+  ASSERT_EQ(r->proofs.size(), 1u);
+  EXPECT_EQ(r->answers[0].ToString(), "{R=u}");
+  const char* expected =
+      "(and) <D, c> |- (goal)\n"
+      "  (belief) <D, c> |- c[p(k : a -u-> v)] << opt\n"
+      "    (descend-o) <D, c> |- u[p(k : a -u-> v)] with u <= c\n"
+      "      (transitivity) <D, c> |- u <= c\n"
+      "      (deduction-g') <D, c> |- u[p(k : a -u-> v)]\n"
+      "        (empty) []\n"
+      "  (reflexivity) <D, c> |- c <= c\n"
+      "  (transitivity) <D, c> |- u <= c\n";
+  EXPECT_EQ(ml::RenderProof(*r->proofs[0]), expected);
+  EXPECT_EQ(ml::ProofHeight(*r->proofs[0]), 5u);
+  EXPECT_EQ(ml::ProofSize(*r->proofs[0]), 8u);
 }
 
 }  // namespace
