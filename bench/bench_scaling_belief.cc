@@ -11,7 +11,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <utility>
 
 #include "mls/belief.h"
 #include "mls/sample_data.h"
@@ -99,12 +104,44 @@ BENCHMARK(BM_SigmaViewVsEntities)
 BENCHMARK_CAPTURE(BM_BetaOnDiamond, cau, BeliefMode::kCautious);
 BENCHMARK_CAPTURE(BM_BetaOnDiamond, opt, BeliefMode::kOptimistic);
 
+/// Machine-readable scaling records (same line format as the datalog
+/// bench; see scripts/run_experiments.sh). Beta itself is
+/// single-threaded, so every record carries threads = 1.
+void EmitScalingJson() {
+  const char* path = std::getenv("MULTILOG_SCALING_JSON");
+  if (path == nullptr) return;
+  std::ofstream out(path, std::ios::app);
+  if (!out) return;
+  const std::string top = Chain4().MaximalElements().front();
+  const int kRepeats = 3;
+  for (size_t entities : {256u, 1024u}) {
+    Relation rel = MakeRelation(Chain4(), entities, 3);
+    for (auto [name, mode] :
+         {std::pair{"beta_firm", BeliefMode::kFirm},
+          std::pair{"beta_optimistic", BeliefMode::kOptimistic},
+          std::pair{"beta_cautious", BeliefMode::kCautious}}) {
+      double best_ms = 0;
+      for (int rep = 0; rep < kRepeats; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(Believe(rel, top, mode));
+        const auto stop = std::chrono::steady_clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(stop - start).count();
+        if (rep == 0 || ms < best_ms) best_ms = ms;
+      }
+      out << "{\"bench\": \"" << name << "\", \"size\": " << entities
+          << ", \"threads\": 1, \"wall_ms\": " << best_ms << "}\n";
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::printf(
       "E17: beta scaling (synthetic relations; see EXPERIMENTS.md for the "
       "expected shapes)\n\n");
+  EmitScalingJson();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

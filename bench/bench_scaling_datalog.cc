@@ -10,7 +10,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <random>
 #include <string>
 #include <unordered_map>
@@ -66,6 +69,19 @@ void BM_TcRandom(benchmark::State& state, EvalOptions::Strategy strategy) {
                           static_cast<int>(state.range(0)) * 2, 7);
   EvalOptions options;
   options.strategy = strategy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Evaluate(p, options));
+  }
+}
+
+void BM_TcRandomThreads(benchmark::State& state) {
+  // Thread-scaling variant: same workload, num_threads from the second
+  // range argument. Results are identical at every thread count (the
+  // parallel merge is deterministic); only the wall clock moves.
+  Program p = RandomGraph(static_cast<int>(state.range(0)),
+                          static_cast<int>(state.range(0)) * 4, 7);
+  EvalOptions options;
+  options.num_threads = static_cast<size_t>(state.range(1));
   for (auto _ : state) {
     benchmark::DoNotOptimize(Evaluate(p, options));
   }
@@ -151,6 +167,9 @@ BENCHMARK_CAPTURE(BM_TcRandom, seminaive, EvalOptions::Strategy::kSeminaive)
 BENCHMARK_CAPTURE(BM_TcRandom, naive, EvalOptions::Strategy::kNaive)
     ->RangeMultiplier(2)
     ->Range(32, 256);
+BENCHMARK(BM_TcRandomThreads)
+    ->ArgsProduct({{256, 512}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PointQueryTopDown)->RangeMultiplier(2)->Range(16, 128);
 BENCHMARK(BM_PointQueryBottomUp)->RangeMultiplier(2)->Range(16, 128);
 BENCHMARK(BM_PointQueryMagic)->RangeMultiplier(2)->Range(16, 128);
@@ -215,10 +234,44 @@ void BM_InternAblationSymbolKey(benchmark::State& state) {
 BENCHMARK(BM_InternAblationStringKey)->RangeMultiplier(4)->Range(256, 16384);
 BENCHMARK(BM_InternAblationSymbolKey)->RangeMultiplier(4)->Range(256, 16384);
 
+/// Machine-readable scaling records. When MULTILOG_SCALING_JSON names a
+/// file, appends one JSON object per line:
+///   {"bench": "...", "size": N, "threads": T, "wall_ms": W}
+/// scripts/run_experiments.sh collects the lines from every bench
+/// binary into BENCH_scaling.json.
+void EmitScalingJson() {
+  const char* path = std::getenv("MULTILOG_SCALING_JSON");
+  if (path == nullptr) return;
+  std::ofstream out(path, std::ios::app);
+  if (!out) return;
+  const int kRepeats = 3;
+  for (int nodes : {256, 512}) {
+    Program p = RandomGraph(nodes, nodes * 4, 7);
+    for (size_t threads : {1u, 2u, 4u, 8u}) {
+      EvalOptions options;
+      options.num_threads = threads;
+      double best_ms = 0;
+      for (int rep = 0; rep < kRepeats; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        auto model = Evaluate(p, options);
+        const auto stop = std::chrono::steady_clock::now();
+        if (!model.ok()) std::abort();
+        const double ms =
+            std::chrono::duration<double, std::milli>(stop - start).count();
+        if (rep == 0 || ms < best_ms) best_ms = ms;
+      }
+      out << "{\"bench\": \"tc_random\", \"size\": " << nodes
+          << ", \"threads\": " << threads << ", \"wall_ms\": " << best_ms
+          << "}\n";
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::printf("E18: Datalog substrate scaling\n\n");
+  EmitScalingJson();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

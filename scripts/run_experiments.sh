@@ -2,13 +2,25 @@
 # Regenerates every experiment in EXPERIMENTS.md: builds, runs the full
 # test suite, then every bench binary (each prints its paper artifact
 # before its timings). Outputs land in test_output.txt / bench_output.txt
-# at the repository root.
+# at the repository root, and the scaling benches' machine-readable
+# records are collected into BENCH_scaling.json (an array of
+# {"bench", "size", "threads", "wall_ms"} objects).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
+
+scaling_lines="$(mktemp)"
+trap 'rm -f "$scaling_lines"' EXIT
 for b in build/bench/*; do
-  [ -x "$b" ] && "$b"
+  [ -x "$b" ] && MULTILOG_SCALING_JSON="$scaling_lines" "$b"
 done 2>&1 | tee bench_output.txt
+
+{
+  echo '['
+  paste -sd ',' "$scaling_lines"
+  echo ']'
+} > BENCH_scaling.json
+echo "wrote BENCH_scaling.json ($(wc -l < "$scaling_lines") records)"

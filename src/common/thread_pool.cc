@@ -1,0 +1,94 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace multilog {
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Per-batch state, shared with the helper tasks. `fn` is captured by
+  // reference: safe because this frame blocks until every helper that
+  // could touch it has finished.
+  struct Batch {
+    std::atomic<size_t> next{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t live_helpers = 0;
+  };
+  auto batch = std::make_shared<Batch>();
+
+  // No point waking more helpers than there are items beyond the one
+  // the caller will take.
+  const size_t helpers = std::min(workers_.size(), n - 1);
+  {
+    std::lock_guard<std::mutex> lock(batch->mu);
+    batch->live_helpers = helpers;
+  }
+  for (size_t h = 0; h < helpers; ++h) {
+    Submit([batch, &fn, n] {
+      for (;;) {
+        const size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        fn(i);
+      }
+      std::lock_guard<std::mutex> lock(batch->mu);
+      if (--batch->live_helpers == 0) batch->done_cv.notify_all();
+    });
+  }
+
+  for (;;) {
+    const size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    fn(i);
+  }
+
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->done_cv.wait(lock, [&batch] { return batch->live_helpers == 0; });
+}
+
+}  // namespace multilog

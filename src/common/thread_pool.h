@@ -1,0 +1,62 @@
+#ifndef MULTILOG_COMMON_THREAD_POOL_H_
+#define MULTILOG_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace multilog {
+
+/// A small fixed-size worker pool for data-parallel evaluation rounds.
+///
+/// The pool owns `num_workers` threads that drain a FIFO task queue.
+/// `ParallelFor(n, fn)` is the only interface the evaluator needs: it
+/// runs `fn(0) .. fn(n-1)` across the workers *and the calling thread*
+/// (so a pool built with `num_workers = k` gives `k + 1`-way
+/// parallelism), returning only after every index has completed. Work
+/// is distributed by atomic index-stealing, so uneven item costs
+/// balance automatically.
+///
+/// Thread-safety: Submit and ParallelFor may be called from any thread;
+/// concurrent ParallelFor calls from different threads interleave their
+/// items on the same workers. `fn` must itself be safe to invoke
+/// concurrently on distinct indices.
+class ThreadPool {
+ public:
+  /// Starts `num_workers` threads (0 is allowed: everything then runs
+  /// inline on the calling thread).
+  explicit ThreadPool(size_t num_workers);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const { return workers_.size(); }
+
+  /// Enqueues one task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Runs fn(i) for every i in [0, n), blocking until all complete.
+  /// The caller participates, so items run with up to
+  /// `num_workers() + 1` way parallelism.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace multilog
+
+#endif  // MULTILOG_COMMON_THREAD_POOL_H_

@@ -1,11 +1,16 @@
 #include "datalog/eval.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <unordered_set>
 
+#include "common/thread_pool.h"
 #include "datalog/stratify.h"
 
 namespace multilog::datalog {
@@ -27,11 +32,30 @@ Result<Term> EvalArithmetic(const Term& term) {
   }
   const int64_t x = a.int_value();
   const int64_t y = b.int_value();
-  if (f == "plus") return Term::Int(x + y);
-  if (f == "minus") return Term::Int(x - y);
-  if (f == "times") return Term::Int(x * y);
+  auto overflow = [&term](const char* op) {
+    return Status::InvalidProgram(std::string("integer overflow in ") + op +
+                                  ": " + term.ToString());
+  };
+  int64_t r = 0;
+  if (f == "plus") {
+    if (__builtin_add_overflow(x, y, &r)) return overflow("plus");
+    return Term::Int(r);
+  }
+  if (f == "minus") {
+    if (__builtin_sub_overflow(x, y, &r)) return overflow("minus");
+    return Term::Int(r);
+  }
+  if (f == "times") {
+    if (__builtin_mul_overflow(x, y, &r)) return overflow("times");
+    return Term::Int(r);
+  }
   if (y == 0) {
     return Status::InvalidProgram("division by zero in " + term.ToString());
+  }
+  // INT64_MIN / -1 (and the corresponding mod) overflow int64_t even
+  // though the divisor is non-zero.
+  if (x == INT64_MIN && y == -1) {
+    return overflow(f == "div" ? "div" : "mod");
   }
   if (f == "div") return Term::Int(x / y);
   return Term::Int(x % y);
@@ -170,14 +194,38 @@ Clause ReorderBody(const Clause& clause) {
 
 namespace {
 
+/// One round's shared emission budget: `base` is the model size at the
+/// start of the round, `emitted` counts the round's emissions of heads
+/// not already in the model (re-derivations of known facts never grow
+/// the model, so they are free; a genuinely new fact derived twice in
+/// one round is charged twice, a bounded overcount). Checking on the
+/// emit path bounds how far a single explosive round can run past
+/// `max_facts` instead of letting the round finish unboundedly.
+struct EmitBudget {
+  size_t max_facts = 0;
+  size_t base = 0;
+  std::atomic<size_t> emitted{0};
+
+  Status Charge() {
+    const size_t count = emitted.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (base + count > max_facts) {
+      return Status::ResourceExhausted("evaluation exceeded max_facts = " +
+                                       std::to_string(max_facts));
+    }
+    return Status::OK();
+  }
+};
+
 /// Enumerates all substitutions satisfying `body` starting at literal
 /// `index` under `subst`, against `model`. When `delta_index >= 0`, the
-/// literal at that index ranges over `delta` instead of the model (the
-/// semi-naive restriction). Invokes `emit` for each complete match.
-/// Returns an error only for ill-formed builtins / non-ground negation.
+/// literal at that index ranges over the [delta_begin, delta_end) fact
+/// range instead of the model (the semi-naive restriction; parallel
+/// rounds pass one chunk of the delta per work item). Invokes `emit`
+/// for each complete match. Returns an error only for ill-formed
+/// builtins / non-ground negation.
 Status JoinBody(const std::vector<Literal>& body, size_t index,
-                const Model& model, const std::vector<Atom>* delta,
-                int delta_index, Substitution subst,
+                const Model& model, const Atom* delta_begin,
+                const Atom* delta_end, int delta_index, Substitution subst,
                 const std::function<Status(const Substitution&)>& emit) {
   if (index == body.size()) return emit(subst);
   const Literal& lit = body[index];
@@ -192,14 +240,14 @@ Status JoinBody(const std::vector<Literal>& body, size_t index,
       // Allow `=` to act as unification when a side is still free.
       Substitution extended = subst;
       if (!UnifyTerms(lhs, rhs, &extended)) return Status::OK();
-      return JoinBody(body, index + 1, model, delta, delta_index,
-                      std::move(extended), emit);
+      return JoinBody(body, index + 1, model, delta_begin, delta_end,
+                      delta_index, std::move(extended), emit);
     }
     MULTILOG_ASSIGN_OR_RETURN(bool holds,
                               EvalBuiltin(lit.comparison(), lhs, rhs));
     if (!holds) return Status::OK();
-    return JoinBody(body, index + 1, model, delta, delta_index,
-                    std::move(subst), emit);
+    return JoinBody(body, index + 1, model, delta_begin, delta_end,
+                    delta_index, std::move(subst), emit);
   }
 
   if (lit.negated()) {
@@ -210,25 +258,25 @@ Status JoinBody(const std::vector<Literal>& body, size_t index,
           grounded.ToString());
     }
     if (model.Contains(grounded)) return Status::OK();
-    return JoinBody(body, index + 1, model, delta, delta_index,
-                    std::move(subst), emit);
+    return JoinBody(body, index + 1, model, delta_begin, delta_end,
+                    delta_index, std::move(subst), emit);
   }
 
   const Atom pattern = subst.Apply(lit.atom());
 
-  // Candidate facts: the delta when this is the designated delta literal,
-  // otherwise an indexed selection from the model when some argument is
-  // already ground, otherwise a full predicate scan.
+  // Candidate facts: the delta chunk when this is the designated delta
+  // literal, otherwise an indexed selection from the model when some
+  // argument is already ground, otherwise a full predicate scan.
   auto try_fact = [&](const Atom& fact) -> Status {
     std::optional<Substitution> extended = UnifyAtoms(pattern, fact, subst);
     if (!extended.has_value()) return Status::OK();
-    return JoinBody(body, index + 1, model, delta, delta_index,
-                    std::move(*extended), emit);
+    return JoinBody(body, index + 1, model, delta_begin, delta_end,
+                    delta_index, std::move(*extended), emit);
   };
 
-  if (delta != nullptr && static_cast<int>(index) == delta_index) {
-    for (const Atom& fact : *delta) {
-      MULTILOG_RETURN_IF_ERROR(try_fact(fact));
+  if (delta_begin != nullptr && static_cast<int>(index) == delta_index) {
+    for (const Atom* fact = delta_begin; fact != delta_end; ++fact) {
+      MULTILOG_RETURN_IF_ERROR(try_fact(*fact));
     }
     return Status::OK();
   }
@@ -262,18 +310,26 @@ Status JoinBody(const std::vector<Literal>& body, size_t index,
 }
 
 /// Applies one (non-aggregate) clause, appending newly derivable head
-/// atoms (possibly already known) to `derived`.
+/// atoms (possibly already known) to `derived`. Reads only `model` and
+/// the delta range; writes only the caller-private `stats`/`derived`
+/// (and the shared atomic budget), so concurrent calls on distinct
+/// outputs are safe.
 Status ApplyClause(const Clause& clause, const Model& model,
-                   const std::vector<Atom>* delta, int delta_index,
-                   EvalStats* stats, std::vector<Atom>* derived) {
+                   const Atom* delta_begin, const Atom* delta_end,
+                   int delta_index, EmitBudget* budget, EvalStats* stats,
+                   std::vector<Atom>* derived) {
   if (stats != nullptr) ++stats->rule_applications;
   return JoinBody(
-      clause.body(), 0, model, delta, delta_index, Substitution(),
+      clause.body(), 0, model, delta_begin, delta_end, delta_index,
+      Substitution(),
       [&](const Substitution& subst) -> Status {
         Atom head = subst.Apply(clause.head());
         if (!head.IsGround()) {
           return Status::InvalidProgram("derived non-ground head: " +
                                         head.ToString());
+        }
+        if (budget != nullptr && !model.Contains(head)) {
+          MULTILOG_RETURN_IF_ERROR(budget->Charge());
         }
         if (stats != nullptr) ++stats->facts_derived;
         derived->push_back(std::move(head));
@@ -286,13 +342,14 @@ Status ApplyClause(const Clause& clause, const Model& model,
 /// bindings of the aggregated term per group (set semantics, matching
 /// the model's set-based storage).
 Status ApplyAggregateClause(const Clause& clause, const Model& model,
-                            EvalStats* stats, std::vector<Atom>* derived) {
+                            EmitBudget* budget, EvalStats* stats,
+                            std::vector<Atom>* derived) {
   if (stats != nullptr) ++stats->rule_applications;
 
   // Group key (ground head args minus the aggregate slot) -> value set.
   std::map<std::vector<Term>, std::set<Term>> groups;
   MULTILOG_RETURN_IF_ERROR(JoinBody(
-      clause.body(), 0, model, nullptr, -1, Substitution(),
+      clause.body(), 0, model, nullptr, nullptr, -1, Substitution(),
       [&](const Substitution& subst) -> Status {
         std::vector<Term> key;
         for (size_t i = 0; i < clause.head().args().size(); ++i) {
@@ -327,7 +384,10 @@ Status ApplyAggregateClause(const Clause& clause, const Model& model,
                 "sum over a non-integer value " + v.ToString() + " in " +
                 clause.ToString());
           }
-          total += v.int_value();
+          if (__builtin_add_overflow(total, v.int_value(), &total)) {
+            return Status::InvalidProgram("integer overflow in sum: " +
+                                          clause.ToString());
+          }
         }
         result = Term::Int(total);
         break;
@@ -349,9 +409,56 @@ Status ApplyAggregateClause(const Clause& clause, const Model& model,
         args.push_back(key[key_index++]);
       }
     }
+    if (budget != nullptr) MULTILOG_RETURN_IF_ERROR(budget->Charge());
     if (stats != nullptr) ++stats->facts_derived;
     derived->push_back(
         Atom(clause.head().predicate_symbol(), std::move(args)));
+  }
+  return Status::OK();
+}
+
+/// Runs `n` independent work items, each writing into a private
+/// stats/derived pair, and merges the results in work-item order.
+/// Sequential when `pool == nullptr` (exactly today's single-threaded
+/// behavior, including early exit on the first error). In parallel
+/// mode every item runs even if an earlier one failed; the first
+/// error *in item order* is returned (schedule-independent). The
+/// derivations are concatenated in item order, which is already
+/// schedule-independent: items are ordered (clause x delta-chunk)
+/// pieces, and within an item the join order is fixed, so the merged
+/// sequence matches a sequential run over the same items regardless of
+/// which worker ran what.
+Status RunRound(ThreadPool* pool, size_t n,
+                const std::function<Status(size_t, EvalStats*,
+                                           std::vector<Atom>*)>& item,
+                EvalStats* stats, std::vector<Atom>* derived) {
+  if (pool == nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      MULTILOG_RETURN_IF_ERROR(item(i, stats, derived));
+    }
+    return Status::OK();
+  }
+
+  std::vector<Status> statuses(n);
+  std::vector<EvalStats> item_stats(n);
+  std::vector<std::vector<Atom>> outs(n);
+  pool->ParallelFor(n, [&](size_t i) {
+    statuses[i] = item(i, &item_stats[i], &outs[i]);
+  });
+  if (stats != nullptr) {
+    for (const EvalStats& s : item_stats) {
+      stats->rule_applications += s.rule_applications;
+      stats->facts_derived += s.facts_derived;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    MULTILOG_RETURN_IF_ERROR(statuses[i]);
+  }
+  size_t total = derived->size();
+  for (const std::vector<Atom>& out : outs) total += out.size();
+  derived->reserve(total);
+  for (std::vector<Atom>& out : outs) {
+    for (Atom& a : out) derived->push_back(std::move(a));
   }
   return Status::OK();
 }
@@ -360,20 +467,42 @@ using PredicateIdSet = std::unordered_set<PredicateId, PredicateIdHash>;
 
 Status EvaluateStratumSeminaive(const std::vector<const Clause*>& clauses,
                                 const PredicateIdSet& stratum_preds,
-                                const EvalOptions& options, Model* model,
-                                EvalStats* stats) {
-  // Round 0: apply every clause against the current model.
+                                const EvalOptions& options, ThreadPool* pool,
+                                Model* model, EvalStats* stats) {
+  // Round 0: apply every clause against the current model. Aggregate
+  // clauses always run on the calling thread (each folds one global
+  // group map); plain clauses are one work item each.
   std::vector<Atom> delta;
   {
+    EmitBudget budget{options.max_facts, model->size()};
     std::vector<Atom> derived;
-    for (const Clause* c : clauses) {
-      if (c->is_aggregate()) {
-        MULTILOG_RETURN_IF_ERROR(
-            ApplyAggregateClause(*c, *model, stats, &derived));
-      } else {
-        MULTILOG_RETURN_IF_ERROR(
-            ApplyClause(*c, *model, nullptr, -1, stats, &derived));
+    if (pool == nullptr) {
+      for (const Clause* c : clauses) {
+        if (c->is_aggregate()) {
+          MULTILOG_RETURN_IF_ERROR(
+              ApplyAggregateClause(*c, *model, &budget, stats, &derived));
+        } else {
+          MULTILOG_RETURN_IF_ERROR(ApplyClause(*c, *model, nullptr, nullptr,
+                                               -1, &budget, stats, &derived));
+        }
       }
+    } else {
+      std::vector<const Clause*> plain;
+      for (const Clause* c : clauses) {
+        if (c->is_aggregate()) {
+          MULTILOG_RETURN_IF_ERROR(
+              ApplyAggregateClause(*c, *model, &budget, stats, &derived));
+        } else {
+          plain.push_back(c);
+        }
+      }
+      MULTILOG_RETURN_IF_ERROR(RunRound(
+          pool, plain.size(),
+          [&](size_t i, EvalStats* s, std::vector<Atom>* out) {
+            return ApplyClause(*plain[i], *model, nullptr, nullptr, -1,
+                               &budget, s, out);
+          },
+          stats, &derived));
     }
     for (Atom& a : derived) {
       if (model->Insert(a)) delta.push_back(std::move(a));
@@ -382,14 +511,32 @@ Status EvaluateStratumSeminaive(const std::vector<const Clause*>& clauses,
   }
 
   // Recursive rounds: only clauses with a positive literal on a predicate
-  // of this stratum can fire on new facts.
+  // of this stratum can fire on new facts. Work items are (rotated
+  // clause x delta chunk); every worker reads the same frozen model and
+  // delta, so the round is embarrassingly parallel.
   while (!delta.empty()) {
     if (model->size() > options.max_facts) {
       return Status::ResourceExhausted(
           "evaluation exceeded max_facts = " +
           std::to_string(options.max_facts));
     }
-    std::vector<Atom> derived;
+    EmitBudget budget{options.max_facts, model->size()};
+
+    // Delta chunk size: one chunk in sequential mode (today's exact
+    // behavior); ~4 chunks per thread in parallel mode so index-stealing
+    // can balance skewed clauses.
+    const size_t threads = pool == nullptr ? 1 : pool->num_workers() + 1;
+    size_t chunk = delta.size();
+    if (threads > 1) {
+      chunk = std::max<size_t>(1, delta.size() / (threads * 4));
+    }
+
+    std::deque<Clause> rotations;  // stable addresses for the items
+    struct Item {
+      const Clause* clause;
+      size_t begin, end;  // delta range
+    };
+    std::vector<Item> items;
     for (const Clause* c : clauses) {
       for (size_t i = 0; i < c->body().size(); ++i) {
         const Literal& lit = c->body()[i];
@@ -406,11 +553,24 @@ Status EvaluateStratumSeminaive(const std::vector<const Clause*>& clauses,
         for (size_t j = 0; j < c->body().size(); ++j) {
           if (j != i) body.push_back(c->body()[j]);
         }
-        Clause rotated(c->head(), std::move(body));
-        MULTILOG_RETURN_IF_ERROR(
-            ApplyClause(rotated, *model, &delta, 0, stats, &derived));
+        rotations.emplace_back(c->head(), std::move(body));
+        const Clause* rotated = &rotations.back();
+        for (size_t b = 0; b < delta.size(); b += chunk) {
+          items.push_back({rotated, b, std::min(b + chunk, delta.size())});
+        }
       }
     }
+
+    std::vector<Atom> derived;
+    MULTILOG_RETURN_IF_ERROR(RunRound(
+        pool, items.size(),
+        [&](size_t i, EvalStats* s, std::vector<Atom>* out) {
+          const Item& it = items[i];
+          return ApplyClause(*it.clause, *model, delta.data() + it.begin,
+                             delta.data() + it.end, 0, &budget, s, out);
+        },
+        stats, &derived));
+
     std::vector<Atom> next_delta;
     for (Atom& a : derived) {
       if (model->Insert(a)) next_delta.push_back(std::move(a));
@@ -422,8 +582,8 @@ Status EvaluateStratumSeminaive(const std::vector<const Clause*>& clauses,
 }
 
 Status EvaluateStratumNaive(const std::vector<const Clause*>& clauses,
-                            const EvalOptions& options, Model* model,
-                            EvalStats* stats) {
+                            const EvalOptions& options, ThreadPool* pool,
+                            Model* model, EvalStats* stats) {
   bool changed = true;
   while (changed) {
     if (model->size() > options.max_facts) {
@@ -432,15 +592,35 @@ Status EvaluateStratumNaive(const std::vector<const Clause*>& clauses,
           std::to_string(options.max_facts));
     }
     changed = false;
+    EmitBudget budget{options.max_facts, model->size()};
     std::vector<Atom> derived;
-    for (const Clause* c : clauses) {
-      if (c->is_aggregate()) {
-        MULTILOG_RETURN_IF_ERROR(
-            ApplyAggregateClause(*c, *model, stats, &derived));
-      } else {
-        MULTILOG_RETURN_IF_ERROR(
-            ApplyClause(*c, *model, nullptr, -1, stats, &derived));
+    if (pool == nullptr) {
+      for (const Clause* c : clauses) {
+        if (c->is_aggregate()) {
+          MULTILOG_RETURN_IF_ERROR(
+              ApplyAggregateClause(*c, *model, &budget, stats, &derived));
+        } else {
+          MULTILOG_RETURN_IF_ERROR(ApplyClause(*c, *model, nullptr, nullptr,
+                                               -1, &budget, stats, &derived));
+        }
       }
+    } else {
+      std::vector<const Clause*> plain;
+      for (const Clause* c : clauses) {
+        if (c->is_aggregate()) {
+          MULTILOG_RETURN_IF_ERROR(
+              ApplyAggregateClause(*c, *model, &budget, stats, &derived));
+        } else {
+          plain.push_back(c);
+        }
+      }
+      MULTILOG_RETURN_IF_ERROR(RunRound(
+          pool, plain.size(),
+          [&](size_t i, EvalStats* s, std::vector<Atom>* out) {
+            return ApplyClause(*plain[i], *model, nullptr, nullptr, -1,
+                               &budget, s, out);
+          },
+          stats, &derived));
     }
     for (const Atom& a : derived) {
       if (model->Insert(a)) changed = true;
@@ -466,6 +646,14 @@ Result<Model> Evaluate(const Program& program, const EvalOptions& options,
     effective = &reordered;
   }
 
+  // num_threads counts the calling thread, so the pool holds one fewer
+  // worker. No pool at all when num_threads <= 1: that path must stay
+  // byte-for-byte the historical sequential evaluator.
+  std::unique_ptr<ThreadPool> pool;
+  if (options.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(options.num_threads - 1);
+  }
+
   Model model;
   for (size_t s = 0; s < strat.num_strata(); ++s) {
     PredicateIdSet stratum_preds(strat.strata[s].begin(),
@@ -476,10 +664,10 @@ Result<Model> Evaluate(const Program& program, const EvalOptions& options,
     }
     if (options.strategy == EvalOptions::Strategy::kSeminaive) {
       MULTILOG_RETURN_IF_ERROR(EvaluateStratumSeminaive(
-          clauses, stratum_preds, options, &model, stats));
+          clauses, stratum_preds, options, pool.get(), &model, stats));
     } else {
-      MULTILOG_RETURN_IF_ERROR(
-          EvaluateStratumNaive(clauses, options, &model, stats));
+      MULTILOG_RETURN_IF_ERROR(EvaluateStratumNaive(
+          clauses, options, pool.get(), &model, stats));
     }
   }
   return model;
@@ -496,7 +684,7 @@ Result<std::vector<Substitution>> QueryModel(
   std::set<std::string> seen;  // canonical text of the restricted answer
   std::vector<Substitution> answers;
   MULTILOG_RETURN_IF_ERROR(JoinBody(
-      goal, 0, model, nullptr, -1, Substitution(),
+      goal, 0, model, nullptr, nullptr, -1, Substitution(),
       [&](const Substitution& subst) -> Status {
         Substitution restricted;
         for (Symbol v : goal_vars) {

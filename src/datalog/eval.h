@@ -26,8 +26,23 @@ struct EvalOptions {
 
   /// Hard cap on the total number of derived facts; exceeded means
   /// ResourceExhausted (guards against runaway programs with compound
-  /// terms, which make the Herbrand base infinite).
+  /// terms, which make the Herbrand base infinite). Enforced on the
+  /// emit path, so a single explosive round stops near the cap instead
+  /// of overshooting it by an unbounded amount. The budget counts
+  /// model facts plus the current round's emissions (duplicates
+  /// included), so evaluation can stop while a round is still running.
   size_t max_facts = 10'000'000;
+
+  /// Degree of parallelism for the bottom-up fixpoint. 1 (the default)
+  /// is the exact sequential path. With k > 1 threads, each round's
+  /// (clause x delta-chunk) work items are partitioned across k workers
+  /// (the caller plus k-1 pool threads); every worker joins against the
+  /// same immutable snapshot of the model and collects its derivations
+  /// privately, and the round's results are merged into the model
+  /// deterministically (concatenated in work-item order, then sorted),
+  /// so the fixpoint model, the number of rounds, and all rendered
+  /// output are identical for every thread count.
+  size_t num_threads = 1;
 
   /// Greedy join reordering: before evaluation, each clause body is
   /// reordered so that literals with more already-bound arguments join
@@ -40,7 +55,8 @@ struct EvalOptions {
 /// Counters for benchmarking and tests.
 struct EvalStats {
   size_t iterations = 0;         // fixpoint rounds across all strata
-  size_t rule_applications = 0;  // body-join attempts
+  size_t rule_applications = 0;  // body-join attempts (one per work item
+                                 // when num_threads > 1 chunks the delta)
   size_t facts_derived = 0;      // successful head derivations (pre-dedup)
 };
 

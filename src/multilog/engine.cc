@@ -87,47 +87,74 @@ Result<Engine> Engine::FromDatabase(Database db, EngineOptions options) {
 
 Result<const ReducedProgram*> Engine::Reduced(const std::string& user_level) {
   const Symbol level = Symbol::Intern(user_level);
-  auto it = reduced_.find(level);
-  if (it == reduced_.end()) {
-    MULTILOG_ASSIGN_OR_RETURN(ReducedProgram rp,
-                              Reduce(cdb_, user_level, options_.reduction));
-    it = reduced_.emplace(level, std::move(rp)).first;
+  {
+    std::shared_lock<std::shared_mutex> lock(caches_->mu);
+    auto it = caches_->reduced.find(level);
+    if (it != caches_->reduced.end()) return &it->second;
   }
+  // Build outside any lock (Reduce only reads the immutable cdb_), then
+  // publish; on a race the first insert wins and both callers see it.
+  MULTILOG_ASSIGN_OR_RETURN(ReducedProgram rp,
+                            Reduce(cdb_, user_level, options_.reduction));
+  std::unique_lock<std::shared_mutex> lock(caches_->mu);
+  auto [it, inserted] = caches_->reduced.try_emplace(level, std::move(rp));
   return &it->second;
 }
 
 Result<const datalog::Model*> Engine::ReducedModel(
     const std::string& user_level) {
   const Symbol level = Symbol::Intern(user_level);
-  auto it = models_.find(level);
-  if (it == models_.end()) {
-    MULTILOG_ASSIGN_OR_RETURN(const ReducedProgram* rp, Reduced(user_level));
-    MULTILOG_ASSIGN_OR_RETURN(Model raw, datalog::Evaluate(rp->program));
-    Model decoded;
-    for (const std::string& pred : raw.Predicates()) {
-      for (const Atom& fact : raw.FactsFor(pred)) {
-        decoded.Insert(DecodeFact(fact));
-      }
-    }
-    it = models_.emplace(level, std::move(decoded)).first;
+  {
+    std::shared_lock<std::shared_mutex> lock(caches_->mu);
+    auto it = caches_->models.find(level);
+    if (it != caches_->models.end()) return &it->second;
   }
+  // The reduced program is immutable once published, so evaluation can
+  // run outside the lock; racing evaluations of the same level produce
+  // identical models (the parallel merge is deterministic) and the
+  // first publication wins.
+  MULTILOG_ASSIGN_OR_RETURN(const ReducedProgram* rp, Reduced(user_level));
+  MULTILOG_ASSIGN_OR_RETURN(Model raw,
+                            datalog::Evaluate(rp->program, options_.eval));
+  Model decoded;
+  for (const std::string& pred : raw.Predicates()) {
+    for (const Atom& fact : raw.FactsFor(pred)) {
+      decoded.Insert(DecodeFact(fact));
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(caches_->mu);
+  auto [it, inserted] = caches_->models.try_emplace(level, std::move(decoded));
   return &it->second;
+}
+
+Result<Engine::InterpreterSlot*> Engine::GetInterpreterSlot(
+    const std::string& user_level) {
+  const Symbol level = Symbol::Intern(user_level);
+  InterpreterSlot* slot = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(caches_->mu);
+    auto it = caches_->interpreters.find(level);
+    if (it != caches_->interpreters.end()) slot = &it->second;
+  }
+  if (slot == nullptr) {
+    std::unique_lock<std::shared_mutex> lock(caches_->mu);
+    slot = &caches_->interpreters[level];  // try_emplace; node is stable
+  }
+  std::lock_guard<std::mutex> init(slot->mu);
+  if (slot->interp == nullptr) {
+    MULTILOG_ASSIGN_OR_RETURN(
+        Interpreter interp,
+        Interpreter::Create(&cdb_, user_level, options_.interpreter));
+    slot->interp = std::make_unique<Interpreter>(std::move(interp));
+  }
+  return slot;
 }
 
 Result<Interpreter*> Engine::OperationalInterpreter(
     const std::string& user_level) {
-  const Symbol level = Symbol::Intern(user_level);
-  auto it = interpreters_.find(level);
-  if (it == interpreters_.end()) {
-    MULTILOG_ASSIGN_OR_RETURN(
-        Interpreter interp,
-        Interpreter::Create(&cdb_, user_level, options_.interpreter));
-    it = interpreters_
-             .emplace(level,
-                      std::make_unique<Interpreter>(std::move(interp)))
-             .first;
-  }
-  return it->second.get();
+  MULTILOG_ASSIGN_OR_RETURN(InterpreterSlot * slot,
+                            GetInterpreterSlot(user_level));
+  return slot->interp.get();
 }
 
 Result<QueryResult> Engine::Query(const std::vector<MlLiteral>& goal,
@@ -137,10 +164,13 @@ Result<QueryResult> Engine::Query(const std::vector<MlLiteral>& goal,
 
   QueryResult operational;
   if (mode == ExecMode::kOperational || mode == ExecMode::kCheckBoth) {
-    MULTILOG_ASSIGN_OR_RETURN(Interpreter * interp,
-                              OperationalInterpreter(user_level));
+    MULTILOG_ASSIGN_OR_RETURN(InterpreterSlot * slot,
+                              GetInterpreterSlot(user_level));
+    // Solving mutates the interpreter's call tables, so hold the
+    // level's mutex for the duration; distinct levels run in parallel.
+    std::lock_guard<std::mutex> lock(slot->mu);
     MULTILOG_ASSIGN_OR_RETURN(std::vector<Interpreter::Answer> answers,
-                              interp->Solve(goal));
+                              slot->interp->Solve(goal));
     for (Interpreter::Answer& a : answers) {
       operational.answers.push_back(std::move(a.subst));
       operational.proofs.push_back(std::move(a.proof));

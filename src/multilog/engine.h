@@ -3,6 +3,8 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -30,6 +32,11 @@ enum class ExecMode {
 struct EngineOptions {
   Interpreter::Options interpreter;
   ReductionOptions reduction;
+  /// Evaluation knobs for the bottom-up (reduced) semantics, including
+  /// EvalOptions::num_threads for intra-query parallelism. The parallel
+  /// merge is deterministic, so answers are identical for every thread
+  /// count.
+  datalog::EvalOptions eval;
   /// Enforce Definition 5.4 on load (see CheckDatabase).
   bool require_consistency = false;
 };
@@ -45,6 +52,37 @@ struct QueryResult {
 /// The MultiLog engine: parses/checks a database once, then answers
 /// queries at any session level through either semantics. Reduced
 /// programs, their models, and interpreters are cached per level.
+///
+/// ## Concurrency model
+///
+/// After construction (FromSource / FromDatabase) the checked database,
+/// the lattice, and the options are immutable; the only mutable state is
+/// the per-level caches, guarded by one `std::shared_mutex`:
+///
+///  - `Query`, `QuerySource`, and `RunStoredQueries` are safe to call
+///    concurrently from any number of threads, at the same or different
+///    session levels, in any ExecMode. Concurrent sessions at different
+///    clearances - the paper's core multi-level scenario - therefore
+///    need no external locking.
+///  - Cache reads (a level already compiled) take the shared lock: the
+///    steady-state fast path never serializes readers. The first query
+///    at a level builds the reduced program / model outside any lock and
+///    publishes it under the exclusive lock; when two threads race, the
+///    first insert wins and the loser's work is discarded, so callers
+///    always observe one canonical object per level.
+///  - `Reduced` and `ReducedModel` return pointers to cached state that
+///    is immutable once published and stable for the engine's lifetime
+///    (std::map nodes never move).
+///  - The operational interpreter mutates its call tables while solving,
+///    so each level's interpreter is serialized by a per-level mutex;
+///    `Query(kOperational / kCheckBoth)` takes it internally. Distinct
+///    levels solve in parallel. The raw `OperationalInterpreter`
+///    accessor bypasses that mutex - callers who use it concurrently
+///    with `Query` must do their own locking.
+///
+/// The engine must not be moved after the first query (cached state
+/// holds pointers into the engine); `Result<Engine>`'s move at
+/// construction time is safe because all caches are still empty.
 class Engine {
  public:
   /// Parses MultiLog source; stored `?- ...` queries are kept and can be
@@ -56,42 +94,71 @@ class Engine {
   const CheckedDatabase& checked() const { return cdb_; }
   const lattice::SecurityLattice& lattice() const { return cdb_.lattice; }
 
-  /// Answers a goal at session level `user_level`.
+  /// Answers a goal at session level `user_level`. Thread-safe.
   Result<QueryResult> Query(const std::vector<MlLiteral>& goal,
                             const std::string& user_level,
                             ExecMode mode = ExecMode::kReduced);
 
-  /// Parses `goal_text` ("?- ..." optional) and answers it.
+  /// Parses `goal_text` ("?- ..." optional) and answers it. Thread-safe.
   Result<QueryResult> QuerySource(std::string_view goal_text,
                                   const std::string& user_level,
                                   ExecMode mode = ExecMode::kReduced);
 
-  /// Runs every stored query of the database, in order.
+  /// Runs every stored query of the database, in order. Thread-safe.
   Result<std::vector<QueryResult>> RunStoredQueries(
       const std::string& user_level, ExecMode mode = ExecMode::kReduced);
 
-  /// The reduced program compiled for `user_level` (cached).
+  /// The reduced program compiled for `user_level` (cached). The
+  /// returned object is immutable and stable; safe to read while other
+  /// threads query.
   Result<const ReducedProgram*> Reduced(const std::string& user_level);
 
   /// The evaluated model of the reduced program, with any level
   /// specialization decoded back to generic rel/6, bel/7, vis/6 and
-  /// overridden/5 atoms.
+  /// overridden/5 atoms. Immutable and stable once returned.
   Result<const datalog::Model*> ReducedModel(const std::string& user_level);
 
-  /// The operational interpreter for `user_level` (cached).
+  /// The operational interpreter for `user_level` (cached). NOT safe
+  /// for concurrent Solve calls - see the concurrency model above.
   Result<Interpreter*> OperationalInterpreter(const std::string& user_level);
 
  private:
+  /// A level's interpreter plus the mutex serializing its Solve calls
+  /// (tabling mutates the interpreter). `interp` is set exactly once,
+  /// under `mu`, and never replaced.
+  struct InterpreterSlot {
+    std::mutex mu;
+    std::unique_ptr<Interpreter> interp;
+  };
+
+  /// All mutable engine state. Held behind a unique_ptr so the Engine
+  /// value stays movable at construction time (std::shared_mutex is
+  /// neither movable nor copyable).
+  struct Caches {
+    /// Guards the three maps' *structure* (find/insert). The mapped
+    /// values are immutable after publication (interpreter slots manage
+    /// their own interior mutability via InterpreterSlot::mu).
+    std::shared_mutex mu;
+    // Per-level caches are keyed by the interned level symbol: lookup is
+    // an integer compare, and iteration order still matches the level
+    // names.
+    std::map<Symbol, ReducedProgram> reduced;
+    std::map<Symbol, datalog::Model> models;
+    std::map<Symbol, InterpreterSlot> interpreters;
+  };
+
   Engine(CheckedDatabase cdb, EngineOptions options)
-      : cdb_(std::move(cdb)), options_(options) {}
+      : cdb_(std::move(cdb)),
+        options_(options),
+        caches_(std::make_unique<Caches>()) {}
+
+  /// Returns the slot for `user_level`, creating it (and building the
+  /// interpreter) on first use.
+  Result<InterpreterSlot*> GetInterpreterSlot(const std::string& user_level);
 
   CheckedDatabase cdb_;
   EngineOptions options_;
-  // Per-level caches are keyed by the interned level symbol: lookup is an
-  // integer compare, and iteration order still matches the level names.
-  std::map<Symbol, ReducedProgram> reduced_;
-  std::map<Symbol, datalog::Model> models_;
-  std::map<Symbol, std::unique_ptr<Interpreter>> interpreters_;
+  std::unique_ptr<Caches> caches_;
 };
 
 }  // namespace multilog::ml

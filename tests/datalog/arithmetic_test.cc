@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 #include "datalog/eval.h"
 #include "datalog/parser.h"
 #include "datalog/topdown.h"
@@ -102,6 +105,121 @@ TEST(ArithmeticTest, DivisionByZeroSurfacesAsError) {
   )");
   EXPECT_FALSE(m.ok());
   EXPECT_TRUE(m.status().IsInvalidProgram());
+}
+
+// Regression tests for the signed-overflow UB the original EvalArithmetic
+// had: x + y / x - y / x * y evaluated with plain int64 operators, and
+// INT64_MIN div/mod -1 slipped past the y == 0 check. Every boundary
+// case must surface as InvalidProgram("integer overflow in ..."), never
+// wrap or trap.
+
+constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+
+Status ArithStatus(const char* op, int64_t x, int64_t y) {
+  return EvalArithmetic(Term::Fn(op, {Term::Int(x), Term::Int(y)})).status();
+}
+
+void ExpectOverflow(const char* op, int64_t x, int64_t y) {
+  Status st = ArithStatus(op, x, y);
+  EXPECT_TRUE(st.IsInvalidProgram())
+      << op << "(" << x << ", " << y << "): " << st;
+  EXPECT_NE(st.message().find("integer overflow"), std::string::npos)
+      << op << "(" << x << ", " << y << "): " << st;
+}
+
+TEST(ArithmeticTest, PlusOverflowAtBoundaries) {
+  ExpectOverflow("plus", kMax, 1);
+  ExpectOverflow("plus", 1, kMax);
+  ExpectOverflow("plus", kMin, -1);
+  ExpectOverflow("plus", kMax, kMax);
+  ExpectOverflow("plus", kMin, kMin);
+  EXPECT_EQ(EvalArithmetic(Term::Fn("plus", {Term::Int(kMax), Term::Int(0)}))
+                .value(),
+            Term::Int(kMax));
+  EXPECT_EQ(
+      EvalArithmetic(Term::Fn("plus", {Term::Int(kMax), Term::Int(kMin)}))
+          .value(),
+      Term::Int(-1));
+}
+
+TEST(ArithmeticTest, MinusOverflowAtBoundaries) {
+  ExpectOverflow("minus", kMin, 1);
+  ExpectOverflow("minus", kMax, -1);
+  ExpectOverflow("minus", 0, kMin);  // -kMin is unrepresentable
+  EXPECT_EQ(
+      EvalArithmetic(Term::Fn("minus", {Term::Int(kMin), Term::Int(0)}))
+          .value(),
+      Term::Int(kMin));
+  EXPECT_EQ(
+      EvalArithmetic(Term::Fn("minus", {Term::Int(kMin), Term::Int(kMin)}))
+          .value(),
+      Term::Int(0));
+}
+
+TEST(ArithmeticTest, TimesOverflowAtBoundaries) {
+  ExpectOverflow("times", kMax, 2);
+  ExpectOverflow("times", 2, kMax);
+  ExpectOverflow("times", kMin, -1);  // -kMin is unrepresentable
+  ExpectOverflow("times", kMin, 2);
+  ExpectOverflow("times", INT64_C(1) << 32, INT64_C(1) << 32);
+  EXPECT_EQ(
+      EvalArithmetic(Term::Fn("times", {Term::Int(kMax), Term::Int(1)}))
+          .value(),
+      Term::Int(kMax));
+  EXPECT_EQ(
+      EvalArithmetic(Term::Fn("times", {Term::Int(kMin), Term::Int(1)}))
+          .value(),
+      Term::Int(kMin));
+  EXPECT_EQ(
+      EvalArithmetic(Term::Fn("times", {Term::Int(kMax), Term::Int(-1)}))
+          .value(),
+      Term::Int(-kMax));
+}
+
+TEST(ArithmeticTest, DivOverflowAtBoundaries) {
+  ExpectOverflow("div", kMin, -1);  // overflows despite y != 0
+  EXPECT_EQ(
+      EvalArithmetic(Term::Fn("div", {Term::Int(kMin), Term::Int(1)}))
+          .value(),
+      Term::Int(kMin));
+  EXPECT_EQ(
+      EvalArithmetic(Term::Fn("div", {Term::Int(kMax), Term::Int(-1)}))
+          .value(),
+      Term::Int(-kMax));
+}
+
+TEST(ArithmeticTest, ModOverflowAtBoundaries) {
+  ExpectOverflow("mod", kMin, -1);  // overflows despite y != 0
+  EXPECT_EQ(
+      EvalArithmetic(Term::Fn("mod", {Term::Int(kMin), Term::Int(1)}))
+          .value(),
+      Term::Int(0));
+  EXPECT_EQ(
+      EvalArithmetic(Term::Fn("mod", {Term::Int(kMax), Term::Int(-1)}))
+          .value(),
+      Term::Int(0));
+}
+
+TEST(ArithmeticTest, OverflowInsideNestedTermsSurfaces) {
+  // The overflow happens in an inner fold of a larger expression.
+  Term inner = Term::Fn("times", {Term::Int(kMax), Term::Int(2)});
+  Term outer = Term::Fn("plus", {Term::Int(1), inner});
+  Status st = EvalArithmetic(outer).status();
+  EXPECT_TRUE(st.IsInvalidProgram()) << st;
+  EXPECT_NE(st.message().find("integer overflow"), std::string::npos);
+}
+
+TEST(ArithmeticTest, OverflowDuringEvaluationSurfacesAsError) {
+  // Through the whole bottom-up pipeline, not just the folding helper.
+  Result<Model> m = EvalSource(R"(
+    big(9223372036854775807).
+    bad(R) :- big(N), R = plus(N, 1).
+  )");
+  EXPECT_FALSE(m.ok());
+  EXPECT_TRUE(m.status().IsInvalidProgram()) << m.status();
+  EXPECT_NE(m.status().message().find("integer overflow"),
+            std::string::npos);
 }
 
 }  // namespace

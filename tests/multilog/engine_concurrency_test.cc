@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mls/sample_data.h"
+#include "multilog/engine.h"
+
+namespace multilog::ml {
+namespace {
+
+// Concurrency tests for the Engine: N threads issue mixed-level,
+// mixed-mode queries against one shared Engine and every answer must
+// match the single-threaded run. Run these under TSan (the CI job
+// does) - they are written to exercise the cache-miss races (first
+// query at a level) as well as the shared-lock fast path.
+
+std::vector<std::string> AnswerStrings(const QueryResult& r) {
+  std::vector<std::string> out;
+  out.reserve(r.answers.size());
+  for (const datalog::Substitution& s : r.answers) {
+    out.push_back(s.ToString());
+  }
+  return out;
+}
+
+const char* kGoal = "c[p(k : a -R-> v)] << opt";
+const std::vector<std::string>& Levels() {
+  static const std::vector<std::string>& levels =
+      *new std::vector<std::string>{"u", "c", "s"};
+  return levels;
+}
+const std::vector<ExecMode>& Modes() {
+  static const std::vector<ExecMode>& modes = *new std::vector<ExecMode>{
+      ExecMode::kOperational, ExecMode::kReduced, ExecMode::kCheckBoth};
+  return modes;
+}
+
+/// The single-threaded reference: one fresh engine, every (level, mode)
+/// combination, answers rendered to strings.
+std::vector<std::vector<std::string>> ReferenceAnswers(
+    const EngineOptions& options) {
+  Result<Engine> engine = Engine::FromSource(mls::D1Source(), options);
+  EXPECT_TRUE(engine.ok()) << engine.status();
+  std::vector<std::vector<std::string>> expected;
+  for (const std::string& level : Levels()) {
+    for (ExecMode mode : Modes()) {
+      Result<QueryResult> r = engine->QuerySource(kGoal, level, mode);
+      EXPECT_TRUE(r.ok()) << r.status();
+      expected.push_back(r.ok() ? AnswerStrings(*r)
+                                : std::vector<std::string>{"<error>"});
+    }
+  }
+  return expected;
+}
+
+/// Hammers one shared engine from `num_threads` threads, each cycling
+/// through every (level, mode) combination starting at a different
+/// offset (so first-touch compilation of each level races between
+/// threads), and counts mismatches against the reference.
+void HammerSharedEngine(const EngineOptions& options, size_t num_threads,
+                        size_t iterations) {
+  const std::vector<std::vector<std::string>> expected =
+      ReferenceAnswers(options);
+
+  Result<Engine> shared = Engine::FromSource(mls::D1Source(), options);
+  ASSERT_TRUE(shared.ok()) << shared.status();
+  Engine& engine = *shared;
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  const size_t combos = Levels().size() * Modes().size();
+  for (size_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&, t] {
+      for (size_t i = 0; i < iterations; ++i) {
+        const size_t combo = (t + i) % combos;
+        const std::string& level = Levels()[combo / Modes().size()];
+        const ExecMode mode = Modes()[combo % Modes().size()];
+        Result<QueryResult> r = engine.QuerySource(kGoal, level, mode);
+        if (!r.ok()) {
+          ++errors;
+          continue;
+        }
+        if (AnswerStrings(*r) != expected[combo]) ++mismatches;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(EngineConcurrencyTest, MixedLevelMixedModeQueriesAgree) {
+  HammerSharedEngine(EngineOptions{}, 8, 24);
+}
+
+TEST(EngineConcurrencyTest, ColdCachesRaceSafely) {
+  // Few iterations, many threads: most queries hit the first-build
+  // (exclusive) path at some level.
+  for (int round = 0; round < 4; ++round) {
+    HammerSharedEngine(EngineOptions{}, 8, 3);
+  }
+}
+
+TEST(EngineConcurrencyTest, ParallelEvaluatorUnderConcurrentSessions) {
+  // Intra-query parallelism (num_threads = 2) stacked under inter-query
+  // concurrency: answers must still match the single-threaded run.
+  EngineOptions options;
+  options.eval.num_threads = 2;
+  HammerSharedEngine(options, 4, 12);
+}
+
+TEST(EngineConcurrencyTest, StoredQueriesConcurrentlyAtAllLevels) {
+  Result<Engine> shared = Engine::FromSource(mls::D1Source());
+  ASSERT_TRUE(shared.ok()) << shared.status();
+  Engine& engine = *shared;
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string& level = Levels()[t % Levels().size()];
+      for (int i = 0; i < 8; ++i) {
+        Result<std::vector<QueryResult>> r =
+            engine.RunStoredQueries(level, ExecMode::kCheckBoth);
+        if (!r.ok()) ++failures;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // kCheckBoth internally asserts Theorem 6.1 (operational == reduced),
+  // so zero failures means both semantics stayed consistent under
+  // concurrency.
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(EngineConcurrencyTest, CachedPointersStableAcrossConcurrentInserts) {
+  // Pointers returned for one level must remain valid while other
+  // levels are being compiled concurrently (std::map nodes are stable).
+  Result<Engine> shared = Engine::FromSource(mls::D1Source());
+  ASSERT_TRUE(shared.ok()) << shared.status();
+  Engine& engine = *shared;
+
+  Result<const datalog::Model*> first = engine.ReducedModel("u");
+  ASSERT_TRUE(first.ok()) << first.status();
+  const std::string before = (*first)->ToString();
+
+  std::vector<std::thread> threads;
+  for (const std::string& level : Levels()) {
+    threads.emplace_back([&engine, level] {
+      (void)engine.ReducedModel(level);
+      (void)engine.Reduced(level);
+      (void)engine.OperationalInterpreter(level);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  Result<const datalog::Model*> again = engine.ReducedModel("u");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *first);  // same cached object
+  EXPECT_EQ((*again)->ToString(), before);
+}
+
+}  // namespace
+}  // namespace multilog::ml
