@@ -1,0 +1,210 @@
+// Load generator for multilogd: starts a server in-process over the
+// paper's D1 database, hammers it from concurrent client threads at
+// mixed clearances and execution modes, and reports QPS plus latency
+// percentiles from the server's own STATS surface.
+//
+// Correctness rides along with the load: every response is
+// byte-compared against a direct single-threaded engine query, and a
+// deadline probe checks that kDeadlineExceeded comes back structured
+// without killing the connection. The run fails (non-zero exit) if a
+// single byte differs.
+//
+//   $ bench_server_loadgen [--clients N] [--queries N] [--workers N]
+//                          [--json PATH]
+//
+// Machine-readable record: one JSON object written to --json, or to
+// $MULTILOG_SERVER_JSON, or to BENCH_server.json (in that order).
+// scripts/run_experiments.sh picks it up as the serving experiment.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mls/sample_data.h"
+#include "multilog/engine.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace {
+
+using namespace multilog;
+using server::Client;
+using server::Json;
+
+constexpr char kGoal[] = "?- c[p(k : a -R-> v)] << opt.";
+constexpr const char* kLevels[] = {"u", "c", "s"};
+constexpr const char* kModes[] = {"operational", "reduced", "check_both"};
+
+std::string AnswerBytes(const Json& response) {
+  const Json* answers = response.Find("answers");
+  return answers == nullptr ? "<missing>" : answers->Serialize();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t clients = 8;
+  size_t queries_per_client = 200;
+  server::ServerOptions options;
+  options.num_workers = 4;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--clients") {
+      clients = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--queries") {
+      queries_per_client = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--workers") {
+      options.num_workers = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--json") {
+      json_path = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--clients N] [--queries N] [--workers N] "
+                   "[--json PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (json_path.empty()) {
+    const char* env = std::getenv("MULTILOG_SERVER_JSON");
+    json_path = env != nullptr ? env : "BENCH_server.json";
+  }
+
+  Result<ml::Engine> engine = ml::Engine::FromSource(mls::D1Source());
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  server::Server srv(&*engine, options);
+  if (Status s = srv.Start(); !s.ok()) {
+    std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Ground truth, computed once, single-threaded, no server involved.
+  Result<ml::Engine> reference = ml::Engine::FromSource(mls::D1Source());
+  if (!reference.ok()) return 1;
+  std::map<std::string, std::string> expected;
+  for (const char* level : kLevels) {
+    for (size_t m = 0; m < 3; ++m) {
+      Result<ml::QueryResult> r =
+          reference->QuerySource(kGoal, level, static_cast<ml::ExecMode>(m));
+      if (!r.ok()) {
+        std::fprintf(stderr, "reference: %s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      Json answers = Json::Array();
+      for (const auto& a : r->answers) answers.Push(Json::Str(a.ToString()));
+      expected[std::string(level) + "/" + kModes[m]] = answers.Serialize();
+    }
+  }
+
+  std::atomic<size_t> mismatches{0};
+  std::atomic<size_t> errors{0};
+  std::atomic<size_t> deadline_probe_failures{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string level = kLevels[t % 3];
+      Result<Client> client = Client::Connect(srv.port());
+      if (!client.ok() || !client->Hello(level).ok()) {
+        errors.fetch_add(1);
+        return;
+      }
+      for (size_t q = 0; q < queries_per_client; ++q) {
+        const char* mode = kModes[(t + q) % 3];
+        Result<Json> r = client->Query(kGoal, -1, mode);
+        if (!r.ok()) {
+          errors.fetch_add(1);
+          continue;
+        }
+        if (AnswerBytes(*r) != expected[level + "/" + mode]) {
+          mismatches.fetch_add(1);
+        }
+      }
+      // Deadline probe: an expired deadline must return a structured
+      // kDeadlineExceeded and leave the connection fully usable.
+      Result<Json> dead = client->Query(kGoal, /*deadline_ms=*/0);
+      if (dead.ok() || !dead.status().IsDeadlineExceeded()) {
+        deadline_probe_failures.fetch_add(1);
+      }
+      // Mode defaults to the session's (reduced) when not overridden.
+      Result<Json> after = client->Query(kGoal, /*deadline_ms=*/60000);
+      if (!after.ok() || AnswerBytes(*after) != expected[level + "/reduced"]) {
+        deadline_probe_failures.fetch_add(1);
+      }
+      client->Bye();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+
+  // Percentiles come from the server's own histogram via STATS.
+  double p50 = 0, p95 = 0, p99 = 0, mean = 0;
+  uint64_t recorded = 0;
+  {
+    Result<Client> probe = Client::Connect(srv.port());
+    if (probe.ok()) {
+      Result<Json> stats = probe->Stats();
+      if (stats.ok()) {
+        const Json* lat = stats->Find("stats")->Find("queries")->Find(
+            "latency");
+        if (lat != nullptr) {
+          recorded = static_cast<uint64_t>(lat->GetInt("count"));
+          mean = lat->Find("mean_ms")->number_value();
+          p50 = lat->Find("p50_ms")->number_value();
+          p95 = lat->Find("p95_ms")->number_value();
+          p99 = lat->Find("p99_ms")->number_value();
+        }
+      }
+    }
+  }
+  srv.Stop();
+
+  const size_t total = clients * queries_per_client;
+  const double qps = total / (wall_ms / 1000.0);
+  const bool byte_identical = mismatches.load() == 0 && errors.load() == 0;
+  const bool deadline_ok = deadline_probe_failures.load() == 0;
+  std::printf(
+      "server_loadgen: %zu clients x %zu queries, %zu workers\n"
+      "  wall %.1f ms, %.0f qps, latency mean %.3f ms "
+      "p50 %.3f p95 %.3f p99 %.3f (n=%llu)\n"
+      "  byte-identical answers: %s, deadline probe: %s\n",
+      clients, queries_per_client, options.num_workers, wall_ms, qps, mean,
+      p50, p95, p99, static_cast<unsigned long long>(recorded),
+      byte_identical ? "yes" : "NO", deadline_ok ? "ok" : "FAILED");
+
+  Json record = Json::Object();
+  record.Set("bench", Json::Str("server_loadgen"));
+  record.Set("clients", Json::Int(static_cast<int64_t>(clients)));
+  record.Set("queries", Json::Int(static_cast<int64_t>(total)));
+  record.Set("workers", Json::Int(static_cast<int64_t>(options.num_workers)));
+  record.Set("wall_ms", Json::Double(wall_ms));
+  record.Set("qps", Json::Double(qps));
+  record.Set("mean_ms", Json::Double(mean));
+  record.Set("p50_ms", Json::Double(p50));
+  record.Set("p95_ms", Json::Double(p95));
+  record.Set("p99_ms", Json::Double(p99));
+  record.Set("byte_identical", Json::Bool(byte_identical));
+  record.Set("deadline_ok", Json::Bool(deadline_ok));
+  std::ofstream out(json_path);
+  if (out) {
+    out << record.Serialize() << "\n";
+    std::printf("  wrote %s\n", json_path.c_str());
+  }
+  return byte_identical && deadline_ok ? 0 : 1;
+}

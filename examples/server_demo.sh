@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# The Figure 11 proof, over the wire: starts multilogd on the D1
+# database (examples/data/d1.mlog), then asks the paper's query
+#
+#     ?- c[p(k : a -R-> v)] << opt.
+#
+# at two clearances. At `s` the belief is provable (answer {R=u}, and
+# --proofs shows the descend-o derivation of Figure 11); at `u` the
+# same query has no answers - the session level IS the database level,
+# so there is nothing to filter and nothing to leak. A final query at
+# `ts` demonstrates read-down consistency: it matches `s` byte for
+# byte. Exits non-zero if any of those expectations fail, which is how
+# the integration suite runs it.
+#
+#   usage: examples/server_demo.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+MULTILOGD="$BUILD/src/server/multilogd"
+CLIENT="$BUILD/src/server/multilog_client"
+GOAL='?- c[p(k : a -R-> v)] << opt.'
+
+[ -x "$MULTILOGD" ] || { echo "build first: cmake --build $BUILD" >&2; exit 2; }
+
+LOG="$(mktemp)"
+"$MULTILOGD" --db examples/data/d1.mlog --port 0 > "$LOG" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null; wait "$SERVER_PID" 2>/dev/null; rm -f "$LOG"' EXIT
+
+# The server prints its ephemeral port on the first line.
+for _ in $(seq 50); do
+  PORT="$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' "$LOG")"
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "server did not start" >&2; exit 1; }
+echo "multilogd up on port $PORT"
+
+echo
+echo "== clearance s: the Figure 11 belief is provable =="
+AT_S="$("$CLIENT" --port "$PORT" --level s --mode operational --proofs query "$GOAL")"
+echo "$AT_S" | tail -n +2
+echo "$AT_S" | head -1 | grep -q '"count":1' || { echo "FAIL: expected 1 answer at s" >&2; exit 1; }
+echo "$AT_S" | grep -q 'descend-o' || { echo "FAIL: expected a descend-o proof step" >&2; exit 1; }
+
+echo
+echo "== clearance u: same query, no answers (no read-up) =="
+AT_U="$("$CLIENT" --port "$PORT" --level u query "$GOAL")"
+echo "$AT_U"
+echo "$AT_U" | grep -q '"count":0' || { echo "FAIL: expected 0 answers at u" >&2; exit 1; }
+
+echo
+echo "== clearance ts: read-down consistency with s =="
+ANSWERS_S="$("$CLIENT" --port "$PORT" --level s query "$GOAL" | tail -n +2)"
+ANSWERS_TS="$("$CLIENT" --port "$PORT" --level ts query "$GOAL" | tail -n +2)"
+echo "s:  $ANSWERS_S"
+echo "ts: $ANSWERS_TS"
+[ "$ANSWERS_S" = "$ANSWERS_TS" ] || { echo "FAIL: s and ts answers differ" >&2; exit 1; }
+
+echo
+echo "== server stats =="
+"$CLIENT" --port "$PORT" stats
+
+echo
+echo "demo OK"

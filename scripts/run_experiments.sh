@@ -4,7 +4,9 @@
 # before its timings). Outputs land in test_output.txt / bench_output.txt
 # at the repository root, and the scaling benches' machine-readable
 # records are collected into BENCH_scaling.json (an array of
-# {"bench", "size", "threads", "wall_ms"} objects).
+# {"bench", "size", "threads", "wall_ms"} objects). The multilogd load
+# generator writes its serving record (QPS, latency percentiles,
+# byte-identity check) to BENCH_server.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,8 +17,14 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 scaling_lines="$(mktemp)"
 trap 'rm -f "$scaling_lines"' EXIT
 for b in build/bench/*; do
+  # The server load generator runs separately below (it takes flags and
+  # writes its own record); everything else is a google-benchmark binary.
+  case "$b" in */bench_server_loadgen) continue ;; esac
   [ -x "$b" ] && MULTILOG_SCALING_JSON="$scaling_lines" "$b"
 done 2>&1 | tee bench_output.txt
+
+build/bench/bench_server_loadgen --clients 8 --queries 200 --workers 4 \
+  --json BENCH_server.json 2>&1 | tee -a bench_output.txt
 
 {
   echo '['

@@ -1,0 +1,63 @@
+#ifndef MULTILOG_COMMON_CANCEL_H_
+#define MULTILOG_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+
+namespace multilog {
+
+/// A cooperative cancellation token shared between a query's issuer and
+/// the evaluation machinery. The issuer either calls Cancel() (explicit
+/// abort) or arms a deadline; the evaluator polls Cancelled() at
+/// derivation-rate checkpoints (the EmitBudget charge path, round
+/// boundaries, tabled-answer insertion) and unwinds with
+/// kDeadlineExceeded. Polling is the contract: a query inside one giant
+/// join round stops at its next emission, not instantly.
+///
+/// Thread-safety: Cancel() and Cancelled() may race freely from any
+/// thread. SetDeadline/ClearDeadline must happen before the token is
+/// shared with the evaluation (the server arms the deadline before
+/// dispatching the query); once a deadline has expired the token latches
+/// cancelled, so later polls are a single relaxed load.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation explicitly.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arms the deadline: Cancelled() reports true once `deadline` passes.
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+
+  /// Convenience: a deadline `timeout` from now. Non-positive timeouts
+  /// arm an already-expired deadline (useful for tests and for the
+  /// server's "deadline_ms: 0" probe requests).
+  void SetTimeout(std::chrono::nanoseconds timeout) {
+    SetDeadline(std::chrono::steady_clock::now() + timeout);
+  }
+
+  /// True once Cancel() was called or the armed deadline has passed.
+  bool Cancelled() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (has_deadline_ &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      cancelled_.store(true, std::memory_order_relaxed);  // latch
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  mutable std::atomic<bool> cancelled_{false};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+}  // namespace multilog
+
+#endif  // MULTILOG_COMMON_CANCEL_H_

@@ -20,6 +20,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "IntegrityViolation";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -31,6 +31,11 @@ enum class StatusCode {
   kIntegrityViolation,
   /// Evaluation exceeded a configured resource bound (depth, steps).
   kResourceExhausted,
+  /// The query's deadline passed or it was cancelled mid-evaluation
+  /// (cooperative cancellation, see common/cancel.h). Distinct from
+  /// kResourceExhausted: the *caller's* budget ran out, not the
+  /// engine's, so retrying with a longer deadline is reasonable.
+  kDeadlineExceeded,
   /// An invariant the implementation relies on was broken; a bug.
   kInternal,
 };
@@ -78,6 +83,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -100,6 +108,9 @@ class Status {
   }
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
   }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
 

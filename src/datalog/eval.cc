@@ -204,9 +204,17 @@ namespace {
 struct EmitBudget {
   size_t max_facts = 0;
   size_t base = 0;
+  /// Cooperative cancellation rides the same checkpoint as the fact
+  /// budget: every charged emission also polls the caller's token, so a
+  /// cancelled query unwinds with kDeadlineExceeded at derivation rate.
+  const CancelToken* cancel = nullptr;
   std::atomic<size_t> emitted{0};
 
   Status Charge() {
+    if (cancel != nullptr && cancel->Cancelled()) {
+      return Status::DeadlineExceeded(
+          "evaluation cancelled (deadline exceeded)");
+    }
     const size_t count = emitted.fetch_add(1, std::memory_order_relaxed) + 1;
     if (base + count > max_facts) {
       return Status::ResourceExhausted("evaluation exceeded max_facts = " +
@@ -215,6 +223,18 @@ struct EmitBudget {
     return Status::OK();
   }
 };
+
+/// The round-boundary / rule-application cancellation poll. Kept
+/// separate from EmitBudget so paths that never charge the budget
+/// (rounds deriving nothing new, long all-duplicate joins) still
+/// observe cancellation between rule applications.
+Status CheckCancelled(const CancelToken* cancel) {
+  if (cancel != nullptr && cancel->Cancelled()) {
+    return Status::DeadlineExceeded(
+        "evaluation cancelled (deadline exceeded)");
+  }
+  return Status::OK();
+}
 
 /// Enumerates all substitutions satisfying `body` starting at literal
 /// `index` under `subst`, against `model`. When `delta_index >= 0`, the
@@ -318,6 +338,9 @@ Status ApplyClause(const Clause& clause, const Model& model,
                    const Atom* delta_begin, const Atom* delta_end,
                    int delta_index, EmitBudget* budget, EvalStats* stats,
                    std::vector<Atom>* derived) {
+  if (budget != nullptr) {
+    MULTILOG_RETURN_IF_ERROR(CheckCancelled(budget->cancel));
+  }
   if (stats != nullptr) ++stats->rule_applications;
   return JoinBody(
       clause.body(), 0, model, delta_begin, delta_end, delta_index,
@@ -474,7 +497,8 @@ Status EvaluateStratumSeminaive(const std::vector<const Clause*>& clauses,
   // group map); plain clauses are one work item each.
   std::vector<Atom> delta;
   {
-    EmitBudget budget{options.max_facts, model->size()};
+    MULTILOG_RETURN_IF_ERROR(CheckCancelled(options.cancel));
+    EmitBudget budget{options.max_facts, model->size(), options.cancel};
     std::vector<Atom> derived;
     if (pool == nullptr) {
       for (const Clause* c : clauses) {
@@ -515,12 +539,13 @@ Status EvaluateStratumSeminaive(const std::vector<const Clause*>& clauses,
   // clause x delta chunk); every worker reads the same frozen model and
   // delta, so the round is embarrassingly parallel.
   while (!delta.empty()) {
+    MULTILOG_RETURN_IF_ERROR(CheckCancelled(options.cancel));
     if (model->size() > options.max_facts) {
       return Status::ResourceExhausted(
           "evaluation exceeded max_facts = " +
           std::to_string(options.max_facts));
     }
-    EmitBudget budget{options.max_facts, model->size()};
+    EmitBudget budget{options.max_facts, model->size(), options.cancel};
 
     // Delta chunk size: one chunk in sequential mode (today's exact
     // behavior); ~4 chunks per thread in parallel mode so index-stealing
@@ -586,13 +611,14 @@ Status EvaluateStratumNaive(const std::vector<const Clause*>& clauses,
                             Model* model, EvalStats* stats) {
   bool changed = true;
   while (changed) {
+    MULTILOG_RETURN_IF_ERROR(CheckCancelled(options.cancel));
     if (model->size() > options.max_facts) {
       return Status::ResourceExhausted(
           "evaluation exceeded max_facts = " +
           std::to_string(options.max_facts));
     }
     changed = false;
-    EmitBudget budget{options.max_facts, model->size()};
+    EmitBudget budget{options.max_facts, model->size(), options.cancel};
     std::vector<Atom> derived;
     if (pool == nullptr) {
       for (const Clause* c : clauses) {
@@ -673,8 +699,10 @@ Result<Model> Evaluate(const Program& program, const EvalOptions& options,
   return model;
 }
 
-Result<std::vector<Substitution>> QueryModel(
-    const Model& model, const std::vector<Literal>& goal) {
+Result<std::vector<Substitution>> QueryModel(const Model& model,
+                                             const std::vector<Literal>& goal,
+                                             const CancelToken* cancel) {
+  MULTILOG_RETURN_IF_ERROR(CheckCancelled(cancel));
   std::vector<Symbol> goal_vars;
   for (const Literal& l : goal) l.CollectVariables(&goal_vars);
   std::sort(goal_vars.begin(), goal_vars.end());
@@ -686,6 +714,7 @@ Result<std::vector<Substitution>> QueryModel(
   MULTILOG_RETURN_IF_ERROR(JoinBody(
       goal, 0, model, nullptr, nullptr, -1, Substitution(),
       [&](const Substitution& subst) -> Status {
+        MULTILOG_RETURN_IF_ERROR(CheckCancelled(cancel));
         Substitution restricted;
         for (Symbol v : goal_vars) {
           Term value = subst.Apply(Term::Var(v));

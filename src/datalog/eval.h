@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/result.h"
 #include "datalog/model.h"
 #include "datalog/program.h"
@@ -44,6 +45,13 @@ struct EvalOptions {
   /// output are identical for every thread count.
   size_t num_threads = 1;
 
+  /// Cooperative cancellation: when set, evaluation polls the token on
+  /// the same path that enforces `max_facts` (the emit-budget charge),
+  /// at every rule application, and at round boundaries, returning
+  /// kDeadlineExceeded once the token reports cancelled. The token must
+  /// outlive the Evaluate call; nullptr (the default) disables polling.
+  const CancelToken* cancel = nullptr;
+
   /// Greedy join reordering: before evaluation, each clause body is
   /// reordered so that literals with more already-bound arguments join
   /// first and negations/builtins run as soon as their variables are
@@ -71,7 +79,9 @@ Result<Model> Evaluate(const Program& program, const EvalOptions& options = {},
 /// one substitution per answer, restricted to the goal's variables,
 /// deduplicated, in deterministic order.
 Result<std::vector<Substitution>> QueryModel(const Model& model,
-                                             const std::vector<Literal>& goal);
+                                             const std::vector<Literal>& goal,
+                                             const CancelToken* cancel =
+                                                 nullptr);
 
 /// The greedy body reordering used when EvalOptions::reorder_body is
 /// set (exposed for tests and for the ablation bench): negations and

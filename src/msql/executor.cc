@@ -102,6 +102,11 @@ Status Session::RequireContext() const {
 }
 
 Status Session::SetUserContext(const std::string& level) {
+  if (context_locked_) {
+    return Status::SecurityViolation(
+        "user context is fixed for this session; reconnect to change "
+        "clearance");
+  }
   // Validated lazily against each queried relation's lattice (relations
   // may use different lattices); only non-emptiness is checked here.
   if (level.empty()) {

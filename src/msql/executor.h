@@ -57,6 +57,13 @@ class Session {
   Status SetUserContext(const std::string& level);
   const std::string& user_context() const { return user_level_; }
 
+  /// Pins the current user context for the session's lifetime: later
+  /// `user context` statements (and SetUserContext calls) return
+  /// SecurityViolation. The query server calls this after binding a
+  /// connection's clearance at HELLO, so a wire client cannot escalate
+  /// past the level it authenticated at (no read-up by construction).
+  void LockUserContext() { context_locked_ = true; }
+
   /// Parses and executes one statement. `user context` statements return
   /// an empty ResultSet with a "context" pseudo-column.
   Result<ResultSet> Execute(std::string_view sql);
@@ -78,6 +85,7 @@ class Session {
   std::map<std::string, const mls::Relation*> catalog_;
   std::map<std::string, mls::Relation*> mutable_catalog_;
   std::string user_level_;
+  bool context_locked_ = false;
 };
 
 }  // namespace multilog::msql

@@ -102,7 +102,7 @@ Result<const ReducedProgram*> Engine::Reduced(const std::string& user_level) {
 }
 
 Result<const datalog::Model*> Engine::ReducedModel(
-    const std::string& user_level) {
+    const std::string& user_level, const CancelToken* cancel) {
   const Symbol level = Symbol::Intern(user_level);
   {
     std::shared_lock<std::shared_mutex> lock(caches_->mu);
@@ -112,10 +112,12 @@ Result<const datalog::Model*> Engine::ReducedModel(
   // The reduced program is immutable once published, so evaluation can
   // run outside the lock; racing evaluations of the same level produce
   // identical models (the parallel merge is deterministic) and the
-  // first publication wins.
+  // first publication wins. A cancelled evaluation returns before the
+  // publication point, so no partial model is ever cached.
   MULTILOG_ASSIGN_OR_RETURN(const ReducedProgram* rp, Reduced(user_level));
-  MULTILOG_ASSIGN_OR_RETURN(Model raw,
-                            datalog::Evaluate(rp->program, options_.eval));
+  datalog::EvalOptions eval = options_.eval;
+  eval.cancel = cancel;
+  MULTILOG_ASSIGN_OR_RETURN(Model raw, datalog::Evaluate(rp->program, eval));
   Model decoded;
   for (const std::string& pred : raw.Predicates()) {
     for (const Atom& fact : raw.FactsFor(pred)) {
@@ -159,8 +161,13 @@ Result<Interpreter*> Engine::OperationalInterpreter(
 
 Result<QueryResult> Engine::Query(const std::vector<MlLiteral>& goal,
                                   const std::string& user_level,
-                                  ExecMode mode) {
+                                  ExecMode mode, const CancelToken* cancel) {
   MULTILOG_RETURN_IF_ERROR(cdb_.lattice.Index(user_level).status());
+  // A pre-expired deadline fails fast, before any cached work is
+  // consulted (the server's "deadline_ms: 0" probe relies on this).
+  if (cancel != nullptr && cancel->Cancelled()) {
+    return Status::DeadlineExceeded("query cancelled (deadline exceeded)");
+  }
 
   QueryResult operational;
   if (mode == ExecMode::kOperational || mode == ExecMode::kCheckBoth) {
@@ -170,7 +177,7 @@ Result<QueryResult> Engine::Query(const std::vector<MlLiteral>& goal,
     // level's mutex for the duration; distinct levels run in parallel.
     std::lock_guard<std::mutex> lock(slot->mu);
     MULTILOG_ASSIGN_OR_RETURN(std::vector<Interpreter::Answer> answers,
-                              slot->interp->Solve(goal));
+                              slot->interp->Solve(goal, cancel));
     for (Interpreter::Answer& a : answers) {
       operational.answers.push_back(std::move(a.subst));
       operational.proofs.push_back(std::move(a.proof));
@@ -184,7 +191,8 @@ Result<QueryResult> Engine::Query(const std::vector<MlLiteral>& goal,
     // Evaluate the cached model, then match each (possibly specialized)
     // goal variant against it, unioning the answers.
     MULTILOG_ASSIGN_OR_RETURN(const ReducedProgram* rp, Reduced(user_level));
-    MULTILOG_ASSIGN_OR_RETURN(const Model* model, ReducedModel(user_level));
+    MULTILOG_ASSIGN_OR_RETURN(const Model* model,
+                              ReducedModel(user_level, cancel));
 
     // The decoded model holds generic facts; match the *generic* goal
     // against it (specialization only matters for evaluation).
@@ -192,7 +200,7 @@ Result<QueryResult> Engine::Query(const std::vector<MlLiteral>& goal,
                               TranslateGoalGeneric(goal, user_level));
     (void)rp;
     MULTILOG_ASSIGN_OR_RETURN(std::vector<Substitution> answers,
-                              datalog::QueryModel(*model, generic));
+                              datalog::QueryModel(*model, generic, cancel));
     reduced.answers = std::move(answers);
     StripDontCare(&reduced.answers, nullptr);
   }
@@ -220,17 +228,20 @@ Result<QueryResult> Engine::Query(const std::vector<MlLiteral>& goal,
 
 Result<QueryResult> Engine::QuerySource(std::string_view goal_text,
                                         const std::string& user_level,
-                                        ExecMode mode) {
+                                        ExecMode mode,
+                                        const CancelToken* cancel) {
   MULTILOG_ASSIGN_OR_RETURN(std::vector<MlLiteral> goal,
                             ParseMlGoal(goal_text));
-  return Query(goal, user_level, mode);
+  return Query(goal, user_level, mode, cancel);
 }
 
 Result<std::vector<QueryResult>> Engine::RunStoredQueries(
-    const std::string& user_level, ExecMode mode) {
+    const std::string& user_level, ExecMode mode,
+    const CancelToken* cancel) {
   std::vector<QueryResult> out;
   for (const std::vector<MlLiteral>& goal : cdb_.db.queries) {
-    MULTILOG_ASSIGN_OR_RETURN(QueryResult r, Query(goal, user_level, mode));
+    MULTILOG_ASSIGN_OR_RETURN(QueryResult r,
+                              Query(goal, user_level, mode, cancel));
     out.push_back(std::move(r));
   }
   return out;

@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/result.h"
 #include "common/symbol.h"
 #include "datalog/eval.h"
@@ -95,18 +96,28 @@ class Engine {
   const lattice::SecurityLattice& lattice() const { return cdb_.lattice; }
 
   /// Answers a goal at session level `user_level`. Thread-safe.
+  ///
+  /// `cancel` (optional) is a per-query cooperative cancellation token:
+  /// the server arms it with the request deadline, and both semantics
+  /// poll it (bottom-up on the emit-budget path, operational on the
+  /// tabled-answer path), unwinding with kDeadlineExceeded. A cancelled
+  /// first-query-at-a-level leaves the level uncached; nothing partial
+  /// is ever published, so the engine stays consistent and reusable.
   Result<QueryResult> Query(const std::vector<MlLiteral>& goal,
                             const std::string& user_level,
-                            ExecMode mode = ExecMode::kReduced);
+                            ExecMode mode = ExecMode::kReduced,
+                            const CancelToken* cancel = nullptr);
 
   /// Parses `goal_text` ("?- ..." optional) and answers it. Thread-safe.
   Result<QueryResult> QuerySource(std::string_view goal_text,
                                   const std::string& user_level,
-                                  ExecMode mode = ExecMode::kReduced);
+                                  ExecMode mode = ExecMode::kReduced,
+                                  const CancelToken* cancel = nullptr);
 
   /// Runs every stored query of the database, in order. Thread-safe.
   Result<std::vector<QueryResult>> RunStoredQueries(
-      const std::string& user_level, ExecMode mode = ExecMode::kReduced);
+      const std::string& user_level, ExecMode mode = ExecMode::kReduced,
+      const CancelToken* cancel = nullptr);
 
   /// The reduced program compiled for `user_level` (cached). The
   /// returned object is immutable and stable; safe to read while other
@@ -115,8 +126,11 @@ class Engine {
 
   /// The evaluated model of the reduced program, with any level
   /// specialization decoded back to generic rel/6, bel/7, vis/6 and
-  /// overridden/5 atoms. Immutable and stable once returned.
-  Result<const datalog::Model*> ReducedModel(const std::string& user_level);
+  /// overridden/5 atoms. Immutable and stable once returned. A
+  /// cancelled evaluation (via `cancel`) publishes nothing.
+  Result<const datalog::Model*> ReducedModel(const std::string& user_level,
+                                             const CancelToken* cancel =
+                                                 nullptr);
 
   /// The operational interpreter for `user_level` (cached). NOT safe
   /// for concurrent Solve calls - see the concurrency model above.

@@ -98,6 +98,12 @@ Status Interpreter::AddAnswer(AnswerTable* table, Atom atom, ProofPtr proof) {
   if (table->set.insert(atom).second) {
     table->answers.push_back(TabledAnswer{std::move(atom), std::move(proof)});
     ++stats_.tabled_answers;
+    // Cancellation shares the checkpoint with the answer budget: both
+    // fire at tabled-answer rate, and both unwind the whole solve.
+    if (cancel_ != nullptr && cancel_->Cancelled()) {
+      return Status::DeadlineExceeded(
+          "operational evaluation cancelled (deadline exceeded)");
+    }
     if (stats_.tabled_answers > options_.max_answers) {
       return Status::ResourceExhausted(
           "operational evaluation exceeded max_answers");
@@ -422,6 +428,10 @@ Status Interpreter::SolveCallOnce(const Atom& pattern) {
   static const datalog::PredicateId kDominate2("dominate/2");
   const CallKey key = MakeCallKey(pattern);
   if (active_.count(key)) return Status::OK();
+  if (cancel_ != nullptr && cancel_->Cancelled()) {
+    return Status::DeadlineExceeded(
+        "operational evaluation cancelled (deadline exceeded)");
+  }
   active_.insert(key);
   ++stats_.calls;
 
@@ -456,14 +466,22 @@ Status Interpreter::CompleteCall(const Atom& pattern) {
 }
 
 Result<std::vector<Interpreter::Answer>> Interpreter::Solve(
-    const std::vector<MlLiteral>& goal) {
+    const std::vector<MlLiteral>& goal, const CancelToken* cancel) {
   MULTILOG_ASSIGN_OR_RETURN(std::vector<Literal> literals,
                             TranslateGoalGeneric(goal, user_level_));
-  return SolveLiterals(literals);
+  return SolveLiterals(literals, cancel);
 }
 
 Result<std::vector<Interpreter::Answer>> Interpreter::SolveLiterals(
-    const std::vector<Literal>& goal) {
+    const std::vector<Literal>& goal, const CancelToken* cancel) {
+  cancel_ = cancel;
+  // Clear the token on every exit path so a later Solve without a token
+  // never observes a stale one.
+  struct ClearCancel {
+    const CancelToken** slot;
+    ~ClearCancel() { *slot = nullptr; }
+  } clear_cancel{&cancel_};
+
   std::vector<Symbol> goal_vars;
   for (const Literal& l : goal) l.CollectVariables(&goal_vars);
   std::sort(goal_vars.begin(), goal_vars.end());
@@ -472,6 +490,10 @@ Result<std::vector<Interpreter::Answer>> Interpreter::SolveLiterals(
 
   std::vector<Match> matches;
   for (size_t pass = 0; pass < options_.max_passes; ++pass) {
+    if (cancel_ != nullptr && cancel_->Cancelled()) {
+      return Status::DeadlineExceeded(
+          "operational evaluation cancelled (deadline exceeded)");
+    }
     ++stats_.passes;
     active_.clear();
     size_t before = stats_.tabled_answers;

@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/result.h"
 #include "datalog/call_key.h"
 #include "datalog/program.h"
@@ -87,11 +88,16 @@ class Interpreter {
   /// Proves a MultiLog goal conjunction, returning every answer with its
   /// proof tree, deterministically ordered. Negated (p-/l-/h-) literals
   /// are proved by negation-as-failure over completed call tables.
-  Result<std::vector<Answer>> Solve(const std::vector<MlLiteral>& goal);
+  /// `cancel` (optional) is polled on the tabled-answer path — the same
+  /// checkpoint as max_answers — and per call/pass; a cancelled solve
+  /// unwinds with kDeadlineExceeded and the interpreter stays usable.
+  Result<std::vector<Answer>> Solve(const std::vector<MlLiteral>& goal,
+                                    const CancelToken* cancel = nullptr);
 
   /// As Solve, over the internal guarded-literal form.
   Result<std::vector<Answer>> SolveLiterals(
-      const std::vector<datalog::Literal>& goal);
+      const std::vector<datalog::Literal>& goal,
+      const CancelToken* cancel = nullptr);
 
   const Stats& stats() const { return stats_; }
   const std::string& user_level() const { return user_level_; }
@@ -142,6 +148,9 @@ class Interpreter {
   std::unordered_set<datalog::CallKey, datalog::CallKeyHash> active_;
   int rename_counter_ = 0;
   Stats stats_;
+  /// The current Solve's cancellation token (null outside Solve). Solve
+  /// calls are externally serialized (see Engine), so a member is safe.
+  const CancelToken* cancel_ = nullptr;
 };
 
 }  // namespace multilog::ml

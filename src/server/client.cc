@@ -1,0 +1,143 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace multilog::server {
+
+namespace {
+
+/// Rebuilds a Status from the wire's {"code","error"} pair so callers
+/// can keep using IsDeadlineExceeded() etc. across the network hop.
+Status StatusFromWire(const Json& response) {
+  const std::string code = response.GetString("code", "Internal");
+  std::string msg = response.GetString("error", "unknown server error");
+  if (code == "ParseError") return Status::ParseError(std::move(msg));
+  if (code == "InvalidProgram") return Status::InvalidProgram(std::move(msg));
+  if (code == "NotFound") return Status::NotFound(std::move(msg));
+  if (code == "InvalidArgument") {
+    return Status::InvalidArgument(std::move(msg));
+  }
+  if (code == "SecurityViolation") {
+    return Status::SecurityViolation(std::move(msg));
+  }
+  if (code == "IntegrityViolation") {
+    return Status::IntegrityViolation(std::move(msg));
+  }
+  if (code == "ResourceExhausted") {
+    return Status::ResourceExhausted(std::move(msg));
+  }
+  if (code == "DeadlineExceeded") {
+    return Status::DeadlineExceeded(std::move(msg));
+  }
+  return Status::Internal(std::move(msg));
+}
+
+}  // namespace
+
+Result<Client> Client::Connect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status s =
+        Status::Internal(std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  return Client(fd);
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Client::SendRaw(std::string_view payload) {
+  return WriteFrame(fd_, payload);
+}
+
+Result<std::string> Client::ReadRaw() {
+  MULTILOG_ASSIGN_OR_RETURN(std::optional<std::string> frame,
+                            ReadFrame(fd_, kAbsoluteMaxFrameBytes));
+  if (!frame.has_value()) {
+    return Status::Internal("server closed the connection");
+  }
+  return *std::move(frame);
+}
+
+Result<Json> Client::RoundTrip(const Json& request) {
+  MULTILOG_RETURN_IF_ERROR(SendRaw(request.Serialize()));
+  MULTILOG_ASSIGN_OR_RETURN(std::string payload, ReadRaw());
+  return Json::Parse(payload);
+}
+
+Result<Json> Client::Call(const Json& request) {
+  MULTILOG_ASSIGN_OR_RETURN(Json response, RoundTrip(request));
+  if (!response.GetBool("ok", false)) return StatusFromWire(response);
+  return response;
+}
+
+Result<Json> Client::Hello(const std::string& level, std::string_view mode) {
+  Json req = Json::Object();
+  req.Set("cmd", Json::Str("hello"));
+  req.Set("level", Json::Str(level));
+  if (!mode.empty()) req.Set("mode", Json::Str(std::string(mode)));
+  return Call(req);
+}
+
+Result<Json> Client::Query(const std::string& goal, int64_t deadline_ms,
+                           std::string_view mode, bool proofs) {
+  Json req = Json::Object();
+  req.Set("cmd", Json::Str("query"));
+  req.Set("goal", Json::Str(goal));
+  if (deadline_ms >= 0) req.Set("deadline_ms", Json::Int(deadline_ms));
+  if (!mode.empty()) req.Set("mode", Json::Str(std::string(mode)));
+  if (proofs) req.Set("proofs", Json::Bool(true));
+  return Call(req);
+}
+
+Result<Json> Client::Sql(const std::string& sql) {
+  Json req = Json::Object();
+  req.Set("cmd", Json::Str("sql"));
+  req.Set("sql", Json::Str(sql));
+  return Call(req);
+}
+
+Result<Json> Client::Stats() {
+  Json req = Json::Object();
+  req.Set("cmd", Json::Str("stats"));
+  return Call(req);
+}
+
+Result<Json> Client::Ping() {
+  Json req = Json::Object();
+  req.Set("cmd", Json::Str("ping"));
+  return Call(req);
+}
+
+Status Client::Bye() {
+  Json req = Json::Object();
+  req.Set("cmd", Json::Str("bye"));
+  return Call(req).status();
+}
+
+}  // namespace multilog::server

@@ -1,0 +1,68 @@
+#ifndef MULTILOG_SERVER_CLIENT_H_
+#define MULTILOG_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "server/protocol.h"
+
+namespace multilog::server {
+
+/// A minimal blocking multilogd client: one TCP connection, strict
+/// request/response. Shared by the CLI, the load generator, and the
+/// integration tests (which is the point - they all exercise the same
+/// wire path).
+///
+/// Not thread-safe: one Client per thread.
+class Client {
+ public:
+  /// Connects to 127.0.0.1:`port` (multilogd binds loopback only).
+  static Result<Client> Connect(uint16_t port);
+
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client& operator=(Client&& other) noexcept;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one frame and reads one response frame, parsed as JSON.
+  /// Protocol-level errors from the server come back as an OK Result
+  /// whose JSON has "ok":false - the caller decides whether that is
+  /// fatal. A transport failure (connection closed, bad frame) is a
+  /// non-OK Result.
+  Result<Json> RoundTrip(const Json& request);
+
+  /// Convenience wrappers building the request JSON. Each fails (non-OK
+  /// Result) if the server's response has "ok":false, returning the
+  /// server's code/error as the Status.
+  Result<Json> Hello(const std::string& level, std::string_view mode = "");
+  Result<Json> Query(const std::string& goal, int64_t deadline_ms = -1,
+                     std::string_view mode = "", bool proofs = false);
+  Result<Json> Sql(const std::string& sql);
+  Result<Json> Stats();
+  Result<Json> Ping();
+  Status Bye();
+
+  /// Sends raw bytes as one frame, no JSON involved - the robustness
+  /// tests use this to inject malformed payloads.
+  Status SendRaw(std::string_view payload);
+  /// Reads one response frame (empty Result error on EOF).
+  Result<std::string> ReadRaw();
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// RoundTrip + turn "ok":false into the corresponding error Status.
+  Result<Json> Call(const Json& request);
+
+  int fd_ = -1;
+};
+
+}  // namespace multilog::server
+
+#endif  // MULTILOG_SERVER_CLIENT_H_

@@ -1,0 +1,117 @@
+// multilog_client: one-shot command-line client for multilogd.
+//
+//   $ multilog_client --port 7690 --level s query '?- s[intel(K : source -C-> V)] << cau.'
+//   $ multilog_client --port 7690 --level c sql 'select * from mission'
+//   $ multilog_client --port 7690 stats
+//
+// Prints the server's JSON response; for `query`, the answers are also
+// listed one per line (handy in shell pipelines and the demo script).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "server/client.h"
+
+namespace {
+
+using namespace multilog;
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --port N [--level L] [--mode M] [--deadline-ms N] "
+      "[--proofs]\n          (query GOAL | sql STMT | stats | ping)\n",
+      argv0);
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return status.IsDeadlineExceeded() ? 3 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint16_t port = 7690;
+  std::string level;
+  std::string mode;
+  int64_t deadline_ms = -1;
+  bool proofs = false;
+  std::string command;
+  std::string operand;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      port = static_cast<uint16_t>(std::atoi(v));
+    } else if (arg == "--level") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      level = v;
+    } else if (arg == "--mode") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      mode = v;
+    } else if (arg == "--deadline-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      deadline_ms = std::atol(v);
+    } else if (arg == "--proofs") {
+      proofs = true;
+    } else if (command.empty()) {
+      command = arg;
+    } else if (operand.empty()) {
+      operand = arg;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (command.empty()) return Usage(argv[0]);
+  const bool needs_operand = command == "query" || command == "sql";
+  if (needs_operand && operand.empty()) return Usage(argv[0]);
+
+  Result<server::Client> client = server::Client::Connect(port);
+  if (!client.ok()) return Fail(client.status());
+
+  if (!level.empty() || needs_operand) {
+    if (level.empty()) {
+      std::fprintf(stderr, "error: %s requires --level\n", command.c_str());
+      return 2;
+    }
+    Result<server::Json> hello = client->Hello(level, mode);
+    if (!hello.ok()) return Fail(hello.status());
+  }
+
+  Result<server::Json> response = Status::Internal("unreached");
+  if (command == "query") {
+    response = client->Query(operand, deadline_ms, /*mode=*/"", proofs);
+  } else if (command == "sql") {
+    response = client->Sql(operand);
+  } else if (command == "stats") {
+    response = client->Stats();
+  } else if (command == "ping") {
+    response = client->Ping();
+  } else {
+    return Usage(argv[0]);
+  }
+  if (!response.ok()) return Fail(response.status());
+
+  std::printf("%s\n", response->Serialize().c_str());
+  if (command == "query") {
+    if (const server::Json* answers = response->Find("answers");
+        answers != nullptr && answers->is_array()) {
+      for (const server::Json& answer : answers->array_items()) {
+        std::printf("  %s\n", answer.string_value().c_str());
+      }
+    }
+  }
+  client->Bye();
+  return 0;
+}

@@ -1,0 +1,144 @@
+#include "server/metrics.h"
+
+#include <algorithm>
+
+namespace multilog::server {
+
+namespace {
+
+/// Index of the histogram bucket covering `micros`: floor(log2) capped.
+size_t BucketOf(uint64_t micros) {
+  size_t b = 0;
+  while (micros > 1 && b + 1 < LatencyHistogram::kBuckets) {
+    micros >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+const char* kModeNames[] = {"operational", "reduced", "check_both"};
+
+}  // namespace
+
+void LatencyHistogram::Record(uint64_t micros) {
+  buckets_[BucketOf(micros)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_micros_.fetch_add(micros, std::memory_order_relaxed);
+  uint64_t seen = max_micros_.load(std::memory_order_relaxed);
+  while (micros > seen &&
+         !max_micros_.compare_exchange_weak(seen, micros,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::Snap() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.total_micros = total_micros_.load(std::memory_order_relaxed);
+  s.max_micros = max_micros_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+uint64_t LatencyHistogram::Snapshot::PercentileMicros(double p) const {
+  if (count == 0) return 0;
+  const double clamped = std::min(100.0, std::max(0.0, p));
+  // Rank of the requested recording, 1-based, ceiling - p100 is the max
+  // recording's bucket, p0 the min's.
+  uint64_t rank = static_cast<uint64_t>(clamped / 100.0 *
+                                        static_cast<double>(count));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return uint64_t{1} << (i + 1);  // bucket upper bound
+  }
+  return max_micros;
+}
+
+ServerMetrics::ServerMetrics(const std::vector<std::string>& levels)
+    : level_names_(levels), by_level_(levels.size()) {
+  for (size_t i = 0; i < level_names_.size(); ++i) {
+    level_index_[level_names_[i]] = i;
+  }
+}
+
+void ServerMetrics::RecordQuery(const std::string& level, size_t mode_index,
+                                uint64_t micros) {
+  auto it = level_index_.find(level);
+  if (it != level_index_.end() && mode_index < kModes) {
+    by_level_[it->second].by_mode[mode_index].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  latency_.Record(micros);
+}
+
+Json ServerMetrics::ToJson() const {
+  Json root = Json::Object();
+  root.Set("uptime_ms",
+           Json::Int(std::chrono::duration_cast<std::chrono::milliseconds>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count()));
+
+  Json conns = Json::Object();
+  conns.Set("accepted", Json::Int(static_cast<int64_t>(
+                            connections_accepted.load())));
+  conns.Set("rejected", Json::Int(static_cast<int64_t>(
+                            connections_rejected.load())));
+  conns.Set("open", Json::Int(static_cast<int64_t>(
+                        connections_open.load())));
+  root.Set("connections", std::move(conns));
+
+  Json reqs = Json::Object();
+  reqs.Set("total", Json::Int(static_cast<int64_t>(requests_total.load())));
+  reqs.Set("oversized",
+           Json::Int(static_cast<int64_t>(rejected_oversized.load())));
+  reqs.Set("malformed",
+           Json::Int(static_cast<int64_t>(rejected_malformed.load())));
+  reqs.Set("overloaded",
+           Json::Int(static_cast<int64_t>(rejected_overloaded.load())));
+  root.Set("requests", std::move(reqs));
+
+  Json queries = Json::Object();
+  queries.Set("ok", Json::Int(static_cast<int64_t>(queries_ok.load())));
+  queries.Set("errors", Json::Int(static_cast<int64_t>(query_errors.load())));
+  queries.Set("deadline_exceeded",
+              Json::Int(static_cast<int64_t>(deadline_exceeded.load())));
+  queries.Set("rows_returned",
+              Json::Int(static_cast<int64_t>(rows_returned.load())));
+
+  Json by_level = Json::Object();
+  for (size_t i = 0; i < level_names_.size(); ++i) {
+    Json per_mode = Json::Object();
+    for (size_t m = 0; m < kModes; ++m) {
+      per_mode.Set(kModeNames[m],
+                   Json::Int(static_cast<int64_t>(
+                       by_level_[i].by_mode[m].load())));
+    }
+    by_level.Set(level_names_[i], std::move(per_mode));
+  }
+  queries.Set("by_level", std::move(by_level));
+
+  const LatencyHistogram::Snapshot snap = latency_.Snap();
+  Json lat = Json::Object();
+  lat.Set("count", Json::Int(static_cast<int64_t>(snap.count)));
+  lat.Set("mean_ms", Json::Double(snap.MeanMicros() / 1000.0));
+  lat.Set("p50_ms",
+          Json::Double(static_cast<double>(snap.PercentileMicros(50)) /
+                       1000.0));
+  lat.Set("p95_ms",
+          Json::Double(static_cast<double>(snap.PercentileMicros(95)) /
+                       1000.0));
+  lat.Set("p99_ms",
+          Json::Double(static_cast<double>(snap.PercentileMicros(99)) /
+                       1000.0));
+  lat.Set("max_ms",
+          Json::Double(static_cast<double>(snap.max_micros) / 1000.0));
+  queries.Set("latency", std::move(lat));
+  root.Set("queries", std::move(queries));
+  return root;
+}
+
+}  // namespace multilog::server

@@ -1,0 +1,152 @@
+// multilogd: serve a MultiLog database over TCP.
+//
+//   $ multilogd --sample --port 7690
+//   $ multilogd --db mission.mlog --port 7690 --workers 8
+//
+// With --sample the server loads the paper's D1 database (Figure 10)
+// and additionally exposes the Figure 1 Mission relation to the `sql`
+// command. Clients speak the length-delimited JSON protocol described
+// in src/server/protocol.h (see also `multilog_client`).
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <semaphore.h>
+#include <sstream>
+#include <string>
+
+#include "mls/sample_data.h"
+#include "multilog/engine.h"
+#include "server/server.h"
+
+namespace {
+
+using namespace multilog;
+
+// Signal handlers can only poke async-signal-safe primitives; the main
+// thread parks on this semaphore until SIGINT/SIGTERM posts it.
+sem_t g_shutdown;
+
+void HandleSignal(int) { sem_post(&g_shutdown); }
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s (--db FILE | --sample) [--port N] [--workers N]\n"
+      "          [--max-conns N] [--max-inflight N] [--max-request-bytes N]\n"
+      "          [--deadline-ms N] [--mode operational|reduced|check_both]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string db_path;
+  bool use_sample = false;
+  server::ServerOptions options;
+  options.port = 7690;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--db") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      db_path = v;
+    } else if (arg == "--sample") {
+      use_sample = true;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.port = static_cast<uint16_t>(std::atoi(v));
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.num_workers = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--max-conns") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.max_connections = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--max-inflight") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.max_in_flight = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--max-request-bytes") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.max_request_bytes = static_cast<size_t>(std::atol(v));
+    } else if (arg == "--deadline-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.default_deadline_ms = std::atol(v);
+    } else if (arg == "--mode") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      Result<ml::ExecMode> mode = server::ParseExecMode(v);
+      if (!mode.ok()) {
+        std::fprintf(stderr, "%s\n", mode.status().ToString().c_str());
+        return 2;
+      }
+      options.default_mode = *mode;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (use_sample == !db_path.empty()) return Usage(argv[0]);
+
+  std::string source;
+  Result<mls::MissionDataset> dataset = Status::Internal("unused");
+  std::vector<server::SqlCatalogEntry> catalog;
+  if (use_sample) {
+    source = mls::D1Source();
+    dataset = mls::BuildMissionDataset();
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "sample dataset: %s\n",
+                   dataset.status().ToString().c_str());
+      return 1;
+    }
+    catalog.push_back({"mission", dataset->mission.get()});
+  } else {
+    std::ifstream in(db_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", db_path.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    source = buf.str();
+  }
+
+  Result<ml::Engine> engine = ml::Engine::FromSource(source);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "database: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  server::Server srv(&*engine, options, std::move(catalog));
+  if (Status s = srv.Start(); !s.ok()) {
+    std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("multilogd listening on 127.0.0.1:%u (%zu workers, levels:",
+              srv.port(), options.num_workers);
+  for (const std::string& level : engine->lattice().TopologicalOrder()) {
+    std::printf(" %s", level.c_str());
+  }
+  std::printf(")\n");
+  std::fflush(stdout);
+
+  sem_init(&g_shutdown, 0, 0);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (sem_wait(&g_shutdown) != 0 && errno == EINTR) {
+  }
+  std::printf("shutting down\n");
+  srv.Stop();
+  return 0;
+}

@@ -1,0 +1,214 @@
+#include "server/protocol.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace multilog::server {
+
+namespace {
+
+/// Reads exactly `n` bytes, retrying on EINTR. Returns the number of
+/// bytes actually read (< n only at EOF or on a socket error).
+size_t ReadFully(int fd, char* buf, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (r == 0) break;  // EOF
+    got += static_cast<size_t>(r);
+  }
+  return got;
+}
+
+}  // namespace
+
+Result<std::optional<std::string>> ReadFrame(int fd, size_t max_bytes) {
+  // Header: decimal digits then '\n', read byte-wise (headers are tiny
+  // and this keeps the reader stateless between frames).
+  std::string header;
+  while (true) {
+    char c;
+    const size_t r = ReadFully(fd, &c, 1);
+    if (r == 0) {
+      if (header.empty()) return std::optional<std::string>();  // clean EOF
+      return Status::ParseError("connection closed inside a frame header");
+    }
+    if (c == '\n') break;
+    if (c < '0' || c > '9') {
+      return Status::ParseError(
+          "malformed frame header: expected a decimal length");
+    }
+    header.push_back(c);
+    if (header.size() > 20) {
+      return Status::ParseError("malformed frame header: length too long");
+    }
+  }
+  if (header.empty()) {
+    return Status::ParseError("malformed frame header: empty length");
+  }
+  errno = 0;
+  const unsigned long long declared = std::strtoull(header.c_str(), nullptr,
+                                                    10);
+  if (errno == ERANGE || declared > kAbsoluteMaxFrameBytes ||
+      declared > max_bytes) {
+    return Status::ResourceExhausted(
+        "frame of " + header + " bytes exceeds the request size limit of " +
+        std::to_string(max_bytes) + " bytes");
+  }
+  std::string payload(static_cast<size_t>(declared), '\0');
+  const size_t got = ReadFully(fd, payload.data(), payload.size());
+  if (got != payload.size()) {
+    return Status::ParseError("connection closed inside a frame payload (" +
+                              std::to_string(got) + " of " + header +
+                              " bytes)");
+  }
+  return std::optional<std::string>(std::move(payload));
+}
+
+Status WriteFrame(int fd, std::string_view payload) {
+  std::string frame = std::to_string(payload.size());
+  frame.push_back('\n');
+  frame.append(payload);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    // MSG_NOSIGNAL: a peer that hung up mid-conversation must yield an
+    // error Status here, not SIGPIPE the whole server.
+    const ssize_t w =
+        ::send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("write failed: ") +
+                              std::strerror(errno));
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Result<ml::ExecMode> ParseExecMode(std::string_view name) {
+  if (name == "operational" || name == "op") return ml::ExecMode::kOperational;
+  if (name == "reduced" || name == "red") return ml::ExecMode::kReduced;
+  if (name == "check_both" || name == "check" || name == "both") {
+    return ml::ExecMode::kCheckBoth;
+  }
+  return Status::InvalidArgument(
+      "unknown exec mode '" + std::string(name) +
+      "' (expected operational|reduced|check_both)");
+}
+
+const char* ExecModeName(ml::ExecMode mode) {
+  switch (mode) {
+    case ml::ExecMode::kOperational:
+      return "operational";
+    case ml::ExecMode::kReduced:
+      return "reduced";
+    case ml::ExecMode::kCheckBoth:
+      return "check_both";
+  }
+  return "unknown";
+}
+
+Result<Request> ParseRequest(const Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  const Json* cmd = json.Find("cmd");
+  if (cmd == nullptr || !cmd->is_string()) {
+    return Status::InvalidArgument("request is missing a string 'cmd'");
+  }
+  Request req;
+  const std::string& name = cmd->string_value();
+  if (name == "hello") {
+    req.cmd = Request::Cmd::kHello;
+    const Json* level = json.Find("level");
+    if (level == nullptr || !level->is_string() ||
+        level->string_value().empty()) {
+      return Status::InvalidArgument("hello requires a non-empty 'level'");
+    }
+    req.level = level->string_value();
+    if (const Json* mode = json.Find("mode"); mode != nullptr) {
+      if (!mode->is_string()) {
+        return Status::InvalidArgument("'mode' must be a string");
+      }
+      MULTILOG_ASSIGN_OR_RETURN(ml::ExecMode m,
+                                ParseExecMode(mode->string_value()));
+      req.mode = m;
+    }
+    return req;
+  }
+  if (name == "query") {
+    req.cmd = Request::Cmd::kQuery;
+    const Json* goal = json.Find("goal");
+    if (goal == nullptr || !goal->is_string() ||
+        goal->string_value().empty()) {
+      return Status::InvalidArgument("query requires a non-empty 'goal'");
+    }
+    req.goal = goal->string_value();
+    if (const Json* mode = json.Find("mode"); mode != nullptr) {
+      if (!mode->is_string()) {
+        return Status::InvalidArgument("'mode' must be a string");
+      }
+      MULTILOG_ASSIGN_OR_RETURN(ml::ExecMode m,
+                                ParseExecMode(mode->string_value()));
+      req.mode = m;
+    }
+    if (const Json* dl = json.Find("deadline_ms"); dl != nullptr) {
+      if (!dl->is_int() || dl->int_value() < 0) {
+        return Status::InvalidArgument(
+            "'deadline_ms' must be a non-negative integer");
+      }
+      req.deadline_ms = dl->int_value();
+    }
+    if (const Json* proofs = json.Find("proofs"); proofs != nullptr) {
+      if (!proofs->is_bool()) {
+        return Status::InvalidArgument("'proofs' must be a boolean");
+      }
+      req.want_proofs = proofs->bool_value();
+    }
+    return req;
+  }
+  if (name == "sql") {
+    req.cmd = Request::Cmd::kSql;
+    const Json* sql = json.Find("sql");
+    if (sql == nullptr || !sql->is_string() || sql->string_value().empty()) {
+      return Status::InvalidArgument("sql requires a non-empty 'sql'");
+    }
+    req.sql = sql->string_value();
+    return req;
+  }
+  if (name == "stats") {
+    req.cmd = Request::Cmd::kStats;
+    return req;
+  }
+  if (name == "ping") {
+    req.cmd = Request::Cmd::kPing;
+    return req;
+  }
+  if (name == "bye") {
+    req.cmd = Request::Cmd::kBye;
+    return req;
+  }
+  return Status::InvalidArgument("unknown command '" + name + "'");
+}
+
+Json ErrorResponse(const Status& status) {
+  Json j = Json::Object();
+  j.Set("ok", Json::Bool(false));
+  j.Set("code", Json::Str(StatusCodeToString(status.code())));
+  j.Set("error", Json::Str(status.message()));
+  return j;
+}
+
+Json OkResponse() {
+  Json j = Json::Object();
+  j.Set("ok", Json::Bool(true));
+  return j;
+}
+
+}  // namespace multilog::server

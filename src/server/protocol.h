@@ -1,0 +1,89 @@
+#ifndef MULTILOG_SERVER_PROTOCOL_H_
+#define MULTILOG_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "multilog/engine.h"
+#include "server/json.h"
+
+namespace multilog::server {
+
+/// # The multilogd wire protocol
+///
+/// Length-delimited JSON over TCP. One frame is
+///
+///     <decimal byte count> '\n' <exactly that many bytes of UTF-8 JSON>
+///
+/// in both directions; requests and responses alternate strictly (no
+/// pipelining). The full grammar, session rules, and limits are
+/// documented in DESIGN.md §11.
+///
+/// Requests (the `cmd` member selects):
+///   {"cmd":"hello","level":L,"mode":M?}     bind the session clearance
+///   {"cmd":"query","goal":G,"mode":M?,"deadline_ms":N?,"proofs":B?}
+///   {"cmd":"sql","sql":S}                   MSQL at the session level
+///   {"cmd":"stats"}                         the metrics surface
+///   {"cmd":"ping"}                          liveness probe
+///   {"cmd":"bye"}                           orderly close
+///
+/// Responses: {"ok":true, ...} or
+///   {"ok":false,"code":<StatusCodeToString>,"error":<message>}.
+///
+/// Error handling is two-tier, mirroring what the peer can recover
+/// from: *payload*-level problems (bad JSON, unknown command, unknown
+/// level, query errors) get a structured error response and the
+/// connection stays open; *framing*-level problems (unparseable length
+/// header, declared length over the limit, truncated payload) get a
+/// best-effort error frame followed by connection close, because the
+/// byte stream can no longer be resynchronized.
+
+/// Hard cap a frame header may declare regardless of configuration
+/// (defense against absurd allocations before options are consulted).
+constexpr size_t kAbsoluteMaxFrameBytes = 64u << 20;  // 64 MiB
+
+/// Reads one frame from `fd`. Returns:
+///  - the payload on success,
+///  - nullopt on clean EOF at a frame boundary (peer closed),
+///  - ParseError for an unparseable header or a payload truncated by
+///    EOF, ResourceExhausted when the declared length exceeds
+///    `max_bytes` (the declared length is NOT read in that case).
+Result<std::optional<std::string>> ReadFrame(int fd, size_t max_bytes);
+
+/// Writes one frame (header + payload) to `fd`.
+Status WriteFrame(int fd, std::string_view payload);
+
+/// A parsed, schema-validated request.
+struct Request {
+  enum class Cmd { kHello, kQuery, kSql, kStats, kPing, kBye };
+  Cmd cmd = Cmd::kPing;
+  std::string level;         // hello
+  std::optional<ml::ExecMode> mode;  // hello or query override
+  std::string goal;          // query
+  std::string sql;           // sql
+  int64_t deadline_ms = -1;  // query; -1 = server default
+  bool want_proofs = false;  // query (operational modes only)
+};
+
+/// Validates the JSON shape of a request (presence and types of the
+/// members each command requires). Lattice-dependent checks (does the
+/// level exist?) happen in the server, which owns the engine.
+Result<Request> ParseRequest(const Json& json);
+
+/// Wire names for ExecMode: "operational", "reduced", "check_both"
+/// (aliases "op", "red", "both", "check" are accepted on input).
+Result<ml::ExecMode> ParseExecMode(std::string_view name);
+const char* ExecModeName(ml::ExecMode mode);
+
+/// {"ok":false,"code":...,"error":...} from a non-OK status.
+Json ErrorResponse(const Status& status);
+
+/// {"ok":true} ready for command-specific members.
+Json OkResponse();
+
+}  // namespace multilog::server
+
+#endif  // MULTILOG_SERVER_PROTOCOL_H_

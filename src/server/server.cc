@@ -1,0 +1,375 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <future>
+
+#include "common/cancel.h"
+#include "msql/executor.h"
+#include "multilog/proof.h"
+
+namespace multilog::server {
+
+namespace {
+
+uint64_t ElapsedMicros(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+/// Per-connection state. Lives on the reader thread's stack; only that
+/// thread (and pool tasks it blocks on) ever touches it, so no locking.
+struct SessionState {
+  bool hello_done = false;
+  std::string level;
+  ml::ExecMode mode = ml::ExecMode::kReduced;
+  /// Created at HELLO when the server has an SQL catalog; its user
+  /// context is locked to the session level (no read-up over the wire).
+  std::unique_ptr<msql::Session> sql;
+};
+
+Server::Server(ml::Engine* engine, ServerOptions options,
+               std::vector<SqlCatalogEntry> catalog,
+               const mls::BeliefModeRegistry* belief_registry)
+    : engine_(engine),
+      options_(options),
+      catalog_(std::move(catalog)),
+      belief_registry_(belief_registry),
+      metrics_(engine->lattice().TopologicalOrder()) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status s =
+        Status::Internal(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    const Status s =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+  stopping_.store(false);
+  accept_thread_ = std::thread(&Server::AcceptLoop, this);
+  started_ = true;
+  return Status::OK();
+}
+
+void Server::Stop() {
+  if (!started_ || stopping_.exchange(true)) return;
+  // 1. No new sessions: unblock and retire the accept loop. shutdown()
+  // on a listening socket is what reliably wakes a blocked accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  // 2. Drain: shut down each connection's *read* side only. A reader
+  // blocked in ReadFrame sees EOF and exits; a reader waiting on an
+  // in-flight query still writes its response before the next read
+  // observes the shutdown. Responses are never cut off.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const auto& conn : connections_) {
+      if (!conn->closed) ::shutdown(conn->fd, SHUT_RD);
+    }
+  }
+  // conn_threads_ is only appended by the accept thread, which is
+  // joined above, so iterating without the lock is safe.
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  // 3. Workers are idle now (every dispatcher has returned).
+  pool_.reset();
+  started_ = false;
+}
+
+void Server::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (or broken) - either way we're done
+    }
+    if (stopping_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      break;
+    }
+    if (metrics_.connections_open.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      metrics_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
+      WriteFrame(fd, ErrorResponse(Status::ResourceExhausted(
+                         "server at connection limit"))
+                         .Serialize());
+      ::close(fd);
+      continue;
+    }
+    metrics_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    metrics_.connections_open.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    connections_.push_back(std::move(conn));
+    conn_threads_.emplace_back(&Server::ServeConnection, this,
+                               connections_.size() - 1);
+  }
+}
+
+void Server::ServeConnection(size_t conn_index) {
+  Connection* conn = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn = connections_[conn_index].get();
+  }
+  SessionState session;
+  session.mode = options_.default_mode;
+  while (HandleFrame(session, conn->fd)) {
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (!conn->closed) {
+      ::close(conn->fd);
+      conn->closed = true;
+    }
+  }
+  metrics_.connections_open.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool Server::HandleFrame(SessionState& session, int fd) {
+  Result<std::optional<std::string>> frame =
+      ReadFrame(fd, options_.max_request_bytes);
+  if (!frame.ok()) {
+    // Framing damage: the byte stream can't be resynchronized. Tell the
+    // peer why (best effort) and close.
+    if (frame.status().IsResourceExhausted()) {
+      metrics_.rejected_oversized.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      metrics_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
+    }
+    WriteFrame(fd, ErrorResponse(frame.status()).Serialize());
+    return false;
+  }
+  if (!frame->has_value()) return false;  // clean EOF
+  metrics_.requests_total.fetch_add(1, std::memory_order_relaxed);
+
+  // Payload-tier problems keep the connection open: framing is intact,
+  // so the peer can recover by sending a corrected request.
+  Result<Json> json = Json::Parse(**frame);
+  if (!json.ok()) {
+    metrics_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
+    WriteFrame(fd, ErrorResponse(json.status()).Serialize());
+    return true;
+  }
+  Result<Request> parsed = ParseRequest(*json);
+  if (!parsed.ok()) {
+    metrics_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
+    WriteFrame(fd, ErrorResponse(parsed.status()).Serialize());
+    return true;
+  }
+  const Request& req = *parsed;
+
+  switch (req.cmd) {
+    case Request::Cmd::kPing: {
+      Json resp = OkResponse();
+      resp.Set("pong", Json::Bool(true));
+      WriteFrame(fd, resp.Serialize());
+      return true;
+    }
+    case Request::Cmd::kBye: {
+      WriteFrame(fd, OkResponse().Serialize());
+      return false;
+    }
+    case Request::Cmd::kStats: {
+      Json resp = OkResponse();
+      resp.Set("stats", metrics_.ToJson());
+      WriteFrame(fd, resp.Serialize());
+      return true;
+    }
+    case Request::Cmd::kHello: {
+      if (session.hello_done) {
+        WriteFrame(fd, ErrorResponse(Status::InvalidArgument(
+                           "session is already bound; reconnect to change "
+                           "clearance"))
+                           .Serialize());
+        return true;
+      }
+      if (!engine_->lattice().Contains(req.level)) {
+        WriteFrame(fd, ErrorResponse(Status::SecurityViolation(
+                           "unknown clearance level '" + req.level + "'"))
+                           .Serialize());
+        return true;
+      }
+      session.hello_done = true;
+      session.level = req.level;
+      if (req.mode.has_value()) session.mode = *req.mode;
+      if (!catalog_.empty()) {
+        session.sql = std::make_unique<msql::Session>(belief_registry_);
+        for (const SqlCatalogEntry& entry : catalog_) {
+          session.sql->RegisterRelation(entry.name, entry.relation);
+        }
+        session.sql->SetUserContext(session.level);
+        session.sql->LockUserContext();
+      }
+      Json resp = OkResponse();
+      resp.Set("server", Json::Str("multilogd"));
+      resp.Set("level", Json::Str(session.level));
+      resp.Set("mode", Json::Str(ExecModeName(session.mode)));
+      resp.Set("sql", Json::Bool(session.sql != nullptr));
+      WriteFrame(fd, resp.Serialize());
+      return true;
+    }
+    case Request::Cmd::kQuery:
+    case Request::Cmd::kSql: {
+      if (!session.hello_done) {
+        WriteFrame(fd, ErrorResponse(Status::SecurityViolation(
+                           "session has no clearance yet; send hello first"))
+                           .Serialize());
+        return true;
+      }
+      // Admission control on the shared pool: fail fast instead of
+      // queueing unboundedly behind slow queries.
+      if (in_flight_.fetch_add(1, std::memory_order_acq_rel) >=
+          options_.max_in_flight) {
+        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+        metrics_.rejected_overloaded.fetch_add(1, std::memory_order_relaxed);
+        WriteFrame(fd, ErrorResponse(Status::ResourceExhausted(
+                           "server overloaded: too many queries in flight"))
+                           .Serialize());
+        return true;
+      }
+      std::promise<Json> done;
+      std::future<Json> future = done.get_future();
+      pool_->Submit([this, &session, &req, &done] {
+        done.set_value(req.cmd == Request::Cmd::kQuery
+                           ? HandleQuery(session, req)
+                           : HandleSql(session, req));
+      });
+      const Json resp = future.get();
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      WriteFrame(fd, resp.Serialize());
+      return true;
+    }
+  }
+  return true;
+}
+
+Json Server::HandleQuery(const SessionState& session, const Request& req) {
+  // Deadline precedence: the request's own deadline_ms (0 is a valid
+  // "already expired" probe), else the server default, else none.
+  CancelToken cancel;
+  const CancelToken* cancel_ptr = nullptr;
+  if (req.deadline_ms >= 0) {
+    cancel.SetTimeout(std::chrono::milliseconds(req.deadline_ms));
+    cancel_ptr = &cancel;
+  } else if (options_.default_deadline_ms > 0) {
+    cancel.SetTimeout(std::chrono::milliseconds(options_.default_deadline_ms));
+    cancel_ptr = &cancel;
+  }
+  const ml::ExecMode mode = req.mode.has_value() ? *req.mode : session.mode;
+
+  const auto start = std::chrono::steady_clock::now();
+  Result<ml::QueryResult> result =
+      engine_->QuerySource(req.goal, session.level, mode, cancel_ptr);
+  const uint64_t micros = ElapsedMicros(start);
+  metrics_.RecordQuery(session.level, static_cast<size_t>(mode), micros);
+
+  if (!result.ok()) {
+    if (result.status().IsDeadlineExceeded()) {
+      metrics_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      metrics_.query_errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    return ErrorResponse(result.status());
+  }
+  metrics_.queries_ok.fetch_add(1, std::memory_order_relaxed);
+  metrics_.rows_returned.fetch_add(result->answers.size(),
+                                   std::memory_order_relaxed);
+
+  Json resp = OkResponse();
+  resp.Set("level", Json::Str(session.level));
+  resp.Set("mode", Json::Str(ExecModeName(mode)));
+  Json answers = Json::Array();
+  for (const datalog::Substitution& answer : result->answers) {
+    answers.Push(Json::Str(answer.ToString()));
+  }
+  resp.Set("count", Json::Int(static_cast<int64_t>(result->answers.size())));
+  resp.Set("answers", std::move(answers));
+  if (req.want_proofs && !result->proofs.empty()) {
+    Json proofs = Json::Array();
+    for (const ml::ProofPtr& proof : result->proofs) {
+      proofs.Push(Json::Str(ml::RenderProof(*proof)));
+    }
+    resp.Set("proofs", std::move(proofs));
+  }
+  resp.Set("elapsed_ms", Json::Double(static_cast<double>(micros) / 1000.0));
+  return resp;
+}
+
+Json Server::HandleSql(SessionState& session, const Request& req) {
+  if (session.sql == nullptr) {
+    metrics_.query_errors.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(Status::InvalidArgument(
+        "this server has no SQL catalog configured"));
+  }
+  const auto start = std::chrono::steady_clock::now();
+  Result<msql::ResultSet> result = session.sql->Execute(req.sql);
+  const uint64_t micros = ElapsedMicros(start);
+  metrics_.latency().Record(micros);
+
+  if (!result.ok()) {
+    metrics_.query_errors.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(result.status());
+  }
+  metrics_.queries_ok.fetch_add(1, std::memory_order_relaxed);
+  metrics_.rows_returned.fetch_add(result->rows.size(),
+                                   std::memory_order_relaxed);
+
+  Json resp = OkResponse();
+  Json columns = Json::Array();
+  for (const std::string& column : result->columns) {
+    columns.Push(Json::Str(column));
+  }
+  Json rows = Json::Array();
+  for (const std::vector<std::string>& row : result->rows) {
+    Json cells = Json::Array();
+    for (const std::string& cell : row) cells.Push(Json::Str(cell));
+    rows.Push(std::move(cells));
+  }
+  resp.Set("columns", std::move(columns));
+  resp.Set("count", Json::Int(static_cast<int64_t>(result->rows.size())));
+  resp.Set("rows", std::move(rows));
+  resp.Set("elapsed_ms", Json::Double(static_cast<double>(micros) / 1000.0));
+  return resp;
+}
+
+}  // namespace multilog::server

@@ -1,0 +1,154 @@
+#ifndef MULTILOG_SERVER_SERVER_H_
+#define MULTILOG_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "mls/belief.h"
+#include "mls/relation.h"
+#include "multilog/engine.h"
+#include "server/metrics.h"
+#include "server/protocol.h"
+
+namespace multilog::server {
+
+/// Everything tunable about a multilogd instance. Defaults are sized
+/// for tests and small deployments; the CLI exposes each as a flag.
+struct ServerOptions {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (tests
+  /// read it back via Server::port()).
+  uint16_t port = 0;
+
+  /// Size of the shared query worker pool. Queries from all
+  /// connections dispatch here, so concurrency across sessions is
+  /// min(#connections, num_workers).
+  size_t num_workers = 4;
+
+  /// Admission control: connections beyond this are accepted, told
+  /// "ok":false with kResourceExhausted, and closed immediately.
+  size_t max_connections = 64;
+
+  /// Admission control: QUERY/SQL requests beyond this many in flight
+  /// get a structured overload error (the connection stays open).
+  size_t max_in_flight = 32;
+
+  /// Largest request frame accepted; larger declared lengths are
+  /// rejected without reading the payload and the connection closes
+  /// (framing can't be trusted past an oversized header).
+  size_t max_request_bytes = 1u << 20;  // 1 MiB
+
+  /// Deadline applied to queries that don't carry their own
+  /// `deadline_ms`; 0 means no default deadline.
+  int64_t default_deadline_ms = 0;
+
+  /// Execution mode for sessions whose HELLO doesn't pick one.
+  ml::ExecMode default_mode = ml::ExecMode::kReduced;
+};
+
+/// A relation exposed to wire clients through the `sql` command.
+struct SqlCatalogEntry {
+  std::string name;
+  const mls::Relation* relation = nullptr;  // must outlive the server
+};
+
+/// multilogd: a concurrent MLS query server over one shared Engine.
+///
+/// ## Session model
+///
+/// Each accepted connection runs its own reader thread and owns a
+/// session. The first request must be HELLO, which binds the session's
+/// {clearance level, exec mode} after validating the level against the
+/// database's lattice. From then on every query runs at exactly that
+/// level - the session level *is* the engine's database level, so
+/// read-up is impossible by construction rather than by filtering; and
+/// when an MSQL catalog is configured, the per-connection msql::Session
+/// has its user context locked at HELLO for the same reason.
+///
+/// ## Dispatch and limits
+///
+/// Readers parse and validate frames, then dispatch QUERY/SQL work
+/// onto the shared worker pool and block for the result (the protocol
+/// is strictly request/response, so a blocked reader costs nothing).
+/// Admission control rejects connections over `max_connections` and
+/// queries over `max_in_flight`; oversized frames are refused before
+/// allocation. Per-query deadlines arm a CancelToken that the engine
+/// polls cooperatively; an expired query returns kDeadlineExceeded on
+/// the same connection, which remains usable.
+///
+/// ## Shutdown
+///
+/// Stop() is graceful: the listener closes first (no new sessions),
+/// in-flight queries run to completion, each connection's read side is
+/// shut down so its reader unblocks after writing its pending
+/// response, and all threads are joined before Stop returns.
+class Server {
+ public:
+  /// `engine` must be non-null and outlive the server. `catalog` lists
+  /// relations served to the `sql` command (empty = SQL disabled).
+  Server(ml::Engine* engine, ServerOptions options,
+         std::vector<SqlCatalogEntry> catalog = {},
+         const mls::BeliefModeRegistry* belief_registry = nullptr);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the accept loop. Returns once the
+  /// server is reachable (so tests can connect immediately).
+  Status Start();
+
+  /// Graceful shutdown; idempotent. See the class comment.
+  void Stop();
+
+  /// The bound port (useful with options.port == 0).
+  uint16_t port() const { return port_; }
+
+  const ServerMetrics& metrics() const { return metrics_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    bool closed = false;  // guarded by conn_mu_; prevents double close
+  };
+
+  void AcceptLoop();
+  void ServeConnection(size_t conn_index);
+
+  /// One request end to end: parse, validate, dispatch, respond.
+  /// Returns false when the connection should close (BYE or framing
+  /// damage).
+  bool HandleFrame(struct SessionState& session, int fd);
+
+  Json HandleQuery(const struct SessionState& session, const Request& req);
+  Json HandleSql(struct SessionState& session, const Request& req);
+
+  ml::Engine* engine_;
+  ServerOptions options_;
+  std::vector<SqlCatalogEntry> catalog_;
+  const mls::BeliefModeRegistry* belief_registry_;
+  ServerMetrics metrics_;
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::atomic<size_t> in_flight_{0};
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;  // append-only
+  std::vector<std::thread> conn_threads_;                 // append-only
+};
+
+}  // namespace multilog::server
+
+#endif  // MULTILOG_SERVER_SERVER_H_

@@ -1,0 +1,140 @@
+// Cooperative cancellation of bottom-up evaluation (EvalOptions::cancel).
+//
+// The token is polled on the same path that enforces max_facts - the
+// emit-budget charge - plus every rule application and round boundary,
+// so cancellation lands mid-round, not just between rounds. Every test
+// runs at num_threads 1 (the exact sequential path) and 8 (parallel
+// workers sharing one token).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "common/cancel.h"
+#include "datalog/eval.h"
+#include "datalog/parser.h"
+
+namespace multilog::datalog {
+namespace {
+
+/// Transitive closure over an n-node cycle: n^2 path facts, enough
+/// rounds and emissions that a deadline reliably lands mid-evaluation.
+std::string CycleClosure(size_t n) {
+  std::string src;
+  for (size_t i = 0; i < n; ++i) {
+    src += "edge(n" + std::to_string(i) + ", n" + std::to_string((i + 1) % n) +
+           ").\n";
+  }
+  src += "path(X, Y) :- edge(X, Y).\n";
+  src += "path(X, Y) :- edge(X, Z), path(Z, Y).\n";
+  return src;
+}
+
+Result<Model> EvalWithCancel(const std::string& source,
+                             const CancelToken* cancel, size_t num_threads) {
+  Result<ParsedProgram> parsed = ParseDatalog(source);
+  if (!parsed.ok()) return parsed.status();
+  EvalOptions options;
+  options.cancel = cancel;
+  options.num_threads = num_threads;
+  return Evaluate(parsed->program, options);
+}
+
+class EvalCancelTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EvalCancelTest, NullTokenEvaluatesNormally) {
+  Result<Model> m = EvalWithCancel(CycleClosure(10), nullptr, GetParam());
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->FactsFor("path/2").size(), 100u);
+}
+
+TEST_P(EvalCancelTest, UnexpiredTokenDoesNotInterfere) {
+  CancelToken cancel;
+  cancel.SetTimeout(std::chrono::minutes(5));
+  Result<Model> m = EvalWithCancel(CycleClosure(10), &cancel, GetParam());
+  ASSERT_TRUE(m.ok()) << m.status();
+  EXPECT_EQ(m->FactsFor("path/2").size(), 100u);
+}
+
+TEST_P(EvalCancelTest, PreCancelledTokenFailsImmediately) {
+  CancelToken cancel;
+  cancel.Cancel();
+  Result<Model> m = EvalWithCancel(CycleClosure(10), &cancel, GetParam());
+  ASSERT_FALSE(m.ok());
+  EXPECT_TRUE(m.status().IsDeadlineExceeded()) << m.status();
+}
+
+TEST_P(EvalCancelTest, ExpiredDeadlineCancelsMidEvaluation) {
+  // 300 nodes -> 90,000 path facts: far more work than 2ms, so the
+  // deadline expires while rounds are still emitting.
+  CancelToken cancel;
+  cancel.SetTimeout(std::chrono::milliseconds(2));
+  Result<Model> m = EvalWithCancel(CycleClosure(300), &cancel, GetParam());
+  ASSERT_FALSE(m.ok());
+  EXPECT_TRUE(m.status().IsDeadlineExceeded()) << m.status();
+}
+
+TEST_P(EvalCancelTest, CancelFromAnotherThreadUnwinds) {
+  CancelToken cancel;
+  std::thread killer([&cancel] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    cancel.Cancel();
+  });
+  Result<Model> m = EvalWithCancel(CycleClosure(400), &cancel, GetParam());
+  killer.join();
+  ASSERT_FALSE(m.ok());
+  EXPECT_TRUE(m.status().IsDeadlineExceeded()) << m.status();
+}
+
+TEST_P(EvalCancelTest, BudgetAndDeadlineAreDistinctCodes) {
+  // Same emit path, two different exits: the engine's own fact budget
+  // reports ResourceExhausted, a caller deadline reports
+  // kDeadlineExceeded. Servers rely on telling these apart.
+  Result<ParsedProgram> parsed = ParseDatalog(CycleClosure(100));
+  ASSERT_TRUE(parsed.ok());
+
+  EvalOptions budget;
+  budget.num_threads = GetParam();
+  budget.max_facts = 50;
+  Result<Model> exhausted = Evaluate(parsed->program, budget);
+  ASSERT_FALSE(exhausted.ok());
+  EXPECT_TRUE(exhausted.status().IsResourceExhausted()) << exhausted.status();
+  EXPECT_FALSE(exhausted.status().IsDeadlineExceeded());
+
+  CancelToken cancel;
+  cancel.Cancel();
+  EvalOptions deadline;
+  deadline.num_threads = GetParam();
+  deadline.cancel = &cancel;
+  Result<Model> cancelled = Evaluate(parsed->program, deadline);
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_TRUE(cancelled.status().IsDeadlineExceeded()) << cancelled.status();
+  EXPECT_FALSE(cancelled.status().IsResourceExhausted());
+}
+
+TEST_P(EvalCancelTest, QueryModelHonoursCancellation) {
+  Result<Model> m = EvalWithCancel(CycleClosure(10), nullptr, GetParam());
+  ASSERT_TRUE(m.ok()) << m.status();
+  Result<std::vector<Literal>> goal = ParseGoal("path(X, Y)");
+  ASSERT_TRUE(goal.ok());
+
+  CancelToken cancel;
+  cancel.Cancel();
+  Result<std::vector<Substitution>> answers = QueryModel(*m, *goal, &cancel);
+  ASSERT_FALSE(answers.ok());
+  EXPECT_TRUE(answers.status().IsDeadlineExceeded()) << answers.status();
+
+  Result<std::vector<Substitution>> ok = QueryModel(*m, *goal, nullptr);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->size(), 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, EvalCancelTest, ::testing::Values(1, 8),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return "threads" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace multilog::datalog

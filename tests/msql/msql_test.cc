@@ -43,6 +43,23 @@ TEST_F(MsqlTest, UserContextStatement) {
   EXPECT_EQ(session_->user_context(), "s");
 }
 
+TEST_F(MsqlTest, LockUserContextPinsClearance) {
+  ASSERT_TRUE(session_->SetUserContext("c").ok());
+  session_->LockUserContext();
+
+  // Neither the statement form nor the API can escalate (or even
+  // re-assert) the clearance once locked - the query server relies on
+  // this after binding a connection's level at HELLO.
+  Result<ResultSet> stmt = session_->Execute("user context s");
+  ASSERT_FALSE(stmt.ok());
+  EXPECT_TRUE(stmt.status().IsSecurityViolation()) << stmt.status();
+  EXPECT_TRUE(session_->SetUserContext("u").IsSecurityViolation());
+  EXPECT_EQ(session_->user_context(), "c");
+
+  // Reads at the pinned level keep working.
+  EXPECT_FALSE(Rows("select * from mission").empty());
+}
+
 TEST_F(MsqlTest, SelectStarThroughSigmaView) {
   ASSERT_TRUE(session_->SetUserContext("u").ok());
   // Figure 2's view has five tuples.

@@ -1,0 +1,150 @@
+// Concurrency: many client threads at mixed clearances against one
+// multilogd, answers byte-compared with direct single-threaded engine
+// queries. The server adds dispatch, pooling, and admission control on
+// top of the engine; none of that may change a single byte of an
+// answer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+#include "server/server.h"
+#include "server_test_util.h"
+
+namespace multilog::server {
+namespace {
+
+constexpr char kGoal[] = "?- c[p(k : a -R-> v)] << opt.";
+constexpr char kLevels[][2] = {"u", "c", "s"};
+constexpr const char* kModes[] = {"operational", "reduced", "check_both"};
+
+/// The "answers" member serialized - the byte string we compare.
+std::string AnswerBytes(const Json& response) {
+  const Json* answers = response.Find("answers");
+  return answers == nullptr ? "<no answers member>" : answers->Serialize();
+}
+
+TEST_F(ServerTestBase, ConcurrentClientsMatchDirectEngineByteForByte) {
+  ServerOptions options;
+  options.num_workers = 4;
+  StartServer(options);
+
+  // Reference: every (level, mode) pair answered by a private engine,
+  // single-threaded, no server anywhere near it.
+  Result<ml::Engine> reference = ml::Engine::FromSource(mls::D1Source());
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  std::map<std::string, std::string> expected;
+  for (const auto& level : kLevels) {
+    for (size_t m = 0; m < 3; ++m) {
+      Result<ml::QueryResult> r = reference->QuerySource(
+          kGoal, level, static_cast<ml::ExecMode>(m));
+      ASSERT_TRUE(r.ok()) << r.status();
+      Json answers = Json::Array();
+      for (const auto& answer : r->answers) {
+        answers.Push(Json::Str(answer.ToString()));
+      }
+      expected[std::string(level) + "/" + kModes[m]] = answers.Serialize();
+    }
+  }
+
+  // 8 concurrent clients (>= 4 per the acceptance criteria), each
+  // cycling through all clearances x modes several times.
+  constexpr size_t kClients = 8;
+  constexpr size_t kRoundsPerClient = 6;
+  std::atomic<size_t> mismatches{0};
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (size_t t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string level = kLevels[t % 3];
+      Result<Client> client = Client::Connect(server_->port());
+      if (!client.ok() || !client->Hello(level).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (size_t round = 0; round < kRoundsPerClient; ++round) {
+        const char* mode = kModes[(t + round) % 3];
+        Result<Json> r = client->Query(kGoal, -1, mode);
+        if (!r.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        if (AnswerBytes(*r) != expected[level + "/" + mode]) {
+          mismatches.fetch_add(1);
+        }
+      }
+      client->Bye();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(mismatches.load(), 0u);
+
+  // STATS adds up: every query recorded exactly once.
+  Client probe = MustConnect();
+  Result<Json> stats = probe.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  const Json* queries = stats->Find("stats")->Find("queries");
+  ASSERT_NE(queries, nullptr);
+  EXPECT_EQ(queries->GetInt("ok"),
+            static_cast<int64_t>(kClients * kRoundsPerClient));
+  EXPECT_EQ(queries->GetInt("errors"), 0);
+  int64_t by_level_total = 0;
+  for (const auto& [level, per_mode] :
+       queries->Find("by_level")->object_items()) {
+    for (const auto& [mode, count] : per_mode.object_items()) {
+      by_level_total += count.int_value();
+    }
+  }
+  EXPECT_EQ(by_level_total, static_cast<int64_t>(kClients * kRoundsPerClient));
+}
+
+TEST_F(ServerTestBase, ConcurrentDeadlineProbesDoNotPoisonOtherSessions) {
+  ServerOptions options;
+  options.num_workers = 4;
+  StartServer(options);
+
+  // Half the clients fire already-expired deadlines, half expect full
+  // answers; the failures must stay strictly on the probing sessions.
+  constexpr size_t kPairs = 4;
+  std::atomic<size_t> wrong{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < 2 * kPairs; ++t) {
+    threads.emplace_back([&, t] {
+      Result<Client> client = Client::Connect(server_->port());
+      if (!client.ok() || !client->Hello("s").ok()) {
+        wrong.fetch_add(1);
+        return;
+      }
+      for (int round = 0; round < 5; ++round) {
+        if (t % 2 == 0) {
+          Result<Json> r = client->Query(kGoal, /*deadline_ms=*/0);
+          if (r.ok() || !r.status().IsDeadlineExceeded()) wrong.fetch_add(1);
+        } else {
+          Result<Json> r = client->Query(kGoal, /*deadline_ms=*/60000);
+          if (!r.ok() || r->GetInt("count") != 1) wrong.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(wrong.load(), 0u);
+
+  Client probe = MustConnect();
+  Result<Json> stats = probe.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  const Json* queries = stats->Find("stats")->Find("queries");
+  EXPECT_EQ(queries->GetInt("deadline_exceeded"),
+            static_cast<int64_t>(kPairs * 5));
+  EXPECT_EQ(queries->GetInt("ok"), static_cast<int64_t>(kPairs * 5));
+}
+
+}  // namespace
+}  // namespace multilog::server

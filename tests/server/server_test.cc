@@ -1,0 +1,233 @@
+// Functional tests for multilogd: session binding, query semantics over
+// the wire, per-query deadlines, admission control, and STATS.
+
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "server/client.h"
+#include "server_test_util.h"
+
+namespace multilog::server {
+namespace {
+
+constexpr char kGoal[] = "?- c[p(k : a -R-> v)] << opt.";
+
+class ServerTest : public ServerTestBase {};
+
+TEST_F(ServerTest, HelloBindsLevelAndMode) {
+  StartServer();
+  Client client = MustConnect();
+  Result<Json> hello = client.Hello("s", "operational");
+  ASSERT_TRUE(hello.ok()) << hello.status();
+  EXPECT_EQ(hello->GetString("level"), "s");
+  EXPECT_EQ(hello->GetString("mode"), "operational");
+  EXPECT_EQ(hello->GetString("server"), "multilogd");
+  EXPECT_TRUE(hello->GetBool("sql"));
+}
+
+TEST_F(ServerTest, QueryAnswersDependOnSessionLevel) {
+  StartServer();
+  // Figure 11's query: provable at s (the answer {R=u}), not at u.
+  Client at_s = MustConnect();
+  ASSERT_TRUE(at_s.Hello("s").ok());
+  Result<Json> r = at_s.Query(kGoal);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->GetInt("count"), 1);
+  EXPECT_EQ(r->Find("answers")->array_items()[0].string_value(), "{R=u}");
+
+  Client at_u = MustConnect();
+  ASSERT_TRUE(at_u.Hello("u").ok());
+  Result<Json> none = at_u.Query(kGoal);
+  ASSERT_TRUE(none.ok()) << none.status();
+  EXPECT_EQ(none->GetInt("count"), 0);
+}
+
+TEST_F(ServerTest, AllModesAgreeOverTheWire) {
+  StartServer();
+  Client client = MustConnect();
+  ASSERT_TRUE(client.Hello("s").ok());
+  // Theorem 6.1 exercised through per-query mode overrides.
+  for (const char* mode : {"operational", "reduced", "check_both"}) {
+    Result<Json> r = client.Query(kGoal, -1, mode);
+    ASSERT_TRUE(r.ok()) << mode << ": " << r.status();
+    EXPECT_EQ(r->GetString("mode"), mode);
+    ASSERT_EQ(r->GetInt("count"), 1) << mode;
+    EXPECT_EQ(r->Find("answers")->array_items()[0].string_value(), "{R=u}");
+  }
+}
+
+TEST_F(ServerTest, OperationalModeReturnsProofs) {
+  StartServer();
+  Client client = MustConnect();
+  ASSERT_TRUE(client.Hello("s", "operational").ok());
+  Result<Json> r = client.Query(kGoal, -1, "", /*proofs=*/true);
+  ASSERT_TRUE(r.ok()) << r.status();
+  const Json* proofs = r->Find("proofs");
+  ASSERT_NE(proofs, nullptr);
+  ASSERT_EQ(proofs->array_items().size(), 1u);
+  EXPECT_NE(proofs->array_items()[0].string_value().find("descend-o"),
+            std::string::npos);
+}
+
+TEST_F(ServerTest, QueryBeforeHelloIsRejectedButConnectionSurvives) {
+  StartServer();
+  Client client = MustConnect();
+  Result<Json> r = client.Query(kGoal);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsSecurityViolation()) << r.status();
+  // Recoverable: bind and retry on the same connection.
+  ASSERT_TRUE(client.Hello("s").ok());
+  EXPECT_TRUE(client.Query(kGoal).ok());
+}
+
+TEST_F(ServerTest, SecondHelloIsRejected) {
+  StartServer();
+  Client client = MustConnect();
+  ASSERT_TRUE(client.Hello("c").ok());
+  Result<Json> again = client.Hello("s");
+  ASSERT_FALSE(again.ok());
+  EXPECT_TRUE(again.status().IsInvalidArgument()) << again.status();
+  // The original binding is untouched.
+  EXPECT_TRUE(client.Query(kGoal).ok());
+}
+
+TEST_F(ServerTest, SqlRunsAtTheSessionLevelAndIsPinned) {
+  StartServer();
+  Client client = MustConnect();
+  ASSERT_TRUE(client.Hello("u").ok());
+  Result<Json> rows = client.Sql("select * from mission");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(rows->GetInt("count"), 5);  // Figure 2's u-level view
+
+  // The session clearance cannot be escalated over the wire.
+  Result<Json> escalate = client.Sql("user context s");
+  ASSERT_FALSE(escalate.ok());
+  EXPECT_TRUE(escalate.status().IsSecurityViolation()) << escalate.status();
+  // Reads still work afterwards.
+  EXPECT_TRUE(client.Sql("select * from mission").ok());
+}
+
+TEST_F(ServerTest, ExpiredDeadlineReturnsDeadlineExceededAndConnectionLives) {
+  StartServer();
+  Client client = MustConnect();
+  ASSERT_TRUE(client.Hello("s").ok());
+  Result<Json> dead = client.Query(kGoal, /*deadline_ms=*/0);
+  ASSERT_FALSE(dead.ok());
+  EXPECT_TRUE(dead.status().IsDeadlineExceeded()) << dead.status();
+
+  // Same connection, same query, generous deadline: full answer.
+  Result<Json> alive = client.Query(kGoal, /*deadline_ms=*/60000);
+  ASSERT_TRUE(alive.ok()) << alive.status();
+  EXPECT_EQ(alive->GetInt("count"), 1);
+
+  Result<Json> stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  const Json* queries = stats->Find("stats")->Find("queries");
+  ASSERT_NE(queries, nullptr);
+  EXPECT_EQ(queries->GetInt("deadline_exceeded"), 1);
+  EXPECT_EQ(queries->GetInt("ok"), 1);
+}
+
+TEST_F(ServerTest, ServerDefaultDeadlineApplies) {
+  ServerOptions options;
+  options.default_deadline_ms = 60000;
+  StartServer(options);
+  Client client = MustConnect();
+  ASSERT_TRUE(client.Hello("s").ok());
+  // The generous default doesn't interfere with a normal query.
+  EXPECT_TRUE(client.Query(kGoal).ok());
+}
+
+TEST_F(ServerTest, StatsAreConsistentWithTraffic) {
+  StartServer();
+  Client client = MustConnect();
+  ASSERT_TRUE(client.Hello("s", "reduced").ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(client.Query(kGoal).ok());
+  }
+  ASSERT_TRUE(client.Query(kGoal, -1, "operational").ok());
+  Result<Json> stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+
+  const Json* queries = stats->Find("stats")->Find("queries");
+  ASSERT_NE(queries, nullptr);
+  EXPECT_EQ(queries->GetInt("ok"), 6);
+  EXPECT_EQ(queries->GetInt("errors"), 0);
+  EXPECT_EQ(queries->GetInt("rows_returned"), 6);
+  const Json* at_s = queries->Find("by_level")->Find("s");
+  ASSERT_NE(at_s, nullptr);
+  EXPECT_EQ(at_s->GetInt("reduced"), 5);
+  EXPECT_EQ(at_s->GetInt("operational"), 1);
+  const Json* latency = queries->Find("latency");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->GetInt("count"), 6);
+  EXPECT_GT(latency->Find("p50_ms")->number_value(), 0.0);
+  EXPECT_LE(latency->Find("p50_ms")->number_value(),
+            latency->Find("p99_ms")->number_value());
+
+  const Json* conns = stats->Find("stats")->Find("connections");
+  ASSERT_NE(conns, nullptr);
+  EXPECT_EQ(conns->GetInt("accepted"), 1);
+  EXPECT_EQ(conns->GetInt("open"), 1);
+}
+
+TEST_F(ServerTest, ConnectionLimitRejectsTheOverflowConnection) {
+  ServerOptions options;
+  options.max_connections = 1;
+  StartServer(options);
+  Client first = MustConnect();
+  ASSERT_TRUE(first.Hello("s").ok());  // ensures the first conn is admitted
+
+  Result<Client> second = Client::Connect(server_->port());
+  ASSERT_TRUE(second.ok());
+  // The server sends a ResourceExhausted frame and closes.
+  Result<std::string> frame = second->ReadRaw();
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  Result<Json> parsed = Json::Parse(*frame);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->GetBool("ok", true));
+  EXPECT_EQ(parsed->GetString("code"), "ResourceExhausted");
+
+  // The admitted connection is unaffected.
+  EXPECT_TRUE(first.Query(kGoal).ok());
+}
+
+TEST_F(ServerTest, InFlightLimitRejectsQueriesNotConnections) {
+  ServerOptions options;
+  options.max_in_flight = 0;  // every query is "one too many"
+  StartServer(options);
+  Client client = MustConnect();
+  ASSERT_TRUE(client.Hello("s").ok());
+  Result<Json> r = client.Query(kGoal);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsResourceExhausted()) << r.status();
+  // Non-query commands still work on the same connection.
+  EXPECT_TRUE(client.Ping().ok());
+  EXPECT_TRUE(client.Stats().ok());
+}
+
+TEST_F(ServerTest, PingAndByeRoundTrip) {
+  StartServer();
+  Client client = MustConnect();
+  Result<Json> pong = client.Ping();
+  ASSERT_TRUE(pong.ok()) << pong.status();
+  EXPECT_TRUE(pong->GetBool("pong"));
+  EXPECT_TRUE(client.Bye().ok());
+  // The server closed its end; the next round-trip fails cleanly.
+  EXPECT_FALSE(client.Ping().ok());
+}
+
+TEST_F(ServerTest, GracefulStopWithOpenConnections) {
+  StartServer();
+  Client client = MustConnect();
+  ASSERT_TRUE(client.Hello("s").ok());
+  ASSERT_TRUE(client.Query(kGoal).ok());
+  server_->Stop();  // must drain and join without hanging
+  EXPECT_FALSE(client.Ping().ok());
+}
+
+}  // namespace
+}  // namespace multilog::server

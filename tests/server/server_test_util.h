@@ -1,0 +1,51 @@
+#ifndef MULTILOG_TESTS_SERVER_SERVER_TEST_UTIL_H_
+#define MULTILOG_TESTS_SERVER_SERVER_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+#include "mls/sample_data.h"
+#include "multilog/engine.h"
+#include "server/client.h"
+#include "server/server.h"
+
+namespace multilog::server {
+
+/// Starts a multilogd over the paper's D1 database (Figure 10) with the
+/// Figure 1 Mission relation in the SQL catalog, on an ephemeral port.
+class ServerTestBase : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions options = {}) {
+    Result<mls::MissionDataset> ds = mls::BuildMissionDataset();
+    ASSERT_TRUE(ds.ok()) << ds.status();
+    dataset_ = std::move(ds).value();
+    Result<ml::Engine> engine = ml::Engine::FromSource(mls::D1Source());
+    ASSERT_TRUE(engine.ok()) << engine.status();
+    engine_ = std::make_unique<ml::Engine>(std::move(engine).value());
+    options.port = 0;
+    server_ = std::make_unique<Server>(
+        engine_.get(), options,
+        std::vector<SqlCatalogEntry>{{"mission", dataset_.mission.get()}});
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+  }
+
+  Client MustConnect() {
+    Result<Client> c = Client::Connect(server_->port());
+    EXPECT_TRUE(c.ok()) << c.status();
+    return std::move(c).value();
+  }
+
+  mls::MissionDataset dataset_;
+  std::unique_ptr<ml::Engine> engine_;
+  std::unique_ptr<Server> server_;
+};
+
+}  // namespace multilog::server
+
+#endif  // MULTILOG_TESTS_SERVER_SERVER_TEST_UTIL_H_
