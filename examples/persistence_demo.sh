@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Durable storage, over the wire: starts multilogd on the D1 database
+# with a --data-dir, replays the write batch examples/data/writes.mlog
+# (asserts, a retract, a checkpoint - all pinned to clearance s), then
+# KILLS the server and restarts it from the same data dir. The restarted
+# server must reproduce the written state exactly: the surviving intel
+# fact answers at s, stays invisible at u, and the Figure 11 golden is
+# untouched at every clearance. Exits non-zero if any of that fails,
+# which is how the integration suite runs it.
+#
+#   usage: examples/persistence_demo.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+MULTILOGD="$BUILD/src/server/multilogd"
+CLIENT="$BUILD/src/server/multilog_client"
+GOAL='?- s[intel(K : id -R-> K)] << opt.'
+GOLDEN='?- c[p(k : a -R-> v)] << opt.'
+
+[ -x "$MULTILOGD" ] || { echo "build first: cmake --build $BUILD" >&2; exit 2; }
+
+DATA="$(mktemp -d)"
+LOG="$(mktemp)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  [ -n "$SERVER_PID" ] && wait "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$DATA" "$LOG"
+}
+trap cleanup EXIT
+
+start_server() {
+  : > "$LOG"
+  "$MULTILOGD" --db examples/data/d1.mlog --data-dir "$DATA" --port 0 > "$LOG" &
+  SERVER_PID=$!
+  for _ in $(seq 50); do
+    PORT="$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' "$LOG")"
+    [ -n "$PORT" ] && break
+    sleep 0.1
+  done
+  [ -n "$PORT" ] || { echo "server did not start" >&2; exit 1; }
+  grep -q "durable: $DATA" "$LOG" || { echo "FAIL: server is not durable" >&2; exit 1; }
+}
+
+start_server
+echo "multilogd up on port $PORT, data dir $DATA"
+
+echo
+echo "== replay the write batch at clearance s =="
+"$CLIENT" --port "$PORT" --level s --file examples/data/writes.mlog
+
+echo
+echo "== kill -9 the server, restart from the same data dir =="
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+start_server
+echo "restarted on port $PORT (recovered: $(grep durable "$LOG"))"
+
+echo
+echo "== the surviving intel fact answers at s... =="
+AT_S="$("$CLIENT" --port "$PORT" --level s query "$GOAL")"
+echo "$AT_S"
+echo "$AT_S" | grep -q '"count":1' || { echo "FAIL: expected 1 answer at s" >&2; exit 1; }
+echo "$AT_S" | grep -q '{K=m1, R=u}' || { echo "FAIL: expected the m1 binding" >&2; exit 1; }
+
+echo
+echo "== ...stays invisible at u... =="
+AT_U="$("$CLIENT" --port "$PORT" --level u query "$GOAL")"
+echo "$AT_U"
+echo "$AT_U" | grep -q '"count":0' || { echo "FAIL: expected 0 answers at u" >&2; exit 1; }
+
+echo
+echo "== ...and the Figure 11 golden still holds over the wire =="
+AT_S_GOLDEN="$("$CLIENT" --port "$PORT" --level s query "$GOLDEN")"
+echo "$AT_S_GOLDEN"
+echo "$AT_S_GOLDEN" | grep -q '"count":1' || { echo "FAIL: golden lost at s" >&2; exit 1; }
+AT_U_GOLDEN="$("$CLIENT" --port "$PORT" --level u query "$GOLDEN")"
+echo "$AT_U_GOLDEN" | grep -q '"count":0' || { echo "FAIL: golden gained at u" >&2; exit 1; }
+
+echo
+echo "== storage stats after recovery =="
+"$CLIENT" --port "$PORT" stats | grep -o '"storage":{[^}]*}' || true
+
+echo
+echo "demo OK"

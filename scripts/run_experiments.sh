@@ -6,7 +6,9 @@
 # records are collected into BENCH_scaling.json (an array of
 # {"bench", "size", "threads", "wall_ms"} objects). The multilogd load
 # generator writes its serving record (QPS, latency percentiles,
-# byte-identity check) to BENCH_server.json.
+# byte-identity check) to BENCH_server.json, and the storage benchmark
+# writes its persistence record (append throughput, recovery latency,
+# byte-identity check) to BENCH_storage.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,14 +19,19 @@ ctest --test-dir build 2>&1 | tee test_output.txt
 scaling_lines="$(mktemp)"
 trap 'rm -f "$scaling_lines"' EXIT
 for b in build/bench/*; do
-  # The server load generator runs separately below (it takes flags and
-  # writes its own record); everything else is a google-benchmark binary.
-  case "$b" in */bench_server_loadgen) continue ;; esac
+  # The server load generator and the storage benchmark run separately
+  # below (they take flags and write their own records); everything else
+  # is a google-benchmark binary.
+  case "$b" in */bench_server_loadgen|*/bench_storage_recovery) continue ;; esac
   [ -x "$b" ] && MULTILOG_SCALING_JSON="$scaling_lines" "$b"
 done 2>&1 | tee bench_output.txt
 
 build/bench/bench_server_loadgen --clients 8 --queries 200 --workers 4 \
   --json BENCH_server.json 2>&1 | tee -a bench_output.txt
+
+build/bench/bench_storage_recovery --records 2000 \
+  --dir build/bench_storage_data --json BENCH_storage.json \
+  2>&1 | tee -a bench_output.txt
 
 {
   echo '['

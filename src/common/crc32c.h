@@ -1,0 +1,34 @@
+#ifndef MULTILOG_COMMON_CRC32C_H_
+#define MULTILOG_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace multilog {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) -
+/// the checksum used by the storage layer to frame WAL records and
+/// snapshot bodies. Chosen over CRC-32 (IEEE) for its better error
+/// detection on short records; this is the same polynomial RocksDB,
+/// LevelDB, and ext4 use for their journals. Software slice-by-4
+/// implementation: no SSE4.2 dependency, so the container's baseline
+/// toolchain builds it everywhere, at ~1 GB/s which is far above the
+/// fsync-bound WAL append path it protects.
+///
+/// `Crc32c(data)` computes the checksum of one buffer;
+/// `Crc32cExtend(crc, data)` continues a running checksum, so framed
+/// writers can checksum header and payload without concatenating.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+inline uint32_t Crc32c(std::string_view s) {
+  return Crc32c(s.data(), s.size());
+}
+
+}  // namespace multilog
+
+#endif  // MULTILOG_COMMON_CRC32C_H_

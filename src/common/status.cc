@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
     case StatusCode::kInternal:
       return "Internal";
   }

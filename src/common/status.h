@@ -36,6 +36,12 @@ enum class StatusCode {
   /// kResourceExhausted: the *caller's* budget ran out, not the
   /// engine's, so retrying with a longer deadline is reasonable.
   kDeadlineExceeded,
+  /// Durable state could not be read back intact: a torn or corrupted
+  /// WAL tail was truncated during recovery, a snapshot failed its
+  /// checksum, or a record was lost. Distinct from kInternal: the
+  /// in-memory engine is healthy, but some previously acknowledged
+  /// writes may be gone, and the operator should know.
+  kDataLoss,
   /// An invariant the implementation relies on was broken; a bug.
   kInternal,
 };
@@ -86,6 +92,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -112,6 +121,7 @@ class Status {
   bool IsDeadlineExceeded() const {
     return code_ == StatusCode::kDeadlineExceeded;
   }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
 
   /// "OK" or "<CodeName>: <message>".

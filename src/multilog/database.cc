@@ -110,6 +110,71 @@ Status CheckAdmissible(const Database& db,
   return Status::OK();
 }
 
+namespace {
+
+/// True when the m-atom is fully ground (level and classifications are
+/// symbols, key and values contain no variables) - only then does it
+/// carry syntactically checkable tuple identity.
+bool IsGroundMolecule(const MAtom& m) {
+  bool ground = m.level.IsSymbol() && m.key.IsGround();
+  for (const MCell& c : m.cells) {
+    ground = ground && c.classification.IsSymbol() && c.value.IsGround();
+  }
+  return ground;
+}
+
+/// Locates the key cell a -c_AK-> k. For composite keys (a compound
+/// key(v1,...,vk) term, the Section 7 F-logic-style encoding) a cell
+/// matching any key component counts.
+const MCell* FindKeyCell(const MAtom& m) {
+  for (const MCell& c : m.cells) {
+    if (c.value == m.key) return &c;
+    if (m.key.IsCompound() && m.key.name() == "key") {
+      for (const Term& part : m.key.args()) {
+        if (c.value == part) return &c;
+      }
+    }
+  }
+  return nullptr;
+}
+
+/// The Definition 5.4 checks for one ground molecule whose key cell was
+/// already located: entity integrity (every classification dominates
+/// c_AK), null integrity (nulls live at c_AK), and polyinstantiation
+/// integrity against (and into) the shared functional-dependency map
+/// (p, k, c_AK, a, c_i) -> v.
+Status CheckMolecule(const MAtom& m, const std::string& c_ak,
+                     const lattice::SecurityLattice& lat,
+                     std::map<std::string, Term>* fd) {
+  for (const MCell& c : m.cells) {
+    MULTILOG_ASSIGN_OR_RETURN(bool dominates,
+                              lat.Leq(c_ak, c.classification.name()));
+    if (!dominates) {
+      return Status::IntegrityViolation(
+          "entity integrity: classification of '" + c.attribute +
+          "' does not dominate c_AK in " + m.ToString());
+    }
+    if (IsNullTerm(c.value) && c.classification.name() != c_ak) {
+      return Status::IntegrityViolation(
+          "null integrity: null attribute '" + c.attribute +
+          "' not classified at c_AK in " + m.ToString());
+    }
+    std::string fd_key = m.predicate + "|" + m.key.ToString() + "|" + c_ak +
+                         "|" + c.attribute + "|" + c.classification.name();
+    auto [it, inserted] = fd->emplace(fd_key, c.value);
+    if (!inserted && it->second != c.value) {
+      return Status::IntegrityViolation(
+          "polyinstantiation integrity: (p, k, c_AK, a, c_i) -> v "
+          "violated for attribute '" +
+          c.attribute + "' of key " + m.key.ToString() + ": values " +
+          it->second.ToString() + " and " + c.value.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Status CheckConsistent(const Database& db,
                        const lattice::SecurityLattice& lat) {
   // (p, k, c_AK, attribute, c_i) -> value, for polyinstantiation
@@ -122,70 +187,61 @@ Status CheckConsistent(const Database& db,
     if (m == nullptr) continue;
 
     // Only ground molecular facts carry checkable tuple identity.
-    bool ground = m->level.IsSymbol() && m->key.IsGround();
-    for (const MCell& c : m->cells) {
-      ground = ground && c.classification.IsSymbol() && c.value.IsGround();
-    }
-    if (!ground) continue;
+    if (!IsGroundMolecule(*m)) continue;
 
     if (IsNullTerm(m->key)) {
       return Status::IntegrityViolation("entity integrity: null key in " +
                                         m->ToString());
     }
-
-    // Locate the key cell a -c_AK-> k. For composite keys (a compound
-    // key(v1,...,vk) term, the Section 7 F-logic-style encoding) a cell
-    // matching any key component counts.
-    const MCell* key_cell = nullptr;
-    for (const MCell& c : m->cells) {
-      if (c.value == m->key) {
-        key_cell = &c;
-        break;
-      }
-      if (m->key.IsCompound() && m->key.name() == "key") {
-        for (const Term& part : m->key.args()) {
-          if (c.value == part) {
-            key_cell = &c;
-            break;
-          }
-        }
-        if (key_cell != nullptr) break;
-      }
-    }
+    const MCell* key_cell = FindKeyCell(*m);
     if (key_cell == nullptr) {
       return Status::IntegrityViolation(
           "no key cell (a -c-> k with value = key) in m-predicate " +
           m->ToString());
     }
-    const std::string c_ak = key_cell->classification.name();
-
-    for (const MCell& c : m->cells) {
-      MULTILOG_ASSIGN_OR_RETURN(bool dominates,
-                                lat.Leq(c_ak, c.classification.name()));
-      if (!dominates) {
-        return Status::IntegrityViolation(
-            "entity integrity: classification of '" + c.attribute +
-            "' does not dominate c_AK in " + m->ToString());
-      }
-      if (IsNullTerm(c.value) && c.classification.name() != c_ak) {
-        return Status::IntegrityViolation(
-            "null integrity: null attribute '" + c.attribute +
-            "' not classified at c_AK in " + m->ToString());
-      }
-      std::string fd_key = m->predicate + "|" + m->key.ToString() + "|" +
-                           c_ak + "|" + c.attribute + "|" +
-                           c.classification.name();
-      auto [it, inserted] = fd.emplace(fd_key, c.value);
-      if (!inserted && it->second != c.value) {
-        return Status::IntegrityViolation(
-            "polyinstantiation integrity: (p, k, c_AK, a, c_i) -> v "
-            "violated for attribute '" +
-            c.attribute + "' of key " + m->key.ToString() + ": values " +
-            it->second.ToString() + " and " + c.value.ToString());
-      }
-    }
+    MULTILOG_RETURN_IF_ERROR(
+        CheckMolecule(*m, key_cell->classification.name(), lat, &fd));
   }
   return Status::OK();
+}
+
+Status CheckFactIntegrity(const Database& db,
+                          const lattice::SecurityLattice& lat,
+                          const MAtom& fact) {
+  if (!IsGroundMolecule(fact)) {
+    return Status::IntegrityViolation(
+        "Definition 5.4 requires a fully ground fact; '" + fact.ToString() +
+        "' contains variables");
+  }
+  if (IsNullTerm(fact.key)) {
+    return Status::IntegrityViolation("entity integrity: null key in " +
+                                      fact.ToString());
+  }
+  const MCell* key_cell = FindKeyCell(fact);
+  if (key_cell == nullptr) {
+    return Status::IntegrityViolation(
+        "no key cell (a -c-> k with value = key) in m-predicate " +
+        fact.ToString());
+  }
+
+  // Seed the functional dependency with the checkable part of the
+  // stored Sigma; facts without key cells are grandfathered (see the
+  // header comment).
+  std::map<std::string, Term> fd;
+  for (const MlClause& clause : db.sigma) {
+    if (!clause.IsFact()) continue;
+    const auto* m = std::get_if<MAtom>(&clause.head);
+    if (m == nullptr || !IsGroundMolecule(*m)) continue;
+    const MCell* stored_key = FindKeyCell(*m);
+    if (stored_key == nullptr) continue;
+    const std::string c_ak = stored_key->classification.name();
+    for (const MCell& c : m->cells) {
+      fd.emplace(m->predicate + "|" + m->key.ToString() + "|" + c_ak + "|" +
+                     c.attribute + "|" + c.classification.name(),
+                 c.value);
+    }
+  }
+  return CheckMolecule(fact, key_cell->classification.name(), lat, &fd);
 }
 
 Result<CheckedDatabase> CheckDatabase(Database db, bool require_consistency) {

@@ -41,6 +41,25 @@ Status CheckAdmissible(const Database& db,
 Status CheckConsistent(const Database& db,
                        const lattice::SecurityLattice& lat);
 
+/// Definition 5.4 at the write boundary: validates one ground molecular
+/// fact that is about to enter Sigma, *before* it is logged or applied.
+///  - the fact must be fully ground and carry a key cell (the AK
+///    convention) - unlike CheckConsistent, which skips facts without
+///    syntactic tuple identity, a new write may not omit it;
+///  - entity integrity: the key is non-null and every classification
+///    dominates c_AK;
+///  - null integrity: null cells are classified at c_AK;
+///  - polyinstantiation integrity: (p, k, c_AK, a, c_i) -> v_i both
+///    within the fact and against every stored ground fact that carries
+///    a key cell. Stored facts without key cells (the paper's own
+///    Figure 10 D1 omits them) are grandfathered: they cannot
+///    participate in the functional dependency, so they cannot veto a
+///    write - but nothing a checked write adds can collide with them
+///    either, keeping the checked subset of Sigma consistent forever.
+Status CheckFactIntegrity(const Database& db,
+                          const lattice::SecurityLattice& lat,
+                          const MAtom& fact);
+
 /// Convenience: parsed + lattice-extracted + admissibility-checked
 /// database, ready for the interpreter or the reduction.
 struct CheckedDatabase {

@@ -14,6 +14,8 @@ using datalog::Atom;
 using datalog::Model;
 using datalog::Substitution;
 
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
 /// Rewrites a level-specialized fact (rel__u(P,K,A,V,C)) back to its
 /// generic form (rel(P,K,A,V,C,u)). Non-specialized facts pass through.
 Atom DecodeFact(const Atom& fact) {
@@ -70,6 +72,30 @@ std::string AnswersKey(const std::vector<Substitution>& answers) {
   return key;
 }
 
+/// Parses `source` as exactly one bodyless m-fact - the only clause
+/// shape the mutation API accepts (rules belong to Pi, which is code,
+/// not data; the write path covers Sigma only).
+Result<MAtom> ParseFactAtom(std::string_view source) {
+  MULTILOG_ASSIGN_OR_RETURN(Database db, ParseMultiLog(source));
+  if (db.sigma.size() != 1 || !db.lambda.empty() || !db.pi.empty() ||
+      !db.queries.empty() || !db.sigma[0].IsFact()) {
+    return Status::InvalidArgument(
+        "a mutation must be exactly one m-fact 's[p(k : a -c-> v)].'; got: " +
+        std::string(source));
+  }
+  return std::get<MAtom>(db.sigma[0].head);
+}
+
+/// The stored clause structurally equal to `fact`, or sigma.end().
+std::vector<MlClause>::iterator FindStoredFact(std::vector<MlClause>* sigma,
+                                               const MAtom& fact) {
+  return std::find_if(sigma->begin(), sigma->end(),
+                      [&fact](const MlClause& c) {
+                        const auto* m = std::get_if<MAtom>(&c.head);
+                        return c.IsFact() && m != nullptr && *m == fact;
+                      });
+}
+
 }  // namespace
 
 Result<Engine> Engine::FromSource(std::string_view source,
@@ -85,15 +111,53 @@ Result<Engine> Engine::FromDatabase(Database db, EngineOptions options) {
   return Engine(std::move(cdb), options);
 }
 
+Result<Engine> Engine::FromStorage(storage::Storage* storage,
+                                   EngineOptions options) {
+  if (storage == nullptr) {
+    return Status::InvalidArgument("FromStorage requires a non-null storage");
+  }
+  MULTILOG_ASSIGN_OR_RETURN(
+      Database db, ParseMultiLog(storage->recovered().snapshot_source));
+  // Replay the WAL tail over the snapshot. Each record was validated
+  // (security + Definition 5.4) before it was ever written, so replay
+  // applies it verbatim; it is also idempotent - a duplicate assert or
+  // absent retract (possible only in the checkpoint crash window, and
+  // normally filtered by seqnos) is skipped, not fatal.
+  for (const storage::WalRecord& rec : storage->recovered().records) {
+    MULTILOG_ASSIGN_OR_RETURN(MAtom fact, ParseFactAtom(rec.fact));
+    auto it = FindStoredFact(&db.sigma, fact);
+    if (rec.type == storage::WalRecordType::kAssert) {
+      if (it == db.sigma.end()) db.sigma.push_back(MlClause{std::move(fact), {}});
+    } else if (rec.type == storage::WalRecordType::kRetract) {
+      if (it != db.sigma.end()) db.sigma.erase(it);
+    }
+  }
+  MULTILOG_ASSIGN_OR_RETURN(Engine engine,
+                            FromDatabase(std::move(db), options));
+  engine.storage_ = storage;
+  return engine;
+}
+
 Result<const ReducedProgram*> Engine::Reduced(const std::string& user_level) {
+  std::shared_lock<std::shared_mutex> db_lock(caches_->db_mu);
+  return ReducedLocked(user_level);
+}
+
+Result<const ReducedProgram*> Engine::ReducedLocked(
+    const std::string& user_level) {
   const Symbol level = Symbol::Intern(user_level);
   {
     std::shared_lock<std::shared_mutex> lock(caches_->mu);
     auto it = caches_->reduced.find(level);
-    if (it != caches_->reduced.end()) return &it->second;
+    if (it != caches_->reduced.end()) {
+      caches_->cache_hits.fetch_add(1, kRelaxed);
+      return &it->second;
+    }
   }
-  // Build outside any lock (Reduce only reads the immutable cdb_), then
-  // publish; on a race the first insert wins and both callers see it.
+  caches_->cache_misses.fetch_add(1, kRelaxed);
+  // Build outside the structure lock (Reduce only reads cdb_, which
+  // db_mu protects), then publish; on a race the first insert wins and
+  // both callers see it.
   MULTILOG_ASSIGN_OR_RETURN(ReducedProgram rp,
                             Reduce(cdb_, user_level, options_.reduction));
   std::unique_lock<std::shared_mutex> lock(caches_->mu);
@@ -103,18 +167,30 @@ Result<const ReducedProgram*> Engine::Reduced(const std::string& user_level) {
 
 Result<const datalog::Model*> Engine::ReducedModel(
     const std::string& user_level, const CancelToken* cancel) {
+  std::shared_lock<std::shared_mutex> db_lock(caches_->db_mu);
+  return ReducedModelLocked(user_level, cancel);
+}
+
+Result<const datalog::Model*> Engine::ReducedModelLocked(
+    const std::string& user_level, const CancelToken* cancel) {
   const Symbol level = Symbol::Intern(user_level);
   {
     std::shared_lock<std::shared_mutex> lock(caches_->mu);
     auto it = caches_->models.find(level);
-    if (it != caches_->models.end()) return &it->second;
+    if (it != caches_->models.end()) {
+      caches_->cache_hits.fetch_add(1, kRelaxed);
+      return &it->second;
+    }
   }
+  caches_->cache_misses.fetch_add(1, kRelaxed);
   // The reduced program is immutable once published, so evaluation can
-  // run outside the lock; racing evaluations of the same level produce
-  // identical models (the parallel merge is deterministic) and the
-  // first publication wins. A cancelled evaluation returns before the
-  // publication point, so no partial model is ever cached.
-  MULTILOG_ASSIGN_OR_RETURN(const ReducedProgram* rp, Reduced(user_level));
+  // run outside the structure lock; racing evaluations of the same
+  // level produce identical models (the parallel merge is
+  // deterministic) and the first publication wins. A cancelled
+  // evaluation returns before the publication point, so no partial
+  // model is ever cached.
+  MULTILOG_ASSIGN_OR_RETURN(const ReducedProgram* rp,
+                            ReducedLocked(user_level));
   datalog::EvalOptions eval = options_.eval;
   eval.cancel = cancel;
   MULTILOG_ASSIGN_OR_RETURN(Model raw, datalog::Evaluate(rp->program, eval));
@@ -139,8 +215,11 @@ Result<Engine::InterpreterSlot*> Engine::GetInterpreterSlot(
     if (it != caches_->interpreters.end()) slot = &it->second;
   }
   if (slot == nullptr) {
+    caches_->cache_misses.fetch_add(1, kRelaxed);
     std::unique_lock<std::shared_mutex> lock(caches_->mu);
     slot = &caches_->interpreters[level];  // try_emplace; node is stable
+  } else {
+    caches_->cache_hits.fetch_add(1, kRelaxed);
   }
   std::lock_guard<std::mutex> init(slot->mu);
   if (slot->interp == nullptr) {
@@ -154,6 +233,7 @@ Result<Engine::InterpreterSlot*> Engine::GetInterpreterSlot(
 
 Result<Interpreter*> Engine::OperationalInterpreter(
     const std::string& user_level) {
+  std::shared_lock<std::shared_mutex> db_lock(caches_->db_mu);
   MULTILOG_ASSIGN_OR_RETURN(InterpreterSlot * slot,
                             GetInterpreterSlot(user_level));
   return slot->interp.get();
@@ -162,6 +242,14 @@ Result<Interpreter*> Engine::OperationalInterpreter(
 Result<QueryResult> Engine::Query(const std::vector<MlLiteral>& goal,
                                   const std::string& user_level,
                                   ExecMode mode, const CancelToken* cancel) {
+  std::shared_lock<std::shared_mutex> db_lock(caches_->db_mu);
+  return QueryLocked(goal, user_level, mode, cancel);
+}
+
+Result<QueryResult> Engine::QueryLocked(const std::vector<MlLiteral>& goal,
+                                        const std::string& user_level,
+                                        ExecMode mode,
+                                        const CancelToken* cancel) {
   MULTILOG_RETURN_IF_ERROR(cdb_.lattice.Index(user_level).status());
   // A pre-expired deadline fails fast, before any cached work is
   // consulted (the server's "deadline_ms: 0" probe relies on this).
@@ -190,9 +278,10 @@ Result<QueryResult> Engine::Query(const std::vector<MlLiteral>& goal,
   {
     // Evaluate the cached model, then match each (possibly specialized)
     // goal variant against it, unioning the answers.
-    MULTILOG_ASSIGN_OR_RETURN(const ReducedProgram* rp, Reduced(user_level));
+    MULTILOG_ASSIGN_OR_RETURN(const ReducedProgram* rp,
+                              ReducedLocked(user_level));
     MULTILOG_ASSIGN_OR_RETURN(const Model* model,
-                              ReducedModel(user_level, cancel));
+                              ReducedModelLocked(user_level, cancel));
 
     // The decoded model holds generic facts; match the *generic* goal
     // against it (specialization only matters for evaluation).
@@ -245,6 +334,184 @@ Result<std::vector<QueryResult>> Engine::RunStoredQueries(
     out.push_back(std::move(r));
   }
   return out;
+}
+
+Result<WriteResult> Engine::Assert(std::string_view fact_source,
+                                   const std::string& level) {
+  return Mutate(fact_source, level, /*retract=*/false);
+}
+
+Result<WriteResult> Engine::Retract(std::string_view fact_source,
+                                    const std::string& level) {
+  return Mutate(fact_source, level, /*retract=*/true);
+}
+
+Result<WriteResult> Engine::Mutate(std::string_view fact_source,
+                                   const std::string& level, bool retract) {
+  auto rejected = [this](Status s) -> Status {
+    caches_->writes_rejected.fetch_add(1, kRelaxed);
+    return s;
+  };
+
+  // Parse outside the database lock: a malformed request should not
+  // stall queries.
+  Result<MAtom> parsed = ParseFactAtom(fact_source);
+  if (!parsed.ok()) return rejected(parsed.status());
+  MAtom fact = std::move(parsed.value());
+
+  std::unique_lock<std::shared_mutex> db_lock(caches_->db_mu);
+
+  // --- Validate: security pinning, then integrity. Nothing below this
+  // block may fail after the WAL append (write-ahead discipline), so
+  // every rejection happens here, before any state - durable or
+  // in-memory - changes.
+  if (!cdb_.lattice.Contains(level)) {
+    return rejected(Status::InvalidArgument(
+        "unknown writing level '" + level + "' (not asserted by Lambda)"));
+  }
+  if (!fact.level.IsSymbol() || fact.level.name() != level) {
+    return rejected(Status::SecurityViolation(
+        "a subject cleared at '" + level + "' may only write " + level +
+        "-facts (no write-up, no write-down); got " + fact.ToString()));
+  }
+  for (const MCell& c : fact.cells) {
+    if (!c.classification.IsSymbol()) {
+      return rejected(Status::SecurityViolation(
+          "classification of attribute '" + c.attribute +
+          "' must be a ground level, got " + c.classification.ToString()));
+    }
+    const std::string& cl = c.classification.name();
+    if (!cdb_.lattice.Contains(cl)) {
+      return rejected(Status::SecurityViolation(
+          "classification '" + cl + "' is not a level of Lambda"));
+    }
+    Result<bool> leq = cdb_.lattice.Leq(cl, level);
+    if (!leq.ok()) return rejected(leq.status());
+    if (!leq.value()) {
+      return rejected(Status::SecurityViolation(
+          "classification '" + cl + "' of attribute '" + c.attribute +
+          "' is not dominated by the writing level '" + level + "'"));
+    }
+  }
+
+  auto match = FindStoredFact(&cdb_.db.sigma, fact);
+  if (retract) {
+    if (match == cdb_.db.sigma.end()) {
+      return rejected(
+          Status::NotFound("no such stored fact to retract: " +
+                           fact.ToString() +
+                           " (derived facts cannot be retracted)"));
+    }
+  } else {
+    if (match != cdb_.db.sigma.end()) {
+      return rejected(Status::InvalidArgument("fact already asserted: " +
+                                              fact.ToString()));
+    }
+    Status integrity = CheckFactIntegrity(cdb_.db, cdb_.lattice, fact);
+    if (!integrity.ok()) return rejected(std::move(integrity));
+  }
+
+  // --- Log (durable engines): fsynced before memory changes. An I/O
+  // failure here is not a rejection - the write is simply not committed,
+  // and neither Sigma nor any cache has changed.
+  WriteResult result;
+  const std::string canonical = MlClause{fact, {}}.ToString();
+  if (storage_ != nullptr) {
+    Result<uint64_t> seq = retract ? storage_->AppendRetract(level, canonical)
+                                   : storage_->AppendAssert(level, canonical);
+    if (!seq.ok()) return seq.status();
+    result.seqno = seq.value();
+  } else {
+    result.seqno = ++mem_seqno_;
+  }
+
+  // --- Apply + invalidate. `match` stays valid: nothing touched sigma
+  // since FindStoredFact.
+  if (retract) {
+    cdb_.db.sigma.erase(match);
+    caches_->retracts_ok.fetch_add(1, kRelaxed);
+  } else {
+    cdb_.db.sigma.push_back(MlClause{std::move(fact), {}});
+    caches_->asserts_ok.fetch_add(1, kRelaxed);
+  }
+  result.invalidated_levels = InvalidateDominating(level);
+  return result;
+}
+
+std::vector<std::string> Engine::InvalidateDominating(
+    const std::string& written_level) {
+  // Soundness: level l's reduced program/model/interpreter are computed
+  // from the facts visible at l, i.e. those at levels <= l. A write at
+  // level s changes l's view iff s <= l; incomparable and strictly
+  // lower cached levels therefore keep their entries verbatim.
+  std::vector<std::string> invalidated;
+  uint64_t dropped = 0;
+  std::unique_lock<std::shared_mutex> lock(caches_->mu);
+  std::set<std::string> cached;
+  for (const auto& [sym, unused] : caches_->reduced) {
+    cached.insert(std::string(sym.str()));
+  }
+  for (const auto& [sym, unused] : caches_->models) {
+    cached.insert(std::string(sym.str()));
+  }
+  for (const auto& [sym, unused] : caches_->interpreters) {
+    cached.insert(std::string(sym.str()));
+  }
+  for (const std::string& name : cached) {
+    Result<bool> leq = cdb_.lattice.Leq(written_level, name);
+    if (!leq.ok() || !leq.value()) continue;
+    const Symbol sym = Symbol::Intern(name);
+    dropped += caches_->reduced.erase(sym);
+    dropped += caches_->models.erase(sym);
+    dropped += caches_->interpreters.erase(sym);
+    invalidated.push_back(name);
+  }
+  caches_->invalidation_events.fetch_add(1, kRelaxed);
+  caches_->cache_entries_invalidated.fetch_add(dropped, kRelaxed);
+  return invalidated;
+}
+
+Status Engine::Checkpoint() {
+  std::unique_lock<std::shared_mutex> db_lock(caches_->db_mu);
+  if (storage_ == nullptr) {
+    return Status::InvalidArgument(
+        "checkpoint requires a durable engine (construct via FromStorage)");
+  }
+  MULTILOG_RETURN_IF_ERROR(storage_->Checkpoint(cdb_.db.ToString()));
+  caches_->checkpoints.fetch_add(1, kRelaxed);
+  return Status::OK();
+}
+
+std::string Engine::DumpSource() {
+  std::shared_lock<std::shared_mutex> db_lock(caches_->db_mu);
+  return cdb_.db.ToString();
+}
+
+StorageCounters Engine::StorageStats() const {
+  std::shared_lock<std::shared_mutex> db_lock(caches_->db_mu);
+  StorageCounters c;
+  if (storage_ == nullptr) return c;
+  c.attached = true;
+  c.dir = storage_->dir();
+  c.next_seqno = storage_->next_seqno();
+  c.wal_records = storage_->wal_records();
+  c.wal_bytes = storage_->wal_bytes();
+  c.checkpoints = storage_->checkpoints();
+  return c;
+}
+
+EngineCounters Engine::Counters() const {
+  EngineCounters c;
+  c.cache_hits = caches_->cache_hits.load(kRelaxed);
+  c.cache_misses = caches_->cache_misses.load(kRelaxed);
+  c.invalidation_events = caches_->invalidation_events.load(kRelaxed);
+  c.cache_entries_invalidated =
+      caches_->cache_entries_invalidated.load(kRelaxed);
+  c.asserts_ok = caches_->asserts_ok.load(kRelaxed);
+  c.retracts_ok = caches_->retracts_ok.load(kRelaxed);
+  c.writes_rejected = caches_->writes_rejected.load(kRelaxed);
+  c.checkpoints = caches_->checkpoints.load(kRelaxed);
+  return c;
 }
 
 }  // namespace multilog::ml

@@ -1,6 +1,8 @@
 #ifndef MULTILOG_MULTILOG_ENGINE_H_
 #define MULTILOG_MULTILOG_ENGINE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -16,6 +18,7 @@
 #include "multilog/database.h"
 #include "multilog/interpreter.h"
 #include "multilog/reduction.h"
+#include "storage/storage.h"
 
 namespace multilog::ml {
 
@@ -50,36 +53,91 @@ struct QueryResult {
   std::vector<ProofPtr> proofs;
 };
 
+/// One committed mutation's outcome.
+struct WriteResult {
+  /// The mutation's database-wide sequence number (durable when storage
+  /// is attached; an in-memory counter otherwise).
+  uint64_t seqno = 0;
+  /// The session levels whose cached reduced programs / models /
+  /// interpreters this write invalidated: exactly the cached levels
+  /// that dominate the written level. Incomparable and strictly lower
+  /// levels keep their caches - a fact at level s is invisible to them,
+  /// so their models cannot have changed.
+  std::vector<std::string> invalidated_levels;
+};
+
+/// A point-in-time copy of the engine's observability counters (the
+/// live counters are relaxed atomics; this is the readable snapshot the
+/// server's STATS command serializes).
+struct EngineCounters {
+  uint64_t cache_hits = 0;     // per-level cache lookups that hit
+  uint64_t cache_misses = 0;   // lookups that had to build
+  uint64_t invalidation_events = 0;    // committed writes
+  uint64_t cache_entries_invalidated = 0;  // entries dropped by them
+  uint64_t asserts_ok = 0;
+  uint64_t retracts_ok = 0;
+  uint64_t writes_rejected = 0;  // security/integrity/parse rejections
+  uint64_t checkpoints = 0;
+};
+
+/// A point-in-time copy of the attached storage's counters, taken under
+/// the engine's database lock (the raw Storage accessors are guarded by
+/// it, so concurrent readers must come through here).
+struct StorageCounters {
+  bool attached = false;  // false = in-memory engine; rest is zero
+  std::string dir;
+  uint64_t next_seqno = 0;
+  uint64_t wal_records = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t checkpoints = 0;
+};
+
 /// The MultiLog engine: parses/checks a database once, then answers
 /// queries at any session level through either semantics. Reduced
 /// programs, their models, and interpreters are cached per level.
 ///
 /// ## Concurrency model
 ///
-/// After construction (FromSource / FromDatabase) the checked database,
-/// the lattice, and the options are immutable; the only mutable state is
-/// the per-level caches, guarded by one `std::shared_mutex`:
+/// The lattice (Lambda) and the options are immutable after
+/// construction; Sigma is mutable through Assert/Retract. Two locks
+/// govern the mutable state, both living behind `caches_`:
 ///
-///  - `Query`, `QuerySource`, and `RunStoredQueries` are safe to call
-///    concurrently from any number of threads, at the same or different
-///    session levels, in any ExecMode. Concurrent sessions at different
-///    clearances - the paper's core multi-level scenario - therefore
-///    need no external locking.
-///  - Cache reads (a level already compiled) take the shared lock: the
-///    steady-state fast path never serializes readers. The first query
-///    at a level builds the reduced program / model outside any lock and
-///    publishes it under the exclusive lock; when two threads race, the
-///    first insert wins and the loser's work is discarded, so callers
-///    always observe one canonical object per level.
-///  - `Reduced` and `ReducedModel` return pointers to cached state that
-///    is immutable once published and stable for the engine's lifetime
-///    (std::map nodes never move).
-///  - The operational interpreter mutates its call tables while solving,
-///    so each level's interpreter is serialized by a per-level mutex;
-///    `Query(kOperational / kCheckBoth)` takes it internally. Distinct
-///    levels solve in parallel. The raw `OperationalInterpreter`
-///    accessor bypasses that mutex - callers who use it concurrently
-///    with `Query` must do their own locking.
+///  - `db_mu`, a shared_mutex over the database *and* the caches as a
+///    whole. Every read path (Query, QuerySource, RunStoredQueries,
+///    Reduced, ReducedModel, OperationalInterpreter, DumpSource) holds
+///    it shared for the duration; Assert, Retract, and Checkpoint hold
+///    it exclusive. Mutations therefore serialize against in-flight
+///    queries: a write waits for running queries to finish, and queries
+///    started after a commit see the new Sigma. Read throughput is
+///    untouched in the steady state (shared acquisitions don't
+///    serialize).
+///  - `mu`, guarding the cache maps' structure exactly as before (two
+///    readers may race to build the first model for a level; the first
+///    publication wins).
+///
+/// ## Mutations (Assert / Retract / Checkpoint)
+///
+/// Writes are pinned to the writing subject's clearance: a fact
+/// asserted at level s must be an s-fact (`s[p(...)]`), and every cell
+/// classification must be dominated by s - anything else is a
+/// SecurityViolation. Asserted facts are validated against Definition
+/// 5.4 (entity / null / polyinstantiation integrity, CheckFactIntegrity)
+/// *before* they are logged or applied; a rejected write leaves the
+/// WAL, Sigma, and every cache untouched. A committed write invalidates
+/// exactly the cached levels that dominate the written level
+/// (dominance-aware invalidation; see WriteResult::invalidated_levels).
+///
+/// When constructed via FromStorage, commits are durable: the mutation
+/// is fsynced into the write-ahead log *before* Sigma changes
+/// (write-ahead discipline), and Checkpoint() compacts the log into a
+/// fresh snapshot. See storage/storage.h for the recovery story.
+///
+/// The interpreter caveats of the previous revision still apply: each
+/// level's operational interpreter is serialized by a per-level mutex,
+/// and the raw OperationalInterpreter accessor bypasses both that mutex
+/// and `db_mu` - callers using it concurrently with Query or any
+/// mutation must do their own locking, and the pointer is invalidated
+/// when a write at a dominated level evicts the slot.
 ///
 /// The engine must not be moved after the first query (cached state
 /// holds pointers into the engine); `Result<Engine>`'s move at
@@ -91,6 +149,17 @@ class Engine {
   static Result<Engine> FromSource(std::string_view source,
                                    EngineOptions options = {});
   static Result<Engine> FromDatabase(Database db, EngineOptions options = {});
+
+  /// Recovers the database from `storage` (latest snapshot + WAL
+  /// replay; see Storage::Open) and attaches it, making Assert /
+  /// Retract / Checkpoint durable. `storage` must outlive the engine.
+  /// Replayed mutations were validated when first written, so they are
+  /// applied verbatim; the recovered database then passes the same
+  /// CheckDatabase as any other source. Torn-tail truncation performed
+  /// by Storage::Open is NOT an error here - inspect
+  /// storage->recovered().data_loss for it.
+  static Result<Engine> FromStorage(storage::Storage* storage,
+                                    EngineOptions options = {});
 
   const CheckedDatabase& checked() const { return cdb_; }
   const lattice::SecurityLattice& lattice() const { return cdb_.lattice; }
@@ -119,15 +188,55 @@ class Engine {
       const std::string& user_level, ExecMode mode = ExecMode::kReduced,
       const CancelToken* cancel = nullptr);
 
+  /// Asserts one ground MultiLog fact (e.g. "s[p(k : a -s-> v)].") on
+  /// behalf of a subject cleared at `level`. Validates (security, then
+  /// Definition 5.4 integrity), logs (when durable), applies, and
+  /// invalidates dominating caches - in that order. Thread-safe;
+  /// serializes against in-flight queries.
+  Result<WriteResult> Assert(std::string_view fact_source,
+                             const std::string& level);
+
+  /// Retracts a previously asserted fact (matched structurally after
+  /// parsing; NotFound when absent). Same security pinning, logging,
+  /// and invalidation as Assert. Derived facts cannot be retracted -
+  /// only stored Sigma facts.
+  Result<WriteResult> Retract(std::string_view fact_source,
+                              const std::string& level);
+
+  /// Folds the WAL into a fresh snapshot (durable engines only;
+  /// InvalidArgument otherwise). Thread-safe; serializes against
+  /// queries and writes.
+  Status Checkpoint();
+
+  /// The current database as canonical MultiLog source - the same text
+  /// a snapshot stores, so "byte-identical recovery" is a string
+  /// compare on this. Thread-safe.
+  std::string DumpSource();
+
+  /// Snapshot of the engine's cache/mutation counters. Thread-safe.
+  EngineCounters Counters() const;
+
+  /// Snapshot of the attached storage's counters (zeroed, attached =
+  /// false, for in-memory engines). Thread-safe, unlike poking the raw
+  /// storage() while writers run.
+  StorageCounters StorageStats() const;
+
+  /// The attached storage (nullptr for in-memory engines). The
+  /// pointer's state is guarded by the engine's database lock - use
+  /// StorageStats() for concurrent reads.
+  storage::Storage* storage() const { return storage_; }
+
   /// The reduced program compiled for `user_level` (cached). The
-  /// returned object is immutable and stable; safe to read while other
-  /// threads query.
+  /// returned object is immutable and stable until a mutation
+  /// invalidates the level; holding it across an Assert/Retract at a
+  /// dominated level is undefined. Safe to read while other threads
+  /// query.
   Result<const ReducedProgram*> Reduced(const std::string& user_level);
 
   /// The evaluated model of the reduced program, with any level
   /// specialization decoded back to generic rel/6, bel/7, vis/6 and
-  /// overridden/5 atoms. Immutable and stable once returned. A
-  /// cancelled evaluation (via `cancel`) publishes nothing.
+  /// overridden/5 atoms. Stability caveat as for Reduced. A cancelled
+  /// evaluation (via `cancel`) publishes nothing.
   Result<const datalog::Model*> ReducedModel(const std::string& user_level,
                                              const CancelToken* cancel =
                                                  nullptr);
@@ -146,12 +255,15 @@ class Engine {
   };
 
   /// All mutable engine state. Held behind a unique_ptr so the Engine
-  /// value stays movable at construction time (std::shared_mutex is
+  /// value stays movable at construction time (mutexes and atomics are
   /// neither movable nor copyable).
   struct Caches {
-    /// Guards the three maps' *structure* (find/insert). The mapped
-    /// values are immutable after publication (interpreter slots manage
-    /// their own interior mutability via InterpreterSlot::mu).
+    /// Readers-writer lock over the database + caches as a whole; see
+    /// the class comment. Acquired before (and independently of) `mu`.
+    std::shared_mutex db_mu;
+    /// Guards the three maps' *structure* (find/insert/erase). The
+    /// mapped values are immutable after publication (interpreter slots
+    /// manage their own interior mutability via InterpreterSlot::mu).
     std::shared_mutex mu;
     // Per-level caches are keyed by the interned level symbol: lookup is
     // an integer compare, and iteration order still matches the level
@@ -159,6 +271,16 @@ class Engine {
     std::map<Symbol, ReducedProgram> reduced;
     std::map<Symbol, datalog::Model> models;
     std::map<Symbol, InterpreterSlot> interpreters;
+
+    // Observability (relaxed; read via Engine::Counters).
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> cache_misses{0};
+    std::atomic<uint64_t> invalidation_events{0};
+    std::atomic<uint64_t> cache_entries_invalidated{0};
+    std::atomic<uint64_t> asserts_ok{0};
+    std::atomic<uint64_t> retracts_ok{0};
+    std::atomic<uint64_t> writes_rejected{0};
+    std::atomic<uint64_t> checkpoints{0};
   };
 
   Engine(CheckedDatabase cdb, EngineOptions options)
@@ -166,13 +288,33 @@ class Engine {
         options_(options),
         caches_(std::make_unique<Caches>()) {}
 
+  // The *Locked variants assume the caller holds db_mu (shared for
+  // reads, exclusive for the writer calling into invalidation).
+  Result<QueryResult> QueryLocked(const std::vector<MlLiteral>& goal,
+                                  const std::string& user_level,
+                                  ExecMode mode, const CancelToken* cancel);
+  Result<const ReducedProgram*> ReducedLocked(const std::string& user_level);
+  Result<const datalog::Model*> ReducedModelLocked(
+      const std::string& user_level, const CancelToken* cancel);
+
   /// Returns the slot for `user_level`, creating it (and building the
-  /// interpreter) on first use.
+  /// interpreter) on first use. Assumes db_mu held (shared).
   Result<InterpreterSlot*> GetInterpreterSlot(const std::string& user_level);
+
+  /// Shared Assert/Retract implementation.
+  Result<WriteResult> Mutate(std::string_view fact_source,
+                             const std::string& level, bool retract);
+
+  /// Drops every cached level that dominates `written_level`; returns
+  /// the names of the dropped levels. Assumes db_mu held exclusively.
+  std::vector<std::string> InvalidateDominating(
+      const std::string& written_level);
 
   CheckedDatabase cdb_;
   EngineOptions options_;
   std::unique_ptr<Caches> caches_;
+  storage::Storage* storage_ = nullptr;  // not owned
+  uint64_t mem_seqno_ = 0;  // in-memory engines; guarded by db_mu
 };
 
 }  // namespace multilog::ml

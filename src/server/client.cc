@@ -35,6 +35,7 @@ Status StatusFromWire(const Json& response) {
   if (code == "DeadlineExceeded") {
     return Status::DeadlineExceeded(std::move(msg));
   }
+  if (code == "DataLoss") return Status::DataLoss(std::move(msg));
   return Status::Internal(std::move(msg));
 }
 
@@ -119,6 +120,26 @@ Result<Json> Client::Sql(const std::string& sql) {
   Json req = Json::Object();
   req.Set("cmd", Json::Str("sql"));
   req.Set("sql", Json::Str(sql));
+  return Call(req);
+}
+
+Result<Json> Client::Assert(const std::string& fact) {
+  Json req = Json::Object();
+  req.Set("cmd", Json::Str("assert"));
+  req.Set("fact", Json::Str(fact));
+  return Call(req);
+}
+
+Result<Json> Client::Retract(const std::string& fact) {
+  Json req = Json::Object();
+  req.Set("cmd", Json::Str("retract"));
+  req.Set("fact", Json::Str(fact));
+  return Call(req);
+}
+
+Result<Json> Client::Checkpoint() {
+  Json req = Json::Object();
+  req.Set("cmd", Json::Str("checkpoint"));
   return Call(req);
 }
 

@@ -42,6 +42,9 @@ class Client {
   Result<Json> Query(const std::string& goal, int64_t deadline_ms = -1,
                      std::string_view mode = "", bool proofs = false);
   Result<Json> Sql(const std::string& sql);
+  Result<Json> Assert(const std::string& fact);
+  Result<Json> Retract(const std::string& fact);
+  Result<Json> Checkpoint();
   Result<Json> Stats();
   Result<Json> Ping();
   Status Bye();

@@ -2,13 +2,26 @@
 //
 //   $ multilog_client --port 7690 --level s query '?- s[intel(K : source -C-> V)] << cau.'
 //   $ multilog_client --port 7690 --level c sql 'select * from mission'
+//   $ multilog_client --port 7690 --level s assert 's[intel(k7 : source -s-> k7, grade -s-> a)].'
+//   $ multilog_client --port 7690 --level s retract 's[intel(k7 : source -s-> k7, grade -s-> a)].'
+//   $ multilog_client --port 7690 --level s checkpoint
+//   $ multilog_client --port 7690 --level s --file writes.mlog
 //   $ multilog_client --port 7690 stats
 //
 // Prints the server's JSON response; for `query`, the answers are also
 // listed one per line (handy in shell pipelines and the demo script).
+//
+// `--file` runs a batch over one connection: each non-empty line of the
+// file is `assert <fact>`, `retract <fact>`, `checkpoint`, or
+// `query <goal>` ('%' and '#' start comments). The batch stops at the
+// first failing line, exiting non-zero - so a script can stage writes
+// and trust that either all of them landed or the exit code says
+// where it stopped.
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "server/client.h"
@@ -21,8 +34,10 @@ int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --port N [--level L] [--mode M] [--deadline-ms N] "
-      "[--proofs]\n          (query GOAL | sql STMT | stats | ping)\n",
-      argv0);
+      "[--proofs]\n          (query GOAL | sql STMT | assert FACT | "
+      "retract FACT | checkpoint | stats | ping)\n       %s --port N "
+      "--level L --file BATCH\n",
+      argv0, argv0);
   return 2;
 }
 
@@ -31,12 +46,76 @@ int Fail(const Status& status) {
   return status.IsDeadlineExceeded() ? 3 : 1;
 }
 
+/// Strips comments ('%' or '#' to end of line) and surrounding blanks.
+std::string StripLine(std::string line) {
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '%' || line[i] == '#') {
+      line.resize(i);
+      break;
+    }
+  }
+  const size_t begin = line.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const size_t end = line.find_last_not_of(" \t\r");
+  return line.substr(begin, end - begin + 1);
+}
+
+/// Runs a batch file over the open (hello'd) connection. Returns the
+/// process exit code.
+int RunBatch(server::Client& client, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open batch file '%s'\n", path.c_str());
+    return 2;
+  }
+  size_t lineno = 0;
+  size_t applied = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string stripped = StripLine(line);
+    if (stripped.empty()) continue;
+    const size_t space = stripped.find_first_of(" \t");
+    const std::string verb = stripped.substr(0, space);
+    const std::string rest =
+        space == std::string::npos ? "" : StripLine(stripped.substr(space));
+
+    Result<server::Json> response = Status::Internal("unreached");
+    if (verb == "assert" && !rest.empty()) {
+      response = client.Assert(rest);
+    } else if (verb == "retract" && !rest.empty()) {
+      response = client.Retract(rest);
+    } else if (verb == "checkpoint" && rest.empty()) {
+      response = client.Checkpoint();
+    } else if (verb == "query" && !rest.empty()) {
+      response = client.Query(rest);
+    } else {
+      std::fprintf(stderr,
+                   "%s:%zu: expected 'assert FACT', 'retract FACT', "
+                   "'checkpoint', or 'query GOAL'\n",
+                   path.c_str(), lineno);
+      return 2;
+    }
+    if (!response.ok()) {
+      std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), lineno,
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s:%zu: %s\n", path.c_str(), lineno,
+                response->Serialize().c_str());
+    ++applied;
+  }
+  std::printf("batch ok: %zu operation(s) applied\n", applied);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   uint16_t port = 7690;
   std::string level;
   std::string mode;
+  std::string batch_file;
   int64_t deadline_ms = -1;
   bool proofs = false;
   std::string command;
@@ -59,6 +138,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       mode = v;
+    } else if (arg == "--file") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      batch_file = v;
     } else if (arg == "--deadline-ms") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -73,20 +156,30 @@ int main(int argc, char** argv) {
       return Usage(argv[0]);
     }
   }
-  if (command.empty()) return Usage(argv[0]);
-  const bool needs_operand = command == "query" || command == "sql";
+  if (command.empty() == batch_file.empty()) return Usage(argv[0]);
+  const bool needs_operand = command == "query" || command == "sql" ||
+                             command == "assert" || command == "retract";
   if (needs_operand && operand.empty()) return Usage(argv[0]);
+  const bool needs_level =
+      needs_operand || command == "checkpoint" || !batch_file.empty();
 
   Result<server::Client> client = server::Client::Connect(port);
   if (!client.ok()) return Fail(client.status());
 
-  if (!level.empty() || needs_operand) {
+  if (!level.empty() || needs_level) {
     if (level.empty()) {
-      std::fprintf(stderr, "error: %s requires --level\n", command.c_str());
+      std::fprintf(stderr, "error: %s requires --level\n",
+                   batch_file.empty() ? command.c_str() : "--file");
       return 2;
     }
     Result<server::Json> hello = client->Hello(level, mode);
     if (!hello.ok()) return Fail(hello.status());
+  }
+
+  if (!batch_file.empty()) {
+    const int code = RunBatch(*client, batch_file);
+    client->Bye();
+    return code;
   }
 
   Result<server::Json> response = Status::Internal("unreached");
@@ -94,6 +187,12 @@ int main(int argc, char** argv) {
     response = client->Query(operand, deadline_ms, /*mode=*/"", proofs);
   } else if (command == "sql") {
     response = client->Sql(operand);
+  } else if (command == "assert") {
+    response = client->Assert(operand);
+  } else if (command == "retract") {
+    response = client->Retract(operand);
+  } else if (command == "checkpoint") {
+    response = client->Checkpoint();
   } else if (command == "stats") {
     response = client->Stats();
   } else if (command == "ping") {

@@ -138,6 +138,11 @@ Json ServerMetrics::ToJson() const {
           Json::Double(static_cast<double>(snap.max_micros) / 1000.0));
   queries.Set("latency", std::move(lat));
   root.Set("queries", std::move(queries));
+
+  Json writes = Json::Object();
+  writes.Set("ok", Json::Int(static_cast<int64_t>(writes_ok.load())));
+  writes.Set("errors", Json::Int(static_cast<int64_t>(write_errors.load())));
+  root.Set("writes", std::move(writes));
   return root;
 }
 

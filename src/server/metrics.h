@@ -84,6 +84,10 @@ class ServerMetrics {
   std::atomic<uint64_t> deadline_exceeded{0};
   std::atomic<uint64_t> rows_returned{0};
 
+  // -- write outcomes (assert / retract / checkpoint) --
+  std::atomic<uint64_t> writes_ok{0};
+  std::atomic<uint64_t> write_errors{0};  // rejected or failed mutations
+
   /// Records one completed engine query. `mode_index` is the ExecMode's
   /// integer value (operational/reduced/check-both).
   void RecordQuery(const std::string& level, size_t mode_index,

@@ -2,11 +2,19 @@
 //
 //   $ multilogd --sample --port 7690
 //   $ multilogd --db mission.mlog --port 7690 --workers 8
+//   $ multilogd --db mission.mlog --data-dir /var/lib/multilog
 //
 // With --sample the server loads the paper's D1 database (Figure 10)
 // and additionally exposes the Figure 1 Mission relation to the `sql`
 // command. Clients speak the length-delimited JSON protocol described
 // in src/server/protocol.h (see also `multilog_client`).
+//
+// With --data-dir the database is durable: on first start the --db (or
+// --sample) source seeds the directory's snapshot; on every later start
+// the directory wins - the snapshot plus WAL replay reconstruct exactly
+// the state as of the last acknowledged write, and the `assert` /
+// `retract` / `checkpoint` commands are persisted there. A torn WAL
+// tail (crash mid-append) is truncated and reported on stderr at boot.
 
 #include <csignal>
 #include <cstdio>
@@ -20,6 +28,7 @@
 #include "mls/sample_data.h"
 #include "multilog/engine.h"
 #include "server/server.h"
+#include "storage/storage.h"
 
 namespace {
 
@@ -34,9 +43,10 @@ void HandleSignal(int) { sem_post(&g_shutdown); }
 int Usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s (--db FILE | --sample) [--port N] [--workers N]\n"
-      "          [--max-conns N] [--max-inflight N] [--max-request-bytes N]\n"
-      "          [--deadline-ms N] [--mode operational|reduced|check_both]\n",
+      "usage: %s (--db FILE | --sample) [--data-dir DIR] [--port N]\n"
+      "          [--workers N] [--max-conns N] [--max-inflight N]\n"
+      "          [--max-request-bytes N] [--deadline-ms N]\n"
+      "          [--mode operational|reduced|check_both]\n",
       argv0);
   return 2;
 }
@@ -45,6 +55,7 @@ int Usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   std::string db_path;
+  std::string data_dir;
   bool use_sample = false;
   server::ServerOptions options;
   options.port = 7690;
@@ -60,6 +71,10 @@ int main(int argc, char** argv) {
       db_path = v;
     } else if (arg == "--sample") {
       use_sample = true;
+    } else if (arg == "--data-dir") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      data_dir = v;
     } else if (arg == "--port") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -122,7 +137,26 @@ int main(int argc, char** argv) {
     source = buf.str();
   }
 
-  Result<ml::Engine> engine = ml::Engine::FromSource(source);
+  Result<storage::Storage> storage = Status::Internal("unused");
+  Result<ml::Engine> engine = Status::Internal("unused");
+  if (!data_dir.empty()) {
+    storage = storage::Storage::Open(data_dir, source);
+    if (!storage.ok()) {
+      std::fprintf(stderr, "storage: %s\n",
+                   storage.status().ToString().c_str());
+      return 1;
+    }
+    if (!storage->recovered().data_loss.ok()) {
+      // Recoverable by design: the torn tail is already truncated and
+      // everything durably acknowledged is intact. Operators still want
+      // to know a crash interrupted an append.
+      std::fprintf(stderr, "recovery: %s\n",
+                   storage->recovered().data_loss.ToString().c_str());
+    }
+    engine = ml::Engine::FromStorage(&*storage);
+  } else {
+    engine = ml::Engine::FromSource(source);
+  }
   if (!engine.ok()) {
     std::fprintf(stderr, "database: %s\n", engine.status().ToString().c_str());
     return 1;
@@ -139,6 +173,10 @@ int main(int argc, char** argv) {
     std::printf(" %s", level.c_str());
   }
   std::printf(")\n");
+  if (!data_dir.empty()) {
+    std::printf("durable: %s (next seqno %llu)\n", data_dir.c_str(),
+                static_cast<unsigned long long>(storage->next_seqno()));
+  }
   std::fflush(stdout);
 
   sem_init(&g_shutdown, 0, 0);

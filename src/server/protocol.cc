@@ -182,6 +182,20 @@ Result<Request> ParseRequest(const Json& json) {
     req.sql = sql->string_value();
     return req;
   }
+  if (name == "assert" || name == "retract") {
+    req.cmd = name == "assert" ? Request::Cmd::kAssert : Request::Cmd::kRetract;
+    const Json* fact = json.Find("fact");
+    if (fact == nullptr || !fact->is_string() ||
+        fact->string_value().empty()) {
+      return Status::InvalidArgument(name + " requires a non-empty 'fact'");
+    }
+    req.fact = fact->string_value();
+    return req;
+  }
+  if (name == "checkpoint") {
+    req.cmd = Request::Cmd::kCheckpoint;
+    return req;
+  }
   if (name == "stats") {
     req.cmd = Request::Cmd::kStats;
     return req;

@@ -26,9 +26,16 @@ namespace multilog::server {
 ///   {"cmd":"hello","level":L,"mode":M?}     bind the session clearance
 ///   {"cmd":"query","goal":G,"mode":M?,"deadline_ms":N?,"proofs":B?}
 ///   {"cmd":"sql","sql":S}                   MSQL at the session level
+///   {"cmd":"assert","fact":F}               write F at the session level
+///   {"cmd":"retract","fact":F}              remove F at the session level
+///   {"cmd":"checkpoint"}                    fold the WAL into a snapshot
 ///   {"cmd":"stats"}                         the metrics surface
 ///   {"cmd":"ping"}                          liveness probe
 ///   {"cmd":"bye"}                           orderly close
+///
+/// Writes run at exactly the session clearance (the fact's level must
+/// equal it - the engine enforces no write-up/write-down) and serialize
+/// against in-flight queries behind the engine's database lock.
 ///
 /// Responses: {"ok":true, ...} or
 ///   {"ok":false,"code":<StatusCodeToString>,"error":<message>}.
@@ -58,12 +65,23 @@ Status WriteFrame(int fd, std::string_view payload);
 
 /// A parsed, schema-validated request.
 struct Request {
-  enum class Cmd { kHello, kQuery, kSql, kStats, kPing, kBye };
+  enum class Cmd {
+    kHello,
+    kQuery,
+    kSql,
+    kAssert,
+    kRetract,
+    kCheckpoint,
+    kStats,
+    kPing,
+    kBye
+  };
   Cmd cmd = Cmd::kPing;
   std::string level;         // hello
   std::optional<ml::ExecMode> mode;  // hello or query override
   std::string goal;          // query
   std::string sql;           // sql
+  std::string fact;          // assert / retract
   int64_t deadline_ms = -1;  // query; -1 = server default
   bool want_proofs = false;  // query (operational modes only)
 };

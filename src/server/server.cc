@@ -211,7 +211,7 @@ bool Server::HandleFrame(SessionState& session, int fd) {
     }
     case Request::Cmd::kStats: {
       Json resp = OkResponse();
-      resp.Set("stats", metrics_.ToJson());
+      resp.Set("stats", StatsJson());
       WriteFrame(fd, resp.Serialize());
       return true;
     }
@@ -249,7 +249,10 @@ bool Server::HandleFrame(SessionState& session, int fd) {
       return true;
     }
     case Request::Cmd::kQuery:
-    case Request::Cmd::kSql: {
+    case Request::Cmd::kSql:
+    case Request::Cmd::kAssert:
+    case Request::Cmd::kRetract:
+    case Request::Cmd::kCheckpoint: {
       if (!session.hello_done) {
         WriteFrame(fd, ErrorResponse(Status::SecurityViolation(
                            "session has no clearance yet; send hello first"))
@@ -257,7 +260,10 @@ bool Server::HandleFrame(SessionState& session, int fd) {
         return true;
       }
       // Admission control on the shared pool: fail fast instead of
-      // queueing unboundedly behind slow queries.
+      // queueing unboundedly behind slow queries. Writes count against
+      // the same budget - a mutation holds the engine's database lock,
+      // so letting unbounded writes queue would starve readers just as
+      // surely as unbounded queries would.
       if (in_flight_.fetch_add(1, std::memory_order_acq_rel) >=
           options_.max_in_flight) {
         in_flight_.fetch_sub(1, std::memory_order_acq_rel);
@@ -270,9 +276,10 @@ bool Server::HandleFrame(SessionState& session, int fd) {
       std::promise<Json> done;
       std::future<Json> future = done.get_future();
       pool_->Submit([this, &session, &req, &done] {
-        done.set_value(req.cmd == Request::Cmd::kQuery
-                           ? HandleQuery(session, req)
-                           : HandleSql(session, req));
+        Json resp = req.cmd == Request::Cmd::kQuery ? HandleQuery(session, req)
+                    : req.cmd == Request::Cmd::kSql ? HandleSql(session, req)
+                                                    : HandleWrite(session, req);
+        done.set_value(std::move(resp));
       });
       const Json resp = future.get();
       in_flight_.fetch_sub(1, std::memory_order_acq_rel);
@@ -333,6 +340,72 @@ Json Server::HandleQuery(const SessionState& session, const Request& req) {
   }
   resp.Set("elapsed_ms", Json::Double(static_cast<double>(micros) / 1000.0));
   return resp;
+}
+
+Json Server::HandleWrite(const SessionState& session, const Request& req) {
+  const auto start = std::chrono::steady_clock::now();
+  Json resp = OkResponse();
+  if (req.cmd == Request::Cmd::kCheckpoint) {
+    const Status s = engine_->Checkpoint();
+    if (!s.ok()) {
+      metrics_.write_errors.fetch_add(1, std::memory_order_relaxed);
+      return ErrorResponse(s);
+    }
+    if (engine_->storage() != nullptr) {
+      resp.Set("snapshot", Json::Str(engine_->storage()->snapshot_path()));
+    }
+  } else {
+    const bool retract = req.cmd == Request::Cmd::kRetract;
+    Result<ml::WriteResult> result =
+        retract ? engine_->Retract(req.fact, session.level)
+                : engine_->Assert(req.fact, session.level);
+    if (!result.ok()) {
+      metrics_.write_errors.fetch_add(1, std::memory_order_relaxed);
+      return ErrorResponse(result.status());
+    }
+    resp.Set("seqno", Json::Int(static_cast<int64_t>(result->seqno)));
+    Json invalidated = Json::Array();
+    for (const std::string& level : result->invalidated_levels) {
+      invalidated.Push(Json::Str(level));
+    }
+    resp.Set("invalidated_levels", std::move(invalidated));
+    resp.Set("durable", Json::Bool(engine_->storage() != nullptr));
+  }
+  metrics_.writes_ok.fetch_add(1, std::memory_order_relaxed);
+  resp.Set("level", Json::Str(session.level));
+  resp.Set("elapsed_ms",
+           Json::Double(static_cast<double>(ElapsedMicros(start)) / 1000.0));
+  return resp;
+}
+
+Json Server::StatsJson() {
+  Json root = metrics_.ToJson();
+  const ml::EngineCounters ec = engine_->Counters();
+  Json engine = Json::Object();
+  engine.Set("cache_hits", Json::Int(static_cast<int64_t>(ec.cache_hits)));
+  engine.Set("cache_misses", Json::Int(static_cast<int64_t>(ec.cache_misses)));
+  engine.Set("invalidation_events",
+             Json::Int(static_cast<int64_t>(ec.invalidation_events)));
+  engine.Set("cache_entries_invalidated",
+             Json::Int(static_cast<int64_t>(ec.cache_entries_invalidated)));
+  engine.Set("asserts_ok", Json::Int(static_cast<int64_t>(ec.asserts_ok)));
+  engine.Set("retracts_ok", Json::Int(static_cast<int64_t>(ec.retracts_ok)));
+  engine.Set("writes_rejected",
+             Json::Int(static_cast<int64_t>(ec.writes_rejected)));
+  engine.Set("checkpoints", Json::Int(static_cast<int64_t>(ec.checkpoints)));
+  root.Set("engine", std::move(engine));
+  if (const ml::StorageCounters sc = engine_->StorageStats(); sc.attached) {
+    Json storage = Json::Object();
+    storage.Set("dir", Json::Str(sc.dir));
+    storage.Set("next_seqno", Json::Int(static_cast<int64_t>(sc.next_seqno)));
+    storage.Set("wal_records", Json::Int(static_cast<int64_t>(
+                                   sc.wal_records)));
+    storage.Set("wal_bytes", Json::Int(static_cast<int64_t>(sc.wal_bytes)));
+    storage.Set("checkpoints", Json::Int(static_cast<int64_t>(
+                                   sc.checkpoints)));
+    root.Set("storage", std::move(storage));
+  }
+  return root;
 }
 
 Json Server::HandleSql(SessionState& session, const Request& req) {

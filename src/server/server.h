@@ -128,6 +128,15 @@ class Server {
 
   Json HandleQuery(const struct SessionState& session, const Request& req);
   Json HandleSql(struct SessionState& session, const Request& req);
+  /// ASSERT / RETRACT / CHECKPOINT at the session clearance. The engine
+  /// serializes the mutation against in-flight queries behind its
+  /// database lock; by the time the response is written, the write is
+  /// durable (when the engine has storage) and visible to every later
+  /// query on every connection.
+  Json HandleWrite(const struct SessionState& session, const Request& req);
+  /// The STATS payload: server metrics plus the engine's cache/mutation
+  /// counters and, when durable, the storage surface.
+  Json StatsJson();
 
   ml::Engine* engine_;
   ServerOptions options_;

@@ -1,0 +1,133 @@
+#include "storage/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/crc32c.h"
+
+namespace multilog::storage {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'L', 'S', 'S', 'N', 'A', 'P', '1'};
+constexpr size_t kHeaderBytes = 8 + 8 + 4 + 4;
+
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+uint32_t GetU32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+Result<Snapshot> ReadSnapshot(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no snapshot at '" + path + "'");
+    }
+    return Status::Internal("snapshot open '" + path +
+                            "': " + std::strerror(errno));
+  }
+  std::string data;
+  {
+    char buf[64 * 1024];
+    while (true) {
+      const ssize_t r = ::read(fd, buf, sizeof(buf));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        const Status s = Status::Internal(std::string("snapshot read: ") +
+                                          std::strerror(errno));
+        ::close(fd);
+        return s;
+      }
+      if (r == 0) break;
+      data.append(buf, static_cast<size_t>(r));
+    }
+  }
+  ::close(fd);
+
+  if (data.size() < kHeaderBytes ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::DataLoss("snapshot '" + path +
+                            "' has a missing or foreign header");
+  }
+  const auto* p = reinterpret_cast<const unsigned char*>(data.data());
+  const uint64_t seqno = static_cast<uint64_t>(GetU32(p + 8)) |
+                         (static_cast<uint64_t>(GetU32(p + 12)) << 32);
+  const uint32_t body_len = GetU32(p + 16);
+  const uint32_t crc = GetU32(p + 20);
+  if (data.size() - kHeaderBytes != body_len) {
+    return Status::DataLoss(
+        "snapshot '" + path + "' body is " +
+        std::to_string(data.size() - kHeaderBytes) + " bytes, header says " +
+        std::to_string(body_len));
+  }
+  if (Crc32c(data.data() + kHeaderBytes, body_len) != crc) {
+    return Status::DataLoss("snapshot '" + path + "' failed its checksum");
+  }
+  Snapshot snap;
+  snap.seqno = seqno;
+  snap.source = data.substr(kHeaderBytes);
+  return snap;
+}
+
+Status WriteSnapshot(const std::string& path, uint64_t seqno,
+                     std::string_view source) {
+  std::string image;
+  image.reserve(kHeaderBytes + source.size());
+  image.append(kMagic, sizeof(kMagic));
+  PutU32(&image, static_cast<uint32_t>(seqno & 0xFFFFFFFFu));
+  PutU32(&image, static_cast<uint32_t>(seqno >> 32));
+  PutU32(&image, static_cast<uint32_t>(source.size()));
+  PutU32(&image, Crc32c(source));
+  image.append(source);
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal("snapshot open '" + tmp +
+                            "': " + std::strerror(errno));
+  }
+  size_t sent = 0;
+  while (sent < image.size()) {
+    const ssize_t w = ::write(fd, image.data() + sent, image.size() - sent);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      const Status s = Status::Internal(std::string("snapshot write: ") +
+                                        std::strerror(errno));
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return s;
+    }
+    sent += static_cast<size_t>(w);
+  }
+  if (::fsync(fd) != 0) {
+    const Status s = Status::Internal(std::string("snapshot fsync: ") +
+                                      std::strerror(errno));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status s = Status::Internal("snapshot rename '" + tmp + "' -> '" +
+                                      path + "': " + std::strerror(errno));
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  return Status::OK();
+}
+
+}  // namespace multilog::storage

@@ -1,0 +1,51 @@
+#ifndef MULTILOG_STORAGE_SNAPSHOT_H_
+#define MULTILOG_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace multilog::storage {
+
+/// # The snapshot format
+///
+/// A compacted, checksummed image of the whole database at a point in
+/// the mutation sequence:
+///
+///     "MLSSNAP1"            8-byte magic + version
+///     u64 seqno             last mutation folded into the body (LE)
+///     u32 body_len          (LE)
+///     u32 crc32c(body)      (LE)
+///     body                  canonical MultiLog source text
+///
+/// The body is source text rather than a binary image on purpose: it is
+/// the same canonical form `Database::ToString()` produces, so a
+/// snapshot is loadable by the ordinary parser, diffable by the crash
+/// tests ("byte-identical to a clean rebuild" is a string compare), and
+/// debuggable with `cat`.
+///
+/// WriteSnapshot is atomic: the image is written to `<path>.tmp`,
+/// fsynced, and renamed over `path`, so a crash mid-checkpoint leaves
+/// either the old snapshot or the new one, never a hybrid. Recovery
+/// after a crash between the rename and the WAL reset replays WAL
+/// records with seqno > the snapshot's seqno and skips the rest.
+struct Snapshot {
+  uint64_t seqno = 0;
+  std::string source;
+};
+
+/// Reads and verifies a snapshot. NotFound when `path` does not exist;
+/// kDataLoss when the header is malformed, the body is short, or the
+/// checksum fails.
+Result<Snapshot> ReadSnapshot(const std::string& path);
+
+/// Atomically replaces `path` with a snapshot of `source` at `seqno`.
+Status WriteSnapshot(const std::string& path, uint64_t seqno,
+                     std::string_view source);
+
+}  // namespace multilog::storage
+
+#endif  // MULTILOG_STORAGE_SNAPSHOT_H_

@@ -1,0 +1,101 @@
+#include "storage/storage.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace multilog::storage {
+
+namespace {
+
+Status EnsureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::OK();
+  }
+  return Status::Internal("mkdir '" + dir + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<Storage> Storage::Open(const std::string& dir,
+                              std::string_view initial_source) {
+  MULTILOG_RETURN_IF_ERROR(EnsureDir(dir));
+  Storage st;
+  st.dir_ = dir;
+
+  // 1. The snapshot is the base image. First open seeds it from
+  // `initial_source` so a later crash-before-first-checkpoint still has
+  // a base to replay onto.
+  Result<Snapshot> snap = ReadSnapshot(st.snapshot_path());
+  if (!snap.ok() && snap.status().IsNotFound()) {
+    MULTILOG_RETURN_IF_ERROR(
+        WriteSnapshot(st.snapshot_path(), 0, initial_source));
+    snap = ReadSnapshot(st.snapshot_path());
+  }
+  if (!snap.ok()) return snap.status();  // kDataLoss: nothing safe to serve
+  st.recovered_.snapshot_source = std::move(snap->source);
+
+  // 2. Replay the WAL over it. A damaged tail is truncated to the last
+  // intact record boundary and surfaced as kDataLoss - recovery
+  // continues, because everything before the damage is sound.
+  MULTILOG_ASSIGN_OR_RETURN(WalReplay replay, ReplayWal(st.wal_path()));
+  if (!replay.tail.ok()) {
+    MULTILOG_RETURN_IF_ERROR(TruncateWal(st.wal_path(), replay.valid_bytes));
+  }
+  st.recovered_.data_loss = replay.tail;
+
+  // 3. Records the snapshot already covers are skipped (the crash
+  // window between a checkpoint's rename and its WAL reset leaves
+  // such records behind; seqnos make their replay a no-op).
+  st.next_seqno_ = snap->seqno + 1;
+  for (WalRecord& rec : replay.records) {
+    if (rec.seqno <= snap->seqno) continue;
+    if (rec.seqno >= st.next_seqno_) st.next_seqno_ = rec.seqno + 1;
+    st.recovered_.records.push_back(std::move(rec));
+  }
+  st.wal_records_ = st.recovered_.records.size();
+
+  MULTILOG_ASSIGN_OR_RETURN(st.writer_,
+                            WalWriter::Open(st.wal_path(), replay.symbols));
+  return st;
+}
+
+Result<uint64_t> Storage::Append(WalRecordType type, const std::string& level,
+                                 const std::string& fact) {
+  WalRecord rec;
+  rec.type = type;
+  rec.seqno = next_seqno_;
+  rec.level = level;
+  rec.fact = fact;
+  MULTILOG_RETURN_IF_ERROR(writer_.Append(rec, /*sync=*/true));
+  ++wal_records_;
+  return next_seqno_++;
+}
+
+Result<uint64_t> Storage::AppendAssert(const std::string& level,
+                                       const std::string& fact) {
+  return Append(WalRecordType::kAssert, level, fact);
+}
+
+Result<uint64_t> Storage::AppendRetract(const std::string& level,
+                                        const std::string& fact) {
+  return Append(WalRecordType::kRetract, level, fact);
+}
+
+Status Storage::Checkpoint(std::string_view source) {
+  // Durable order: new snapshot first (atomic rename), then the WAL
+  // reset. A crash in between is benign - leftover WAL records carry
+  // seqnos <= the snapshot's and replay as no-ops.
+  MULTILOG_RETURN_IF_ERROR(
+      WriteSnapshot(snapshot_path(), next_seqno_ - 1, source));
+  writer_.Close();
+  MULTILOG_RETURN_IF_ERROR(TruncateWal(wal_path(), 0));
+  MULTILOG_ASSIGN_OR_RETURN(writer_, WalWriter::Open(wal_path()));
+  wal_records_ = 0;
+  ++checkpoints_;
+  return Status::OK();
+}
+
+}  // namespace multilog::storage

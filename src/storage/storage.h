@@ -1,0 +1,102 @@
+#ifndef MULTILOG_STORAGE_STORAGE_H_
+#define MULTILOG_STORAGE_STORAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
+
+namespace multilog::storage {
+
+/// What Open recovered from disk: the snapshot image plus the WAL tail
+/// the engine must replay over it. The storage layer is deliberately
+/// text-level - it knows framing, checksums, and sequence numbers, not
+/// MultiLog semantics - so applying `records` to the parsed database is
+/// the engine's job and the dependency arrow stays common <- storage <-
+/// multilog.
+struct RecoveredState {
+  /// Canonical source of the database at snapshot time.
+  std::string snapshot_source;
+  /// WAL records with seqno > the snapshot's, in append order.
+  std::vector<WalRecord> records;
+  /// OK, or kDataLoss describing a torn/corrupt WAL tail that recovery
+  /// truncated (the expected signature of a crash mid-append). The
+  /// store is fully usable either way; the caller decides whether to
+  /// log, alert, or refuse.
+  Status data_loss;
+};
+
+/// A durable home for one MultiLog database: `<dir>/snapshot.mls` (the
+/// latest compacted image) plus `<dir>/wal.log` (mutations since).
+///
+/// Lifecycle: Open() recovers, the engine replays `recovered()`, then
+/// every committed mutation calls Append* (write-ahead: the engine
+/// validates and logs *before* applying in memory), and Checkpoint()
+/// periodically folds the WAL into a fresh snapshot. Not thread-safe:
+/// the engine serializes all writers behind its database lock.
+class Storage {
+ public:
+  /// Opens (creating if necessary) the store in `dir`. On first open -
+  /// no snapshot present - `initial_source` seeds snapshot seqno 0. On
+  /// later opens `initial_source` is ignored: disk wins. A torn WAL
+  /// tail is truncated and reported via RecoveredState::data_loss; a
+  /// corrupt snapshot is kDataLoss and fails Open (there is nothing
+  /// safe to serve).
+  static Result<Storage> Open(const std::string& dir,
+                              std::string_view initial_source);
+
+  Storage(Storage&&) = default;
+  Storage& operator=(Storage&&) = default;
+  Storage(const Storage&) = delete;
+  Storage& operator=(const Storage&) = delete;
+
+  const RecoveredState& recovered() const { return recovered_; }
+
+  /// Next unused mutation sequence number (snapshot + replayed WAL).
+  uint64_t next_seqno() const { return next_seqno_; }
+
+  /// Logs one mutation durably (fdatasync before returning) and
+  /// returns its sequence number.
+  Result<uint64_t> AppendAssert(const std::string& level,
+                                const std::string& fact);
+  Result<uint64_t> AppendRetract(const std::string& level,
+                                 const std::string& fact);
+
+  /// Folds the log into a new snapshot of `source` (the engine's
+  /// current canonical dump) and resets the WAL. Crash-ordered: the new
+  /// snapshot is durable before the WAL shrinks, and WAL seqnos make a
+  /// replay of any leftover tail idempotent.
+  Status Checkpoint(std::string_view source);
+
+  /// Observability for the stats surface and tests.
+  uint64_t wal_records() const { return wal_records_; }
+  uint64_t wal_bytes() const { return writer_.offset(); }
+  uint64_t checkpoints() const { return checkpoints_; }
+
+  const std::string& dir() const { return dir_; }
+  std::string wal_path() const { return dir_ + "/wal.log"; }
+  std::string snapshot_path() const { return dir_ + "/snapshot.mls"; }
+
+ private:
+  Storage() = default;
+
+  Result<uint64_t> Append(WalRecordType type, const std::string& level,
+                          const std::string& fact);
+
+  std::string dir_;
+  RecoveredState recovered_;
+  WalWriter writer_;
+  uint64_t next_seqno_ = 1;
+  uint64_t wal_records_ = 0;
+  uint64_t checkpoints_ = 0;
+};
+
+}  // namespace multilog::storage
+
+#endif  // MULTILOG_STORAGE_STORAGE_H_

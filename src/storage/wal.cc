@@ -1,0 +1,264 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/crc32c.h"
+
+namespace multilog::storage {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t GetU32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t GetU64(const unsigned char* p) {
+  return static_cast<uint64_t>(GetU32(p)) |
+         (static_cast<uint64_t>(GetU32(p + 4)) << 32);
+}
+
+/// Guards against a corrupt length prefix directing a gigantic
+/// allocation before the CRC gets a chance to reject the record.
+constexpr uint32_t kMaxRecordBytes = 16u << 20;  // 16 MiB
+
+Status WriteFully(int fd, const char* data, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::write(fd, data + sent, n - sent);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("wal write: ") +
+                              std::strerror(errno));
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<WalWriter> WalWriter::Open(
+    const std::string& path, const std::vector<std::string>& existing_symbols) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::Internal("wal open '" + path +
+                            "': " + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const Status s =
+        Status::Internal("wal fstat '" + path + "': " + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  WalWriter w;
+  w.fd_ = fd;
+  w.offset_ = static_cast<uint64_t>(st.st_size);
+  for (size_t i = 0; i < existing_symbols.size(); ++i) {
+    w.symbol_ids_.emplace(existing_symbols[i], static_cast<uint32_t>(i));
+  }
+  return w;
+}
+
+WalWriter::WalWriter(WalWriter&& other) noexcept
+    : fd_(other.fd_),
+      offset_(other.offset_),
+      symbol_ids_(std::move(other.symbol_ids_)) {
+  other.fd_ = -1;
+}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    offset_ = other.offset_;
+    symbol_ids_ = std::move(other.symbol_ids_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+WalWriter::~WalWriter() { Close(); }
+
+void WalWriter::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status WalWriter::AppendFrame(std::string_view payload) {
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, Crc32c(payload));
+  frame.append(payload);
+  MULTILOG_RETURN_IF_ERROR(WriteFully(fd_, frame.data(), frame.size()));
+  offset_ += frame.size();
+  return Status::OK();
+}
+
+Status WalWriter::Append(const WalRecord& record, bool sync) {
+  if (fd_ < 0) return Status::Internal("wal writer is closed");
+  auto it = symbol_ids_.find(record.level);
+  if (it == symbol_ids_.end()) {
+    const uint32_t id = static_cast<uint32_t>(symbol_ids_.size());
+    std::string payload;
+    payload.push_back(static_cast<char>(WalRecordType::kSymbol));
+    PutU32(&payload, id);
+    PutU32(&payload, static_cast<uint32_t>(record.level.size()));
+    payload.append(record.level);
+    MULTILOG_RETURN_IF_ERROR(AppendFrame(payload));
+    it = symbol_ids_.emplace(record.level, id).first;
+  }
+  std::string payload;
+  payload.push_back(static_cast<char>(record.type));
+  PutU64(&payload, record.seqno);
+  PutU32(&payload, it->second);
+  PutU32(&payload, static_cast<uint32_t>(record.fact.size()));
+  payload.append(record.fact);
+  MULTILOG_RETURN_IF_ERROR(AppendFrame(payload));
+  return sync ? Sync() : Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (fd_ < 0) return Status::Internal("wal writer is closed");
+  if (::fdatasync(fd_) != 0) {
+    return Status::Internal(std::string("wal fdatasync: ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<WalReplay> ReplayWal(const std::string& path) {
+  WalReplay out;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return out;  // no WAL yet: empty replay
+    return Status::Internal("wal open '" + path +
+                            "': " + std::strerror(errno));
+  }
+  std::string data;
+  {
+    char buf[64 * 1024];
+    while (true) {
+      const ssize_t r = ::read(fd, buf, sizeof(buf));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        const Status s = Status::Internal(std::string("wal read: ") +
+                                          std::strerror(errno));
+        ::close(fd);
+        return s;
+      }
+      if (r == 0) break;
+      data.append(buf, static_cast<size_t>(r));
+    }
+  }
+  ::close(fd);
+
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data.data());
+  size_t pos = 0;
+  auto damaged = [&](const std::string& what) {
+    out.tail = Status::DataLoss(
+        what + " at offset " + std::to_string(out.valid_bytes) + " of '" +
+        path + "'; dropping the trailing " +
+        std::to_string(data.size() - out.valid_bytes) + " bytes");
+  };
+  while (pos < data.size()) {
+    if (data.size() - pos < 8) {
+      damaged("torn frame header (" + std::to_string(data.size() - pos) +
+              " of 8 bytes)");
+      return out;
+    }
+    const uint32_t len = GetU32(bytes + pos);
+    const uint32_t crc = GetU32(bytes + pos + 4);
+    if (len > kMaxRecordBytes) {
+      damaged("implausible record length " + std::to_string(len));
+      return out;
+    }
+    if (data.size() - pos - 8 < len) {
+      damaged("torn record payload (" +
+              std::to_string(data.size() - pos - 8) + " of " +
+              std::to_string(len) + " bytes)");
+      return out;
+    }
+    const char* payload = data.data() + pos + 8;
+    if (Crc32c(payload, len) != crc) {
+      damaged("checksum mismatch on a " + std::to_string(len) +
+              "-byte record");
+      return out;
+    }
+
+    // The frame is intact; an undecodable payload past this point is a
+    // writer bug, not disk corruption, and fails the whole replay.
+    const auto* p = reinterpret_cast<const unsigned char*>(payload);
+    auto decode_error = [&]() -> Status {
+      return Status::Internal("undecodable WAL record with a valid CRC at "
+                              "offset " +
+                              std::to_string(pos) + " of '" + path + "'");
+    };
+    if (len < 1) return decode_error();
+    const auto type = static_cast<WalRecordType>(p[0]);
+    switch (type) {
+      case WalRecordType::kSymbol: {
+        if (len < 9) return decode_error();
+        const uint32_t id = GetU32(p + 1);
+        const uint32_t slen = GetU32(p + 5);
+        if (9 + static_cast<uint64_t>(slen) != len) return decode_error();
+        if (id != out.symbols.size()) return decode_error();  // dense ids
+        out.symbols.emplace_back(payload + 9, slen);
+        break;
+      }
+      case WalRecordType::kAssert:
+      case WalRecordType::kRetract: {
+        if (len < 17) return decode_error();
+        WalRecord rec;
+        rec.type = type;
+        rec.seqno = GetU64(p + 1);
+        const uint32_t sym = GetU32(p + 9);
+        const uint32_t flen = GetU32(p + 13);
+        if (17 + static_cast<uint64_t>(flen) != len) return decode_error();
+        if (sym >= out.symbols.size()) return decode_error();
+        rec.level = out.symbols[sym];
+        rec.fact.assign(payload + 17, flen);
+        out.records.push_back(std::move(rec));
+        break;
+      }
+      default:
+        return decode_error();
+    }
+    pos += 8 + len;
+    out.valid_bytes = pos;
+  }
+  out.tail = Status::OK();
+  return out;
+}
+
+Status TruncateWal(const std::string& path, uint64_t valid_bytes) {
+  if (::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0) {
+    return Status::Internal("wal truncate '" + path +
+                            "': " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace multilog::storage

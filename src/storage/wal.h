@@ -1,0 +1,127 @@
+#ifndef MULTILOG_STORAGE_WAL_H_
+#define MULTILOG_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace multilog::storage {
+
+/// # The write-ahead log format
+///
+/// An append-only sequence of CRC32C-framed, length-prefixed records.
+/// Each record on disk is
+///
+///     [u32 payload_len][u32 crc32c(payload)][payload_len bytes]
+///
+/// with both integers little-endian. The payload starts with a one-byte
+/// record type:
+///
+///  - kSymbol (0x01): `u32 id, u32 len, len bytes` - a symbol-table
+///    delta. Symbol ids are WAL-local, assigned densely from 0 in
+///    append order; a symbol record always precedes the first mutation
+///    record that references its id. Today symbols carry the security
+///    levels mutations are tagged with (the hot, highly repetitive
+///    field); the fact text itself stays readable for debuggability.
+///  - kAssert (0x02) / kRetract (0x03): `u64 seqno, u32 level_symbol_id,
+///    u32 len, len bytes of MultiLog fact source`. `seqno` is the
+///    database-wide mutation sequence number; recovery skips records
+///    whose seqno the snapshot already covers, which makes replay
+///    idempotent across a crash between "snapshot renamed" and "WAL
+///    reset" during a checkpoint.
+///
+/// A record whose frame is incomplete or whose CRC does not match ends
+/// the readable prefix. ReplayWal reports where the good prefix ends so
+/// the caller can truncate the tail (a torn append is the expected
+/// crash signature, but the caller surfaces it as kDataLoss rather
+/// than guessing whether bytes were lost).
+enum class WalRecordType : uint8_t {
+  kSymbol = 0x01,
+  kAssert = 0x02,
+  kRetract = 0x03,
+};
+
+/// One logical mutation, decoded (symbol ids already resolved).
+struct WalRecord {
+  WalRecordType type = WalRecordType::kAssert;
+  uint64_t seqno = 0;
+  std::string level;  // the writing subject's level
+  std::string fact;   // MultiLog fact source, e.g. "s[p(k : a -s-> v)]."
+};
+
+/// Appends framed records to a WAL file. Not thread-safe; the storage
+/// manager serializes writers.
+class WalWriter {
+ public:
+  /// Opens `path` for appending, creating it if missing. When the file
+  /// already has contents, `existing_symbols` must be the symbol table
+  /// ReplayWal recovered from it, so new records keep extending the
+  /// same id space.
+  static Result<WalWriter> Open(
+      const std::string& path,
+      const std::vector<std::string>& existing_symbols = {});
+
+  /// A closed writer; Open() produces usable ones.
+  WalWriter() = default;
+
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  ~WalWriter();
+
+  /// Appends one mutation (emitting a kSymbol delta first when the
+  /// level is new to this WAL) and flushes it to the OS. `sync` also
+  /// fsyncs, making the record crash-durable before returning.
+  Status Append(const WalRecord& record, bool sync = true);
+
+  /// fdatasync the file.
+  Status Sync();
+
+  /// Bytes written to the file so far (== file size while the writer
+  /// is the only appender).
+  uint64_t offset() const { return offset_; }
+
+  void Close();
+
+ private:
+  Status AppendFrame(std::string_view payload);
+
+  int fd_ = -1;
+  uint64_t offset_ = 0;
+  std::unordered_map<std::string, uint32_t> symbol_ids_;
+};
+
+/// The readable prefix of a WAL file.
+struct WalReplay {
+  /// Decoded mutation records, in append order (symbol deltas are
+  /// consumed internally and not surfaced).
+  std::vector<WalRecord> records;
+  /// The symbol table accumulated over the prefix, indexed by id; pass
+  /// to WalWriter::Open when appending to the same file.
+  std::vector<std::string> symbols;
+  /// Offset one past the last intact record: the length the file
+  /// should be truncated to when `tail` is not OK.
+  uint64_t valid_bytes = 0;
+  /// OK when the file ended exactly at a record boundary; kDataLoss
+  /// (with a description of the damage) when a torn or corrupt tail
+  /// follows the good prefix.
+  Status tail;
+};
+
+/// Reads the longest intact prefix of the WAL at `path`. Only I/O
+/// failures and malformed *intact* records (undecodable payloads with
+/// valid CRCs, i.e. writer bugs) are errors; corruption is reported
+/// through WalReplay::tail. A missing file replays as empty.
+Result<WalReplay> ReplayWal(const std::string& path);
+
+/// Truncates `path` to `valid_bytes` (recovery's torn-tail repair).
+Status TruncateWal(const std::string& path, uint64_t valid_bytes);
+
+}  // namespace multilog::storage
+
+#endif  // MULTILOG_STORAGE_WAL_H_

@@ -1,0 +1,276 @@
+// Engine mutation tests: the Assert/Retract/Checkpoint API, Definition
+// 5.4 validation, write atomicity on rejection, and - the heart of the
+// matter - dominance-aware cache invalidation over a diamond lattice
+// (a write at one arm must not disturb the incomparable arm's caches).
+
+#include "multilog/engine.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "storage/storage.h"
+
+namespace multilog::ml {
+namespace {
+
+/// Diamond: u < a < ts, u < b < ts, with a and b incomparable. The base
+/// fact gives item/1 a key cell so Definition 5.4's functional
+/// dependency is seeded and asserted facts must carry one too.
+constexpr char kDiamond[] = R"(
+level(u).
+level(a).
+level(b).
+level(ts).
+order(u, a).
+order(u, b).
+order(a, ts).
+order(b, ts).
+u[item(base : id -u-> base, val -u-> seed)].
+)";
+
+std::vector<std::string> AnswerStrings(const QueryResult& r) {
+  std::vector<std::string> out;
+  for (const datalog::Substitution& s : r.answers) out.push_back(s.ToString());
+  return out;
+}
+
+size_t AnswerCount(Engine& engine, const std::string& goal,
+                   const std::string& level) {
+  Result<QueryResult> r = engine.QuerySource(goal, level, ExecMode::kCheckBoth);
+  EXPECT_TRUE(r.ok()) << goal << " @ " << level << ": " << r.status();
+  return r.ok() ? r->answers.size() : 0;
+}
+
+TEST(EngineMutationTest, AssertBecomesVisibleAndSeqnosIncrement) {
+  Result<Engine> engine = Engine::FromSource(kDiamond);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  EXPECT_EQ(AnswerCount(*engine, "a[item(ka : id -R-> ka)] << opt", "a"), 0u);
+
+  Result<WriteResult> w1 =
+      engine->Assert("a[item(ka : id -a-> ka, val -a-> green)].", "a");
+  ASSERT_TRUE(w1.ok()) << w1.status();
+  EXPECT_EQ(w1->seqno, 1u);
+  Result<WriteResult> w2 =
+      engine->Assert("u[item(ku : id -u-> ku, val -u-> red)].", "u");
+  ASSERT_TRUE(w2.ok()) << w2.status();
+  EXPECT_EQ(w2->seqno, 2u);
+
+  // The a-fact is believed at a and at ts, but not at the incomparable
+  // b (it cannot even see it) nor below at u.
+  Result<QueryResult> at_a = engine->QuerySource(
+      "a[item(ka : id -R-> ka)] << opt", "a", ExecMode::kCheckBoth);
+  ASSERT_TRUE(at_a.ok()) << at_a.status();
+  EXPECT_EQ(AnswerStrings(*at_a), std::vector<std::string>{"{R=a}"});
+  EXPECT_EQ(AnswerCount(*engine, "a[item(ka : id -R-> ka)] << opt", "ts"), 1u);
+  EXPECT_EQ(AnswerCount(*engine, "a[item(ka : id -R-> ka)] << opt", "b"), 0u);
+  EXPECT_EQ(AnswerCount(*engine, "a[item(ka : id -R-> ka)] << opt", "u"), 0u);
+
+  EngineCounters c = engine->Counters();
+  EXPECT_EQ(c.asserts_ok, 2u);
+  EXPECT_EQ(c.retracts_ok, 0u);
+  EXPECT_EQ(c.writes_rejected, 0u);
+  EXPECT_EQ(c.invalidation_events, 2u);
+  EXPECT_FALSE(engine->StorageStats().attached);
+}
+
+TEST(EngineMutationTest, InvalidationFollowsDominanceOnTheDiamond) {
+  Result<Engine> engine = Engine::FromSource(kDiamond);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  // Warm every level's reduced-model cache.
+  for (const char* level : {"u", "a", "b", "ts"}) {
+    ASSERT_TRUE(engine->ReducedModel(level).ok()) << level;
+  }
+  const EngineCounters warm = engine->Counters();
+
+  // A write at `a` invalidates exactly the cached levels that dominate
+  // a: a itself and ts. The incomparable b and the strictly lower u
+  // cannot observe an a-fact, so their caches survive.
+  Result<WriteResult> w =
+      engine->Assert("a[item(ka : id -a-> ka, val -a-> green)].", "a");
+  ASSERT_TRUE(w.ok()) << w.status();
+  std::vector<std::string> dropped = w->invalidated_levels;
+  std::sort(dropped.begin(), dropped.end());
+  EXPECT_EQ(dropped, (std::vector<std::string>{"a", "ts"}));
+
+  EngineCounters after = engine->Counters();
+  EXPECT_EQ(after.invalidation_events, warm.invalidation_events + 1);
+  // Each of a and ts had a reduced program, a model, and an interpreter
+  // is not necessarily built - at least the two models and two reduced
+  // programs went.
+  EXPECT_GE(after.cache_entries_invalidated,
+            warm.cache_entries_invalidated + 4);
+
+  // Surviving levels answer from cache (hits), invalidated levels
+  // rebuild (misses).
+  ASSERT_TRUE(engine->ReducedModel("u").ok());
+  ASSERT_TRUE(engine->ReducedModel("b").ok());
+  EngineCounters hits = engine->Counters();
+  EXPECT_EQ(hits.cache_hits, after.cache_hits + 2);
+  EXPECT_EQ(hits.cache_misses, after.cache_misses);
+
+  ASSERT_TRUE(engine->ReducedModel("a").ok());
+  ASSERT_TRUE(engine->ReducedModel("ts").ok());
+  EngineCounters misses = engine->Counters();
+  EXPECT_GT(misses.cache_misses, hits.cache_misses);
+
+  // A write at the top invalidates only the top; a write at the bottom
+  // takes everything cached.
+  Result<WriteResult> top =
+      engine->Assert("ts[item(kt : id -ts-> kt)].", "ts");
+  ASSERT_TRUE(top.ok()) << top.status();
+  EXPECT_EQ(top->invalidated_levels, std::vector<std::string>{"ts"});
+
+  ASSERT_TRUE(engine->ReducedModel("ts").ok());
+  Result<WriteResult> bottom =
+      engine->Assert("u[item(ku : id -u-> ku)].", "u");
+  ASSERT_TRUE(bottom.ok()) << bottom.status();
+  std::vector<std::string> all = bottom->invalidated_levels;
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, (std::vector<std::string>{"a", "b", "ts", "u"}));
+}
+
+TEST(EngineMutationTest, RejectedWritesLeaveEverythingUntouched) {
+  const std::string dir = ::testing::TempDir() + "/mutation_atomic_" +
+                          std::to_string(::getpid());
+  Result<storage::Storage> st = storage::Storage::Open(dir, kDiamond);
+  ASSERT_TRUE(st.ok()) << st.status();
+  Result<Engine> engine = Engine::FromStorage(&*st);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  ASSERT_TRUE(
+      engine->Assert("a[item(ka : id -a-> ka, val -a-> green)].", "a").ok());
+  for (const char* level : {"u", "a", "b", "ts"}) {
+    ASSERT_TRUE(engine->ReducedModel(level).ok()) << level;
+  }
+  const std::string dump = engine->DumpSource();
+  const EngineCounters before = engine->Counters();
+  const StorageCounters disk = engine->StorageStats();
+  ASSERT_TRUE(disk.attached);
+
+  struct Rejection {
+    const char* what;
+    const char* fact;
+    const char* level;
+    bool retract;
+    bool (Status::*is)() const;
+  };
+  const Rejection kRejections[] = {
+      {"undeclared writing level", "a[item(x : id -a-> x)].", "zzz", false,
+       &Status::IsInvalidArgument},
+      {"fact level != writing level (no write-down)",
+       "u[item(x : id -u-> x)].", "a", false, &Status::IsSecurityViolation},
+      {"fact level != writing level (no write-up)",
+       "ts[item(x : id -ts-> x)].", "a", false, &Status::IsSecurityViolation},
+      {"cell classified above the writing level",
+       "a[item(x : id -ts-> x)].", "a", false, &Status::IsSecurityViolation},
+      {"null key", "a[item(null : id -a-> x)].", "a", false,
+       &Status::IsIntegrityViolation},
+      {"missing key cell", "a[item(x : val -a-> y)].", "a", false,
+       &Status::IsIntegrityViolation},
+      {"entity integrity: value below key classification",
+       "a[item(x : id -a-> x, val -u-> y)].", "a", false,
+       &Status::IsIntegrityViolation},
+      {"polyinstantiation: same key+classification, second value",
+       "u[item(base : id -u-> base, val -u-> other)].", "u", false,
+       &Status::IsIntegrityViolation},
+      {"duplicate assert", "a[item(ka : id -a-> ka, val -a-> green)].", "a",
+       false, &Status::IsInvalidArgument},
+      {"retract of an absent fact", "a[item(nope : id -a-> nope)].", "a",
+       true, &Status::IsNotFound},
+      {"unparsable fact", "this is not multilog", "a", false, nullptr},
+      {"non-fact input (has a body)", "a[item(x : id -a-> x)] :- q(x).", "a",
+       false, nullptr},
+  };
+
+  uint64_t rejections = 0;
+  for (const Rejection& r : kRejections) {
+    Result<WriteResult> w = r.retract ? engine->Retract(r.fact, r.level)
+                                      : engine->Assert(r.fact, r.level);
+    ASSERT_FALSE(w.ok()) << r.what;
+    if (r.is != nullptr) {
+      EXPECT_TRUE((w.status().*r.is)()) << r.what << ": " << w.status();
+    }
+    ++rejections;
+  }
+
+  // Atomicity: no WAL growth, no Sigma change, no cache invalidation,
+  // and the only counter that moved is writes_rejected.
+  EXPECT_EQ(engine->DumpSource(), dump);
+  const StorageCounters disk_after = engine->StorageStats();
+  EXPECT_EQ(disk_after.wal_records, disk.wal_records);
+  EXPECT_EQ(disk_after.wal_bytes, disk.wal_bytes);
+  EXPECT_EQ(disk_after.next_seqno, disk.next_seqno);
+  EngineCounters after = engine->Counters();
+  EXPECT_EQ(after.writes_rejected, before.writes_rejected + rejections);
+  EXPECT_EQ(after.asserts_ok, before.asserts_ok);
+  EXPECT_EQ(after.retracts_ok, before.retracts_ok);
+  EXPECT_EQ(after.invalidation_events, before.invalidation_events);
+  EXPECT_EQ(after.cache_entries_invalidated, before.cache_entries_invalidated);
+
+  // Every level still answers from its warm cache.
+  for (const char* level : {"u", "a", "b", "ts"}) {
+    ASSERT_TRUE(engine->ReducedModel(level).ok()) << level;
+  }
+  EngineCounters hits = engine->Counters();
+  EXPECT_EQ(hits.cache_hits, after.cache_hits + 4);
+  EXPECT_EQ(hits.cache_misses, after.cache_misses);
+}
+
+TEST(EngineMutationTest, RetractRestoresThePriorModel) {
+  Result<Engine> engine = Engine::FromSource(kDiamond);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  const std::string pristine = engine->DumpSource();
+
+  ASSERT_TRUE(
+      engine->Assert("b[item(kb : id -b-> kb, val -b-> blue)].", "b").ok());
+  EXPECT_EQ(AnswerCount(*engine, "b[item(kb : id -R-> kb)] << opt", "b"), 1u);
+  EXPECT_NE(engine->DumpSource(), pristine);
+
+  Result<WriteResult> w =
+      engine->Retract("b[item(kb : id -b-> kb, val -b-> blue)].", "b");
+  ASSERT_TRUE(w.ok()) << w.status();
+  EXPECT_EQ(AnswerCount(*engine, "b[item(kb : id -R-> kb)] << opt", "b"), 0u);
+  EXPECT_EQ(engine->DumpSource(), pristine);
+  EXPECT_EQ(engine->Counters().retracts_ok, 1u);
+}
+
+TEST(EngineMutationTest, CheckpointRequiresStorage) {
+  Result<Engine> engine = Engine::FromSource(kDiamond);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  Status s = engine->Checkpoint();
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument()) << s;
+  EXPECT_EQ(engine->Counters().checkpoints, 0u);
+}
+
+TEST(EngineMutationTest, DurableCheckpointCountsAndCompacts) {
+  const std::string dir = ::testing::TempDir() + "/mutation_ckpt_" +
+                          std::to_string(::getpid());
+  Result<storage::Storage> st = storage::Storage::Open(dir, kDiamond);
+  ASSERT_TRUE(st.ok()) << st.status();
+  Result<Engine> engine = Engine::FromStorage(&*st);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  ASSERT_TRUE(engine->Assert("u[item(k1 : id -u-> k1)].", "u").ok());
+  ASSERT_TRUE(engine->Assert("u[item(k2 : id -u-> k2)].", "u").ok());
+  EXPECT_EQ(engine->StorageStats().wal_records, 2u);
+  ASSERT_TRUE(engine->Checkpoint().ok());
+  StorageCounters disk = engine->StorageStats();
+  EXPECT_EQ(disk.wal_records, 0u);
+  EXPECT_EQ(disk.checkpoints, 1u);
+  EXPECT_EQ(engine->Counters().checkpoints, 1u);
+
+  // Seqnos keep increasing across the checkpoint.
+  Result<WriteResult> w = engine->Assert("u[item(k3 : id -u-> k3)].", "u");
+  ASSERT_TRUE(w.ok()) << w.status();
+  EXPECT_EQ(w->seqno, 3u);
+}
+
+}  // namespace
+}  // namespace multilog::ml
