@@ -4,7 +4,15 @@
 // engine's dumped source is byte-compared against the live engine's,
 // and the run exits non-zero on any mismatch.
 //
-//   $ bench_storage_recovery [--records N] [--dir PATH] [--json PATH]
+// A validation-flatness phase rides along too: it times per-append
+// Definition 5.4 validation over thousands of in-memory appends (no
+// fsync, so validation dominates) and fails the run if the last decile
+// of appends is more than 4x slower than the first - the regression
+// guard for the key-group index that replaced the O(|Sigma|) per-append
+// scan.
+//
+//   $ bench_storage_recovery [--records N] [--validate-appends N]
+//                            [--dir PATH] [--json PATH]
 //
 // Machine-readable record: one JSON object written to --json, or to
 // $MULTILOG_STORAGE_JSON, or to BENCH_storage.json (in that order).
@@ -16,7 +24,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <numeric>
 #include <string>
+#include <vector>
 
 #include "multilog/engine.h"
 #include "server/json.h"
@@ -52,10 +62,20 @@ std::string BenchFact(size_t i) {
   return level + "[bench(" + key + " : id -" + level + "-> " + key + ")].";
 }
 
+/// Mean of `samples[begin, end)` in µs.
+double MeanMicros(const std::vector<double>& samples, size_t begin,
+                  size_t end) {
+  if (begin >= end) return 0;
+  return std::accumulate(samples.begin() + static_cast<ptrdiff_t>(begin),
+                         samples.begin() + static_cast<ptrdiff_t>(end), 0.0) /
+         static_cast<double>(end - begin);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   size_t records = 2000;
+  size_t validate_appends = 4000;
   std::string dir;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
@@ -63,13 +83,16 @@ int main(int argc, char** argv) {
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
     if (arg == "--records") {
       records = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--validate-appends") {
+      validate_appends = static_cast<size_t>(std::atol(next()));
     } else if (arg == "--dir") {
       dir = next();
     } else if (arg == "--json") {
       json_path = next();
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--records N] [--dir PATH] [--json PATH]\n",
+                   "usage: %s [--records N] [--validate-appends N] "
+                   "[--dir PATH] [--json PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -154,17 +177,66 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // --- Validation flatness: per-append cost must not grow with |Sigma|.
+  // In-memory engine (no WAL, no fsync) so Definition 5.4 validation
+  // dominates each append; each fact has a fresh key, so with the
+  // key-group index every check touches a singleton group no matter how
+  // large the database has grown. The old full-scan validator made the
+  // last appends ~|Sigma|/2 times slower than the first.
+  Result<ml::Engine> mem_engine = ml::Engine::FromSource(kBaseSource);
+  if (!mem_engine.ok()) {
+    std::fprintf(stderr, "in-memory engine: %s\n",
+                 mem_engine.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<double> append_micros;
+  append_micros.reserve(validate_appends);
+  for (size_t i = 0; i < validate_appends; ++i) {
+    const std::string level = kLevels[i % 3];
+    const std::string key = "vk" + std::to_string(i);
+    const std::string fact =
+        level + "[vbench(" + key + " : id -" + level + "-> " + key + ")].";
+    const auto start = std::chrono::steady_clock::now();
+    Result<ml::WriteResult> w = mem_engine->Assert(fact, level);
+    append_micros.push_back(std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - start)
+                                .count());
+    if (!w.ok()) {
+      std::fprintf(stderr, "in-memory assert %s: %s\n", fact.c_str(),
+                   w.status().ToString().c_str());
+      return 1;
+    }
+  }
+  const size_t decile = validate_appends / 10;
+  const double first_decile_us = MeanMicros(append_micros, 0, decile);
+  const double last_decile_us =
+      MeanMicros(append_micros, validate_appends - decile, validate_appends);
+  const double flatness_ratio =
+      first_decile_us > 0 ? last_decile_us / first_decile_us : 0;
+  const bool flat = decile == 0 || flatness_ratio < 4.0;
+  if (!flat) {
+    std::fprintf(stderr,
+                 "FAIL: per-append validation cost grew with database size "
+                 "(first decile %.2f us, last decile %.2f us, ratio %.1fx "
+                 ">= 4x)\n",
+                 first_decile_us, last_decile_us, flatness_ratio);
+    return 1;
+  }
+
   const double appends_per_sec =
       append_ms > 0 ? static_cast<double>(records) / (append_ms / 1000.0) : 0;
   std::printf(
       "storage: %zu fsynced appends in %.1f ms (%.0f/s, %.3f ms/append)\n"
       "recovery: %.1f ms from %zu-record WAL (%llu bytes), "
       "%.1f ms from compacted snapshot (checkpoint took %.1f ms)\n"
-      "byte-identity: WAL and snapshot recovery both match the live model\n",
+      "byte-identity: WAL and snapshot recovery both match the live model\n"
+      "validation: %zu in-memory appends, first decile %.2f us/append, "
+      "last decile %.2f us/append (ratio %.2fx, flat)\n",
       records, append_ms, appends_per_sec,
       records > 0 ? append_ms / static_cast<double>(records) : 0,
       wal_recovery_ms, records, static_cast<unsigned long long>(wal_bytes),
-      snap_recovery_ms, checkpoint_ms);
+      snap_recovery_ms, checkpoint_ms, validate_appends, first_decile_us,
+      last_decile_us, flatness_ratio);
 
   Json record = Json::Object();
   record.Set("bench", Json::Str("storage_recovery"));
@@ -176,6 +248,11 @@ int main(int argc, char** argv) {
   record.Set("checkpoint_ms", Json::Double(checkpoint_ms));
   record.Set("snapshot_recovery_ms", Json::Double(snap_recovery_ms));
   record.Set("byte_identical", Json::Bool(true));
+  record.Set("validate_appends", Json::Int(static_cast<int64_t>(validate_appends)));
+  record.Set("validate_first_decile_us", Json::Double(first_decile_us));
+  record.Set("validate_last_decile_us", Json::Double(last_decile_us));
+  record.Set("validate_flatness_ratio", Json::Double(flatness_ratio));
+  record.Set("validate_flat", Json::Bool(true));
   std::ofstream out(json_path, std::ios::trunc);
   out << record.Serialize() << "\n";
   std::printf("wrote %s\n", json_path.c_str());

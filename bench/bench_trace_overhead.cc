@@ -1,0 +1,209 @@
+// Trace overhead guard + per-stage latency breakdown.
+//
+// Two jobs, one binary:
+//
+//  1. **Overhead guard**: transitive closure on a random graph (the
+//     tc_random workload of bench_scaling_datalog), timed min-of-N
+//     with tracing disabled and with tracing globally enabled,
+//     interleaved so machine drift hits both sides equally. The run
+//     fails (exit 1) if enabling tracing costs more than
+//     --max-overhead-pct. The disabled state costs strictly less than
+//     the enabled one (a Span that is off never reads the clock), so
+//     this bound covers the "compiled in but off" contract too.
+//
+//  2. **Stage breakdown**: the per-stage aggregate counters accumulated
+//     during the traced runs, plus a traced Figure 11 query (r10
+//     against the D1 database) whose span tree is flattened into
+//     per-stage totals - the numbers behind EXPERIMENTS.md's per-stage
+//     latency table.
+//
+//   $ bench_trace_overhead [--nodes N] [--reps N] [--max-overhead-pct P]
+//                          [--json PATH]
+//
+// Machine-readable record: one JSON object written to --json, or to
+// $MULTILOG_STAGES_JSON, or to BENCH_stages.json (in that order).
+// scripts/run_experiments.sh picks it up as the observability
+// experiment.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <random>
+#include <string>
+
+#include "common/trace.h"
+#include "datalog/eval.h"
+#include "datalog/parser.h"
+#include "mls/sample_data.h"
+#include "multilog/engine.h"
+#include "server/json.h"
+
+namespace {
+
+using namespace multilog;
+using server::Json;
+
+/// The tc_random workload: `nodes` vertices, 4x as many random edges,
+/// transitive closure. Mirrors bench_scaling_datalog's generator (same
+/// seed) so the overhead number is measured on a familiar workload.
+datalog::Program RandomGraph(int nodes, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> pick(0, nodes - 1);
+  datalog::Program p;
+  for (int i = 0; i < nodes * 4; ++i) {
+    p.AddFact(datalog::Atom(
+        "edge", {datalog::Term::Sym("n" + std::to_string(pick(rng))),
+                 datalog::Term::Sym("n" + std::to_string(pick(rng)))}));
+  }
+  auto parsed = datalog::ParseDatalog(
+      "path(X, Y) :- edge(X, Y). path(X, Y) :- edge(X, Z), path(Z, Y).");
+  p.Append(parsed->program);
+  return p;
+}
+
+/// One timed evaluation, in milliseconds. Aborts on evaluation failure
+/// (the workload is statically valid, so a failure is a bench bug).
+double TimedEvalMs(const datalog::Program& p) {
+  const auto start = std::chrono::steady_clock::now();
+  auto model = datalog::Evaluate(p);
+  const auto stop = std::chrono::steady_clock::now();
+  if (!model.ok()) std::abort();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+/// Flattens a span tree into per-stage (count, total µs) aggregates.
+void AccumulateStages(const trace::SpanNode& node,
+                      std::array<trace::StageTotal, trace::kNumStages>* out) {
+  auto& slot = (*out)[static_cast<size_t>(node.stage)];
+  slot.count += 1;
+  slot.total_micros += node.duration_micros;
+  for (const trace::SpanNode& child : node.children) {
+    AccumulateStages(child, out);
+  }
+}
+
+/// Stage aggregates as a JSON array, zero-count stages omitted.
+Json StagesJson(const std::array<trace::StageTotal, trace::kNumStages>& agg) {
+  Json arr = Json::Array();
+  for (size_t i = 0; i < trace::kNumStages; ++i) {
+    if (agg[i].count == 0) continue;
+    Json entry = Json::Object();
+    entry.Set("stage", Json::Str(trace::StageName(static_cast<trace::Stage>(i))));
+    entry.Set("count", Json::Int(static_cast<int64_t>(agg[i].count)));
+    entry.Set("total_us", Json::Int(static_cast<int64_t>(agg[i].total_micros)));
+    arr.Push(entry);
+  }
+  return arr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int nodes = 256;
+  int reps = 9;
+  double max_overhead_pct = 2.0;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (arg == "--nodes") {
+      nodes = std::atoi(next());
+    } else if (arg == "--reps") {
+      reps = std::atoi(next());
+    } else if (arg == "--max-overhead-pct") {
+      max_overhead_pct = std::atof(next());
+    } else if (arg == "--json") {
+      json_path = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--nodes N] [--reps N] [--max-overhead-pct P] "
+                   "[--json PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (json_path.empty()) {
+    const char* env = std::getenv("MULTILOG_STAGES_JSON");
+    json_path = env != nullptr ? env : "BENCH_stages.json";
+  }
+
+  // --- Overhead guard: min-of-N, off/on interleaved. -----------------
+  const datalog::Program p = RandomGraph(nodes, 7);
+  trace::SetEnabled(false);
+  TimedEvalMs(p);  // warmup (allocator, caches)
+  trace::ResetAggregates();
+  double off_ms = 0;
+  double on_ms = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    trace::SetEnabled(false);
+    const double off = TimedEvalMs(p);
+    trace::SetEnabled(true);
+    const double on = TimedEvalMs(p);
+    if (rep == 0 || off < off_ms) off_ms = off;
+    if (rep == 0 || on < on_ms) on_ms = on;
+  }
+  trace::SetEnabled(false);
+  const auto eval_stages = trace::AggregatedStages();
+  const double overhead_pct =
+      off_ms > 0 ? (on_ms - off_ms) / off_ms * 100.0 : 0;
+
+  std::printf(
+      "trace overhead (tc_random, %d nodes, min of %d): "
+      "untraced %.3f ms, traced %.3f ms, overhead %.2f%% (limit %.1f%%)\n",
+      nodes, reps, off_ms, on_ms, overhead_pct, max_overhead_pct);
+  if (overhead_pct > max_overhead_pct) {
+    std::fprintf(stderr,
+                 "FAIL: tracing overhead %.2f%% exceeds the %.1f%% budget\n",
+                 overhead_pct, max_overhead_pct);
+    return 1;
+  }
+
+  // --- Traced Figure 11 query: the engine-stage breakdown. -----------
+  Result<ml::Engine> engine = ml::Engine::FromSource(mls::D1Source());
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  trace::Collector collector;
+  std::array<trace::StageTotal, trace::kNumStages> query_stages{};
+  uint64_t d1_wall_us = 0;
+  {
+    trace::ScopedCollector install(&collector);
+    Result<ml::QueryResult> result = engine->QuerySource(
+        "?- c[p(k : a -R-> v)] << opt.", /*user_level=*/"s");
+    if (!result.ok()) {
+      std::fprintf(stderr, "query: %s\n", result.status().ToString().c_str());
+      return 1;
+    }
+  }
+  const trace::SpanNode root = collector.Finish();
+  d1_wall_us = root.duration_micros;
+  AccumulateStages(root, &query_stages);
+
+  std::printf("figure 11 traced query: %llu us wall, stages:",
+              static_cast<unsigned long long>(d1_wall_us));
+  for (size_t i = 1; i < trace::kNumStages; ++i) {
+    if (query_stages[i].count == 0) continue;
+    std::printf(" %s=%lluus",
+                trace::StageName(static_cast<trace::Stage>(i)),
+                static_cast<unsigned long long>(query_stages[i].total_micros));
+  }
+  std::printf("\n");
+
+  Json record = Json::Object();
+  record.Set("bench", Json::Str("trace_overhead"));
+  record.Set("nodes", Json::Int(nodes));
+  record.Set("reps", Json::Int(reps));
+  record.Set("untraced_ms", Json::Double(off_ms));
+  record.Set("traced_ms", Json::Double(on_ms));
+  record.Set("overhead_pct", Json::Double(overhead_pct));
+  record.Set("max_overhead_pct", Json::Double(max_overhead_pct));
+  record.Set("eval_stages", StagesJson(eval_stages));
+  record.Set("d1_query_wall_us", Json::Int(static_cast<int64_t>(d1_wall_us)));
+  record.Set("d1_query_stages", StagesJson(query_stages));
+  std::ofstream out(json_path, std::ios::trunc);
+  out << record.Serialize() << "\n";
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

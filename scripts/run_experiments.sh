@@ -6,9 +6,11 @@
 # records are collected into BENCH_scaling.json (an array of
 # {"bench", "size", "threads", "wall_ms"} objects). The multilogd load
 # generator writes its serving record (QPS, latency percentiles,
-# byte-identity check) to BENCH_server.json, and the storage benchmark
+# byte-identity check) to BENCH_server.json, the storage benchmark
 # writes its persistence record (append throughput, recovery latency,
-# byte-identity check) to BENCH_storage.json.
+# byte-identity check, per-append validation flatness) to
+# BENCH_storage.json, and the trace-overhead guard writes the per-stage
+# latency breakdown to BENCH_stages.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,7 +24,10 @@ for b in build/bench/*; do
   # The server load generator and the storage benchmark run separately
   # below (they take flags and write their own records); everything else
   # is a google-benchmark binary.
-  case "$b" in */bench_server_loadgen|*/bench_storage_recovery) continue ;; esac
+  case "$b" in
+    */bench_server_loadgen|*/bench_storage_recovery|*/bench_trace_overhead)
+      continue ;;
+  esac
   [ -x "$b" ] && MULTILOG_SCALING_JSON="$scaling_lines" "$b"
 done 2>&1 | tee bench_output.txt
 
@@ -32,6 +37,9 @@ build/bench/bench_server_loadgen --clients 8 --queries 200 --workers 4 \
 build/bench/bench_storage_recovery --records 2000 \
   --dir build/bench_storage_data --json BENCH_storage.json \
   2>&1 | tee -a bench_output.txt
+
+build/bench/bench_trace_overhead --nodes 256 --reps 9 \
+  --json BENCH_stages.json 2>&1 | tee -a bench_output.txt
 
 {
   echo '['

@@ -11,6 +11,7 @@
 #include <unordered_set>
 
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "datalog/stratify.h"
 
 namespace multilog::datalog {
@@ -497,37 +498,42 @@ Status EvaluateStratumSeminaive(const std::vector<const Clause*>& clauses,
   // group map); plain clauses are one work item each.
   std::vector<Atom> delta;
   {
+    trace::Span round_span(trace::Stage::kEvalRound);
     MULTILOG_RETURN_IF_ERROR(CheckCancelled(options.cancel));
     EmitBudget budget{options.max_facts, model->size(), options.cancel};
     std::vector<Atom> derived;
-    if (pool == nullptr) {
-      for (const Clause* c : clauses) {
-        if (c->is_aggregate()) {
-          MULTILOG_RETURN_IF_ERROR(
-              ApplyAggregateClause(*c, *model, &budget, stats, &derived));
-        } else {
-          MULTILOG_RETURN_IF_ERROR(ApplyClause(*c, *model, nullptr, nullptr,
-                                               -1, &budget, stats, &derived));
+    {
+      trace::Span join_span(trace::Stage::kEvalJoin);
+      if (pool == nullptr) {
+        for (const Clause* c : clauses) {
+          if (c->is_aggregate()) {
+            MULTILOG_RETURN_IF_ERROR(
+                ApplyAggregateClause(*c, *model, &budget, stats, &derived));
+          } else {
+            MULTILOG_RETURN_IF_ERROR(ApplyClause(
+                *c, *model, nullptr, nullptr, -1, &budget, stats, &derived));
+          }
         }
-      }
-    } else {
-      std::vector<const Clause*> plain;
-      for (const Clause* c : clauses) {
-        if (c->is_aggregate()) {
-          MULTILOG_RETURN_IF_ERROR(
-              ApplyAggregateClause(*c, *model, &budget, stats, &derived));
-        } else {
-          plain.push_back(c);
+      } else {
+        std::vector<const Clause*> plain;
+        for (const Clause* c : clauses) {
+          if (c->is_aggregate()) {
+            MULTILOG_RETURN_IF_ERROR(
+                ApplyAggregateClause(*c, *model, &budget, stats, &derived));
+          } else {
+            plain.push_back(c);
+          }
         }
+        MULTILOG_RETURN_IF_ERROR(RunRound(
+            pool, plain.size(),
+            [&](size_t i, EvalStats* s, std::vector<Atom>* out) {
+              return ApplyClause(*plain[i], *model, nullptr, nullptr, -1,
+                                 &budget, s, out);
+            },
+            stats, &derived));
       }
-      MULTILOG_RETURN_IF_ERROR(RunRound(
-          pool, plain.size(),
-          [&](size_t i, EvalStats* s, std::vector<Atom>* out) {
-            return ApplyClause(*plain[i], *model, nullptr, nullptr, -1,
-                               &budget, s, out);
-          },
-          stats, &derived));
     }
+    trace::Span merge_span(trace::Stage::kEvalMerge);
     for (Atom& a : derived) {
       if (model->Insert(a)) delta.push_back(std::move(a));
     }
@@ -539,6 +545,7 @@ Status EvaluateStratumSeminaive(const std::vector<const Clause*>& clauses,
   // clause x delta chunk); every worker reads the same frozen model and
   // delta, so the round is embarrassingly parallel.
   while (!delta.empty()) {
+    trace::Span round_span(trace::Stage::kEvalRound);
     MULTILOG_RETURN_IF_ERROR(CheckCancelled(options.cancel));
     if (model->size() > options.max_facts) {
       return Status::ResourceExhausted(
@@ -587,15 +594,19 @@ Status EvaluateStratumSeminaive(const std::vector<const Clause*>& clauses,
     }
 
     std::vector<Atom> derived;
-    MULTILOG_RETURN_IF_ERROR(RunRound(
-        pool, items.size(),
-        [&](size_t i, EvalStats* s, std::vector<Atom>* out) {
-          const Item& it = items[i];
-          return ApplyClause(*it.clause, *model, delta.data() + it.begin,
-                             delta.data() + it.end, 0, &budget, s, out);
-        },
-        stats, &derived));
+    {
+      trace::Span join_span(trace::Stage::kEvalJoin);
+      MULTILOG_RETURN_IF_ERROR(RunRound(
+          pool, items.size(),
+          [&](size_t i, EvalStats* s, std::vector<Atom>* out) {
+            const Item& it = items[i];
+            return ApplyClause(*it.clause, *model, delta.data() + it.begin,
+                               delta.data() + it.end, 0, &budget, s, out);
+          },
+          stats, &derived));
+    }
 
+    trace::Span merge_span(trace::Stage::kEvalMerge);
     std::vector<Atom> next_delta;
     for (Atom& a : derived) {
       if (model->Insert(a)) next_delta.push_back(std::move(a));

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/str_util.h"
+#include "common/trace.h"
 
 namespace multilog::mls {
 
@@ -253,12 +254,18 @@ Result<BeliefOutcome> Believe(const Relation& relation,
                               const BeliefOptions& options) {
   MULTILOG_RETURN_IF_ERROR(relation.lat().Index(level).status());
   switch (mode) {
-    case BeliefMode::kFirm:
+    case BeliefMode::kFirm: {
+      trace::Span span(trace::Stage::kBeliefFirm);
       return BelieveFirm(relation, level);
-    case BeliefMode::kOptimistic:
+    }
+    case BeliefMode::kOptimistic: {
+      trace::Span span(trace::Stage::kBeliefOptimistic);
       return BelieveOptimistic(relation, level);
-    case BeliefMode::kCautious:
+    }
+    case BeliefMode::kCautious: {
+      trace::Span span(trace::Stage::kBeliefCautious);
       return BelieveCautious(relation, level, options);
+    }
   }
   return Status::Internal("unreachable belief mode");
 }

@@ -138,13 +138,23 @@ const MCell* FindKeyCell(const MAtom& m) {
   return nullptr;
 }
 
+/// The (c_AK, attribute, c_i) part of a functional-dependency key -
+/// group-local, i.e. relative to a fixed (predicate, key) pair. The
+/// cross-fact maps used by the full scans prepend a "pred|key|" prefix;
+/// SigmaIndex groups use this form directly.
+std::string FdCellKey(const std::string& c_ak, const MCell& c) {
+  return c_ak + "|" + c.attribute + "|" + c.classification.name();
+}
+
 /// The Definition 5.4 checks for one ground molecule whose key cell was
 /// already located: entity integrity (every classification dominates
 /// c_AK), null integrity (nulls live at c_AK), and polyinstantiation
 /// integrity against (and into) the shared functional-dependency map
-/// (p, k, c_AK, a, c_i) -> v.
+/// keyed by `key_prefix` + FdCellKey (i.e. (p, k, c_AK, a, c_i) -> v
+/// when the prefix identifies the molecule's predicate and key).
 Status CheckMolecule(const MAtom& m, const std::string& c_ak,
                      const lattice::SecurityLattice& lat,
+                     const std::string& key_prefix,
                      std::map<std::string, Term>* fd) {
   for (const MCell& c : m.cells) {
     MULTILOG_ASSIGN_OR_RETURN(bool dominates,
@@ -159,9 +169,8 @@ Status CheckMolecule(const MAtom& m, const std::string& c_ak,
           "null integrity: null attribute '" + c.attribute +
           "' not classified at c_AK in " + m.ToString());
     }
-    std::string fd_key = m.predicate + "|" + m.key.ToString() + "|" + c_ak +
-                         "|" + c.attribute + "|" + c.classification.name();
-    auto [it, inserted] = fd->emplace(fd_key, c.value);
+    auto [it, inserted] = fd->emplace(key_prefix + FdCellKey(c_ak, c),
+                                      c.value);
     if (!inserted && it->second != c.value) {
       return Status::IntegrityViolation(
           "polyinstantiation integrity: (p, k, c_AK, a, c_i) -> v "
@@ -171,6 +180,12 @@ Status CheckMolecule(const MAtom& m, const std::string& c_ak,
     }
   }
   return Status::OK();
+}
+
+/// The "pred|key|" prefix scoping a molecule's FD entries in the
+/// cross-fact maps.
+std::string FdGroupPrefix(const MAtom& m) {
+  return m.predicate + "|" + m.key.ToString() + "|";
 }
 
 }  // namespace
@@ -199,8 +214,8 @@ Status CheckConsistent(const Database& db,
           "no key cell (a -c-> k with value = key) in m-predicate " +
           m->ToString());
     }
-    MULTILOG_RETURN_IF_ERROR(
-        CheckMolecule(*m, key_cell->classification.name(), lat, &fd));
+    MULTILOG_RETURN_IF_ERROR(CheckMolecule(
+        *m, key_cell->classification.name(), lat, FdGroupPrefix(*m), &fd));
   }
   return Status::OK();
 }
@@ -235,13 +250,115 @@ Status CheckFactIntegrity(const Database& db,
     const MCell* stored_key = FindKeyCell(*m);
     if (stored_key == nullptr) continue;
     const std::string c_ak = stored_key->classification.name();
+    const std::string prefix = FdGroupPrefix(*m);
     for (const MCell& c : m->cells) {
-      fd.emplace(m->predicate + "|" + m->key.ToString() + "|" + c_ak + "|" +
-                     c.attribute + "|" + c.classification.name(),
-                 c.value);
+      fd.emplace(prefix + FdCellKey(c_ak, c), c.value);
     }
   }
-  return CheckMolecule(fact, key_cell->classification.name(), lat, &fd);
+  return CheckMolecule(fact, key_cell->classification.name(), lat,
+                       FdGroupPrefix(fact), &fd);
+}
+
+std::string SigmaIndex::FactKey(const MAtom& fact) {
+  // The canonical source text: the exact string the WAL logs and
+  // DumpSource emits, so text equality is structural equality.
+  return MlClause{fact, {}}.ToString();
+}
+
+std::string SigmaIndex::GroupKey(const MAtom& fact) {
+  return fact.predicate + "|" + fact.key.ToString();
+}
+
+SigmaIndex SigmaIndex::Build(const Database& db) {
+  SigmaIndex index;
+  for (const MlClause& clause : db.sigma) {
+    if (!clause.IsFact()) continue;
+    if (const auto* m = std::get_if<MAtom>(&clause.head)) {
+      index.Add(*m);
+    }
+  }
+  return index;
+}
+
+void SigmaIndex::Add(const MAtom& fact) {
+  ++fact_counts_[FactKey(fact)];
+  if (!IsGroundMolecule(fact)) return;
+  const MCell* key_cell = FindKeyCell(fact);
+  if (key_cell == nullptr) return;  // grandfathered: no tuple identity
+  const std::string& c_ak = key_cell->classification.name();
+  Group& group = groups_[GroupKey(fact)];
+  for (const MCell& c : fact.cells) {
+    auto [it, inserted] =
+        group.emplace(FdCellKey(c_ak, c), FdEntry{c.value, 0});
+    // A pre-existing entry with a different value can only come from an
+    // inconsistent stored Sigma (loaded without the consistency check);
+    // such cells keep the first value, exactly like the full-scan seed,
+    // and are not refcounted against it.
+    if (inserted || it->second.value == c.value) ++it->second.count;
+  }
+}
+
+void SigmaIndex::Remove(const MAtom& fact) {
+  auto fit = fact_counts_.find(FactKey(fact));
+  if (fit != fact_counts_.end() && --fit->second == 0) {
+    fact_counts_.erase(fit);
+  }
+  if (!IsGroundMolecule(fact)) return;
+  const MCell* key_cell = FindKeyCell(fact);
+  if (key_cell == nullptr) return;
+  auto git = groups_.find(GroupKey(fact));
+  if (git == groups_.end()) return;
+  const std::string& c_ak = key_cell->classification.name();
+  for (const MCell& c : fact.cells) {
+    auto it = git->second.find(FdCellKey(c_ak, c));
+    if (it != git->second.end() && it->second.value == c.value &&
+        --it->second.count == 0) {
+      git->second.erase(it);
+    }
+  }
+  if (git->second.empty()) groups_.erase(git);
+}
+
+size_t SigmaIndex::FactCount(const MAtom& fact) const {
+  auto it = fact_counts_.find(FactKey(fact));
+  return it == fact_counts_.end() ? 0 : it->second;
+}
+
+const SigmaIndex::Group* SigmaIndex::GroupFor(const MAtom& fact) const {
+  auto it = groups_.find(GroupKey(fact));
+  return it == groups_.end() ? nullptr : &it->second;
+}
+
+Status CheckFactIntegrity(const SigmaIndex& index,
+                          const lattice::SecurityLattice& lat,
+                          const MAtom& fact) {
+  if (!IsGroundMolecule(fact)) {
+    return Status::IntegrityViolation(
+        "Definition 5.4 requires a fully ground fact; '" + fact.ToString() +
+        "' contains variables");
+  }
+  if (IsNullTerm(fact.key)) {
+    return Status::IntegrityViolation("entity integrity: null key in " +
+                                      fact.ToString());
+  }
+  const MCell* key_cell = FindKeyCell(fact);
+  if (key_cell == nullptr) {
+    return Status::IntegrityViolation(
+        "no key cell (a -c-> k with value = key) in m-predicate " +
+        fact.ToString());
+  }
+
+  // Only the written fact's key group can participate in the functional
+  // dependency, so only it is materialized; every other group is
+  // irrelevant by construction of the FD key.
+  std::map<std::string, Term> fd;
+  if (const SigmaIndex::Group* group = index.GroupFor(fact)) {
+    for (const auto& [slot, entry] : *group) {
+      fd.emplace(slot, entry.value);
+    }
+  }
+  return CheckMolecule(fact, key_cell->classification.name(), lat,
+                       /*key_prefix=*/"", &fd);
 }
 
 Result<CheckedDatabase> CheckDatabase(Database db, bool require_consistency) {

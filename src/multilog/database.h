@@ -1,7 +1,10 @@
 #ifndef MULTILOG_MULTILOG_DATABASE_H_
 #define MULTILOG_MULTILOG_DATABASE_H_
 
+#include <cstddef>
+#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -57,6 +60,70 @@ Status CheckConsistent(const Database& db,
 ///    write - but nothing a checked write adds can collide with them
 ///    either, keeping the checked subset of Sigma consistent forever.
 Status CheckFactIntegrity(const Database& db,
+                          const lattice::SecurityLattice& lat,
+                          const MAtom& fact);
+
+/// An incrementally maintained index over the stored Sigma facts,
+/// making the per-append work that used to scan all of Sigma - the
+/// duplicate/existence check and the Definition 5.4 functional
+/// dependency - touch only the written fact's key group. Two maps:
+///
+///  - fact counts, keyed by the fact's canonical source text (the same
+///    text the WAL and DumpSource round-trip, so text equality is
+///    structural equality): O(1) duplicate detection for asserts and
+///    existence checks for retracts;
+///  - key groups, keyed by "predicate|key": each group holds the
+///    (c_AK, attribute, c_i) -> value functional dependency entries
+///    contributed by the stored ground facts sharing that key, with a
+///    contribution count so retracts can withdraw exactly their own
+///    entries. Only ground molecular facts with a key cell participate
+///    (the same subset CheckFactIntegrity checks; everything else is
+///    grandfathered, exactly as before).
+///
+/// The owner (ml::Engine) must call Add/Remove for every fact entering
+/// or leaving Sigma, under whatever lock serializes mutations.
+class SigmaIndex {
+ public:
+  /// One functional-dependency entry: the value stored for a
+  /// (c_AK, attribute, c_i) slot of the group's key, plus how many
+  /// stored facts contribute it.
+  struct FdEntry {
+    Term value;
+    size_t count = 0;
+  };
+  using Group = std::map<std::string, FdEntry>;
+
+  SigmaIndex() = default;
+
+  /// Indexes every stored fact of `db.sigma`.
+  static SigmaIndex Build(const Database& db);
+
+  void Add(const MAtom& fact);
+  void Remove(const MAtom& fact);
+
+  /// How many stored facts are structurally equal to `fact`.
+  size_t FactCount(const MAtom& fact) const;
+
+  /// The functional-dependency group for `fact`'s (predicate, key), or
+  /// nullptr when no stored fact shares it. Group keys are
+  /// "c_AK|attribute|c_i".
+  const Group* GroupFor(const MAtom& fact) const;
+
+  size_t group_count() const { return groups_.size(); }
+
+ private:
+  static std::string FactKey(const MAtom& fact);
+  static std::string GroupKey(const MAtom& fact);
+
+  std::unordered_map<std::string, size_t> fact_counts_;
+  std::unordered_map<std::string, Group> groups_;
+};
+
+/// Definition 5.4 at the write boundary, O(key group): identical
+/// semantics to the Database overload above, but the stored-Sigma side
+/// of the polyinstantiation dependency comes from `index` instead of a
+/// full scan. `index` must reflect exactly the current Sigma.
+Status CheckFactIntegrity(const SigmaIndex& index,
                           const lattice::SecurityLattice& lat,
                           const MAtom& fact);
 

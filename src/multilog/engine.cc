@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/str_util.h"
+#include "common/trace.h"
 #include "multilog/parser.h"
 
 namespace multilog::ml {
@@ -158,6 +159,7 @@ Result<const ReducedProgram*> Engine::ReducedLocked(
   // Build outside the structure lock (Reduce only reads cdb_, which
   // db_mu protects), then publish; on a race the first insert wins and
   // both callers see it.
+  trace::Span reduce_span(trace::Stage::kReduce);
   MULTILOG_ASSIGN_OR_RETURN(ReducedProgram rp,
                             Reduce(cdb_, user_level, options_.reduction));
   std::unique_lock<std::shared_mutex> lock(caches_->mu);
@@ -193,11 +195,18 @@ Result<const datalog::Model*> Engine::ReducedModelLocked(
                             ReducedLocked(user_level));
   datalog::EvalOptions eval = options_.eval;
   eval.cancel = cancel;
-  MULTILOG_ASSIGN_OR_RETURN(Model raw, datalog::Evaluate(rp->program, eval));
+  Model raw;
+  {
+    trace::Span eval_span(trace::Stage::kEvalModel);
+    MULTILOG_ASSIGN_OR_RETURN(raw, datalog::Evaluate(rp->program, eval));
+  }
   Model decoded;
-  for (const std::string& pred : raw.Predicates()) {
-    for (const Atom& fact : raw.FactsFor(pred)) {
-      decoded.Insert(DecodeFact(fact));
+  {
+    trace::Span decode_span(trace::Stage::kDecodeModel);
+    for (const std::string& pred : raw.Predicates()) {
+      for (const Atom& fact : raw.FactsFor(pred)) {
+        decoded.Insert(DecodeFact(fact));
+      }
     }
   }
   std::unique_lock<std::shared_mutex> lock(caches_->mu);
@@ -259,6 +268,7 @@ Result<QueryResult> Engine::QueryLocked(const std::vector<MlLiteral>& goal,
 
   QueryResult operational;
   if (mode == ExecMode::kOperational || mode == ExecMode::kCheckBoth) {
+    trace::Span solve_span(trace::Stage::kOperationalSolve);
     MULTILOG_ASSIGN_OR_RETURN(InterpreterSlot * slot,
                               GetInterpreterSlot(user_level));
     // Solving mutates the interpreter's call tables, so hold the
@@ -288,6 +298,7 @@ Result<QueryResult> Engine::QueryLocked(const std::vector<MlLiteral>& goal,
     MULTILOG_ASSIGN_OR_RETURN(std::vector<datalog::Literal> generic,
                               TranslateGoalGeneric(goal, user_level));
     (void)rp;
+    trace::Span query_span(trace::Stage::kQueryModel);
     MULTILOG_ASSIGN_OR_RETURN(std::vector<Substitution> answers,
                               datalog::QueryModel(*model, generic, cancel));
     reduced.answers = std::move(answers);
@@ -296,6 +307,7 @@ Result<QueryResult> Engine::QueryLocked(const std::vector<MlLiteral>& goal,
   if (mode == ExecMode::kReduced) return reduced;
 
   // kCheckBoth: Theorem 6.1 as an executable assertion.
+  trace::Span compare_span(trace::Stage::kCheckCompare);
   std::vector<Substitution> a = operational.answers;
   std::vector<Substitution> b = reduced.answers;
   auto by_text = [](const Substitution& x, const Substitution& y) {
@@ -364,52 +376,56 @@ Result<WriteResult> Engine::Mutate(std::string_view fact_source,
   // --- Validate: security pinning, then integrity. Nothing below this
   // block may fail after the WAL append (write-ahead discipline), so
   // every rejection happens here, before any state - durable or
-  // in-memory - changes.
-  if (!cdb_.lattice.Contains(level)) {
-    return rejected(Status::InvalidArgument(
-        "unknown writing level '" + level + "' (not asserted by Lambda)"));
-  }
-  if (!fact.level.IsSymbol() || fact.level.name() != level) {
-    return rejected(Status::SecurityViolation(
-        "a subject cleared at '" + level + "' may only write " + level +
-        "-facts (no write-up, no write-down); got " + fact.ToString()));
-  }
-  for (const MCell& c : fact.cells) {
-    if (!c.classification.IsSymbol()) {
-      return rejected(Status::SecurityViolation(
-          "classification of attribute '" + c.attribute +
-          "' must be a ground level, got " + c.classification.ToString()));
+  // in-memory - changes. The duplicate/existence and Definition 5.4
+  // checks go through sigma_index_, so their cost is O(key group), not
+  // O(|Sigma|).
+  Status valid = [&]() -> Status {
+    trace::Span validate_span(trace::Stage::kValidate);
+    if (!cdb_.lattice.Contains(level)) {
+      return Status::InvalidArgument(
+          "unknown writing level '" + level + "' (not asserted by Lambda)");
     }
-    const std::string& cl = c.classification.name();
-    if (!cdb_.lattice.Contains(cl)) {
-      return rejected(Status::SecurityViolation(
-          "classification '" + cl + "' is not a level of Lambda"));
+    if (!fact.level.IsSymbol() || fact.level.name() != level) {
+      return Status::SecurityViolation(
+          "a subject cleared at '" + level + "' may only write " + level +
+          "-facts (no write-up, no write-down); got " + fact.ToString());
     }
-    Result<bool> leq = cdb_.lattice.Leq(cl, level);
-    if (!leq.ok()) return rejected(leq.status());
-    if (!leq.value()) {
-      return rejected(Status::SecurityViolation(
-          "classification '" + cl + "' of attribute '" + c.attribute +
-          "' is not dominated by the writing level '" + level + "'"));
+    for (const MCell& c : fact.cells) {
+      if (!c.classification.IsSymbol()) {
+        return Status::SecurityViolation(
+            "classification of attribute '" + c.attribute +
+            "' must be a ground level, got " + c.classification.ToString());
+      }
+      const std::string& cl = c.classification.name();
+      if (!cdb_.lattice.Contains(cl)) {
+        return Status::SecurityViolation("classification '" + cl +
+                                         "' is not a level of Lambda");
+      }
+      Result<bool> leq = cdb_.lattice.Leq(cl, level);
+      if (!leq.ok()) return leq.status();
+      if (!leq.value()) {
+        return Status::SecurityViolation(
+            "classification '" + cl + "' of attribute '" + c.attribute +
+            "' is not dominated by the writing level '" + level + "'");
+      }
     }
-  }
 
-  auto match = FindStoredFact(&cdb_.db.sigma, fact);
-  if (retract) {
-    if (match == cdb_.db.sigma.end()) {
-      return rejected(
-          Status::NotFound("no such stored fact to retract: " +
-                           fact.ToString() +
-                           " (derived facts cannot be retracted)"));
+    const size_t stored_count = sigma_index_.FactCount(fact);
+    if (retract) {
+      if (stored_count == 0) {
+        return Status::NotFound("no such stored fact to retract: " +
+                                fact.ToString() +
+                                " (derived facts cannot be retracted)");
+      }
+      return Status::OK();
     }
-  } else {
-    if (match != cdb_.db.sigma.end()) {
-      return rejected(Status::InvalidArgument("fact already asserted: " +
-                                              fact.ToString()));
+    if (stored_count > 0) {
+      return Status::InvalidArgument("fact already asserted: " +
+                                     fact.ToString());
     }
-    Status integrity = CheckFactIntegrity(cdb_.db, cdb_.lattice, fact);
-    if (!integrity.ok()) return rejected(std::move(integrity));
-  }
+    return CheckFactIntegrity(sigma_index_, cdb_.lattice, fact);
+  }();
+  if (!valid.ok()) return rejected(std::move(valid));
 
   // --- Log (durable engines): fsynced before memory changes. An I/O
   // failure here is not a rejection - the write is simply not committed,
@@ -425,12 +441,15 @@ Result<WriteResult> Engine::Mutate(std::string_view fact_source,
     result.seqno = ++mem_seqno_;
   }
 
-  // --- Apply + invalidate. `match` stays valid: nothing touched sigma
-  // since FindStoredFact.
+  // --- Apply + invalidate, keeping sigma_index_ in lockstep with
+  // sigma. The retract-side FindStoredFact only locates the erase
+  // position: the index already proved the fact is stored.
   if (retract) {
-    cdb_.db.sigma.erase(match);
+    cdb_.db.sigma.erase(FindStoredFact(&cdb_.db.sigma, fact));
+    sigma_index_.Remove(fact);
     caches_->retracts_ok.fetch_add(1, kRelaxed);
   } else {
+    sigma_index_.Add(fact);
     cdb_.db.sigma.push_back(MlClause{std::move(fact), {}});
     caches_->asserts_ok.fetch_add(1, kRelaxed);
   }

@@ -285,6 +285,7 @@ class Engine {
 
   Engine(CheckedDatabase cdb, EngineOptions options)
       : cdb_(std::move(cdb)),
+        sigma_index_(SigmaIndex::Build(cdb_.db)),
         options_(options),
         caches_(std::make_unique<Caches>()) {}
 
@@ -311,6 +312,11 @@ class Engine {
       const std::string& written_level);
 
   CheckedDatabase cdb_;
+  /// Incremental index over the stored Sigma facts (duplicate counts +
+  /// Definition 5.4 key groups), kept in lockstep with cdb_.db.sigma by
+  /// Mutate under db_mu. Makes per-append validation O(key group)
+  /// instead of O(|Sigma|).
+  SigmaIndex sigma_index_;
   EngineOptions options_;
   std::unique_ptr<Caches> caches_;
   storage::Storage* storage_ = nullptr;  // not owned

@@ -7,6 +7,8 @@
 
 #include <cerrno>
 #include <cstring>
+#include <istream>
+#include <ostream>
 
 namespace multilog::server {
 
@@ -106,13 +108,14 @@ Result<Json> Client::Hello(const std::string& level, std::string_view mode) {
 }
 
 Result<Json> Client::Query(const std::string& goal, int64_t deadline_ms,
-                           std::string_view mode, bool proofs) {
+                           std::string_view mode, bool proofs, bool trace) {
   Json req = Json::Object();
   req.Set("cmd", Json::Str("query"));
   req.Set("goal", Json::Str(goal));
   if (deadline_ms >= 0) req.Set("deadline_ms", Json::Int(deadline_ms));
   if (!mode.empty()) req.Set("mode", Json::Str(std::string(mode)));
   if (proofs) req.Set("proofs", Json::Bool(true));
+  if (trace) req.Set("trace", Json::Bool(true));
   return Call(req);
 }
 
@@ -149,6 +152,17 @@ Result<Json> Client::Stats() {
   return Call(req);
 }
 
+Result<std::string> Client::Metrics() {
+  Json req = Json::Object();
+  req.Set("cmd", Json::Str("metrics"));
+  MULTILOG_ASSIGN_OR_RETURN(Json response, Call(req));
+  const Json* body = response.Find("body");
+  if (body == nullptr || !body->is_string()) {
+    return Status::Internal("metrics response is missing a string 'body'");
+  }
+  return body->string_value();
+}
+
 Result<Json> Client::Ping() {
   Json req = Json::Object();
   req.Set("cmd", Json::Str("ping"));
@@ -159,6 +173,66 @@ Status Client::Bye() {
   Json req = Json::Object();
   req.Set("cmd", Json::Str("bye"));
   return Call(req).status();
+}
+
+namespace {
+
+/// Strips comments ('%' or '#' to end of line) and surrounding blanks.
+std::string StripBatchLine(std::string line) {
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '%' || line[i] == '#') {
+      line.resize(i);
+      break;
+    }
+  }
+  const size_t begin = line.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const size_t end = line.find_last_not_of(" \t\r");
+  return line.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+BatchResult RunBatch(Client& client, std::istream& input, bool keep_going,
+                     std::ostream* echo) {
+  BatchResult result;
+  size_t lineno = 0;
+  std::string line;
+  while (std::getline(input, line)) {
+    ++lineno;
+    const std::string stripped = StripBatchLine(line);
+    if (stripped.empty()) continue;
+    const size_t space = stripped.find_first_of(" \t");
+    const std::string verb = stripped.substr(0, space);
+    const std::string rest = space == std::string::npos
+                                 ? ""
+                                 : StripBatchLine(stripped.substr(space));
+
+    Result<Json> response = Status::Internal("unreached");
+    if (verb == "assert" && !rest.empty()) {
+      response = client.Assert(rest);
+    } else if (verb == "retract" && !rest.empty()) {
+      response = client.Retract(rest);
+    } else if (verb == "checkpoint" && rest.empty()) {
+      response = client.Checkpoint();
+    } else if (verb == "query" && !rest.empty()) {
+      response = client.Query(rest);
+    } else {
+      response = Status::InvalidArgument(
+          "expected 'assert FACT', 'retract FACT', 'checkpoint', or "
+          "'query GOAL'");
+    }
+    if (!response.ok()) {
+      result.failures.push_back({lineno, response.status()});
+      if (keep_going) continue;
+      return result;
+    }
+    if (echo != nullptr) {
+      *echo << lineno << ": " << response->Serialize() << "\n";
+    }
+    ++result.applied;
+  }
+  return result;
 }
 
 }  // namespace multilog::server

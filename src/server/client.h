@@ -2,8 +2,10 @@
 #define MULTILOG_SERVER_CLIENT_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "server/protocol.h"
@@ -39,13 +41,18 @@ class Client {
   /// Result) if the server's response has "ok":false, returning the
   /// server's code/error as the Status.
   Result<Json> Hello(const std::string& level, std::string_view mode = "");
+  /// `trace` asks the server to attach the per-stage span tree to the
+  /// response (its "trace" member).
   Result<Json> Query(const std::string& goal, int64_t deadline_ms = -1,
-                     std::string_view mode = "", bool proofs = false);
+                     std::string_view mode = "", bool proofs = false,
+                     bool trace = false);
   Result<Json> Sql(const std::string& sql);
   Result<Json> Assert(const std::string& fact);
   Result<Json> Retract(const std::string& fact);
   Result<Json> Checkpoint();
   Result<Json> Stats();
+  /// The Prometheus text exposition (the `metrics` command's "body").
+  Result<std::string> Metrics();
   Result<Json> Ping();
   Status Bye();
 
@@ -65,6 +72,29 @@ class Client {
 
   int fd_ = -1;
 };
+
+/// One failed line of a batch run: where it failed and why.
+struct BatchFailure {
+  size_t lineno = 0;  // 1-based line in the batch input
+  Status status;
+};
+
+/// What a batch run did. The batch succeeded iff `failures` is empty.
+struct BatchResult {
+  size_t applied = 0;  // lines that executed successfully
+  std::vector<BatchFailure> failures;
+};
+
+/// Runs a batch over the open (hello'd) connection. Each non-empty line
+/// of `input` is `assert FACT`, `retract FACT`, `checkpoint`, or
+/// `query GOAL`; '%' and '#' start comments. A malformed or rejected
+/// line stops the batch at that line - unless `keep_going`, which
+/// records the failure (with its line number) and continues, so one
+/// bad write doesn't hide the rest of a staging file. When `echo` is
+/// non-null every successful line's response is written to it as
+/// `<lineno>: <response JSON>`.
+BatchResult RunBatch(Client& client, std::istream& input,
+                     bool keep_going = false, std::ostream* echo = nullptr);
 
 }  // namespace multilog::server
 

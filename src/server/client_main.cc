@@ -6,21 +6,27 @@
 //   $ multilog_client --port 7690 --level s retract 's[intel(k7 : source -s-> k7, grade -s-> a)].'
 //   $ multilog_client --port 7690 --level s checkpoint
 //   $ multilog_client --port 7690 --level s --file writes.mlog
+//   $ multilog_client --port 7690 --level s --trace query '?- s[intel(K : source -C-> V)] << cau.'
 //   $ multilog_client --port 7690 stats
+//   $ multilog_client --port 7690 metrics
 //
 // Prints the server's JSON response; for `query`, the answers are also
-// listed one per line (handy in shell pipelines and the demo script).
+// listed one per line (handy in shell pipelines and the demo script),
+// and `--trace` attaches the server's per-stage span tree to the
+// response. `metrics` prints the raw Prometheus text exposition.
 //
 // `--file` runs a batch over one connection: each non-empty line of the
 // file is `assert <fact>`, `retract <fact>`, `checkpoint`, or
 // `query <goal>` ('%' and '#' start comments). The batch stops at the
-// first failing line, exiting non-zero - so a script can stage writes
-// and trust that either all of them landed or the exit code says
-// where it stopped.
+// first failing line - reported as `file:lineno: error` - and exits
+// non-zero, so a script can stage writes and trust that either all of
+// them landed or the exit code says where it stopped. `--keep-going`
+// instead runs every line and reports each failure.
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 
@@ -34,9 +40,9 @@ int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --port N [--level L] [--mode M] [--deadline-ms N] "
-      "[--proofs]\n          (query GOAL | sql STMT | assert FACT | "
-      "retract FACT | checkpoint | stats | ping)\n       %s --port N "
-      "--level L --file BATCH\n",
+      "[--proofs] [--trace]\n          (query GOAL | sql STMT | assert FACT "
+      "| retract FACT | checkpoint | stats | metrics | ping)\n       "
+      "%s --port N --level L --file BATCH [--keep-going]\n",
       argv0, argv0);
   return 2;
 }
@@ -46,66 +52,27 @@ int Fail(const Status& status) {
   return status.IsDeadlineExceeded() ? 3 : 1;
 }
 
-/// Strips comments ('%' or '#' to end of line) and surrounding blanks.
-std::string StripLine(std::string line) {
-  for (size_t i = 0; i < line.size(); ++i) {
-    if (line[i] == '%' || line[i] == '#') {
-      line.resize(i);
-      break;
-    }
-  }
-  const size_t begin = line.find_first_not_of(" \t\r");
-  if (begin == std::string::npos) return "";
-  const size_t end = line.find_last_not_of(" \t\r");
-  return line.substr(begin, end - begin + 1);
-}
-
 /// Runs a batch file over the open (hello'd) connection. Returns the
 /// process exit code.
-int RunBatch(server::Client& client, const std::string& path) {
+int RunBatchFile(server::Client& client, const std::string& path,
+                 bool keep_going) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "error: cannot open batch file '%s'\n", path.c_str());
     return 2;
   }
-  size_t lineno = 0;
-  size_t applied = 0;
-  std::string line;
-  while (std::getline(in, line)) {
-    ++lineno;
-    const std::string stripped = StripLine(line);
-    if (stripped.empty()) continue;
-    const size_t space = stripped.find_first_of(" \t");
-    const std::string verb = stripped.substr(0, space);
-    const std::string rest =
-        space == std::string::npos ? "" : StripLine(stripped.substr(space));
-
-    Result<server::Json> response = Status::Internal("unreached");
-    if (verb == "assert" && !rest.empty()) {
-      response = client.Assert(rest);
-    } else if (verb == "retract" && !rest.empty()) {
-      response = client.Retract(rest);
-    } else if (verb == "checkpoint" && rest.empty()) {
-      response = client.Checkpoint();
-    } else if (verb == "query" && !rest.empty()) {
-      response = client.Query(rest);
-    } else {
-      std::fprintf(stderr,
-                   "%s:%zu: expected 'assert FACT', 'retract FACT', "
-                   "'checkpoint', or 'query GOAL'\n",
-                   path.c_str(), lineno);
-      return 2;
-    }
-    if (!response.ok()) {
-      std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), lineno,
-                   response.status().ToString().c_str());
-      return 1;
-    }
-    std::printf("%s:%zu: %s\n", path.c_str(), lineno,
-                response->Serialize().c_str());
-    ++applied;
+  const server::BatchResult result =
+      server::RunBatch(client, in, keep_going, &std::cout);
+  for (const server::BatchFailure& failure : result.failures) {
+    std::fprintf(stderr, "%s:%zu: %s\n", path.c_str(), failure.lineno,
+                 failure.status.ToString().c_str());
   }
-  std::printf("batch ok: %zu operation(s) applied\n", applied);
+  if (!result.failures.empty()) {
+    std::fprintf(stderr, "batch failed: %zu applied, %zu failed\n",
+                 result.applied, result.failures.size());
+    return 1;
+  }
+  std::printf("batch ok: %zu operation(s) applied\n", result.applied);
   return 0;
 }
 
@@ -118,6 +85,8 @@ int main(int argc, char** argv) {
   std::string batch_file;
   int64_t deadline_ms = -1;
   bool proofs = false;
+  bool trace = false;
+  bool keep_going = false;
   std::string command;
   std::string operand;
 
@@ -148,6 +117,10 @@ int main(int argc, char** argv) {
       deadline_ms = std::atol(v);
     } else if (arg == "--proofs") {
       proofs = true;
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--keep-going") {
+      keep_going = true;
     } else if (command.empty()) {
       command = arg;
     } else if (operand.empty()) {
@@ -177,14 +150,22 @@ int main(int argc, char** argv) {
   }
 
   if (!batch_file.empty()) {
-    const int code = RunBatch(*client, batch_file);
+    const int code = RunBatchFile(*client, batch_file, keep_going);
     client->Bye();
     return code;
   }
 
+  if (command == "metrics") {
+    Result<std::string> body = client->Metrics();
+    if (!body.ok()) return Fail(body.status());
+    std::fputs(body->c_str(), stdout);
+    client->Bye();
+    return 0;
+  }
+
   Result<server::Json> response = Status::Internal("unreached");
   if (command == "query") {
-    response = client->Query(operand, deadline_ms, /*mode=*/"", proofs);
+    response = client->Query(operand, deadline_ms, /*mode=*/"", proofs, trace);
   } else if (command == "sql") {
     response = client->Sql(operand);
   } else if (command == "assert") {

@@ -1,6 +1,8 @@
 #include "server/metrics.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 
 namespace multilog::server {
 
@@ -46,15 +48,26 @@ uint64_t LatencyHistogram::Snapshot::PercentileMicros(double p) const {
   if (count == 0) return 0;
   const double clamped = std::min(100.0, std::max(0.0, p));
   // Rank of the requested recording, 1-based, ceiling - p100 is the max
-  // recording's bucket, p0 the min's.
-  uint64_t rank = static_cast<uint64_t>(clamped / 100.0 *
-                                        static_cast<double>(count));
-  if (rank == 0) rank = 1;
+  // recording's bucket, p0 the min's. The old truncating rank both
+  // floored p100 into the wrong bucket and let rounding push the rank
+  // past the last recording; ceil + the two clamps pin every edge.
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(count)));
+  if (rank == 0) rank = 1;      // p = 0 still addresses the first recording
+  if (rank > count) rank = count;
   uint64_t seen = 0;
   for (size_t i = 0; i < buckets.size(); ++i) {
     seen += buckets[i];
-    if (seen >= rank) return uint64_t{1} << (i + 1);  // bucket upper bound
+    if (seen < rank) continue;
+    // The last bucket is open-ended ([2^39, inf): BucketOf caps there),
+    // so its only honest upper bound is the observed maximum; for the
+    // others, never report a bound above it either (a lone 5 us
+    // recording reads as 5 us, not its bucket's 8 us ceiling).
+    if (i + 1 >= buckets.size()) return max_micros;
+    return std::min(uint64_t{1} << (i + 1), max_micros);
   }
+  // Racing Record calls can leave a snapshot whose count is ahead of
+  // its bucket sums; fall back to the maximum rather than overrun.
   return max_micros;
 }
 
@@ -144,6 +157,130 @@ Json ServerMetrics::ToJson() const {
   writes.Set("errors", Json::Int(static_cast<int64_t>(write_errors.load())));
   root.Set("writes", std::move(writes));
   return root;
+}
+
+namespace {
+
+/// Formats a double the way Prometheus expects (no exponent surprises;
+/// enough digits to round-trip microsecond sums).
+std::string PromDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Backslash, double quote, and newline must be escaped inside label
+/// values (exposition format 0.0.4).
+std::string PromLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out.append("\\n");
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void PromFamily(std::string* out, const char* name, const char* help,
+                const char* type) {
+  out->append("# HELP ").append(name).append(" ").append(help).append("\n");
+  out->append("# TYPE ").append(name).append(" ").append(type).append("\n");
+}
+
+void PromCounter(std::string* out, const char* name, const char* help,
+                 uint64_t value, const char* type = "counter") {
+  PromFamily(out, name, help, type);
+  out->append(name).append(" ").append(std::to_string(value)).append("\n");
+}
+
+}  // namespace
+
+std::string ServerMetrics::PrometheusText() const {
+  std::string out;
+  PromCounter(&out, "multilog_connections_accepted_total",
+              "Connections accepted.", connections_accepted.load());
+  PromCounter(&out, "multilog_connections_rejected_total",
+              "Connections refused by admission control.",
+              connections_rejected.load());
+  PromCounter(&out, "multilog_connections_open",
+              "Connections currently open.", connections_open.load(),
+              "gauge");
+  PromCounter(&out, "multilog_requests_total",
+              "Well-framed requests received.", requests_total.load());
+  PromCounter(&out, "multilog_requests_rejected_oversized_total",
+              "Frames over the request size limit.",
+              rejected_oversized.load());
+  PromCounter(&out, "multilog_requests_rejected_malformed_total",
+              "Requests with broken framing, JSON, or schema.",
+              rejected_malformed.load());
+  PromCounter(&out, "multilog_requests_rejected_overloaded_total",
+              "Requests refused at the in-flight cap.",
+              rejected_overloaded.load());
+  PromCounter(&out, "multilog_queries_ok_total", "Queries answered.",
+              queries_ok.load());
+  PromCounter(&out, "multilog_query_errors_total",
+              "Queries that returned an error.", query_errors.load());
+  PromCounter(&out, "multilog_query_deadline_exceeded_total",
+              "Queries cancelled by their deadline.",
+              deadline_exceeded.load());
+  PromCounter(&out, "multilog_query_rows_returned_total",
+              "Answer rows returned.", rows_returned.load());
+  PromCounter(&out, "multilog_writes_ok_total",
+              "Mutations (assert/retract/checkpoint) committed.",
+              writes_ok.load());
+  PromCounter(&out, "multilog_write_errors_total",
+              "Mutations rejected or failed.", write_errors.load());
+
+  PromFamily(&out, "multilog_queries_by_level_total",
+             "Queries answered, by session level and exec mode.", "counter");
+  for (size_t i = 0; i < level_names_.size(); ++i) {
+    for (size_t m = 0; m < kModes; ++m) {
+      out.append("multilog_queries_by_level_total{level=\"")
+          .append(PromLabelValue(level_names_[i]))
+          .append("\",mode=\"")
+          .append(kModeNames[m])
+          .append("\"} ")
+          .append(std::to_string(by_level_[i].by_mode[m].load()))
+          .append("\n");
+    }
+  }
+
+  // Histogram: cumulative le buckets in seconds. Bucket i of the
+  // power-of-two µs histogram has upper bound 2^(i+1) µs.
+  const LatencyHistogram::Snapshot snap = latency_.Snap();
+  PromFamily(&out, "multilog_query_latency_seconds",
+             "End-to-end engine query latency.", "histogram");
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < snap.buckets.size(); ++i) {
+    cumulative += snap.buckets[i];
+    const double upper =
+        static_cast<double>(uint64_t{1} << (i + 1)) / 1e6;
+    out.append("multilog_query_latency_seconds_bucket{le=\"")
+        .append(PromDouble(upper))
+        .append("\"} ")
+        .append(std::to_string(cumulative))
+        .append("\n");
+  }
+  // A snapshot racing Record may see a bucket increment before the
+  // count increment; +Inf must still be the largest bucket, and _count
+  // must equal it.
+  const uint64_t total = std::max(snap.count, cumulative);
+  out.append("multilog_query_latency_seconds_bucket{le=\"+Inf\"} ")
+      .append(std::to_string(total))
+      .append("\n");
+  out.append("multilog_query_latency_seconds_sum ")
+      .append(PromDouble(static_cast<double>(snap.total_micros) / 1e6))
+      .append("\n");
+  out.append("multilog_query_latency_seconds_count ")
+      .append(std::to_string(total))
+      .append("\n");
+  return out;
 }
 
 }  // namespace multilog::server

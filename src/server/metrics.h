@@ -98,6 +98,13 @@ class ServerMetrics {
   /// The whole surface as JSON; see DESIGN.md §11 for the schema.
   Json ToJson() const;
 
+  /// The whole surface in Prometheus text exposition format 0.0.4
+  /// (counters, the connections_open gauge, per-(level, mode) query
+  /// counters as labels, and the latency histogram with cumulative
+  /// `le` buckets in seconds). The server appends engine, storage, and
+  /// trace-stage families before serving it; see DESIGN.md §13.
+  std::string PrometheusText() const;
+
  private:
   static constexpr size_t kModes = 3;
   struct LevelCounters {

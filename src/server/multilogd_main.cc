@@ -46,7 +46,8 @@ int Usage(const char* argv0) {
       "usage: %s (--db FILE | --sample) [--data-dir DIR] [--port N]\n"
       "          [--workers N] [--max-conns N] [--max-inflight N]\n"
       "          [--max-request-bytes N] [--deadline-ms N]\n"
-      "          [--mode operational|reduced|check_both]\n",
+      "          [--mode operational|reduced|check_both]\n"
+      "          [--slow-query-ms N]   (log queries >= N ms to stderr)\n",
       argv0);
   return 2;
 }
@@ -99,6 +100,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       options.default_deadline_ms = std::atol(v);
+    } else if (arg == "--slow-query-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.slow_query_ms = std::atol(v);
     } else if (arg == "--mode") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);

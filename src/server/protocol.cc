@@ -171,6 +171,12 @@ Result<Request> ParseRequest(const Json& json) {
       }
       req.want_proofs = proofs->bool_value();
     }
+    if (const Json* tr = json.Find("trace"); tr != nullptr) {
+      if (!tr->is_bool()) {
+        return Status::InvalidArgument("'trace' must be a boolean");
+      }
+      req.want_trace = tr->bool_value();
+    }
     return req;
   }
   if (name == "sql") {
@@ -198,6 +204,10 @@ Result<Request> ParseRequest(const Json& json) {
   }
   if (name == "stats") {
     req.cmd = Request::Cmd::kStats;
+    return req;
+  }
+  if (name == "metrics") {
+    req.cmd = Request::Cmd::kMetrics;
     return req;
   }
   if (name == "ping") {

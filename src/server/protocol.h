@@ -24,12 +24,14 @@ namespace multilog::server {
 ///
 /// Requests (the `cmd` member selects):
 ///   {"cmd":"hello","level":L,"mode":M?}     bind the session clearance
-///   {"cmd":"query","goal":G,"mode":M?,"deadline_ms":N?,"proofs":B?}
+///   {"cmd":"query","goal":G,"mode":M?,"deadline_ms":N?,"proofs":B?,
+///    "trace":B?}                            trace = per-stage span tree
 ///   {"cmd":"sql","sql":S}                   MSQL at the session level
 ///   {"cmd":"assert","fact":F}               write F at the session level
 ///   {"cmd":"retract","fact":F}              remove F at the session level
 ///   {"cmd":"checkpoint"}                    fold the WAL into a snapshot
-///   {"cmd":"stats"}                         the metrics surface
+///   {"cmd":"stats"}                         the metrics surface (JSON)
+///   {"cmd":"metrics"}                       Prometheus text exposition
 ///   {"cmd":"ping"}                          liveness probe
 ///   {"cmd":"bye"}                           orderly close
 ///
@@ -73,6 +75,7 @@ struct Request {
     kRetract,
     kCheckpoint,
     kStats,
+    kMetrics,
     kPing,
     kBye
   };
@@ -84,6 +87,7 @@ struct Request {
   std::string fact;          // assert / retract
   int64_t deadline_ms = -1;  // query; -1 = server default
   bool want_proofs = false;  // query (operational modes only)
+  bool want_trace = false;   // query: attach the per-stage span tree
 };
 
 /// Validates the JSON shape of a request (presence and types of the

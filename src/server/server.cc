@@ -5,10 +5,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <array>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <future>
+#include <iostream>
+#include <optional>
+#include <sstream>
 
 #include "common/cancel.h"
 #include "msql/executor.h"
@@ -23,6 +28,71 @@ uint64_t ElapsedMicros(std::chrono::steady_clock::time_point start) {
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start)
           .count());
+}
+
+/// Decrements a gauge on scope exit, whatever path leaves the scope.
+class GaugeGuard {
+ public:
+  explicit GaugeGuard(std::atomic<uint64_t>* gauge) : gauge_(gauge) {}
+  ~GaugeGuard() {
+    if (gauge_ != nullptr) gauge_->fetch_sub(1, std::memory_order_acq_rel);
+  }
+  GaugeGuard(const GaugeGuard&) = delete;
+  GaugeGuard& operator=(const GaugeGuard&) = delete;
+
+ private:
+  std::atomic<uint64_t>* gauge_;
+};
+
+/// size_t variant for the in-flight admission counter.
+class InFlightGuard {
+ public:
+  explicit InFlightGuard(std::atomic<size_t>* counter) : counter_(counter) {}
+  ~InFlightGuard() { counter_->fetch_sub(1, std::memory_order_acq_rel); }
+  InFlightGuard(const InFlightGuard&) = delete;
+  InFlightGuard& operator=(const InFlightGuard&) = delete;
+
+ private:
+  std::atomic<size_t>* counter_;
+};
+
+/// One span-tree node as response JSON: stage name, start offset, and
+/// duration in µs, with nested children.
+Json TraceNodeJson(const trace::SpanNode& node) {
+  Json j = Json::Object();
+  j.Set("stage", Json::Str(trace::StageName(node.stage)));
+  j.Set("start_us", Json::Int(static_cast<int64_t>(node.start_micros)));
+  j.Set("dur_us", Json::Int(static_cast<int64_t>(node.duration_micros)));
+  if (!node.children.empty()) {
+    Json children = Json::Array();
+    for (const trace::SpanNode& child : node.children) {
+      children.Push(TraceNodeJson(child));
+    }
+    j.Set("children", std::move(children));
+  }
+  return j;
+}
+
+/// The leaf span with the largest duration - where the request actually
+/// spent its time (inner spans carry the exclusive cost). nullptr when
+/// the tree is only its root.
+const trace::SpanNode* DominantSpan(const trace::SpanNode& root) {
+  const trace::SpanNode* best = nullptr;
+  std::vector<const trace::SpanNode*> stack;
+  for (const trace::SpanNode& child : root.children) stack.push_back(&child);
+  while (!stack.empty()) {
+    const trace::SpanNode* node = stack.back();
+    stack.pop_back();
+    if (node->children.empty()) {
+      if (best == nullptr || node->duration_micros > best->duration_micros) {
+        best = node;
+      }
+    }
+    for (const trace::SpanNode& child : node->children) {
+      stack.push_back(&child);
+    }
+  }
+  return best;
 }
 
 }  // namespace
@@ -139,9 +209,21 @@ void Server::AcceptLoop() {
     std::lock_guard<std::mutex> lock(conn_mu_);
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
-    connections_.push_back(std::move(conn));
-    conn_threads_.emplace_back(&Server::ServeConnection, this,
-                               connections_.size() - 1);
+    try {
+      connections_.push_back(std::move(conn));
+      conn_threads_.emplace_back(&Server::ServeConnection, this,
+                                 connections_.size() - 1);
+    } catch (...) {
+      // The session never started (thread creation or vector growth
+      // failed), so the open gauge must unwind here - ServeConnection,
+      // its usual owner, will never run.
+      if (!connections_.empty() && connections_.back() != nullptr &&
+          connections_.back()->fd == fd) {
+        connections_.pop_back();
+      }
+      ::close(fd);
+      metrics_.connections_open.fetch_sub(1, std::memory_order_acq_rel);
+    }
   }
 }
 
@@ -151,9 +233,16 @@ void Server::ServeConnection(size_t conn_index) {
     std::lock_guard<std::mutex> lock(conn_mu_);
     conn = connections_[conn_index].get();
   }
+  // The open gauge unwinds on *every* exit from this frame, including
+  // an exception escaping a handler.
+  GaugeGuard open_guard(&metrics_.connections_open);
   SessionState session;
   session.mode = options_.default_mode;
-  while (HandleFrame(session, conn->fd)) {
+  try {
+    while (HandleFrame(session, conn->fd)) {
+    }
+  } catch (...) {
+    // Drop the connection; the guards restore every counter.
   }
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
@@ -162,12 +251,13 @@ void Server::ServeConnection(size_t conn_index) {
       conn->closed = true;
     }
   }
-  metrics_.connections_open.fetch_sub(1, std::memory_order_relaxed);
 }
 
 bool Server::HandleFrame(SessionState& session, int fd) {
   Result<std::optional<std::string>> frame =
       ReadFrame(fd, options_.max_request_bytes);
+  // Epoch for a traced request: the instant its frame finished reading.
+  const auto t_read = trace::Collector::Clock::now();
   if (!frame.ok()) {
     // Framing damage: the byte stream can't be resynchronized. Tell the
     // peer why (best effort) and close.
@@ -197,6 +287,7 @@ bool Server::HandleFrame(SessionState& session, int fd) {
     return true;
   }
   const Request& req = *parsed;
+  const auto t_parsed = trace::Collector::Clock::now();
 
   switch (req.cmd) {
     case Request::Cmd::kPing: {
@@ -212,6 +303,13 @@ bool Server::HandleFrame(SessionState& session, int fd) {
     case Request::Cmd::kStats: {
       Json resp = OkResponse();
       resp.Set("stats", StatsJson());
+      WriteFrame(fd, resp.Serialize());
+      return true;
+    }
+    case Request::Cmd::kMetrics: {
+      Json resp = OkResponse();
+      resp.Set("format", Json::Str("prometheus"));
+      resp.Set("body", Json::Str(MetricsText()));
       WriteFrame(fd, resp.Serialize());
       return true;
     }
@@ -273,16 +371,72 @@ bool Server::HandleFrame(SessionState& session, int fd) {
                            .Serialize());
         return true;
       }
+      // Admitted: the in-flight slot unwinds on every exit path,
+      // including a dispatch or serialization exception.
+      InFlightGuard in_flight_guard(&in_flight_);
+
+      // A collector rides along when the client asked for a trace or
+      // the slow-query log needs a span tree to attribute time. It
+      // lives on the reader's stack; the worker fills it through the
+      // thread-local installed below, and the promise/future pair
+      // provides the cross-thread happens-before edges.
+      std::optional<trace::Collector> collector;
+      if (req.cmd == Request::Cmd::kQuery &&
+          (req.want_trace || options_.slow_query_ms >= 0)) {
+        collector.emplace(t_read);
+        collector->AddLeaf(trace::Stage::kParse, t_read, t_parsed);
+      }
+      const auto t_submit = trace::Collector::Clock::now();
+
+      // Captured by the worker just before it fulfils the promise, so
+      // the root span ends when the work ends: the reader's wake-up
+      // latency on the future is scheduler noise, not query time, and
+      // would otherwise show up as an unattributed gap in the tree.
+      auto t_done = t_submit;
       std::promise<Json> done;
       std::future<Json> future = done.get_future();
-      pool_->Submit([this, &session, &req, &done] {
-        Json resp = req.cmd == Request::Cmd::kQuery ? HandleQuery(session, req)
-                    : req.cmd == Request::Cmd::kSql ? HandleSql(session, req)
-                                                    : HandleWrite(session, req);
+      pool_->Submit([this, &session, &req, &done, &collector, t_submit,
+                     &t_done] {
+        if (collector.has_value()) {
+          collector->AddLeaf(trace::Stage::kQueueWait, t_submit,
+                             trace::Collector::Clock::now());
+        }
+        trace::ScopedCollector install(collector.has_value() ? &*collector
+                                                             : nullptr);
+        Json resp;
+        try {
+          resp = req.cmd == Request::Cmd::kQuery ? HandleQuery(session, req)
+                 : req.cmd == Request::Cmd::kSql ? HandleSql(session, req)
+                                                 : HandleWrite(session, req);
+        } catch (const std::exception& e) {
+          // A handler exception must still fulfil the promise - the
+          // reader is blocked on it - and must not kill the worker.
+          resp = ErrorResponse(Status::Internal(
+              std::string("handler raised an exception: ") + e.what()));
+        } catch (...) {
+          resp = ErrorResponse(
+              Status::Internal("handler raised an unknown exception"));
+        }
+        t_done = trace::Collector::Clock::now();
         done.set_value(std::move(resp));
       });
-      const Json resp = future.get();
-      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      Json resp = future.get();
+      if (collector.has_value()) {
+        const trace::SpanNode root = collector->Finish(t_done);
+        if (req.want_trace) {
+          Json tj = TraceNodeJson(root);
+          if (collector->dropped_spans() > 0) {
+            tj.Set("dropped_spans",
+                   Json::Int(static_cast<int64_t>(collector->dropped_spans())));
+          }
+          resp.Set("trace", std::move(tj));
+        }
+        if (options_.slow_query_ms >= 0 &&
+            root.duration_micros >=
+                static_cast<uint64_t>(options_.slow_query_ms) * 1000) {
+          LogSlowQuery(session, req, root);
+        }
+      }
       WriteFrame(fd, resp.Serialize());
       return true;
     }
@@ -305,8 +459,11 @@ Json Server::HandleQuery(const SessionState& session, const Request& req) {
   const ml::ExecMode mode = req.mode.has_value() ? *req.mode : session.mode;
 
   const auto start = std::chrono::steady_clock::now();
-  Result<ml::QueryResult> result =
-      engine_->QuerySource(req.goal, session.level, mode, cancel_ptr);
+  Result<ml::QueryResult> result = ml::QueryResult{};
+  {
+    trace::Span exec_span(trace::Stage::kExecute);
+    result = engine_->QuerySource(req.goal, session.level, mode, cancel_ptr);
+  }
   const uint64_t micros = ElapsedMicros(start);
   metrics_.RecordQuery(session.level, static_cast<size_t>(mode), micros);
 
@@ -322,6 +479,7 @@ Json Server::HandleQuery(const SessionState& session, const Request& req) {
   metrics_.rows_returned.fetch_add(result->answers.size(),
                                    std::memory_order_relaxed);
 
+  trace::Span serialize_span(trace::Stage::kSerialize);
   Json resp = OkResponse();
   resp.Set("level", Json::Str(session.level));
   resp.Set("mode", Json::Str(ExecModeName(mode)));
@@ -380,6 +538,9 @@ Json Server::HandleWrite(const SessionState& session, const Request& req) {
 
 Json Server::StatsJson() {
   Json root = metrics_.ToJson();
+  root.Set("in_flight",
+           Json::Int(static_cast<int64_t>(
+               in_flight_.load(std::memory_order_relaxed))));
   const ml::EngineCounters ec = engine_->Counters();
   Json engine = Json::Object();
   engine.Set("cache_hits", Json::Int(static_cast<int64_t>(ec.cache_hits)));
@@ -408,6 +569,99 @@ Json Server::StatsJson() {
   return root;
 }
 
+std::string Server::MetricsText() {
+  std::string out = metrics_.PrometheusText();
+  auto counter = [&out](const char* name, const char* help, uint64_t value,
+                        const char* type = "counter") {
+    out.append("# HELP ").append(name).append(" ").append(help).append("\n");
+    out.append("# TYPE ").append(name).append(" ").append(type).append("\n");
+    out.append(name).append(" ").append(std::to_string(value)).append("\n");
+  };
+  counter("multilog_requests_in_flight",
+          "Dispatched requests currently executing or queued.",
+          in_flight_.load(std::memory_order_relaxed), "gauge");
+
+  const ml::EngineCounters ec = engine_->Counters();
+  counter("multilog_engine_cache_hits_total",
+          "Per-level cache lookups that hit.", ec.cache_hits);
+  counter("multilog_engine_cache_misses_total",
+          "Per-level cache lookups that had to build.", ec.cache_misses);
+  counter("multilog_engine_invalidation_events_total", "Committed writes.",
+          ec.invalidation_events);
+  counter("multilog_engine_cache_entries_invalidated_total",
+          "Cache entries dropped by committed writes.",
+          ec.cache_entries_invalidated);
+  counter("multilog_engine_asserts_ok_total", "Asserts committed.",
+          ec.asserts_ok);
+  counter("multilog_engine_retracts_ok_total", "Retracts committed.",
+          ec.retracts_ok);
+  counter("multilog_engine_writes_rejected_total",
+          "Mutations rejected by security or integrity checks.",
+          ec.writes_rejected);
+  counter("multilog_engine_checkpoints_total", "Checkpoints taken.",
+          ec.checkpoints);
+
+  if (const ml::StorageCounters sc = engine_->StorageStats(); sc.attached) {
+    counter("multilog_storage_next_seqno", "Next mutation sequence number.",
+            sc.next_seqno, "gauge");
+    counter("multilog_storage_wal_records",
+            "Records in the live WAL segment.", sc.wal_records, "gauge");
+    counter("multilog_storage_wal_bytes", "Bytes in the live WAL segment.",
+            sc.wal_bytes, "gauge");
+    counter("multilog_storage_checkpoints_total", "Checkpoints folded.",
+            sc.checkpoints);
+  }
+
+  // Per-stage trace aggregates (populated when tracing is enabled
+  // globally or per-query collectors ran).
+  const std::array<trace::StageTotal, trace::kNumStages> stages =
+      trace::AggregatedStages();
+  out.append(
+      "# HELP multilog_stage_spans_total Trace spans recorded per stage.\n"
+      "# TYPE multilog_stage_spans_total counter\n");
+  for (size_t i = 0; i < stages.size(); ++i) {
+    out.append("multilog_stage_spans_total{stage=\"")
+        .append(trace::StageName(static_cast<trace::Stage>(i)))
+        .append("\"} ")
+        .append(std::to_string(stages[i].count))
+        .append("\n");
+  }
+  out.append(
+      "# HELP multilog_stage_duration_seconds_total Cumulative time per "
+      "stage.\n"
+      "# TYPE multilog_stage_duration_seconds_total counter\n");
+  for (size_t i = 0; i < stages.size(); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g",
+                  static_cast<double>(stages[i].total_micros) / 1e6);
+    out.append("multilog_stage_duration_seconds_total{stage=\"")
+        .append(trace::StageName(static_cast<trace::Stage>(i)))
+        .append("\"} ")
+        .append(buf)
+        .append("\n");
+  }
+  return out;
+}
+
+void Server::LogSlowQuery(const SessionState& session, const Request& req,
+                          const trace::SpanNode& root) {
+  const ml::ExecMode mode = req.mode.has_value() ? *req.mode : session.mode;
+  std::ostringstream line;
+  line << "[multilogd] slow query: "
+       << static_cast<double>(root.duration_micros) / 1000.0
+       << " ms level=" << session.level << " mode=" << ExecModeName(mode);
+  if (const trace::SpanNode* dominant = DominantSpan(root)) {
+    line << " dominant=" << trace::StageName(dominant->stage) << ":"
+         << static_cast<double>(dominant->duration_micros) / 1000.0 << "ms";
+  }
+  line << " goal=" << req.goal << "\n";
+  std::ostream* sink =
+      options_.slow_query_log != nullptr ? options_.slow_query_log
+                                         : &std::cerr;
+  std::lock_guard<std::mutex> lock(slow_log_mu_);
+  (*sink) << line.str() << std::flush;
+}
+
 Json Server::HandleSql(SessionState& session, const Request& req) {
   if (session.sql == nullptr) {
     metrics_.query_errors.fetch_add(1, std::memory_order_relaxed);
@@ -415,7 +669,10 @@ Json Server::HandleSql(SessionState& session, const Request& req) {
         "this server has no SQL catalog configured"));
   }
   const auto start = std::chrono::steady_clock::now();
-  Result<msql::ResultSet> result = session.sql->Execute(req.sql);
+  Result<msql::ResultSet> result = [&] {
+    trace::Span sql_span(trace::Stage::kSqlExecute);
+    return session.sql->Execute(req.sql);
+  }();
   const uint64_t micros = ElapsedMicros(start);
   metrics_.latency().Record(micros);
 

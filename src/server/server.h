@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -11,6 +12,7 @@
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "mls/belief.h"
 #include "mls/relation.h"
 #include "multilog/engine.h"
@@ -50,6 +52,17 @@ struct ServerOptions {
 
   /// Execution mode for sessions whose HELLO doesn't pick one.
   ml::ExecMode default_mode = ml::ExecMode::kReduced;
+
+  /// Queries whose server-side wall time reaches this many ms are
+  /// written to the slow-query log (level, mode, wall time, dominant
+  /// stage, goal). 0 logs every query; -1 disables the log. Enabling it
+  /// also makes every query collect a span tree, whether or not the
+  /// client asked for one.
+  int64_t slow_query_ms = -1;
+
+  /// Destination of the slow-query log; nullptr means stderr. Must
+  /// outlive the server. Lines are written under an internal mutex.
+  std::ostream* slow_query_log = nullptr;
 };
 
 /// A relation exposed to wire clients through the `sql` command.
@@ -138,6 +151,17 @@ class Server {
   /// counters and, when durable, the storage surface.
   Json StatsJson();
 
+  /// The METRICS payload: the full Prometheus text exposition -
+  /// ServerMetrics::PrometheusText() plus the in-flight gauge, the
+  /// engine and storage counter families, and the per-stage trace
+  /// aggregates.
+  std::string MetricsText();
+
+  /// Appends one slow-query line (level, mode, wall ms, dominant stage,
+  /// goal) to options_.slow_query_log (stderr when unset).
+  void LogSlowQuery(const struct SessionState& session, const Request& req,
+                    const trace::SpanNode& root);
+
   ml::Engine* engine_;
   ServerOptions options_;
   std::vector<SqlCatalogEntry> catalog_;
@@ -146,6 +170,7 @@ class Server {
 
   std::unique_ptr<ThreadPool> pool_;
   std::atomic<size_t> in_flight_{0};
+  std::mutex slow_log_mu_;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;

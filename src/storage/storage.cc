@@ -6,6 +6,8 @@
 #include <cstring>
 #include <utility>
 
+#include "common/trace.h"
+
 namespace multilog::storage {
 
 namespace {
@@ -21,6 +23,7 @@ Status EnsureDir(const std::string& dir) {
 
 Result<Storage> Storage::Open(const std::string& dir,
                               std::string_view initial_source) {
+  trace::Span span(trace::Stage::kRecovery);
   MULTILOG_RETURN_IF_ERROR(EnsureDir(dir));
   Storage st;
   st.dir_ = dir;

@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "common/crc32c.h"
+#include "common/trace.h"
 
 namespace multilog::storage {
 
@@ -119,6 +120,7 @@ Status WalWriter::AppendFrame(std::string_view payload) {
 
 Status WalWriter::Append(const WalRecord& record, bool sync) {
   if (fd_ < 0) return Status::Internal("wal writer is closed");
+  trace::Span span(trace::Stage::kWalAppend);
   auto it = symbol_ids_.find(record.level);
   if (it == symbol_ids_.end()) {
     const uint32_t id = static_cast<uint32_t>(symbol_ids_.size());
@@ -142,6 +144,7 @@ Status WalWriter::Append(const WalRecord& record, bool sync) {
 
 Status WalWriter::Sync() {
   if (fd_ < 0) return Status::Internal("wal writer is closed");
+  trace::Span span(trace::Stage::kFsync);
   if (::fdatasync(fd_) != 0) {
     return Status::Internal(std::string("wal fdatasync: ") +
                             std::strerror(errno));

@@ -1,0 +1,178 @@
+// LatencyHistogram percentile edge cases (the ones the truncating rank
+// got wrong) and the Prometheus text exposition's invariants.
+
+#include "server/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace multilog::server {
+namespace {
+
+uint64_t Pct(const LatencyHistogram& h, double p) {
+  return h.Snap().PercentileMicros(p);
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(Pct(h, 0), 0u);
+  EXPECT_EQ(Pct(h, 50), 0u);
+  EXPECT_EQ(Pct(h, 100), 0u);
+}
+
+TEST(LatencyHistogramTest, SingleRecordingAtEveryPercentile) {
+  LatencyHistogram h;
+  h.Record(5);  // bucket [4, 8)
+  // One recording is the min, the median, and the max; its bucket upper
+  // bound is capped at the observed maximum.
+  EXPECT_EQ(Pct(h, 0), 5u);
+  EXPECT_EQ(Pct(h, 50), 5u);
+  EXPECT_EQ(Pct(h, 100), 5u);
+}
+
+TEST(LatencyHistogramTest, PercentileZeroAddressesTheMinimum) {
+  LatencyHistogram h;
+  h.Record(1);     // bucket [0, 2)
+  h.Record(1000);  // bucket [512, 1024)
+  // p0 must land in the *first* recording's bucket, not report 0 or the
+  // maximum.
+  EXPECT_EQ(Pct(h, 0), 2u);
+  EXPECT_EQ(Pct(h, 100), 1000u);
+}
+
+TEST(LatencyHistogramTest, PercentileHundredAddressesTheMaximum) {
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.Record(1);
+  h.Record(4000);  // bucket [2048, 4096)
+  // The old truncating rank floored p100 into the 99-recording bucket.
+  EXPECT_EQ(Pct(h, 100), 4000u);
+  EXPECT_EQ(Pct(h, 50), 2u);
+}
+
+TEST(LatencyHistogramTest, OverflowBucketReportsObservedMax) {
+  LatencyHistogram h;
+  const uint64_t huge = uint64_t{1} << 40;  // past the last bucket bound
+  h.Record(huge);
+  // The last bucket is open-ended: 2^(i+1) would be a lie (and at
+  // i = 39 the shift is the bucket bound itself, below the recording).
+  EXPECT_EQ(Pct(h, 50), huge);
+  EXPECT_EQ(Pct(h, 100), huge);
+  EXPECT_EQ(h.Snap().max_micros, huge);
+}
+
+TEST(LatencyHistogramTest, RecordingsBeyondTwoToTheFortyClampSanely) {
+  LatencyHistogram h;
+  h.Record(10);
+  h.Record(uint64_t{1} << 41);
+  h.Record(uint64_t{1} << 45);
+  EXPECT_EQ(Pct(h, 0), 16u);  // 10's bucket upper bound
+  EXPECT_EQ(Pct(h, 100), uint64_t{1} << 45);
+  EXPECT_EQ(h.Snap().count, 3u);
+}
+
+TEST(LatencyHistogramTest, OutOfRangePercentilesClamp) {
+  LatencyHistogram h;
+  h.Record(3);
+  h.Record(300);
+  EXPECT_EQ(Pct(h, -5), Pct(h, 0));
+  EXPECT_EQ(Pct(h, 250), Pct(h, 100));
+}
+
+// --- Prometheus exposition -------------------------------------------
+
+/// The value of the first sample line beginning `name` followed by a
+/// space or '{'; -1 when absent.
+double SampleValue(const std::string& text, const std::string& prefix) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(prefix, 0) != 0) continue;
+    const size_t space = line.find_last_of(' ');
+    if (space == std::string::npos) continue;
+    return std::stod(line.substr(space + 1));
+  }
+  return -1;
+}
+
+TEST(PrometheusTextTest, EmitsFamiliesWithHelpAndType) {
+  ServerMetrics m({"u", "c", "s"});
+  const std::string text = m.PrometheusText();
+  EXPECT_NE(text.find("# HELP multilog_requests_total "), std::string::npos);
+  EXPECT_NE(text.find("# TYPE multilog_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE multilog_connections_open gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE multilog_query_latency_seconds histogram"),
+            std::string::npos);
+}
+
+TEST(PrometheusTextTest, CountersReflectRecordedValues) {
+  ServerMetrics m({"u", "c", "s"});
+  m.connections_accepted.store(2);
+  m.requests_total.store(7);
+  m.queries_ok.store(3);
+  m.RecordQuery("c", /*mode_index=*/1, 500);
+  m.RecordQuery("c", /*mode_index=*/1, 500);
+  m.RecordQuery("s", /*mode_index=*/0, 2'000'000);
+  const std::string text = m.PrometheusText();
+  EXPECT_EQ(SampleValue(text, "multilog_connections_accepted_total "), 2);
+  EXPECT_EQ(SampleValue(text, "multilog_requests_total "), 7);
+  EXPECT_EQ(SampleValue(text, "multilog_queries_ok_total "), 3);
+  EXPECT_NE(
+      text.find(
+          "multilog_queries_by_level_total{level=\"c\",mode=\"reduced\"} 2"),
+      std::string::npos);
+  EXPECT_NE(text.find("multilog_queries_by_level_total{level=\"s\","
+                      "mode=\"operational\"} 1"),
+            std::string::npos);
+  EXPECT_EQ(SampleValue(text, "multilog_query_latency_seconds_sum "), 2.001);
+  EXPECT_EQ(SampleValue(text, "multilog_query_latency_seconds_count "), 3);
+}
+
+TEST(PrometheusTextTest, HistogramBucketsAreCumulativeAndConsistent) {
+  ServerMetrics m({"u"});
+  m.RecordQuery("u", 1, 1);
+  m.RecordQuery("u", 1, 100);
+  m.RecordQuery("u", 1, 10'000);
+  m.RecordQuery("u", 1, 1'000'000);
+  const std::string text = m.PrometheusText();
+
+  std::vector<double> bucket_counts;
+  double inf_count = -1;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("multilog_query_latency_seconds_bucket{le=", 0) != 0) {
+      continue;
+    }
+    const size_t space = line.find_last_of(' ');
+    const double value = std::stod(line.substr(space + 1));
+    if (line.find("+Inf") != std::string::npos) {
+      inf_count = value;
+    } else {
+      bucket_counts.push_back(value);
+    }
+  }
+  ASSERT_EQ(bucket_counts.size(), LatencyHistogram::kBuckets);
+  for (size_t i = 1; i < bucket_counts.size(); ++i) {
+    EXPECT_GE(bucket_counts[i], bucket_counts[i - 1]) << "bucket " << i;
+  }
+  // +Inf is the largest bucket and equals _count (Prometheus rejects
+  // histograms where they disagree).
+  EXPECT_GE(inf_count, bucket_counts.back());
+  EXPECT_EQ(inf_count, 4);
+  EXPECT_EQ(SampleValue(text, "multilog_query_latency_seconds_count "), 4);
+}
+
+TEST(PrometheusTextTest, LabelValuesAreEscaped) {
+  ServerMetrics m({"a\"b\\c"});
+  const std::string text = m.PrometheusText();
+  EXPECT_NE(text.find("level=\"a\\\"b\\\\c\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace multilog::server

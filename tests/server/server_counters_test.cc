@@ -1,0 +1,139 @@
+// Counter accounting under abuse: connections_open and in_flight must
+// return to zero on every failure path - malformed handshakes, framing
+// damage, oversized frames, rejected queries - not just the happy one.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+#include "server_test_util.h"
+
+namespace multilog::server {
+namespace {
+
+/// Polls `pred` until it holds or ~2s elapse (connection teardown is
+/// asynchronous: the reader thread must notice EOF first).
+bool Eventually(const std::function<bool()>& pred) {
+  for (int i = 0; i < 400; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+class ServerCountersTest : public ServerTestBase {
+ protected:
+  uint64_t OpenConnections() {
+    return server_->metrics().connections_open.load();
+  }
+
+  /// `in_flight` as reported by the STATS surface (the wire-visible
+  /// view of the dispatch gauge).
+  int64_t StatsInFlight() {
+    Client probe = MustConnect();
+    Result<Json> stats = probe.Stats();
+    EXPECT_TRUE(stats.ok()) << stats.status();
+    const Json* s = stats->Find("stats");
+    EXPECT_NE(s, nullptr);
+    const Json* in_flight = s->Find("in_flight");
+    EXPECT_NE(in_flight, nullptr);
+    return in_flight->int_value();
+  }
+};
+
+TEST_F(ServerCountersTest, MalformedHandshakesDoNotLeakOpenConnections) {
+  StartServer();
+  // Hammer the handshake path: bad JSON payloads (connection survives,
+  // then we close), then broken framing (server closes).
+  for (int round = 0; round < 8; ++round) {
+    Client c = MustConnect();
+    ASSERT_TRUE(c.SendRaw("this is not json").ok());
+    Result<std::string> resp = c.ReadRaw();
+    ASSERT_TRUE(resp.ok()) << resp.status();
+    EXPECT_NE(resp->find("\"ok\":false"), std::string::npos);
+    // The connection is still usable after a payload-level error...
+    ASSERT_TRUE(c.SendRaw("{\"cmd\":\"nonsense\"}").ok());
+    ASSERT_TRUE(c.ReadRaw().ok());
+    // ...and the client abandoning it mid-session must still decrement.
+  }
+  for (int round = 0; round < 8; ++round) {
+    Result<Client> c = Client::Connect(server_->port());
+    ASSERT_TRUE(c.ok());
+    // Framing damage: a non-decimal length header. The server answers
+    // with a best-effort error frame and closes.
+    const std::string garbage = "xyzzy\n";
+    (void)::write(c->fd(), garbage.data(), garbage.size());
+  }
+  EXPECT_TRUE(Eventually([&] { return OpenConnections() == 0; }))
+      << "connections_open stuck at " << OpenConnections();
+  EXPECT_GT(server_->metrics().rejected_malformed.load(), 0u);
+}
+
+TEST_F(ServerCountersTest, OversizedFramesDoNotLeakOpenConnections) {
+  ServerOptions options;
+  options.max_request_bytes = 128;
+  StartServer(options);
+  for (int round = 0; round < 8; ++round) {
+    Client c = MustConnect();
+    // An oversized declared length is refused before allocation and the
+    // connection closes (framing can't be trusted afterwards).
+    const std::string huge(512, 'x');
+    ASSERT_TRUE(c.SendRaw(huge).ok());
+    Result<std::string> resp = c.ReadRaw();
+    if (resp.ok()) {
+      EXPECT_NE(resp->find("ResourceExhausted"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(Eventually([&] { return OpenConnections() == 0; }))
+      << "connections_open stuck at " << OpenConnections();
+  EXPECT_GE(server_->metrics().rejected_oversized.load(), 8u);
+}
+
+TEST_F(ServerCountersTest, InFlightReturnsToZeroAfterQueryErrors) {
+  StartServer();
+  Client c = MustConnect();
+  ASSERT_TRUE(c.Hello("s").ok());
+  // Successful, failing, and unparsable queries all release the
+  // in-flight slot (the guard unwinds on every exit path).
+  EXPECT_TRUE(c.Query("?- s[p(k : a -R-> V)] << firm.").ok());
+  EXPECT_FALSE(c.Query("?- this is not a goal").ok());
+  EXPECT_FALSE(c.Sql("select * from nosuch").ok());
+  EXPECT_TRUE(Eventually([&] { return StatsInFlight() == 0; }))
+      << "in_flight stuck at " << StatsInFlight();
+}
+
+TEST_F(ServerCountersTest, InFlightReturnsToZeroUnderConcurrentAbuse) {
+  ServerOptions options;
+  options.num_workers = 4;
+  StartServer(options);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([this, t] {
+      Result<Client> c = Client::Connect(server_->port());
+      if (!c.ok()) return;
+      if (!c->Hello("c").ok()) return;
+      for (int i = 0; i < 20; ++i) {
+        if (i % 3 == t % 3) {
+          (void)c->Query("?- not ( a goal");  // parse error
+        } else {
+          (void)c->Query("?- c[p(k : a -R-> V)] << opt.");
+        }
+      }
+      // Half the clients vanish without BYE.
+      if (t % 2 == 0) (void)c->Bye();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_TRUE(Eventually([&] { return StatsInFlight() == 0; }));
+  EXPECT_TRUE(Eventually([&] { return OpenConnections() == 0; }))
+      << "connections_open stuck at " << OpenConnections();
+}
+
+}  // namespace
+}  // namespace multilog::server

@@ -1,0 +1,229 @@
+// End-to-end tracing over the wire: the opt-in span tree, its
+// wall-time accounting, byte-identity of traced vs untraced answers,
+// the slow-query log, and the Prometheus metrics command.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/trace.h"
+#include "mls/sample_data.h"
+#include "multilog/engine.h"
+#include "server/client.h"
+#include "server_test_util.h"
+
+namespace multilog::server {
+namespace {
+
+/// The Figure 11 query (r10 of the D1 database).
+constexpr char kFig11Goal[] = "?- c[p(k : a -R-> v)] << opt.";
+
+const Json* FindChild(const Json& node, const std::string& stage) {
+  const Json* children = node.Find("children");
+  if (children == nullptr || !children->is_array()) return nullptr;
+  for (const Json& child : children->array_items()) {
+    const Json* name = child.Find("stage");
+    if (name != nullptr && name->string_value() == stage) return &child;
+  }
+  return nullptr;
+}
+
+/// True when `stage` appears anywhere in the span tree.
+bool HasStage(const Json& node, const std::string& stage) {
+  const Json* name = node.Find("stage");
+  if (name != nullptr && name->string_value() == stage) return true;
+  const Json* children = node.Find("children");
+  if (children == nullptr || !children->is_array()) return false;
+  for (const Json& child : children->array_items()) {
+    if (HasStage(child, stage)) return true;
+  }
+  return false;
+}
+
+class TraceServerTest : public ServerTestBase {};
+
+TEST_F(TraceServerTest, NoTraceUnlessRequested) {
+  StartServer();
+  Client c = MustConnect();
+  ASSERT_TRUE(c.Hello("s").ok());
+  Result<Json> plain = c.Query(kFig11Goal);
+  ASSERT_TRUE(plain.ok()) << plain.status();
+  EXPECT_EQ(plain->Find("trace"), nullptr);
+}
+
+TEST_F(TraceServerTest, TraceSpanTreeCoversTheRequestLifecycle) {
+  StartServer();
+  Client c = MustConnect();
+  ASSERT_TRUE(c.Hello("s").ok());
+  Result<Json> resp = c.Query(kFig11Goal, /*deadline_ms=*/-1, /*mode=*/"",
+                              /*proofs=*/false, /*trace=*/true);
+  ASSERT_TRUE(resp.ok()) << resp.status();
+
+  const Json* tr = resp->Find("trace");
+  ASSERT_NE(tr, nullptr);
+  ASSERT_TRUE(tr->is_object());
+  EXPECT_EQ(tr->Find("stage")->string_value(), "request");
+
+  // The server lifecycle stages are direct children of the root...
+  EXPECT_NE(FindChild(*tr, "parse"), nullptr);
+  EXPECT_NE(FindChild(*tr, "queue_wait"), nullptr);
+  const Json* execute = FindChild(*tr, "execute");
+  ASSERT_NE(execute, nullptr);
+  EXPECT_NE(FindChild(*tr, "serialize"), nullptr);
+
+  // ...and the engine stages nest inside execute (a cold reduced-mode
+  // query reduces, evaluates, decodes, and matches the goal).
+  EXPECT_TRUE(HasStage(*execute, "query_model"));
+  EXPECT_TRUE(HasStage(*execute, "reduce") ||
+              HasStage(*execute, "eval_model"))
+      << "expected a cold query to touch the reduction pipeline";
+
+  // Answers ride along unchanged next to the trace.
+  const Json* answers = resp->Find("answers");
+  ASSERT_NE(answers, nullptr);
+  EXPECT_FALSE(answers->array_items().empty());
+}
+
+TEST_F(TraceServerTest, StageSumIsWithinTenPercentOfWallTime) {
+  StartServer();
+  // One cold query per clearance of the D1 lattice (u, c, s), in
+  // check_both mode so the measured engine work dwarfs the fixed
+  // scheduling gaps between spans.
+  for (const std::string level : {"u", "c", "s"}) {
+    Client c = MustConnect();
+    ASSERT_TRUE(c.Hello(level, "check").ok());
+    Result<Json> resp = c.Query(kFig11Goal, -1, "", false, /*trace=*/true);
+    ASSERT_TRUE(resp.ok()) << level << ": " << resp.status();
+    const Json* tr = resp->Find("trace");
+    ASSERT_NE(tr, nullptr) << level;
+
+    const int64_t wall_us = tr->Find("dur_us")->int_value();
+    int64_t stage_sum_us = 0;
+    const Json* children = tr->Find("children");
+    ASSERT_NE(children, nullptr) << level;
+    for (const Json& child : children->array_items()) {
+      stage_sum_us += child.Find("dur_us")->int_value();
+    }
+    // The direct children tile the request: nothing counted twice, so
+    // the sum is bounded by the wall time (plus 1µs truncation per
+    // span) and covers at least 90% of it.
+    const int64_t slack =
+        static_cast<int64_t>(children->array_items().size());
+    EXPECT_LE(stage_sum_us, wall_us + slack) << level;
+    EXPECT_GE(static_cast<double>(stage_sum_us),
+              0.9 * static_cast<double>(wall_us))
+        << level << ": stages cover only " << stage_sum_us << " of "
+        << wall_us << " us";
+  }
+}
+
+TEST_F(TraceServerTest, SlowQueryLogRecordsLevelModeAndDominantStage) {
+  std::ostringstream log;
+  ServerOptions options;
+  options.slow_query_ms = 0;  // log every query
+  options.slow_query_log = &log;
+  StartServer(options);
+  {
+    Client c = MustConnect();
+    ASSERT_TRUE(c.Hello("c").ok());
+    ASSERT_TRUE(c.Query(kFig11Goal).ok());
+    (void)c.Bye();
+  }
+  server_->Stop();  // joins every writer before we inspect the stream
+
+  const std::string line = log.str();
+  EXPECT_NE(line.find("slow query:"), std::string::npos) << line;
+  EXPECT_NE(line.find("level=c"), std::string::npos) << line;
+  EXPECT_NE(line.find("mode=reduced"), std::string::npos) << line;
+  EXPECT_NE(line.find("dominant="), std::string::npos) << line;
+  EXPECT_NE(line.find("goal=?- c[p(k : a -R-> v)] << opt."),
+            std::string::npos)
+      << line;
+}
+
+TEST_F(TraceServerTest, SlowQueryThresholdFiltersFastQueries) {
+  std::ostringstream log;
+  ServerOptions options;
+  options.slow_query_ms = 60'000;  // nothing here takes a minute
+  options.slow_query_log = &log;
+  StartServer(options);
+  {
+    Client c = MustConnect();
+    ASSERT_TRUE(c.Hello("c").ok());
+    ASSERT_TRUE(c.Query(kFig11Goal).ok());
+    (void)c.Bye();
+  }
+  server_->Stop();
+  EXPECT_EQ(log.str(), "");
+}
+
+TEST_F(TraceServerTest, MetricsCommandEmitsPrometheusText) {
+  trace::ResetAggregates();  // the stage aggregates are process-global
+  StartServer();
+  {
+    Client c = MustConnect();
+    ASSERT_TRUE(c.Hello("s").ok());
+    ASSERT_TRUE(c.Query(kFig11Goal, -1, "", false, /*trace=*/true).ok());
+    (void)c.Bye();
+  }
+  // `metrics` needs no HELLO - scrapers don't have a clearance.
+  Client scraper = MustConnect();
+  Result<std::string> body = scraper.Metrics();
+  ASSERT_TRUE(body.ok()) << body.status();
+  EXPECT_NE(body->find("# TYPE multilog_query_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(body->find("multilog_queries_ok_total 1"), std::string::npos);
+  EXPECT_NE(body->find("multilog_requests_in_flight"), std::string::npos);
+  EXPECT_NE(body->find("multilog_engine_cache_misses_total"),
+            std::string::npos);
+  // The traced query fed the per-stage aggregates.
+  EXPECT_NE(body->find("multilog_stage_spans_total{stage=\"request\"} 1"),
+            std::string::npos);
+  EXPECT_NE(
+      body->find("multilog_stage_duration_seconds_total{stage=\"reduce\"}"),
+      std::string::npos);
+}
+
+/// Byte-identity across tracing states and thread counts: the span
+/// instrumentation must never perturb answers. Fresh engine + server
+/// per (threads, traced) cell; the serialized answers must be
+/// byte-identical across all four.
+TEST(TraceByteIdentityTest, AnswersIdenticalTracedVsUntracedAt1And8Threads) {
+  std::vector<std::string> serialized;
+  for (const size_t threads : {size_t{1}, size_t{8}}) {
+    for (const bool traced : {false, true}) {
+      ml::EngineOptions eng_options;
+      eng_options.eval.num_threads = threads;
+      Result<ml::Engine> engine =
+          ml::Engine::FromSource(mls::D1Source(), eng_options);
+      ASSERT_TRUE(engine.ok()) << engine.status();
+      ServerOptions options;
+      options.port = 0;
+      options.num_workers = 2;
+      Server server(&*engine, options);
+      ASSERT_TRUE(server.Start().ok());
+
+      Result<Client> c = Client::Connect(server.port());
+      ASSERT_TRUE(c.ok());
+      ASSERT_TRUE(c->Hello("s").ok());
+      Result<Json> resp = c->Query(kFig11Goal, -1, "", false, traced);
+      ASSERT_TRUE(resp.ok()) << resp.status();
+      EXPECT_EQ(resp->Find("trace") != nullptr, traced);
+      const Json* answers = resp->Find("answers");
+      ASSERT_NE(answers, nullptr);
+      serialized.push_back(answers->Serialize());
+      (void)c->Bye();
+      server.Stop();
+    }
+  }
+  ASSERT_EQ(serialized.size(), 4u);
+  EXPECT_EQ(serialized[0], serialized[1]) << "1 thread: traced != untraced";
+  EXPECT_EQ(serialized[0], serialized[2]) << "untraced: 1 thread != 8";
+  EXPECT_EQ(serialized[0], serialized[3]) << "8 threads traced diverged";
+}
+
+}  // namespace
+}  // namespace multilog::server
