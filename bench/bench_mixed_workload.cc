@@ -1,0 +1,267 @@
+// Mixed-workload benchmark: a seeded 90/10 read/write stream at mixed
+// clearances, run twice over identical operation sequences - once with
+// incremental maintenance (the delta-driven fixpoint keeping cached
+// models live across writes) and once with write-through invalidation
+// (--no-incremental semantics: every dominated cache entry is dropped
+// and the next read pays a full reduce + evaluate). The headline number
+// is post-write query latency: the first read after a write, which the
+// incremental engine serves from the maintained model and the
+// invalidating engine rebuilds from Sigma.
+//
+// Correctness rides along: every read's answers are byte-compared
+// between the two engines, and the run exits non-zero on any mismatch -
+// the live-vs-scratch identity the maintenance layer guarantees.
+//
+//   $ bench_mixed_workload [--keys N] [--writes N] [--reads-per-write N]
+//                          [--min-speedup X] [--json PATH]
+//
+// Machine-readable record: one JSON object written to --json, or to
+// $MULTILOG_INCREMENTAL_JSON, or to BENCH_incremental.json (in that
+// order). scripts/run_experiments.sh runs it with --min-speedup 5: the
+// full-size run must show >= 5x lower post-write query latency.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "multilog/engine.h"
+#include "server/json.h"
+
+namespace {
+
+using namespace multilog;
+using server::Json;
+
+constexpr const char* kLevels[] = {"u", "c", "s"};
+
+/// The seeded database: a three-level chain, `keys` facts spread across
+/// the levels, and a derived predicate so reads exercise rules, not
+/// just fact lookup.
+std::string SeedSource(size_t keys) {
+  std::string src =
+      "level(u). level(c). level(s).\n"
+      "order(u, c). order(c, s).\n"
+      "roster(K) :- u[obj(K : val -u-> V)].\n";
+  for (size_t i = 0; i < keys; ++i) {
+    const char* level = kLevels[i % 3];
+    src += std::string(level) + "[obj(k" + std::to_string(i) + " : val -" +
+           level + "-> v" + std::to_string(i % 7) + ")].\n";
+  }
+  return src;
+}
+
+double Micros(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+/// One engine's side of the paired run: issues the op, times reads, and
+/// renders answers for the byte-identity check.
+struct Side {
+  ml::Engine* engine;
+  std::vector<double> post_write_us;  // first read after each write
+  std::vector<double> read_us;        // every read
+};
+
+Result<std::string> TimedRead(Side* side, const std::string& goal,
+                              const std::string& level, bool post_write) {
+  const auto start = std::chrono::steady_clock::now();
+  MULTILOG_ASSIGN_OR_RETURN(ml::QueryResult r,
+                            side->engine->QuerySource(goal, level));
+  const double us = Micros(start);
+  side->read_us.push_back(us);
+  if (post_write) side->post_write_us.push_back(us);
+  std::string rendered;
+  for (const datalog::Substitution& answer : r.answers) {
+    rendered += answer.ToString();
+    rendered += '\n';
+  }
+  return rendered;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t keys = 2000;
+  size_t writes = 60;
+  size_t reads_per_write = 9;  // 90/10 read/write mix
+  double min_speedup = 0;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (arg == "--keys") {
+      keys = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--writes") {
+      writes = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--reads-per-write") {
+      reads_per_write = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--min-speedup") {
+      min_speedup = std::atof(next());
+    } else if (arg == "--json") {
+      json_path = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--keys N] [--writes N] [--reads-per-write N] "
+                   "[--min-speedup X] [--json PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (json_path.empty()) {
+    const char* env = std::getenv("MULTILOG_INCREMENTAL_JSON");
+    json_path = env != nullptr ? env : "BENCH_incremental.json";
+  }
+
+  const std::string source = SeedSource(keys);
+  ml::EngineOptions incremental_options;
+  incremental_options.incremental = true;
+  ml::EngineOptions invalidate_options;
+  invalidate_options.incremental = false;
+  Result<ml::Engine> live = ml::Engine::FromSource(source, incremental_options);
+  Result<ml::Engine> cold = ml::Engine::FromSource(source, invalidate_options);
+  if (!live.ok() || !cold.ok()) {
+    std::fprintf(stderr, "engine: %s\n",
+                 (!live.ok() ? live : cold).status().ToString().c_str());
+    return 1;
+  }
+  Side sides[2] = {{&*live, {}, {}}, {&*cold, {}, {}}};
+
+  // Warm every clearance's cache on both engines, as a serving process
+  // would before taking traffic.
+  const std::string wide_goal_tail = "[obj(K : val -C-> V)] << opt";
+  for (const char* level : kLevels) {
+    for (Side& side : sides) {
+      Result<ml::QueryResult> r =
+          side.engine->QuerySource(std::string(level) + wide_goal_tail, level);
+      if (!r.ok()) {
+        std::fprintf(stderr, "warmup: %s\n", r.status().ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  sides[0].read_us.clear();
+  sides[1].read_us.clear();
+
+  // The measured stream: each round is one write (2 in 3 asserts a
+  // fresh fact, 1 in 3 retracts the previous round's) followed by
+  // `reads_per_write` reads cycling the clearances; every read is
+  // byte-compared across the engines.
+  size_t mismatches = 0;
+  std::string last_fact;
+  std::string last_fact_level;
+  for (size_t w = 0; w < writes; ++w) {
+    const char* level = kLevels[w % 3];
+    const bool retract = w % 3 == 2 && !last_fact.empty();
+    std::string fact;
+    if (retract) {
+      fact = last_fact;
+      level = last_fact_level.c_str();
+    } else {
+      // Mutations must carry a key cell (value = key, Definition 5.4).
+      const std::string key = "w" + std::to_string(w);
+      fact = std::string(level) + "[obj(" + key + " : val -" + level + "-> " +
+             key + ")].";
+      last_fact = fact;
+      last_fact_level = level;
+    }
+    for (Side& side : sides) {
+      Result<ml::WriteResult> r = retract ? side.engine->Retract(fact, level)
+                                          : side.engine->Assert(fact, level);
+      if (!r.ok()) {
+        std::fprintf(stderr, "write %s: %s\n", fact.c_str(),
+                     r.status().ToString().c_str());
+        return 1;
+      }
+    }
+    for (size_t q = 0; q < reads_per_write; ++q) {
+      const std::string read_level = kLevels[(w + q) % 3];
+      // The timed post-write read is a point query - the shape a
+      // serving layer answers right after a write - so it isolates the
+      // rebuild-vs-maintain cost from answer enumeration; the remaining
+      // reads stay entity-wide to keep the byte comparison broad.
+      const std::string goal =
+          q == 0 ? read_level + "[obj(k" + std::to_string(w % keys) +
+                       " : val -C-> V)] << opt"
+                 : read_level + wide_goal_tail;
+      Result<std::string> a =
+          TimedRead(&sides[0], goal, read_level, /*post_write=*/q == 0);
+      Result<std::string> b =
+          TimedRead(&sides[1], goal, read_level, /*post_write=*/q == 0);
+      if (!a.ok() || !b.ok()) {
+        std::fprintf(stderr, "read: %s\n",
+                     (!a.ok() ? a : b).status().ToString().c_str());
+        return 1;
+      }
+      if (*a != *b) {
+        ++mismatches;
+        std::fprintf(stderr,
+                     "FAIL: answers diverged after write %zu read %zu (%s)\n",
+                     w, q, goal.c_str());
+      }
+    }
+  }
+  if (mismatches > 0) {
+    std::fprintf(stderr, "FAIL: %zu diverging reads\n", mismatches);
+    return 1;
+  }
+
+  const double live_post_us = Mean(sides[0].post_write_us);
+  const double cold_post_us = Mean(sides[1].post_write_us);
+  const double live_read_us = Mean(sides[0].read_us);
+  const double cold_read_us = Mean(sides[1].read_us);
+  const double post_speedup = live_post_us > 0 ? cold_post_us / live_post_us : 0;
+  const ml::EngineCounters counters = live->Counters();
+
+  std::printf(
+      "mixed workload: %zu seed facts, %zu writes x %zu reads "
+      "(90/10 mix, clearances u/c/s)\n"
+      "post-write query: %.1f us incremental vs %.1f us invalidate "
+      "(%.1fx)\n"
+      "all reads:        %.1f us incremental vs %.1f us invalidate\n"
+      "maintenance: %llu deltas applied, %llu fallback recomputes, "
+      "byte-identical answers on every read\n",
+      keys, writes, reads_per_write, live_post_us, cold_post_us, post_speedup,
+      live_read_us, cold_read_us,
+      static_cast<unsigned long long>(counters.deltas_applied),
+      static_cast<unsigned long long>(counters.fallback_recomputes));
+
+  Json record = Json::Object();
+  record.Set("bench", Json::Str("mixed_workload"));
+  record.Set("seed_facts", Json::Int(static_cast<int64_t>(keys)));
+  record.Set("writes", Json::Int(static_cast<int64_t>(writes)));
+  record.Set("reads_per_write",
+             Json::Int(static_cast<int64_t>(reads_per_write)));
+  record.Set("incremental_post_write_us", Json::Double(live_post_us));
+  record.Set("invalidate_post_write_us", Json::Double(cold_post_us));
+  record.Set("post_write_speedup", Json::Double(post_speedup));
+  record.Set("incremental_read_us", Json::Double(live_read_us));
+  record.Set("invalidate_read_us", Json::Double(cold_read_us));
+  record.Set("deltas_applied",
+             Json::Int(static_cast<int64_t>(counters.deltas_applied)));
+  record.Set("fallback_recomputes",
+             Json::Int(static_cast<int64_t>(counters.fallback_recomputes)));
+  record.Set("byte_identical", Json::Bool(true));
+  std::ofstream out(json_path, std::ios::trunc);
+  out << record.Serialize() << "\n";
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (min_speedup > 0 && post_speedup < min_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: post-write speedup %.2fx below required %.2fx\n",
+                 post_speedup, min_speedup);
+    return 1;
+  }
+  return 0;
+}

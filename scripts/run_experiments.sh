@@ -25,7 +25,7 @@ for b in build/bench/*; do
   # below (they take flags and write their own records); everything else
   # is a google-benchmark binary.
   case "$b" in
-    */bench_server_loadgen|*/bench_storage_recovery|*/bench_trace_overhead)
+    */bench_server_loadgen|*/bench_storage_recovery|*/bench_trace_overhead|*/bench_mixed_workload)
       continue ;;
   esac
   [ -x "$b" ] && MULTILOG_SCALING_JSON="$scaling_lines" "$b"
@@ -40,6 +40,13 @@ build/bench/bench_storage_recovery --records 2000 \
 
 build/bench/bench_trace_overhead --nodes 256 --reps 9 \
   --json BENCH_stages.json 2>&1 | tee -a bench_output.txt
+
+# Incremental maintenance: the full-size 90/10 mixed workload must show
+# >= 5x lower post-write query latency than write-through invalidation,
+# with byte-identical answers throughout.
+build/bench/bench_mixed_workload --keys 2000 --writes 60 \
+  --reads-per-write 9 --min-speedup 5 \
+  --json BENCH_incremental.json 2>&1 | tee -a bench_output.txt
 
 {
   echo '['

@@ -67,6 +67,12 @@ const char* StageName(Stage stage) {
       return "fsync";
     case Stage::kRecovery:
       return "recovery";
+    case Stage::kDeltaReduce:
+      return "delta_reduce";
+    case Stage::kDeltaEval:
+      return "delta_eval";
+    case Stage::kRegroup:
+      return "regroup";
     case Stage::kSqlExecute:
       return "sql_execute";
   }

@@ -73,6 +73,10 @@ enum class Stage : uint8_t {
   kWalAppend,  // WAL record framing + write
   kFsync,      // fdatasync of the WAL
   kRecovery,   // Storage::Open (snapshot read + WAL replay)
+  // Incremental view maintenance (the post-commit delta path).
+  kDeltaReduce,  // incremental tau update of a live reduced program
+  kDeltaEval,    // DRed-style delta propagation into a live fixpoint
+  kRegroup,      // regrouping a served view (decoded model / cautious beta)
   // MSQL.
   kSqlExecute,
 };

@@ -237,16 +237,23 @@ Status CheckCancelled(const CancelToken* cancel) {
   return Status::OK();
 }
 
+using AtomSet = std::unordered_set<Atom, AtomHash>;
+
 /// Enumerates all substitutions satisfying `body` starting at literal
 /// `index` under `subst`, against `model`. When `delta_index >= 0`, the
 /// literal at that index ranges over the [delta_begin, delta_end) fact
 /// range instead of the model (the semi-naive restriction; parallel
-/// rounds pass one chunk of the delta per work item). Invokes `emit`
+/// rounds pass one chunk of the delta per work item). When
+/// `neg_absent` is non-null, atoms in it are treated as absent by
+/// negated literals even though the model contains them - the delta
+/// path uses this to evaluate negation against the pre-mutation state
+/// while the model holds a superset (see ApplyDelta). Invokes `emit`
 /// for each complete match. Returns an error only for ill-formed
 /// builtins / non-ground negation.
 Status JoinBody(const std::vector<Literal>& body, size_t index,
                 const Model& model, const Atom* delta_begin,
-                const Atom* delta_end, int delta_index, Substitution subst,
+                const Atom* delta_end, int delta_index,
+                const AtomSet* neg_absent, Substitution subst,
                 const std::function<Status(const Substitution&)>& emit) {
   if (index == body.size()) return emit(subst);
   const Literal& lit = body[index];
@@ -262,13 +269,13 @@ Status JoinBody(const std::vector<Literal>& body, size_t index,
       Substitution extended = subst;
       if (!UnifyTerms(lhs, rhs, &extended)) return Status::OK();
       return JoinBody(body, index + 1, model, delta_begin, delta_end,
-                      delta_index, std::move(extended), emit);
+                      delta_index, neg_absent, std::move(extended), emit);
     }
     MULTILOG_ASSIGN_OR_RETURN(bool holds,
                               EvalBuiltin(lit.comparison(), lhs, rhs));
     if (!holds) return Status::OK();
     return JoinBody(body, index + 1, model, delta_begin, delta_end,
-                    delta_index, std::move(subst), emit);
+                    delta_index, neg_absent, std::move(subst), emit);
   }
 
   if (lit.negated()) {
@@ -278,9 +285,12 @@ Status JoinBody(const std::vector<Literal>& body, size_t index,
           "negative literal not ground at evaluation time: not " +
           grounded.ToString());
     }
-    if (model.Contains(grounded)) return Status::OK();
+    const bool present =
+        model.Contains(grounded) &&
+        (neg_absent == nullptr || neg_absent->count(grounded) == 0);
+    if (present) return Status::OK();
     return JoinBody(body, index + 1, model, delta_begin, delta_end,
-                    delta_index, std::move(subst), emit);
+                    delta_index, neg_absent, std::move(subst), emit);
   }
 
   const Atom pattern = subst.Apply(lit.atom());
@@ -292,7 +302,7 @@ Status JoinBody(const std::vector<Literal>& body, size_t index,
     std::optional<Substitution> extended = UnifyAtoms(pattern, fact, subst);
     if (!extended.has_value()) return Status::OK();
     return JoinBody(body, index + 1, model, delta_begin, delta_end,
-                    delta_index, std::move(*extended), emit);
+                    delta_index, neg_absent, std::move(*extended), emit);
   };
 
   if (delta_begin != nullptr && static_cast<int>(index) == delta_index) {
@@ -338,14 +348,15 @@ Status JoinBody(const std::vector<Literal>& body, size_t index,
 Status ApplyClause(const Clause& clause, const Model& model,
                    const Atom* delta_begin, const Atom* delta_end,
                    int delta_index, EmitBudget* budget, EvalStats* stats,
-                   std::vector<Atom>* derived) {
+                   std::vector<Atom>* derived,
+                   const AtomSet* neg_absent = nullptr) {
   if (budget != nullptr) {
     MULTILOG_RETURN_IF_ERROR(CheckCancelled(budget->cancel));
   }
   if (stats != nullptr) ++stats->rule_applications;
   return JoinBody(
       clause.body(), 0, model, delta_begin, delta_end, delta_index,
-      Substitution(),
+      neg_absent, Substitution(),
       [&](const Substitution& subst) -> Status {
         Atom head = subst.Apply(clause.head());
         if (!head.IsGround()) {
@@ -373,7 +384,7 @@ Status ApplyAggregateClause(const Clause& clause, const Model& model,
   // Group key (ground head args minus the aggregate slot) -> value set.
   std::map<std::vector<Term>, std::set<Term>> groups;
   MULTILOG_RETURN_IF_ERROR(JoinBody(
-      clause.body(), 0, model, nullptr, nullptr, -1, Substitution(),
+      clause.body(), 0, model, nullptr, nullptr, -1, nullptr, Substitution(),
       [&](const Substitution& subst) -> Status {
         std::vector<Term> key;
         for (size_t i = 0; i < clause.head().args().size(); ++i) {
@@ -489,61 +500,18 @@ Status RunRound(ThreadPool* pool, size_t n,
 
 using PredicateIdSet = std::unordered_set<PredicateId, PredicateIdHash>;
 
-Status EvaluateStratumSeminaive(const std::vector<const Clause*>& clauses,
-                                const PredicateIdSet& stratum_preds,
-                                const EvalOptions& options, ThreadPool* pool,
-                                Model* model, EvalStats* stats) {
-  // Round 0: apply every clause against the current model. Aggregate
-  // clauses always run on the calling thread (each folds one global
-  // group map); plain clauses are one work item each.
-  std::vector<Atom> delta;
-  {
-    trace::Span round_span(trace::Stage::kEvalRound);
-    MULTILOG_RETURN_IF_ERROR(CheckCancelled(options.cancel));
-    EmitBudget budget{options.max_facts, model->size(), options.cancel};
-    std::vector<Atom> derived;
-    {
-      trace::Span join_span(trace::Stage::kEvalJoin);
-      if (pool == nullptr) {
-        for (const Clause* c : clauses) {
-          if (c->is_aggregate()) {
-            MULTILOG_RETURN_IF_ERROR(
-                ApplyAggregateClause(*c, *model, &budget, stats, &derived));
-          } else {
-            MULTILOG_RETURN_IF_ERROR(ApplyClause(
-                *c, *model, nullptr, nullptr, -1, &budget, stats, &derived));
-          }
-        }
-      } else {
-        std::vector<const Clause*> plain;
-        for (const Clause* c : clauses) {
-          if (c->is_aggregate()) {
-            MULTILOG_RETURN_IF_ERROR(
-                ApplyAggregateClause(*c, *model, &budget, stats, &derived));
-          } else {
-            plain.push_back(c);
-          }
-        }
-        MULTILOG_RETURN_IF_ERROR(RunRound(
-            pool, plain.size(),
-            [&](size_t i, EvalStats* s, std::vector<Atom>* out) {
-              return ApplyClause(*plain[i], *model, nullptr, nullptr, -1,
-                                 &budget, s, out);
-            },
-            stats, &derived));
-      }
-    }
-    trace::Span merge_span(trace::Stage::kEvalMerge);
-    for (Atom& a : derived) {
-      if (model->Insert(a)) delta.push_back(std::move(a));
-    }
-    if (stats != nullptr) ++stats->iterations;
-  }
-
-  // Recursive rounds: only clauses with a positive literal on a predicate
-  // of this stratum can fire on new facts. Work items are (rotated
-  // clause x delta chunk); every worker reads the same frozen model and
-  // delta, so the round is embarrassingly parallel.
+/// The recursive rounds of semi-naive evaluation: repeatedly fires the
+/// stratum's clauses on the facts derived last round (delta literal
+/// rotated to the front, delta chunked across workers) until no new
+/// fact appears. `delta` is the seed (facts just inserted into the
+/// model). When `inserted_log` is non-null every fact the loop inserts
+/// is appended to it, in deterministic merge order - the delta path
+/// uses this to compute net changes.
+Status SeminaiveRounds(const std::vector<const Clause*>& clauses,
+                       const PredicateIdSet& stratum_preds,
+                       const EvalOptions& options, ThreadPool* pool,
+                       Model* model, EvalStats* stats, std::vector<Atom> delta,
+                       std::vector<Atom>* inserted_log) {
   while (!delta.empty()) {
     trace::Span round_span(trace::Stage::kEvalRound);
     MULTILOG_RETURN_IF_ERROR(CheckCancelled(options.cancel));
@@ -609,12 +577,74 @@ Status EvaluateStratumSeminaive(const std::vector<const Clause*>& clauses,
     trace::Span merge_span(trace::Stage::kEvalMerge);
     std::vector<Atom> next_delta;
     for (Atom& a : derived) {
-      if (model->Insert(a)) next_delta.push_back(std::move(a));
+      if (model->Insert(a)) {
+        if (inserted_log != nullptr) inserted_log->push_back(a);
+        next_delta.push_back(std::move(a));
+      }
     }
     delta = std::move(next_delta);
     if (stats != nullptr) ++stats->iterations;
   }
   return Status::OK();
+}
+
+Status EvaluateStratumSeminaive(const std::vector<const Clause*>& clauses,
+                                const PredicateIdSet& stratum_preds,
+                                const EvalOptions& options, ThreadPool* pool,
+                                Model* model, EvalStats* stats) {
+  // Round 0: apply every clause against the current model. Aggregate
+  // clauses always run on the calling thread (each folds one global
+  // group map); plain clauses are one work item each.
+  std::vector<Atom> delta;
+  {
+    trace::Span round_span(trace::Stage::kEvalRound);
+    MULTILOG_RETURN_IF_ERROR(CheckCancelled(options.cancel));
+    EmitBudget budget{options.max_facts, model->size(), options.cancel};
+    std::vector<Atom> derived;
+    {
+      trace::Span join_span(trace::Stage::kEvalJoin);
+      if (pool == nullptr) {
+        for (const Clause* c : clauses) {
+          if (c->is_aggregate()) {
+            MULTILOG_RETURN_IF_ERROR(
+                ApplyAggregateClause(*c, *model, &budget, stats, &derived));
+          } else {
+            MULTILOG_RETURN_IF_ERROR(ApplyClause(
+                *c, *model, nullptr, nullptr, -1, &budget, stats, &derived));
+          }
+        }
+      } else {
+        std::vector<const Clause*> plain;
+        for (const Clause* c : clauses) {
+          if (c->is_aggregate()) {
+            MULTILOG_RETURN_IF_ERROR(
+                ApplyAggregateClause(*c, *model, &budget, stats, &derived));
+          } else {
+            plain.push_back(c);
+          }
+        }
+        MULTILOG_RETURN_IF_ERROR(RunRound(
+            pool, plain.size(),
+            [&](size_t i, EvalStats* s, std::vector<Atom>* out) {
+              return ApplyClause(*plain[i], *model, nullptr, nullptr, -1,
+                                 &budget, s, out);
+            },
+            stats, &derived));
+      }
+    }
+    trace::Span merge_span(trace::Stage::kEvalMerge);
+    for (Atom& a : derived) {
+      if (model->Insert(a)) delta.push_back(std::move(a));
+    }
+    if (stats != nullptr) ++stats->iterations;
+  }
+
+  // Recursive rounds: only clauses with a positive literal on a predicate
+  // of this stratum can fire on new facts. Work items are (rotated
+  // clause x delta chunk); every worker reads the same frozen model and
+  // delta, so the round is embarrassingly parallel.
+  return SeminaiveRounds(clauses, stratum_preds, options, pool, model, stats,
+                         std::move(delta), nullptr);
 }
 
 Status EvaluateStratumNaive(const std::vector<const Clause*>& clauses,
@@ -710,6 +740,308 @@ Result<Model> Evaluate(const Program& program, const EvalOptions& options,
   return model;
 }
 
+namespace {
+
+/// Early-exit sentinel for the rederivation probe: JoinBody has no
+/// first-match mode, so the probe's emit callback returns this to
+/// unwind as soon as one derivation is found and the caller translates
+/// it back into "found". Never escapes ApplyDelta.
+Status RederiveFound() {
+  return Status::Internal("__apply_delta_rederive_found__");
+}
+
+}  // namespace
+
+Result<DeltaChanges> ApplyDelta(const Program& program,
+                                const std::vector<Atom>& adds,
+                                const std::vector<Atom>& removes,
+                                Model* model, const EvalOptions& options,
+                                EvalStats* stats) {
+  for (const Clause& c : program.clauses()) {
+    if (c.is_aggregate()) {
+      return Status::InvalidProgram(
+          "ApplyDelta: aggregate clauses are not incrementally "
+          "maintainable");
+    }
+  }
+  MULTILOG_RETURN_IF_ERROR(program.CheckSafety());
+  MULTILOG_ASSIGN_OR_RETURN(Stratification strat, Stratify(program));
+
+  Program reordered;
+  const Program* effective = &program;
+  if (options.reorder_body) {
+    for (const Clause& c : program.clauses()) {
+      reordered.AddClause(ReorderBody(c));
+    }
+    effective = &reordered;
+  }
+
+  std::unique_ptr<ThreadPool> pool;
+  if (options.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(options.num_threads - 1);
+  }
+
+  // Partition the external EDB delta by the stratum of its predicate. A
+  // removed atom whose predicate no longer appears in the program has
+  // no stratum; nothing can rederive or consume it, so stratum 0 is as
+  // good as any (it just gets dropped from the model there).
+  const size_t nstrata = std::max<size_t>(strat.num_strata(), 1);
+  std::vector<std::vector<Atom>> ext_adds(nstrata), ext_removes(nstrata);
+  auto stratum_of = [&strat, nstrata](const Atom& a) -> size_t {
+    auto it = strat.stratum_of.find(a.PredicateId());
+    return it == strat.stratum_of.end() ? 0 : std::min(it->second, nstrata - 1);
+  };
+  for (const Atom& a : adds) ext_adds[stratum_of(a)].push_back(a);
+  for (const Atom& a : removes) ext_removes[stratum_of(a)].push_back(a);
+
+  // Net changes from fully processed ("settled") strata. The vectors
+  // keep deterministic order for the caller; the sets answer membership;
+  // the predicate sets let a stratum skip clauses the delta cannot fire.
+  DeltaChanges net;
+  AtomSet net_added_set, net_removed_set;
+  PredicateIdSet net_added_preds, net_removed_preds;
+
+  for (size_t s = 0; s < nstrata; ++s) {
+    PredicateIdSet stratum_preds;
+    if (s < strat.num_strata()) {
+      stratum_preds.insert(strat.strata[s].begin(), strat.strata[s].end());
+    }
+    std::vector<const Clause*> clauses;
+    for (const Clause& c : effective->clauses()) {
+      if (stratum_preds.count(c.head().PredicateId())) clauses.push_back(&c);
+    }
+
+    // --- Phase 1: overestimate deletions (DRed). Joins must see the
+    // pre-mutation state, so the settled removals are temporarily
+    // reinserted; the model then shows old facts for positive joins
+    // (plus the settled additions - harmless, over-deletion is repaired
+    // by rederivation) while negation recovers the *exact* old state by
+    // masking the settled additions (JoinBody's neg_absent).
+    for (const Atom& a : net.removed) model->Insert(a);
+
+    AtomSet doomed;
+    std::vector<Atom> doomed_order;
+    std::vector<Atom>* doom_sink = &doomed_order;
+    auto condemn = [&](const Atom& fact) {
+      if (model->Contains(fact) && doomed.insert(fact).second) {
+        doom_sink->push_back(fact);
+      }
+    };
+    for (const Atom& a : ext_removes[s]) condemn(a);
+
+    auto doom_heads = [&](const std::vector<Literal>& body, const Atom& head,
+                          const Atom* dbegin, const Atom* dend) -> Status {
+      if (stats != nullptr) ++stats->rule_applications;
+      return JoinBody(body, 0, *model, dbegin, dend, 0, &net_added_set,
+                      Substitution(),
+                      [&](const Substitution& subst) -> Status {
+                        Atom h = subst.Apply(head);
+                        if (!h.IsGround()) {
+                          return Status::InvalidProgram(
+                              "derived non-ground head: " + h.ToString());
+                        }
+                        condemn(h);
+                        return Status::OK();
+                      });
+    };
+
+    // Seeds from the settled lower-strata changes: a positive literal
+    // that matched a removed fact, or a negated literal whose atom was
+    // just added, each kills derivations that existed before.
+    for (const Clause* c : clauses) {
+      if (net.removed.empty() && net.added.empty()) break;
+      MULTILOG_RETURN_IF_ERROR(CheckCancelled(options.cancel));
+      for (size_t i = 0; i < c->body().size(); ++i) {
+        const Literal& lit = c->body()[i];
+        if (lit.is_builtin()) continue;
+        std::vector<Literal> body;
+        const std::vector<Atom>* dvec = nullptr;
+        if (!lit.negated()) {
+          if (!net_removed_preds.count(lit.atom().PredicateId())) continue;
+          dvec = &net.removed;
+          body.reserve(c->body().size());
+          body.push_back(lit);
+          for (size_t j = 0; j < c->body().size(); ++j) {
+            if (j != i) body.push_back(c->body()[j]);
+          }
+        } else {
+          if (!net_added_preds.count(lit.atom().PredicateId())) continue;
+          // Bind from the added fact; drop this occurrence of the
+          // negation (it held in the old state by construction).
+          dvec = &net.added;
+          body.reserve(c->body().size());
+          body.push_back(Literal::Positive(lit.atom()));
+          for (size_t j = 0; j < c->body().size(); ++j) {
+            if (j != i) body.push_back(c->body()[j]);
+          }
+        }
+        MULTILOG_RETURN_IF_ERROR(doom_heads(
+            body, c->head(), dvec->data(), dvec->data() + dvec->size()));
+      }
+    }
+
+    // Propagate deletions within the stratum: anything deriving through
+    // a doomed fact is doomed too (still the overestimate - the model
+    // has not been touched, so joins see the old stratum content).
+    // Newly doomed facts collect in a side vector per round because
+    // JoinBody holds raw pointers into the round's frontier.
+    size_t frontier_begin = 0;
+    while (frontier_begin < doomed_order.size()) {
+      MULTILOG_RETURN_IF_ERROR(CheckCancelled(options.cancel));
+      const size_t frontier_end = doomed_order.size();
+      std::vector<Atom> newly;
+      doom_sink = &newly;
+      for (const Clause* c : clauses) {
+        for (size_t i = 0; i < c->body().size(); ++i) {
+          const Literal& lit = c->body()[i];
+          if (lit.is_builtin() || lit.negated()) continue;
+          if (!stratum_preds.count(lit.atom().PredicateId())) continue;
+          std::vector<Literal> body;
+          body.reserve(c->body().size());
+          body.push_back(lit);
+          for (size_t j = 0; j < c->body().size(); ++j) {
+            if (j != i) body.push_back(c->body()[j]);
+          }
+          MULTILOG_RETURN_IF_ERROR(
+              doom_heads(body, c->head(), doomed_order.data() + frontier_begin,
+                         doomed_order.data() + frontier_end));
+        }
+      }
+      doom_sink = &doomed_order;
+      frontier_begin = frontier_end;
+      doomed_order.insert(doomed_order.end(), newly.begin(), newly.end());
+    }
+
+    // --- Phase 2: drop the overestimate along with the reinserted
+    // old-state scaffolding; the model now underestimates the stratum.
+    {
+      std::vector<Atom> scaffold = net.removed;
+      scaffold.insert(scaffold.end(), doomed_order.begin(),
+                      doomed_order.end());
+      model->RemoveFacts(scaffold);
+    }
+
+    // --- Phase 3: rederive. A doomed fact with an alternative
+    // derivation in the new state comes back; rederived facts then
+    // propagate semi-naively, resurrecting doomed facts that depended
+    // on them. Because `program` is the post-mutation program, an EDB
+    // atom still backed by another fact clause rederives through that
+    // clause's empty body here.
+    std::vector<Atom> inserted_log;
+    std::vector<Atom> redelta;
+    for (const Atom& f : doomed_order) {
+      MULTILOG_RETURN_IF_ERROR(CheckCancelled(options.cancel));
+      bool found = false;
+      for (const Clause* c : clauses) {
+        std::optional<Substitution> head_subst =
+            UnifyAtoms(c->head(), f, Substitution());
+        if (!head_subst.has_value()) continue;
+        if (stats != nullptr) ++stats->rule_applications;
+        Status st = JoinBody(
+            c->body(), 0, *model, nullptr, nullptr, -1, nullptr, *head_subst,
+            [](const Substitution&) -> Status { return RederiveFound(); });
+        if (st.ok()) continue;
+        if (st == RederiveFound()) {
+          found = true;
+          break;
+        }
+        return st;
+      }
+      if (found && model->Insert(f)) {
+        inserted_log.push_back(f);
+        redelta.push_back(f);
+      }
+    }
+    MULTILOG_RETURN_IF_ERROR(SeminaiveRounds(clauses, stratum_preds, options,
+                                             pool.get(), model, stats,
+                                             std::move(redelta),
+                                             &inserted_log));
+
+    // --- Phase 4: additions. Seeds are the external adds plus clause
+    // firings enabled by the settled changes - a positive literal
+    // matching an added fact, or a negated literal whose atom was
+    // removed (bound from the removal; the original negation stays in
+    // the body and re-checks against the new state). The rest of each
+    // body joins the current model, which already holds all settled
+    // additions, so multi-change combinations are covered.
+    EmitBudget budget{options.max_facts, model->size(), options.cancel};
+    std::vector<Atom> derived;
+    derived.insert(derived.end(), ext_adds[s].begin(), ext_adds[s].end());
+    for (const Clause* c : clauses) {
+      if (net.removed.empty() && net.added.empty()) break;
+      MULTILOG_RETURN_IF_ERROR(CheckCancelled(options.cancel));
+      for (size_t i = 0; i < c->body().size(); ++i) {
+        const Literal& lit = c->body()[i];
+        if (lit.is_builtin()) continue;
+        std::vector<Literal> body;
+        const std::vector<Atom>* dvec = nullptr;
+        if (!lit.negated()) {
+          if (!net_added_preds.count(lit.atom().PredicateId())) continue;
+          dvec = &net.added;
+          body.reserve(c->body().size());
+          body.push_back(lit);
+          for (size_t j = 0; j < c->body().size(); ++j) {
+            if (j != i) body.push_back(c->body()[j]);
+          }
+        } else {
+          if (!net_removed_preds.count(lit.atom().PredicateId())) continue;
+          dvec = &net.removed;
+          body.reserve(c->body().size() + 1);
+          body.push_back(Literal::Positive(lit.atom()));
+          for (const Literal& l : c->body()) body.push_back(l);
+        }
+        if (stats != nullptr) ++stats->rule_applications;
+        MULTILOG_RETURN_IF_ERROR(JoinBody(
+            body, 0, *model, dvec->data(), dvec->data() + dvec->size(), 0,
+            nullptr, Substitution(),
+            [&](const Substitution& subst) -> Status {
+              Atom h = subst.Apply(c->head());
+              if (!h.IsGround()) {
+                return Status::InvalidProgram("derived non-ground head: " +
+                                              h.ToString());
+              }
+              if (!model->Contains(h)) {
+                MULTILOG_RETURN_IF_ERROR(budget.Charge());
+              }
+              if (stats != nullptr) ++stats->facts_derived;
+              derived.push_back(std::move(h));
+              return Status::OK();
+            }));
+      }
+    }
+    std::vector<Atom> add_delta;
+    for (Atom& a : derived) {
+      if (model->Insert(a)) {
+        inserted_log.push_back(a);
+        add_delta.push_back(std::move(a));
+      }
+    }
+    if (stats != nullptr) ++stats->iterations;
+    MULTILOG_RETURN_IF_ERROR(SeminaiveRounds(clauses, stratum_preds, options,
+                                             pool.get(), model, stats,
+                                             std::move(add_delta),
+                                             &inserted_log));
+
+    // --- Stratum bookkeeping: the net effect feeds the next strata and
+    // the caller. Doomed facts that made it back (rederived or re-added)
+    // net to nothing, as do inserted facts that were doomed.
+    for (const Atom& f : doomed_order) {
+      if (!model->Contains(f) && net_removed_set.insert(f).second) {
+        net.removed.push_back(f);
+        net_removed_preds.insert(f.PredicateId());
+      }
+    }
+    for (const Atom& a : inserted_log) {
+      if (doomed.count(a) > 0) continue;
+      if (net_added_set.insert(a).second) {
+        net.added.push_back(a);
+        net_added_preds.insert(a.PredicateId());
+      }
+    }
+  }
+  return net;
+}
+
 Result<std::vector<Substitution>> QueryModel(const Model& model,
                                              const std::vector<Literal>& goal,
                                              const CancelToken* cancel) {
@@ -723,7 +1055,7 @@ Result<std::vector<Substitution>> QueryModel(const Model& model,
   std::set<std::string> seen;  // canonical text of the restricted answer
   std::vector<Substitution> answers;
   MULTILOG_RETURN_IF_ERROR(JoinBody(
-      goal, 0, model, nullptr, nullptr, -1, Substitution(),
+      goal, 0, model, nullptr, nullptr, -1, nullptr, Substitution(),
       [&](const Substitution& subst) -> Status {
         MULTILOG_RETURN_IF_ERROR(CheckCancelled(cancel));
         Substitution restricted;

@@ -73,6 +73,40 @@ struct EvalStats {
 Result<Model> Evaluate(const Program& program, const EvalOptions& options = {},
                        EvalStats* stats = nullptr);
 
+/// The net effect of one ApplyDelta call on the maintained model:
+/// `added` holds facts now in the model that were not before, `removed`
+/// facts that were and are no longer. Both are duplicate-free, disjoint,
+/// and in a deterministic order, so downstream views (decoded models,
+/// belief groupings) can be maintained in O(|added| + |removed|).
+struct DeltaChanges {
+  std::vector<Atom> added;
+  std::vector<Atom> removed;
+};
+
+/// Incrementally maintains a stratified fixpoint under EDB change
+/// (DRed-style delete/rederive, per stratum, with semi-naive
+/// propagation of both polarities across strata).
+///
+/// Contract: `model` is the fixpoint of the *pre-mutation* program, and
+/// `program` is the *post-mutation* program; `adds`/`removes` are the
+/// ground atoms whose bodyless fact clauses were added to / removed
+/// from it. On success `*model` is the fixpoint of `program` - equal,
+/// as a set, to a scratch `Evaluate(program)` (property-tested) - and
+/// the returned DeltaChanges describe the net difference. Because
+/// rederivation runs against the post-mutation program, overlapping EDB
+/// support is handled: removing one of two fact clauses backing the
+/// same atom nets to no change.
+///
+/// On any error (aggregate clauses, which are not incrementally
+/// maintainable; budget exhaustion; cancellation) `*model` may be left
+/// in an inconsistent intermediate state: the caller must discard it
+/// and fall back to full recomputation.
+Result<DeltaChanges> ApplyDelta(const Program& program,
+                                const std::vector<Atom>& adds,
+                                const std::vector<Atom>& removes,
+                                Model* model, const EvalOptions& options = {},
+                                EvalStats* stats = nullptr);
+
 /// Matches a conjunctive goal (with negation and builtins) against a
 /// completed model. Negative and builtin literals must be ground by the
 /// time they are reached left-to-right (a dynamic safety check). Returns

@@ -23,6 +23,46 @@ bool Model::Insert(const Atom& atom) {
   return true;
 }
 
+size_t Model::RemoveFacts(const std::vector<Atom>& atoms) {
+  // Pass 1: drop from the membership sets, tracking touched relations.
+  std::unordered_set<PredicateId, PredicateIdHash> touched;
+  size_t removed = 0;
+  for (const Atom& atom : atoms) {
+    assert(atom.IsGround());
+    auto it = relations_.find(atom.PredicateId());
+    if (it == relations_.end()) continue;
+    if (it->second.set.erase(atom) == 0) continue;
+    touched.insert(it->first);
+    ++removed;
+    --size_;
+  }
+  if (removed == 0) return 0;
+  // Pass 2: rebuild each touched relation's fact vector (surviving
+  // facts keep their relative insertion order) and posting lists.
+  for (const PredicateId& id : touched) {
+    auto it = relations_.find(id);
+    Relation& rel = it->second;
+    if (rel.set.empty()) {
+      relations_.erase(it);
+      continue;
+    }
+    std::vector<Atom> survivors;
+    survivors.reserve(rel.set.size());
+    for (Atom& a : rel.facts) {
+      if (rel.set.count(a) > 0) survivors.push_back(std::move(a));
+    }
+    rel.facts = std::move(survivors);
+    for (auto& posting : rel.index) posting.clear();
+    for (size_t idx = 0; idx < rel.facts.size(); ++idx) {
+      const Atom& a = rel.facts[idx];
+      for (size_t pos = 0; pos < a.arity(); ++pos) {
+        rel.index[pos][a.args()[pos]].push_back(idx);
+      }
+    }
+  }
+  return removed;
+}
+
 bool Model::Contains(const Atom& atom) const {
   auto it = relations_.find(atom.PredicateId());
   if (it == relations_.end()) return false;

@@ -68,6 +68,14 @@ class Model {
   /// atom.IsGround().
   bool Insert(const Atom& atom);
 
+  /// Removes a batch of ground atoms, ignoring ones not present, and
+  /// returns how many were actually removed. Affected relations are
+  /// rebuilt once per call (facts vector compacted in insertion order,
+  /// posting lists reindexed), so a delta of k facts costs O(sum of the
+  /// touched relations' sizes), not O(k * relation). Invalidates every
+  /// FactSlice and FactsFor reference into the touched relations.
+  size_t RemoveFacts(const std::vector<Atom>& atoms);
+
   bool Contains(const Atom& atom) const;
 
   /// All facts for p/n, in insertion order. Empty vector if none.

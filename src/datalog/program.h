@@ -23,6 +23,26 @@ class Program {
   /// Appends every clause of `other`.
   void Append(const Program& other);
 
+  /// Inserts `clause` at position `pos` (<= size()), shifting later
+  /// clauses - the incremental reduction path splices fact clauses into
+  /// the middle of a maintained program to match a scratch rebuild's
+  /// clause order exactly.
+  void InsertClause(size_t pos, Clause clause) {
+    clauses_.insert(clauses_.begin() + static_cast<ptrdiff_t>(pos),
+                    std::move(clause));
+  }
+
+  /// Removes the clause at position `pos` (< size()).
+  void EraseClauseAt(size_t pos) {
+    clauses_.erase(clauses_.begin() + static_cast<ptrdiff_t>(pos));
+  }
+
+  /// Removes `count` clauses starting at `pos` (pos + count <= size()).
+  void EraseClauses(size_t pos, size_t count) {
+    clauses_.erase(clauses_.begin() + static_cast<ptrdiff_t>(pos),
+                   clauses_.begin() + static_cast<ptrdiff_t>(pos + count));
+  }
+
   const std::vector<Clause>& clauses() const { return clauses_; }
   size_t size() const { return clauses_.size(); }
 

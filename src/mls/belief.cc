@@ -1,6 +1,7 @@
 #include "mls/belief.h"
 
 #include <algorithm>
+#include <iterator>
 #include <set>
 #include <unordered_map>
 
@@ -108,125 +109,101 @@ struct KeyVectorHash {
   }
 };
 
-Result<BeliefOutcome> BelieveCautious(const Relation& relation,
-                                      const std::string& level,
-                                      const BeliefOptions& options) {
-  const lattice::SecurityLattice& lat = relation.lat();
-  const size_t arity = relation.scheme().arity();
-  const size_t key_arity = relation.scheme().key_arity();
-
-  // Visible tuples, grouped by (possibly composite) key value in one
-  // hashed pass (each group keeps raw-relation order); the distinct
-  // keys are then sorted so the per-key processing order - and with it
-  // every output - is identical to the old sorted-scan implementation.
-  MULTILOG_ASSIGN_OR_RETURN(size_t level_index, lat.Index(level));
-  std::vector<const Tuple*> visible;
-  for (const Tuple& t : relation.tuples()) {
-    MULTILOG_ASSIGN_OR_RETURN(size_t tc_index, lat.Index(t.tc));
-    if (lat.LeqIndex(tc_index, level_index)) visible.push_back(&t);
+/// The per-key-group core of cautious belief: key versions, maximal
+/// candidate cells per attribute, cartesian assembly, and the per-tuple
+/// representability filter. beta_cau factors through the partition of
+/// the visible tuples by key value - groups neither read nor write each
+/// other's state - which is what makes the incremental regrouping of
+/// CautiousBeliefView exact. Returns the group's believed tuples,
+/// sorted and unique; ORs `conflict` on multiple maximal candidates,
+/// surviving merged key versions, or unrepresentable combinations.
+Result<std::vector<Tuple>> CautiousGroup(const lattice::SecurityLattice& lat,
+                                         const std::string& level,
+                                         size_t arity, size_t key_arity,
+                                         const std::vector<const Tuple*>& group,
+                                         const BeliefOptions& options,
+                                         bool* conflict) {
+  // Key versions: every distinct visible (AK, C_AK) prefix (Definition
+  // 3.1's "exists u"; with a composite key the prefix is the first
+  // key_arity cells, uniformly classified), or - with
+  // merge_key_versions - only the classification-maximal ones (the
+  // Section 3.1 overriding story).
+  std::vector<std::vector<Cell>> key_versions;
+  for (const Tuple* t : group) {
+    key_versions.emplace_back(t->cells.begin(),
+                              t->cells.begin() + key_arity);
   }
-
-  std::unordered_map<std::vector<Value>, std::vector<const Tuple*>,
-                     KeyVectorHash>
-      groups;
-  for (const Tuple* t : visible) {
-    groups[relation.KeyOf(*t)].push_back(t);
-  }
-  std::vector<const std::vector<Value>*> key_values;
-  key_values.reserve(groups.size());
-  for (const auto& [key, group] : groups) key_values.push_back(&key);
-  std::sort(key_values.begin(), key_values.end(),
-            [](const std::vector<Value>* a, const std::vector<Value>* b) {
-              return *a < *b;
-            });
-
-  bool conflict = false;
-  std::vector<Tuple> believed;
-  for (const std::vector<Value>* key : key_values) {
-    const std::vector<const Tuple*>& group = groups.find(*key)->second;
-
-    // Key versions: every distinct visible (AK, C_AK) prefix (Definition
-    // 3.1's "exists u"; with a composite key the prefix is the first
-    // key_arity cells, uniformly classified), or - with
-    // merge_key_versions - only the classification-maximal ones (the
-    // Section 3.1 overriding story).
-    std::vector<std::vector<Cell>> key_versions;
-    for (const Tuple* t : group) {
-      key_versions.emplace_back(t->cells.begin(),
-                                t->cells.begin() + key_arity);
+  std::sort(key_versions.begin(), key_versions.end());
+  key_versions.erase(std::unique(key_versions.begin(), key_versions.end()),
+                     key_versions.end());
+  if (options.merge_key_versions) {
+    // Keep versions whose (uniform) classification is maximal.
+    std::vector<size_t> cls(key_versions.size());
+    for (size_t i = 0; i < key_versions.size(); ++i) {
+      MULTILOG_ASSIGN_OR_RETURN(
+          cls[i], lat.Index(key_versions[i].front().classification));
     }
-    std::sort(key_versions.begin(), key_versions.end());
-    key_versions.erase(
-        std::unique(key_versions.begin(), key_versions.end()),
-        key_versions.end());
-    if (options.merge_key_versions) {
-      // Keep versions whose (uniform) classification is maximal.
-      std::vector<size_t> cls(key_versions.size());
-      for (size_t i = 0; i < key_versions.size(); ++i) {
-        MULTILOG_ASSIGN_OR_RETURN(
-            cls[i], lat.Index(key_versions[i].front().classification));
-      }
-      std::vector<std::vector<Cell>> maximal;
-      for (size_t i = 0; i < key_versions.size(); ++i) {
-        bool dominated = false;
-        for (size_t j = 0; j < key_versions.size(); ++j) {
-          if (lat.LtIndex(cls[i], cls[j])) {
-            dominated = true;
-            break;
-          }
+    std::vector<std::vector<Cell>> maximal;
+    for (size_t i = 0; i < key_versions.size(); ++i) {
+      bool dominated = false;
+      for (size_t j = 0; j < key_versions.size(); ++j) {
+        if (lat.LtIndex(cls[i], cls[j])) {
+          dominated = true;
+          break;
         }
-        if (!dominated) maximal.push_back(key_versions[i]);
       }
-      key_versions = std::move(maximal);
+      if (!dominated) maximal.push_back(key_versions[i]);
     }
+    key_versions = std::move(maximal);
+  }
 
-    // Per non-key attribute: the classification-maximal candidate cells,
-    // pooled across every visible version of the entity.
-    std::vector<std::vector<Cell>> attr_choices(arity);
+  // Per non-key attribute: the classification-maximal candidate cells,
+  // pooled across every visible version of the entity.
+  std::vector<std::vector<Cell>> attr_choices(arity);
+  for (size_t i = key_arity; i < arity; ++i) {
+    std::vector<Cell> candidates;
+    for (const Tuple* t : group) candidates.push_back(t->cells[i]);
+    MULTILOG_ASSIGN_OR_RETURN(attr_choices[i],
+                              MaximalCells(lat, std::move(candidates)));
+    if (attr_choices[i].size() > 1) *conflict = true;
+  }
+  if (key_versions.size() > 1 && options.merge_key_versions) {
+    *conflict = true;
+  }
+
+  // Cartesian assembly of one believed tuple per combination.
+  std::vector<Tuple> assembled;
+  for (const std::vector<Cell>& key_cells : key_versions) {
+    std::vector<Tuple> partial(1);
+    partial[0].cells = key_cells;
     for (size_t i = key_arity; i < arity; ++i) {
-      std::vector<Cell> candidates;
-      for (const Tuple* t : group) candidates.push_back(t->cells[i]);
-      MULTILOG_ASSIGN_OR_RETURN(attr_choices[i],
-                                MaximalCells(lat, std::move(candidates)));
-      if (attr_choices[i].size() > 1) conflict = true;
-    }
-    if (key_versions.size() > 1 && options.merge_key_versions) {
-      conflict = true;
-    }
-
-    // Cartesian assembly of one believed tuple per combination.
-    for (const std::vector<Cell>& key_cells : key_versions) {
-      std::vector<Tuple> partial(1);
-      partial[0].cells = key_cells;
-      for (size_t i = key_arity; i < arity; ++i) {
-        std::vector<Tuple> next;
-        for (const Tuple& p : partial) {
-          for (const Cell& choice : attr_choices[i]) {
-            Tuple extended = p;
-            extended.cells.push_back(choice);
-            next.push_back(std::move(extended));
-          }
+      std::vector<Tuple> next;
+      for (const Tuple& p : partial) {
+        for (const Cell& choice : attr_choices[i]) {
+          Tuple extended = p;
+          extended.cells.push_back(choice);
+          next.push_back(std::move(extended));
         }
-        partial = std::move(next);
       }
-      for (Tuple& t : partial) {
-        t.tc = level;
-        believed.push_back(std::move(t));
-      }
+      partial = std::move(next);
+    }
+    for (Tuple& t : partial) {
+      t.tc = level;
+      assembled.push_back(std::move(t));
     }
   }
-
-  std::sort(believed.begin(), believed.end());
-  believed.erase(std::unique(believed.begin(), believed.end()),
-                 believed.end());
+  std::sort(assembled.begin(), assembled.end());
+  assembled.erase(std::unique(assembled.begin(), assembled.end()),
+                  assembled.end());
 
   // The assembled tuples may violate per-tuple entity integrity when a
   // maximal cell's class does not dominate the chosen key class (possible
   // across polyinstantiated key versions); such combinations are not
   // representable and are dropped, mirroring the paper's observation
   // that cautious views under partial orders may lose predictability.
-  BeliefOutcome out{Relation(relation.scheme(), &relation.lat()), conflict};
-  for (Tuple& t : believed) {
+  std::vector<Tuple> believed;
+  believed.reserve(assembled.size());
+  for (Tuple& t : assembled) {
     bool representable = true;
     MULTILOG_ASSIGN_OR_RETURN(size_t key_cls,
                               lat.Index(t.key_cell().classification));
@@ -239,15 +216,143 @@ Result<BeliefOutcome> BelieveCautious(const Relation& relation,
       }
     }
     if (!representable) {
-      out.conflict = true;
+      *conflict = true;
       continue;
     }
+    believed.push_back(std::move(t));
+  }
+  return believed;
+}
+
+Result<BeliefOutcome> BelieveCautious(const Relation& relation,
+                                      const std::string& level,
+                                      const BeliefOptions& options) {
+  const lattice::SecurityLattice& lat = relation.lat();
+  const size_t arity = relation.scheme().arity();
+  const size_t key_arity = relation.scheme().key_arity();
+
+  // Visible tuples, grouped by (possibly composite) key value in one
+  // hashed pass; group processing order is irrelevant because the
+  // per-group outputs are disjoint and globally re-sorted below.
+  MULTILOG_ASSIGN_OR_RETURN(size_t level_index, lat.Index(level));
+  std::unordered_map<std::vector<Value>, std::vector<const Tuple*>,
+                     KeyVectorHash>
+      groups;
+  for (const Tuple& t : relation.tuples()) {
+    MULTILOG_ASSIGN_OR_RETURN(size_t tc_index, lat.Index(t.tc));
+    if (lat.LeqIndex(tc_index, level_index)) {
+      groups[relation.KeyOf(t)].push_back(&t);
+    }
+  }
+
+  bool conflict = false;
+  std::vector<Tuple> believed;
+  for (const auto& [key, group] : groups) {
+    MULTILOG_ASSIGN_OR_RETURN(
+        std::vector<Tuple> group_believed,
+        CautiousGroup(lat, level, arity, key_arity, group, options,
+                      &conflict));
+    believed.insert(believed.end(),
+                    std::make_move_iterator(group_believed.begin()),
+                    std::make_move_iterator(group_believed.end()));
+  }
+
+  // Group outputs are disjoint (the key values name the group), so the
+  // served order is a plain sort of the concatenation.
+  std::sort(believed.begin(), believed.end());
+  BeliefOutcome out{Relation(relation.scheme(), &relation.lat()), conflict};
+  for (Tuple& t : believed) {
     MULTILOG_RETURN_IF_ERROR(out.relation.AppendDerived(std::move(t)));
   }
   return out;
 }
 
 }  // namespace
+
+Result<CautiousBeliefView> CautiousBeliefView::Build(
+    const Relation& relation, const std::string& level,
+    const BeliefOptions& options) {
+  CautiousBeliefView view(relation.scheme(), &relation.lat(), level,
+                          options);
+  MULTILOG_ASSIGN_OR_RETURN(view.level_index_,
+                            relation.lat().Index(level));
+  for (const Tuple& t : relation.tuples()) {
+    MULTILOG_RETURN_IF_ERROR(view.Apply(t, /*remove=*/false));
+  }
+  return view;
+}
+
+Status CautiousBeliefView::Apply(const Tuple& t, bool remove) {
+  trace::Span span(trace::Stage::kRegroup);
+  if (t.cells.size() != scheme_.arity()) {
+    return Status::InvalidArgument("arity mismatch: tuple " + t.ToString() +
+                                   " vs scheme " + scheme_.relation_name());
+  }
+  MULTILOG_ASSIGN_OR_RETURN(size_t tc_index, lat_->Index(t.tc));
+  // Invisible tuples never reach beta_cau's candidate pool; the delta
+  // is a no-op for this believing level.
+  if (!lat_->LeqIndex(tc_index, level_index_)) return Status::OK();
+
+  std::vector<Value> key;
+  key.reserve(scheme_.key_arity());
+  for (size_t i = 0; i < scheme_.key_arity(); ++i) {
+    key.push_back(t.cells[i].value);
+  }
+  auto it = groups_.find(key);
+
+  // Stage the mutated group base, then recompute its believed tuples
+  // *before* committing anything, so a lattice error leaves the view
+  // untouched.
+  std::vector<Tuple> base =
+      it == groups_.end() ? std::vector<Tuple>{} : it->second.base;
+  if (remove) {
+    auto pos = std::find(base.begin(), base.end(), t);
+    if (pos == base.end()) {
+      return Status::NotFound("tuple not in the maintained base: " +
+                              t.ToString());
+    }
+    base.erase(pos);
+  } else {
+    base.push_back(t);
+  }
+
+  Group next;
+  next.base = std::move(base);
+  if (!next.base.empty()) {
+    std::vector<const Tuple*> group;
+    group.reserve(next.base.size());
+    for (const Tuple& b : next.base) group.push_back(&b);
+    MULTILOG_ASSIGN_OR_RETURN(
+        next.believed,
+        CautiousGroup(*lat_, level_, scheme_.arity(), scheme_.key_arity(),
+                      group, options_, &next.conflict));
+  }
+
+  // Commit: diff the group's believed tuples into the global ordered
+  // set (disjointness across groups makes the erase/insert exact).
+  if (it != groups_.end()) {
+    for (const Tuple& b : it->second.believed) believed_.erase(b);
+    if (it->second.conflict) --conflict_groups_;
+    if (next.base.empty()) {
+      groups_.erase(it);
+      return Status::OK();
+    }
+    it->second = std::move(next);
+  } else {
+    it = groups_.emplace(std::move(key), std::move(next)).first;
+  }
+  believed_.insert(it->second.believed.begin(), it->second.believed.end());
+  if (it->second.conflict) ++conflict_groups_;
+  return Status::OK();
+}
+
+Result<BeliefOutcome> CautiousBeliefView::Outcome() const {
+  BeliefOutcome out{Relation(scheme_, lat_), conflict_groups_ > 0};
+  for (const Tuple& t : believed_) {
+    MULTILOG_RETURN_IF_ERROR(out.relation.AppendDerived(t));
+  }
+  return out;
+}
 
 Result<BeliefOutcome> Believe(const Relation& relation,
                               const std::string& level, BeliefMode mode,

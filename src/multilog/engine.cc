@@ -1,6 +1,7 @@
 #include "multilog/engine.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <set>
 
 #include "common/str_util.h"
@@ -98,6 +99,10 @@ std::vector<MlClause>::iterator FindStoredFact(std::vector<MlClause>* sigma,
 }
 
 }  // namespace
+
+bool IncrementalMaintenanceDefault() {
+  return std::getenv("MULTILOG_NO_INCREMENTAL") == nullptr;
+}
 
 Result<Engine> Engine::FromSource(std::string_view source,
                                   EngineOptions options) {
@@ -210,6 +215,12 @@ Result<const datalog::Model*> Engine::ReducedModelLocked(
     }
   }
   std::unique_lock<std::shared_mutex> lock(caches_->mu);
+  // Keep the encoded fixpoint alongside the decoded view: writes
+  // maintain it in place via ApplyDelta (racing builders publish
+  // identical models, so first-wins holds for both maps).
+  if (options_.incremental) {
+    caches_->raw_models.try_emplace(level, std::move(raw));
+  }
   auto [it, inserted] = caches_->models.try_emplace(level, std::move(decoded));
   return &it->second;
 }
@@ -441,11 +452,17 @@ Result<WriteResult> Engine::Mutate(std::string_view fact_source,
     result.seqno = ++mem_seqno_;
   }
 
-  // --- Apply + invalidate, keeping sigma_index_ in lockstep with
+  // --- Apply + propagate, keeping sigma_index_ in lockstep with
   // sigma. The retract-side FindStoredFact only locates the erase
-  // position: the index already proved the fact is stored.
+  // position: the index already proved the fact is stored. The erase
+  // position is captured *before* the erase - the incremental path
+  // splices exactly that entry's clauses out of maintained programs.
+  const MlClause fact_clause{fact, {}};
+  size_t sigma_index = 0;
   if (retract) {
-    cdb_.db.sigma.erase(FindStoredFact(&cdb_.db.sigma, fact));
+    auto it = FindStoredFact(&cdb_.db.sigma, fact);
+    sigma_index = static_cast<size_t>(it - cdb_.db.sigma.begin());
+    cdb_.db.sigma.erase(it);
     sigma_index_.Remove(fact);
     caches_->retracts_ok.fetch_add(1, kRelaxed);
   } else {
@@ -453,8 +470,145 @@ Result<WriteResult> Engine::Mutate(std::string_view fact_source,
     cdb_.db.sigma.push_back(MlClause{std::move(fact), {}});
     caches_->asserts_ok.fetch_add(1, kRelaxed);
   }
-  result.invalidated_levels = InvalidateDominating(level);
+  if (options_.incremental) {
+    PropagateDelta(level, fact_clause, retract, sigma_index, &result);
+  } else {
+    result.invalidated_levels = InvalidateDominating(level);
+  }
   return result;
+}
+
+void Engine::PropagateDelta(const std::string& written_level,
+                            const MlClause& fact, bool retract,
+                            size_t sigma_index, WriteResult* result) {
+  // db_mu is held exclusively, so no reader races the in-place updates;
+  // `mu` still guards the maps' structure against nothing here but is
+  // taken for symmetry with the read paths.
+  uint64_t dropped = 0;
+  std::unique_lock<std::shared_mutex> lock(caches_->mu);
+  std::set<std::string> cached;
+  for (const auto& [sym, unused] : caches_->reduced) {
+    cached.insert(std::string(sym.str()));
+  }
+  for (const auto& [sym, unused] : caches_->models) {
+    cached.insert(std::string(sym.str()));
+  }
+  for (const auto& [sym, unused] : caches_->interpreters) {
+    cached.insert(std::string(sym.str()));
+  }
+  for (const std::string& name : cached) {
+    Result<bool> leq = cdb_.lattice.Leq(written_level, name);
+    const bool dominating = leq.ok() && leq.value();
+    const Symbol sym = Symbol::Intern(name);
+
+    // EVERY cached reduced program absorbs the Sigma splice, dominance
+    // aside: tau translates the whole store into each level's program
+    // (visibility is enforced by the dominance guards, not by
+    // omission), so the sigma-span bookkeeping must track every write
+    // or a later splice would cut the wrong clause range. For
+    // non-dominating levels the spliced facts are inert - no guard at
+    // that session level admits them - so their models, which cannot
+    // have changed, are left untouched.
+    auto rp_it = caches_->reduced.find(sym);
+    if (rp_it != caches_->reduced.end()) {
+      ReducedProgram& rp = rp_it->second;
+      Result<SigmaFactDelta> spliced = [&]() -> Result<SigmaFactDelta> {
+        trace::Span span(trace::Stage::kDeltaReduce);
+        MULTILOG_ASSIGN_OR_RETURN(SigmaFactDelta d,
+                                  TranslateSigmaFact(fact, rp));
+        if (retract) {
+          EraseSigmaFact(&rp, sigma_index);
+        } else {
+          AppendSigmaFact(&rp, d);
+        }
+        return d;
+      }();
+      if (!spliced.ok()) {
+        // The maintained program is stale; drop the whole level and
+        // let the next query rebuild it from Sigma.
+        dropped += caches_->reduced.erase(sym);
+        dropped += caches_->models.erase(sym);
+        caches_->raw_models.erase(sym);
+        dropped += caches_->interpreters.erase(sym);
+        caches_->fallback_recomputes.fetch_add(1, kRelaxed);
+        result->invalidated_levels.push_back(name);
+        continue;
+      }
+      if (!dominating) continue;
+
+      // Tabled interpreter state cannot absorb a retraction (and an
+      // assert invalidates its negative answers); rebuild lazily.
+      dropped += caches_->interpreters.erase(sym);
+
+      auto raw_it = caches_->raw_models.find(sym);
+      auto model_it = caches_->models.find(sym);
+      if (raw_it == caches_->raw_models.end() ||
+          model_it == caches_->models.end()) {
+        // Program maintained, but no live model yet (the first query
+        // at this level evaluates the maintained program from
+        // scratch). Drop any orphaned half of the pair.
+        dropped += caches_->models.erase(sym);
+        caches_->raw_models.erase(sym);
+        result->maintained_levels.push_back(name);
+        continue;
+      }
+      const std::vector<Atom> no_atoms;
+      const std::vector<Atom>& adds = retract ? no_atoms : spliced->edb;
+      const std::vector<Atom>& removes = retract ? spliced->edb : no_atoms;
+      Result<datalog::DeltaChanges> changes =
+          [&]() -> Result<datalog::DeltaChanges> {
+        trace::Span span(trace::Stage::kDeltaEval);
+        return datalog::ApplyDelta(rp.program, adds, removes,
+                                   &raw_it->second, options_.eval);
+      }();
+      if (!changes.ok()) {
+        // The raw model may be mid-surgery - discard both forms; the
+        // maintained program stays (it is exact either way).
+        caches_->raw_models.erase(sym);
+        dropped += caches_->models.erase(sym);
+        caches_->fallback_recomputes.fetch_add(1, kRelaxed);
+        result->invalidated_levels.push_back(name);
+        continue;
+      }
+
+      {
+        // Regroup the served view: the net raw changes decode 1:1 (the
+        // specialization rewrite is injective), so the decoded model is
+        // maintained in O(|added| + |removed|).
+        trace::Span span(trace::Stage::kRegroup);
+        Model& decoded = model_it->second;
+        std::vector<Atom> decoded_removed;
+        decoded_removed.reserve(changes->removed.size());
+        for (const Atom& a : changes->removed) {
+          decoded_removed.push_back(DecodeFact(a));
+        }
+        decoded.RemoveFacts(decoded_removed);
+        for (const Atom& a : changes->added) decoded.Insert(DecodeFact(a));
+      }
+      caches_->deltas_applied.fetch_add(1, kRelaxed);
+      result->maintained_levels.push_back(name);
+      continue;
+    }
+
+    if (!dominating) continue;
+    // No maintained program. A model without its program cannot be
+    // maintained (should not happen - models are built through
+    // ReducedLocked - but stay safe); the interpreter is dropped as
+    // always.
+    const uint64_t interp_dropped = caches_->interpreters.erase(sym);
+    dropped += interp_dropped;
+    const uint64_t had_model = caches_->models.erase(sym);
+    caches_->raw_models.erase(sym);
+    dropped += had_model;
+    if (had_model > 0) {
+      caches_->fallback_recomputes.fetch_add(1, kRelaxed);
+    }
+    if (had_model + interp_dropped > 0) {
+      result->invalidated_levels.push_back(name);
+    }
+  }
+  caches_->invalidation_events.fetch_add(1, kRelaxed);
+  caches_->cache_entries_invalidated.fetch_add(dropped, kRelaxed);
 }
 
 std::vector<std::string> Engine::InvalidateDominating(
@@ -482,6 +636,7 @@ std::vector<std::string> Engine::InvalidateDominating(
     const Symbol sym = Symbol::Intern(name);
     dropped += caches_->reduced.erase(sym);
     dropped += caches_->models.erase(sym);
+    caches_->raw_models.erase(sym);
     dropped += caches_->interpreters.erase(sym);
     invalidated.push_back(name);
   }
@@ -530,6 +685,12 @@ EngineCounters Engine::Counters() const {
   c.retracts_ok = caches_->retracts_ok.load(kRelaxed);
   c.writes_rejected = caches_->writes_rejected.load(kRelaxed);
   c.checkpoints = caches_->checkpoints.load(kRelaxed);
+  c.deltas_applied = caches_->deltas_applied.load(kRelaxed);
+  c.fallback_recomputes = caches_->fallback_recomputes.load(kRelaxed);
+  {
+    std::shared_lock<std::shared_mutex> lock(caches_->mu);
+    c.live_models = caches_->models.size();
+  }
   return c;
 }
 

@@ -33,6 +33,12 @@ enum class ExecMode {
   kCheckBoth,
 };
 
+/// The construction-time default for EngineOptions::incremental: true
+/// unless the environment variable MULTILOG_NO_INCREMENTAL is set (the
+/// CI ablation leg and `multilogd --no-incremental` force the
+/// invalidate-and-recompute path through it).
+bool IncrementalMaintenanceDefault();
+
 struct EngineOptions {
   Interpreter::Options interpreter;
   ReductionOptions reduction;
@@ -43,6 +49,15 @@ struct EngineOptions {
   datalog::EvalOptions eval;
   /// Enforce Definition 5.4 on load (see CheckDatabase).
   bool require_consistency = false;
+  /// Maintain cached reduced programs and served models *in place*
+  /// across Assert/Retract - the translated fact is spliced into each
+  /// dominating level's reduced program and the EDB delta is propagated
+  /// into its live fixpoint (DRed) and decoded view - instead of
+  /// invalidating and recomputing them on the next query. Answers are
+  /// byte-identical either way (property-tested); a level falls back to
+  /// invalidation when its change cannot be applied incrementally.
+  /// Disable for ablation or as a safety valve.
+  bool incremental = IncrementalMaintenanceDefault();
 };
 
 /// One query's outcome. `answers[i]` pairs with `proofs[i]` when proofs
@@ -59,11 +74,18 @@ struct WriteResult {
   /// is attached; an in-memory counter otherwise).
   uint64_t seqno = 0;
   /// The session levels whose cached reduced programs / models /
-  /// interpreters this write invalidated: exactly the cached levels
-  /// that dominate the written level. Incomparable and strictly lower
-  /// levels keep their caches - a fact at level s is invisible to them,
-  /// so their models cannot have changed.
+  /// interpreters this write invalidated (dropped): with incremental
+  /// maintenance off, exactly the cached levels that dominate the
+  /// written level; with it on, only the dominating levels that could
+  /// not be maintained in place. Incomparable and strictly lower levels
+  /// keep their caches - a fact at level s is invisible to them, so
+  /// their models cannot have changed.
   std::vector<std::string> invalidated_levels;
+  /// The cached dominating levels whose reduced program (and live
+  /// model, when one was built) this write maintained *in place*
+  /// through the delta path. Disjoint from invalidated_levels; always
+  /// empty when EngineOptions::incremental is off.
+  std::vector<std::string> maintained_levels;
 };
 
 /// A point-in-time copy of the engine's observability counters (the
@@ -78,6 +100,9 @@ struct EngineCounters {
   uint64_t retracts_ok = 0;
   uint64_t writes_rejected = 0;  // security/integrity/parse rejections
   uint64_t checkpoints = 0;
+  uint64_t deltas_applied = 0;   // live models maintained in place by writes
+  uint64_t fallback_recomputes = 0;  // levels dropped to a full recompute
+  uint64_t live_models = 0;      // gauge: served models currently cached
 };
 
 /// A point-in-time copy of the attached storage's counters, taken under
@@ -270,6 +295,11 @@ class Engine {
     // names.
     std::map<Symbol, ReducedProgram> reduced;
     std::map<Symbol, datalog::Model> models;
+    /// The *encoded* (possibly level-specialized) fixpoint each decoded
+    /// model in `models` was derived from - the form ApplyDelta
+    /// maintains. Populated only when EngineOptions::incremental is on,
+    /// and kept in lockstep with `models`.
+    std::map<Symbol, datalog::Model> raw_models;
     std::map<Symbol, InterpreterSlot> interpreters;
 
     // Observability (relaxed; read via Engine::Counters).
@@ -281,6 +311,8 @@ class Engine {
     std::atomic<uint64_t> retracts_ok{0};
     std::atomic<uint64_t> writes_rejected{0};
     std::atomic<uint64_t> checkpoints{0};
+    std::atomic<uint64_t> deltas_applied{0};
+    std::atomic<uint64_t> fallback_recomputes{0};
   };
 
   Engine(CheckedDatabase cdb, EngineOptions options)
@@ -310,6 +342,19 @@ class Engine {
   /// the names of the dropped levels. Assumes db_mu held exclusively.
   std::vector<std::string> InvalidateDominating(
       const std::string& written_level);
+
+  /// The incremental counterpart of InvalidateDominating: for every
+  /// cached level dominating `written_level`, splices the translated
+  /// fact into the maintained reduced program (kDeltaReduce) and
+  /// propagates the EDB delta into the live fixpoint (kDeltaEval) and
+  /// its decoded serving view (kRegroup). A level whose change cannot
+  /// be applied incrementally falls back to being dropped. Interpreters
+  /// are always dropped (tabled state cannot absorb a retraction).
+  /// `fact` is the mutated Sigma clause; `sigma_index` its store
+  /// position before a retract erased it. Assumes db_mu held
+  /// exclusively.
+  void PropagateDelta(const std::string& written_level, const MlClause& fact,
+                      bool retract, size_t sigma_index, WriteResult* result);
 
   CheckedDatabase cdb_;
   /// Incremental index over the stored Sigma facts (duplicate counts +

@@ -390,14 +390,20 @@ Result<ReducedProgram> Reduce(const CheckedDatabase& cdb,
   out.levels = cdb.lattice.names();
   out.lattice = cdb.lattice;
 
-  // tau(Delta): Lambda, Sigma, Pi.
+  // tau(Delta): Lambda, Sigma, Pi. The Sigma component's spans and
+  // per-entry clause counts are recorded so a maintained copy can be
+  // spliced incrementally (AppendSigmaFact / EraseSigmaFact).
   for (const std::vector<MlClause>* component :
        {&cdb.db.lambda, &cdb.db.sigma, &cdb.db.pi}) {
+    const bool is_sigma = component == &cdb.db.sigma;
+    if (is_sigma) out.display_sigma_begin = out.display.size();
     for (const MlClause& clause : *component) {
       MULTILOG_ASSIGN_OR_RETURN(std::vector<Clause> translated,
                                 TranslateClause(clause, user));
+      if (is_sigma) out.sigma_display_counts.push_back(translated.size());
       for (Clause& c : translated) out.display.AddClause(std::move(c));
     }
+    if (is_sigma) out.display_sigma_end = out.display.size();
   }
   out.display.Append(EngineAxioms());
 
@@ -415,13 +421,93 @@ Result<ReducedProgram> Reduce(const CheckedDatabase& cdb,
 
   if (!out.specialized) {
     out.program = out.display;
+    out.program_sigma_begin = out.display_sigma_begin;
+    out.program_sigma_end = out.display_sigma_end;
+    out.sigma_program_counts = out.sigma_display_counts;
     return out;
   }
-  for (const Clause& clause : out.display.clauses()) {
+  // Specialize clause by clause, noting where the Sigma span lands in
+  // the specialized program and how many specialized clauses each Sigma
+  // entry produced (a display clause can expand into several copies or
+  // be statically dropped).
+  std::vector<size_t> per_display(out.display.size(), 0);
+  for (size_t i = 0; i < out.display.clauses().size(); ++i) {
+    const size_t before = out.program.size();
     MULTILOG_RETURN_IF_ERROR(
-        SpecializeClause(clause, cdb.lattice, &out.program));
+        SpecializeClause(out.display.clauses()[i], cdb.lattice,
+                         &out.program));
+    per_display[i] = out.program.size() - before;
+  }
+  size_t pos = 0;
+  for (size_t i = 0; i < out.display_sigma_begin; ++i) pos += per_display[i];
+  out.program_sigma_begin = pos;
+  size_t display_index = out.display_sigma_begin;
+  for (size_t count : out.sigma_display_counts) {
+    size_t produced = 0;
+    for (size_t j = 0; j < count; ++j) produced += per_display[display_index++];
+    out.sigma_program_counts.push_back(produced);
+    pos += produced;
+  }
+  out.program_sigma_end = pos;
+  return out;
+}
+
+Result<SigmaFactDelta> TranslateSigmaFact(const MlClause& fact,
+                                          const ReducedProgram& rp) {
+  SigmaFactDelta out;
+  MULTILOG_ASSIGN_OR_RETURN(std::vector<Clause> translated,
+                            TranslateClause(fact, Sym(rp.user_level)));
+  if (rp.specialized) {
+    Program spec;
+    for (const Clause& c : translated) {
+      MULTILOG_RETURN_IF_ERROR(SpecializeClause(c, rp.lattice, &spec));
+    }
+    out.program.assign(spec.clauses().begin(), spec.clauses().end());
+  } else {
+    out.program = translated;
+  }
+  out.display = std::move(translated);
+  out.edb.reserve(out.program.size());
+  for (const Clause& c : out.program) {
+    if (!c.IsFact() || !c.head().IsGround()) {
+      return Status::InvalidArgument(
+          "sigma entry does not translate to ground facts; not "
+          "incrementally maintainable: " +
+          c.ToString());
+    }
+    out.edb.push_back(c.head());
   }
   return out;
+}
+
+void AppendSigmaFact(ReducedProgram* rp, const SigmaFactDelta& delta) {
+  size_t pos = rp->display_sigma_end;
+  for (const Clause& c : delta.display) rp->display.InsertClause(pos++, c);
+  rp->display_sigma_end += delta.display.size();
+  pos = rp->program_sigma_end;
+  for (const Clause& c : delta.program) rp->program.InsertClause(pos++, c);
+  rp->program_sigma_end += delta.program.size();
+  rp->sigma_display_counts.push_back(delta.display.size());
+  rp->sigma_program_counts.push_back(delta.program.size());
+}
+
+void EraseSigmaFact(ReducedProgram* rp, size_t sigma_index) {
+  size_t display_pos = rp->display_sigma_begin;
+  size_t program_pos = rp->program_sigma_begin;
+  for (size_t i = 0; i < sigma_index; ++i) {
+    display_pos += rp->sigma_display_counts[i];
+    program_pos += rp->sigma_program_counts[i];
+  }
+  const size_t display_count = rp->sigma_display_counts[sigma_index];
+  const size_t program_count = rp->sigma_program_counts[sigma_index];
+  rp->display.EraseClauses(display_pos, display_count);
+  rp->program.EraseClauses(program_pos, program_count);
+  rp->display_sigma_end -= display_count;
+  rp->program_sigma_end -= program_count;
+  rp->sigma_display_counts.erase(rp->sigma_display_counts.begin() +
+                                 static_cast<ptrdiff_t>(sigma_index));
+  rp->sigma_program_counts.erase(rp->sigma_program_counts.begin() +
+                                 static_cast<ptrdiff_t>(sigma_index));
 }
 
 Result<std::vector<std::vector<datalog::Literal>>>

@@ -63,6 +63,20 @@ struct ReducedProgram {
   /// dominance guards during goal translation).
   lattice::SecurityLattice lattice;
 
+  /// Maintenance bookkeeping, filled by Reduce: the half-open clause
+  /// spans the Sigma component occupies in `display` and in `program`,
+  /// plus per-Sigma-entry clause counts in store order (one entry per
+  /// MlClause of Database::sigma; molecular facts atomize into several
+  /// clauses). AppendSigmaFact / EraseSigmaFact splice these spans so a
+  /// maintained copy stays byte-identical to a scratch Reduce of the
+  /// mutated database.
+  size_t display_sigma_begin = 0;
+  size_t display_sigma_end = 0;
+  size_t program_sigma_begin = 0;
+  size_t program_sigma_end = 0;
+  std::vector<size_t> sigma_display_counts;
+  std::vector<size_t> sigma_program_counts;
+
   /// Translates a MultiLog goal into executable Datalog goal lists. With
   /// specialization a goal containing level variables expands into one
   /// list per level assignment (with explicit `Var = level` bindings so
@@ -83,6 +97,33 @@ Result<ReducedProgram> Reduce(const CheckedDatabase& cdb,
 /// Names reserved by the reduction; user programs may define bel/7
 /// (user belief modes, Section 7) but not the others.
 bool IsReservedPredicate(const std::string& name);
+
+/// The clauses one Sigma entry contributes to a ReducedProgram, in both
+/// forms, plus the ground EDB atoms those clauses assert (the program
+/// clause heads) - exactly what datalog::ApplyDelta needs to maintain
+/// the evaluated model.
+struct SigmaFactDelta {
+  std::vector<datalog::Clause> display;
+  std::vector<datalog::Clause> program;
+  std::vector<datalog::Atom> edb;
+};
+
+/// Translates one ground Sigma fact exactly as Reduce would (same
+/// atomization, same specialization against rp's lattice). Errors when
+/// a resulting program clause is not a ground bodyless fact - such an
+/// entry is not incrementally maintainable and the caller must fall
+/// back to a full Reduce.
+Result<SigmaFactDelta> TranslateSigmaFact(const MlClause& fact,
+                                          const ReducedProgram& rp);
+
+/// Splices `delta`'s clauses at the end of rp's Sigma spans - matching
+/// a Database::sigma push_back - and updates the bookkeeping.
+void AppendSigmaFact(ReducedProgram* rp, const SigmaFactDelta& delta);
+
+/// Removes the clauses contributed by the Sigma entry at `sigma_index`
+/// (the index into Database::sigma *before* that entry is erased) and
+/// updates the bookkeeping.
+void EraseSigmaFact(ReducedProgram* rp, size_t sigma_index);
 
 /// tau(Delta) alone - the translated clause store with session guards
 /// but *without* the engine axioms. This is what the operational

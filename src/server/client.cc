@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <istream>
 #include <ostream>
@@ -196,6 +197,7 @@ std::string StripBatchLine(std::string line) {
 BatchResult RunBatch(Client& client, std::istream& input, bool keep_going,
                      std::ostream* echo) {
   BatchResult result;
+  const auto start = std::chrono::steady_clock::now();
   size_t lineno = 0;
   std::string line;
   while (std::getline(input, line)) {
@@ -231,7 +233,23 @@ BatchResult RunBatch(Client& client, std::istream& input, bool keep_going,
       *echo << lineno << ": " << response->Serialize() << "\n";
     }
     ++result.applied;
+    if (verb == "assert" || verb == "retract") {
+      ++result.writes;
+      auto count = [&](const char* field) -> size_t {
+        const Json* levels = response->Find(field);
+        return levels != nullptr && levels->is_array()
+                   ? levels->array_items().size()
+                   : 0;
+      };
+      result.levels_maintained += count("maintained_levels");
+      result.levels_invalidated += count("invalidated_levels");
+    }
   }
+  result.wall_ms =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count()) /
+      1000.0;
   return result;
 }
 

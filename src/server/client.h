@@ -82,6 +82,13 @@ struct BatchFailure {
 /// What a batch run did. The batch succeeded iff `failures` is empty.
 struct BatchResult {
   size_t applied = 0;  // lines that executed successfully
+  size_t writes = 0;   // applied asserts + retracts
+  /// Cache levels the server maintained in place (delta propagation)
+  /// and levels it dropped for recompute, summed over the batch's
+  /// writes - the incremental-vs-invalidate split of the run.
+  size_t levels_maintained = 0;
+  size_t levels_invalidated = 0;
+  double wall_ms = 0.0;  // client-side wall time for the whole batch
   std::vector<BatchFailure> failures;
 };
 

@@ -72,7 +72,11 @@ int RunBatchFile(server::Client& client, const std::string& path,
                  result.applied, result.failures.size());
     return 1;
   }
-  std::printf("batch ok: %zu operation(s) applied\n", result.applied);
+  std::printf(
+      "batch ok: %zu operation(s) applied (%zu write(s): %zu level(s) "
+      "delta-maintained, %zu invalidated) in %.1f ms\n",
+      result.applied, result.writes, result.levels_maintained,
+      result.levels_invalidated, result.wall_ms);
   return 0;
 }
 

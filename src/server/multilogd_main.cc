@@ -47,7 +47,9 @@ int Usage(const char* argv0) {
       "          [--workers N] [--max-conns N] [--max-inflight N]\n"
       "          [--max-request-bytes N] [--deadline-ms N]\n"
       "          [--mode operational|reduced|check_both]\n"
-      "          [--slow-query-ms N]   (log queries >= N ms to stderr)\n",
+      "          [--slow-query-ms N]   (log queries >= N ms to stderr)\n"
+      "          [--no-incremental]    (invalidate caches on writes instead\n"
+      "                                 of delta-maintaining them)\n",
       argv0);
   return 2;
 }
@@ -59,6 +61,7 @@ int main(int argc, char** argv) {
   std::string data_dir;
   bool use_sample = false;
   server::ServerOptions options;
+  ml::EngineOptions engine_options;
   options.port = 7690;
 
   for (int i = 1; i < argc; ++i) {
@@ -104,6 +107,8 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       options.slow_query_ms = std::atol(v);
+    } else if (arg == "--no-incremental") {
+      engine_options.incremental = false;
     } else if (arg == "--mode") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -158,9 +163,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "recovery: %s\n",
                    storage->recovered().data_loss.ToString().c_str());
     }
-    engine = ml::Engine::FromStorage(&*storage);
+    engine = ml::Engine::FromStorage(&*storage, engine_options);
   } else {
-    engine = ml::Engine::FromSource(source);
+    engine = ml::Engine::FromSource(source, engine_options);
   }
   if (!engine.ok()) {
     std::fprintf(stderr, "database: %s\n", engine.status().ToString().c_str());

@@ -527,6 +527,11 @@ Json Server::HandleWrite(const SessionState& session, const Request& req) {
       invalidated.Push(Json::Str(level));
     }
     resp.Set("invalidated_levels", std::move(invalidated));
+    Json maintained = Json::Array();
+    for (const std::string& level : result->maintained_levels) {
+      maintained.Push(Json::Str(level));
+    }
+    resp.Set("maintained_levels", std::move(maintained));
     resp.Set("durable", Json::Bool(engine_->storage() != nullptr));
   }
   metrics_.writes_ok.fetch_add(1, std::memory_order_relaxed);
@@ -549,6 +554,11 @@ Json Server::StatsJson() {
              Json::Int(static_cast<int64_t>(ec.invalidation_events)));
   engine.Set("cache_entries_invalidated",
              Json::Int(static_cast<int64_t>(ec.cache_entries_invalidated)));
+  engine.Set("deltas_applied",
+             Json::Int(static_cast<int64_t>(ec.deltas_applied)));
+  engine.Set("fallback_recomputes",
+             Json::Int(static_cast<int64_t>(ec.fallback_recomputes)));
+  engine.Set("live_models", Json::Int(static_cast<int64_t>(ec.live_models)));
   engine.Set("asserts_ok", Json::Int(static_cast<int64_t>(ec.asserts_ok)));
   engine.Set("retracts_ok", Json::Int(static_cast<int64_t>(ec.retracts_ok)));
   engine.Set("writes_rejected",
@@ -600,6 +610,14 @@ std::string Server::MetricsText() {
           ec.writes_rejected);
   counter("multilog_engine_checkpoints_total", "Checkpoints taken.",
           ec.checkpoints);
+  counter("multilog_engine_deltas_applied_total",
+          "Cached models maintained in place by delta propagation.",
+          ec.deltas_applied);
+  counter("multilog_engine_fallback_recomputes_total",
+          "Incremental maintenance fallbacks to full recompute.",
+          ec.fallback_recomputes);
+  counter("multilog_engine_live_models", "Maintained per-level models.",
+          ec.live_models, "gauge");
 
   if (const ml::StorageCounters sc = engine_->StorageStats(); sc.attached) {
     counter("multilog_storage_next_seqno", "Next mutation sequence number.",

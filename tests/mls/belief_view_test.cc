@@ -1,0 +1,185 @@
+// CautiousBeliefView must stay *byte-identical* to a scratch
+// Believe(base, level, kCautious) - rendered relation and conflict flag
+// alike - under randomized interleaved inserts and retracts of
+// polyinstantiation-dense tuples over a diamond lattice (incomparable
+// levels a, b make maximal-cell conflicts and unrepresentable
+// combinations common). This is the regroup-stage half of the
+// incremental maintenance oracle; the engine-level half lives in the
+// multilog mutation property tests.
+
+#include "mls/belief.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "lattice/lattice.h"
+#include "mls/relation.h"
+#include "mls/sample_data.h"
+#include "mls/scheme.h"
+
+namespace multilog::mls {
+namespace {
+
+lattice::SecurityLattice Diamond() {
+  Result<lattice::SecurityLattice> lat = lattice::SecurityLattice::Builder()
+                                             .AddLevel("u")
+                                             .AddLevel("a")
+                                             .AddLevel("b")
+                                             .AddLevel("ts")
+                                             .AddOrder("u", "a")
+                                             .AddOrder("u", "b")
+                                             .AddOrder("a", "ts")
+                                             .AddOrder("b", "ts")
+                                             .Build();
+  EXPECT_TRUE(lat.ok()) << lat.status();
+  return std::move(lat).value();
+}
+
+class BeliefViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lat_ = Diamond();
+    Result<Scheme> scheme = Scheme::Create(
+        "obj",
+        {{"k", "u", "ts"}, {"x", "u", "ts"}, {"y", "u", "ts"}}, "k", lat_);
+    ASSERT_TRUE(scheme.ok()) << scheme.status();
+    scheme_ = std::move(scheme).value();
+  }
+
+  /// Rebuilds the base relation from `tuples` and runs scratch cautious
+  /// belief - the oracle the maintained view is held to.
+  Result<BeliefOutcome> Scratch(const std::vector<Tuple>& tuples,
+                                const std::string& level,
+                                const BeliefOptions& options) {
+    Relation base(*scheme_, &lat_);
+    for (const Tuple& t : tuples) {
+      MULTILOG_RETURN_IF_ERROR(base.AppendDerived(t));
+    }
+    return Believe(base, level, BeliefMode::kCautious, options);
+  }
+
+  lattice::SecurityLattice lat_;
+  std::optional<Scheme> scheme_;
+};
+
+/// A dense random tuple: few keys and values, uniform draw over the
+/// four levels for every classification and the TC, so key versions,
+/// incomparable candidates, and invisible tuples all occur constantly.
+Tuple RandomTuple(std::mt19937* rng) {
+  static const char* kLevels[] = {"u", "a", "b", "ts"};
+  auto level = [&] { return kLevels[(*rng)() % 4]; };
+  Tuple t;
+  const std::string kc = level();
+  t.cells.push_back({Value::Str("k" + std::to_string((*rng)() % 3)), kc});
+  t.cells.push_back({Value::Str("x" + std::to_string((*rng)() % 2)),
+                     level()});
+  t.cells.push_back({Value::Str("y" + std::to_string((*rng)() % 2)),
+                     level()});
+  t.tc = level();
+  return t;
+}
+
+TEST_F(BeliefViewTest, RandomizedInterleavingMatchesScratchEverywhere) {
+  for (const bool merge : {false, true}) {
+    BeliefOptions options;
+    options.merge_key_versions = merge;
+    for (const std::string level : {"u", "a", "ts"}) {
+      std::mt19937 rng(20260809u + (merge ? 7u : 0u) + level.size());
+      Relation empty(*scheme_, &lat_);
+      Result<CautiousBeliefView> view =
+          CautiousBeliefView::Build(empty, level, options);
+      ASSERT_TRUE(view.ok()) << view.status();
+
+      std::vector<Tuple> shadow;
+      for (int step = 0; step < 300; ++step) {
+        const bool remove = !shadow.empty() && rng() % 10 < 4;
+        Tuple t;
+        if (remove) {
+          const size_t victim = rng() % shadow.size();
+          t = shadow[victim];
+          shadow.erase(shadow.begin() + static_cast<ptrdiff_t>(victim));
+        } else {
+          t = RandomTuple(&rng);
+          shadow.push_back(t);
+        }
+        Status st = view->Apply(t, remove);
+        ASSERT_TRUE(st.ok()) << st;
+
+        Result<BeliefOutcome> live = view->Outcome();
+        ASSERT_TRUE(live.ok()) << live.status();
+        Result<BeliefOutcome> scratch = Scratch(shadow, level, options);
+        ASSERT_TRUE(scratch.ok()) << scratch.status();
+        ASSERT_EQ(live->relation.ToString(), scratch->relation.ToString())
+            << "step " << step << " level " << level << " merge " << merge;
+        ASSERT_EQ(live->conflict, scratch->conflict)
+            << "step " << step << " level " << level << " merge " << merge;
+      }
+    }
+  }
+}
+
+TEST_F(BeliefViewTest, RemovingAbsentTupleIsNotFoundAndLeavesViewIntact) {
+  Relation empty(*scheme_, &lat_);
+  Result<CautiousBeliefView> view = CautiousBeliefView::Build(empty, "ts", {});
+  ASSERT_TRUE(view.ok()) << view.status();
+
+  Tuple t;
+  t.cells = {{Value::Str("k0"), "u"},
+             {Value::Str("x0"), "u"},
+             {Value::Str("y0"), "u"}};
+  t.tc = "u";
+  ASSERT_TRUE(view->Apply(t, /*remove=*/false).ok());
+  Result<BeliefOutcome> before = view->Outcome();
+  ASSERT_TRUE(before.ok()) << before.status();
+
+  Tuple absent = t;
+  absent.tc = "a";
+  EXPECT_TRUE(view->Apply(absent, /*remove=*/true).IsNotFound());
+  Result<BeliefOutcome> after = view->Outcome();
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(before->relation.ToString(), after->relation.ToString());
+  EXPECT_EQ(view->group_count(), 1u);
+}
+
+TEST_F(BeliefViewTest, InvisibleTuplesAreNoOpsButStayRemovable) {
+  // A tuple above the believing level never affects the outcome; the
+  // view reports it as absent on retract (it was never tracked).
+  Relation empty(*scheme_, &lat_);
+  Result<CautiousBeliefView> view = CautiousBeliefView::Build(empty, "a", {});
+  ASSERT_TRUE(view.ok()) << view.status();
+
+  Tuple high;
+  high.cells = {{Value::Str("k0"), "b"},
+                {Value::Str("x0"), "b"},
+                {Value::Str("y0"), "b"}};
+  high.tc = "b";  // b is incomparable with the believing level a
+  ASSERT_TRUE(view->Apply(high, /*remove=*/false).ok());
+  EXPECT_EQ(view->group_count(), 0u);
+  ASSERT_TRUE(view->Apply(high, /*remove=*/true).ok());
+  EXPECT_EQ(view->group_count(), 0u);
+}
+
+TEST(BeliefViewMissionTest, MatchesScratchOnThePaperDataset) {
+  Result<MissionDataset> ds = BuildMissionDataset();
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  for (const std::string level : {"u", "c", "s", "t"}) {
+    Result<CautiousBeliefView> view =
+        CautiousBeliefView::Build(*ds->mission, level, {});
+    ASSERT_TRUE(view.ok()) << view.status();
+    Result<BeliefOutcome> live = view->Outcome();
+    ASSERT_TRUE(live.ok()) << live.status();
+    Result<BeliefOutcome> scratch =
+        Believe(*ds->mission, level, BeliefMode::kCautious);
+    ASSERT_TRUE(scratch.ok()) << scratch.status();
+    EXPECT_EQ(live->relation.ToString(), scratch->relation.ToString())
+        << level;
+    EXPECT_EQ(live->conflict, scratch->conflict) << level;
+  }
+}
+
+}  // namespace
+}  // namespace multilog::mls

@@ -79,7 +79,11 @@ TEST(EngineMutationTest, AssertBecomesVisibleAndSeqnosIncrement) {
 }
 
 TEST(EngineMutationTest, InvalidationFollowsDominanceOnTheDiamond) {
-  Result<Engine> engine = Engine::FromSource(kDiamond);
+  // This test pins the invalidate-and-recompute path (the
+  // --no-incremental regime); the incremental path is pinned below.
+  EngineOptions options;
+  options.incremental = false;
+  Result<Engine> engine = Engine::FromSource(kDiamond, options);
   ASSERT_TRUE(engine.ok()) << engine.status();
 
   // Warm every level's reduced-model cache.
@@ -133,6 +137,57 @@ TEST(EngineMutationTest, InvalidationFollowsDominanceOnTheDiamond) {
   std::vector<std::string> all = bottom->invalidated_levels;
   std::sort(all.begin(), all.end());
   EXPECT_EQ(all, (std::vector<std::string>{"a", "b", "ts", "u"}));
+}
+
+TEST(EngineMutationTest, IncrementalMaintenanceKeepsDominatingCachesLive) {
+  EngineOptions options;
+  options.incremental = true;
+  Result<Engine> engine = Engine::FromSource(kDiamond, options);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  for (const char* level : {"u", "a", "b", "ts"}) {
+    ASSERT_TRUE(engine->ReducedModel(level).ok()) << level;
+  }
+  const EngineCounters warm = engine->Counters();
+  EXPECT_EQ(warm.live_models, 4u);
+
+  // A write at `a` maintains the dominating a and ts in place; nothing
+  // is dropped, and every level keeps answering from cache.
+  Result<WriteResult> w =
+      engine->Assert("a[item(ka : id -a-> ka, val -a-> green)].", "a");
+  ASSERT_TRUE(w.ok()) << w.status();
+  std::vector<std::string> kept = w->maintained_levels;
+  std::sort(kept.begin(), kept.end());
+  EXPECT_EQ(kept, (std::vector<std::string>{"a", "ts"}));
+  EXPECT_TRUE(w->invalidated_levels.empty());
+
+  EngineCounters after = engine->Counters();
+  EXPECT_EQ(after.deltas_applied, warm.deltas_applied + 2);
+  EXPECT_EQ(after.fallback_recomputes, 0u);
+  EXPECT_EQ(after.cache_entries_invalidated, warm.cache_entries_invalidated);
+  EXPECT_EQ(after.live_models, 4u);
+
+  for (const char* level : {"u", "a", "b", "ts"}) {
+    ASSERT_TRUE(engine->ReducedModel(level).ok()) << level;
+  }
+  EngineCounters hits = engine->Counters();
+  EXPECT_EQ(hits.cache_hits, after.cache_hits + 4);
+  EXPECT_EQ(hits.cache_misses, after.cache_misses);
+
+  // The maintained models serve the new fact where it is visible...
+  EXPECT_EQ(AnswerCount(*engine, "a[item(ka : id -R-> ka)] << opt", "a"), 1u);
+  EXPECT_EQ(AnswerCount(*engine, "a[item(ka : id -R-> ka)] << opt", "ts"), 1u);
+  EXPECT_EQ(AnswerCount(*engine, "a[item(ka : id -R-> ka)] << opt", "b"), 0u);
+
+  // ...and a retract pulls it back out, again in place.
+  Result<WriteResult> r =
+      engine->Retract("a[item(ka : id -a-> ka, val -a-> green)].", "a");
+  ASSERT_TRUE(r.ok()) << r.status();
+  std::vector<std::string> kept_r = r->maintained_levels;
+  std::sort(kept_r.begin(), kept_r.end());
+  EXPECT_EQ(kept_r, (std::vector<std::string>{"a", "ts"}));
+  EXPECT_EQ(AnswerCount(*engine, "a[item(ka : id -R-> ka)] << opt", "a"), 0u);
+  EXPECT_EQ(AnswerCount(*engine, "a[item(ka : id -R-> ka)] << opt", "ts"), 0u);
 }
 
 TEST(EngineMutationTest, RejectedWritesLeaveEverythingUntouched) {

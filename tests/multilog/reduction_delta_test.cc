@@ -1,0 +1,191 @@
+// Incremental tau maintenance: TranslateSigmaFact + AppendSigmaFact /
+// EraseSigmaFact must keep a maintained ReducedProgram *byte-identical*
+// (program and display listings) to a scratch Reduce of the mutated
+// database, in both the generic and the level-specialized regimes. The
+// engine's live-cache layer relies on this exactness, so every step
+// here compares full ToString renderings, spans, and per-entry counts.
+
+#include "multilog/reduction.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "multilog/database.h"
+#include "multilog/parser.h"
+
+namespace multilog::ml {
+namespace {
+
+/// Parses a single-fact source ("s[p(k : a -s-> v)].") into the
+/// MlClause shape the engine's mutation path stores.
+MlClause Fact(const std::string& source) {
+  Result<Database> db = ParseMultiLog(source);
+  EXPECT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->sigma.size(), 1u) << source;
+  return db->sigma[0];
+}
+
+/// Mirrors the engine's retract position: the first stored Sigma fact
+/// whose m-atom matches structurally.
+size_t FindSigmaIndex(const std::vector<MlClause>& sigma,
+                      const MlClause& fact) {
+  const auto* target = std::get_if<MAtom>(&fact.head);
+  EXPECT_NE(target, nullptr);
+  for (size_t i = 0; i < sigma.size(); ++i) {
+    const auto* m = std::get_if<MAtom>(&sigma[i].head);
+    if (sigma[i].IsFact() && m != nullptr && *m == *target) return i;
+  }
+  ADD_FAILURE() << "fact not stored: " << fact.ToString();
+  return sigma.size();
+}
+
+/// Drives interleaved assert/retract against a maintained
+/// ReducedProgram and checks it against a scratch Reduce every step.
+class TauHarness {
+ public:
+  TauHarness(const std::string& source, const std::string& user,
+             ReductionOptions options)
+      : user_(user), options_(options) {
+    Result<Database> db = ParseMultiLog(source);
+    EXPECT_TRUE(db.ok()) << db.status();
+    db_ = std::move(db).value();
+    Result<ReducedProgram> rp = Scratch();
+    EXPECT_TRUE(rp.ok()) << rp.status();
+    maintained_ = std::move(rp).value();
+  }
+
+  Result<ReducedProgram> Scratch() const {
+    Result<CheckedDatabase> cdb = CheckDatabase(db_);
+    if (!cdb.ok()) return cdb.status();
+    return Reduce(*cdb, user_, options_);
+  }
+
+  void Assert(const std::string& fact_source) {
+    MlClause fact = Fact(fact_source);
+    Result<SigmaFactDelta> delta = TranslateSigmaFact(fact, maintained_);
+    ASSERT_TRUE(delta.ok()) << delta.status();
+    db_.sigma.push_back(std::move(fact));
+    AppendSigmaFact(&maintained_, *delta);
+    Compare("assert " + fact_source);
+  }
+
+  void Retract(const std::string& fact_source) {
+    MlClause fact = Fact(fact_source);
+    size_t index = FindSigmaIndex(db_.sigma, fact);
+    ASSERT_LT(index, db_.sigma.size());
+    db_.sigma.erase(db_.sigma.begin() + static_cast<ptrdiff_t>(index));
+    EraseSigmaFact(&maintained_, index);
+    Compare("retract " + fact_source);
+  }
+
+  const ReducedProgram& maintained() const { return maintained_; }
+
+ private:
+  void Compare(const std::string& what) {
+    Result<ReducedProgram> scratch = Scratch();
+    ASSERT_TRUE(scratch.ok()) << what << ": " << scratch.status();
+    EXPECT_EQ(maintained_.program.ToString(), scratch->program.ToString())
+        << what;
+    EXPECT_EQ(maintained_.display.ToString(), scratch->display.ToString())
+        << what;
+    EXPECT_EQ(maintained_.display_sigma_begin, scratch->display_sigma_begin)
+        << what;
+    EXPECT_EQ(maintained_.display_sigma_end, scratch->display_sigma_end)
+        << what;
+    EXPECT_EQ(maintained_.program_sigma_begin, scratch->program_sigma_begin)
+        << what;
+    EXPECT_EQ(maintained_.program_sigma_end, scratch->program_sigma_end)
+        << what;
+    EXPECT_EQ(maintained_.sigma_display_counts, scratch->sigma_display_counts)
+        << what;
+    EXPECT_EQ(maintained_.sigma_program_counts, scratch->sigma_program_counts)
+        << what;
+  }
+
+  std::string user_;
+  ReductionOptions options_;
+  Database db_;
+  ReducedProgram maintained_;
+};
+
+constexpr char kDatabase[] = R"(
+  level(low). level(mid). level(high).
+  order(low, mid). order(mid, high).
+  low[emp(e1 : name -low-> alice)].
+  mid[emp(e1 : name -mid-> alicia)].
+  low[emp(e2 : name -low-> bob)].
+  summary(K) :- low[emp(K : name -low-> V)].
+)";
+
+TEST(ReductionDeltaTest, GenericMaintenanceMatchesScratch) {
+  TauHarness h(kDatabase, "high", {});
+  ASSERT_FALSE(h.maintained().specialized);
+  h.Assert("mid[emp(e2 : name -mid-> robert)].");
+  h.Retract("low[emp(e1 : name -low-> alice)].");
+  h.Assert("high[emp(e3 : name -high-> carol)].");
+  h.Retract("mid[emp(e2 : name -mid-> robert)].");
+  h.Retract("low[emp(e2 : name -low-> bob)].");
+}
+
+TEST(ReductionDeltaTest, SpecializedMaintenanceMatchesScratch) {
+  ReductionOptions options;
+  options.specialization = ReductionOptions::Specialization::kAlways;
+  TauHarness h(kDatabase, "high", options);
+  ASSERT_TRUE(h.maintained().specialized);
+  h.Assert("mid[emp(e2 : name -mid-> robert)].");
+  h.Retract("low[emp(e1 : name -low-> alice)].");
+  h.Assert("high[emp(e3 : name -high-> carol)].");
+  h.Retract("high[emp(e3 : name -high-> carol)].");
+}
+
+TEST(ReductionDeltaTest, MolecularFactSplicesAllCells) {
+  // One molecular fact atomizes into two clauses; the per-entry counts
+  // must cover both so a retract removes the whole molecule.
+  TauHarness h(kDatabase, "high", {});
+  h.Assert("mid[emp(e4 : name -mid-> dana, dept -mid-> sales)].");
+  h.Retract("mid[emp(e4 : name -mid-> dana, dept -mid-> sales)].");
+}
+
+TEST(ReductionDeltaTest, DuplicateFactsEraseExactSpan) {
+  // The engine retracts the *first* structural match; the maintained
+  // program must erase that entry's exact span, not just any equal
+  // clause, to stay sequence-identical with the scratch rebuild.
+  TauHarness h(kDatabase, "high", {});
+  h.Assert("low[emp(e9 : name -low-> eve)].");
+  h.Assert("mid[emp(e9 : name -mid-> eva)].");
+  h.Assert("low[emp(e9 : name -low-> eve)].");
+  h.Retract("low[emp(e9 : name -low-> eve)].");
+  h.Retract("low[emp(e9 : name -low-> eve)].");
+}
+
+TEST(ReductionDeltaTest, TranslatedEdbAtomsAreGroundHeads) {
+  Result<Database> db = ParseMultiLog(kDatabase);
+  ASSERT_TRUE(db.ok()) << db.status();
+  Result<CheckedDatabase> cdb = CheckDatabase(std::move(*db));
+  ASSERT_TRUE(cdb.ok()) << cdb.status();
+
+  Result<ReducedProgram> generic = Reduce(*cdb, "high", {});
+  ASSERT_TRUE(generic.ok()) << generic.status();
+  MlClause fact = Fact("mid[emp(e7 : name -mid-> grace)].");
+  Result<SigmaFactDelta> delta = TranslateSigmaFact(fact, *generic);
+  ASSERT_TRUE(delta.ok()) << delta.status();
+  ASSERT_EQ(delta->edb.size(), 1u);
+  EXPECT_EQ(delta->edb[0].ToString(),
+            "rel(emp, e7, name, grace, mid, mid)");
+
+  ReductionOptions options;
+  options.specialization = ReductionOptions::Specialization::kAlways;
+  Result<ReducedProgram> specialized = Reduce(*cdb, "high", options);
+  ASSERT_TRUE(specialized.ok()) << specialized.status();
+  Result<SigmaFactDelta> spec_delta =
+      TranslateSigmaFact(fact, *specialized);
+  ASSERT_TRUE(spec_delta.ok()) << spec_delta.status();
+  ASSERT_EQ(spec_delta->edb.size(), 1u);
+  EXPECT_EQ(spec_delta->edb[0].ToString(),
+            "rel__mid(emp, e7, name, grace, mid)");
+}
+
+}  // namespace
+}  // namespace multilog::ml

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <string>
 
+#include "multilog/engine.h"
 #include "server/client.h"
 #include "server_test_util.h"
 
@@ -108,6 +109,18 @@ TEST_F(ClientBatchTest, QueriesAndCheckpointsCountAsBatchWork) {
   const BatchResult result = RunBatch(c, in);
   EXPECT_TRUE(result.failures.empty());
   EXPECT_EQ(result.applied, 3u);
+  // The summary splits out the writes and times the whole batch; the
+  // query warms the c-level cache, so the retract maintains it in
+  // place and the maintained-level tally is non-zero.
+  EXPECT_EQ(result.writes, 2u);
+  if (ml::IncrementalMaintenanceDefault()) {
+    EXPECT_GE(result.levels_maintained, 1u);
+  } else {
+    // Under MULTILOG_NO_INCREMENTAL the same writes invalidate the
+    // warmed cache instead of maintaining it.
+    EXPECT_GE(result.levels_invalidated, 1u);
+  }
+  EXPECT_GT(result.wall_ms, 0.0);
 }
 
 }  // namespace

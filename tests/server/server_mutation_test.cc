@@ -131,6 +131,54 @@ TEST_F(DurableServerTest, AssertRetractCheckpointRoundTrip) {
   EXPECT_EQ(writes->GetInt("errors"), 0);
 }
 
+TEST_F(DurableServerTest, WriteResponsesAndStatsSurfaceDeltaMaintenance) {
+  if (!ml::IncrementalMaintenanceDefault()) {
+    GTEST_SKIP() << "MULTILOG_NO_INCREMENTAL is set: the engine "
+                    "invalidates instead of maintaining, so there is no "
+                    "delta surfacing to assert on";
+  }
+  StartServer();
+  Client client = MustConnect();
+  ASSERT_TRUE(client.Hello("s").ok());
+
+  // Warm the s-level cache so the write has a live model to maintain.
+  ASSERT_TRUE(client.Query(kGoal).ok());
+
+  Result<Json> w = client.Assert("s[p(k9 : a -s-> k9)].");
+  ASSERT_TRUE(w.ok()) << w.status();
+  const Json* maintained = w->Find("maintained_levels");
+  ASSERT_NE(maintained, nullptr);
+  ASSERT_TRUE(maintained->is_array());
+  bool kept_s = false;
+  for (const Json& level : maintained->array_items()) {
+    if (level.string_value() == "s") kept_s = true;
+  }
+  EXPECT_TRUE(kept_s) << w->Serialize();
+  EXPECT_TRUE(w->Find("invalidated_levels")->array_items().empty())
+      << w->Serialize();
+
+  // The maintained model serves the new fact without a rebuild.
+  Result<Json> mine = client.Query("s[p(k9 : a -R-> k9)] << opt");
+  ASSERT_TRUE(mine.ok()) << mine.status();
+  EXPECT_EQ(mine->GetInt("count"), 1);
+
+  Result<Json> stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  const Json* engine = stats->Find("stats")->Find("engine");
+  ASSERT_NE(engine, nullptr);
+  EXPECT_GE(engine->GetInt("deltas_applied"), 1);
+  EXPECT_EQ(engine->GetInt("fallback_recomputes"), 0);
+  EXPECT_GE(engine->GetInt("live_models"), 1);
+
+  Result<std::string> metrics = client.Metrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_NE(metrics->find("multilog_engine_deltas_applied_total"),
+            std::string::npos);
+  EXPECT_NE(metrics->find("multilog_engine_fallback_recomputes_total"),
+            std::string::npos);
+  EXPECT_NE(metrics->find("multilog_engine_live_models"), std::string::npos);
+}
+
 TEST_F(DurableServerTest, RejectedWritesKeepTheConnectionAndTheGolden) {
   StartServer();
   Client client = MustConnect();
