@@ -1,0 +1,260 @@
+// Point-query benchmark for goal-directed evaluation: a large Sigma on
+// a three-level chain, an interleaved write stream so every measured
+// read is cold, and the same selective point query answered twice -
+// once by an engine with the compiled magic-plan cache
+// (EngineOptions::magic) and once by an engine pinned to the full
+// bottom-up path. Both engines run with incremental maintenance off:
+// the comparison is "rebuild the world to answer one key" versus
+// "derive only the query's cone", which is exactly the regime the
+// magic path exists for. Every read (the timed point reads and the
+// wide identity sweeps) is byte-compared between the engines.
+//
+//   $ bench_magic_pointquery [--keys N] [--writes N] [--min-speedup X]
+//                            [--json PATH]
+//
+// Machine-readable record: one JSON object written to --json, or to
+// $MULTILOG_MAGIC_JSON, or to BENCH_magic.json (in that order).
+// scripts/run_experiments.sh runs it with --min-speedup 5: the
+// full-size run must answer cold point queries >= 5x faster with the
+// plan cache than with full bottom-up evaluation.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "multilog/engine.h"
+#include "server/json.h"
+
+namespace {
+
+using namespace multilog;
+using server::Json;
+
+constexpr const char* kLevels[] = {"u", "c", "s"};
+
+/// The seeded database: a three-level chain with `keys` obj facts
+/// spread across the levels. Point queries still exercise rules - the
+/// reduction's inheritance axioms derive each fact at every dominating
+/// level - so the full path must evaluate the whole cone while the
+/// plan path derives one key's slice.
+std::string SeedSource(size_t keys) {
+  std::string src =
+      "level(u). level(c). level(s).\n"
+      "order(u, c). order(c, s).\n"
+      "roster(K) :- u[obj(K : val -u-> V)].\n";
+  for (size_t i = 0; i < keys; ++i) {
+    const char* level = kLevels[i % 3];
+    src += std::string(level) + "[obj(k" + std::to_string(i) + " : val -" +
+           level + "-> v" + std::to_string(i % 7) + ")].\n";
+  }
+  return src;
+}
+
+double Micros(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+struct Side {
+  ml::Engine* engine;
+  std::vector<double> point_us;  // the timed cold point reads
+};
+
+Result<std::string> Render(ml::Engine* engine, const std::string& goal,
+                           const std::string& level) {
+  MULTILOG_ASSIGN_OR_RETURN(ml::QueryResult r,
+                            engine->QuerySource(goal, level));
+  std::string rendered;
+  for (const datalog::Substitution& answer : r.answers) {
+    rendered += answer.ToString();
+    rendered += '\n';
+  }
+  return rendered;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t keys = 3000;
+  size_t writes = 45;
+  double min_speedup = 0;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (arg == "--keys") {
+      keys = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--writes") {
+      writes = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--min-speedup") {
+      min_speedup = std::atof(next());
+    } else if (arg == "--json") {
+      json_path = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--keys N] [--writes N] [--min-speedup X] "
+                   "[--json PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (json_path.empty()) {
+    const char* env = std::getenv("MULTILOG_MAGIC_JSON");
+    json_path = env != nullptr ? env : "BENCH_magic.json";
+  }
+
+  const std::string source = SeedSource(keys);
+  ml::EngineOptions magic_options;
+  magic_options.magic = true;
+  magic_options.incremental = false;
+  ml::EngineOptions full_options;
+  full_options.magic = false;
+  full_options.incremental = false;
+  Result<ml::Engine> magic = ml::Engine::FromSource(source, magic_options);
+  Result<ml::Engine> full = ml::Engine::FromSource(source, full_options);
+  if (!magic.ok() || !full.ok()) {
+    std::fprintf(stderr, "engine: %s\n",
+                 (!magic.ok() ? magic : full).status().ToString().c_str());
+    return 1;
+  }
+  Side sides[2] = {{&*magic, {}}, {&*full, {}}};
+
+  // Warmup: one point read per clearance on both engines - compiles
+  // the plan shapes and builds the full engine's models - then one wide
+  // identity sweep.
+  size_t mismatches = 0;
+  auto compare = [&](const std::string& goal,
+                     const std::string& level) -> bool {
+    Result<std::string> a = Render(sides[0].engine, goal, level);
+    Result<std::string> b = Render(sides[1].engine, goal, level);
+    if (!a.ok() || !b.ok()) {
+      std::fprintf(stderr, "read %s: %s\n", goal.c_str(),
+                   (!a.ok() ? a : b).status().ToString().c_str());
+      std::exit(1);
+    }
+    if (*a != *b) {
+      ++mismatches;
+      std::fprintf(stderr, "FAIL: answers diverged on %s @ %s\n",
+                   goal.c_str(), level.c_str());
+      return false;
+    }
+    return true;
+  };
+  for (const char* level : kLevels) {
+    compare(std::string(level) + "[obj(k0 : val -C-> V)]", "s");
+    compare(std::string(level) + "[obj(K : val -C-> V)]", level);
+  }
+
+  // The measured stream: each round writes (so both engines' caches
+  // for the written cone are gone), then times ONE cold point read per
+  // engine - the shape a serving layer answers right after a write -
+  // and byte-compares it. A periodic wide sweep keeps the identity
+  // check broad without entering the timing.
+  std::string last_fact;
+  std::string last_level;
+  for (size_t w = 0; w < writes; ++w) {
+    const char* level = kLevels[w % 3];
+    const bool retract = w % 3 == 2 && !last_fact.empty();
+    std::string fact;
+    if (retract) {
+      fact = last_fact;
+      level = last_level.c_str();
+    } else {
+      const std::string key = "w" + std::to_string(w);
+      fact = std::string(level) + "[obj(" + key + " : val -" + level + "-> " +
+             key + ")].";
+      last_fact = fact;
+      last_level = level;
+    }
+    for (Side& side : sides) {
+      Result<ml::WriteResult> r = retract ? side.engine->Retract(fact, level)
+                                          : side.engine->Assert(fact, level);
+      if (!r.ok()) {
+        std::fprintf(stderr, "write %s: %s\n", fact.c_str(),
+                     r.status().ToString().c_str());
+        return 1;
+      }
+    }
+
+    const std::string read_level = kLevels[2 - (w % 3)];
+    const std::string goal = std::string(kLevels[w % 3]) + "[obj(k" +
+                             std::to_string((w * 37) % keys) +
+                             " : val -C-> V)]";
+    std::string rendered[2];
+    for (size_t s = 0; s < 2; ++s) {
+      const auto start = std::chrono::steady_clock::now();
+      Result<std::string> r = Render(sides[s].engine, goal, "s");
+      const double us = Micros(start);
+      if (!r.ok()) {
+        std::fprintf(stderr, "read: %s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      sides[s].point_us.push_back(us);
+      rendered[s] = std::move(*r);
+    }
+    if (rendered[0] != rendered[1]) {
+      ++mismatches;
+      std::fprintf(stderr, "FAIL: answers diverged after write %zu (%s)\n", w,
+                   goal.c_str());
+    }
+    if (w % 8 == 7) {
+      compare(read_level + "[obj(K : val -C-> V)]", "s");
+    }
+  }
+  if (mismatches > 0) {
+    std::fprintf(stderr, "FAIL: %zu diverging reads\n", mismatches);
+    return 1;
+  }
+
+  const double magic_us = Mean(sides[0].point_us);
+  const double full_us = Mean(sides[1].point_us);
+  const double speedup = magic_us > 0 ? full_us / magic_us : 0;
+  const ml::EngineCounters counters = magic->Counters();
+
+  std::printf(
+      "magic point query: %zu seed facts, %zu writes, cold point read "
+      "after each\n"
+      "cold point read: %.1f us plan-cache vs %.1f us full bottom-up "
+      "(%.1fx)\n"
+      "plans: %llu hits, %llu misses, %llu fallbacks; byte-identical "
+      "answers on every read\n",
+      keys, writes, magic_us, full_us, speedup,
+      static_cast<unsigned long long>(counters.plan_hits),
+      static_cast<unsigned long long>(counters.plan_misses),
+      static_cast<unsigned long long>(counters.magic_fallbacks));
+
+  Json record = Json::Object();
+  record.Set("bench", Json::Str("magic_pointquery"));
+  record.Set("seed_facts", Json::Int(static_cast<int64_t>(keys)));
+  record.Set("writes", Json::Int(static_cast<int64_t>(writes)));
+  record.Set("magic_point_us", Json::Double(magic_us));
+  record.Set("full_point_us", Json::Double(full_us));
+  record.Set("point_speedup", Json::Double(speedup));
+  record.Set("plan_hits", Json::Int(static_cast<int64_t>(counters.plan_hits)));
+  record.Set("plan_misses",
+             Json::Int(static_cast<int64_t>(counters.plan_misses)));
+  record.Set("magic_fallbacks",
+             Json::Int(static_cast<int64_t>(counters.magic_fallbacks)));
+  record.Set("byte_identical", Json::Bool(true));
+  std::ofstream out(json_path, std::ios::trunc);
+  out << record.Serialize() << "\n";
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (min_speedup > 0 && speedup < min_speedup) {
+    std::fprintf(stderr, "FAIL: point-query speedup %.2fx below required %.2fx\n",
+                 speedup, min_speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -25,7 +25,7 @@ for b in build/bench/*; do
   # below (they take flags and write their own records); everything else
   # is a google-benchmark binary.
   case "$b" in
-    */bench_server_loadgen|*/bench_storage_recovery|*/bench_trace_overhead|*/bench_mixed_workload)
+    */bench_server_loadgen|*/bench_storage_recovery|*/bench_trace_overhead|*/bench_mixed_workload|*/bench_magic_pointquery)
       continue ;;
   esac
   [ -x "$b" ] && MULTILOG_SCALING_JSON="$scaling_lines" "$b"
@@ -47,6 +47,12 @@ build/bench/bench_trace_overhead --nodes 256 --reps 9 \
 build/bench/bench_mixed_workload --keys 2000 --writes 60 \
   --reads-per-write 9 --min-speedup 5 \
   --json BENCH_incremental.json 2>&1 | tee -a bench_output.txt
+
+# Goal-directed evaluation: cold selective point queries through the
+# compiled magic-plan cache must be >= 5x faster than full bottom-up
+# evaluation, with byte-identical answers throughout.
+build/bench/bench_magic_pointquery --keys 3000 --writes 45 \
+  --min-speedup 5 --json BENCH_magic.json 2>&1 | tee -a bench_output.txt
 
 {
   echo '['

@@ -39,6 +39,10 @@ const char* StageName(Stage stage) {
       return "operational_solve";
     case Stage::kReduce:
       return "reduce";
+    case Stage::kPlanLookup:
+      return "plan_lookup";
+    case Stage::kMagicRewrite:
+      return "magic_rewrite";
     case Stage::kEvalModel:
       return "eval_model";
     case Stage::kDecodeModel:

@@ -56,6 +56,8 @@ enum class Stage : uint8_t {
   // Engine query path.
   kOperationalSolve,  // Section 5 proof system (interpreter Solve)
   kReduce,            // CORAL-style reduction tau(Delta)+A (Section 6)
+  kPlanLookup,        // compiled magic-plan cache probe
+  kMagicRewrite,      // magic-sets rewrite + plan compile on a miss
   kEvalModel,         // bottom-up evaluation of the reduced program
   kDecodeModel,       // de-specializing rel__l facts back to rel/6
   kQueryModel,        // matching the goal against the cached model

@@ -699,20 +699,27 @@ Status EvaluateStratumNaive(const std::vector<const Clause*>& clauses,
 
 }  // namespace
 
-Result<Model> Evaluate(const Program& program, const EvalOptions& options,
-                       EvalStats* stats) {
+Result<PreparedProgram> PrepareProgram(const Program& program,
+                                       const EvalOptions& options) {
+  // Safety and stratification are checked on the original program so
+  // diagnostics point at the source clauses, not their reordered forms
+  // (the reordering is semantics-preserving either way).
   MULTILOG_RETURN_IF_ERROR(program.CheckSafety());
-  MULTILOG_ASSIGN_OR_RETURN(Stratification strat, Stratify(program));
-
-  Program reordered;
-  const Program* effective = &program;
+  PreparedProgram prepared;
+  MULTILOG_ASSIGN_OR_RETURN(prepared.strat, Stratify(program));
   if (options.reorder_body) {
     for (const Clause& c : program.clauses()) {
-      reordered.AddClause(ReorderBody(c));
+      prepared.program.AddClause(ReorderBody(c));
     }
-    effective = &reordered;
+  } else {
+    prepared.program = program;
   }
+  return prepared;
+}
 
+Result<Model> EvaluatePrepared(const PreparedProgram& prepared,
+                               const std::vector<Atom>& seeds,
+                               const EvalOptions& options, EvalStats* stats) {
   // num_threads counts the calling thread, so the pool holds one fewer
   // worker. No pool at all when num_threads <= 1: that path must stay
   // byte-for-byte the historical sequential evaluator.
@@ -722,11 +729,16 @@ Result<Model> Evaluate(const Program& program, const EvalOptions& options,
   }
 
   Model model;
+  // Seeds land before the first stratum, so round 0 of every stratum
+  // sees them exactly like program facts.
+  for (const Atom& seed : seeds) model.Insert(seed);
+
+  const Stratification& strat = prepared.strat;
   for (size_t s = 0; s < strat.num_strata(); ++s) {
     PredicateIdSet stratum_preds(strat.strata[s].begin(),
                                  strat.strata[s].end());
     std::vector<const Clause*> clauses;
-    for (const Clause& c : effective->clauses()) {
+    for (const Clause& c : prepared.program.clauses()) {
       if (stratum_preds.count(c.head().PredicateId())) clauses.push_back(&c);
     }
     if (options.strategy == EvalOptions::Strategy::kSeminaive) {
@@ -738,6 +750,13 @@ Result<Model> Evaluate(const Program& program, const EvalOptions& options,
     }
   }
   return model;
+}
+
+Result<Model> Evaluate(const Program& program, const EvalOptions& options,
+                       EvalStats* stats) {
+  MULTILOG_ASSIGN_OR_RETURN(PreparedProgram prepared,
+                            PrepareProgram(program, options));
+  return EvaluatePrepared(prepared, {}, options, stats);
 }
 
 namespace {

@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "datalog/model.h"
 #include "datalog/program.h"
+#include "datalog/stratify.h"
 #include "datalog/unify.h"
 
 namespace multilog::datalog {
@@ -72,6 +73,35 @@ struct EvalStats {
 /// be safe (range-restricted) and stratifiable; both are checked.
 Result<Model> Evaluate(const Program& program, const EvalOptions& options = {},
                        EvalStats* stats = nullptr);
+
+/// A program compiled once for repeated evaluation: safety-checked,
+/// stratified, and (when the preparing EvalOptions ask for it)
+/// body-reordered. The per-call work of EvaluatePrepared is then the
+/// fixpoint alone - the magic-sets plan cache in ml::Engine stores one
+/// of these per (level, binding pattern).
+struct PreparedProgram {
+  Program program;  // body-reordered iff the preparing options said so
+  Stratification strat;
+};
+
+/// Compiles `program` for repeated evaluation: CheckSafety + Stratify
+/// (both on the original program) plus the ReorderBody pass when
+/// `options.reorder_body` is set. The returned value is immutable and
+/// self-contained (it copies the clauses), so it can outlive `program`.
+Result<PreparedProgram> PrepareProgram(const Program& program,
+                                       const EvalOptions& options = {});
+
+/// Evaluates a prepared program. `seeds` are ground atoms inserted into
+/// the model before the first stratum runs - the magic-sets execution
+/// path passes the query's magic seed here, so one prepared rewrite
+/// serves every query with the same binding pattern. With empty seeds
+/// this is exactly Evaluate on the prepared clauses. `options`'
+/// strategy / max_facts / cancel / num_threads apply as in Evaluate;
+/// reorder_body is ignored (reordering happened at preparation).
+Result<Model> EvaluatePrepared(const PreparedProgram& prepared,
+                               const std::vector<Atom>& seeds,
+                               const EvalOptions& options = {},
+                               EvalStats* stats = nullptr);
 
 /// The net effect of one ApplyDelta call on the maintained model:
 /// `added` holds facts now in the model that were not before, `removed`

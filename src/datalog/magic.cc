@@ -5,11 +5,20 @@
 #include <set>
 #include <unordered_set>
 
+#include "common/str_util.h"
 #include "datalog/eval.h"
 
 namespace multilog::datalog {
 
 namespace {
+
+/// The synthesized head predicate a conjunctive goal is compiled
+/// through (CompileMagicPlan). Double-underscore keeps it out of the
+/// user namespace, like the placeholder variables.
+constexpr const char* kGoalPredicate = "__goal";
+
+/// Placeholder-variable prefix for parameterized goals ("magic param").
+constexpr const char* kParamPrefix = "__mp";
 
 /// Adorned predicate name, e.g. p + "bf" -> "p__bf".
 std::string AdornedName(const std::string& pred,
@@ -55,50 +64,71 @@ void AddVars(const Atom& atom, std::set<Symbol>* bound) {
   bound->insert(vars.begin(), vars.end());
 }
 
-}  // namespace
+using PredicateIdSet = std::unordered_set<PredicateId, PredicateIdHash>;
 
-Result<MagicProgram> MagicTransform(const Program& program,
-                                    const Atom& query) {
+/// The shared rewrite core behind MagicTransform and CompileMagicPlan.
+struct RewriteOutput {
+  Program program;
+  Atom query;            // adorned
+  Symbol seed_predicate; // magic predicate of the query's seed
+  /// True when the query predicate is EDB or unknown: nothing to
+  /// specialize, `program`/`query` are the inputs unchanged.
+  bool passthrough = false;
+};
+
+/// Rewrites `program` (plus the optional synthesized `goal_clause`,
+/// treated as the sole definition of its head predicate) for `query`.
+/// Negation/aggregate checks run per *reached* clause - unreachable
+/// unsupported clauses never fail the rewrite. When `add_seed` is set
+/// the query's bound constants become a magic seed fact (the legacy
+/// single-shot form); plans instead seed at execution time.
+Result<RewriteOutput> RewriteForQuery(const Program& program,
+                                      const Clause* goal_clause,
+                                      const Atom& query, bool add_seed) {
+  // IDB = predicates with at least one rule (non-empty body or an
+  // aggregate). Fact-only predicates stay EDB: their facts pass through
+  // unadorned, so joins keep the model's argument indexes instead of
+  // funneling every fact through a per-fact guard rule.
+  PredicateIdSet idb;
   for (const Clause& c : program.clauses()) {
-    if (c.is_aggregate()) {
-      return Status::InvalidProgram(
-          "magic-sets rewriting does not support aggregate clauses");
-    }
-    for (const Literal& l : c.body()) {
-      if (l.negated()) {
-        return Status::InvalidProgram(
-            "magic-sets rewriting supports only positive programs; found: " +
-            l.ToString());
-      }
+    if (!c.body().empty() || c.is_aggregate()) {
+      idb.insert(c.head().PredicateId());
     }
   }
+  if (goal_clause != nullptr) idb.insert(goal_clause->head().PredicateId());
 
-  std::unordered_set<PredicateId, PredicateIdHash> idb;
-  for (const Clause& c : program.clauses()) {
-    idb.insert(c.head().PredicateId());
-  }
+  auto clauses_for =
+      [&](const PredicateId& id) -> std::vector<const Clause*> {
+    if (goal_clause != nullptr && id == goal_clause->head().PredicateId()) {
+      return {goal_clause};
+    }
+    return program.ClausesFor(id);
+  };
 
-  MagicProgram out;
+  RewriteOutput out;
 
-  // EDB facts and EDB-only predicates pass through untouched; everything
-  // defined by a head is rewritten per adornment.
   const PredicateId query_id = query.PredicateId();
   if (!idb.count(query_id)) {
     // Nothing to specialize: the query touches only EDB (or nothing).
     out.program = program;
     out.query = query;
+    out.passthrough = true;
     return out;
   }
 
   std::set<Symbol> no_bound;
   const std::string query_adornment = AdornmentOf(query, no_bound);
+  out.seed_predicate =
+      Symbol::Intern(MagicName(query.predicate(), query_adornment));
 
-  // Seed: the query's bound constants.
-  {
-    Atom seed(MagicName(query.predicate(), query_adornment),
-              BoundArgs(query, query_adornment));
-    out.program.AddFact(std::move(seed));
+  // Seed: the query's bound constants (plans seed per execution).
+  if (add_seed) {
+    out.program.AddFact(
+        Atom(out.seed_predicate, BoundArgs(query, query_adornment)));
   }
+
+  // EDB predicates whose facts the rewritten fragment joins against.
+  PredicateIdSet edb_needed;
 
   std::deque<std::pair<PredicateId, std::string>> worklist;  // (pred id, a)
   std::set<std::pair<PredicateId, std::string>> processed;
@@ -109,7 +139,13 @@ Result<MagicProgram> MagicTransform(const Program& program,
     worklist.pop_front();
     if (!processed.emplace(pred_id, adornment).second) continue;
 
-    for (const Clause* clause : program.ClausesFor(pred_id)) {
+    for (const Clause* clause : clauses_for(pred_id)) {
+      if (clause->is_aggregate()) {
+        return Status::InvalidProgram(
+            "magic-sets rewriting does not support aggregate clauses "
+            "reachable from the query: " +
+            clause->ToString());
+      }
       const Atom& head = clause->head();
 
       std::set<Symbol> bound;
@@ -124,6 +160,12 @@ Result<MagicProgram> MagicTransform(const Program& program,
                BoundArgs(head, adornment))));
 
       for (const Literal& lit : clause->body()) {
+        if (lit.negated()) {
+          return Status::InvalidProgram(
+              "magic-sets rewriting supports only positive programs "
+              "reachable from the query; found: " +
+              lit.ToString());
+        }
         if (lit.is_builtin()) {
           // `=` binds (as in the safety analysis); other comparisons are
           // pure filters.
@@ -142,6 +184,7 @@ Result<MagicProgram> MagicTransform(const Program& program,
         }
         const Atom& atom = lit.atom();
         if (!idb.count(atom.PredicateId())) {
+          edb_needed.insert(atom.PredicateId());
           rewritten.push_back(lit);
           AddVars(atom, &bound);
           continue;
@@ -167,23 +210,170 @@ Result<MagicProgram> MagicTransform(const Program& program,
     }
   }
 
-  // EDB facts (clauses whose head predicate never appears... all EDB
-  // predicates are body-only, so they have no clauses; IDB facts were
-  // rewritten above). Pass through clauses of predicates that are IDB
-  // but never reached - they cannot affect the query - and all builtin
-  // support is inline, so nothing else is needed.
+  // The reachable EDB predicates' facts, verbatim and in source order.
+  for (const Clause& c : program.clauses()) {
+    if (edb_needed.count(c.head().PredicateId())) out.program.AddClause(c);
+  }
 
   out.query = Atom(AdornedName(query.predicate(), query_adornment),
                    query.args());
   return out;
 }
 
+}  // namespace
+
+Result<MagicProgram> MagicTransform(const Program& program,
+                                    const Atom& query) {
+  MULTILOG_ASSIGN_OR_RETURN(
+      RewriteOutput out,
+      RewriteForQuery(program, nullptr, query, /*add_seed=*/true));
+  MagicProgram magic;
+  magic.program = std::move(out.program);
+  magic.query = std::move(out.query);
+  return magic;
+}
+
 Result<std::vector<Substitution>> MagicSolve(const Program& program,
-                                             const Atom& query) {
+                                             const Atom& query,
+                                             const EvalOptions& options) {
   MULTILOG_ASSIGN_OR_RETURN(MagicProgram magic,
                             MagicTransform(program, query));
-  MULTILOG_ASSIGN_OR_RETURN(Model model, Evaluate(magic.program));
-  return QueryModel(model, {Literal::Positive(magic.query)});
+  MULTILOG_ASSIGN_OR_RETURN(Model model, Evaluate(magic.program, options));
+  return QueryModel(model, {Literal::Positive(magic.query)}, options.cancel);
+}
+
+MagicGoalPattern ParameterizeGoal(const std::vector<Literal>& goal) {
+  MagicGoalPattern out;
+
+  // A goal variable literally named like a placeholder would collide
+  // with the abstraction; such goals are declared unparameterizable
+  // (any_bound = false, callers fall back to plain evaluation).
+  std::vector<Symbol> goal_vars;
+  for (const Literal& l : goal) l.CollectVariables(&goal_vars);
+  const bool collides =
+      std::any_of(goal_vars.begin(), goal_vars.end(), [](Symbol v) {
+        return StartsWith(v.str(), kParamPrefix);
+      });
+  if (collides) {
+    out.literals = goal;
+    for (const Literal& l : out.literals) {
+      out.signature += l.ToString();
+      out.signature += ", ";
+    }
+    return out;
+  }
+
+  auto parameterize = [&out](const Term& t) -> Term {
+    if (!t.IsGround()) return t;  // partially-ground compounds verbatim
+    const Symbol v = Symbol::Intern(std::string(kParamPrefix) +
+                                    std::to_string(out.params.size()));
+    out.params.push_back(t);
+    out.param_vars.push_back(v);
+    return Term::Var(v);
+  };
+
+  for (const Literal& lit : goal) {
+    if (lit.negated()) {
+      // Negated literals keep their constants: their variables must be
+      // bound positively anyway, and abstracting a negative check adds
+      // nothing (the signature just stays per-constant for them).
+      out.literals.push_back(lit);
+      continue;
+    }
+    if (lit.is_builtin()) {
+      out.literals.push_back(Literal::Builtin(
+          lit.comparison(), parameterize(lit.lhs()), parameterize(lit.rhs())));
+      continue;
+    }
+    std::vector<Term> args;
+    args.reserve(lit.atom().arity());
+    bool bound_here = false;
+    for (const Term& t : lit.atom().args()) {
+      if (t.IsGround()) bound_here = true;
+      args.push_back(parameterize(t));
+    }
+    if (bound_here) out.any_bound = true;
+    out.literals.push_back(Literal::Positive(
+        Atom(lit.atom().predicate_symbol(), std::move(args))));
+  }
+
+  for (const Literal& l : out.literals) {
+    out.signature += l.ToString();
+    out.signature += ", ";
+  }
+  return out;
+}
+
+Result<MagicPlan> CompileMagicPlan(const Program& program,
+                                   const MagicGoalPattern& pattern,
+                                   const EvalOptions& options) {
+  // The synthesized head carries the placeholders first (they become
+  // the bound positions), then the goal's variables sorted and deduped -
+  // the same order QueryModel restricts answers to, which is what makes
+  // plan answers byte-identical to the full path.
+  std::vector<Symbol> vars;
+  for (const Literal& l : pattern.literals) l.CollectVariables(&vars);
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  const std::set<Symbol> params(pattern.param_vars.begin(),
+                                pattern.param_vars.end());
+
+  std::vector<Term> head_args;
+  head_args.reserve(pattern.param_vars.size() + vars.size());
+  for (Symbol v : pattern.param_vars) head_args.push_back(Term::Var(v));
+  for (Symbol v : vars) {
+    if (params.count(v) == 0) head_args.push_back(Term::Var(v));
+  }
+  const Atom head(kGoalPredicate, head_args);
+  const Clause goal_clause(head, pattern.literals);
+
+  // The query atom drives the adornment: placeholder positions carry
+  // the (ground) parameters, so they adorn 'b'; goal variables stay 'f'.
+  std::vector<Term> query_args = head_args;
+  for (size_t i = 0; i < pattern.params.size(); ++i) {
+    query_args[i] = pattern.params[i];
+  }
+  const Atom query(kGoalPredicate, std::move(query_args));
+
+  MULTILOG_ASSIGN_OR_RETURN(
+      RewriteOutput out,
+      RewriteForQuery(program, &goal_clause, query, /*add_seed=*/false));
+
+  MagicPlan plan;
+  plan.num_params = pattern.params.size();
+  plan.seed_predicate = out.seed_predicate;
+  plan.query = std::move(out.query);
+  MULTILOG_ASSIGN_OR_RETURN(plan.prepared,
+                            PrepareProgram(out.program, options));
+  return plan;
+}
+
+Result<std::vector<Substitution>> ExecuteMagicPlan(
+    const MagicPlan& plan, const std::vector<Term>& params,
+    const EvalOptions& options, EvalStats* stats) {
+  if (params.size() != plan.num_params) {
+    return Status::InvalidArgument(
+        "ExecuteMagicPlan: expected " + std::to_string(plan.num_params) +
+        " parameters, got " + std::to_string(params.size()));
+  }
+  for (const Term& p : params) {
+    if (!p.IsGround()) {
+      return Status::InvalidArgument(
+          "ExecuteMagicPlan: non-ground parameter " + p.ToString());
+    }
+  }
+
+  std::vector<Atom> seeds;
+  seeds.push_back(Atom(plan.seed_predicate, params));
+
+  std::vector<Term> query_args = plan.query.args();
+  for (size_t i = 0; i < params.size(); ++i) query_args[i] = params[i];
+  Atom query(plan.query.predicate_symbol(), std::move(query_args));
+
+  MULTILOG_ASSIGN_OR_RETURN(
+      Model model, EvaluatePrepared(plan.prepared, seeds, options, stats));
+  return QueryModel(model, {Literal::Positive(std::move(query))},
+                    options.cancel);
 }
 
 }  // namespace multilog::datalog

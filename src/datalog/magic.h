@@ -1,10 +1,13 @@
 #ifndef MULTILOG_DATALOG_MAGIC_H_
 #define MULTILOG_DATALOG_MAGIC_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/symbol.h"
+#include "datalog/eval.h"
 #include "datalog/model.h"
 #include "datalog/program.h"
 #include "datalog/unify.h"
@@ -17,30 +20,36 @@ namespace multilog::datalog {
 /// bottom-up's termination/duplicate handling with top-down's
 /// goal-direction.
 ///
-/// Supported fragment: positive programs (no negation; magic sets under
+/// Supported fragment: the part of the program *reachable from the
+/// query* must be positive and aggregate-free (magic sets under
 /// stratified negation needs the full supplementary-magic machinery and
-/// is out of scope). Builtins are allowed and treated as filters.
+/// is out of scope); unreachable negation/aggregates are simply never
+/// visited. Builtins are allowed and treated as filters.
 ///
 /// The rewriting is the textbook one (Bancilhon/Maier/Sagiv/Ullman):
 ///  - predicates are *adorned* with their binding pattern ("bf" = first
 ///    argument bound, second free), propagated left-to-right through
 ///    rule bodies (sideways information passing);
 ///  - each adorned IDB predicate p^a gets a magic predicate
-///    magic_p_a(bound args) seeding the relevant calls;
+///    magic__p__a(bound args) seeding the relevant calls;
 ///  - every rule is guarded by the magic of its head, and each IDB body
-///    literal contributes a magic rule for its own calls.
+///    literal contributes a magic rule for its own calls;
+///  - EDB predicates (fact-only: every defining clause is bodyless)
+///    pass through unadorned, with exactly the reachable predicates'
+///    facts copied verbatim, so joins against them keep the model's
+///    argument indexes instead of going through per-fact guard rules.
 struct MagicProgram {
-  /// The rewritten program (adorned + magic + seed).
+  /// The rewritten program (adorned + magic rules + seed + EDB facts).
   Program program;
   /// The adorned query atom to match against the evaluated model.
   Atom query;
 };
 
 /// Rewrites `program` for `query` (one atom; its constant arguments
-/// become the bound pattern). Returns InvalidProgram for programs with
-/// negation or for queries on unknown predicates... an unknown predicate
-/// simply yields an empty program and no answers, mirroring plain
-/// evaluation, so only negation errors.
+/// become the bound pattern). Returns InvalidProgram when the fragment
+/// reachable from the query contains negation or aggregates. A query on
+/// an unknown or fact-only predicate yields the program unchanged (and
+/// so the same answers as plain evaluation).
 Result<MagicProgram> MagicTransform(const Program& program,
                                     const Atom& query);
 
@@ -48,8 +57,71 @@ Result<MagicProgram> MagicTransform(const Program& program,
 /// `query` as substitutions (restricted to the query's variables,
 /// deduplicated, sorted) - a drop-in alternative to
 /// Evaluate + QueryModel for positive programs with selective queries.
+/// `options` threads through evaluation (cancel token, emit budget,
+/// num_threads) and the answer match (cancel token).
 Result<std::vector<Substitution>> MagicSolve(const Program& program,
-                                             const Atom& query);
+                                             const Atom& query,
+                                             const EvalOptions& options = {});
+
+/// A conjunctive goal abstracted over its constants, so one compiled
+/// plan serves every goal with the same shape and binding pattern. Each
+/// fully-ground argument of a positive non-builtin atom - and each
+/// fully-ground side of a builtin - is replaced by a fresh placeholder
+/// variable (__mp0, __mp1, ...) and recorded in `params`; everything
+/// else is kept verbatim.
+struct MagicGoalPattern {
+  /// The goal with ground positions replaced by placeholder variables.
+  std::vector<Literal> literals;
+  /// The replaced ground terms, in placeholder order. ExecuteMagicPlan
+  /// takes a vector of the same length to instantiate the plan.
+  std::vector<Term> params;
+  /// The placeholder variables, parallel to `params`.
+  std::vector<Symbol> param_vars;
+  /// Canonical text of `literals` - the plan-cache key (interned by the
+  /// engine): two goals share a plan iff their signatures are equal.
+  std::string signature;
+  /// True when some positive non-builtin atom had a fully-ground
+  /// argument - i.e. the binding pattern is selective enough for magic
+  /// to help. All-free goals should use plain evaluation.
+  bool any_bound = false;
+};
+
+/// Abstracts `goal` over its constants. Pure and deterministic - the
+/// same goal shape always yields the same signature.
+MagicGoalPattern ParameterizeGoal(const std::vector<Literal>& goal);
+
+/// A compiled, parameterized magic plan: the rewritten program prepared
+/// once (safety-checked, stratified, body-reordered), plus what
+/// ExecuteMagicPlan needs to instantiate it - the magic seed predicate
+/// whose single fact carries the parameters, and the adorned query atom
+/// whose first `num_params` arguments are the placeholder positions.
+struct MagicPlan {
+  PreparedProgram prepared;
+  Symbol seed_predicate;
+  Atom query;
+  size_t num_params = 0;
+};
+
+/// Compiles `pattern` against `program`: synthesizes a `__goal` rule
+/// for the conjunctive goal, rewrites program + __goal with magic sets
+/// (the placeholders are the bound positions), and prepares the result
+/// for repeated evaluation. Returns InvalidProgram when the reachable
+/// fragment has negation/aggregates or the synthesized rule is unsafe
+/// (a goal variable appearing only under negation or in builtins) -
+/// callers fall back to full evaluation.
+Result<MagicPlan> CompileMagicPlan(const Program& program,
+                                   const MagicGoalPattern& pattern,
+                                   const EvalOptions& options = {});
+
+/// Instantiates and runs a compiled plan: seeds the magic fixpoint with
+/// `params` (must match plan.num_params; typically
+/// MagicGoalPattern::params from the goal being served), evaluates, and
+/// returns the answers exactly as QueryModel would - restricted to the
+/// goal's variables, deduplicated, sorted - so plan answers are
+/// byte-identical to the full Evaluate + QueryModel path.
+Result<std::vector<Substitution>> ExecuteMagicPlan(
+    const MagicPlan& plan, const std::vector<Term>& params,
+    const EvalOptions& options = {}, EvalStats* stats = nullptr);
 
 }  // namespace multilog::datalog
 

@@ -1,6 +1,7 @@
 #include "datalog/parser.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <optional>
 
@@ -132,9 +133,13 @@ class DatalogParser {
       while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
         ++pos_;
       }
-      return Term::Int(
-          std::strtoll(std::string(src_.substr(start, pos_ - start)).c_str(),
-                       nullptr, 10));
+      const std::string digits(src_.substr(start, pos_ - start));
+      errno = 0;
+      const long long value = std::strtoll(digits.c_str(), nullptr, 10);
+      if (errno == ERANGE) {
+        return Error("integer literal '" + digits + "' out of range");
+      }
+      return Term::Int(value);
     }
 
     MULTILOG_ASSIGN_OR_RETURN(std::string id, ParseIdentifier());

@@ -1,6 +1,7 @@
 #include "msql/parser.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 
 #include "common/str_util.h"
@@ -27,7 +28,10 @@ const char* CompareOpToString(CompareOp op) {
 
 namespace {
 
-enum class TokenKind { kIdent, kString, kInt, kSymbol, kEnd };
+// kError carries a lexing diagnostic in `text` (e.g. an out-of-range
+// integer literal); it matches no expectation, so the parser surfaces
+// the message from whichever Error() call trips over it.
+enum class TokenKind { kIdent, kString, kInt, kSymbol, kEnd, kError };
 
 struct Token {
   TokenKind kind = TokenKind::kEnd;
@@ -65,9 +69,15 @@ class Lexer {
              std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
         ++pos_;
       }
-      cur_ = Token{TokenKind::kInt, "", 0};
-      cur_.number = std::strtoll(
-          std::string(src_.substr(start, pos_ - start)).c_str(), nullptr, 10);
+      const std::string digits(src_.substr(start, pos_ - start));
+      errno = 0;
+      const int64_t number = std::strtoll(digits.c_str(), nullptr, 10);
+      if (errno == ERANGE) {
+        cur_ = Token{TokenKind::kError,
+                     "integer literal '" + digits + "' out of range", 0};
+        return;
+      }
+      cur_ = Token{TokenKind::kInt, "", number};
       return;
     }
     if (c == '\'') {
@@ -178,6 +188,9 @@ class Parser {
 
  private:
   Status Error(const std::string& message) const {
+    if (lex_.current().kind == TokenKind::kError) {
+      return Status::ParseError(lex_.current().text);
+    }
     return Status::ParseError(message);
   }
 

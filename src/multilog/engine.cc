@@ -104,6 +104,10 @@ bool IncrementalMaintenanceDefault() {
   return std::getenv("MULTILOG_NO_INCREMENTAL") == nullptr;
 }
 
+bool MagicPlansDefault() {
+  return std::getenv("MULTILOG_NO_MAGIC") == nullptr;
+}
+
 Result<Engine> Engine::FromSource(std::string_view source,
                                   EngineOptions options) {
   MULTILOG_ASSIGN_OR_RETURN(Database db, ParseMultiLog(source));
@@ -297,22 +301,34 @@ Result<QueryResult> Engine::QueryLocked(const std::vector<MlLiteral>& goal,
 
   QueryResult reduced;
   {
-    // Evaluate the cached model, then match each (possibly specialized)
-    // goal variant against it, unioning the answers.
-    MULTILOG_ASSIGN_OR_RETURN(const ReducedProgram* rp,
-                              ReducedLocked(user_level));
-    MULTILOG_ASSIGN_OR_RETURN(const Model* model,
-                              ReducedModelLocked(user_level, cancel));
-
     // The decoded model holds generic facts; match the *generic* goal
     // against it (specialization only matters for evaluation).
     MULTILOG_ASSIGN_OR_RETURN(std::vector<datalog::Literal> generic,
                               TranslateGoalGeneric(goal, user_level));
-    (void)rp;
-    trace::Span query_span(trace::Stage::kQueryModel);
-    MULTILOG_ASSIGN_OR_RETURN(std::vector<Substitution> answers,
-                              datalog::QueryModel(*model, generic, cancel));
-    reduced.answers = std::move(answers);
+
+    // Goal-directed fast path: a selective goal with no cached full
+    // model runs through a compiled magic plan, deriving only the
+    // goal-relevant fragment. Falls through to the full build-and-match
+    // path whenever the plan layer declines.
+    bool magic_served = false;
+    if (options_.magic) {
+      Result<std::vector<Substitution>> outcome =
+          Status::Internal("magic outcome unset");
+      if (TryMagicLocked(generic, user_level, cancel, &outcome)) {
+        MULTILOG_RETURN_IF_ERROR(outcome.status());
+        reduced.answers = std::move(outcome.value());
+        magic_served = true;
+      }
+    }
+    if (!magic_served) {
+      // Evaluate the cached model, then match the goal against it.
+      MULTILOG_ASSIGN_OR_RETURN(const Model* model,
+                                ReducedModelLocked(user_level, cancel));
+      trace::Span query_span(trace::Stage::kQueryModel);
+      MULTILOG_ASSIGN_OR_RETURN(std::vector<Substitution> answers,
+                                datalog::QueryModel(*model, generic, cancel));
+      reduced.answers = std::move(answers);
+    }
     StripDontCare(&reduced.answers, nullptr);
   }
   if (mode == ExecMode::kReduced) return reduced;
@@ -336,6 +352,125 @@ Result<QueryResult> Engine::QueryLocked(const std::vector<MlLiteral>& goal,
     return Status::Internal(msg);
   }
   return operational;
+}
+
+bool Engine::TryMagicLocked(
+    const std::vector<datalog::Literal>& generic,
+    const std::string& user_level, const CancelToken* cancel,
+    Result<std::vector<datalog::Substitution>>* outcome) {
+  const Symbol level = Symbol::Intern(user_level);
+  {
+    // A cached full model answers any goal at hash-lookup speed; magic
+    // only wins when the alternative is building that model.
+    std::shared_lock<std::shared_mutex> lock(caches_->mu);
+    if (caches_->models.count(level) > 0) return false;
+  }
+
+  datalog::MagicGoalPattern pattern = datalog::ParameterizeGoal(generic);
+  if (!pattern.any_bound) {
+    // All-free goals enumerate the whole relation anyway; specializing
+    // them buys nothing, so they always take the full path.
+    caches_->magic_fallbacks.fetch_add(1, kRelaxed);
+    return false;
+  }
+  const auto key =
+      std::make_pair(level, Symbol::Intern(pattern.signature));
+
+  std::shared_ptr<const datalog::MagicPlan> plan;
+  uint64_t epoch = 0;
+  bool known_rejection = false;
+  {
+    trace::Span lookup_span(trace::Stage::kPlanLookup);
+    std::shared_lock<std::shared_mutex> lock(caches_->mu);
+    auto epoch_it = caches_->plan_epochs.find(level);
+    epoch = epoch_it == caches_->plan_epochs.end() ? 0 : epoch_it->second;
+    auto it = caches_->plans.find(key);
+    if (it != caches_->plans.end()) {
+      if (it->second.plan == nullptr) {
+        // A remembered rejection is structural - negation/aggregate
+        // reachability depends on the rules alone, and mutations write
+        // facts only - so it stays valid across epochs.
+        known_rejection = true;
+      } else if (it->second.epoch == epoch) {
+        caches_->plan_hits.fetch_add(1, kRelaxed);
+        plan = it->second.plan;
+      }
+    }
+  }
+  if (known_rejection) {
+    caches_->magic_fallbacks.fetch_add(1, kRelaxed);
+    return false;
+  }
+
+  if (plan == nullptr) {
+    caches_->plan_misses.fetch_add(1, kRelaxed);
+    Result<const ReducedProgram*> rp = ReducedLocked(user_level);
+    if (!rp.ok()) {
+      // The full path would fail identically building the same program.
+      *outcome = rp.status();
+      return true;
+    }
+    // Plans compile from the generic (display) program: the generic
+    // goal's predicates match it directly, and the specialization
+    // rewrite it skips is semantics-preserving, so the reachable
+    // fragment's fixpoint restricted to the goal equals the decoded
+    // model's answers.
+    Result<datalog::MagicPlan> compiled =
+        [&]() -> Result<datalog::MagicPlan> {
+      trace::Span rewrite_span(trace::Stage::kMagicRewrite);
+      return datalog::CompileMagicPlan((*rp)->display, pattern,
+                                       options_.eval);
+    }();
+    std::shared_ptr<const datalog::MagicPlan> publish;
+    if (compiled.ok()) {
+      publish = std::make_shared<const datalog::MagicPlan>(
+          std::move(compiled.value()));
+    } else if (!compiled.status().IsInvalidProgram()) {
+      // Only InvalidProgram means "this fragment cannot be
+      // goal-directed"; anything else is a genuine failure.
+      *outcome = compiled.status();
+      return true;
+    }
+    {
+      // First publication wins, like the model caches; identical inputs
+      // compile to identical plans, so the loser's work is just wasted,
+      // not wrong. A mutation cannot have intervened (readers hold
+      // db_mu shared), but the epoch guard keeps a stale publication
+      // impossible even if that invariant ever weakens.
+      std::unique_lock<std::shared_mutex> lock(caches_->mu);
+      auto [it, inserted] =
+          caches_->plans.try_emplace(key, Caches::PlanEntry{epoch, publish});
+      if (!inserted && it->second.epoch == epoch) publish = it->second.plan;
+    }
+    if (publish == nullptr) {
+      caches_->magic_fallbacks.fetch_add(1, kRelaxed);
+      return false;
+    }
+    plan = std::move(publish);
+  }
+
+  datalog::EvalOptions eval = options_.eval;
+  eval.cancel = cancel;
+  Result<std::vector<datalog::Substitution>> answers =
+      [&]() -> Result<std::vector<datalog::Substitution>> {
+    trace::Span eval_span(trace::Stage::kEvalModel);
+    return datalog::ExecuteMagicPlan(*plan, pattern.params, eval);
+  }();
+  if (!answers.ok()) {
+    if (answers.status().IsResourceExhausted() ||
+        answers.status().IsDeadlineExceeded()) {
+      // Budget/deadline failures must surface, not silently retry a
+      // strictly more expensive full evaluation.
+      *outcome = answers.status();
+      return true;
+    }
+    // Execution-time InvalidProgram (e.g. a non-ground negation in the
+    // goal): let the full path run and report whatever it reports.
+    caches_->magic_fallbacks.fetch_add(1, kRelaxed);
+    return false;
+  }
+  *outcome = std::move(answers);
+  return true;
 }
 
 Result<QueryResult> Engine::QuerySource(std::string_view goal_text,
@@ -475,7 +610,40 @@ Result<WriteResult> Engine::Mutate(std::string_view fact_source,
   } else {
     result.invalidated_levels = InvalidateDominating(level);
   }
+  // Compiled magic plans hold copies of the clauses they reached, so
+  // the splice path cannot maintain them in place; every dominating
+  // level's plans are dropped and its epoch bumped instead (plans for
+  // non-dominating levels stay valid: the written fact is invisible
+  // under their dominance guards).
+  PrunePlans(level);
   return result;
+}
+
+void Engine::PrunePlans(const std::string& written_level) {
+  std::unique_lock<std::shared_mutex> lock(caches_->mu);
+  for (auto it = caches_->plans.begin(); it != caches_->plans.end();) {
+    // Remembered rejections (nullptr plans) survive writes: whether the
+    // reachable fragment has negation/aggregates is a property of the
+    // rules, and mutations only touch Sigma facts. Compiled plans bake
+    // in EDB facts, so those must go.
+    if (it->second.plan == nullptr) {
+      ++it;
+      continue;
+    }
+    Result<bool> leq =
+        cdb_.lattice.Leq(written_level, std::string(it->first.first.str()));
+    if (leq.ok() && leq.value()) {
+      it = caches_->plans.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const std::string& name : cdb_.lattice.names()) {
+    Result<bool> leq = cdb_.lattice.Leq(written_level, name);
+    if (leq.ok() && leq.value()) {
+      ++caches_->plan_epochs[Symbol::Intern(name)];
+    }
+  }
 }
 
 void Engine::PropagateDelta(const std::string& written_level,
@@ -687,6 +855,9 @@ EngineCounters Engine::Counters() const {
   c.checkpoints = caches_->checkpoints.load(kRelaxed);
   c.deltas_applied = caches_->deltas_applied.load(kRelaxed);
   c.fallback_recomputes = caches_->fallback_recomputes.load(kRelaxed);
+  c.plan_hits = caches_->plan_hits.load(kRelaxed);
+  c.plan_misses = caches_->plan_misses.load(kRelaxed);
+  c.magic_fallbacks = caches_->magic_fallbacks.load(kRelaxed);
   {
     std::shared_lock<std::shared_mutex> lock(caches_->mu);
     c.live_models = caches_->models.size();

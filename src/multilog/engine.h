@@ -15,6 +15,7 @@
 #include "common/result.h"
 #include "common/symbol.h"
 #include "datalog/eval.h"
+#include "datalog/magic.h"
 #include "multilog/database.h"
 #include "multilog/interpreter.h"
 #include "multilog/reduction.h"
@@ -39,6 +40,12 @@ enum class ExecMode {
 /// invalidate-and-recompute path through it).
 bool IncrementalMaintenanceDefault();
 
+/// The construction-time default for EngineOptions::magic: true unless
+/// the environment variable MULTILOG_NO_MAGIC is set (the CI ablation
+/// leg and `multilogd --no-magic` force every query through the full
+/// bottom-up path).
+bool MagicPlansDefault();
+
 struct EngineOptions {
   Interpreter::Options interpreter;
   ReductionOptions reduction;
@@ -58,6 +65,17 @@ struct EngineOptions {
   /// invalidation when its change cannot be applied incrementally.
   /// Disable for ablation or as a safety valve.
   bool incremental = IncrementalMaintenanceDefault();
+  /// Goal-directed query compilation: when a reduced-mode query binds
+  /// at least one argument and no full model is cached for its level,
+  /// the engine compiles (and caches) a magic-sets rewrite specialized
+  /// to the goal's binding pattern and evaluates only the goal-relevant
+  /// fragment, instead of building the whole tau(Delta)+A fixpoint.
+  /// Answers are byte-identical either way (property-tested); goals the
+  /// rewrite cannot serve (all-free binding patterns, reachable
+  /// negation/aggregates) fall back to the full path, counted by
+  /// EngineCounters::magic_fallbacks. Disable for ablation or as a
+  /// safety valve.
+  bool magic = MagicPlansDefault();
 };
 
 /// One query's outcome. `answers[i]` pairs with `proofs[i]` when proofs
@@ -103,6 +121,9 @@ struct EngineCounters {
   uint64_t deltas_applied = 0;   // live models maintained in place by writes
   uint64_t fallback_recomputes = 0;  // levels dropped to a full recompute
   uint64_t live_models = 0;      // gauge: served models currently cached
+  uint64_t plan_hits = 0;        // compiled magic plans served from cache
+  uint64_t plan_misses = 0;      // plan compiles (first query of a pattern)
+  uint64_t magic_fallbacks = 0;  // queries declined by the magic path
 };
 
 /// A point-in-time copy of the attached storage's counters, taken under
@@ -302,6 +323,25 @@ class Engine {
     std::map<Symbol, datalog::Model> raw_models;
     std::map<Symbol, InterpreterSlot> interpreters;
 
+    /// One compiled magic plan per (level, goal-signature). A nullptr
+    /// plan is a remembered compile rejection (reachable negation /
+    /// unsafe goal): later queries with the pattern skip the compile
+    /// attempt and go straight to the full path.
+    struct PlanEntry {
+      uint64_t epoch = 0;
+      std::shared_ptr<const datalog::MagicPlan> plan;
+    };
+    /// Key: (interned level, interned MagicGoalPattern::signature).
+    /// Inserted under `mu` (exclusive) by queries, erased only by
+    /// mutations (which hold db_mu exclusively, so no reader is in
+    /// flight); shared_ptr values keep a handed-out plan alive across
+    /// its own eviction.
+    std::map<std::pair<Symbol, Symbol>, PlanEntry> plans;
+    /// Per-level program epoch, bumped by every mutation visible at the
+    /// level. Plans record the epoch they were compiled at; a mismatch
+    /// means the plan predates a write and must not be (re)published.
+    std::map<Symbol, uint64_t> plan_epochs;
+
     // Observability (relaxed; read via Engine::Counters).
     std::atomic<uint64_t> cache_hits{0};
     std::atomic<uint64_t> cache_misses{0};
@@ -313,6 +353,9 @@ class Engine {
     std::atomic<uint64_t> checkpoints{0};
     std::atomic<uint64_t> deltas_applied{0};
     std::atomic<uint64_t> fallback_recomputes{0};
+    std::atomic<uint64_t> plan_hits{0};
+    std::atomic<uint64_t> plan_misses{0};
+    std::atomic<uint64_t> magic_fallbacks{0};
   };
 
   Engine(CheckedDatabase cdb, EngineOptions options)
@@ -329,6 +372,29 @@ class Engine {
   Result<const ReducedProgram*> ReducedLocked(const std::string& user_level);
   Result<const datalog::Model*> ReducedModelLocked(
       const std::string& user_level, const CancelToken* cancel);
+
+  /// The goal-directed fast path of reduced-mode queries: probes the
+  /// compiled-plan cache for (level, binding pattern), compiling and
+  /// publishing a plan on a miss, and runs only the goal-relevant
+  /// fragment of the reduced program. Returns true when the magic path
+  /// produced `*outcome` (which may be a genuine error to propagate);
+  /// false means "use the full path" - all-free goals, patterns whose
+  /// compile was rejected, or a level whose full model is already
+  /// cached (matching a cached model is cheaper than re-deriving).
+  /// Assumes db_mu held (shared).
+  bool TryMagicLocked(const std::vector<datalog::Literal>& generic,
+                      const std::string& user_level,
+                      const CancelToken* cancel,
+                      Result<std::vector<datalog::Substitution>>* outcome);
+
+  /// Post-commit plan invalidation: erases the cached plans of every
+  /// level dominating `written_level` and bumps those levels' plan
+  /// epochs, so a plan compiled against the pre-write program can never
+  /// serve a post-write query (the PR 6 splice keeps reduced programs
+  /// live in place, but a compiled plan holds copies of the clauses it
+  /// reached, so it recompiles instead). Assumes db_mu held
+  /// exclusively.
+  void PrunePlans(const std::string& written_level);
 
   /// Returns the slot for `user_level`, creating it (and building the
   /// interpreter) on first use. Assumes db_mu held (shared).

@@ -31,6 +31,7 @@
 #include <string>
 
 #include "server/client.h"
+#include "server/protocol.h"
 
 namespace {
 
@@ -102,7 +103,12 @@ int main(int argc, char** argv) {
     if (arg == "--port") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
-      port = static_cast<uint16_t>(std::atoi(v));
+      Result<uint16_t> parsed = server::ParsePort(v);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+        return 2;
+      }
+      port = *parsed;
     } else if (arg == "--level") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);

@@ -49,7 +49,9 @@ int Usage(const char* argv0) {
       "          [--mode operational|reduced|check_both]\n"
       "          [--slow-query-ms N]   (log queries >= N ms to stderr)\n"
       "          [--no-incremental]    (invalidate caches on writes instead\n"
-      "                                 of delta-maintaining them)\n",
+      "                                 of delta-maintaining them)\n"
+      "          [--no-magic]          (disable goal-directed magic-set\n"
+      "                                 plans; always evaluate bottom-up)\n",
       argv0);
   return 2;
 }
@@ -82,7 +84,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--port") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
-      options.port = static_cast<uint16_t>(std::atoi(v));
+      // 0 stays legal for the daemon: "bind an OS-assigned port" (the
+      // demo scripts rely on it and read the real port from the banner).
+      Result<uint16_t> port = server::ParsePort(v, /*allow_ephemeral=*/true);
+      if (!port.ok()) {
+        std::fprintf(stderr, "%s\n", port.status().ToString().c_str());
+        return 2;
+      }
+      options.port = *port;
     } else if (arg == "--workers") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -109,6 +118,8 @@ int main(int argc, char** argv) {
       options.slow_query_ms = std::atol(v);
     } else if (arg == "--no-incremental") {
       engine_options.incremental = false;
+    } else if (arg == "--no-magic") {
+      engine_options.magic = false;
     } else if (arg == "--mode") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);

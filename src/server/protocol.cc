@@ -102,6 +102,20 @@ Result<ml::ExecMode> ParseExecMode(std::string_view name) {
       "' (expected operational|reduced|check_both)");
 }
 
+Result<uint16_t> ParsePort(std::string_view text, bool allow_ephemeral) {
+  const Status bad = Status::InvalidArgument(
+      "invalid port '" + std::string(text) + "' (expected " +
+      (allow_ephemeral ? "0-65535" : "1-65535") + ")");
+  if (text.empty() || text.size() > 5) return bad;
+  uint32_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return bad;
+    value = value * 10 + static_cast<uint32_t>(c - '0');
+  }
+  if (value < (allow_ephemeral ? 0u : 1u) || value > 65535) return bad;
+  return static_cast<uint16_t>(value);
+}
+
 const char* ExecModeName(ml::ExecMode mode) {
   switch (mode) {
     case ml::ExecMode::kOperational:

@@ -100,6 +100,14 @@ Result<Request> ParseRequest(const Json& json);
 Result<ml::ExecMode> ParseExecMode(std::string_view name);
 const char* ExecModeName(ml::ExecMode mode);
 
+/// Parses a TCP port for the CLI tools: the text must be all digits
+/// and in [1, 65535]. Rejects what `atoi` silently mangles - empty
+/// strings, trailing junk ("80x"), negatives, and values past 65535
+/// that a uint16_t cast would wrap ("70000" -> 4464). The daemon
+/// passes `allow_ephemeral` so "--port 0" keeps its meaning of "bind
+/// an OS-assigned port"; a client has nothing to connect to at 0.
+Result<uint16_t> ParsePort(std::string_view text, bool allow_ephemeral = false);
+
 /// {"ok":false,"code":...,"error":...} from a non-OK status.
 Json ErrorResponse(const Status& status);
 

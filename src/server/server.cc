@@ -559,6 +559,10 @@ Json Server::StatsJson() {
   engine.Set("fallback_recomputes",
              Json::Int(static_cast<int64_t>(ec.fallback_recomputes)));
   engine.Set("live_models", Json::Int(static_cast<int64_t>(ec.live_models)));
+  engine.Set("plan_hits", Json::Int(static_cast<int64_t>(ec.plan_hits)));
+  engine.Set("plan_misses", Json::Int(static_cast<int64_t>(ec.plan_misses)));
+  engine.Set("magic_fallbacks",
+             Json::Int(static_cast<int64_t>(ec.magic_fallbacks)));
   engine.Set("asserts_ok", Json::Int(static_cast<int64_t>(ec.asserts_ok)));
   engine.Set("retracts_ok", Json::Int(static_cast<int64_t>(ec.retracts_ok)));
   engine.Set("writes_rejected",
@@ -618,6 +622,14 @@ std::string Server::MetricsText() {
           ec.fallback_recomputes);
   counter("multilog_engine_live_models", "Maintained per-level models.",
           ec.live_models, "gauge");
+  counter("multilog_engine_plan_hits_total",
+          "Compiled magic plans served from the plan cache.", ec.plan_hits);
+  counter("multilog_engine_plan_misses_total",
+          "Magic plan compiles (first query of a binding pattern).",
+          ec.plan_misses);
+  counter("multilog_engine_magic_fallbacks_total",
+          "Queries the magic path declined to the full bottom-up path.",
+          ec.magic_fallbacks);
 
   if (const ml::StorageCounters sc = engine_->StorageStats(); sc.attached) {
     counter("multilog_storage_next_seqno", "Next mutation sequence number.",

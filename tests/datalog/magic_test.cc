@@ -27,10 +27,34 @@ std::vector<std::string> Solve(std::string_view src,
 std::vector<std::string> SolveFull(std::string_view src,
                                    std::string_view query_text) {
   Result<ParsedProgram> parsed = ParseDatalog(src);
+  if (!parsed.ok()) return {"parse error"};
   Result<std::vector<Literal>> goal = ParseGoal(query_text);
+  if (!goal.ok()) return {"goal error"};
   Result<Model> model = Evaluate(parsed->program);
-  if (!model.ok()) return {"eval error"};
+  if (!model.ok()) return {"eval: " + model.status().ToString()};
   Result<std::vector<Substitution>> answers = QueryModel(*model, *goal);
+  if (!answers.ok()) return {"query: " + answers.status().ToString()};
+  std::vector<std::string> out;
+  for (const Substitution& s : *answers) out.push_back(s.ToString());
+  return out;
+}
+
+/// Runs `query_text` through the parameterized-plan path: abstract the
+/// goal over its constants, compile, execute with the goal's own
+/// parameters. Returns a marker string on any failure.
+std::vector<std::string> SolvePlanned(std::string_view src,
+                                      std::string_view query_text,
+                                      const EvalOptions& options = {}) {
+  Result<ParsedProgram> parsed = ParseDatalog(src);
+  if (!parsed.ok()) return {"parse error"};
+  Result<std::vector<Literal>> goal = ParseGoal(query_text);
+  if (!goal.ok()) return {"goal error"};
+  const MagicGoalPattern pattern = ParameterizeGoal(*goal);
+  Result<MagicPlan> plan = CompileMagicPlan(parsed->program, pattern, options);
+  if (!plan.ok()) return {"compile: " + plan.status().ToString()};
+  Result<std::vector<Substitution>> answers =
+      ExecuteMagicPlan(*plan, pattern.params, options);
+  if (!answers.ok()) return {"execute: " + answers.status().ToString()};
   std::vector<std::string> out;
   for (const Substitution& s : *answers) out.push_back(s.ToString());
   return out;
@@ -136,6 +160,131 @@ TEST(MagicTest, NegationRejected) {
       MagicTransform(parsed->program, (*goal)[0].atom());
   EXPECT_FALSE(magic.ok());
   EXPECT_TRUE(magic.status().IsInvalidProgram());
+}
+
+TEST(MagicTest, UnreachableNegationIsFine) {
+  // The negation lives in a predicate the query never reaches, so the
+  // goal-directed rewrite must not reject the program for it.
+  const char* src = R"(
+    p(a). r(a).
+    q(X) :- p(X), not r(X).
+    edge(a, b). edge(b, c).
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+  )";
+  EXPECT_EQ(Solve(src, "path(a, Y)"),
+            (std::vector<std::string>{"{Y=b}", "{Y=c}"}));
+}
+
+TEST(MagicTest, ParameterizeGoalShape) {
+  Result<std::vector<Literal>> goal = ParseGoal("path(b, Y)");
+  ASSERT_TRUE(goal.ok());
+  const MagicGoalPattern pattern = ParameterizeGoal(*goal);
+  EXPECT_TRUE(pattern.any_bound);
+  ASSERT_EQ(pattern.params.size(), 1u);
+  EXPECT_EQ(pattern.params[0].ToString(), "b");
+  ASSERT_EQ(pattern.param_vars.size(), 1u);
+
+  // Same shape, different constant: identical signature (plan reuse).
+  Result<std::vector<Literal>> other = ParseGoal("path(c, Y)");
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(pattern.signature, ParameterizeGoal(*other).signature);
+
+  // Different binding pattern: different signature.
+  Result<std::vector<Literal>> flipped = ParseGoal("path(X, c)");
+  ASSERT_TRUE(flipped.ok());
+  EXPECT_NE(pattern.signature, ParameterizeGoal(*flipped).signature);
+}
+
+TEST(MagicTest, ParameterizeGoalAllFree) {
+  Result<std::vector<Literal>> goal = ParseGoal("path(X, Y)");
+  ASSERT_TRUE(goal.ok());
+  const MagicGoalPattern pattern = ParameterizeGoal(*goal);
+  EXPECT_FALSE(pattern.any_bound);
+  EXPECT_TRUE(pattern.params.empty());
+}
+
+TEST(MagicTest, ParameterizeGoalPlaceholderCollision) {
+  // A user goal that already uses the placeholder namespace cannot be
+  // abstracted (fresh placeholders could capture it); the pattern must
+  // report not-bound so callers fall back to full evaluation.
+  Result<std::vector<Literal>> goal = ParseGoal("path(__mp0, b)");
+  ASSERT_TRUE(goal.ok());
+  EXPECT_FALSE(ParameterizeGoal(*goal).any_bound);
+}
+
+TEST(MagicTest, PlannedMatchesFull) {
+  EXPECT_EQ(SolvePlanned(kChain, "path(b, Y)"), SolveFull(kChain, "path(b, Y)"));
+  EXPECT_EQ(SolvePlanned(kChain, "path(X, d)"), SolveFull(kChain, "path(X, d)"));
+  EXPECT_EQ(SolvePlanned(kChain, "path(a, e)"), SolveFull(kChain, "path(a, e)"));
+}
+
+TEST(MagicTest, PlanReusedAcrossParameters) {
+  // Compile once for the shape path(<param>, Y), then serve every
+  // binding of the first argument from the same plan.
+  Result<ParsedProgram> parsed = ParseDatalog(kChain);
+  ASSERT_TRUE(parsed.ok());
+  Result<std::vector<Literal>> goal = ParseGoal("path(a, Y)");
+  ASSERT_TRUE(goal.ok());
+  const MagicGoalPattern pattern = ParameterizeGoal(*goal);
+  Result<MagicPlan> plan = CompileMagicPlan(parsed->program, pattern);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  for (const std::string start : {"a", "b", "c", "d", "e"}) {
+    Result<std::vector<Substitution>> answers =
+        ExecuteMagicPlan(*plan, {Term::Sym(start)});
+    ASSERT_TRUE(answers.ok()) << answers.status();
+    std::vector<std::string> got;
+    for (const Substitution& s : *answers) got.push_back(s.ToString());
+    EXPECT_EQ(got, SolveFull(kChain, "path(" + start + ", Y)")) << start;
+  }
+}
+
+TEST(MagicTest, ExecuteValidatesParams) {
+  Result<ParsedProgram> parsed = ParseDatalog(kChain);
+  ASSERT_TRUE(parsed.ok());
+  Result<std::vector<Literal>> goal = ParseGoal("path(b, Y)");
+  ASSERT_TRUE(goal.ok());
+  Result<MagicPlan> plan =
+      CompileMagicPlan(parsed->program, ParameterizeGoal(*goal));
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  EXPECT_TRUE(ExecuteMagicPlan(*plan, {}).status().IsInvalidArgument());
+  EXPECT_TRUE(ExecuteMagicPlan(*plan, {Term::Var("X")})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(MagicTest, PlanWithBuiltinGoal) {
+  const char* src = R"(
+    val(a, 1). val(b, 5). val(c, 9).
+    link(a, b). link(b, c).
+    big(X, N) :- val(X, N), N >= 5.
+    bignext(X, Y, N) :- link(X, Y), big(Y, N).
+  )";
+  EXPECT_EQ(SolvePlanned(src, "bignext(a, Y, N)"),
+            SolveFull(src, "bignext(a, Y, N)"));
+}
+
+TEST(MagicTest, OptionsThreadThrough) {
+  // An emit budget small enough to trip must surface ResourceExhausted
+  // through MagicSolve rather than being ignored.
+  Result<ParsedProgram> parsed = ParseDatalog(kChain);
+  ASSERT_TRUE(parsed.ok());
+  Result<std::vector<Literal>> goal = ParseGoal("path(a, Y)");
+  ASSERT_TRUE(goal.ok());
+  EvalOptions tight;
+  tight.max_facts = 1;
+  Result<std::vector<Substitution>> answers =
+      MagicSolve(parsed->program, (*goal)[0].atom(), tight);
+  EXPECT_FALSE(answers.ok());
+  EXPECT_TRUE(answers.status().IsResourceExhausted());
+
+  // And a parallel execution must give byte-identical answers.
+  EvalOptions parallel;
+  parallel.num_threads = 8;
+  EXPECT_EQ(SolvePlanned(kChain, "path(b, Y)", parallel),
+            SolveFull(kChain, "path(b, Y)"));
 }
 
 class MagicPropertyTest : public ::testing::TestWithParam<unsigned> {};

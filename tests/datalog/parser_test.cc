@@ -113,6 +113,33 @@ TEST(DatalogParserTest, ErrorsMentionLineNumbers) {
       << p.status();
 }
 
+TEST(DatalogParserTest, IntegerLiteralBoundaries) {
+  // The extremes of int64 parse exactly; one past either end is a parse
+  // error, not a silently saturated value.
+  Result<Term> max = ParseTerm("9223372036854775807");
+  ASSERT_TRUE(max.ok()) << max.status();
+  EXPECT_EQ(max->ToString(), "9223372036854775807");
+
+  Result<Term> min = ParseTerm("-9223372036854775808");
+  ASSERT_TRUE(min.ok()) << min.status();
+  EXPECT_EQ(min->ToString(), "-9223372036854775808");
+
+  Result<Term> over = ParseTerm("9223372036854775808");
+  ASSERT_FALSE(over.ok());
+  EXPECT_NE(over.status().message().find("out of range"), std::string::npos)
+      << over.status();
+
+  Result<Term> under = ParseTerm("-9223372036854775809");
+  ASSERT_FALSE(under.ok());
+  EXPECT_NE(under.status().message().find("out of range"), std::string::npos)
+      << under.status();
+
+  // And through a whole program, where the literal sits in a fact.
+  EXPECT_TRUE(ParseDatalog("val(a, 9223372036854775807).").ok());
+  EXPECT_FALSE(ParseDatalog("val(a, 9223372036854775808).").ok());
+  EXPECT_FALSE(ParseDatalog("val(a, 99999999999999999999999999).").ok());
+}
+
 TEST(DatalogParserTest, RoundTripThroughToString) {
   const char* src =
       "path(X, Y) :- edge(X, Z), path(Z, Y), not blocked(Z), X != Y.";

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Bad --port values must fail fast with a diagnostic. Before the
+# ParsePort helper, "70000" silently truncated through a uint16_t cast
+# to 4464 and the daemon served on the wrong port.
+#
+# Usage: cli_port_test.sh <build-dir>
+set -u
+bin="$1"
+fail=0
+
+check() {
+  local desc="$1"
+  shift
+  local out
+  if out=$("$@" 2>&1); then
+    echo "FAIL($desc): expected a non-zero exit, got: $out"
+    fail=1
+  elif ! grep -q "invalid port" <<<"$out"; then
+    echo "FAIL($desc): missing 'invalid port' diagnostic, got: $out"
+    fail=1
+  fi
+}
+
+check "daemon overflow" "$bin/src/server/multilogd" --sample --port 70000
+check "daemon junk" "$bin/src/server/multilogd" --sample --port 80x
+check "client overflow" "$bin/src/server/multilog_client" --port 70000 ping
+check "client junk" "$bin/src/server/multilog_client" --port abc ping
+# Port 0 means "OS-assigned" for the daemon (the demo scripts use it),
+# but a client has nothing to dial at 0.
+check "client zero" "$bin/src/server/multilog_client" --port 0 ping
+
+# A good port must still parse: the client should get past argument
+# parsing and fail at connect time (nothing listens on this port), with
+# no port diagnostic.
+out=$("$bin/src/server/multilog_client" --port 65535 ping 2>&1)
+if [ $? -eq 0 ] || grep -q "invalid port" <<<"$out"; then
+  echo "FAIL(valid port): $out"
+  fail=1
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "cli port validation: ok"
+fi
+exit $fail

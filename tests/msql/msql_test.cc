@@ -286,6 +286,25 @@ TEST_F(MsqlTest, ParenthesizedSetExpressions) {
   EXPECT_EQ(rows, (std::vector<std::vector<std::string>>{{"Voyager"}}));
 }
 
+TEST(MsqlParserTest, IntegerLiteralBoundaries) {
+  Result<Statement> max =
+      ParseStatement("select a from t where a = 9223372036854775807");
+  EXPECT_TRUE(max.ok()) << max.status();
+
+  Result<Statement> over =
+      ParseStatement("select a from t where a = 9223372036854775808");
+  ASSERT_FALSE(over.ok());
+  EXPECT_TRUE(over.status().IsParseError());
+  EXPECT_NE(over.status().message().find("out of range"), std::string::npos)
+      << over.status();
+
+  // The same overflow inside INSERT VALUES.
+  Result<Statement> ins =
+      ParseStatement("insert into t values (99999999999999999999)");
+  ASSERT_FALSE(ins.ok());
+  EXPECT_TRUE(ins.status().IsParseError());
+}
+
 TEST_F(MsqlTest, ResultSetToString) {
   ASSERT_TRUE(session_->SetUserContext("u").ok());
   Result<ResultSet> r = session_->Execute(

@@ -183,5 +183,22 @@ TEST(MlParserTest, ComponentRouting) {
   EXPECT_EQ(db->queries.size(), 1u);
 }
 
+TEST(MlParserTest, IntegerLiteralBoundaries) {
+  // INT64_MAX is the largest literal (the grammar has no unary minus);
+  // one past it must be a parse error, not LLONG_MAX.
+  Result<Database> max =
+      ParseMultiLog("u[p(k : a -u-> 9223372036854775807)].");
+  ASSERT_TRUE(max.ok()) << max.status();
+  const auto& m = std::get<MAtom>(max->sigma[0].head);
+  EXPECT_EQ(m.cells[0].value.ToString(), "9223372036854775807");
+
+  Result<Database> over =
+      ParseMultiLog("u[p(k : a -u-> 9223372036854775808)].");
+  ASSERT_FALSE(over.ok());
+  EXPECT_TRUE(over.status().IsParseError());
+  EXPECT_NE(over.status().message().find("out of range"), std::string::npos)
+      << over.status();
+}
+
 }  // namespace
 }  // namespace multilog::ml

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "server/client.h"
+#include "server/protocol.h"
 #include "server/server.h"
 #include "server_test_util.h"
 
@@ -163,6 +164,42 @@ TEST_F(RobustnessTest, ImmediateDisconnectIsHarmless) {
     Client client = MustConnect();  // connect, say nothing, vanish
   }
   ExpectServerStillHealthy();
+}
+
+TEST(ParsePortTest, AcceptsTheFullValidRange) {
+  for (const auto& [text, want] :
+       {std::pair<const char*, uint16_t>{"1", 1},
+        {"80", 80},
+        {"7690", 7690},
+        {"65535", 65535}}) {
+    Result<uint16_t> port = ParsePort(text);
+    ASSERT_TRUE(port.ok()) << text << ": " << port.status();
+    EXPECT_EQ(*port, want) << text;
+  }
+}
+
+TEST(ParsePortTest, RejectsWhatAtoiWouldMangle) {
+  // "70000" used to truncate to 4464 via the uint16_t cast; every one
+  // of these must now be an InvalidArgument, not a wrong port.
+  for (const char* text : {"", "0", "65536", "70000", "131073", "999999",
+                           "-1", "80x", "x80", " 80", "8 0", "0x50"}) {
+    Result<uint16_t> port = ParsePort(text);
+    EXPECT_FALSE(port.ok()) << text << " -> " << static_cast<int>(*port);
+    if (!port.ok()) {
+      EXPECT_TRUE(port.status().IsInvalidArgument()) << text;
+    }
+  }
+}
+
+TEST(ParsePortTest, EphemeralZeroIsDaemonOnly) {
+  // The daemon keeps "--port 0" = bind an OS-assigned port; everything
+  // else that was junk without the flag stays junk with it.
+  Result<uint16_t> port = ParsePort("0", /*allow_ephemeral=*/true);
+  ASSERT_TRUE(port.ok()) << port.status();
+  EXPECT_EQ(*port, 0);
+  for (const char* text : {"", "-0", "65536", "0x0"}) {
+    EXPECT_FALSE(ParsePort(text, /*allow_ephemeral=*/true).ok()) << text;
+  }
 }
 
 }  // namespace
