@@ -1,0 +1,333 @@
+// Replication benchmark: one durable primary, N read replicas tailing
+// it over real loopback sockets, and a steady write stream. Records
+// replication lag (commit on the primary -> applied on every replica)
+// as p50/p99, then replica read throughput from concurrent clients
+// against a read-only replica server.
+//
+// Correctness rides along with the load: after the stream drains, every
+// replica's canonical dump must be byte-identical to the primary's (one
+// dump covers every clearance of the multilevel store), and the run
+// enforces the acceptance gate p99 lag < --max-p99-lag-ms (250 by
+// default). The run fails (non-zero exit) on any divergence, any
+// reconnect, or a blown gate.
+//
+//   $ bench_replication [--writes N] [--replicas N] [--clients N]
+//                       [--queries N] [--max-p99-lag-ms MS]
+//                       [--dir PATH] [--json PATH]
+//
+// Machine-readable record: one JSON object written to --json, or to
+// $MULTILOG_REPLICATION_JSON, or to BENCH_replication.json (in that
+// order). scripts/run_experiments.sh picks it up as the replication
+// experiment (EXPERIMENTS.md section J).
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "multilog/engine.h"
+#include "replication/replicator.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "storage/storage.h"
+
+namespace {
+
+using namespace multilog;
+using server::Client;
+using server::Json;
+
+constexpr char kBaseSource[] = R"(
+level(u).
+level(a).
+level(b).
+level(ts).
+order(u, a).
+order(u, b).
+order(a, ts).
+order(b, ts).
+u[item(base : id -u-> base, val -u-> seed)].
+)";
+
+constexpr const char* kLevels[] = {"u", "a", "b", "ts"};
+
+std::string BenchFact(size_t i) {
+  const std::string level = kLevels[i % 4];
+  const std::string key = "k" + std::to_string(i);
+  return level + "[item(" + key + " : id -" + level + "-> " + key + ", val -" +
+         level + "-> v" + std::to_string(i) + ")].";
+}
+
+double Percentile(std::vector<double> sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0;
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted_ms.size() - 1) / 100.0 + 0.5);
+  return sorted_ms[std::min(idx, sorted_ms.size() - 1)];
+}
+
+/// A replica: its own durable store, engine, and replicator.
+struct Replica {
+  std::optional<storage::Storage> storage;
+  std::optional<ml::Engine> engine;
+  std::unique_ptr<replication::Replicator> replicator;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t writes = 400;
+  size_t replicas = 2;
+  size_t clients = 4;
+  size_t queries_per_client = 200;
+  double max_p99_lag_ms = 250;
+  std::string dir;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (arg == "--writes") {
+      writes = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--replicas") {
+      replicas = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--clients") {
+      clients = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--queries") {
+      queries_per_client = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--max-p99-lag-ms") {
+      max_p99_lag_ms = std::atof(next());
+    } else if (arg == "--dir") {
+      dir = next();
+    } else if (arg == "--json") {
+      json_path = next();
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--writes N] [--replicas N] [--clients N] "
+                   "[--queries N] [--max-p99-lag-ms MS] [--dir PATH] "
+                   "[--json PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (dir.empty()) {
+    dir = "/tmp/multilog_bench_replication_" + std::to_string(::getpid());
+  }
+  if (json_path.empty()) {
+    const char* env = std::getenv("MULTILOG_REPLICATION_JSON");
+    json_path = env != nullptr ? env : "BENCH_replication.json";
+  }
+
+  // Every run starts from scratch: a stale primary WAL would make the
+  // first writes duplicate no-ops and zero out the lag samples.
+  // (Storage::Open creates each data dir, but only one level deep.)
+  ::mkdir(dir.c_str(), 0755);
+  auto scrub = [&](const std::string& d) {
+    std::remove((d + "/wal.log").c_str());
+    std::remove((d + "/snapshot.mls").c_str());
+  };
+  scrub(dir + "/primary");
+  for (size_t r = 0; r < replicas; ++r) {
+    scrub(dir + "/replica" + std::to_string(r));
+  }
+
+  // --- Primary: durable engine + server. -----------------------------
+  Result<storage::Storage> primary_storage =
+      storage::Storage::Open(dir + "/primary", kBaseSource);
+  if (!primary_storage.ok()) {
+    std::fprintf(stderr, "primary open: %s\n",
+                 primary_storage.status().ToString().c_str());
+    return 1;
+  }
+  Result<ml::Engine> primary = ml::Engine::FromStorage(&*primary_storage);
+  if (!primary.ok()) {
+    std::fprintf(stderr, "primary engine: %s\n",
+                 primary.status().ToString().c_str());
+    return 1;
+  }
+  server::ServerOptions primary_options;
+  primary_options.port = 0;
+  server::Server primary_server(&*primary, primary_options);
+  if (Status s = primary_server.Start(); !s.ok()) {
+    std::fprintf(stderr, "primary start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // --- Replicas: durable engines tailing the primary. ----------------
+  std::vector<std::unique_ptr<Replica>> fleet;
+  for (size_t r = 0; r < replicas; ++r) {
+    auto replica = std::make_unique<Replica>();
+    Result<storage::Storage> st =
+        storage::Storage::Open(dir + "/replica" + std::to_string(r),
+                               kBaseSource);
+    if (!st.ok()) {
+      std::fprintf(stderr, "replica %zu open: %s\n", r,
+                   st.status().ToString().c_str());
+      return 1;
+    }
+    replica->storage.emplace(std::move(st).value());
+    Result<ml::Engine> engine = ml::Engine::FromStorage(&*replica->storage);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "replica %zu engine: %s\n", r,
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+    replica->engine.emplace(std::move(engine).value());
+    replication::Replicator::Options options;
+    options.port = primary_server.port();
+    options.backoff_initial_ms = 10;
+    replica->replicator = std::make_unique<replication::Replicator>(
+        &*replica->engine, options);
+    replica->replicator->Start();
+    fleet.push_back(std::move(replica));
+  }
+
+  // --- Lag phase: a steady write stream; per write, the time from the
+  // primary's commit until EVERY replica has applied it. --------------
+  std::vector<double> lag_ms;
+  lag_ms.reserve(writes);
+  const auto stream_start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < writes; ++i) {
+    Result<ml::WriteResult> w = primary->Assert(BenchFact(i), kLevels[i % 4]);
+    if (!w.ok()) {
+      std::fprintf(stderr, "assert %zu: %s\n", i,
+                   w.status().ToString().c_str());
+      return 1;
+    }
+    const auto committed = std::chrono::steady_clock::now();
+    const auto deadline = committed + std::chrono::seconds(30);
+    for (const auto& replica : fleet) {
+      while (replica->engine->AppliedSeqno() < w->seqno) {
+        if (std::chrono::steady_clock::now() > deadline) {
+          std::fprintf(stderr, "replica stalled at write %zu\n", i);
+          return 1;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+      }
+    }
+    lag_ms.push_back(std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - committed)
+                         .count());
+  }
+  const double stream_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - stream_start)
+                               .count();
+
+  std::sort(lag_ms.begin(), lag_ms.end());
+  const double lag_p50 = Percentile(lag_ms, 50);
+  const double lag_p99 = Percentile(lag_ms, 99);
+
+  // --- Byte identity: every replica's dump equals the primary's. -----
+  uint64_t primary_seqno = 0;
+  const std::string want = primary->DumpSource(&primary_seqno);
+  bool byte_identical = true;
+  uint64_t reconnects = 0;
+  for (size_t r = 0; r < fleet.size(); ++r) {
+    uint64_t replica_seqno = 0;
+    const std::string got = fleet[r]->engine->DumpSource(&replica_seqno);
+    if (got != want || replica_seqno != primary_seqno) {
+      std::fprintf(stderr, "replica %zu diverged at seqno %llu\n", r,
+                   static_cast<unsigned long long>(replica_seqno));
+      byte_identical = false;
+    }
+    reconnects += fleet[r]->replicator->GetStats().reconnects;
+  }
+
+  // --- Read phase: concurrent clients against a read-only replica
+  // server, answers byte-compared against the primary engine. ---------
+  server::ServerOptions replica_options;
+  replica_options.port = 0;
+  replica_options.read_only = true;
+  server::Server replica_server(&*fleet[0]->engine, replica_options);
+  replica_server.SetReplicator(fleet[0]->replicator.get());
+  if (Status s = replica_server.Start(); !s.ok()) {
+    std::fprintf(stderr, "replica server start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const std::string read_goal = "?- ts[item(K : id -ts-> K)].";
+  std::string expected_answers;
+  {
+    Result<ml::QueryResult> ref =
+        primary->QuerySource(read_goal, "ts", ml::ExecMode::kReduced);
+    if (!ref.ok()) {
+      std::fprintf(stderr, "reference: %s\n", ref.status().ToString().c_str());
+      return 1;
+    }
+    Json answers = Json::Array();
+    for (const auto& a : ref->answers) answers.Push(Json::Str(a.ToString()));
+    expected_answers = answers.Serialize();
+  }
+  std::atomic<size_t> read_errors{0};
+  const auto read_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> readers;
+  readers.reserve(clients);
+  for (size_t t = 0; t < clients; ++t) {
+    readers.emplace_back([&] {
+      Result<Client> client = Client::Connect(replica_server.port());
+      if (!client.ok() || !client->Hello("ts").ok()) {
+        read_errors.fetch_add(1);
+        return;
+      }
+      for (size_t q = 0; q < queries_per_client; ++q) {
+        Result<Json> r = client->Query(read_goal);
+        const Json* answers = r.ok() ? r->Find("answers") : nullptr;
+        if (answers == nullptr || answers->Serialize() != expected_answers) {
+          read_errors.fetch_add(1);
+        }
+      }
+      client->Bye();
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  const double read_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - read_start)
+                             .count();
+  const double replica_qps =
+      static_cast<double>(clients * queries_per_client) / (read_ms / 1000.0);
+
+  replica_server.Stop();
+  for (const auto& replica : fleet) replica->replicator->Stop();
+  primary_server.Stop();
+
+  const bool lag_ok = lag_p99 < max_p99_lag_ms;
+  const bool reads_ok = read_errors.load() == 0;
+  const bool steady = reconnects == 0;
+  std::printf(
+      "replication: %zu writes -> %zu replicas, lag p50 %.3f ms p99 %.3f ms "
+      "(gate < %.0f ms: %s)\n"
+      "  stream wall %.1f ms, replica reads %.0f qps (%zu clients x %zu), "
+      "read errors: %zu\n"
+      "  byte-identical replicas: %s, reconnects: %llu\n",
+      writes, replicas, lag_p50, lag_p99, max_p99_lag_ms,
+      lag_ok ? "ok" : "BLOWN", stream_ms, replica_qps, clients,
+      queries_per_client, read_errors.load(), byte_identical ? "yes" : "NO",
+      static_cast<unsigned long long>(reconnects));
+
+  Json record = Json::Object();
+  record.Set("bench", Json::Str("replication"));
+  record.Set("writes", Json::Int(static_cast<int64_t>(writes)));
+  record.Set("replicas", Json::Int(static_cast<int64_t>(replicas)));
+  record.Set("lag_p50_ms", Json::Double(lag_p50));
+  record.Set("lag_p99_ms", Json::Double(lag_p99));
+  record.Set("stream_wall_ms", Json::Double(stream_ms));
+  record.Set("replica_read_qps", Json::Double(replica_qps));
+  record.Set("read_clients", Json::Int(static_cast<int64_t>(clients)));
+  record.Set("byte_identical", Json::Bool(byte_identical));
+  record.Set("reconnects", Json::Int(static_cast<int64_t>(reconnects)));
+  record.Set("lag_gate_ms", Json::Double(max_p99_lag_ms));
+  record.Set("lag_ok", Json::Bool(lag_ok));
+  std::ofstream out(json_path);
+  if (out) {
+    out << record.Serialize() << "\n";
+    std::printf("  wrote %s\n", json_path.c_str());
+  }
+  return byte_identical && lag_ok && reads_ok && steady ? 0 : 1;
+}

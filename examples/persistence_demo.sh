@@ -47,7 +47,10 @@ echo "multilogd up on port $PORT, data dir $DATA"
 
 echo
 echo "== replay the write batch at clearance s =="
-"$CLIENT" --port "$PORT" --level s --file examples/data/writes.mlog
+# --connect-retries rides out the accept loop still coming up after the
+# banner - no sleep needed between spawn and first use.
+"$CLIENT" --port "$PORT" --level s --connect-retries 20 \
+  --retry-backoff-ms 50 --file examples/data/writes.mlog
 
 echo
 echo "== kill -9 the server, restart from the same data dir =="

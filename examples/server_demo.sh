@@ -38,7 +38,10 @@ echo "multilogd up on port $PORT"
 
 echo
 echo "== clearance s: the Figure 11 belief is provable =="
-AT_S="$("$CLIENT" --port "$PORT" --level s --mode operational --proofs query "$GOAL")"
+# --connect-retries rides out the accept loop still coming up after the
+# banner - no sleep needed between spawn and first use.
+AT_S="$("$CLIENT" --port "$PORT" --level s --mode operational --proofs \
+  --connect-retries 20 --retry-backoff-ms 50 query "$GOAL")"
 echo "$AT_S" | tail -n +2
 echo "$AT_S" | head -1 | grep -q '"count":1' || { echo "FAIL: expected 1 answer at s" >&2; exit 1; }
 echo "$AT_S" | grep -q 'descend-o' || { echo "FAIL: expected a descend-o proof step" >&2; exit 1; }

@@ -9,8 +9,10 @@
 # byte-identity check) to BENCH_server.json, the storage benchmark
 # writes its persistence record (append throughput, recovery latency,
 # byte-identity check, per-append validation flatness) to
-# BENCH_storage.json, and the trace-overhead guard writes the per-stage
-# latency breakdown to BENCH_stages.json.
+# BENCH_storage.json, the trace-overhead guard writes the per-stage
+# latency breakdown to BENCH_stages.json, and the replication benchmark
+# writes its lag percentiles and replica read throughput to
+# BENCH_replication.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,7 +27,7 @@ for b in build/bench/*; do
   # below (they take flags and write their own records); everything else
   # is a google-benchmark binary.
   case "$b" in
-    */bench_server_loadgen|*/bench_storage_recovery|*/bench_trace_overhead|*/bench_mixed_workload|*/bench_magic_pointquery)
+    */bench_server_loadgen|*/bench_storage_recovery|*/bench_trace_overhead|*/bench_mixed_workload|*/bench_magic_pointquery|*/bench_replication)
       continue ;;
   esac
   [ -x "$b" ] && MULTILOG_SCALING_JSON="$scaling_lines" "$b"
@@ -53,6 +55,14 @@ build/bench/bench_mixed_workload --keys 2000 --writes 60 \
 # evaluation, with byte-identical answers throughout.
 build/bench/bench_magic_pointquery --keys 3000 --writes 45 \
   --min-speedup 5 --json BENCH_magic.json 2>&1 | tee -a bench_output.txt
+
+# Replication: a 400-write stream into two tailing replicas must show
+# p99 replication lag under 250 ms, byte-identical replicas, zero
+# reconnects, and error-free replica reads (lag p50/p99 + replica qps
+# land in BENCH_replication.json).
+build/bench/bench_replication --writes 400 --replicas 2 --clients 4 \
+  --queries 200 --dir build/bench_replication_data \
+  --json BENCH_replication.json 2>&1 | tee -a bench_output.txt
 
 {
   echo '['

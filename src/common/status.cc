@@ -24,6 +24,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kReadOnly:
+      return "ReadOnly";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -42,6 +42,11 @@ enum class StatusCode {
   /// in-memory engine is healthy, but some previously acknowledged
   /// writes may be gone, and the operator should know.
   kDataLoss,
+  /// The node cannot accept this write: it is a read-only replica that
+  /// applies mutations only from its primary's log. Distinct from
+  /// kSecurityViolation (the write may be perfectly legal - on the
+  /// primary) so clients can redirect instead of giving up.
+  kReadOnly,
   /// An invariant the implementation relies on was broken; a bug.
   kInternal,
 };
@@ -95,6 +100,9 @@ class Status {
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
   }
+  static Status ReadOnly(std::string msg) {
+    return Status(StatusCode::kReadOnly, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -122,6 +130,7 @@ class Status {
     return code_ == StatusCode::kDeadlineExceeded;
   }
   bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
+  bool IsReadOnly() const { return code_ == StatusCode::kReadOnly; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
 
   /// "OK" or "<CodeName>: <message>".

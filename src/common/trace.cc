@@ -77,6 +77,8 @@ const char* StageName(Stage stage) {
       return "delta_eval";
     case Stage::kRegroup:
       return "regroup";
+    case Stage::kReplicaApply:
+      return "replica_apply";
     case Stage::kSqlExecute:
       return "sql_execute";
   }

@@ -79,6 +79,8 @@ enum class Stage : uint8_t {
   kDeltaReduce,  // incremental tau update of a live reduced program
   kDeltaEval,    // DRed-style delta propagation into a live fixpoint
   kRegroup,      // regrouping a served view (decoded model / cautious beta)
+  // Replication (the replica-side apply loop).
+  kReplicaApply,  // applying one shipped WAL record through the engine
   // MSQL.
   kSqlExecute,
 };

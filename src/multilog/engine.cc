@@ -145,6 +145,7 @@ Result<Engine> Engine::FromStorage(storage::Storage* storage,
   MULTILOG_ASSIGN_OR_RETURN(Engine engine,
                             FromDatabase(std::move(db), options));
   engine.storage_ = storage;
+  engine.caches_->applied_seqno.store(storage->next_seqno() - 1, kRelaxed);
   return engine;
 }
 
@@ -616,7 +617,154 @@ Result<WriteResult> Engine::Mutate(std::string_view fact_source,
   // non-dominating levels stay valid: the written fact is invisible
   // under their dominance guards).
   PrunePlans(level);
+  caches_->applied_seqno.store(result.seqno, kRelaxed);
   return result;
+}
+
+Result<WriteResult> Engine::ApplyReplicated(const storage::WalRecord& record) {
+  trace::Span span(trace::Stage::kReplicaApply);
+  const bool retract = record.type == storage::WalRecordType::kRetract;
+  if (!retract && record.type != storage::WalRecordType::kAssert) {
+    return Status::InvalidArgument("replicated record is not a mutation");
+  }
+  // Parse outside the lock, like Mutate. The record was produced by the
+  // primary's canonical dump of a validated fact, so a parse failure is
+  // stream corruption or divergence, never bad user input.
+  Result<MAtom> parsed = ParseFactAtom(record.fact);
+  if (!parsed.ok()) {
+    return Status::Internal("replicated record seqno " +
+                            std::to_string(record.seqno) +
+                            " does not parse as an m-fact: " +
+                            parsed.status().ToString());
+  }
+  MAtom fact = std::move(parsed.value());
+
+  std::unique_lock<std::shared_mutex> db_lock(caches_->db_mu);
+
+  WriteResult result;
+  result.seqno = record.seqno;
+  const uint64_t applied = caches_->applied_seqno.load(kRelaxed);
+  if (record.seqno <= applied) {
+    // Already applied (reconnect overlap / snapshot boundary replay).
+    return result;
+  }
+  if (record.seqno != applied + 1) {
+    // Every stream path delivers contiguous seqnos (mutation seqnos are
+    // dense and the shipper never skips), so a gap means lost frames.
+    // Refuse rather than apply: a silent skip is divergence; the
+    // replicator answers an apply failure with a snapshot resync.
+    return Status::Internal(
+        "replicated record seqno " + std::to_string(record.seqno) +
+        " skips ahead of applied seqno " + std::to_string(applied) +
+        "; the stream lost records - resync from a snapshot");
+  }
+
+  // Paranoia check: the primary validated this write before logging it,
+  // so a violation here means the replica's Sigma has diverged (or the
+  // stream is corrupt). Surfaced as Internal so the replicator resyncs
+  // from a snapshot instead of quietly serving wrong answers. Clearance
+  // re-binding is deliberately skipped - record.level IS the clearance
+  // the primary already pinned - but the level must still exist here.
+  Status valid = [&]() -> Status {
+    trace::Span validate_span(trace::Stage::kValidate);
+    if (!cdb_.lattice.Contains(record.level)) {
+      return Status::Internal("replicated level '" + record.level +
+                              "' is not a level of this replica's lattice");
+    }
+    if (retract || sigma_index_.FactCount(fact) > 0) return Status::OK();
+    Status s = CheckFactIntegrity(sigma_index_, cdb_.lattice, fact);
+    if (!s.ok()) {
+      return Status::Internal(
+          "replica paranoia check failed at seqno " +
+          std::to_string(record.seqno) + ": " + s.ToString());
+    }
+    return s;
+  }();
+  if (!valid.ok()) return valid;
+
+  // Persist first (write-ahead), keeping the primary's seqno. The
+  // record goes to the local WAL even when applying it is a no-op
+  // (duplicate assert / absent retract): the disk must agree with the
+  // primary on what the next expected seqno is, or a restarted replica
+  // would re-request a range the primary may have checkpointed away.
+  if (storage_ != nullptr) {
+    MULTILOG_RETURN_IF_ERROR(storage_->AppendReplicated(record));
+  }
+
+  // Apply + propagate, exactly as Mutate does - so PR 6 incremental
+  // maintenance and PR 7 plan invalidation compose unchanged.
+  const auto it = FindStoredFact(&cdb_.db.sigma, fact);
+  const bool applies = retract ? it != cdb_.db.sigma.end()
+                               : it == cdb_.db.sigma.end();
+  if (applies) {
+    const MlClause fact_clause{fact, {}};
+    size_t sigma_index = 0;
+    if (retract) {
+      sigma_index = static_cast<size_t>(it - cdb_.db.sigma.begin());
+      cdb_.db.sigma.erase(it);
+      sigma_index_.Remove(fact);
+      caches_->retracts_ok.fetch_add(1, kRelaxed);
+    } else {
+      sigma_index_.Add(fact);
+      cdb_.db.sigma.push_back(MlClause{std::move(fact), {}});
+      caches_->asserts_ok.fetch_add(1, kRelaxed);
+    }
+    if (options_.incremental) {
+      PropagateDelta(record.level, fact_clause, retract, sigma_index,
+                     &result);
+    } else {
+      result.invalidated_levels = InvalidateDominating(record.level);
+    }
+    PrunePlans(record.level);
+  }
+  caches_->applied_seqno.store(record.seqno, kRelaxed);
+  return result;
+}
+
+Status Engine::InstallSnapshot(uint64_t seqno, const std::string& source) {
+  MULTILOG_ASSIGN_OR_RETURN(Database db, ParseMultiLog(source));
+  MULTILOG_ASSIGN_OR_RETURN(
+      CheckedDatabase fresh,
+      CheckDatabase(std::move(db), options_.require_consistency));
+  // The server hands out lattice() references without the database
+  // lock (sessions bind their clearance against it), so the lattice
+  // object must never be replaced - only verified equivalent. A
+  // primary that changed its Lambda mid-stream is not a replication
+  // event, it is a different database.
+  if (fresh.lattice.TopologicalOrder() != cdb_.lattice.TopologicalOrder()) {
+    return Status::Internal(
+        "replicated snapshot carries a different security lattice; "
+        "a replica cannot follow a primary whose Lambda changed");
+  }
+
+  std::unique_lock<std::shared_mutex> db_lock(caches_->db_mu);
+  if (storage_ != nullptr) {
+    MULTILOG_RETURN_IF_ERROR(storage_->InstallSnapshot(seqno, source));
+  }
+  cdb_.db = std::move(fresh.db);
+  sigma_index_ = SigmaIndex::Build(cdb_.db);
+
+  // Wholesale replacement: every cache is stale, whatever its level.
+  uint64_t dropped = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(caches_->mu);
+    dropped += caches_->reduced.size() + caches_->models.size() +
+               caches_->interpreters.size();
+    caches_->reduced.clear();
+    caches_->models.clear();
+    caches_->raw_models.clear();
+    caches_->interpreters.clear();
+    caches_->plans.clear();
+    for (auto& [sym, epoch] : caches_->plan_epochs) ++epoch;
+  }
+  caches_->invalidation_events.fetch_add(1, kRelaxed);
+  caches_->cache_entries_invalidated.fetch_add(dropped, kRelaxed);
+  caches_->applied_seqno.store(seqno, kRelaxed);
+  return Status::OK();
+}
+
+uint64_t Engine::AppliedSeqno() const {
+  return caches_->applied_seqno.load(kRelaxed);
 }
 
 void Engine::PrunePlans(const std::string& written_level) {
@@ -824,21 +972,29 @@ Status Engine::Checkpoint() {
   return Status::OK();
 }
 
-std::string Engine::DumpSource() {
+std::string Engine::DumpSource(uint64_t* at_seqno) {
   std::shared_lock<std::shared_mutex> db_lock(caches_->db_mu);
+  if (at_seqno != nullptr) {
+    *at_seqno = caches_->applied_seqno.load(kRelaxed);
+  }
   return cdb_.db.ToString();
 }
 
 StorageCounters Engine::StorageStats() const {
   std::shared_lock<std::shared_mutex> db_lock(caches_->db_mu);
   StorageCounters c;
+  c.applied_seqno = caches_->applied_seqno.load(kRelaxed);
   if (storage_ == nullptr) return c;
   c.attached = true;
   c.dir = storage_->dir();
   c.next_seqno = storage_->next_seqno();
+  c.snapshot_seqno = storage_->snapshot_seqno();
   c.wal_records = storage_->wal_records();
   c.wal_bytes = storage_->wal_bytes();
   c.checkpoints = storage_->checkpoints();
+  if (!storage_->recovered().data_loss.ok()) {
+    c.recovery_data_loss = storage_->recovered().data_loss.ToString();
+  }
   return c;
 }
 

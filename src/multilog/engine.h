@@ -130,12 +130,21 @@ struct EngineCounters {
 /// the engine's database lock (the raw Storage accessors are guarded by
 /// it, so concurrent readers must come through here).
 struct StorageCounters {
-  bool attached = false;  // false = in-memory engine; rest is zero
+  bool attached = false;  // false = in-memory engine; storage fields zero
   std::string dir;
   uint64_t next_seqno = 0;
+  uint64_t snapshot_seqno = 0;
   uint64_t wal_records = 0;
   uint64_t wal_bytes = 0;
   uint64_t checkpoints = 0;
+  /// Highest mutation seqno applied to the in-memory database (set for
+  /// in-memory engines too). On a primary this trails next_seqno by
+  /// exactly one; on a replica it is the staleness bound clients read.
+  uint64_t applied_seqno = 0;
+  /// What recovery had to say about the WAL tail: empty when it was
+  /// intact, otherwise the kDataLoss description of the torn tail that
+  /// was truncated (previously visible only on the daemon's stderr).
+  std::string recovery_data_loss;
 };
 
 /// The MultiLog engine: parses/checks a database once, then answers
@@ -254,10 +263,47 @@ class Engine {
   /// queries and writes.
   Status Checkpoint();
 
+  /// Applies one WAL record shipped from a replication primary. The
+  /// apply-from-log twin of Assert/Retract: it skips clearance
+  /// re-binding (the record's level IS the writing clearance the
+  /// primary already enforced) but keeps the Definition 5.4 integrity
+  /// check as a paranoia check - a failure means the replica has
+  /// diverged from its primary, which the caller should treat as
+  /// "resync from snapshot", not ignore. Persists the record to the
+  /// local WAL first (same write-ahead discipline as Mutate), keeping
+  /// the primary's seqno, so a restarted replica resumes from its own
+  /// disk without refetching. Idempotent: a record at or below
+  /// AppliedSeqno() is a no-op, as are a duplicate assert and an
+  /// absent retract (the snapshot-then-tail handoff can replay the
+  /// boundary record). A seqno gap (record.seqno > AppliedSeqno()+1)
+  /// is refused with kInternal - the stream lost records, and the
+  /// answer is a snapshot resync, never a silent skip. Thread-safe;
+  /// serializes against queries.
+  Result<WriteResult> ApplyReplicated(const storage::WalRecord& record);
+
+  /// Replaces the entire database with a snapshot shipped from a
+  /// replication primary (`source` is the primary's canonical dump at
+  /// `seqno`) and drops every cache. The security lattice must be
+  /// equivalent to the current one (same levels, same order) - the
+  /// server binds sessions against a lattice reference it reads
+  /// without the database lock, so the lattice object itself is never
+  /// replaced. Persisted via Storage::InstallSnapshot when durable.
+  /// Thread-safe; serializes against queries.
+  Status InstallSnapshot(uint64_t seqno, const std::string& source);
+
+  /// Highest mutation seqno applied to the in-memory database: the
+  /// replica staleness bound, and the primary's last committed write.
+  /// Lock-free (relaxed atomic) so bounded-staleness reads can poll it
+  /// without touching the database lock.
+  uint64_t AppliedSeqno() const;
+
   /// The current database as canonical MultiLog source - the same text
   /// a snapshot stores, so "byte-identical recovery" is a string
-  /// compare on this. Thread-safe.
-  std::string DumpSource();
+  /// compare on this. Thread-safe. When `at_seqno` is non-null it
+  /// receives the applied seqno the dump corresponds to, read under the
+  /// same hold of the database lock - the consistent (source, seqno)
+  /// pair a replication snapshot ships.
+  std::string DumpSource(uint64_t* at_seqno = nullptr);
 
   /// Snapshot of the engine's cache/mutation counters. Thread-safe.
   EngineCounters Counters() const;
@@ -356,6 +402,10 @@ class Engine {
     std::atomic<uint64_t> plan_hits{0};
     std::atomic<uint64_t> plan_misses{0};
     std::atomic<uint64_t> magic_fallbacks{0};
+
+    /// Highest seqno applied to the database (see Engine::AppliedSeqno).
+    /// Written under db_mu (exclusive), read lock-free.
+    std::atomic<uint64_t> applied_seqno{0};
   };
 
   Engine(CheckedDatabase cdb, EngineOptions options)

@@ -1,0 +1,138 @@
+#include "replication/log_shipper.h"
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "server/json.h"
+#include "server/protocol.h"
+#include "storage/wal.h"
+
+namespace multilog::replication {
+
+namespace {
+
+using server::Json;
+using server::WriteFrame;
+
+Status SendSnapshot(int fd, uint64_t seqno, std::string source) {
+  Json frame = Json::Object();
+  frame.Set("ok", Json::Bool(true));
+  frame.Set("kind", Json::Str("snapshot"));
+  frame.Set("seqno", Json::Int(static_cast<int64_t>(seqno)));
+  frame.Set("source", Json::Str(std::move(source)));
+  return WriteFrame(fd, frame.Serialize());
+}
+
+Status SendRecord(int fd, const storage::WalRecord& record) {
+  Json frame = Json::Object();
+  frame.Set("ok", Json::Bool(true));
+  frame.Set("kind", Json::Str("record"));
+  frame.Set("rtype",
+            Json::Str(record.type == storage::WalRecordType::kRetract
+                          ? "retract"
+                          : "assert"));
+  frame.Set("seqno", Json::Int(static_cast<int64_t>(record.seqno)));
+  frame.Set("level", Json::Str(record.level));
+  frame.Set("fact", Json::Str(record.fact));
+  return WriteFrame(fd, frame.Serialize());
+}
+
+Status SendHeartbeat(int fd, uint64_t next_seqno) {
+  Json frame = Json::Object();
+  frame.Set("ok", Json::Bool(true));
+  frame.Set("kind", Json::Str("heartbeat"));
+  frame.Set("next_seqno", Json::Int(static_cast<int64_t>(next_seqno)));
+  return WriteFrame(fd, frame.Serialize());
+}
+
+/// Best-effort terminal error frame; the stream is over either way.
+void SendError(int fd, const Status& status) {
+  (void)WriteFrame(fd, server::ErrorResponse(status).Serialize());
+}
+
+}  // namespace
+
+// A send failure below means the replica hung up (EPIPE/ECONNRESET on a
+// loopback socket); that is normal replica churn, reported as OK so the
+// server does not log every replica restart as a stream error.
+
+Status ServeReplication(int fd, ml::Engine* engine, uint64_t from_seqno,
+                        const std::atomic<bool>* stop,
+                        const LogShipperOptions& options) {
+  const ml::StorageCounters storage = engine->StorageStats();
+  if (!storage.attached) {
+    const Status err = Status::InvalidArgument(
+        "replication requires a durable primary (start multilogd with "
+        "--data-dir)");
+    SendError(fd, err);
+    return err;
+  }
+
+  // `pos` is the replication cursor: the last seqno the replica is known
+  // to hold. Every path below ships strictly increasing seqnos past it.
+  uint64_t pos = from_seqno;
+  auto last_heartbeat = std::chrono::steady_clock::now();
+
+  // Outer loop: one iteration per snapshot-staleness check. Entered at
+  // stream start and again whenever the WAL resets under the reader.
+  while (!stop->load(std::memory_order_relaxed)) {
+    // A checkpoint folds records up to snapshot_seqno out of the WAL.
+    // If the replica's position predates that fold, the WAL alone can
+    // no longer produce those records - ship a full snapshot instead.
+    if (pos < engine->StorageStats().snapshot_seqno) {
+      uint64_t snap_seqno = 0;
+      std::string source = engine->DumpSource(&snap_seqno);
+      if (!SendSnapshot(fd, snap_seqno, std::move(source)).ok()) {
+        return Status::OK();
+      }
+      pos = snap_seqno;
+      last_heartbeat = std::chrono::steady_clock::now();
+    }
+
+    MULTILOG_ASSIGN_OR_RETURN(
+        storage::WalReader reader,
+        storage::WalReader::Open(storage.dir + "/wal.log"));
+
+    // Inner loop: tail the WAL until it resets (re-check the snapshot)
+    // or the stream ends.
+    while (!stop->load(std::memory_order_relaxed)) {
+      auto item_or = reader.Next();
+      if (!item_or.ok()) {
+        // Non-tail damage or an I/O failure: the feed cannot be trusted
+        // past this point. Tell the replica why before hanging up; it
+        // will reconnect and (after the primary repairs or re-snapshots)
+        // catch up from its persisted position.
+        SendError(fd, item_or.status());
+        return std::move(item_or).status();
+      }
+      const storage::WalReader::Item item = std::move(item_or).value();
+      if (item.event == storage::WalReader::Event::kReset) {
+        break;  // checkpoint: back to the snapshot-staleness check
+      }
+      if (item.event == storage::WalReader::Event::kEndOfPrefix) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now - last_heartbeat >=
+            std::chrono::milliseconds(options.heartbeat_ms)) {
+          // next_seqno from the engine, not the reader: the reader may
+          // lag the committed tip by the frames still in its buffer.
+          if (!SendHeartbeat(fd, engine->AppliedSeqno() + 1).ok()) {
+            return Status::OK();
+          }
+          last_heartbeat = now;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options.poll_ms));
+        continue;
+      }
+      if (item.record.seqno <= pos) continue;  // replica already has it
+      if (!SendRecord(fd, item.record).ok()) return Status::OK();
+      pos = item.record.seqno;
+      last_heartbeat = std::chrono::steady_clock::now();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace multilog::replication

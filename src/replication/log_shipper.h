@@ -1,0 +1,59 @@
+#ifndef MULTILOG_REPLICATION_LOG_SHIPPER_H_
+#define MULTILOG_REPLICATION_LOG_SHIPPER_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/status.h"
+#include "multilog/engine.h"
+
+namespace multilog::replication {
+
+/// # Primary-side log shipping
+///
+/// ServeReplication turns one accepted connection into a replication
+/// stream: the server calls it on the connection's reader thread when a
+/// `replicate` request arrives, and it writes frames until the peer
+/// disconnects, the server stops, or the stream hits unrecoverable
+/// damage. The catch-up state machine (DESIGN.md §16):
+///
+///   1. **Snapshot** - when the replica's position predates the
+///      primary's on-disk snapshot, the live WAL cannot cover the gap
+///      (a checkpoint folded it away), so the primary ships a full
+///      {snapshot, seqno} pair: the engine's canonical dump and its
+///      applied seqno, read under one hold of the database lock.
+///   2. **Tail** - a WalReader follows the live WAL, shipping every
+///      mutation record with seqno past the replica's position. A torn
+///      in-flight tail frame reads as "end of prefix"; the shipper
+///      polls. A checkpoint truncating the WAL under the reader reads
+///      as a reset, which loops back to step 1's staleness check - the
+///      records between the reader's position and the new snapshot
+///      either were already shipped (continue tailing) or now live only
+///      in the snapshot (ship it).
+///   3. **Heartbeat** - while the tail is dry, periodic
+///      {heartbeat, next_seqno} frames let the replica measure lag and
+///      distinguish "primary idle" from "link dead".
+///
+/// The WAL is the replication log: records are shipped exactly as PR 4
+/// framed them (seqno, level, canonical fact text), so a replica's
+/// local WAL ends up frame-for-frame equivalent to the primary's and
+/// its database byte-identical at every applied seqno.
+struct LogShipperOptions {
+  /// Sleep between WAL polls while the tail is dry.
+  int64_t poll_ms = 2;
+  /// Idle heartbeat period.
+  int64_t heartbeat_ms = 250;
+};
+
+/// Streams the replication feed to `fd` starting after `from_seqno`
+/// (ship records with seqno > from_seqno). Blocks until `stop` is set,
+/// the peer disconnects (reported as OK - replica churn is normal), or
+/// an unrecoverable error (non-durable engine, WAL damage). The caller
+/// owns the fd and closes it afterwards.
+Status ServeReplication(int fd, ml::Engine* engine, uint64_t from_seqno,
+                        const std::atomic<bool>* stop,
+                        const LogShipperOptions& options = {});
+
+}  // namespace multilog::replication
+
+#endif  // MULTILOG_REPLICATION_LOG_SHIPPER_H_

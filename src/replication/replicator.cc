@@ -1,0 +1,197 @@
+#include "replication/replicator.h"
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <utility>
+
+#include "server/client.h"
+#include "server/json.h"
+#include "storage/wal.h"
+
+namespace multilog::replication {
+
+namespace {
+
+using server::Json;
+
+/// Decodes one stream frame into a WalRecord. The shipper built the
+/// frame from a decoded record, so a shape mismatch here means a
+/// protocol bug or a non-multilogd peer - Internal either way.
+Result<storage::WalRecord> RecordFromFrame(const Json& frame) {
+  storage::WalRecord record;
+  const std::string rtype = frame.GetString("rtype");
+  if (rtype == "assert") {
+    record.type = storage::WalRecordType::kAssert;
+  } else if (rtype == "retract") {
+    record.type = storage::WalRecordType::kRetract;
+  } else {
+    return Status::Internal("record frame has unknown rtype '" + rtype + "'");
+  }
+  const Json* seqno = frame.Find("seqno");
+  if (seqno == nullptr || !seqno->is_int() || seqno->int_value() <= 0) {
+    return Status::Internal("record frame is missing a positive 'seqno'");
+  }
+  record.seqno = static_cast<uint64_t>(seqno->int_value());
+  record.level = frame.GetString("level");
+  record.fact = frame.GetString("fact");
+  if (record.level.empty() || record.fact.empty()) {
+    return Status::Internal("record frame is missing 'level' or 'fact'");
+  }
+  return record;
+}
+
+}  // namespace
+
+Replicator::Replicator(ml::Engine* engine, Options options)
+    : engine_(engine), options_(std::move(options)) {}
+
+Replicator::~Replicator() { Stop(); }
+
+void Replicator::Start() {
+  thread_ = std::thread([this] { Run(); });
+}
+
+void Replicator::Stop() {
+  stopping_.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Unblock the reader thread if it is parked in read(2) on the
+    // stream: shutdown makes the pending read return 0 without racing
+    // the Client's own close of the descriptor.
+    if (live_fd_ >= 0) ::shutdown(live_fd_, SHUT_RDWR);
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+Replicator::Stats Replicator::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats copy = stats_;
+  copy.applied_seqno = engine_->AppliedSeqno();
+  return copy;
+}
+
+bool Replicator::SleepBackoff(int64_t ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, std::chrono::milliseconds(ms), [this] {
+    return stopping_.load(std::memory_order_relaxed);
+  });
+  return !stopping_.load(std::memory_order_relaxed);
+}
+
+void Replicator::Run() {
+  int64_t backoff = options_.backoff_initial_ms;
+  bool first_attempt = true;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_attempt) ++stats_.reconnects;
+    }
+    first_attempt = false;
+    const Status end = RunOnce();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.connected = false;
+      live_fd_ = -1;
+      if (!end.ok()) stats_.last_error = end.ToString();
+    }
+    if (stopping_.load(std::memory_order_relaxed)) break;
+    // A connection that ended cleanly after healthy frames reset the
+    // backoff inside RunOnce; repeated dial failures keep doubling it.
+    if (!SleepBackoff(backoff)) break;
+    backoff = std::min(backoff * 2, options_.backoff_max_ms);
+    if (end.ok()) backoff = options_.backoff_initial_ms;
+  }
+}
+
+Status Replicator::RunOnce() {
+  auto client_or = server::Client::Connect(options_.host, options_.port);
+  if (!client_or.ok()) return std::move(client_or).status();
+  server::Client client = std::move(client_or).value();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_.load(std::memory_order_relaxed)) return Status::OK();
+    live_fd_ = client.fd();
+    stats_.connected = true;
+  }
+
+  // Ask for everything past what we hold. AppliedSeqno survives replica
+  // restarts (it recovers from the local snapshot + WAL), so a bounce
+  // resumes here instead of refetching history. After an apply failure
+  // (engine paranoia check tripped: our state diverged from the
+  // primary's), ask from 0 instead - the primary answers a stale cursor
+  // with a full snapshot, and InstallSnapshot replaces our database
+  // wholesale, healing the divergence.
+  Json request = Json::Object();
+  request.Set("cmd", Json::Str("replicate"));
+  request.Set("from_seqno",
+              Json::Int(resync_ ? 0
+                                : static_cast<int64_t>(engine_->AppliedSeqno())));
+  MULTILOG_RETURN_IF_ERROR(client.SendRaw(request.Serialize()));
+
+  bool healthy = false;  // any intact frame proves the link works
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    auto raw_or = client.ReadRaw();
+    if (!raw_or.ok()) {
+      // EOF or a torn frame: the link dropped. After healthy traffic
+      // that is ordinary churn (primary restart), not an error state.
+      if (healthy || stopping_.load(std::memory_order_relaxed)) {
+        return Status::OK();
+      }
+      return std::move(raw_or).status();
+    }
+    MULTILOG_ASSIGN_OR_RETURN(Json frame, Json::Parse(*raw_or));
+    if (!frame.GetBool("ok")) {
+      return Status::Internal("primary ended the stream: " +
+                              frame.GetString("error", "unknown error"));
+    }
+    const std::string kind = frame.GetString("kind");
+    if (kind == "snapshot") {
+      const Json* seqno = frame.Find("seqno");
+      const Json* source = frame.Find("source");
+      if (seqno == nullptr || !seqno->is_int() || seqno->int_value() < 0 ||
+          source == nullptr || !source->is_string()) {
+        return Status::Internal("malformed snapshot frame");
+      }
+      const uint64_t snap_seqno = static_cast<uint64_t>(seqno->int_value());
+      // The primary ships a snapshot whenever the cursor predates its
+      // checkpoint; if we already hold snap_seqno (e.g. the checkpoint
+      // happened mid-handshake) the records are all duplicates and the
+      // install would needlessly drop every cache.
+      if (snap_seqno > engine_->AppliedSeqno() || resync_) {
+        const Status installed =
+            engine_->InstallSnapshot(snap_seqno, source->string_value());
+        if (!installed.ok()) return installed;
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.snapshots_installed;
+      }
+      resync_ = false;
+    } else if (kind == "record") {
+      MULTILOG_ASSIGN_OR_RETURN(storage::WalRecord record,
+                                RecordFromFrame(frame));
+      const Status applied = engine_->ApplyReplicated(record).status();
+      if (!applied.ok()) {
+        resync_ = true;
+        return applied;
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.records_applied;
+      if (record.seqno >= stats_.primary_next_seqno) {
+        stats_.primary_next_seqno = record.seqno + 1;
+      }
+    } else if (kind == "heartbeat") {
+      const Json* next = frame.Find("next_seqno");
+      if (next != nullptr && next->is_int() && next->int_value() >= 0) {
+        std::lock_guard<std::mutex> lock(mu_);
+        stats_.primary_next_seqno = static_cast<uint64_t>(next->int_value());
+      }
+    } else {
+      return Status::Internal("unknown stream frame kind '" + kind + "'");
+    }
+    healthy = true;
+  }
+  return Status::OK();
+}
+
+}  // namespace multilog::replication

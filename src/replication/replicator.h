@@ -1,0 +1,107 @@
+#ifndef MULTILOG_REPLICATION_REPLICATOR_H_
+#define MULTILOG_REPLICATION_REPLICATOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "multilog/engine.h"
+
+namespace multilog::replication {
+
+/// # Replica-side apply loop
+///
+/// A Replicator owns one background thread that keeps a `replicate`
+/// stream open to the primary and applies what arrives through the
+/// engine's replication entry points:
+///
+///  - snapshot frames -> Engine::InstallSnapshot (skipped when the
+///    replica already holds that seqno - reconnects always start the
+///    stream from our persisted position, so a snapshot is only
+///    installed when the primary checkpointed past us);
+///  - record frames  -> Engine::ApplyReplicated, which persists the
+///    record to the replica's own WAL before applying, so a restarted
+///    replica resumes from its local applied seqno instead of
+///    refetching history;
+///  - heartbeat frames -> remembered as the primary's next_seqno, the
+///    other half of the replication-lag gauge.
+///
+/// Connection loss is the normal case, not the error case: every
+/// failure path records the error in Stats, sleeps an exponential
+/// backoff (reset on the first healthy frame), and reconnects from
+/// `engine->AppliedSeqno()`. Stop() interrupts both the blocking read
+/// (shutdown(2) on the socket) and the backoff sleep (condition
+/// variable), so replica shutdown is prompt.
+///
+/// Thread-safety: Start/Stop from one controlling thread; GetStats from
+/// anywhere.
+class Replicator {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    /// First reconnect delay; doubles per consecutive failure.
+    int64_t backoff_initial_ms = 100;
+    int64_t backoff_max_ms = 2000;
+  };
+
+  /// A point-in-time copy of the replication link's state.
+  struct Stats {
+    bool connected = false;
+    uint64_t applied_seqno = 0;       // mirror of engine->AppliedSeqno()
+    uint64_t primary_next_seqno = 0;  // 0 until the first heartbeat
+    uint64_t records_applied = 0;
+    uint64_t snapshots_installed = 0;
+    uint64_t reconnects = 0;  // connection attempts after the first
+    std::string last_error;   // most recent failure, "" when none yet
+  };
+
+  /// The engine must outlive the Replicator. Call Start() to begin.
+  Replicator(ml::Engine* engine, Options options);
+  ~Replicator();  // calls Stop()
+
+  Replicator(const Replicator&) = delete;
+  Replicator& operator=(const Replicator&) = delete;
+
+  /// Spawns the apply-loop thread. Call once.
+  void Start();
+
+  /// Signals the thread, interrupts any blocking read or backoff sleep,
+  /// and joins. Idempotent.
+  void Stop();
+
+  Stats GetStats() const;
+
+ private:
+  void Run();
+  /// One connection's lifetime: dial, request the stream from our
+  /// applied seqno, apply frames until the link drops or Stop().
+  /// The returned status is the reason the connection ended (recorded
+  /// as last_error when not OK).
+  Status RunOnce();
+  /// Interruptible sleep; returns false when Stop() fired.
+  bool SleepBackoff(int64_t ms);
+
+  ml::Engine* engine_;
+  Options options_;
+
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  /// Set when an apply failed (local state diverged): the next stream
+  /// request asks from seqno 0 so the primary ships a fresh snapshot.
+  /// Only touched on the replicator thread - no lock.
+  bool resync_ = false;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;    // wakes SleepBackoff on Stop()
+  int live_fd_ = -1;              // the in-flight connection, for Stop()
+  Stats stats_;
+};
+
+}  // namespace multilog::replication
+
+#endif  // MULTILOG_REPLICATION_REPLICATOR_H_

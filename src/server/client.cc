@@ -5,11 +5,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <thread>
 
 namespace multilog::server {
 
@@ -39,27 +41,58 @@ Status StatusFromWire(const Json& response) {
     return Status::DeadlineExceeded(std::move(msg));
   }
   if (code == "DataLoss") return Status::DataLoss(std::move(msg));
+  if (code == "ReadOnly") return Status::ReadOnly(std::move(msg));
   return Status::Internal(std::move(msg));
 }
 
 }  // namespace
 
 Result<Client> Client::Connect(uint16_t port) {
+  return Connect("127.0.0.1", port);
+}
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host == "localhost") {
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument(
+        "invalid host '" + host +
+        "' (expected an IPv4 address or 'localhost')");
+  }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::Internal(std::string("socket: ") + std::strerror(errno));
   }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const Status s =
-        Status::Internal(std::string("connect: ") + std::strerror(errno));
+    const Status s = Status::Internal("connect to " + host + ":" +
+                                      std::to_string(port) + ": " +
+                                      std::strerror(errno));
     ::close(fd);
     return s;
   }
   return Client(fd);
+}
+
+Result<Client> Client::ConnectWithRetry(const std::string& host,
+                                        uint16_t port, int attempts,
+                                        int64_t backoff_ms) {
+  if (attempts < 1) attempts = 1;
+  Result<Client> last = Status::Internal("no connect attempts made");
+  int64_t delay = backoff_ms;
+  for (int i = 0; i < attempts; ++i) {
+    last = Connect(host, port);
+    // An invalid host never becomes valid; only connection refusals
+    // (daemon still binding) are worth waiting out.
+    if (last.ok() || last.status().IsInvalidArgument()) return last;
+    if (i + 1 < attempts && delay > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      delay = std::min<int64_t>(delay * 2, 2000);
+    }
+  }
+  return last;
 }
 
 Client& Client::operator=(Client&& other) noexcept {
@@ -109,7 +142,8 @@ Result<Json> Client::Hello(const std::string& level, std::string_view mode) {
 }
 
 Result<Json> Client::Query(const std::string& goal, int64_t deadline_ms,
-                           std::string_view mode, bool proofs, bool trace) {
+                           std::string_view mode, bool proofs, bool trace,
+                           uint64_t min_seqno, int64_t wait_ms) {
   Json req = Json::Object();
   req.Set("cmd", Json::Str("query"));
   req.Set("goal", Json::Str(goal));
@@ -117,6 +151,10 @@ Result<Json> Client::Query(const std::string& goal, int64_t deadline_ms,
   if (!mode.empty()) req.Set("mode", Json::Str(std::string(mode)));
   if (proofs) req.Set("proofs", Json::Bool(true));
   if (trace) req.Set("trace", Json::Bool(true));
+  if (min_seqno > 0) {
+    req.Set("min_seqno", Json::Int(static_cast<int64_t>(min_seqno)));
+    if (wait_ms > 0) req.Set("wait_ms", Json::Int(wait_ms));
+  }
   return Call(req);
 }
 

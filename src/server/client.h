@@ -23,6 +23,21 @@ class Client {
   /// Connects to 127.0.0.1:`port` (multilogd binds loopback only).
   static Result<Client> Connect(uint16_t port);
 
+  /// Connects to `host`:`port`. `host` must be an IPv4 dotted quad or
+  /// "localhost" - multilogd binds loopback only today, so this exists
+  /// for the HOST:PORT spelling of --replica-of and stays deliberately
+  /// resolver-free (no DNS in the hot reconnect path).
+  static Result<Client> Connect(const std::string& host, uint16_t port);
+
+  /// Connect with retries: `attempts` tries, sleeping `backoff_ms`
+  /// between failures with exponential growth (capped at 2s). One
+  /// attempt with zero backoff is plain Connect. Replaces the
+  /// hand-rolled "sleep 0.3 and hope" loops in scripts that race a
+  /// freshly spawned daemon's bind.
+  static Result<Client> ConnectWithRetry(const std::string& host,
+                                         uint16_t port, int attempts,
+                                         int64_t backoff_ms);
+
   Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
   Client& operator=(Client&& other) noexcept;
   ~Client();
@@ -42,10 +57,13 @@ class Client {
   /// server's code/error as the Status.
   Result<Json> Hello(const std::string& level, std::string_view mode = "");
   /// `trace` asks the server to attach the per-stage span tree to the
-  /// response (its "trace" member).
+  /// response (its "trace" member). `min_seqno` > 0 makes the server
+  /// wait up to `wait_ms` for its applied seqno to reach it before
+  /// running the query (read-your-writes against a replica).
   Result<Json> Query(const std::string& goal, int64_t deadline_ms = -1,
                      std::string_view mode = "", bool proofs = false,
-                     bool trace = false);
+                     bool trace = false, uint64_t min_seqno = 0,
+                     int64_t wait_ms = 0);
   Result<Json> Sql(const std::string& sql);
   Result<Json> Assert(const std::string& fact);
   Result<Json> Retract(const std::string& fact);

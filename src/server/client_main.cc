@@ -15,6 +15,12 @@
 // and `--trace` attaches the server's per-stage span tree to the
 // response. `metrics` prints the raw Prometheus text exposition.
 //
+// `--connect-retries N` retries a refused connection with exponential
+// backoff (`--retry-backoff-ms` seeds the delay) - spawn-then-connect
+// scripts use it instead of sleeping. `--min-seqno N [--wait-ms M]`
+// makes a query wait until the server has applied sequence number N
+// (read-your-writes against a replica).
+//
 // `--file` runs a batch over one connection: each non-empty line of the
 // file is `assert <fact>`, `retract <fact>`, `checkpoint`, or
 // `query <goal>` ('%' and '#' start comments). The batch stops at the
@@ -41,7 +47,9 @@ int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s --port N [--level L] [--mode M] [--deadline-ms N] "
-      "[--proofs] [--trace]\n          (query GOAL | sql STMT | assert FACT "
+      "[--proofs] [--trace]\n          [--connect-retries N] "
+      "[--retry-backoff-ms N] [--min-seqno N] [--wait-ms N]\n          "
+      "(query GOAL | sql STMT | assert FACT "
       "| retract FACT | checkpoint | stats | metrics | ping)\n       "
       "%s --port N --level L --file BATCH [--keep-going]\n",
       argv0, argv0);
@@ -92,6 +100,10 @@ int main(int argc, char** argv) {
   bool proofs = false;
   bool trace = false;
   bool keep_going = false;
+  int connect_retries = 1;
+  int64_t retry_backoff_ms = 100;
+  int64_t min_seqno = 0;
+  int64_t wait_ms = 0;
   std::string command;
   std::string operand;
 
@@ -125,6 +137,22 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       deadline_ms = std::atol(v);
+    } else if (arg == "--connect-retries") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      connect_retries = static_cast<int>(std::atol(v));
+    } else if (arg == "--retry-backoff-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      retry_backoff_ms = std::atol(v);
+    } else if (arg == "--min-seqno") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      min_seqno = std::atol(v);
+    } else if (arg == "--wait-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      wait_ms = std::atol(v);
     } else if (arg == "--proofs") {
       proofs = true;
     } else if (arg == "--trace") {
@@ -146,7 +174,10 @@ int main(int argc, char** argv) {
   const bool needs_level =
       needs_operand || command == "checkpoint" || !batch_file.empty();
 
-  Result<server::Client> client = server::Client::Connect(port);
+  // --connect-retries waits out a daemon that is still binding (demo
+  // and test scripts spawn multilogd and connect immediately).
+  Result<server::Client> client = server::Client::ConnectWithRetry(
+      "127.0.0.1", port, connect_retries, retry_backoff_ms);
   if (!client.ok()) return Fail(client.status());
 
   if (!level.empty() || needs_level) {
@@ -175,7 +206,8 @@ int main(int argc, char** argv) {
 
   Result<server::Json> response = Status::Internal("unreached");
   if (command == "query") {
-    response = client->Query(operand, deadline_ms, /*mode=*/"", proofs, trace);
+    response = client->Query(operand, deadline_ms, /*mode=*/"", proofs, trace,
+                             static_cast<uint64_t>(min_seqno), wait_ms);
   } else if (command == "sql") {
     response = client->Sql(operand);
   } else if (command == "assert") {

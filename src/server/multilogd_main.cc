@@ -15,18 +15,31 @@
 // the state as of the last acknowledged write, and the `assert` /
 // `retract` / `checkpoint` commands are persisted there. A torn WAL
 // tail (crash mid-append) is truncated and reported on stderr at boot.
+//
+// With --replica-of HOST:PORT the daemon is a read-only replica: a
+// background replicator streams the primary's WAL (snapshot catch-up
+// included), applies it through the engine, and - when --data-dir is
+// also given - persists it locally so a restarted replica resumes from
+// its own applied seqno. Client writes are rejected with ReadOnly;
+// reads, stats, and metrics serve normally:
+//
+//   $ multilogd --sample --port 7690 --data-dir /var/lib/ml-primary
+//   $ multilogd --sample --port 7691 --data-dir /var/lib/ml-replica \
+//       --replica-of 127.0.0.1:7690
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <semaphore.h>
 #include <sstream>
 #include <string>
 
 #include "mls/sample_data.h"
 #include "multilog/engine.h"
+#include "replication/replicator.h"
 #include "server/server.h"
 #include "storage/storage.h"
 
@@ -44,6 +57,7 @@ int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s (--db FILE | --sample) [--data-dir DIR] [--port N]\n"
+      "          [--replica-of HOST:PORT]  (serve as a read-only replica)\n"
       "          [--workers N] [--max-conns N] [--max-inflight N]\n"
       "          [--max-request-bytes N] [--deadline-ms N]\n"
       "          [--mode operational|reduced|check_both]\n"
@@ -62,8 +76,10 @@ int main(int argc, char** argv) {
   std::string db_path;
   std::string data_dir;
   bool use_sample = false;
+  bool is_replica = false;
   server::ServerOptions options;
   ml::EngineOptions engine_options;
+  replication::Replicator::Options replica_options;
   options.port = 7690;
 
   for (int i = 1; i < argc; ++i) {
@@ -81,6 +97,24 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       data_dir = v;
+    } else if (arg == "--replica-of") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      const std::string spec = v;
+      const size_t colon = spec.rfind(':');
+      if (colon == std::string::npos || colon == 0) {
+        std::fprintf(stderr, "--replica-of expects HOST:PORT, got '%s'\n", v);
+        return 2;
+      }
+      Result<uint16_t> port = server::ParsePort(spec.substr(colon + 1));
+      if (!port.ok()) {
+        std::fprintf(stderr, "--replica-of: %s\n",
+                     port.status().ToString().c_str());
+        return 2;
+      }
+      replica_options.host = spec.substr(0, colon);
+      replica_options.port = *port;
+      is_replica = true;
     } else if (arg == "--port") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -183,11 +217,23 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // A replica rejects client writes; the replication stream is the only
+  // writer. The engine seed (--db/--sample) must be the same database
+  // the primary serves - the security lattice has to match, and catch-up
+  // replaces the facts wholesale on the first snapshot install anyway.
+  if (is_replica) options.read_only = true;
+
   server::Server srv(&*engine, options, std::move(catalog));
+  std::optional<replication::Replicator> replicator;
+  if (is_replica) {
+    replicator.emplace(&*engine, replica_options);
+    srv.SetReplicator(&*replicator);
+  }
   if (Status s = srv.Start(); !s.ok()) {
     std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
     return 1;
   }
+  if (replicator.has_value()) replicator->Start();
   std::printf("multilogd listening on 127.0.0.1:%u (%zu workers, levels:",
               srv.port(), options.num_workers);
   for (const std::string& level : engine->lattice().TopologicalOrder()) {
@@ -198,6 +244,11 @@ int main(int argc, char** argv) {
     std::printf("durable: %s (next seqno %llu)\n", data_dir.c_str(),
                 static_cast<unsigned long long>(storage->next_seqno()));
   }
+  if (is_replica) {
+    std::printf("read-only replica of %s:%u (applied seqno %llu)\n",
+                replica_options.host.c_str(), replica_options.port,
+                static_cast<unsigned long long>(engine->AppliedSeqno()));
+  }
   std::fflush(stdout);
 
   sem_init(&g_shutdown, 0, 0);
@@ -206,6 +257,10 @@ int main(int argc, char** argv) {
   while (sem_wait(&g_shutdown) != 0 && errno == EINTR) {
   }
   std::printf("shutting down\n");
+  // Replicator first: once it stops applying, the server drain below
+  // sees a quiescent engine; the reverse order would race stream applies
+  // against connection teardown for no benefit.
+  if (replicator.has_value()) replicator->Stop();
   srv.Stop();
   return 0;
 }

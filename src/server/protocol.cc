@@ -191,6 +191,20 @@ Result<Request> ParseRequest(const Json& json) {
       }
       req.want_trace = tr->bool_value();
     }
+    if (const Json* ms = json.Find("min_seqno"); ms != nullptr) {
+      if (!ms->is_int() || ms->int_value() < 0) {
+        return Status::InvalidArgument(
+            "'min_seqno' must be a non-negative integer");
+      }
+      req.min_seqno = static_cast<uint64_t>(ms->int_value());
+    }
+    if (const Json* wm = json.Find("wait_ms"); wm != nullptr) {
+      if (!wm->is_int() || wm->int_value() < 0) {
+        return Status::InvalidArgument(
+            "'wait_ms' must be a non-negative integer");
+      }
+      req.wait_ms = wm->int_value();
+    }
     return req;
   }
   if (name == "sql") {
@@ -230,6 +244,17 @@ Result<Request> ParseRequest(const Json& json) {
   }
   if (name == "bye") {
     req.cmd = Request::Cmd::kBye;
+    return req;
+  }
+  if (name == "replicate") {
+    req.cmd = Request::Cmd::kReplicate;
+    if (const Json* fs = json.Find("from_seqno"); fs != nullptr) {
+      if (!fs->is_int() || fs->int_value() < 0) {
+        return Status::InvalidArgument(
+            "'from_seqno' must be a non-negative integer");
+      }
+      req.from_seqno = static_cast<uint64_t>(fs->int_value());
+    }
     return req;
   }
   return Status::InvalidArgument("unknown command '" + name + "'");

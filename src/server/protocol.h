@@ -25,7 +25,11 @@ namespace multilog::server {
 /// Requests (the `cmd` member selects):
 ///   {"cmd":"hello","level":L,"mode":M?}     bind the session clearance
 ///   {"cmd":"query","goal":G,"mode":M?,"deadline_ms":N?,"proofs":B?,
-///    "trace":B?}                            trace = per-stage span tree
+///    "trace":B?,"min_seqno":N?,"wait_ms":N?}  trace = per-stage span tree;
+///                                           min_seqno = bounded-staleness
+///                                           floor (waits up to wait_ms for
+///                                           applied_seqno to reach it, then
+///                                           fails with DeadlineExceeded)
 ///   {"cmd":"sql","sql":S}                   MSQL at the session level
 ///   {"cmd":"assert","fact":F}               write F at the session level
 ///   {"cmd":"retract","fact":F}              remove F at the session level
@@ -34,6 +38,19 @@ namespace multilog::server {
 ///   {"cmd":"metrics"}                       Prometheus text exposition
 ///   {"cmd":"ping"}                          liveness probe
 ///   {"cmd":"bye"}                           orderly close
+///   {"cmd":"replicate","from_seqno":N}      become a replication stream
+///
+/// `replicate` is the one departure from strict request/response: the
+/// server turns the connection into a one-way stream of frames -
+/// {"ok":true,"kind":"snapshot","seqno":S,"source":SRC} for catch-up,
+/// {"ok":true,"kind":"record","rtype":"assert"|"retract","seqno":S,
+///  "level":L,"fact":F} for live WAL tail, and
+/// {"ok":true,"kind":"heartbeat","next_seqno":N} while idle - until the
+/// peer disconnects or the server stops (see replication/log_shipper.h).
+/// Like `stats`, it needs no HELLO: the daemon binds loopback only, and
+/// a replication link is a trusted channel that by construction carries
+/// every level's records (the replica re-enforces per-level visibility
+/// when *its* clients read).
 ///
 /// Writes run at exactly the session clearance (the fact's level must
 /// equal it - the engine enforces no write-up/write-down) and serialize
@@ -77,7 +94,8 @@ struct Request {
     kStats,
     kMetrics,
     kPing,
-    kBye
+    kBye,
+    kReplicate
   };
   Cmd cmd = Cmd::kPing;
   std::string level;         // hello
@@ -88,6 +106,9 @@ struct Request {
   int64_t deadline_ms = -1;  // query; -1 = server default
   bool want_proofs = false;  // query (operational modes only)
   bool want_trace = false;   // query: attach the per-stage span tree
+  uint64_t min_seqno = 0;    // query: bounded-staleness floor; 0 = any
+  int64_t wait_ms = 0;       // query: how long to wait for min_seqno
+  uint64_t from_seqno = 0;   // replicate: resume after this seqno
 };
 
 /// Validates the JSON shape of a request (presence and types of the

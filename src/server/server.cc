@@ -18,6 +18,7 @@
 #include "common/cancel.h"
 #include "msql/executor.h"
 #include "multilog/proof.h"
+#include "replication/log_shipper.h"
 
 namespace multilog::server {
 
@@ -346,11 +347,30 @@ bool Server::HandleFrame(SessionState& session, int fd) {
       WriteFrame(fd, resp.Serialize());
       return true;
     }
+    case Request::Cmd::kReplicate: {
+      // The connection becomes a one-way stream, served on this reader
+      // thread (dedicating a pool worker to an open-ended stream would
+      // let a few replicas starve every query). Like stats/metrics it
+      // needs no HELLO: the daemon binds loopback only, and the replica
+      // re-enforces per-level visibility for its own clients.
+      replication_streams_.fetch_add(1, std::memory_order_relaxed);
+      replication::ServeReplication(fd, engine_, req.from_seqno, &stopping_);
+      return false;  // the stream is this connection's last exchange
+    }
     case Request::Cmd::kQuery:
     case Request::Cmd::kSql:
     case Request::Cmd::kAssert:
     case Request::Cmd::kRetract:
     case Request::Cmd::kCheckpoint: {
+      if (options_.read_only && req.cmd != Request::Cmd::kQuery &&
+          req.cmd != Request::Cmd::kSql) {
+        metrics_.write_errors.fetch_add(1, std::memory_order_relaxed);
+        WriteFrame(fd, ErrorResponse(Status::ReadOnly(
+                           "this daemon is a read-only replica; send writes "
+                           "to the primary"))
+                           .Serialize());
+        return true;
+      }
       if (!session.hello_done) {
         WriteFrame(fd, ErrorResponse(Status::SecurityViolation(
                            "session has no clearance yet; send hello first"))
@@ -445,6 +465,26 @@ bool Server::HandleFrame(SessionState& session, int fd) {
 }
 
 Json Server::HandleQuery(const SessionState& session, const Request& req) {
+  // Bounded staleness: a client that just wrote to the primary passes
+  // the write's seqno as min_seqno, and the replica holds the query
+  // until its applied seqno catches up (read-your-writes across the
+  // replication hop). Polling beats a condvar here: catch-up is the
+  // common case (lag is single-digit ms), the poll is lock-free, and
+  // the engine's write path stays untouched.
+  if (req.min_seqno > 0 && engine_->AppliedSeqno() < req.min_seqno) {
+    const auto give_up = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(req.wait_ms);
+    while (engine_->AppliedSeqno() < req.min_seqno) {
+      if (req.wait_ms <= 0 || std::chrono::steady_clock::now() >= give_up) {
+        metrics_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+        return ErrorResponse(Status::DeadlineExceeded(
+            "applied seqno " + std::to_string(engine_->AppliedSeqno()) +
+            " has not reached min_seqno " + std::to_string(req.min_seqno) +
+            " within wait_ms=" + std::to_string(req.wait_ms)));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
   // Deadline precedence: the request's own deadline_ms (0 is a valid
   // "already expired" probe), else the server default, else none.
   CancelToken cancel;
@@ -569,17 +609,55 @@ Json Server::StatsJson() {
              Json::Int(static_cast<int64_t>(ec.writes_rejected)));
   engine.Set("checkpoints", Json::Int(static_cast<int64_t>(ec.checkpoints)));
   root.Set("engine", std::move(engine));
-  if (const ml::StorageCounters sc = engine_->StorageStats(); sc.attached) {
+  const ml::StorageCounters sc = engine_->StorageStats();
+  root.Set("applied_seqno", Json::Int(static_cast<int64_t>(sc.applied_seqno)));
+  root.Set("read_only", Json::Bool(options_.read_only));
+  if (sc.attached) {
     Json storage = Json::Object();
     storage.Set("dir", Json::Str(sc.dir));
     storage.Set("next_seqno", Json::Int(static_cast<int64_t>(sc.next_seqno)));
+    storage.Set("snapshot_seqno",
+                Json::Int(static_cast<int64_t>(sc.snapshot_seqno)));
     storage.Set("wal_records", Json::Int(static_cast<int64_t>(
                                    sc.wal_records)));
     storage.Set("wal_bytes", Json::Int(static_cast<int64_t>(sc.wal_bytes)));
     storage.Set("checkpoints", Json::Int(static_cast<int64_t>(
                                    sc.checkpoints)));
+    if (!sc.recovery_data_loss.empty()) {
+      storage.Set("recovery_data_loss", Json::Str(sc.recovery_data_loss));
+    }
     root.Set("storage", std::move(storage));
   }
+  // Replication, from whichever side this daemon plays: streams served
+  // (primary) and, on a replica, the link state the Replicator tracks.
+  Json repl = Json::Object();
+  repl.Set("streams_served",
+           Json::Int(static_cast<int64_t>(
+               replication_streams_.load(std::memory_order_relaxed))));
+  if (replicator_ != nullptr) {
+    const replication::Replicator::Stats rs = replicator_->GetStats();
+    repl.Set("connected", Json::Bool(rs.connected));
+    repl.Set("applied_seqno",
+             Json::Int(static_cast<int64_t>(rs.applied_seqno)));
+    repl.Set("primary_next_seqno",
+             Json::Int(static_cast<int64_t>(rs.primary_next_seqno)));
+    // Lag in records: how far the primary's committed tip is past what
+    // this replica has applied. 0 until the first heartbeat reports the
+    // primary's position.
+    const uint64_t lag = rs.primary_next_seqno > rs.applied_seqno + 1
+                             ? rs.primary_next_seqno - rs.applied_seqno - 1
+                             : 0;
+    repl.Set("lag_records", Json::Int(static_cast<int64_t>(lag)));
+    repl.Set("records_applied",
+             Json::Int(static_cast<int64_t>(rs.records_applied)));
+    repl.Set("snapshots_installed",
+             Json::Int(static_cast<int64_t>(rs.snapshots_installed)));
+    repl.Set("reconnects", Json::Int(static_cast<int64_t>(rs.reconnects)));
+    if (!rs.last_error.empty()) {
+      repl.Set("last_error", Json::Str(rs.last_error));
+    }
+  }
+  root.Set("replication", std::move(repl));
   return root;
 }
 
@@ -631,15 +709,49 @@ std::string Server::MetricsText() {
           "Queries the magic path declined to the full bottom-up path.",
           ec.magic_fallbacks);
 
-  if (const ml::StorageCounters sc = engine_->StorageStats(); sc.attached) {
+  const ml::StorageCounters sc = engine_->StorageStats();
+  counter("multilog_applied_seqno",
+          "Last mutation sequence number applied to the database.",
+          sc.applied_seqno, "gauge");
+  if (sc.attached) {
     counter("multilog_storage_next_seqno", "Next mutation sequence number.",
             sc.next_seqno, "gauge");
+    counter("multilog_storage_snapshot_seqno",
+            "Sequence number the on-disk snapshot covers.",
+            sc.snapshot_seqno, "gauge");
     counter("multilog_storage_wal_records",
             "Records in the live WAL segment.", sc.wal_records, "gauge");
     counter("multilog_storage_wal_bytes", "Bytes in the live WAL segment.",
             sc.wal_bytes, "gauge");
     counter("multilog_storage_checkpoints_total", "Checkpoints folded.",
             sc.checkpoints);
+    counter("multilog_storage_recovery_data_loss",
+            "1 when the last recovery truncated a damaged WAL tail.",
+            sc.recovery_data_loss.empty() ? 0 : 1, "gauge");
+  }
+  counter("multilog_replication_streams_served_total",
+          "Replication streams this daemon has served as the primary.",
+          replication_streams_.load(std::memory_order_relaxed));
+  if (replicator_ != nullptr) {
+    const replication::Replicator::Stats rs = replicator_->GetStats();
+    counter("multilog_replica_connected",
+            "1 while the replication link to the primary is up.",
+            rs.connected ? 1 : 0, "gauge");
+    counter("multilog_replica_lag_records",
+            "Primary mutations not yet applied on this replica.",
+            rs.primary_next_seqno > rs.applied_seqno + 1
+                ? rs.primary_next_seqno - rs.applied_seqno - 1
+                : 0,
+            "gauge");
+    counter("multilog_replica_records_applied_total",
+            "Shipped WAL records applied by this replica.",
+            rs.records_applied);
+    counter("multilog_replica_snapshots_installed_total",
+            "Catch-up snapshots installed by this replica.",
+            rs.snapshots_installed);
+    counter("multilog_replica_reconnects_total",
+            "Reconnections to the primary after the first attempt.",
+            rs.reconnects);
   }
 
   // Per-stage trace aggregates (populated when tracing is enabled

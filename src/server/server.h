@@ -16,6 +16,7 @@
 #include "mls/belief.h"
 #include "mls/relation.h"
 #include "multilog/engine.h"
+#include "replication/replicator.h"
 #include "server/metrics.h"
 #include "server/protocol.h"
 
@@ -63,6 +64,12 @@ struct ServerOptions {
   /// Destination of the slow-query log; nullptr means stderr. Must
   /// outlive the server. Lines are written under an internal mutex.
   std::ostream* slow_query_log = nullptr;
+
+  /// Reject ASSERT/RETRACT/CHECKPOINT with kReadOnly. Set on replicas
+  /// (--replica-of implies it): the replication stream is the only
+  /// writer, so a client write would fork the replica's history from
+  /// the primary's. Queries, stats, and metrics stay available.
+  bool read_only = false;
 };
 
 /// A relation exposed to wire clients through the `sql` command.
@@ -125,6 +132,13 @@ class Server {
 
   const ServerMetrics& metrics() const { return metrics_; }
 
+  /// On a replica, points the stats/metrics surface at the replication
+  /// link (connected flag, primary's next_seqno, lag gauge). The
+  /// replicator must outlive the server. Call before Start().
+  void SetReplicator(const replication::Replicator* replicator) {
+    replicator_ = replicator;
+  }
+
  private:
   struct Connection {
     int fd = -1;
@@ -166,7 +180,9 @@ class Server {
   ServerOptions options_;
   std::vector<SqlCatalogEntry> catalog_;
   const mls::BeliefModeRegistry* belief_registry_;
+  const replication::Replicator* replicator_ = nullptr;
   ServerMetrics metrics_;
+  std::atomic<uint64_t> replication_streams_{0};  // served as the primary
 
   std::unique_ptr<ThreadPool> pool_;
   std::atomic<size_t> in_flight_{0};

@@ -52,6 +52,7 @@ Result<Storage> Storage::Open(const std::string& dir,
   // 3. Records the snapshot already covers are skipped (the crash
   // window between a checkpoint's rename and its WAL reset leaves
   // such records behind; seqnos make their replay a no-op).
+  st.snapshot_seqno_ = snap->seqno;
   st.next_seqno_ = snap->seqno + 1;
   for (WalRecord& rec : replay.records) {
     if (rec.seqno <= snap->seqno) continue;
@@ -87,18 +88,35 @@ Result<uint64_t> Storage::AppendRetract(const std::string& level,
   return Append(WalRecordType::kRetract, level, fact);
 }
 
-Status Storage::Checkpoint(std::string_view source) {
-  // Durable order: new snapshot first (atomic rename), then the WAL
-  // reset. A crash in between is benign - leftover WAL records carry
-  // seqnos <= the snapshot's and replay as no-ops.
-  MULTILOG_RETURN_IF_ERROR(
-      WriteSnapshot(snapshot_path(), next_seqno_ - 1, source));
+Status Storage::AppendReplicated(const WalRecord& record) {
+  if (record.seqno < next_seqno_) {
+    return Status::InvalidArgument(
+        "replicated seqno " + std::to_string(record.seqno) +
+        " revisits the past (next is " + std::to_string(next_seqno_) + ")");
+  }
+  MULTILOG_RETURN_IF_ERROR(writer_.Append(record, /*sync=*/true));
+  ++wal_records_;
+  next_seqno_ = record.seqno + 1;
+  return Status::OK();
+}
+
+Status Storage::InstallSnapshot(uint64_t seqno, std::string_view source) {
+  MULTILOG_RETURN_IF_ERROR(WriteSnapshot(snapshot_path(), seqno, source));
   writer_.Close();
   MULTILOG_RETURN_IF_ERROR(TruncateWal(wal_path(), 0));
   MULTILOG_ASSIGN_OR_RETURN(writer_, WalWriter::Open(wal_path()));
   wal_records_ = 0;
+  snapshot_seqno_ = seqno;
+  next_seqno_ = seqno + 1;
   ++checkpoints_;
   return Status::OK();
+}
+
+Status Storage::Checkpoint(std::string_view source) {
+  // Durable order: new snapshot first (atomic rename), then the WAL
+  // reset. A crash in between is benign - leftover WAL records carry
+  // seqnos <= the snapshot's and replay as no-ops.
+  return InstallSnapshot(next_seqno_ - 1, source);
 }
 
 }  // namespace multilog::storage

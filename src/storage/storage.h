@@ -61,12 +61,30 @@ class Storage {
   /// Next unused mutation sequence number (snapshot + replayed WAL).
   uint64_t next_seqno() const { return next_seqno_; }
 
+  /// Seqno the on-disk snapshot covers (0 until the first checkpoint).
+  uint64_t snapshot_seqno() const { return snapshot_seqno_; }
+
   /// Logs one mutation durably (fdatasync before returning) and
   /// returns its sequence number.
   Result<uint64_t> AppendAssert(const std::string& level,
                                 const std::string& fact);
   Result<uint64_t> AppendRetract(const std::string& level,
                                  const std::string& fact);
+
+  /// Logs a mutation shipped from a primary, keeping the primary's
+  /// seqno instead of allocating a local one - replicas must agree with
+  /// the primary on seqnos or catch-up arithmetic breaks. The seqno
+  /// must not revisit the past (>= next_seqno()); gaps are legal (the
+  /// primary's rejected writes never reach the log... they never
+  /// allocate seqnos either, but a snapshot-then-tail handoff can skip
+  /// ahead).
+  Status AppendReplicated(const WalRecord& record);
+
+  /// Replaces the on-disk state wholesale with a shipped snapshot:
+  /// writes `source` as the snapshot at `seqno` and resets the WAL.
+  /// Used by a replica whose local state is too stale to catch up by
+  /// log replay alone. Same crash ordering as Checkpoint.
+  Status InstallSnapshot(uint64_t seqno, std::string_view source);
 
   /// Folds the log into a new snapshot of `source` (the engine's
   /// current canonical dump) and resets the WAL. Crash-ordered: the new
@@ -93,6 +111,7 @@ class Storage {
   RecoveredState recovered_;
   WalWriter writer_;
   uint64_t next_seqno_ = 1;
+  uint64_t snapshot_seqno_ = 0;
   uint64_t wal_records_ = 0;
   uint64_t checkpoints_ = 0;
 };

@@ -256,6 +256,181 @@ Result<WalReplay> ReplayWal(const std::string& path) {
   return out;
 }
 
+Result<WalReader> WalReader::Open(const std::string& path) {
+  WalReader r(path);
+  // Lazily opened by Fill: the writer may not have created the file yet
+  // and a tailing reader must tolerate that (kEndOfPrefix until then).
+  return r;
+}
+
+WalReader::WalReader(WalReader&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(other.fd_),
+      offset_(other.offset_),
+      file_size_(other.file_size_),
+      buffer_(std::move(other.buffer_)),
+      symbols_(std::move(other.symbols_)) {
+  other.fd_ = -1;
+}
+
+WalReader& WalReader::operator=(WalReader&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    offset_ = other.offset_;
+    file_size_ = other.file_size_;
+    buffer_ = std::move(other.buffer_);
+    symbols_ = std::move(other.symbols_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+WalReader::~WalReader() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status WalReader::Fill(bool* shrank) {
+  *shrank = false;
+  if (fd_ < 0) {
+    fd_ = ::open(path_.c_str(), O_RDONLY);
+    if (fd_ < 0) {
+      if (errno == ENOENT) return Status::OK();  // not created yet
+      return Status::Internal("wal open '" + path_ +
+                              "': " + std::strerror(errno));
+    }
+  }
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) {
+    return Status::Internal("wal fstat '" + path_ +
+                            "': " + std::strerror(errno));
+  }
+  file_size_ = static_cast<uint64_t>(st.st_size);
+  const uint64_t have = offset_ + buffer_.size();
+  if (file_size_ < have) {
+    // The file is smaller than what we already consumed: a checkpoint
+    // truncated it (possibly after regrowing past our offset - that
+    // case surfaces as a CRC mismatch and the caller restarts from the
+    // snapshot anyway, so only an observed shrink is reported here).
+    *shrank = true;
+    return Status::OK();
+  }
+  while (offset_ + buffer_.size() < file_size_) {
+    char buf[64 * 1024];
+    const uint64_t want = file_size_ - (offset_ + buffer_.size());
+    const size_t chunk =
+        static_cast<size_t>(want < sizeof(buf) ? want : sizeof(buf));
+    const ssize_t r = ::pread(fd_, buf, chunk,
+                              static_cast<off_t>(offset_ + buffer_.size()));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("wal read: ") +
+                              std::strerror(errno));
+    }
+    if (r == 0) break;  // raced a concurrent truncate; next Fill sees it
+    buffer_.append(buf, static_cast<size_t>(r));
+  }
+  return Status::OK();
+}
+
+Result<WalReader::Item> WalReader::Next() {
+  Item item;
+  while (true) {
+    bool shrank = false;
+    MULTILOG_RETURN_IF_ERROR(Fill(&shrank));
+    if (shrank) {
+      item.event = Event::kReset;
+      return item;
+    }
+
+    // Damage classification: any malformed frame that extends to the
+    // observed end of file may still be mid-write (the writer appends
+    // the whole frame with one write(), but the kernel does not promise
+    // a tailing reader sees it atomically) - report kEndOfPrefix and
+    // let the caller poll. The same damage with durable bytes *beyond*
+    // it can never heal and is kDataLoss.
+    const bool at_eof = offset_ + buffer_.size() >= file_size_;
+    auto torn_or_lost = [&](const std::string& what,
+                            uint64_t frame_end) -> Result<Item> {
+      if (!at_eof || frame_end >= offset_ + buffer_.size()) {
+        // Either the frame runs to the end of everything durable so far
+        // (classic in-flight append), or the buffer itself is short of
+        // the observed size (raced a truncate mid-read). Both heal.
+        item.event = Event::kEndOfPrefix;
+        return item;
+      }
+      return Status::DataLoss(what + " at offset " + std::to_string(offset_) +
+                              " of '" + path_ +
+                              "' with intact bytes beyond it");
+    };
+
+    if (buffer_.size() < 8) {
+      return torn_or_lost("torn frame header", offset_ + 8);
+    }
+    const auto* bytes = reinterpret_cast<const unsigned char*>(buffer_.data());
+    const uint32_t len = GetU32(bytes);
+    const uint32_t crc = GetU32(bytes + 4);
+    if (len > kMaxRecordBytes) {
+      // An implausible length cannot be in flight: the writer never
+      // emits one, so this is corruption regardless of position.
+      return Status::DataLoss("implausible record length " +
+                              std::to_string(len) + " at offset " +
+                              std::to_string(offset_) + " of '" + path_ + "'");
+    }
+    const uint64_t frame_end = offset_ + 8 + len;
+    if (buffer_.size() - 8 < len) {
+      return torn_or_lost("torn record payload", frame_end);
+    }
+    const char* payload = buffer_.data() + 8;
+    if (Crc32c(payload, len) != crc) {
+      return torn_or_lost("checksum mismatch", frame_end);
+    }
+
+    // The frame is intact; decode it (same rules as ReplayWal - an
+    // undecodable payload with a valid CRC is a writer bug).
+    const auto* p = reinterpret_cast<const unsigned char*>(payload);
+    auto decode_error = [&]() -> Status {
+      return Status::Internal("undecodable WAL record with a valid CRC at "
+                              "offset " +
+                              std::to_string(offset_) + " of '" + path_ + "'");
+    };
+    if (len < 1) return decode_error();
+    const auto type = static_cast<WalRecordType>(p[0]);
+    switch (type) {
+      case WalRecordType::kSymbol: {
+        if (len < 9) return decode_error();
+        const uint32_t id = GetU32(p + 1);
+        const uint32_t slen = GetU32(p + 5);
+        if (9 + static_cast<uint64_t>(slen) != len) return decode_error();
+        if (id != symbols_.size()) return decode_error();
+        symbols_.emplace_back(payload + 9, slen);
+        buffer_.erase(0, 8 + len);
+        offset_ += 8 + len;
+        continue;  // symbol deltas are internal; keep scanning
+      }
+      case WalRecordType::kAssert:
+      case WalRecordType::kRetract: {
+        if (len < 17) return decode_error();
+        item.record.type = type;
+        item.record.seqno = GetU64(p + 1);
+        const uint32_t sym = GetU32(p + 9);
+        const uint32_t flen = GetU32(p + 13);
+        if (17 + static_cast<uint64_t>(flen) != len) return decode_error();
+        if (sym >= symbols_.size()) return decode_error();
+        item.record.level = symbols_[sym];
+        item.record.fact.assign(payload + 17, flen);
+        buffer_.erase(0, 8 + len);
+        offset_ += 8 + len;
+        item.event = Event::kRecord;
+        return item;
+      }
+      default:
+        return decode_error();
+    }
+  }
+}
+
 Status TruncateWal(const std::string& path, uint64_t valid_bytes) {
   if (::truncate(path.c_str(), static_cast<off_t>(valid_bytes)) != 0) {
     return Status::Internal("wal truncate '" + path +

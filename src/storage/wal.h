@@ -119,6 +119,73 @@ struct WalReplay {
 /// through WalReplay::tail. A missing file replays as empty.
 Result<WalReplay> ReplayWal(const std::string& path);
 
+/// A tailing iterator over a WAL that a live WalWriter may still be
+/// appending to - the primary-side feed of log-shipping replication.
+///
+/// ReplayWal reads a file nobody is writing, so any damage it finds is
+/// corruption. A tailing reader races the writer instead: the frame at
+/// the end of the file may be *in flight* - its header, payload, or CRC
+/// only partially visible - and that must read as "end of the intact
+/// prefix, poll again", never as corruption. The rule that makes this
+/// deterministic: damage that touches the current end of file is a torn
+/// in-flight append (kEndOfPrefix); damage with further bytes durably
+/// beyond it can never be completed by the writer and is real
+/// (kDataLoss).
+///
+/// Checkpoints reset the WAL (truncate to empty, fresh symbol table).
+/// Next() detects the shrink and reports kReset: the reader's offset
+/// and symbol table are stale, so the caller must re-open - and because
+/// records between its last read and the reset may now live only in the
+/// snapshot, a log shipper goes back to the snapshot before tailing
+/// again (the catch-up state machine in DESIGN.md §16).
+class WalReader {
+ public:
+  /// Opens a tailing reader at offset 0. The file may not exist yet
+  /// (the writer creates it lazily); reads report kEndOfPrefix until it
+  /// appears.
+  static Result<WalReader> Open(const std::string& path);
+
+  WalReader() = default;
+  WalReader(WalReader&& other) noexcept;
+  WalReader& operator=(WalReader&& other) noexcept;
+  WalReader(const WalReader&) = delete;
+  WalReader& operator=(const WalReader&) = delete;
+  ~WalReader();
+
+  enum class Event {
+    kRecord,       // `record` holds the next decoded mutation
+    kEndOfPrefix,  // no complete intact record yet; poll again later
+    kReset,        // the file shrank (checkpoint); re-open the reader
+  };
+  struct Item {
+    Event event = Event::kEndOfPrefix;
+    WalRecord record;
+  };
+
+  /// Advances past symbol records and returns the next mutation record,
+  /// or one of the non-record events above. Errors are I/O failures,
+  /// undecodable intact records (writer bugs), and non-tail damage
+  /// (kDataLoss).
+  Result<Item> Next();
+
+  /// Byte offset one past the last record consumed.
+  uint64_t offset() const { return offset_; }
+
+ private:
+  explicit WalReader(std::string path) : path_(std::move(path)) {}
+
+  /// Tops up `buffer_` from the file. Sets `*shrank` when the file is
+  /// now smaller than the bytes already consumed (checkpoint reset).
+  Status Fill(bool* shrank);
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t offset_ = 0;       // consumed bytes (start of buffer_)
+  uint64_t file_size_ = 0;    // size observed by the last Fill
+  std::string buffer_;        // read-ahead: bytes [offset_, offset_+size)
+  std::vector<std::string> symbols_;
+};
+
 /// Truncates `path` to `valid_bytes` (recovery's torn-tail repair).
 Status TruncateWal(const std::string& path, uint64_t valid_bytes);
 

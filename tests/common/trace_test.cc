@@ -32,6 +32,7 @@ TEST_F(TraceTest, StageNamesAreStableSnakeCase) {
   EXPECT_STREQ(StageName(Stage::kDeltaReduce), "delta_reduce");
   EXPECT_STREQ(StageName(Stage::kDeltaEval), "delta_eval");
   EXPECT_STREQ(StageName(Stage::kRegroup), "regroup");
+  EXPECT_STREQ(StageName(Stage::kReplicaApply), "replica_apply");
   EXPECT_STREQ(StageName(Stage::kSqlExecute), "sql_execute");
   // Every stage has a distinct, non-empty name (the Prometheus label).
   for (size_t i = 0; i < kNumStages; ++i) {
