@@ -1,0 +1,150 @@
+#!/usr/bin/env bash
+# Sharding, over the wire: starts TWO durable shard daemons seeded with
+# the same base database (lattice + replicated rule, no ground keys), a
+# read replica tailing shard 0, and multilogd --router in front of the
+# fleet. A write batch at clearance c goes through the router - the
+# router hashes each entity key and lands the fact on its owning shard,
+# which IS the partitioning step. Then scatter-gather reads at every
+# clearance must be byte-identical to a reference daemon fed the same
+# stream directly, a point query must be answered by the owning shard
+# (the response names it), and the replica must serve shard 0's facts
+# under --min-seqno bounded staleness. Exits non-zero if any of that
+# fails, which is how the integration suite runs it.
+#
+#   usage: examples/sharding_demo.sh [BUILD_DIR]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+MULTILOGD="$BUILD/src/server/multilogd"
+CLIENT="$BUILD/src/server/multilog_client"
+BASE=examples/data/shard_base.mlog
+WIDE='?- c[intel(K : val -R-> V)] << cau.'
+
+[ -x "$MULTILOGD" ] || { echo "build first: cmake --build $BUILD" >&2; exit 2; }
+
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Starts a daemon named $1 (remaining args are extra multilogd flags),
+# waits for its port line, and leaves the port in $PORT. Runs in the
+# top-level shell (no command substitution) so the pid lands in PIDS
+# and cleanup can kill it.
+start_daemon() {
+  local name="$1"; shift
+  local log="$WORK/$name.log"
+  "$MULTILOGD" "$@" --port 0 > "$log" &
+  PIDS+=("$!")
+  PORT=""
+  for _ in $(seq 100); do
+    PORT="$(sed -n 's/.*127\.0\.0\.1:\([0-9]*\).*/\1/p' "$log" | head -1)"
+    [ -n "$PORT" ] && break
+    sleep 0.1
+  done
+  [ -n "$PORT" ] || { echo "daemon $name did not start (see $log)" >&2; exit 1; }
+}
+
+start_daemon shard0 --db "$BASE" --data-dir "$WORK/shard0"
+S0_PORT="$PORT"
+start_daemon shard1 --db "$BASE" --data-dir "$WORK/shard1"
+S1_PORT="$PORT"
+echo "shards up on ports $S0_PORT and $S1_PORT"
+
+start_daemon replica --db "$BASE" --data-dir "$WORK/replica" \
+  --replica-of "127.0.0.1:$S0_PORT"
+REPLICA_PORT="$PORT"
+echo "replica of shard 0 up on port $REPLICA_PORT"
+
+start_daemon router --router --shards "127.0.0.1:$S0_PORT,127.0.0.1:$S1_PORT" \
+  --db "$BASE"
+ROUTER_PORT="$PORT"
+grep -q "multilog-router" "$WORK/router.log" || {
+  echo "FAIL: router banner missing" >&2; exit 1; }
+echo "router up on port $ROUTER_PORT"
+
+# The reference daemon holds the whole database in one engine: the
+# byte-identity oracle for every scatter-gather merge.
+start_daemon reference --db "$BASE" --data-dir "$WORK/reference"
+REF_PORT="$PORT"
+
+echo
+echo "== the shard map, straight from the router =="
+"$CLIENT" --port "$ROUTER_PORT" --connect-retries 20 --retry-backoff-ms 50 \
+  shardmap
+
+echo
+echo "== writes through the router: the hash picks each owner =="
+SHARD0_SEQNO=""
+SHARD0_KEY=""
+for KEY in alpha bravo charlie delta echo foxtrot golf hotel; do
+  FACT="c[intel($KEY : id -c-> $KEY, val -c-> v_$KEY)]."
+  RESP="$("$CLIENT" --port "$ROUTER_PORT" --level c \
+    --connect-retries 20 --retry-backoff-ms 50 assert "$FACT")"
+  SHARD="$(grep -o '"shard":[0-9]*' <<<"$RESP" | cut -d: -f2)"
+  SEQNO="$(grep -o '"seqno":[0-9]*' <<<"$RESP" | cut -d: -f2)"
+  [ -n "$SHARD" ] && [ -n "$SEQNO" ] || {
+    echo "FAIL: assert response lacks shard/seqno: $RESP" >&2; exit 1; }
+  if [ "$SHARD" = "0" ]; then SHARD0_SEQNO="$SEQNO"; SHARD0_KEY="$KEY"; fi
+  "$CLIENT" --port "$REF_PORT" --level c assert "$FACT" > /dev/null
+  echo "  $KEY -> shard $SHARD (seqno $SEQNO)"
+done
+[ -n "$SHARD0_KEY" ] || { echo "FAIL: no key landed on shard 0" >&2; exit 1; }
+
+echo
+echo "== scatter-gather vs the reference, every clearance =="
+# The client prints the answer bindings one per line after the JSON
+# response; those lines are the byte-identity oracle - the raw JSON
+# carries per-query timings that naturally differ.
+answers() { tail -n +2; }
+for LEVEL in u c s; do
+  VIA_ROUTER="$("$CLIENT" --port "$ROUTER_PORT" --level "$LEVEL" \
+    query "$WIDE" | answers)"
+  VIA_REF="$("$CLIENT" --port "$REF_PORT" --level "$LEVEL" \
+    query "$WIDE" | answers)"
+  [ "$VIA_ROUTER" = "$VIA_REF" ] || {
+    echo "FAIL: clearance $LEVEL diverged" >&2
+    echo "router:    $VIA_ROUTER" >&2
+    echo "reference: $VIA_REF" >&2
+    exit 1
+  }
+  echo "clearance $LEVEL: byte-identical with the single engine"
+done
+
+echo
+echo "== the derived (replicated-rule) cells merge identically too =="
+DERIVED='?- s[intel(K : vet -R-> V)] << cau.'
+D_ROUTER="$("$CLIENT" --port "$ROUTER_PORT" --level s query "$DERIVED" | answers)"
+D_REF="$("$CLIENT" --port "$REF_PORT" --level s query "$DERIVED" | answers)"
+[ "$D_ROUTER" = "$D_REF" ] || { echo "FAIL: derived cells diverged" >&2; exit 1; }
+echo "$D_ROUTER"
+
+echo
+echo "== a point query is answered by the owning shard =="
+POINT="?- c[intel($SHARD0_KEY : val -R-> V)] << opt."
+RAW="$("$CLIENT" --port "$ROUTER_PORT" --level s query "$POINT")"
+head -1 <<<"$RAW"
+grep -q '"shard":0' <<<"$RAW" || {
+  echo "FAIL: $SHARD0_KEY not served by shard 0" >&2; exit 1; }
+
+echo
+echo "== the replica serves shard 0's facts (--min-seqno $SHARD0_SEQNO) =="
+AT_SHARD="$("$CLIENT" --port "$S0_PORT" --level s query "$POINT" | answers)"
+AT_REPLICA="$("$CLIENT" --port "$REPLICA_PORT" --level s \
+  --min-seqno "$SHARD0_SEQNO" --wait-ms 10000 query "$POINT" | answers)"
+[ "$AT_SHARD" = "$AT_REPLICA" ] || {
+  echo "FAIL: replica diverged from shard 0" >&2
+  echo "shard:   $AT_SHARD" >&2
+  echo "replica: $AT_REPLICA" >&2
+  exit 1
+}
+echo "$AT_REPLICA"
+
+echo
+echo "demo OK"

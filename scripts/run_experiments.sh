@@ -12,7 +12,8 @@
 # BENCH_storage.json, the trace-overhead guard writes the per-stage
 # latency breakdown to BENCH_stages.json, and the replication benchmark
 # writes its lag percentiles and replica read throughput to
-# BENCH_replication.json.
+# BENCH_replication.json, and the sharding benchmark writes routed vs
+# single-engine latency percentiles to BENCH_sharding.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,7 +28,7 @@ for b in build/bench/*; do
   # below (they take flags and write their own records); everything else
   # is a google-benchmark binary.
   case "$b" in
-    */bench_server_loadgen|*/bench_storage_recovery|*/bench_trace_overhead|*/bench_mixed_workload|*/bench_magic_pointquery|*/bench_replication)
+    */bench_server_loadgen|*/bench_storage_recovery|*/bench_trace_overhead|*/bench_mixed_workload|*/bench_magic_pointquery|*/bench_replication|*/bench_sharding)
       continue ;;
   esac
   [ -x "$b" ] && MULTILOG_SCALING_JSON="$scaling_lines" "$b"
@@ -63,6 +64,14 @@ build/bench/bench_magic_pointquery --keys 3000 --writes 45 \
 build/bench/bench_replication --writes 400 --replicas 2 --clients 4 \
   --queries 200 --dir build/bench_replication_data \
   --json BENCH_replication.json 2>&1 | tee -a bench_output.txt
+
+# Sharding: a 4-shard fleet behind the scatter-gather router must
+# answer byte-identically to one engine holding all of Sigma, with the
+# routed point-query and scatter latency split recorded
+# (BENCH_sharding.json).
+build/bench/bench_sharding --keys 240 --shards 4 --queries 400 \
+  --scatters 60 --writes 60 \
+  --json BENCH_sharding.json 2>&1 | tee -a bench_output.txt
 
 {
   echo '['

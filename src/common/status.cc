@@ -26,6 +26,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "DataLoss";
     case StatusCode::kReadOnly:
       return "ReadOnly";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -47,6 +47,12 @@ enum class StatusCode {
   /// kSecurityViolation (the write may be perfectly legal - on the
   /// primary) so clients can redirect instead of giving up.
   kReadOnly,
+  /// A required remote participant (an engine shard behind the router)
+  /// could not be reached or died mid-request. The answer would be
+  /// *incomplete*, so nothing is returned. Distinct from
+  /// kDeadlineExceeded: the budget may be fine, the peer is not; the
+  /// request is safe to retry once the shard is back.
+  kUnavailable,
   /// An invariant the implementation relies on was broken; a bug.
   kInternal,
 };
@@ -103,6 +109,9 @@ class Status {
   static Status ReadOnly(std::string msg) {
     return Status(StatusCode::kReadOnly, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
@@ -131,6 +140,7 @@ class Status {
   }
   bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
   bool IsReadOnly() const { return code_ == StatusCode::kReadOnly; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
 
   /// "OK" or "<CodeName>: <message>".

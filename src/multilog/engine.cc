@@ -108,6 +108,16 @@ bool MagicPlansDefault() {
   return std::getenv("MULTILOG_NO_MAGIC") == nullptr;
 }
 
+Result<std::string> RoutingKeyOfFact(std::string_view fact_source) {
+  MULTILOG_ASSIGN_OR_RETURN(MAtom fact, ParseFactAtom(fact_source));
+  if (!fact.key.IsGround()) {
+    return Status::InvalidArgument(
+        "a mutation's entity key must be ground; got: " +
+        std::string(fact_source));
+  }
+  return fact.key.ToString();
+}
+
 Result<Engine> Engine::FromSource(std::string_view source,
                                   EngineOptions options) {
   MULTILOG_ASSIGN_OR_RETURN(Database db, ParseMultiLog(source));

@@ -46,6 +46,16 @@ bool IncrementalMaintenanceDefault();
 /// bottom-up path).
 bool MagicPlansDefault();
 
+/// The routing key of one mutation, without an engine: parses
+/// `fact_source` exactly as Assert/Retract would (one bodyless ground
+/// m-fact) and returns the entity key's canonical rendering
+/// (Term::ToString). The sharding router hashes this text to pick the
+/// owning shard - the *text* rather than a symbol id, because symbol
+/// ids are process-local while the rendered key is stable across every
+/// process that ever sees the fact. Fails with InvalidArgument exactly
+/// when the engines would refuse the mutation shape.
+Result<std::string> RoutingKeyOfFact(std::string_view fact_source);
+
 struct EngineOptions {
   Interpreter::Options interpreter;
   ReductionOptions reduction;

@@ -189,7 +189,14 @@ Status Replicator::RunOnce() {
     } else {
       return Status::Internal("unknown stream frame kind '" + kind + "'");
     }
-    healthy = true;
+    if (!healthy) {
+      healthy = true;
+      // An intact frame means the previous failure is resolved: clear
+      // it, or a replica that reconnected cleanly would advertise a
+      // stale error forever.
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.last_error.clear();
+    }
   }
   return Status::OK();
 }

@@ -57,7 +57,9 @@ class Replicator {
     uint64_t records_applied = 0;
     uint64_t snapshots_installed = 0;
     uint64_t reconnects = 0;  // connection attempts after the first
-    std::string last_error;   // most recent failure, "" when none yet
+    /// Most recent *unresolved* failure; cleared on the first healthy
+    /// frame after a reconnect, "" while the link is fine.
+    std::string last_error;
   };
 
   /// The engine must outlive the Replicator. Call Start() to begin.

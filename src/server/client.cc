@@ -15,10 +15,6 @@
 
 namespace multilog::server {
 
-namespace {
-
-/// Rebuilds a Status from the wire's {"code","error"} pair so callers
-/// can keep using IsDeadlineExceeded() etc. across the network hop.
 Status StatusFromWire(const Json& response) {
   const std::string code = response.GetString("code", "Internal");
   std::string msg = response.GetString("error", "unknown server error");
@@ -42,10 +38,9 @@ Status StatusFromWire(const Json& response) {
   }
   if (code == "DataLoss") return Status::DataLoss(std::move(msg));
   if (code == "ReadOnly") return Status::ReadOnly(std::move(msg));
+  if (code == "Unavailable") return Status::Unavailable(std::move(msg));
   return Status::Internal(std::move(msg));
 }
-
-}  // namespace
 
 Result<Client> Client::Connect(uint16_t port) {
   return Connect("127.0.0.1", port);
@@ -88,6 +83,31 @@ Result<Client> Client::ConnectWithRetry(const std::string& host,
     // (daemon still binding) are worth waiting out.
     if (last.ok() || last.status().IsInvalidArgument()) return last;
     if (i + 1 < attempts && delay > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      delay = std::min<int64_t>(delay * 2, 2000);
+    }
+  }
+  return last;
+}
+
+Result<Client> Client::ConnectAnyWithRetry(
+    const std::vector<Endpoint>& endpoints, int attempts,
+    int64_t backoff_ms) {
+  if (endpoints.empty()) {
+    return Status::InvalidArgument("no endpoints to connect to");
+  }
+  if (attempts < 1) attempts = 1;
+  Result<Client> last = Status::Internal("no connect attempts made");
+  int64_t delay = backoff_ms;
+  for (int round = 0; round < attempts; ++round) {
+    for (const Endpoint& ep : endpoints) {
+      last = Connect(ep.host, ep.port);
+      if (last.ok()) return last;
+      // An invalid host in the *list* is a configuration error worth
+      // failing fast on, same as ConnectWithRetry's single-host rule.
+      if (last.status().IsInvalidArgument()) return last;
+    }
+    if (round + 1 < attempts && delay > 0) {
       std::this_thread::sleep_for(std::chrono::milliseconds(delay));
       delay = std::min<int64_t>(delay * 2, 2000);
     }
@@ -205,6 +225,12 @@ Result<std::string> Client::Metrics() {
 Result<Json> Client::Ping() {
   Json req = Json::Object();
   req.Set("cmd", Json::Str("ping"));
+  return Call(req);
+}
+
+Result<Json> Client::ShardMap() {
+  Json req = Json::Object();
+  req.Set("cmd", Json::Str("shardmap"));
   return Call(req);
 }
 

@@ -38,6 +38,15 @@ class Client {
                                          uint16_t port, int attempts,
                                          int64_t backoff_ms);
 
+  /// Failover connect: tries each endpoint in order, once per round,
+  /// for `attempts` rounds (so a comma-separated --connect list keeps
+  /// working when its first entry is down). Sleeps `backoff_ms` between
+  /// rounds with the same exponential growth as ConnectWithRetry;
+  /// returns the last failure when every round exhausts the list.
+  static Result<Client> ConnectAnyWithRetry(
+      const std::vector<Endpoint>& endpoints, int attempts,
+      int64_t backoff_ms);
+
   Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
   Client& operator=(Client&& other) noexcept;
   ~Client();
@@ -72,6 +81,9 @@ class Client {
   /// The Prometheus text exposition (the `metrics` command's "body").
   Result<std::string> Metrics();
   Result<Json> Ping();
+  /// The router's versioned shard map (the `shardmap` command). A plain
+  /// engine daemon refuses this with InvalidArgument.
+  Result<Json> ShardMap();
   Status Bye();
 
   /// Sends raw bytes as one frame, no JSON involved - the robustness
@@ -90,6 +102,11 @@ class Client {
 
   int fd_ = -1;
 };
+
+/// Rebuilds a Status from the wire's {"code","error"} pair so callers
+/// can keep using IsDeadlineExceeded(), IsUnavailable() etc. across the
+/// network hop. Unknown codes degrade to kInternal.
+Status StatusFromWire(const Json& response);
 
 /// One failed line of a batch run: where it failed and why.
 struct BatchFailure {

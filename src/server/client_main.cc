@@ -21,6 +21,17 @@
 // makes a query wait until the server has applied sequence number N
 // (read-your-writes against a replica).
 //
+// `--connect HOST:PORT[,HOST:PORT...]` replaces `--port` with a
+// failover list: each round tries every endpoint in order before
+// backing off, and `--connect-retries` counts rounds - so a client can
+// name a primary and its replica (or several routers) and keep working
+// while one of them is down:
+//
+//   $ multilog_client --connect 7690,127.0.0.1:7691 --level s \
+//       --connect-retries 5 query '?- s[intel(K : source -C-> V)] << cau.'
+//
+// `shardmap` asks a router for its versioned shard map.
+//
 // `--file` runs a batch over one connection: each non-empty line of the
 // file is `assert <fact>`, `retract <fact>`, `checkpoint`, or
 // `query <goal>` ('%' and '#' start comments). The batch stops at the
@@ -35,6 +46,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "server/client.h"
 #include "server/protocol.h"
@@ -46,12 +58,13 @@ using namespace multilog;
 int Usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --port N [--level L] [--mode M] [--deadline-ms N] "
+      "usage: %s (--port N | --connect HOST:PORT[,HOST:PORT...])\n"
+      "          [--level L] [--mode M] [--deadline-ms N] "
       "[--proofs] [--trace]\n          [--connect-retries N] "
       "[--retry-backoff-ms N] [--min-seqno N] [--wait-ms N]\n          "
       "(query GOAL | sql STMT | assert FACT "
-      "| retract FACT | checkpoint | stats | metrics | ping)\n       "
-      "%s --port N --level L --file BATCH [--keep-going]\n",
+      "| retract FACT | checkpoint | stats | metrics | ping | shardmap)\n"
+      "       %s --port N --level L --file BATCH [--keep-going]\n",
       argv0, argv0);
   return 2;
 }
@@ -93,6 +106,7 @@ int RunBatchFile(server::Client& client, const std::string& path,
 
 int main(int argc, char** argv) {
   uint16_t port = 7690;
+  std::vector<server::Endpoint> endpoints;
   std::string level;
   std::string mode;
   std::string batch_file;
@@ -121,6 +135,17 @@ int main(int argc, char** argv) {
         return 2;
       }
       port = *parsed;
+    } else if (arg == "--connect") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      Result<std::vector<server::Endpoint>> parsed =
+          server::ParseEndpointList(v);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "--connect: %s\n",
+                     parsed.status().ToString().c_str());
+        return 2;
+      }
+      endpoints = *std::move(parsed);
     } else if (arg == "--level") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -175,9 +200,11 @@ int main(int argc, char** argv) {
       needs_operand || command == "checkpoint" || !batch_file.empty();
 
   // --connect-retries waits out a daemon that is still binding (demo
-  // and test scripts spawn multilogd and connect immediately).
-  Result<server::Client> client = server::Client::ConnectWithRetry(
-      "127.0.0.1", port, connect_retries, retry_backoff_ms);
+  // and test scripts spawn multilogd and connect immediately); with a
+  // --connect list each retry round walks the whole list (failover).
+  if (endpoints.empty()) endpoints.push_back({"127.0.0.1", port});
+  Result<server::Client> client = server::Client::ConnectAnyWithRetry(
+      endpoints, connect_retries, retry_backoff_ms);
   if (!client.ok()) return Fail(client.status());
 
   if (!level.empty() || needs_level) {
@@ -220,6 +247,8 @@ int main(int argc, char** argv) {
     response = client->Stats();
   } else if (command == "ping") {
     response = client->Ping();
+  } else if (command == "shardmap") {
+    response = client->ShardMap();
   } else {
     return Usage(argv[0]);
   }

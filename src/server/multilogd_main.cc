@@ -26,6 +26,19 @@
 //   $ multilogd --sample --port 7690 --data-dir /var/lib/ml-primary
 //   $ multilogd --sample --port 7691 --data-dir /var/lib/ml-replica \
 //       --replica-of 127.0.0.1:7690
+//
+// With --router --shards HOST:PORT,... the daemon is a scatter-gather
+// query router instead of an engine: it speaks the same protocol, but
+// routes each query/write to the hash-owning shard (or scatters wide
+// queries across all of them) - see src/sharding/router.h. The --db /
+// --sample source is parsed for the lattice and the routing analysis
+// only; the shards must have been seeded with the matching per-shard
+// partition of the same source (examples/sharding_demo.sh shows the
+// full flow):
+//
+//   $ multilogd --sample --port 7101 --data-dir /var/lib/ml-shard-0
+//   $ multilogd --sample --port 7102 --data-dir /var/lib/ml-shard-1
+//   $ multilogd --sample --router --shards 7101,7102 --port 7690
 
 #include <csignal>
 #include <cstdio>
@@ -41,6 +54,7 @@
 #include "multilog/engine.h"
 #include "replication/replicator.h"
 #include "server/server.h"
+#include "sharding/router.h"
 #include "storage/storage.h"
 
 namespace {
@@ -58,6 +72,8 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s (--db FILE | --sample) [--data-dir DIR] [--port N]\n"
       "          [--replica-of HOST:PORT]  (serve as a read-only replica)\n"
+      "          [--router --shards HOST:PORT,...]  (serve as the\n"
+      "                                 scatter-gather router over shards)\n"
       "          [--workers N] [--max-conns N] [--max-inflight N]\n"
       "          [--max-request-bytes N] [--deadline-ms N]\n"
       "          [--mode operational|reduced|check_both]\n"
@@ -77,6 +93,8 @@ int main(int argc, char** argv) {
   std::string data_dir;
   bool use_sample = false;
   bool is_replica = false;
+  bool is_router = false;
+  std::vector<server::Endpoint> shard_endpoints;
   server::ServerOptions options;
   ml::EngineOptions engine_options;
   replication::Replicator::Options replica_options;
@@ -115,6 +133,19 @@ int main(int argc, char** argv) {
       replica_options.host = spec.substr(0, colon);
       replica_options.port = *port;
       is_replica = true;
+    } else if (arg == "--router") {
+      is_router = true;
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      Result<std::vector<server::Endpoint>> endpoints =
+          server::ParseEndpointList(v);
+      if (!endpoints.ok()) {
+        std::fprintf(stderr, "--shards: %s\n",
+                     endpoints.status().ToString().c_str());
+        return 2;
+      }
+      shard_endpoints = *std::move(endpoints);
     } else if (arg == "--port") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -168,6 +199,16 @@ int main(int argc, char** argv) {
     }
   }
   if (use_sample == !db_path.empty()) return Usage(argv[0]);
+  if (is_router != !shard_endpoints.empty()) {
+    std::fprintf(stderr, "--router and --shards go together\n");
+    return Usage(argv[0]);
+  }
+  if (is_router && (is_replica || !data_dir.empty())) {
+    std::fprintf(stderr,
+                 "--router holds no data: it takes neither --data-dir nor "
+                 "--replica-of\n");
+    return Usage(argv[0]);
+  }
 
   std::string source;
   Result<mls::MissionDataset> dataset = Status::Internal("unused");
@@ -190,6 +231,35 @@ int main(int argc, char** argv) {
     std::ostringstream buf;
     buf << in.rdbuf();
     source = buf.str();
+  }
+
+  if (is_router) {
+    sharding::RouterOptions router_options;
+    router_options.port = options.port;
+    router_options.max_connections = options.max_connections;
+    router_options.max_request_bytes = options.max_request_bytes;
+    router_options.default_deadline_ms = options.default_deadline_ms;
+    router_options.default_mode = options.default_mode;
+    for (const server::Endpoint& ep : shard_endpoints) {
+      router_options.shards.push_back({ep.host, ep.port});
+    }
+    sharding::Router router(source, router_options);
+    if (Status s = router.Start(); !s.ok()) {
+      std::fprintf(stderr, "router: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("multilog-router listening on 127.0.0.1:%u (%zu shards, %s)\n",
+                router.port(), router.shard_map().num_shards(),
+                sharding::kShardHashName);
+    std::fflush(stdout);
+    sem_init(&g_shutdown, 0, 0);
+    std::signal(SIGINT, HandleSignal);
+    std::signal(SIGTERM, HandleSignal);
+    while (sem_wait(&g_shutdown) != 0 && errno == EINTR) {
+    }
+    std::printf("shutting down\n");
+    router.Stop();
+    return 0;
   }
 
   Result<storage::Storage> storage = Status::Internal("unused");

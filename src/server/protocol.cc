@@ -116,6 +116,41 @@ Result<uint16_t> ParsePort(std::string_view text, bool allow_ephemeral) {
   return static_cast<uint16_t>(value);
 }
 
+Result<Endpoint> ParseHostPort(std::string_view text) {
+  Endpoint ep;
+  const size_t colon = text.rfind(':');
+  if (colon == std::string_view::npos) {
+    MULTILOG_ASSIGN_OR_RETURN(ep.port, ParsePort(text));
+    return ep;
+  }
+  if (colon == 0) {
+    return Status::InvalidArgument("invalid endpoint '" + std::string(text) +
+                                   "' (empty host before ':')");
+  }
+  ep.host = std::string(text.substr(0, colon));
+  MULTILOG_ASSIGN_OR_RETURN(ep.port, ParsePort(text.substr(colon + 1)));
+  return ep;
+}
+
+Result<std::vector<Endpoint>> ParseEndpointList(std::string_view text) {
+  std::vector<Endpoint> endpoints;
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    size_t end = text.find(',', begin);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view element = text.substr(begin, end - begin);
+    if (element.empty()) {
+      return Status::InvalidArgument(
+          "invalid endpoint list '" + std::string(text) +
+          "' (expected comma-separated HOST:PORT or PORT entries)");
+    }
+    MULTILOG_ASSIGN_OR_RETURN(Endpoint ep, ParseHostPort(element));
+    endpoints.push_back(std::move(ep));
+    begin = end + 1;
+  }
+  return endpoints;
+}
+
 const char* ExecModeName(ml::ExecMode mode) {
   switch (mode) {
     case ml::ExecMode::kOperational:
@@ -244,6 +279,10 @@ Result<Request> ParseRequest(const Json& json) {
   }
   if (name == "bye") {
     req.cmd = Request::Cmd::kBye;
+    return req;
+  }
+  if (name == "shardmap") {
+    req.cmd = Request::Cmd::kShardMap;
     return req;
   }
   if (name == "replicate") {

@@ -5,6 +5,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "multilog/engine.h"
@@ -39,6 +40,9 @@ namespace multilog::server {
 ///   {"cmd":"ping"}                          liveness probe
 ///   {"cmd":"bye"}                           orderly close
 ///   {"cmd":"replicate","from_seqno":N}      become a replication stream
+///   {"cmd":"shardmap"}                      the versioned shard map
+///                                           (served by multilogd --router;
+///                                           a plain engine daemon refuses)
 ///
 /// `replicate` is the one departure from strict request/response: the
 /// server turns the connection into a one-way stream of frames -
@@ -95,7 +99,8 @@ struct Request {
     kMetrics,
     kPing,
     kBye,
-    kReplicate
+    kReplicate,
+    kShardMap
   };
   Cmd cmd = Cmd::kPing;
   std::string level;         // hello
@@ -128,6 +133,23 @@ const char* ExecModeName(ml::ExecMode mode);
 /// passes `allow_ephemeral` so "--port 0" keeps its meaning of "bind
 /// an OS-assigned port"; a client has nothing to connect to at 0.
 Result<uint16_t> ParsePort(std::string_view text, bool allow_ephemeral = false);
+
+/// A dialable address for the CLI tools and the router.
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+/// Parses "HOST:PORT" or a bare "PORT" (host defaults to 127.0.0.1).
+/// The port obeys ParsePort's rules; the host is not resolved here
+/// (Client::Connect validates it when dialing).
+Result<Endpoint> ParseHostPort(std::string_view text);
+
+/// Parses a comma-separated endpoint list, e.g.
+/// "7101,127.0.0.1:7102,localhost:7103". Empty elements and an empty
+/// list are rejected. This is the spelling of `multilogd --shards` and
+/// `multilog_client --connect`.
+Result<std::vector<Endpoint>> ParseEndpointList(std::string_view text);
 
 /// {"ok":false,"code":...,"error":...} from a non-OK status.
 Json ErrorResponse(const Status& status);

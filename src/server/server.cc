@@ -347,6 +347,13 @@ bool Server::HandleFrame(SessionState& session, int fd) {
       WriteFrame(fd, resp.Serialize());
       return true;
     }
+    case Request::Cmd::kShardMap: {
+      WriteFrame(fd, ErrorResponse(Status::InvalidArgument(
+                         "this daemon is not a router; 'shardmap' is served "
+                         "by multilogd --router"))
+                         .Serialize());
+      return true;
+    }
     case Request::Cmd::kReplicate: {
       // The connection becomes a one-way stream, served on this reader
       // thread (dedicating a pool worker to an open-ended stream would
@@ -752,6 +759,10 @@ std::string Server::MetricsText() {
     counter("multilog_replica_reconnects_total",
             "Reconnections to the primary after the first attempt.",
             rs.reconnects);
+    counter("multilog_replica_has_error",
+            "1 while the link's most recent failure is unresolved (cleared "
+            "on the first healthy frame after reconnect).",
+            rs.last_error.empty() ? 0 : 1, "gauge");
   }
 
   // Per-stage trace aggregates (populated when tracing is enabled

@@ -1,0 +1,243 @@
+#include "sharding/routing.h"
+
+#include <map>
+
+#include "multilog/parser.h"
+
+namespace multilog::sharding {
+
+namespace {
+
+using datalog::Term;
+using ml::BAtom;
+using ml::CAtom;
+using ml::Database;
+using ml::HAtom;
+using ml::LAtom;
+using ml::MAtom;
+using ml::MlClause;
+using ml::MlLiteral;
+using ml::PAtom;
+
+/// Appends the entity-key terms of any m-/b-atoms in `atom`.
+void CollectKeyTerms(const ml::MlAtom& atom, std::vector<Term>* keys) {
+  if (const auto* m = std::get_if<MAtom>(&atom)) {
+    keys->push_back(m->key);
+  } else if (const auto* b = std::get_if<BAtom>(&atom)) {
+    keys->push_back(b->matom.key);
+  }
+}
+
+/// The p-predicates referenced by `atom`, if any.
+const std::string* PPredicateOf(const ml::MlAtom& atom) {
+  if (const auto* p = std::get_if<PAtom>(&atom)) return &p->predicate();
+  return nullptr;
+}
+
+bool BodyHasSecuredAtom(const MlClause& clause) {
+  for (const MlLiteral& lit : clause.body) {
+    if (std::holds_alternative<MAtom>(lit.atom) ||
+        std::holds_alternative<BAtom>(lit.atom)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// The distinct key terms appearing in head + body secured atoms.
+std::vector<Term> DistinctKeyTerms(const ml::MlAtom& head,
+                                   const std::vector<MlLiteral>& body) {
+  std::vector<Term> keys;
+  CollectKeyTerms(head, &keys);
+  for (const MlLiteral& lit : body) CollectKeyTerms(lit.atom, &keys);
+  std::vector<Term> distinct;
+  for (const Term& k : keys) {
+    bool seen = false;
+    for (const Term& d : distinct) {
+      if (d == k) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) distinct.push_back(k);
+  }
+  return distinct;
+}
+
+/// The first tainted p-predicate referenced by `body`, or nullptr.
+const std::string* FirstTaintedPredicate(const std::vector<MlLiteral>& body,
+                                         const RoutingAnalysis& taint) {
+  for (const MlLiteral& lit : body) {
+    if (const std::string* pred = PPredicateOf(lit.atom);
+        pred != nullptr && taint.IsTainted(*pred)) {
+      return pred;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<RoutingAnalysis> RoutingAnalysis::Analyze(const Database& db) {
+  RoutingAnalysis analysis;
+  // Taint fixpoint over Pi: a p-predicate is tainted when any of its
+  // clauses has a secured (m-/b-) body atom or depends on a tainted
+  // p-predicate. Pi is small (code, not data), so the quadratic loop is
+  // fine and keeps the pass dependency-free.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const MlClause& clause : db.pi) {
+      const auto* head = std::get_if<PAtom>(&clause.head);
+      if (head == nullptr || analysis.tainted_.count(head->predicate()) > 0) {
+        continue;
+      }
+      bool tainted = BodyHasSecuredAtom(clause);
+      if (!tainted) {
+        for (const MlLiteral& lit : clause.body) {
+          if (const std::string* pred = PPredicateOf(lit.atom);
+              pred != nullptr && analysis.tainted_.count(*pred) > 0) {
+            tainted = true;
+            break;
+          }
+        }
+      }
+      if (tainted) {
+        analysis.tainted_.insert(head->predicate());
+        changed = true;
+      }
+    }
+  }
+  // Validate Sigma once up front (ShardOfSigmaClause re-checks per
+  // clause; a single-shard "map" suffices since only errors matter).
+  const ShardMap probe(1);
+  for (const MlClause& clause : db.sigma) {
+    MULTILOG_ASSIGN_OR_RETURN(std::optional<size_t> shard,
+                              ShardOfSigmaClause(clause, analysis, probe));
+    (void)shard;
+  }
+  return analysis;
+}
+
+Result<std::optional<size_t>> ShardOfSigmaClause(const MlClause& clause,
+                                                 const RoutingAnalysis& taint,
+                                                 const ShardMap& map) {
+  if (const std::string* pred = FirstTaintedPredicate(clause.body, taint)) {
+    return Status::InvalidProgram(
+        "Sigma clause '" + clause.ToString() +
+        "' depends on p-predicate '" + *pred +
+        "', whose derivation touches secured atoms; its extension would "
+        "differ per shard");
+  }
+  const std::vector<Term> keys = DistinctKeyTerms(clause.head, clause.body);
+  if (keys.size() != 1) {
+    return Status::InvalidProgram(
+        "Sigma clause '" + clause.ToString() + "' spans " +
+        std::to_string(keys.size()) +
+        " distinct entity keys; sharding requires key-local clauses");
+  }
+  const Term& key = keys.front();
+  if (key.IsGround()) return std::optional<size_t>(map.ShardOfKey(key));
+  if (clause.IsFact()) {
+    return Status::InvalidProgram("Sigma fact '" + clause.ToString() +
+                                  "' has a non-ground entity key");
+  }
+  if (!BodyHasSecuredAtom(clause)) {
+    // Unanchored: the rule would derive atoms for keys whose stored
+    // group lives elsewhere, creating partial key groups off-owner.
+    return Status::InvalidProgram(
+        "Sigma rule '" + clause.ToString() +
+        "' has a non-ground key and no secured body atom to anchor it to "
+        "a shard's own keys");
+  }
+  return std::optional<size_t>();  // key-local + anchored: replicate
+}
+
+Result<RouteDecision> RouteGoal(const std::vector<MlLiteral>& goal,
+                                const RoutingAnalysis& taint,
+                                const ShardMap& map) {
+  if (const std::string* pred = FirstTaintedPredicate(goal, taint)) {
+    return Status::InvalidArgument(
+        "goal references p-predicate '" + *pred +
+        "', whose derivation touches secured atoms; it cannot be routed "
+        "(query a single unsharded engine instead)");
+  }
+  std::vector<Term> keys;
+  for (const MlLiteral& lit : goal) CollectKeyTerms(lit.atom, &keys);
+  std::vector<Term> distinct;
+  for (const Term& k : keys) {
+    bool seen = false;
+    for (const Term& d : distinct) {
+      if (d == k) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) distinct.push_back(k);
+  }
+
+  RouteDecision decision;
+  if (distinct.empty()) {
+    decision.kind = RouteDecision::Kind::kAnywhere;
+    return decision;
+  }
+  if (distinct.size() == 1) {
+    if (distinct.front().IsGround()) {
+      decision.kind = RouteDecision::Kind::kPoint;
+      decision.shard = map.ShardOfKey(distinct.front());
+    } else {
+      decision.kind = RouteDecision::Kind::kScatter;
+    }
+    return decision;
+  }
+  // Several distinct key terms: sound only when they are all ground and
+  // happen to live on one shard (then it is a point query there). Any
+  // non-ground term among them is a cross-shard join - an answer could
+  // pair keys from different shards, which no shard can witness alone.
+  bool all_ground = true;
+  for (const Term& k : distinct) all_ground = all_ground && k.IsGround();
+  if (all_ground) {
+    const size_t shard = map.ShardOfKey(distinct.front());
+    bool same = true;
+    for (const Term& k : distinct) same = same && map.ShardOfKey(k) == shard;
+    if (same) {
+      decision.kind = RouteDecision::Kind::kPoint;
+      decision.shard = shard;
+      return decision;
+    }
+    return Status::InvalidArgument(
+        "goal joins entity keys owned by different shards; cross-shard "
+        "joins over secured atoms are not supported");
+  }
+  return Status::InvalidArgument(
+      "goal mixes distinct entity-key terms over secured atoms; a "
+      "scatter-gather answer could require a cross-shard join");
+}
+
+Result<std::vector<std::string>> PartitionSource(std::string_view source,
+                                                 const ShardMap& map) {
+  MULTILOG_ASSIGN_OR_RETURN(Database db, ml::ParseMultiLog(source));
+  MULTILOG_ASSIGN_OR_RETURN(RoutingAnalysis taint,
+                            RoutingAnalysis::Analyze(db));
+  std::vector<Database> shards(map.num_shards());
+  for (Database& shard : shards) {
+    shard.lambda = db.lambda;
+    shard.pi = db.pi;
+    shard.queries = db.queries;
+  }
+  for (const MlClause& clause : db.sigma) {
+    MULTILOG_ASSIGN_OR_RETURN(std::optional<size_t> owner,
+                              ShardOfSigmaClause(clause, taint, map));
+    if (owner.has_value()) {
+      shards[*owner].sigma.push_back(clause);
+    } else {
+      for (Database& shard : shards) shard.sigma.push_back(clause);
+    }
+  }
+  std::vector<std::string> sources;
+  sources.reserve(shards.size());
+  for (const Database& shard : shards) sources.push_back(shard.ToString());
+  return sources;
+}
+
+}  // namespace multilog::sharding

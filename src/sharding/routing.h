@@ -1,0 +1,115 @@
+#ifndef MULTILOG_SHARDING_ROUTING_H_
+#define MULTILOG_SHARDING_ROUTING_H_
+
+#include <cstddef>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "multilog/ast.h"
+#include "sharding/shard_map.h"
+
+namespace multilog::sharding {
+
+/// # Why key-sharding preserves the paper's semantics
+///
+/// Belief (beta) and the Definition 5.4 integrity checks partition
+/// Sigma by entity key: whether an agent cautiously/optimistically/
+/// firmly believes s[p(k : a -c-> v)] depends only on the secured atoms
+/// whose key is k. Hash-partitioning Sigma by key therefore preserves
+/// every belief answer - PROVIDED no shard ever holds a *partial* key
+/// group (a subset of a key's atoms would make a lower conflicting fact
+/// invisible and flip a cautious belief), and no rule or goal joins
+/// across keys (each shard only sees its own keys' groups).
+///
+/// RoutingAnalysis enforces exactly that invariant:
+///
+///  - a *tainted* p-predicate is one whose Pi derivation transitively
+///    depends on m-/b-atoms. Its extension differs per shard (each
+///    shard holds different Sigma), so Sigma rules and goals that
+///    reference tainted predicates are refused. Untainted Pi is pure
+///    Datalog over replicated p-facts - identical on every shard;
+///  - a Sigma clause with a *ground* key (facts and rules alike)
+///    belongs wholly to the key's owning shard. Replicating a ground-
+///    key rule would let a non-owner derive part of the key's group -
+///    a partial group, the exact failure mode above;
+///  - a Sigma rule with a *non-ground* key must be key-local (every
+///    m-/b-atom in head and body carries the same key term) and
+///    anchored (at least one *body* m-/b-atom). Such a rule is
+///    replicated to every shard: by induction it can only derive atoms
+///    for keys whose secured atoms already live on that shard, so the
+///    owner invariant is preserved.
+///
+/// The net effect: every shard holds complete key groups for exactly
+/// the keys it owns, so a point query is answered entirely by the
+/// owner, and a scatter-gather union over all shards equals the single-
+/// engine answer set.
+class RoutingAnalysis {
+ public:
+  /// Computes the taint fixpoint over Pi and validates that Sigma is
+  /// shardable under the rules above (kInvalidProgram when not - the
+  /// database must then be served unsharded).
+  static Result<RoutingAnalysis> Analyze(const ml::Database& db);
+
+  /// True when `predicate`'s Pi extension depends on Sigma.
+  bool IsTainted(const std::string& predicate) const {
+    return tainted_.count(predicate) > 0;
+  }
+
+  const std::set<std::string>& tainted() const { return tainted_; }
+
+ private:
+  std::set<std::string> tainted_;
+};
+
+/// Where one Sigma clause lives under `map`: the owning shard for a
+/// ground-key clause, nullopt for a replicated (non-ground, key-local,
+/// anchored) rule. kInvalidProgram for clauses that cannot be sharded:
+/// cross-key rules, unanchored non-ground rules, non-ground facts, and
+/// bodies referencing tainted p-predicates.
+Result<std::optional<size_t>> ShardOfSigmaClause(const ml::MlClause& clause,
+                                                 const RoutingAnalysis& taint,
+                                                 const ShardMap& map);
+
+/// How the router should execute one goal.
+struct RouteDecision {
+  enum class Kind {
+    /// All secured atoms share one ground key: the owning shard answers
+    /// alone, and its response is relayed verbatim (byte-identical to a
+    /// single engine in every mode).
+    kPoint,
+    /// One shared non-ground key term: every shard answers over its own
+    /// keys and the router returns the deterministic ordered union.
+    kScatter,
+    /// No secured atoms at all (pure untainted-Pi / lattice goals): any
+    /// single shard gives the full answer, so the router picks one.
+    kAnywhere,
+  };
+  Kind kind = Kind::kAnywhere;
+  size_t shard = 0;  // meaningful for kPoint only
+};
+
+/// Classifies a parsed goal. kInvalidArgument when the goal cannot be
+/// routed soundly: tainted p-atoms, two distinct ground keys on
+/// different shards, or distinct key terms (a cross-shard join) - never
+/// a silently wrong answer.
+Result<RouteDecision> RouteGoal(const std::vector<ml::MlLiteral>& goal,
+                                const RoutingAnalysis& taint,
+                                const ShardMap& map);
+
+/// Splits full MultiLog `source` into `map.num_shards()` per-shard
+/// sources: Lambda, untainted-and-tainted Pi alike, and stored queries
+/// are replicated to every shard (Pi is code; replicating tainted rules
+/// is harmless because goals touching them are refused at the router);
+/// each Sigma clause goes to its owner or, for replicated rules, to all
+/// shards, preserving relative Sigma order. Fails (kInvalidProgram)
+/// when the database is not shardable.
+Result<std::vector<std::string>> PartitionSource(std::string_view source,
+                                                 const ShardMap& map);
+
+}  // namespace multilog::sharding
+
+#endif  // MULTILOG_SHARDING_ROUTING_H_

@@ -1,0 +1,17 @@
+#include "sharding/shard_map.h"
+
+namespace multilog::sharding {
+
+uint64_t StableHash64(std::string_view text) {
+  // FNV-1a, 64-bit: simple, allocation-free, and stable across
+  // platforms and process lifetimes (unlike std::hash, which libstdc++
+  // documents as salt-free today but does not guarantee).
+  uint64_t h = 14695981039346656037ull;
+  for (const char c : text) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace multilog::sharding

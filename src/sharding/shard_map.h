@@ -1,0 +1,67 @@
+#ifndef MULTILOG_SHARDING_SHARD_MAP_H_
+#define MULTILOG_SHARDING_SHARD_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "datalog/term.h"
+
+namespace multilog::sharding {
+
+/// The stable 64-bit FNV-1a hash the shard map is built on. Hashing the
+/// *rendered text* of the entity key - not the process-local interned
+/// Symbol id - is load-bearing: symbol ids depend on interning order,
+/// which differs between the router, each shard, and every client, while
+/// the canonical text of a ground term is identical everywhere. Two
+/// processes that agree on the key's text agree on its shard, forever.
+uint64_t StableHash64(std::string_view text);
+
+/// The wire name of the assignment function, served with the map so a
+/// client can verify it implements the same hash before routing locally.
+inline constexpr const char* kShardHashName = "fnv1a64/key-text";
+
+/// Key -> shard assignment: shard(k) = StableHash64(text(k)) mod N.
+///
+/// The map is versioned: a router serves (version, N, endpoints) to
+/// clients, and a future resharding bumps the version so a client
+/// holding a stale map can detect it. The assignment itself is pure -
+/// two ShardMaps with the same N agree on every key - so the map is
+/// cheap to copy and needs no locking.
+///
+/// Semantics note (why mod-N hashing is sound here): beta and the
+/// Definition 5.4 integrity checks partition Sigma by entity key, so a
+/// partitioning that keeps each key's group on one shard preserves
+/// cautious/optimistic/firm answers with no cross-shard joins in the
+/// base data. See routing.h for the clause/goal analysis that enforces
+/// key-locality.
+class ShardMap {
+ public:
+  explicit ShardMap(size_t num_shards, uint64_t version = 1)
+      : num_shards_(num_shards == 0 ? 1 : num_shards), version_(version) {}
+
+  size_t num_shards() const { return num_shards_; }
+  uint64_t version() const { return version_; }
+
+  /// The owning shard of a key given its canonical rendered text
+  /// (datalog::Term::ToString for parsed keys; clients hashing raw
+  /// symbols must render the same spelling the parser would).
+  size_t ShardOfKeyText(std::string_view key_text) const {
+    return static_cast<size_t>(StableHash64(key_text) %
+                               static_cast<uint64_t>(num_shards_));
+  }
+
+  /// The owning shard of a parsed (ground) entity-key term.
+  size_t ShardOfKey(const datalog::Term& key) const {
+    return ShardOfKeyText(key.ToString());
+  }
+
+ private:
+  size_t num_shards_;
+  uint64_t version_;
+};
+
+}  // namespace multilog::sharding
+
+#endif  // MULTILOG_SHARDING_SHARD_MAP_H_

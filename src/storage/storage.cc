@@ -21,6 +21,13 @@ Status EnsureDir(const std::string& dir) {
 
 }  // namespace
 
+std::string ShardDataDir(const std::string& base, size_t shard_index) {
+  std::string dir = base;
+  if (!dir.empty() && dir.back() != '/') dir.push_back('/');
+  dir.append("shard-").append(std::to_string(shard_index));
+  return dir;
+}
+
 Result<Storage> Storage::Open(const std::string& dir,
                               std::string_view initial_source) {
   trace::Span span(trace::Stage::kRecovery);

@@ -32,6 +32,12 @@ struct RecoveredState {
   Status data_loss;
 };
 
+/// The canonical data directory for shard `shard_index` of a sharded
+/// deployment rooted at `base`: "<base>/shard-<index>". One naming rule
+/// shared by the demo scripts, the tests, and operators, so a fleet's
+/// on-disk layout is self-describing.
+std::string ShardDataDir(const std::string& base, size_t shard_index);
+
 /// A durable home for one MultiLog database: `<dir>/snapshot.mls` (the
 /// latest compacted image) plus `<dir>/wal.log` (mutations since).
 ///

@@ -1,0 +1,260 @@
+// The routing analysis: which databases may be sharded at all, where
+// each Sigma clause lives, and how goals are classified. These rules
+// are the entire soundness argument of the router (see routing.h), so
+// each refusal case gets its own test.
+
+#include "sharding/routing.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "multilog/parser.h"
+
+namespace multilog::sharding {
+namespace {
+
+constexpr char kLattice[] =
+    "level(u). level(c). level(s). order(u, c). order(c, s).\n";
+
+ml::Database MustParse(const std::string& source) {
+  Result<ml::Database> db = ml::ParseMultiLog(source);
+  EXPECT_TRUE(db.ok()) << db.status();
+  return std::move(db).value();
+}
+
+RoutingAnalysis MustAnalyze(const std::string& source) {
+  Result<RoutingAnalysis> analysis = RoutingAnalysis::Analyze(MustParse(source));
+  EXPECT_TRUE(analysis.ok()) << analysis.status();
+  return std::move(analysis).value();
+}
+
+/// The single Sigma clause of `source` routed under `map`.
+Result<std::optional<size_t>> RouteSigma(const std::string& clause,
+                                         const RoutingAnalysis& taint,
+                                         const ShardMap& map) {
+  ml::Database db = MustParse(kLattice + clause);
+  EXPECT_EQ(db.sigma.size(), 1u);
+  return ShardOfSigmaClause(db.sigma[0], taint, map);
+}
+
+Result<RouteDecision> Route(const std::string& goal,
+                            const RoutingAnalysis& taint,
+                            const ShardMap& map) {
+  Result<std::vector<ml::MlLiteral>> parsed = ml::ParseMlGoal(goal);
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  return RouteGoal(*parsed, taint, map);
+}
+
+TEST(RoutingAnalysis, TaintPropagatesTransitivelyThroughPi) {
+  const RoutingAnalysis a = MustAnalyze(
+      std::string(kLattice) +
+      "q(j).\n"
+      "vis(K) :- u[p(K : a -u-> V)].\n"   // directly secured
+      "wide(K) :- vis(K).\n"              // transitively secured
+      "pure(X) :- q(X).\n");              // plain Datalog
+  EXPECT_TRUE(a.IsTainted("vis"));
+  EXPECT_TRUE(a.IsTainted("wide"));
+  EXPECT_FALSE(a.IsTainted("q"));
+  EXPECT_FALSE(a.IsTainted("pure"));
+}
+
+TEST(RoutingAnalysis, RejectsUnshardableSigmaUpFront) {
+  Result<ml::Database> db = ml::ParseMultiLog(
+      std::string(kLattice) + "s[p(k1 : a -s-> v)] :- u[p(k2 : a -u-> v)].\n");
+  ASSERT_TRUE(db.ok()) << db.status();
+  Result<RoutingAnalysis> a = RoutingAnalysis::Analyze(*db);
+  ASSERT_FALSE(a.ok());
+  EXPECT_TRUE(a.status().IsInvalidProgram()) << a.status();
+}
+
+TEST(ShardOfSigmaClauseTest, GroundKeyFactGoesToItsOwner) {
+  const RoutingAnalysis taint = MustAnalyze(kLattice);
+  const ShardMap map(4);
+  Result<std::optional<size_t>> shard =
+      RouteSigma("u[p(k1 : a -u-> v)].", taint, map);
+  ASSERT_TRUE(shard.ok()) << shard.status();
+  ASSERT_TRUE(shard->has_value());
+  EXPECT_EQ(**shard, map.ShardOfKeyText("k1"));
+}
+
+TEST(ShardOfSigmaClauseTest, GroundKeyRuleGoesToItsOwnerNotEverywhere) {
+  // Replicating a ground-key rule would let a non-owner derive part of
+  // k's group - the partial-key-group failure mode.
+  const RoutingAnalysis taint = MustAnalyze(std::string(kLattice) + "q(j).\n");
+  const ShardMap map(4);
+  Result<std::optional<size_t>> shard =
+      RouteSigma("c[p(k : a -c-> t)] :- q(j).", taint, map);
+  ASSERT_TRUE(shard.ok()) << shard.status();
+  ASSERT_TRUE(shard->has_value());
+  EXPECT_EQ(**shard, map.ShardOfKeyText("k"));
+}
+
+TEST(ShardOfSigmaClauseTest, AnchoredKeyLocalRuleIsReplicated) {
+  const RoutingAnalysis taint = MustAnalyze(kLattice);
+  Result<std::optional<size_t>> shard = RouteSigma(
+      "s[p(K : a -u-> v)] :- c[p(K : a -c-> t)] << cau.", taint, ShardMap(4));
+  ASSERT_TRUE(shard.ok()) << shard.status();
+  EXPECT_FALSE(shard->has_value());  // nullopt = replicate to all
+}
+
+TEST(ShardOfSigmaClauseTest, UnanchoredNonGroundRuleIsRefused) {
+  // No secured body atom: the rule would derive atoms for keys whose
+  // stored group lives on another shard.
+  const RoutingAnalysis taint = MustAnalyze(std::string(kLattice) + "q(j).\n");
+  Result<std::optional<size_t>> shard =
+      RouteSigma("s[p(K : a -s-> v)] :- q(K).", taint, ShardMap(4));
+  ASSERT_FALSE(shard.ok());
+  EXPECT_TRUE(shard.status().IsInvalidProgram()) << shard.status();
+}
+
+TEST(ShardOfSigmaClauseTest, CrossKeyRuleIsRefused) {
+  const RoutingAnalysis taint = MustAnalyze(kLattice);
+  Result<std::optional<size_t>> shard = RouteSigma(
+      "s[p(k1 : a -s-> v)] :- u[p(k2 : a -u-> v)].", taint, ShardMap(4));
+  ASSERT_FALSE(shard.ok());
+  EXPECT_TRUE(shard.status().IsInvalidProgram()) << shard.status();
+}
+
+TEST(ShardOfSigmaClauseTest, TaintedBodyPredicateIsRefused) {
+  const RoutingAnalysis taint = MustAnalyze(
+      std::string(kLattice) + "vis(K) :- u[p(K : a -u-> V)].\n");
+  Result<std::optional<size_t>> shard =
+      RouteSigma("s[p(k : a -s-> v)] :- vis(k).", taint, ShardMap(4));
+  ASSERT_FALSE(shard.ok());
+  EXPECT_TRUE(shard.status().IsInvalidProgram()) << shard.status();
+}
+
+TEST(RouteGoalTest, GroundKeyIsAPointQuery) {
+  const RoutingAnalysis taint = MustAnalyze(kLattice);
+  const ShardMap map(4);
+  Result<RouteDecision> d =
+      Route("?- c[p(k1 : a -R-> v)] << opt.", taint, map);
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_EQ(d->kind, RouteDecision::Kind::kPoint);
+  EXPECT_EQ(d->shard, map.ShardOfKeyText("k1"));
+}
+
+TEST(RouteGoalTest, NonGroundKeyScatters) {
+  const RoutingAnalysis taint = MustAnalyze(kLattice);
+  Result<RouteDecision> d =
+      Route("?- c[p(K : a -R-> v)] << opt.", taint, ShardMap(4));
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_EQ(d->kind, RouteDecision::Kind::kScatter);
+}
+
+TEST(RouteGoalTest, KeyFreeGoalRoutesAnywhere) {
+  const RoutingAnalysis taint = MustAnalyze(std::string(kLattice) + "q(j).\n");
+  Result<RouteDecision> d = Route("?- q(X).", taint, ShardMap(4));
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_EQ(d->kind, RouteDecision::Kind::kAnywhere);
+}
+
+TEST(RouteGoalTest, TaintedPredicateIsRefused) {
+  const RoutingAnalysis taint = MustAnalyze(
+      std::string(kLattice) + "vis(K) :- u[p(K : a -u-> V)].\n");
+  Result<RouteDecision> d = Route("?- vis(X).", taint, ShardMap(4));
+  ASSERT_FALSE(d.ok());
+  EXPECT_TRUE(d.status().IsInvalidArgument()) << d.status();
+}
+
+TEST(RouteGoalTest, TwoGroundKeysOnTheSameShardStayAPointQuery) {
+  const RoutingAnalysis taint = MustAnalyze(kLattice);
+  // Find two distinct keys that collide on one shard of two.
+  const ShardMap map(2);
+  std::string other;
+  for (int i = 0; i < 100; ++i) {
+    const std::string candidate = "co" + std::to_string(i);
+    if (candidate != "k1" &&
+        map.ShardOfKeyText(candidate) == map.ShardOfKeyText("k1")) {
+      other = candidate;
+      break;
+    }
+  }
+  ASSERT_FALSE(other.empty());
+  Result<RouteDecision> d = Route("?- c[p(k1 : a -R-> v)] << opt, c[p(" +
+                                      other + " : a -S-> w)] << opt.",
+                                  taint, map);
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_EQ(d->kind, RouteDecision::Kind::kPoint);
+  EXPECT_EQ(d->shard, map.ShardOfKeyText("k1"));
+}
+
+TEST(RouteGoalTest, CrossShardGroundJoinIsRefused) {
+  const RoutingAnalysis taint = MustAnalyze(kLattice);
+  const ShardMap map(2);
+  std::string other;
+  for (int i = 0; i < 100; ++i) {
+    const std::string candidate = "xs" + std::to_string(i);
+    if (map.ShardOfKeyText(candidate) != map.ShardOfKeyText("k1")) {
+      other = candidate;
+      break;
+    }
+  }
+  ASSERT_FALSE(other.empty());
+  Result<RouteDecision> d = Route("?- c[p(k1 : a -R-> v)] << opt, c[p(" +
+                                      other + " : a -S-> w)] << opt.",
+                                  taint, map);
+  ASSERT_FALSE(d.ok());
+  EXPECT_TRUE(d.status().IsInvalidArgument()) << d.status();
+}
+
+TEST(RouteGoalTest, MixedGroundAndVariableKeysAreRefused) {
+  const RoutingAnalysis taint = MustAnalyze(kLattice);
+  Result<RouteDecision> d = Route(
+      "?- c[p(k1 : a -R-> v)] << opt, c[p(K : a -S-> w)] << opt.", taint,
+      ShardMap(4));
+  ASSERT_FALSE(d.ok());
+  EXPECT_TRUE(d.status().IsInvalidArgument()) << d.status();
+}
+
+TEST(PartitionSourceTest, EveryClauseLandsExactlyWhereItBelongs) {
+  const std::string source = std::string(kLattice) +
+                             "u[p(k1 : a -u-> v)].\n"
+                             "u[p(k2 : a -u-> w)].\n"
+                             "c[p(k1 : a -c-> t)] :- q(j).\n"
+                             "s[p(K : a -u-> v)] :- c[p(K : a -c-> t)] << "
+                             "cau.\n"
+                             "q(j).\n"
+                             "?- c[p(k1 : a -R-> v)] << opt.\n";
+  const ShardMap map(3);
+  Result<std::vector<std::string>> parts = PartitionSource(source, map);
+  ASSERT_TRUE(parts.ok()) << parts.status();
+  ASSERT_EQ(parts->size(), 3u);
+
+  size_t total_ground = 0;
+  for (size_t i = 0; i < parts->size(); ++i) {
+    // Each part must itself be a valid database, with Lambda, Pi, and
+    // stored queries replicated and the anchored rule everywhere.
+    ml::Database db = MustParse((*parts)[i]);
+    EXPECT_EQ(db.lambda.size(), 5u) << "shard " << i;
+    EXPECT_EQ(db.pi.size(), 1u) << "shard " << i;
+    EXPECT_EQ(db.queries.size(), 1u) << "shard " << i;
+    size_t replicated = 0;
+    for (const ml::MlClause& clause : db.sigma) {
+      Result<std::optional<size_t>> owner =
+          ShardOfSigmaClause(clause, RoutingAnalysis(), map);
+      ASSERT_TRUE(owner.ok()) << owner.status();
+      if (owner->has_value()) {
+        EXPECT_EQ(**owner, i) << "clause on the wrong shard: "
+                              << clause.ToString();
+        ++total_ground;
+      } else {
+        ++replicated;
+      }
+    }
+    EXPECT_EQ(replicated, 1u) << "shard " << i;
+  }
+  EXPECT_EQ(total_ground, 3u);  // k1 fact, k2 fact, k1 rule
+}
+
+TEST(PartitionSourceTest, UnshardableSourceFailsLoudly) {
+  Result<std::vector<std::string>> parts = PartitionSource(
+      std::string(kLattice) + "s[p(K : a -s-> v)] :- q(K).\nq(j).\n",
+      ShardMap(2));
+  ASSERT_FALSE(parts.ok());
+  EXPECT_TRUE(parts.status().IsInvalidProgram()) << parts.status();
+}
+
+}  // namespace
+}  // namespace multilog::sharding

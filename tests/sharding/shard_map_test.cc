@@ -1,0 +1,74 @@
+// The shard map's contract: the hash is stable (fixed known vectors,
+// not just self-consistency), the key is the *rendered text* of the
+// entity key, and every key lands on a valid shard.
+
+#include "sharding/shard_map.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "datalog/term.h"
+
+namespace multilog::sharding {
+namespace {
+
+TEST(StableHash64, MatchesFnv1aReferenceVectors) {
+  // Published FNV-1a 64-bit vectors. If these ever change, every
+  // existing deployment's data placement silently breaks - that is the
+  // regression this test exists to catch.
+  EXPECT_EQ(StableHash64(""), 14695981039346656037ull);
+  EXPECT_EQ(StableHash64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(StableHash64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(StableHash64, SensitiveToEveryByte) {
+  EXPECT_NE(StableHash64("k1"), StableHash64("k2"));
+  EXPECT_NE(StableHash64("k1"), StableHash64("K1"));
+  EXPECT_NE(StableHash64("ab"), StableHash64("ba"));
+}
+
+TEST(ShardMap, ZeroShardsClampsToOne) {
+  const ShardMap map(0);
+  EXPECT_EQ(map.num_shards(), 1u);
+  EXPECT_EQ(map.ShardOfKeyText("anything"), 0u);
+}
+
+TEST(ShardMap, ShardIsAlwaysInRangeAndDeterministic) {
+  const ShardMap map(5);
+  for (int i = 0; i < 1000; ++i) {
+    const std::string key = "entity" + std::to_string(i);
+    const size_t shard = map.ShardOfKeyText(key);
+    EXPECT_LT(shard, 5u);
+    EXPECT_EQ(shard, map.ShardOfKeyText(key));  // stable across calls
+  }
+}
+
+TEST(ShardMap, EveryShardOwnsSomeKeys) {
+  const ShardMap map(4);
+  std::set<size_t> hit;
+  for (int i = 0; i < 1000; ++i) {
+    hit.insert(map.ShardOfKeyText("entity" + std::to_string(i)));
+  }
+  EXPECT_EQ(hit.size(), 4u);
+}
+
+TEST(ShardMap, ShardOfKeyHashesTheRenderedTerm) {
+  // The load-bearing property: placement follows the key's *text*, so
+  // every process (router, tools, future rebalancers) agrees without
+  // sharing a symbol table.
+  const ShardMap map(7);
+  EXPECT_EQ(map.ShardOfKey(datalog::Term::Sym("k1")),
+            map.ShardOfKeyText("k1"));
+  EXPECT_EQ(map.ShardOfKey(datalog::Term::Int(42)),
+            map.ShardOfKeyText("42"));
+}
+
+TEST(ShardMap, VersionDefaultsToOneAndIsCarried) {
+  EXPECT_EQ(ShardMap(3).version(), 1u);
+  EXPECT_EQ(ShardMap(3, 9).version(), 9u);
+}
+
+}  // namespace
+}  // namespace multilog::sharding
