@@ -1,27 +1,46 @@
-// Load generator for multilogd: starts a server in-process over the
-// paper's D1 database, hammers it from concurrent client threads at
-// mixed clearances and execution modes, and reports QPS plus latency
-// percentiles from the server's own STATS surface.
+// Load generator for multilogd: starts servers in-process over the
+// paper's D1 database and drives three experiments through real
+// sockets against the epoll serving loop:
 //
-// Correctness rides along with the load: every response is
-// byte-compared against a direct single-threaded engine query, and a
-// deadline probe checks that kDeadlineExceeded comes back structured
-// without killing the connection. The run fails (non-zero exit) if a
-// single byte differs.
+//  1. mixed sweep - concurrent blocking clients at mixed clearances and
+//     execution modes; every response byte-compared against a direct
+//     single-threaded engine query, plus a deadline probe.
+//  2. soak - `--idle` connections (default 10000) held open and silent
+//     while `--hot` pipelined clients (default 100) each keep `--burst`
+//     tagged queries in flight; reports soak QPS and p99 with the idle
+//     herd parked in the epoll set, and byte-checks every hot answer.
+//  3. write throughput - `--writers` concurrent committers (default 8)
+//     against three durable servers: group commit with pipelined
+//     committers (the new stack), fsync-per-write with pipelining
+//     (isolates the group-commit contribution), and fsync-per-write
+//     with blocking round-trips (the seed's commit path - its protocol
+//     had no request ids, so seed clients could not pipeline writes).
+//     Reports all three rates and the grouped-vs-seed speedup;
+//     `--min-write-speedup X` turns that speedup into a pass/fail gate.
+//
+// The run fails (non-zero exit) if a single answer byte differs, the
+// deadline probe breaks, a write is lost, or the speedup gate misses.
 //
 //   $ bench_server_loadgen [--clients N] [--queries N] [--workers N]
-//                          [--json PATH]
+//                          [--idle N] [--hot N] [--burst N] [--rounds N]
+//                          [--writers N] [--writes N]
+//                          [--min-write-speedup X] [--json PATH]
 //
 // Machine-readable record: one JSON object written to --json, or to
 // $MULTILOG_SERVER_JSON, or to BENCH_server.json (in that order).
 // scripts/run_experiments.sh picks it up as the serving experiment.
 
+#include <sys/resource.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <algorithm>
 #include <map>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,6 +49,7 @@
 #include "multilog/engine.h"
 #include "server/client.h"
 #include "server/server.h"
+#include "storage/storage.h"
 
 namespace {
 
@@ -46,11 +66,163 @@ std::string AnswerBytes(const Json& response) {
   return answers == nullptr ? "<missing>" : answers->Serialize();
 }
 
+double WallMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+/// Raises RLIMIT_NOFILE to its hard cap and returns how many idle
+/// sessions fit: both socket ends live in this process (two fds each),
+/// and the hot set + server plumbing need headroom.
+size_t ClampIdleSessions(size_t requested, size_t hot) {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return requested;
+  if (lim.rlim_cur < lim.rlim_max) {
+    lim.rlim_cur = lim.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &lim);
+    ::getrlimit(RLIMIT_NOFILE, &lim);
+  }
+  const size_t overhead = 2 * hot + 512;
+  if (lim.rlim_cur != RLIM_INFINITY &&
+      static_cast<size_t>(lim.rlim_cur) > overhead) {
+    const size_t fit = (static_cast<size_t>(lim.rlim_cur) - overhead) / 2;
+    if (fit < requested) {
+      std::fprintf(stderr,
+                   "note: RLIMIT_NOFILE=%llu clamps idle sessions "
+                   "%zu -> %zu\n",
+                   static_cast<unsigned long long>(lim.rlim_cur), requested,
+                   fit);
+      return fit;
+    }
+  }
+  return requested;
+}
+
+constexpr size_t kWriteDepth = 8;  // pipelined asserts per writer
+
+struct WriteRunResult {
+  bool ok = false;
+  double writes_per_sec = 0;
+  uint64_t group_syncs = 0;
+};
+
+/// Durable write throughput: `writers` concurrent clients each commit
+/// `writes` distinct facts against a fresh durable server whose engine
+/// has group commit on or off, keeping `depth` asserts in flight per
+/// writer. The seed baseline is (group_commit=false, depth=1): the
+/// thread-per-connection seed fsynced every write under the db lock
+/// and its protocol had no request ids, so a seed client could only
+/// commit in blocking round-trips. Returns the aggregate rate.
+WriteRunResult RunWritePhase(bool group_commit, size_t writers,
+                             size_t writes, size_t workers, size_t depth) {
+  WriteRunResult result;
+  const std::string dir =
+      std::filesystem::temp_directory_path() /
+      ("multilog_loadgen_" + std::string(group_commit ? "grouped" : "solo") +
+       "_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+
+  Result<storage::Storage> st = storage::Storage::Open(dir, mls::D1Source());
+  if (!st.ok()) {
+    std::fprintf(stderr, "storage: %s\n", st.status().ToString().c_str());
+    return result;
+  }
+  ml::EngineOptions eopt;
+  eopt.group_commit = group_commit;
+  // This phase measures the *commit* path (WAL append + fsync
+  // schedule), so incremental view maintenance - identical work on
+  // both sides - is off to keep the fsync cost visible.
+  eopt.incremental = false;
+  Result<ml::Engine> engine = ml::Engine::FromStorage(&*st, eopt);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    return result;
+  }
+  // Enough workers that every writer's commit can be in flight at once
+  // AND appends keep landing while a full cohort of commits sits in
+  // SyncTo (one leader in fdatasync, the rest waiting on it) - group
+  // commit only pays when the next batch builds during this one's sync.
+  server::ServerOptions sopt;
+  sopt.num_workers = std::max(workers, 2 * writers);
+  sopt.max_in_flight = writers * kWriteDepth + 8;
+  server::Server srv(&*engine, sopt);
+  if (Status s = srv.Start(); !s.ok()) {
+    std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
+    return result;
+  }
+
+  std::atomic<size_t> failed{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(writers);
+  for (size_t w = 0; w < writers; ++w) {
+    threads.emplace_back([&, w] {
+      Result<Client> client = Client::Connect(srv.port());
+      if (!client.ok() || !client->Hello("s").ok()) {
+        failed.fetch_add(writes);
+        return;
+      }
+      // Keep `depth` asserts in flight; depth 1 degenerates to the
+      // seed's lock-step round-trips.
+      size_t sent = 0, done = 0;
+      while (done < writes) {
+        while (sent < writes && sent - done < depth) {
+          const std::string entity =
+              "w" + std::to_string(w) + "x" + std::to_string(sent);
+          if (!client
+                   ->SendAssert(static_cast<int64_t>(sent),
+                                "s[p(" + entity + " : a -s-> " + entity +
+                                    ")].")
+                   .ok()) {
+            failed.fetch_add(1);
+          }
+          ++sent;
+        }
+        Result<Json> r = client->ReadResponse();
+        if (!r.ok() || !r->GetBool("ok", false)) failed.fetch_add(1);
+        ++done;
+      }
+      client->Bye();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_ms = WallMs(start);
+
+  {
+    Result<Client> probe = Client::Connect(srv.port());
+    if (probe.ok()) {
+      Result<Json> stats = probe->Stats();
+      if (stats.ok()) {
+        const Json* storage_stats = stats->Find("stats")->Find("storage");
+        if (storage_stats != nullptr) {
+          result.group_syncs =
+              static_cast<uint64_t>(storage_stats->GetInt("group_syncs"));
+        }
+      }
+    }
+  }
+  srv.Stop();
+  std::filesystem::remove_all(dir);
+
+  result.ok = failed.load() == 0;
+  result.writes_per_sec =
+      static_cast<double>(writers * writes) / (wall_ms / 1000.0);
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   size_t clients = 8;
   size_t queries_per_client = 200;
+  size_t idle_sessions = 10000;
+  size_t hot_clients = 100;
+  size_t burst = 16;    // pipelined queries in flight per hot client
+  size_t rounds = 5;    // bursts each hot client fires
+  size_t writers = 8;
+  size_t writes_per_writer = 64;
+  double min_write_speedup = 0;  // 0 = report only, no gate
   server::ServerOptions options;
   options.num_workers = 4;
   std::string json_path;
@@ -65,13 +237,29 @@ int main(int argc, char** argv) {
       queries_per_client = static_cast<size_t>(std::atol(next()));
     } else if (arg == "--workers") {
       options.num_workers = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--idle") {
+      idle_sessions = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--hot") {
+      hot_clients = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--burst") {
+      burst = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--rounds") {
+      rounds = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--writers") {
+      writers = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--writes") {
+      writes_per_writer = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--min-write-speedup") {
+      min_write_speedup = std::atof(next());
     } else if (arg == "--json") {
       json_path = next();
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--clients N] [--queries N] [--workers N] "
-                   "[--json PATH]\n",
-                   argv[0]);
+      std::fprintf(
+          stderr,
+          "usage: %s [--clients N] [--queries N] [--workers N] [--idle N] "
+          "[--hot N] [--burst N] [--rounds N] [--writers N] [--writes N] "
+          "[--min-write-speedup X] [--json PATH]\n",
+          argv[0]);
       return 2;
     }
   }
@@ -83,11 +271,6 @@ int main(int argc, char** argv) {
   Result<ml::Engine> engine = ml::Engine::FromSource(mls::D1Source());
   if (!engine.ok()) {
     std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
-    return 1;
-  }
-  server::Server srv(&*engine, options);
-  if (Status s = srv.Start(); !s.ok()) {
-    std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
     return 1;
   }
 
@@ -107,6 +290,13 @@ int main(int argc, char** argv) {
       for (const auto& a : r->answers) answers.Push(Json::Str(a.ToString()));
       expected[std::string(level) + "/" + kModes[m]] = answers.Serialize();
     }
+  }
+
+  // ---- Phase 1: mixed blocking sweep -------------------------------
+  server::Server srv(&*engine, options);
+  if (Status s = srv.Start(); !s.ok()) {
+    std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
+    return 1;
   }
 
   std::atomic<size_t> mismatches{0};
@@ -149,9 +339,7 @@ int main(int argc, char** argv) {
     });
   }
   for (std::thread& t : threads) t.join();
-  const double wall_ms = std::chrono::duration<double, std::milli>(
-                             std::chrono::steady_clock::now() - start)
-                             .count();
+  const double wall_ms = WallMs(start);
 
   // Percentiles come from the server's own histogram via STATS.
   double p50 = 0, p95 = 0, p99 = 0, mean = 0;
@@ -177,16 +365,135 @@ int main(int argc, char** argv) {
 
   const size_t total = clients * queries_per_client;
   const double qps = total / (wall_ms / 1000.0);
-  const bool byte_identical = mismatches.load() == 0 && errors.load() == 0;
-  const bool deadline_ok = deadline_probe_failures.load() == 0;
   std::printf(
       "server_loadgen: %zu clients x %zu queries, %zu workers\n"
       "  wall %.1f ms, %.0f qps, latency mean %.3f ms "
-      "p50 %.3f p95 %.3f p99 %.3f (n=%llu)\n"
-      "  byte-identical answers: %s, deadline probe: %s\n",
+      "p50 %.3f p95 %.3f p99 %.3f (n=%llu)\n",
       clients, queries_per_client, options.num_workers, wall_ms, qps, mean,
-      p50, p95, p99, static_cast<unsigned long long>(recorded),
-      byte_identical ? "yes" : "NO", deadline_ok ? "ok" : "FAILED");
+      p50, p95, p99, static_cast<unsigned long long>(recorded));
+
+  // ---- Phase 2: soak - idle herd + hot pipelined set ---------------
+  idle_sessions = ClampIdleSessions(idle_sessions, hot_clients);
+  server::ServerOptions soak_options = options;
+  soak_options.max_connections = idle_sessions + hot_clients + 8;
+  soak_options.max_in_flight = hot_clients * burst + 8;
+  server::Server soak_srv(&*engine, soak_options);
+  if (Status s = soak_srv.Start(); !s.ok()) {
+    std::fprintf(stderr, "soak start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::vector<Client> idle;
+  idle.reserve(idle_sessions);
+  for (size_t i = 0; i < idle_sessions; ++i) {
+    Result<Client> c = Client::Connect(soak_srv.port());
+    if (!c.ok()) {
+      std::fprintf(stderr, "idle connect %zu: %s\n", i,
+                   c.status().ToString().c_str());
+      return 1;
+    }
+    idle.push_back(std::move(c).value());
+  }
+
+  std::atomic<size_t> soak_errors{0};
+  std::atomic<size_t> soak_mismatches{0};
+  const std::string& hot_expected = expected["s/reduced"];
+  const auto soak_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> hot;
+  hot.reserve(hot_clients);
+  for (size_t h = 0; h < hot_clients; ++h) {
+    hot.emplace_back([&, h] {
+      Result<Client> client = Client::Connect(soak_srv.port());
+      if (!client.ok() || !client->Hello("s").ok()) {
+        soak_errors.fetch_add(rounds * burst);
+        return;
+      }
+      for (size_t round = 0; round < rounds; ++round) {
+        for (size_t i = 0; i < burst; ++i) {
+          if (!client->SendQuery(static_cast<int64_t>(h * 100000 +
+                                                      round * 1000 + i),
+                                 kGoal)
+                   .ok()) {
+            soak_errors.fetch_add(1);
+          }
+        }
+        std::set<int64_t> seen;
+        for (size_t i = 0; i < burst; ++i) {
+          Result<Json> r = client->ReadResponse();
+          if (!r.ok() || !r->GetBool("ok", false)) {
+            soak_errors.fetch_add(1);
+            continue;
+          }
+          const Json* id = r->Find("id");
+          if (id == nullptr || !seen.insert(id->int_value()).second ||
+              AnswerBytes(*r) != hot_expected) {
+            soak_mismatches.fetch_add(1);
+          }
+        }
+      }
+      client->Bye();
+    });
+  }
+  for (std::thread& t : hot) t.join();
+  const double soak_wall_ms = WallMs(soak_start);
+
+  double soak_p99 = 0;
+  {
+    Result<Client> probe = Client::Connect(soak_srv.port());
+    if (probe.ok()) {
+      Result<Json> stats = probe->Stats();
+      if (stats.ok()) {
+        const Json* lat =
+            stats->Find("stats")->Find("queries")->Find("latency");
+        if (lat != nullptr) soak_p99 = lat->Find("p99_ms")->number_value();
+      }
+    }
+  }
+  idle.clear();
+  soak_srv.Stop();
+
+  const size_t soak_total = hot_clients * burst * rounds;
+  const double soak_qps = soak_total / (soak_wall_ms / 1000.0);
+  std::printf(
+      "  soak: %zu idle + %zu hot (burst %zu x %zu rounds): "
+      "%.0f qps, p99 %.3f ms\n",
+      idle_sessions, hot_clients, burst, rounds, soak_qps, soak_p99);
+
+  // ---- Phase 3: write throughput vs the seed commit path -----------
+  // New stack: group commit + pipelined committers. Seed baseline:
+  // fsync-per-write, blocking round-trips (the seed protocol had no
+  // request ids, so its clients could not pipeline writes). A third
+  // run isolates the group-commit contribution: ungrouped but with the
+  // new pipelining, so the delta to `seed` is pipelining alone and the
+  // delta from it to `grouped` is the shared-fsync schedule.
+  const WriteRunResult grouped = RunWritePhase(
+      true, writers, writes_per_writer, options.num_workers, kWriteDepth);
+  const WriteRunResult ungrouped_pipelined = RunWritePhase(
+      false, writers, writes_per_writer, options.num_workers, kWriteDepth);
+  const WriteRunResult seed = RunWritePhase(
+      false, writers, writes_per_writer, options.num_workers, /*depth=*/1);
+  const double speedup =
+      seed.writes_per_sec > 0 ? grouped.writes_per_sec / seed.writes_per_sec
+                              : 0;
+  std::printf(
+      "  writes (%zu writers x %zu): grouped %.0f/s (%llu syncs), "
+      "ungrouped-pipelined %.0f/s, seed (blocking, fsync-per-write) "
+      "%.0f/s, speedup vs seed %.2fx\n",
+      writers, writes_per_writer, grouped.writes_per_sec,
+      static_cast<unsigned long long>(grouped.group_syncs),
+      ungrouped_pipelined.writes_per_sec, seed.writes_per_sec, speedup);
+
+  const bool byte_identical = mismatches.load() == 0 && errors.load() == 0 &&
+                              soak_mismatches.load() == 0 &&
+                              soak_errors.load() == 0;
+  const bool deadline_ok = deadline_probe_failures.load() == 0;
+  const bool writes_ok = grouped.ok && ungrouped_pipelined.ok && seed.ok;
+  const bool speedup_ok =
+      min_write_speedup <= 0 || speedup >= min_write_speedup;
+  std::printf(
+      "  byte-identical answers: %s, deadline probe: %s, writes: %s%s\n",
+      byte_identical ? "yes" : "NO", deadline_ok ? "ok" : "FAILED",
+      writes_ok ? "ok" : "FAILED",
+      speedup_ok ? "" : ", SPEEDUP GATE MISSED");
 
   Json record = Json::Object();
   record.Set("bench", Json::Str("server_loadgen"));
@@ -201,10 +508,35 @@ int main(int argc, char** argv) {
   record.Set("p99_ms", Json::Double(p99));
   record.Set("byte_identical", Json::Bool(byte_identical));
   record.Set("deadline_ok", Json::Bool(deadline_ok));
+  Json soak_json = Json::Object();
+  soak_json.Set("idle_sessions",
+                Json::Int(static_cast<int64_t>(idle_sessions)));
+  soak_json.Set("hot_clients", Json::Int(static_cast<int64_t>(hot_clients)));
+  soak_json.Set("burst", Json::Int(static_cast<int64_t>(burst)));
+  soak_json.Set("queries", Json::Int(static_cast<int64_t>(soak_total)));
+  soak_json.Set("wall_ms", Json::Double(soak_wall_ms));
+  soak_json.Set("qps", Json::Double(soak_qps));
+  soak_json.Set("p99_ms", Json::Double(soak_p99));
+  record.Set("soak", std::move(soak_json));
+  Json writes_json = Json::Object();
+  writes_json.Set("writers", Json::Int(static_cast<int64_t>(writers)));
+  writes_json.Set("writes_per_writer",
+                  Json::Int(static_cast<int64_t>(writes_per_writer)));
+  writes_json.Set("pipeline_depth",
+                  Json::Int(static_cast<int64_t>(kWriteDepth)));
+  writes_json.Set("grouped_writes_per_sec",
+                  Json::Double(grouped.writes_per_sec));
+  writes_json.Set("ungrouped_pipelined_writes_per_sec",
+                  Json::Double(ungrouped_pipelined.writes_per_sec));
+  writes_json.Set("seed_writes_per_sec", Json::Double(seed.writes_per_sec));
+  writes_json.Set("grouped_syncs",
+                  Json::Int(static_cast<int64_t>(grouped.group_syncs)));
+  writes_json.Set("speedup_vs_seed", Json::Double(speedup));
+  record.Set("writes", std::move(writes_json));
   std::ofstream out(json_path);
   if (out) {
     out << record.Serialize() << "\n";
     std::printf("  wrote %s\n", json_path.c_str());
   }
-  return byte_identical && deadline_ok ? 0 : 1;
+  return byte_identical && deadline_ok && writes_ok && speedup_ok ? 0 : 1;
 }

@@ -34,7 +34,15 @@ for b in build/bench/*; do
   [ -x "$b" ] && MULTILOG_SCALING_JSON="$scaling_lines" "$b"
 done 2>&1 | tee bench_output.txt
 
+# Serving: mixed sweep + connection soak (10k idle sessions parked in
+# the epoll set, clamped to the fd limit, while 100 hot clients keep 16
+# tagged queries pipelined each) + durable write throughput. Group
+# commit with pipelined committers must beat the seed's commit path
+# (fsync-per-write, blocking round-trips) by >= 2x for 8 writers, with
+# byte-identical answers throughout.
 build/bench/bench_server_loadgen --clients 8 --queries 200 --workers 4 \
+  --idle 10000 --hot 100 --burst 16 --rounds 5 \
+  --writers 8 --writes 128 --min-write-speedup 2 \
   --json BENCH_server.json 2>&1 | tee -a bench_output.txt
 
 build/bench/bench_storage_recovery --records 2000 \

@@ -108,6 +108,10 @@ bool MagicPlansDefault() {
   return std::getenv("MULTILOG_NO_MAGIC") == nullptr;
 }
 
+bool GroupCommitDefault() {
+  return std::getenv("MULTILOG_NO_GROUP_COMMIT") == nullptr;
+}
+
 Result<std::string> RoutingKeyOfFact(std::string_view fact_source) {
   MULTILOG_ASSIGN_OR_RETURN(MAtom fact, ParseFactAtom(fact_source));
   if (!fact.key.IsGround()) {
@@ -589,11 +593,19 @@ Result<WriteResult> Engine::Mutate(std::string_view fact_source,
   // and neither Sigma nor any cache has changed.
   WriteResult result;
   const std::string canonical = MlClause{fact, {}}.ToString();
+  // Group commit: append unsynced here (under the database lock, so
+  // tickets order with seqnos), apply in memory, then release the lock
+  // and join a shared fdatasync before acknowledging. sync_ticket != 0
+  // marks the deferred-durability path.
+  uint64_t sync_ticket = 0;
   if (storage_ != nullptr) {
-    Result<uint64_t> seq = retract ? storage_->AppendRetract(level, canonical)
-                                   : storage_->AppendAssert(level, canonical);
+    const bool group = options_.group_commit;
+    Result<uint64_t> seq =
+        retract ? storage_->AppendRetract(level, canonical, /*sync=*/!group)
+                : storage_->AppendAssert(level, canonical, /*sync=*/!group);
     if (!seq.ok()) return seq.status();
     result.seqno = seq.value();
+    if (group) sync_ticket = storage_->last_append_ticket();
   } else {
     result.seqno = ++mem_seqno_;
   }
@@ -628,6 +640,17 @@ Result<WriteResult> Engine::Mutate(std::string_view fact_source,
   // under their dominance guards).
   PrunePlans(level);
   caches_->applied_seqno.store(result.seqno, kRelaxed);
+  if (sync_ticket != 0) {
+    // Durability outside the database lock: queries proceed while this
+    // writer (and every concurrent one) rides a single fdatasync. An
+    // fsync failure is reported to this committer even though the
+    // in-memory apply stands - the client was never acked, and a crash
+    // may lose the record; a client that got an error must not assume
+    // the write exists.
+    db_lock.unlock();
+    trace::Span sync_span(trace::Stage::kWalAppend);
+    MULTILOG_RETURN_IF_ERROR(storage_->SyncTo(sync_ticket));
+  }
   return result;
 }
 
@@ -1002,6 +1025,7 @@ StorageCounters Engine::StorageStats() const {
   c.wal_records = storage_->wal_records();
   c.wal_bytes = storage_->wal_bytes();
   c.checkpoints = storage_->checkpoints();
+  c.group_syncs = storage_->group_syncs();
   if (!storage_->recovered().data_loss.ok()) {
     c.recovery_data_loss = storage_->recovered().data_loss.ToString();
   }

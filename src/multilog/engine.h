@@ -46,6 +46,12 @@ bool IncrementalMaintenanceDefault();
 /// bottom-up path).
 bool MagicPlansDefault();
 
+/// The construction-time default for EngineOptions::group_commit: true
+/// unless the environment variable MULTILOG_NO_GROUP_COMMIT is set (the
+/// CI ablation leg and `multilogd --no-group-commit` force one fsync
+/// per committed write through it).
+bool GroupCommitDefault();
+
 /// The routing key of one mutation, without an engine: parses
 /// `fact_source` exactly as Assert/Retract would (one bodyless ground
 /// m-fact) and returns the entity key's canonical rendering
@@ -86,6 +92,17 @@ struct EngineOptions {
   /// EngineCounters::magic_fallbacks. Disable for ablation or as a
   /// safety valve.
   bool magic = MagicPlansDefault();
+  /// Group commit on the durable path: a mutation appends its WAL
+  /// record unsynced under the database lock, then releases the lock
+  /// and joins a shared fdatasync (Storage::SyncTo) before
+  /// acknowledging - so N concurrent writers pay ~1 fsync, not N. The
+  /// acknowledgement contract is unchanged (no reply until the record
+  /// is durable); what changes is that the in-memory database applies
+  /// the write *before* it is durable, so a concurrent reader can
+  /// observe a write whose committer has not yet been acked - and a
+  /// crash in that window loses a write nobody was told succeeded.
+  /// Disable for ablation or strict log-before-apply ordering.
+  bool group_commit = GroupCommitDefault();
 };
 
 /// One query's outcome. `answers[i]` pairs with `proofs[i]` when proofs
@@ -147,6 +164,9 @@ struct StorageCounters {
   uint64_t wal_records = 0;
   uint64_t wal_bytes = 0;
   uint64_t checkpoints = 0;
+  /// Group-commit fdatasyncs performed (each covering >= 1 append);
+  /// 0 when group commit is disabled.
+  uint64_t group_syncs = 0;
   /// Highest mutation seqno applied to the in-memory database (set for
   /// in-memory engines too). On a primary this trails next_seqno by
   /// exactly one; on a replica it is the staleness bound clients read.

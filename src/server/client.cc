@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -68,6 +69,10 @@ Result<Client> Client::Connect(const std::string& host, uint16_t port) {
     ::close(fd);
     return s;
   }
+  // Frames are small; Nagle would hold a pipelined burst hostage to
+  // the peer's delayed ACK.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return Client(fd);
 }
 
@@ -126,6 +131,30 @@ Client& Client::operator=(Client&& other) noexcept {
 
 Client::~Client() {
   if (fd_ >= 0) ::close(fd_);
+}
+
+Status Client::SendQuery(int64_t id, const std::string& goal,
+                         int64_t deadline_ms, std::string_view mode) {
+  Json req = Json::Object();
+  req.Set("cmd", Json::Str("query"));
+  req.Set("goal", Json::Str(goal));
+  req.Set("id", Json::Int(id));
+  if (deadline_ms >= 0) req.Set("deadline_ms", Json::Int(deadline_ms));
+  if (!mode.empty()) req.Set("mode", Json::Str(std::string(mode)));
+  return SendRaw(req.Serialize());
+}
+
+Status Client::SendAssert(int64_t id, const std::string& fact) {
+  Json req = Json::Object();
+  req.Set("cmd", Json::Str("assert"));
+  req.Set("fact", Json::Str(fact));
+  req.Set("id", Json::Int(id));
+  return SendRaw(req.Serialize());
+}
+
+Result<Json> Client::ReadResponse() {
+  MULTILOG_ASSIGN_OR_RETURN(std::string payload, ReadRaw());
+  return Json::Parse(payload);
 }
 
 Status Client::SendRaw(std::string_view payload) {

@@ -86,6 +86,26 @@ class Client {
   Result<Json> ShardMap();
   Status Bye();
 
+  // -- pipelining --
+  //
+  // The server lets a session keep several `id`-tagged requests in
+  // flight and answers them possibly out of order (each response
+  // echoes the tag). These split RoundTrip into its halves: issue
+  // SendQuery/SendAssert as fast as the socket takes them, then match
+  // ReadResponse results back by their "id". The blocking wrappers
+  // above still work on the same connection as long as nothing is in
+  // flight when they run.
+
+  /// Sends one id-tagged query without waiting for the response.
+  Status SendQuery(int64_t id, const std::string& goal,
+                   int64_t deadline_ms = -1, std::string_view mode = "");
+  /// Sends one id-tagged assert without waiting for the response.
+  Status SendAssert(int64_t id, const std::string& fact);
+  /// Reads the next response frame, whatever request it answers. The
+  /// caller dispatches on its "id"; "ok":false responses are returned
+  /// as-is (transport failures are non-OK Results).
+  Result<Json> ReadResponse();
+
   /// Sends raw bytes as one frame, no JSON involved - the robustness
   /// tests use this to inject malformed payloads.
   Status SendRaw(std::string_view payload);

@@ -102,6 +102,8 @@ Json ServerMetrics::ToJson() const {
                             connections_rejected.load())));
   conns.Set("open", Json::Int(static_cast<int64_t>(
                         connections_open.load())));
+  conns.Set("reaped", Json::Int(static_cast<int64_t>(
+                          sessions_reaped.load())));
   root.Set("connections", std::move(conns));
 
   Json reqs = Json::Object();
@@ -112,6 +114,8 @@ Json ServerMetrics::ToJson() const {
            Json::Int(static_cast<int64_t>(rejected_malformed.load())));
   reqs.Set("overloaded",
            Json::Int(static_cast<int64_t>(rejected_overloaded.load())));
+  reqs.Set("response_write_errors",
+           Json::Int(static_cast<int64_t>(response_write_errors.load())));
   root.Set("requests", std::move(reqs));
 
   Json queries = Json::Object();
@@ -211,6 +215,9 @@ std::string ServerMetrics::PrometheusText() const {
   PromCounter(&out, "multilog_connections_open",
               "Connections currently open.", connections_open.load(),
               "gauge");
+  PromCounter(&out, "multilog_sessions_reaped_total",
+              "Session states freed by the event loop.",
+              sessions_reaped.load());
   PromCounter(&out, "multilog_requests_total",
               "Well-framed requests received.", requests_total.load());
   PromCounter(&out, "multilog_requests_rejected_oversized_total",
@@ -236,6 +243,9 @@ std::string ServerMetrics::PrometheusText() const {
               writes_ok.load());
   PromCounter(&out, "multilog_write_errors_total",
               "Mutations rejected or failed.", write_errors.load());
+  PromCounter(&out, "multilog_response_write_errors_total",
+              "Response frames that failed to send (session closed).",
+              response_write_errors.load());
 
   PromFamily(&out, "multilog_queries_by_level_total",
              "Queries answered, by session level and exec mode.", "counter");

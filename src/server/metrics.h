@@ -71,6 +71,12 @@ class ServerMetrics {
   std::atomic<uint64_t> connections_accepted{0};
   std::atomic<uint64_t> connections_rejected{0};  // admission control
   std::atomic<uint64_t> connections_open{0};      // gauge
+  /// Sessions whose state the event loop has freed (on close or on
+  /// hand-off to a replication stream). Open sessions ==
+  /// accepted - reaped: under connection churn this counter must keep
+  /// pace with accepted, or the server is leaking session state - the
+  /// exact bug the churn regression test pins.
+  std::atomic<uint64_t> sessions_reaped{0};
 
   // -- request accounting --
   std::atomic<uint64_t> requests_total{0};     // well-framed requests
@@ -87,6 +93,11 @@ class ServerMetrics {
   // -- write outcomes (assert / retract / checkpoint) --
   std::atomic<uint64_t> writes_ok{0};
   std::atomic<uint64_t> write_errors{0};  // rejected or failed mutations
+
+  /// Response frames the loop failed to deliver (send() error on a
+  /// session's socket). Each failure also closes the session: a peer
+  /// that cannot take responses must not keep submitting work.
+  std::atomic<uint64_t> response_write_errors{0};
 
   /// Records one completed engine query. `mode_index` is the ExecMode's
   /// integer value (operational/reduced/check-both).

@@ -81,7 +81,9 @@ int Usage(const char* argv0) {
       "          [--no-incremental]    (invalidate caches on writes instead\n"
       "                                 of delta-maintaining them)\n"
       "          [--no-magic]          (disable goal-directed magic-set\n"
-      "                                 plans; always evaluate bottom-up)\n",
+      "                                 plans; always evaluate bottom-up)\n"
+      "          [--no-group-commit]   (fsync each write alone instead of\n"
+      "                                 batching concurrent commits)\n",
       argv0);
   return 2;
 }
@@ -185,6 +187,8 @@ int main(int argc, char** argv) {
       engine_options.incremental = false;
     } else if (arg == "--no-magic") {
       engine_options.magic = false;
+    } else if (arg == "--no-group-commit") {
+      engine_options.group_commit = false;
     } else if (arg == "--mode") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);

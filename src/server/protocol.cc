@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 namespace multilog::server {
@@ -69,6 +70,86 @@ Result<std::optional<std::string>> ReadFrame(int fd, size_t max_bytes) {
                               " bytes)");
   }
   return std::optional<std::string>(std::move(payload));
+}
+
+void FrameDecoder::Feed(const char* data, size_t n) {
+  if (failed_) return;  // damaged streams buffer nothing further
+  // Compact before growing: pos_ only ever advances, so without this a
+  // long-lived pipelined session would accumulate every frame it ever
+  // received.
+  if (pos_ > 0 && (pos_ == buf_.size() || pos_ >= 4096)) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+Result<std::optional<std::string>> FrameDecoder::Next() {
+  if (failed_) return fail_status_;
+  auto fail = [this](Status s) -> Status {
+    failed_ = true;
+    fail_status_ = s;
+    return fail_status_;
+  };
+  if (!in_payload_) {
+    // Header: decimal digits then '\n'. Same acceptance rules (and
+    // error wording) as the blocking ReadFrame.
+    while (pos_ < buf_.size()) {
+      const char c = buf_[pos_];
+      ++pos_;
+      if (c == '\n') {
+        if (header_.empty()) {
+          return fail(
+              Status::ParseError("malformed frame header: empty length"));
+        }
+        errno = 0;
+        const unsigned long long declared =
+            std::strtoull(header_.c_str(), nullptr, 10);
+        if (errno == ERANGE || declared > kAbsoluteMaxFrameBytes ||
+            declared > max_bytes_) {
+          return fail(Status::ResourceExhausted(
+              "frame of " + header_ + " bytes exceeds the request size "
+              "limit of " + std::to_string(max_bytes_) + " bytes"));
+        }
+        payload_len_ = static_cast<size_t>(declared);
+        in_payload_ = true;
+        break;
+      }
+      if (c < '0' || c > '9') {
+        return fail(Status::ParseError(
+            "malformed frame header: expected a decimal length"));
+      }
+      header_.push_back(c);
+      if (header_.size() > 20) {
+        return fail(
+            Status::ParseError("malformed frame header: length too long"));
+      }
+    }
+    if (!in_payload_) return std::optional<std::string>();  // need bytes
+  }
+  if (buf_.size() - pos_ < payload_len_) {
+    return std::optional<std::string>();  // need bytes
+  }
+  std::string payload = buf_.substr(pos_, payload_len_);
+  pos_ += payload_len_;
+  header_.clear();
+  in_payload_ = false;
+  payload_len_ = 0;
+  return std::optional<std::string>(std::move(payload));
+}
+
+Status FrameDecoder::OnEof() const {
+  if (failed_) return fail_status_;
+  if (in_payload_) {
+    return Status::ParseError(
+        "connection closed inside a frame payload (" +
+        std::to_string(buf_.size() - pos_) + " of " +
+        std::to_string(payload_len_) + " bytes)");
+  }
+  if (!header_.empty() || pos_ < buf_.size()) {
+    return Status::ParseError("connection closed inside a frame header");
+  }
+  return Status::OK();
 }
 
 Status WriteFrame(int fd, std::string_view payload) {
@@ -172,6 +253,12 @@ Result<Request> ParseRequest(const Json& json) {
     return Status::InvalidArgument("request is missing a string 'cmd'");
   }
   Request req;
+  if (const Json* id = json.Find("id"); id != nullptr) {
+    if (!id->is_int()) {
+      return Status::InvalidArgument("'id' must be an integer");
+    }
+    req.id = id->int_value();
+  }
   const std::string& name = cmd->string_value();
   if (name == "hello") {
     req.cmd = Request::Cmd::kHello;
@@ -297,6 +384,13 @@ Result<Request> ParseRequest(const Json& json) {
     return req;
   }
   return Status::InvalidArgument("unknown command '" + name + "'");
+}
+
+std::optional<int64_t> ExtractRequestId(const Json& json) {
+  if (!json.is_object()) return std::nullopt;
+  const Json* id = json.Find("id");
+  if (id == nullptr || !id->is_int()) return std::nullopt;
+  return id->int_value();
 }
 
 Json ErrorResponse(const Status& status) {

@@ -19,9 +19,17 @@ namespace multilog::server {
 ///
 ///     <decimal byte count> '\n' <exactly that many bytes of UTF-8 JSON>
 ///
-/// in both directions; requests and responses alternate strictly (no
-/// pipelining). The full grammar, session rules, and limits are
-/// documented in DESIGN.md §11.
+/// in both directions. A client that waits for each response before
+/// sending the next request needs nothing more. A client may instead
+/// *pipeline*: tag each request with an optional integer `id` member
+/// and keep several in flight on one connection; the server echoes the
+/// `id` in the matching response, and tagged responses may complete
+/// out of order (queries run on a worker pool). Untagged pipelined
+/// requests are legal but indistinguishable, so only `id`-tagged
+/// requests should ever overlap. HELLO, BYE, and `replicate` stay
+/// ordered: the server defers them until every in-flight request on
+/// the session has completed. The full grammar, session rules, and
+/// limits are documented in DESIGN.md §11 and §18.
 ///
 /// Requests (the `cmd` member selects):
 ///   {"cmd":"hello","level":L,"mode":M?}     bind the session clearance
@@ -86,6 +94,53 @@ Result<std::optional<std::string>> ReadFrame(int fd, size_t max_bytes);
 /// Writes one frame (header + payload) to `fd`.
 Status WriteFrame(int fd, std::string_view payload);
 
+/// Incremental frame reassembly for nonblocking sockets: the event
+/// loop Feed()s whatever bytes arrived and Next() yields complete
+/// payloads as they close. Identical acceptance rules and error codes
+/// to the blocking ReadFrame above - the robustness corpus replays the
+/// same hostile byte streams against both - but the decoder never
+/// blocks and never loses bytes across calls, so a frame split at any
+/// byte boundary reassembles exactly.
+class FrameDecoder {
+ public:
+  /// `max_bytes` mirrors ServerOptions::max_request_bytes: a declared
+  /// length above it (or kAbsoluteMaxFrameBytes) is refused before any
+  /// payload byte is buffered.
+  explicit FrameDecoder(size_t max_bytes) : max_bytes_(max_bytes) {}
+
+  /// Appends newly received bytes to the reassembly buffer.
+  void Feed(const char* data, size_t n);
+
+  /// Extracts the next complete frame:
+  ///  - a payload when one whole frame is buffered,
+  ///  - nullopt when more bytes are needed (call Feed again),
+  ///  - ParseError / ResourceExhausted on framing damage, after which
+  ///    the stream cannot be resynchronized and the connection must
+  ///    close (further Next() calls repeat the error).
+  Result<std::optional<std::string>> Next();
+
+  /// True while buffered bytes sit mid-frame - EOF now means the peer
+  /// truncated a frame rather than closing at a boundary.
+  bool mid_frame() const {
+    return failed_ || in_payload_ || !header_.empty() || pos_ < buf_.size();
+  }
+
+  /// The status EOF deserves at this point: OK at a frame boundary,
+  /// otherwise the same ParseError ReadFrame reports for a stream cut
+  /// inside a header or payload.
+  Status OnEof() const;
+
+ private:
+  size_t max_bytes_;
+  std::string buf_;
+  size_t pos_ = 0;          // consumed prefix of buf_
+  std::string header_;      // digits of the in-progress header
+  bool in_payload_ = false; // header accepted, collecting payload_len_
+  size_t payload_len_ = 0;
+  bool failed_ = false;     // framing damage is terminal
+  Status fail_status_;
+};
+
 /// A parsed, schema-validated request.
 struct Request {
   enum class Cmd {
@@ -114,7 +169,16 @@ struct Request {
   uint64_t min_seqno = 0;    // query: bounded-staleness floor; 0 = any
   int64_t wait_ms = 0;       // query: how long to wait for min_seqno
   uint64_t from_seqno = 0;   // replicate: resume after this seqno
+  /// Pipelining tag: echoed verbatim as the response's "id" member.
+  /// Requests without one get untagged responses (strict
+  /// request/response clients never notice the feature exists).
+  std::optional<int64_t> id;
 };
+
+/// The "id" member of a request object, if it carries a valid one -
+/// usable even when ParseRequest rejects the rest of the request, so
+/// error responses to pipelined requests still land on the right tag.
+std::optional<int64_t> ExtractRequestId(const Json& json);
 
 /// Validates the JSON shape of a request (presence and types of the
 /// members each command requires). Lattice-dependent checks (does the

@@ -1,19 +1,24 @@
 #include "server/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <future>
 #include <iostream>
 #include <optional>
 #include <sstream>
+#include <utility>
 
 #include "common/cancel.h"
 #include "msql/executor.h"
@@ -31,21 +36,7 @@ uint64_t ElapsedMicros(std::chrono::steady_clock::time_point start) {
           .count());
 }
 
-/// Decrements a gauge on scope exit, whatever path leaves the scope.
-class GaugeGuard {
- public:
-  explicit GaugeGuard(std::atomic<uint64_t>* gauge) : gauge_(gauge) {}
-  ~GaugeGuard() {
-    if (gauge_ != nullptr) gauge_->fetch_sub(1, std::memory_order_acq_rel);
-  }
-  GaugeGuard(const GaugeGuard&) = delete;
-  GaugeGuard& operator=(const GaugeGuard&) = delete;
-
- private:
-  std::atomic<uint64_t>* gauge_;
-};
-
-/// size_t variant for the in-flight admission counter.
+/// size_t decrement-on-exit for the in-flight admission counter.
 class InFlightGuard {
  public:
   explicit InFlightGuard(std::atomic<size_t>* counter) : counter_(counter) {}
@@ -96,17 +87,96 @@ const trace::SpanNode* DominantSpan(const trace::SpanNode& root) {
   return best;
 }
 
+/// `<decimal byte count>\n<payload>` - the same frame WriteFrame emits,
+/// built as a string so the loop can buffer it for a nonblocking
+/// socket.
+std::string EncodeFrame(std::string_view payload) {
+  std::string frame = std::to_string(payload.size());
+  frame.push_back('\n');
+  frame.append(payload);
+  return frame;
+}
+
+/// The seed server's bounded-staleness failure message, verbatim - the
+/// event loop reports it from the parking path now, but clients (and
+/// tests) match on the text.
+Json MinSeqnoError(uint64_t applied, const Request& req) {
+  return ErrorResponse(Status::DeadlineExceeded(
+      "applied seqno " + std::to_string(applied) +
+      " has not reached min_seqno " + std::to_string(req.min_seqno) +
+      " within wait_ms=" + std::to_string(req.wait_ms)));
+}
+
+constexpr uint32_t kReadEvents = EPOLLIN | EPOLLHUP | EPOLLERR | EPOLLRDHUP;
+
 }  // namespace
 
-/// Per-connection state. Lives on the reader thread's stack; only that
-/// thread (and pool tasks it blocks on) ever touches it, so no locking.
-struct SessionState {
+struct Server::SqlHandle {
+  /// msql::Session is stateful; pipelined statements serialize here.
+  std::mutex mu;
+  msql::Session session;
+  explicit SqlHandle(const mls::BeliefModeRegistry* registry)
+      : session(registry) {}
+};
+
+struct Server::ParkedQuery {
+  Request req;
+  std::chrono::steady_clock::time_point give_up;
+  trace::Collector::Clock::time_point t_read;
+  trace::Collector::Clock::time_point t_parsed;
+};
+
+struct Server::Session {
+  explicit Session(size_t max_request_bytes) : decoder(max_request_bytes) {}
+
+  int fd = -1;
+  /// Monotonic across all sessions; completions carry it so a response
+  /// for a dead session never lands on the fd's next owner.
+  uint64_t gen = 0;
+  FrameDecoder decoder;
+
+  /// Undelivered response bytes: [wbuf_off, wbuf.size()) is pending.
+  std::string wbuf;
+  size_t wbuf_off = 0;
+
   bool hello_done = false;
   std::string level;
   ml::ExecMode mode = ml::ExecMode::kReduced;
-  /// Created at HELLO when the server has an SQL catalog; its user
-  /// context is locked to the session level (no read-up over the wire).
-  std::unique_ptr<msql::Session> sql;
+  std::shared_ptr<SqlHandle> sql;
+
+  /// Requests dispatched to the pool whose completions haven't been
+  /// consumed yet (includes stats/metrics; ordered commands wait on it).
+  size_t in_flight = 0;
+  std::vector<ParkedQuery> parked;
+
+  /// EOF or read error observed. The session lingers until in-flight
+  /// work and parked queries resolve, so their responses are still
+  /// attempted (and failures counted) - then it closes.
+  bool peer_gone = false;
+  /// Close as soon as in-flight work drains and wbuf flushes.
+  bool closing = false;
+  /// Read backpressure: wbuf exceeded the cap; EPOLLIN is off.
+  bool reading_paused = false;
+  /// BYE or replicate waiting for the session to drain (ordered).
+  std::optional<Request> deferred;
+
+  bool in_epoll = false;
+  uint32_t epoll_events = 0;
+};
+
+struct Server::Task {
+  int fd = -1;
+  uint64_t gen = 0;
+  Request req;
+  /// Session snapshot at dispatch: the task outlives the session if the
+  /// peer disconnects mid-query.
+  std::string level;
+  ml::ExecMode session_mode = ml::ExecMode::kReduced;
+  std::shared_ptr<SqlHandle> sql;
+  trace::Collector::Clock::time_point t_read;
+  trace::Collector::Clock::time_point t_parsed;
+  /// Whether this task holds one of the max_in_flight slots.
+  bool admitted = false;
 };
 
 Server::Server(ml::Engine* engine, ServerOptions options,
@@ -139,7 +209,7 @@ Status Server::Start() {
     listen_fd_ = -1;
     return s;
   }
-  if (::listen(listen_fd_, 128) < 0) {
+  if (::listen(listen_fd_, 512) < 0) {
     const Status s =
         Status::Internal(std::string("listen: ") + std::strerror(errno));
     ::close(listen_fd_);
@@ -150,219 +220,374 @@ Status Server::Start() {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
 
+  // The loop accepts in a drain-until-EAGAIN burst, so the listener
+  // must never block it.
+  const int flags = ::fcntl(listen_fd_, F_GETFL, 0);
+  ::fcntl(listen_fd_, F_SETFL, flags | O_NONBLOCK);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    const Status s = Status::Internal(std::string("epoll/eventfd: ") +
+                                      std::strerror(errno));
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    epoll_fd_ = wake_fd_ = -1;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
   pool_ = std::make_unique<ThreadPool>(options_.num_workers);
   stopping_.store(false);
-  accept_thread_ = std::thread(&Server::AcceptLoop, this);
+  draining_ = false;
+  loop_thread_ = std::thread(&Server::LoopMain, this);
   started_ = true;
   return Status::OK();
 }
 
 void Server::Stop() {
   if (!started_ || stopping_.exchange(true)) return;
-  // 1. No new sessions: unblock and retire the accept loop. shutdown()
-  // on a listening socket is what reliably wakes a blocked accept().
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  if (accept_thread_.joinable()) accept_thread_.join();
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-  // 2. Drain: shut down each connection's *read* side only. A reader
-  // blocked in ReadFrame sees EOF and exits; a reader waiting on an
-  // in-flight query still writes its response before the next read
-  // observes the shutdown. Responses are never cut off.
+  WakeLoop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  // Replication streams: ServeReplication polls stopping_, and the
+  // shutdown unblocks any write it is sitting in right now.
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (const auto& conn : connections_) {
-      if (!conn->closed) ::shutdown(conn->fd, SHUT_RD);
+    std::lock_guard<std::mutex> lock(streams_mu_);
+    for (const auto& stream : streams_) {
+      if (stream->fd >= 0) ::shutdown(stream->fd, SHUT_RDWR);
     }
   }
-  // conn_threads_ is only appended by the accept thread, which is
-  // joined above, so iterating without the lock is safe.
-  for (std::thread& t : conn_threads_) {
-    if (t.joinable()) t.join();
+  {
+    std::lock_guard<std::mutex> lock(streams_mu_);
+    for (const auto& stream : streams_) {
+      if (stream->thread.joinable()) stream->thread.join();
+      if (stream->fd >= 0) ::close(stream->fd);
+    }
+    streams_.clear();
   }
-  // 3. Workers are idle now (every dispatcher has returned).
+  // Workers may still be finishing force-abandoned tasks; joining the
+  // pool before closing wake_fd_ keeps their completion wake-ups safe.
   pool_.reset();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+  }
   started_ = false;
 }
 
-void Server::AcceptLoop() {
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+void Server::WakeLoop() {
+  const uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n =
+      ::write(wake_fd_, &one, sizeof(one));
+}
+
+void Server::LoopMain() {
+  std::array<epoll_event, 64> events;
+  while (true) {
+    if (stopping_.load(std::memory_order_relaxed) && !draining_) {
+      BeginDrain();
+    }
+    if (draining_) {
+      if (sessions_.empty()) break;
+      if (std::chrono::steady_clock::now() >= drain_deadline_) {
+        // The bounded drain expired: force-close what's left. Their
+        // in-flight completions are dropped by the generation check.
+        std::vector<int> fds;
+        fds.reserve(sessions_.size());
+        for (const auto& entry : sessions_) fds.push_back(entry.first);
+        for (const int fd : fds) {
+          auto it = sessions_.find(fd);
+          if (it != sessions_.end()) CloseSession(it->second.get());
+        }
+        break;
+      }
+    }
+    // Parked min_seqno waiters need a poll tick (replication applies
+    // land off-loop); a drain needs one to watch its deadline.
+    const int timeout_ms = draining_ ? 5 : (parked_fds_.empty() ? -1 : 1);
+    const int n =
+        ::epoll_wait(epoll_fd_, events.data(),
+                     static_cast<int>(events.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll itself broke; nothing sensible left to do
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd_) {
+        uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      if (fd == listen_fd_) {
+        HandleAccept();
+        continue;
+      }
+      HandleEvent(fd, events[i].events);
+    }
+    DrainCompletions();
+    CheckParked();
+  }
+}
+
+void Server::BeginDrain() {
+  draining_ = true;
+  drain_deadline_ = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(options_.drain_deadline_ms);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);  // also removes it from the epoll set
+    listen_fd_ = -1;
+  }
+  std::vector<int> fds;
+  fds.reserve(sessions_.size());
+  for (const auto& entry : sessions_) fds.push_back(entry.first);
+  for (const int fd : fds) {
+    auto it = sessions_.find(fd);
+    if (it == sessions_.end()) continue;
+    Session* s = it->second.get();
+    // Parked queries will never see their seqno now; fail them the way
+    // an expired wait would.
+    bool alive = true;
+    while (alive && !s->parked.empty()) {
+      ParkedQuery parked = std::move(s->parked.back());
+      s->parked.pop_back();
+      metrics_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+      alive = QueueResponse(s, MinSeqnoError(engine_->AppliedSeqno(),
+                                             parked.req),
+                            parked.req.id);
+    }
+    if (!alive) continue;
+    UpdateEpoll(s);  // draining_ drops EPOLLIN: no new requests
+    MaybeClose(s);
+  }
+  parked_fds_.clear();
+}
+
+void Server::HandleAccept() {
+  while (true) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      break;  // listener shut down (or broken) - either way we're done
+      return;  // EAGAIN: burst drained (or listener gone)
     }
-    if (stopping_.load(std::memory_order_relaxed)) {
-      ::close(fd);
-      break;
+    {
+      std::lock_guard<std::mutex> lock(streams_mu_);
+      ReapStreamsLocked();
     }
     if (metrics_.connections_open.load(std::memory_order_relaxed) >=
         options_.max_connections) {
       metrics_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
-      WriteFrame(fd, ErrorResponse(Status::ResourceExhausted(
-                         "server at connection limit"))
-                         .Serialize());
+      // Best effort on a nonblocking socket: a rejected peer that never
+      // reads cannot stall the accept path (the seed's blocking
+      // WriteFrame here could wedge every later accept).
+      const std::string frame =
+          EncodeFrame(ErrorResponse(Status::ResourceExhausted(
+                                        "server at connection limit"))
+                          .Serialize());
+      [[maybe_unused]] const ssize_t sent =
+          ::send(fd, frame.data(), frame.size(),
+                 MSG_DONTWAIT | MSG_NOSIGNAL);
       ::close(fd);
       continue;
     }
     metrics_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
     metrics_.connections_open.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    auto conn = std::make_unique<Connection>();
-    conn->fd = fd;
-    try {
-      connections_.push_back(std::move(conn));
-      conn_threads_.emplace_back(&Server::ServeConnection, this,
-                                 connections_.size() - 1);
-    } catch (...) {
-      // The session never started (thread creation or vector growth
-      // failed), so the open gauge must unwind here - ServeConnection,
-      // its usual owner, will never run.
-      if (!connections_.empty() && connections_.back() != nullptr &&
-          connections_.back()->fd == fd) {
-        connections_.pop_back();
-      }
-      ::close(fd);
-      metrics_.connections_open.fetch_sub(1, std::memory_order_acq_rel);
+    // Responses are small frames; without TCP_NODELAY a pipelined
+    // client's answers sit in Nagle's buffer waiting for delayed ACKs.
+    int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+    auto session = std::make_unique<Session>(options_.max_request_bytes);
+    session->fd = fd;
+    session->gen = next_session_gen_++;
+    session->mode = options_.default_mode;
+    Session* s = session.get();
+    sessions_[fd] = std::move(session);
+    epoll_event ev{};
+    ev.events = kReadEvents;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      CloseSession(s);
+      continue;
     }
+    s->in_epoll = true;
+    s->epoll_events = kReadEvents;
   }
 }
 
-void Server::ServeConnection(size_t conn_index) {
-  Connection* conn = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    conn = connections_[conn_index].get();
+void Server::HandleEvent(int fd, uint32_t events) {
+  auto it = sessions_.find(fd);
+  if (it == sessions_.end()) return;
+  Session* s = it->second.get();
+  if ((events & EPOLLOUT) != 0) {
+    if (!FlushSession(s)) return;
+    if (!ResumeReading(s)) return;
+    UpdateEpoll(s);
+    if (!MaybeClose(s)) return;
   }
-  // The open gauge unwinds on *every* exit from this frame, including
-  // an exception escaping a handler.
-  GaugeGuard open_guard(&metrics_.connections_open);
-  SessionState session;
-  session.mode = options_.default_mode;
-  try {
-    while (HandleFrame(session, conn->fd)) {
-    }
-  } catch (...) {
-    // Drop the connection; the guards restore every counter.
-  }
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    if (!conn->closed) {
-      ::close(conn->fd);
-      conn->closed = true;
-    }
-  }
+  if ((events & kReadEvents) != 0) HandleReadable(s);
 }
 
-bool Server::HandleFrame(SessionState& session, int fd) {
-  Result<std::optional<std::string>> frame =
-      ReadFrame(fd, options_.max_request_bytes);
-  // Epoch for a traced request: the instant its frame finished reading.
-  const auto t_read = trace::Collector::Clock::now();
-  if (!frame.ok()) {
-    // Framing damage: the byte stream can't be resynchronized. Tell the
-    // peer why (best effort) and close.
-    if (frame.status().IsResourceExhausted()) {
-      metrics_.rejected_oversized.fetch_add(1, std::memory_order_relaxed);
-    } else {
+void Server::HandleReadable(Session* s) {
+  char buf[65536];
+  while (!s->peer_gone && !s->reading_paused && !s->closing &&
+         !s->deferred.has_value() && !draining_) {
+    const ssize_t n = ::recv(s->fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n > 0) {
+      s->decoder.Feed(buf, static_cast<size_t>(n));
+      if (!ProcessFrames(s)) return;
+      continue;
+    }
+    if (n == 0) {
+      s->peer_gone = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    s->peer_gone = true;  // hard read error: treat like an abrupt close
+    break;
+  }
+  if (s->peer_gone) {
+    // A half-closing pipeliner may have sent its whole batch plus FIN;
+    // everything completely framed still executes and answers.
+    if (!ProcessFrames(s)) return;
+    if (s->decoder.mid_frame()) {
       metrics_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
+      if (!QueueResponse(s, ErrorResponse(s->decoder.OnEof()), std::nullopt)) {
+        return;
+      }
     }
-    WriteFrame(fd, ErrorResponse(frame.status()).Serialize());
-    return false;
   }
-  if (!frame->has_value()) return false;  // clean EOF
-  metrics_.requests_total.fetch_add(1, std::memory_order_relaxed);
+  UpdateEpoll(s);
+  MaybeClose(s);
+}
+
+bool Server::ProcessFrames(Session* s) {
+  while (!s->deferred.has_value() && !s->closing && !s->reading_paused) {
+    Result<std::optional<std::string>> next = s->decoder.Next();
+    if (!next.ok()) {
+      // Framing damage: the byte stream can't be resynchronized. Tell
+      // the peer why (best effort) and close - buffered or in-flight
+      // responses are forfeit, exactly like the seed's immediate close.
+      if (next.status().IsResourceExhausted()) {
+        metrics_.rejected_oversized.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        metrics_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (!QueueResponse(s, ErrorResponse(next.status()), std::nullopt)) {
+        return false;
+      }
+      CloseSession(s);
+      return false;
+    }
+    if (!next->has_value()) return true;  // need more bytes
+    metrics_.requests_total.fetch_add(1, std::memory_order_relaxed);
+    if (!ProcessPayload(s, std::move(**next))) return false;
+  }
+  return true;
+}
+
+bool Server::ProcessPayload(Session* s, std::string payload) {
+  // Epoch for a traced request: the instant its frame was reassembled.
+  const auto t_read = trace::Collector::Clock::now();
 
   // Payload-tier problems keep the connection open: framing is intact,
   // so the peer can recover by sending a corrected request.
-  Result<Json> json = Json::Parse(**frame);
+  Result<Json> json = Json::Parse(payload);
   if (!json.ok()) {
     metrics_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
-    WriteFrame(fd, ErrorResponse(json.status()).Serialize());
-    return true;
+    return QueueResponse(s, ErrorResponse(json.status()), std::nullopt);
   }
+  // Even a rejected request gets its error on the right pipeline tag.
+  const std::optional<int64_t> id = ExtractRequestId(*json);
   Result<Request> parsed = ParseRequest(*json);
   if (!parsed.ok()) {
     metrics_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
-    WriteFrame(fd, ErrorResponse(parsed.status()).Serialize());
-    return true;
+    return QueueResponse(s, ErrorResponse(parsed.status()), id);
   }
-  const Request& req = *parsed;
+  Request req = std::move(*parsed);
   const auto t_parsed = trace::Collector::Clock::now();
 
   switch (req.cmd) {
     case Request::Cmd::kPing: {
       Json resp = OkResponse();
       resp.Set("pong", Json::Bool(true));
-      WriteFrame(fd, resp.Serialize());
-      return true;
+      return QueueResponse(s, std::move(resp), req.id);
     }
-    case Request::Cmd::kBye: {
-      WriteFrame(fd, OkResponse().Serialize());
-      return false;
-    }
-    case Request::Cmd::kStats: {
-      Json resp = OkResponse();
-      resp.Set("stats", StatsJson());
-      WriteFrame(fd, resp.Serialize());
-      return true;
-    }
+    case Request::Cmd::kStats:
     case Request::Cmd::kMetrics: {
-      Json resp = OkResponse();
-      resp.Set("format", Json::Str("prometheus"));
-      resp.Set("body", Json::Str(MetricsText()));
-      WriteFrame(fd, resp.Serialize());
+      // Off-loop (their handlers take engine locks) but exempt from the
+      // in-flight cap, as in the seed server: observability must work
+      // on an overloaded server.
+      s->in_flight += 1;
+      DispatchTask(s, std::move(req), t_read, t_parsed, /*admitted=*/false);
       return true;
     }
     case Request::Cmd::kHello: {
-      if (session.hello_done) {
-        WriteFrame(fd, ErrorResponse(Status::InvalidArgument(
-                           "session is already bound; reconnect to change "
-                           "clearance"))
-                           .Serialize());
-        return true;
+      if (s->hello_done) {
+        return QueueResponse(
+            s,
+            ErrorResponse(Status::InvalidArgument(
+                "session is already bound; reconnect to change clearance")),
+            req.id);
       }
       if (!engine_->lattice().Contains(req.level)) {
-        WriteFrame(fd, ErrorResponse(Status::SecurityViolation(
-                           "unknown clearance level '" + req.level + "'"))
-                           .Serialize());
-        return true;
+        return QueueResponse(s,
+                             ErrorResponse(Status::SecurityViolation(
+                                 "unknown clearance level '" + req.level +
+                                 "'")),
+                             req.id);
       }
-      session.hello_done = true;
-      session.level = req.level;
-      if (req.mode.has_value()) session.mode = *req.mode;
+      s->hello_done = true;
+      s->level = req.level;
+      if (req.mode.has_value()) s->mode = *req.mode;
       if (!catalog_.empty()) {
-        session.sql = std::make_unique<msql::Session>(belief_registry_);
+        s->sql = std::make_shared<SqlHandle>(belief_registry_);
         for (const SqlCatalogEntry& entry : catalog_) {
-          session.sql->RegisterRelation(entry.name, entry.relation);
+          s->sql->session.RegisterRelation(entry.name, entry.relation);
         }
-        session.sql->SetUserContext(session.level);
-        session.sql->LockUserContext();
+        s->sql->session.SetUserContext(s->level);
+        s->sql->session.LockUserContext();
       }
       Json resp = OkResponse();
       resp.Set("server", Json::Str("multilogd"));
-      resp.Set("level", Json::Str(session.level));
-      resp.Set("mode", Json::Str(ExecModeName(session.mode)));
-      resp.Set("sql", Json::Bool(session.sql != nullptr));
-      WriteFrame(fd, resp.Serialize());
-      return true;
+      resp.Set("level", Json::Str(s->level));
+      resp.Set("mode", Json::Str(ExecModeName(s->mode)));
+      resp.Set("sql", Json::Bool(s->sql != nullptr));
+      return QueueResponse(s, std::move(resp), req.id);
     }
     case Request::Cmd::kShardMap: {
-      WriteFrame(fd, ErrorResponse(Status::InvalidArgument(
-                         "this daemon is not a router; 'shardmap' is served "
-                         "by multilogd --router"))
-                         .Serialize());
-      return true;
+      return QueueResponse(
+          s,
+          ErrorResponse(Status::InvalidArgument(
+              "this daemon is not a router; 'shardmap' is served by "
+              "multilogd --router")),
+          req.id);
     }
+    case Request::Cmd::kBye:
     case Request::Cmd::kReplicate: {
-      // The connection becomes a one-way stream, served on this reader
-      // thread (dedicating a pool worker to an open-ended stream would
-      // let a few replicas starve every query). Like stats/metrics it
-      // needs no HELLO: the daemon binds loopback only, and the replica
-      // re-enforces per-level visibility for its own clients.
-      replication_streams_.fetch_add(1, std::memory_order_relaxed);
-      replication::ServeReplication(fd, engine_, req.from_seqno, &stopping_);
-      return false;  // the stream is this connection's last exchange
+      // Ordered commands: defer until every in-flight and parked
+      // request on this session has answered, and stop reading - they
+      // are by definition the session's last exchange.
+      s->deferred = std::move(req);
+      UpdateEpoll(s);
+      return MaybeClose(s);
     }
     case Request::Cmd::kQuery:
     case Request::Cmd::kSql:
@@ -372,16 +597,35 @@ bool Server::HandleFrame(SessionState& session, int fd) {
       if (options_.read_only && req.cmd != Request::Cmd::kQuery &&
           req.cmd != Request::Cmd::kSql) {
         metrics_.write_errors.fetch_add(1, std::memory_order_relaxed);
-        WriteFrame(fd, ErrorResponse(Status::ReadOnly(
-                           "this daemon is a read-only replica; send writes "
-                           "to the primary"))
-                           .Serialize());
-        return true;
+        return QueueResponse(s,
+                             ErrorResponse(Status::ReadOnly(
+                                 "this daemon is a read-only replica; send "
+                                 "writes to the primary")),
+                             req.id);
       }
-      if (!session.hello_done) {
-        WriteFrame(fd, ErrorResponse(Status::SecurityViolation(
-                           "session has no clearance yet; send hello first"))
-                           .Serialize());
+      if (!s->hello_done) {
+        return QueueResponse(
+            s,
+            ErrorResponse(Status::SecurityViolation(
+                "session has no clearance yet; send hello first")),
+            req.id);
+      }
+      // Bounded staleness: park on the loop until the applied seqno
+      // catches up. A parked query holds no worker and no in-flight
+      // slot (the seed burned both in a sleep loop), so queries with
+      // satisfied floors keep flowing around it.
+      if (req.cmd == Request::Cmd::kQuery && req.min_seqno > 0 &&
+          engine_->AppliedSeqno() < req.min_seqno) {
+        if (req.wait_ms <= 0) {
+          metrics_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+          return QueueResponse(
+              s, MinSeqnoError(engine_->AppliedSeqno(), req), req.id);
+        }
+        const auto give_up = std::chrono::steady_clock::now() +
+                             std::chrono::milliseconds(req.wait_ms);
+        s->parked.push_back(
+            ParkedQuery{std::move(req), give_up, t_read, t_parsed});
+        parked_fds_.insert(s->fd);
         return true;
       }
       // Admission control on the shared pool: fail fast instead of
@@ -393,105 +637,391 @@ bool Server::HandleFrame(SessionState& session, int fd) {
           options_.max_in_flight) {
         in_flight_.fetch_sub(1, std::memory_order_acq_rel);
         metrics_.rejected_overloaded.fetch_add(1, std::memory_order_relaxed);
-        WriteFrame(fd, ErrorResponse(Status::ResourceExhausted(
-                           "server overloaded: too many queries in flight"))
-                           .Serialize());
-        return true;
+        return QueueResponse(s,
+                             ErrorResponse(Status::ResourceExhausted(
+                                 "server overloaded: too many queries in "
+                                 "flight")),
+                             req.id);
       }
-      // Admitted: the in-flight slot unwinds on every exit path,
-      // including a dispatch or serialization exception.
-      InFlightGuard in_flight_guard(&in_flight_);
-
-      // A collector rides along when the client asked for a trace or
-      // the slow-query log needs a span tree to attribute time. It
-      // lives on the reader's stack; the worker fills it through the
-      // thread-local installed below, and the promise/future pair
-      // provides the cross-thread happens-before edges.
-      std::optional<trace::Collector> collector;
-      if (req.cmd == Request::Cmd::kQuery &&
-          (req.want_trace || options_.slow_query_ms >= 0)) {
-        collector.emplace(t_read);
-        collector->AddLeaf(trace::Stage::kParse, t_read, t_parsed);
-      }
-      const auto t_submit = trace::Collector::Clock::now();
-
-      // Captured by the worker just before it fulfils the promise, so
-      // the root span ends when the work ends: the reader's wake-up
-      // latency on the future is scheduler noise, not query time, and
-      // would otherwise show up as an unattributed gap in the tree.
-      auto t_done = t_submit;
-      std::promise<Json> done;
-      std::future<Json> future = done.get_future();
-      pool_->Submit([this, &session, &req, &done, &collector, t_submit,
-                     &t_done] {
-        if (collector.has_value()) {
-          collector->AddLeaf(trace::Stage::kQueueWait, t_submit,
-                             trace::Collector::Clock::now());
-        }
-        trace::ScopedCollector install(collector.has_value() ? &*collector
-                                                             : nullptr);
-        Json resp;
-        try {
-          resp = req.cmd == Request::Cmd::kQuery ? HandleQuery(session, req)
-                 : req.cmd == Request::Cmd::kSql ? HandleSql(session, req)
-                                                 : HandleWrite(session, req);
-        } catch (const std::exception& e) {
-          // A handler exception must still fulfil the promise - the
-          // reader is blocked on it - and must not kill the worker.
-          resp = ErrorResponse(Status::Internal(
-              std::string("handler raised an exception: ") + e.what()));
-        } catch (...) {
-          resp = ErrorResponse(
-              Status::Internal("handler raised an unknown exception"));
-        }
-        t_done = trace::Collector::Clock::now();
-        done.set_value(std::move(resp));
-      });
-      Json resp = future.get();
-      if (collector.has_value()) {
-        const trace::SpanNode root = collector->Finish(t_done);
-        if (req.want_trace) {
-          Json tj = TraceNodeJson(root);
-          if (collector->dropped_spans() > 0) {
-            tj.Set("dropped_spans",
-                   Json::Int(static_cast<int64_t>(collector->dropped_spans())));
-          }
-          resp.Set("trace", std::move(tj));
-        }
-        if (options_.slow_query_ms >= 0 &&
-            root.duration_micros >=
-                static_cast<uint64_t>(options_.slow_query_ms) * 1000) {
-          LogSlowQuery(session, req, root);
-        }
-      }
-      WriteFrame(fd, resp.Serialize());
+      s->in_flight += 1;
+      DispatchTask(s, std::move(req), t_read, t_parsed, /*admitted=*/true);
       return true;
     }
   }
   return true;
 }
 
-Json Server::HandleQuery(const SessionState& session, const Request& req) {
-  // Bounded staleness: a client that just wrote to the primary passes
-  // the write's seqno as min_seqno, and the replica holds the query
-  // until its applied seqno catches up (read-your-writes across the
-  // replication hop). Polling beats a condvar here: catch-up is the
-  // common case (lag is single-digit ms), the poll is lock-free, and
-  // the engine's write path stays untouched.
-  if (req.min_seqno > 0 && engine_->AppliedSeqno() < req.min_seqno) {
-    const auto give_up = std::chrono::steady_clock::now() +
-                         std::chrono::milliseconds(req.wait_ms);
-    while (engine_->AppliedSeqno() < req.min_seqno) {
-      if (req.wait_ms <= 0 || std::chrono::steady_clock::now() >= give_up) {
-        metrics_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
-        return ErrorResponse(Status::DeadlineExceeded(
-            "applied seqno " + std::to_string(engine_->AppliedSeqno()) +
-            " has not reached min_seqno " + std::to_string(req.min_seqno) +
-            " within wait_ms=" + std::to_string(req.wait_ms)));
+void Server::DispatchTask(Session* s, Request req,
+                          trace::Collector::Clock::time_point t_read,
+                          trace::Collector::Clock::time_point t_parsed,
+                          bool admitted) {
+  auto task = std::make_shared<Task>();
+  task->fd = s->fd;
+  task->gen = s->gen;
+  task->req = std::move(req);
+  task->level = s->level;
+  task->session_mode = s->mode;
+  task->sql = s->sql;
+  task->t_read = t_read;
+  task->t_parsed = t_parsed;
+  task->admitted = admitted;
+  const auto t_submit = trace::Collector::Clock::now();
+  pool_->Submit([this, task, t_submit] { RunTask(task, t_submit); });
+}
+
+void Server::RunTask(const std::shared_ptr<Task>& task,
+                     trace::Collector::Clock::time_point t_submit) {
+  // The admitted slot unwinds on every exit path, including a handler
+  // or serialization exception.
+  std::optional<InFlightGuard> slot;
+  if (task->admitted) slot.emplace(&in_flight_);
+
+  const Request& req = task->req;
+  // A collector rides along when the client asked for a trace or the
+  // slow-query log needs a span tree to attribute time.
+  std::optional<trace::Collector> collector;
+  if (req.cmd == Request::Cmd::kQuery &&
+      (req.want_trace || options_.slow_query_ms >= 0)) {
+    collector.emplace(task->t_read);
+    collector->AddLeaf(trace::Stage::kParse, task->t_read, task->t_parsed);
+    collector->AddLeaf(trace::Stage::kQueueWait, t_submit,
+                       trace::Collector::Clock::now());
+  }
+  Json resp;
+  {
+    trace::ScopedCollector install(collector.has_value() ? &*collector
+                                                         : nullptr);
+    try {
+      switch (req.cmd) {
+        case Request::Cmd::kQuery:
+          resp = HandleQuery(*task);
+          break;
+        case Request::Cmd::kSql:
+          resp = HandleSql(*task);
+          break;
+        case Request::Cmd::kStats: {
+          resp = OkResponse();
+          resp.Set("stats", StatsJson());
+          break;
+        }
+        case Request::Cmd::kMetrics: {
+          resp = OkResponse();
+          resp.Set("format", Json::Str("prometheus"));
+          resp.Set("body", Json::Str(MetricsText()));
+          break;
+        }
+        default:
+          resp = HandleWrite(*task);
+          break;
       }
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    } catch (const std::exception& e) {
+      // A handler exception must not kill the worker, and the client
+      // still deserves an answer.
+      resp = ErrorResponse(Status::Internal(
+          std::string("handler raised an exception: ") + e.what()));
+    } catch (...) {
+      resp = ErrorResponse(
+          Status::Internal("handler raised an unknown exception"));
     }
   }
+  // Close the root when the work ends: completion-queue latency back to
+  // the loop is scheduler noise, not query time.
+  const auto t_done = trace::Collector::Clock::now();
+  if (collector.has_value()) {
+    const trace::SpanNode root = collector->Finish(t_done);
+    if (req.want_trace) {
+      Json tj = TraceNodeJson(root);
+      if (collector->dropped_spans() > 0) {
+        tj.Set("dropped_spans",
+               Json::Int(static_cast<int64_t>(collector->dropped_spans())));
+      }
+      resp.Set("trace", std::move(tj));
+    }
+    if (options_.slow_query_ms >= 0 &&
+        root.duration_micros >=
+            static_cast<uint64_t>(options_.slow_query_ms) * 1000) {
+      LogSlowQuery(*task, root);
+    }
+  }
+  if (req.id.has_value()) resp.Set("id", Json::Int(*req.id));
+  // Release the admission slot BEFORE the response becomes visible: a
+  // client that sees this answer and immediately sends its next request
+  // must not bounce off a slot the finished query still pins.
+  slot.reset();
+  PostCompletion(task->fd, task->gen, EncodeFrame(resp.Serialize()));
+}
+
+void Server::PostCompletion(int fd, uint64_t gen, std::string frame) {
+  bool was_empty;
+  {
+    std::lock_guard<std::mutex> lock(comp_mu_);
+    was_empty = completions_.empty();
+    completions_.push_back(Completion{fd, gen, std::move(frame)});
+  }
+  // One wake covers every completion queued before the loop's next
+  // drain; only the empty -> non-empty transition needs the eventfd
+  // write. A group-commit cohort finishing together costs one syscall,
+  // not one per commit.
+  if (was_empty) WakeLoop();
+}
+
+void Server::DrainCompletions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(comp_mu_);
+    batch.swap(completions_);
+  }
+  // Stage every completion into its session's write buffer first, then
+  // flush each touched session once: a pipelined burst completing
+  // together leaves in one send() instead of one per response.
+  std::vector<int> touched;
+  for (Completion& c : batch) {
+    auto it = sessions_.find(c.fd);
+    if (it == sessions_.end() || it->second->gen != c.gen) {
+      continue;  // session died first; the response has no one to go to
+    }
+    Session* s = it->second.get();
+    s->in_flight -= 1;
+    if (s->wbuf_off >= s->wbuf.size()) {
+      s->wbuf.clear();
+      s->wbuf_off = 0;
+    }
+    if (std::find(touched.begin(), touched.end(), c.fd) == touched.end()) {
+      touched.push_back(c.fd);
+    }
+    s->wbuf.append(c.payload);
+  }
+  for (const int fd : touched) {
+    auto it = sessions_.find(fd);
+    if (it == sessions_.end()) continue;
+    Session* s = it->second.get();
+    if (!FlushSession(s)) continue;
+    if (!s->reading_paused &&
+        s->wbuf.size() - s->wbuf_off > options_.max_session_write_buffer) {
+      s->reading_paused = true;
+    }
+    UpdateEpoll(s);
+    if (!ResumeReading(s)) continue;
+    MaybeClose(s);
+  }
+}
+
+void Server::CheckParked() {
+  if (parked_fds_.empty()) return;
+  const uint64_t applied = engine_->AppliedSeqno();
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<int> fds(parked_fds_.begin(), parked_fds_.end());
+  for (const int fd : fds) {
+    auto it = sessions_.find(fd);
+    if (it == sessions_.end()) {
+      parked_fds_.erase(fd);
+      continue;
+    }
+    Session* s = it->second.get();
+    bool alive = true;
+    for (auto pit = s->parked.begin(); alive && pit != s->parked.end();) {
+      if (applied >= pit->req.min_seqno) {
+        // Caught up - but an unparked query still needs an admission
+        // slot; when the server is saturated it stays parked and
+        // retries next tick rather than bouncing with an overload
+        // error it never risked when it arrived.
+        if (in_flight_.fetch_add(1, std::memory_order_acq_rel) >=
+            options_.max_in_flight) {
+          in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+          ++pit;
+          continue;
+        }
+        ParkedQuery parked = std::move(*pit);
+        pit = s->parked.erase(pit);
+        s->in_flight += 1;
+        DispatchTask(s, std::move(parked.req), parked.t_read,
+                     parked.t_parsed, /*admitted=*/true);
+      } else if (now >= pit->give_up) {
+        ParkedQuery parked = std::move(*pit);
+        pit = s->parked.erase(pit);
+        metrics_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+        alive = QueueResponse(s, MinSeqnoError(applied, parked.req),
+                              parked.req.id);
+      } else {
+        ++pit;
+      }
+    }
+    if (!alive) {
+      parked_fds_.erase(fd);
+      continue;
+    }
+    if (s->parked.empty()) parked_fds_.erase(fd);
+    MaybeClose(s);
+  }
+}
+
+bool Server::QueueResponse(Session* s, Json response,
+                           const std::optional<int64_t>& id) {
+  if (id.has_value()) response.Set("id", Json::Int(*id));
+  return DeliverFrame(s, EncodeFrame(response.Serialize()));
+}
+
+bool Server::DeliverFrame(Session* s, std::string frame) {
+  if (s->wbuf_off >= s->wbuf.size()) {
+    s->wbuf.clear();
+    s->wbuf_off = 0;
+  }
+  s->wbuf.append(frame);
+  if (!FlushSession(s)) return false;
+  if (!s->reading_paused &&
+      s->wbuf.size() - s->wbuf_off > options_.max_session_write_buffer) {
+    // The peer pipelines requests faster than it reads responses: stop
+    // reading until it drains, bounding per-session memory.
+    s->reading_paused = true;
+  }
+  UpdateEpoll(s);
+  return true;
+}
+
+bool Server::FlushSession(Session* s) {
+  while (s->wbuf_off < s->wbuf.size()) {
+    const ssize_t n =
+        ::send(s->fd, s->wbuf.data() + s->wbuf_off,
+               s->wbuf.size() - s->wbuf_off, MSG_DONTWAIT | MSG_NOSIGNAL);
+    if (n > 0) {
+      s->wbuf_off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return true;  // socket full; EPOLLOUT (via UpdateEpoll) resumes
+    }
+    // The peer is gone or the socket broke: the response cannot be
+    // delivered. Count it and close - a peer that can't take responses
+    // must not keep submitting work.
+    metrics_.response_write_errors.fetch_add(1, std::memory_order_relaxed);
+    CloseSession(s);
+    return false;
+  }
+  s->wbuf.clear();
+  s->wbuf_off = 0;
+  return true;
+}
+
+bool Server::ResumeReading(Session* s) {
+  if (!s->reading_paused) return true;
+  if (s->wbuf.size() - s->wbuf_off >
+      options_.max_session_write_buffer / 2) {
+    return true;
+  }
+  s->reading_paused = false;
+  if (!ProcessFrames(s)) return false;
+  UpdateEpoll(s);
+  return true;
+}
+
+void Server::UpdateEpoll(Session* s) {
+  uint32_t want = 0;
+  if (!s->peer_gone && !s->closing && !s->reading_paused &&
+      !s->deferred.has_value() && !draining_) {
+    want |= kReadEvents;
+  }
+  if (s->wbuf_off < s->wbuf.size()) want |= EPOLLOUT;
+  if (want == s->epoll_events && (want != 0) == s->in_epoll) return;
+  if (want == 0) {
+    // Deregister entirely: EPOLLHUP/ERR are reported regardless of the
+    // requested mask, so a lingering peer-gone session would otherwise
+    // spin the level-triggered loop.
+    if (s->in_epoll) ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, s->fd, nullptr);
+    s->in_epoll = false;
+  } else {
+    epoll_event ev{};
+    ev.events = want;
+    ev.data.fd = s->fd;
+    ::epoll_ctl(epoll_fd_, s->in_epoll ? EPOLL_CTL_MOD : EPOLL_CTL_ADD,
+                s->fd, &ev);
+    s->in_epoll = true;
+  }
+  s->epoll_events = want;
+}
+
+bool Server::MaybeClose(Session* s) {
+  const bool drained = s->in_flight == 0 && s->parked.empty();
+  const bool flushed = s->wbuf_off >= s->wbuf.size();
+  if (s->deferred.has_value() && drained && flushed) {
+    if (!RunDeferred(s)) return false;
+  }
+  if ((s->peer_gone || s->closing || draining_) && drained && flushed) {
+    CloseSession(s);
+    return false;
+  }
+  return true;
+}
+
+bool Server::RunDeferred(Session* s) {
+  Request req = std::move(*s->deferred);
+  s->deferred.reset();
+  if (req.cmd == Request::Cmd::kBye) {
+    s->closing = true;
+    return QueueResponse(s, OkResponse(), req.id);
+  }
+  StartReplication(s, req.from_seqno);
+  return false;  // the session state is gone; the fd lives on as a stream
+}
+
+void Server::StartReplication(Session* s, uint64_t from_seqno) {
+  // The connection becomes a one-way stream served by a dedicated
+  // thread: an open-ended stream must not occupy a pool worker (a few
+  // replicas would starve every query) and its blocking writes cannot
+  // run on the loop. Like stats, it needs no HELLO: the daemon binds
+  // loopback only, and the replica re-enforces per-level visibility
+  // for its own clients.
+  const int fd = s->fd;
+  if (s->in_epoll) ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  parked_fds_.erase(fd);
+  sessions_.erase(fd);  // frees the session state; the fd stays open
+  metrics_.sessions_reaped.fetch_add(1, std::memory_order_relaxed);
+  replication_streams_.fetch_add(1, std::memory_order_relaxed);
+  // ServeReplication writes with blocking I/O.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+
+  std::lock_guard<std::mutex> lock(streams_mu_);
+  ReapStreamsLocked();
+  streams_.push_back(std::make_unique<Stream>());
+  Stream* stream = streams_.back().get();
+  stream->fd = fd;
+  stream->thread = std::thread([this, stream, from_seqno] {
+    replication::ServeReplication(stream->fd, engine_, from_seqno,
+                                  &stopping_);
+    // The gauge drops here so admission sees it promptly; the fd is
+    // closed by the reaper (after the join), never by this thread, so
+    // it cannot be reused while anything could still name it.
+    metrics_.connections_open.fetch_sub(1, std::memory_order_acq_rel);
+    stream->done.store(true, std::memory_order_release);
+  });
+}
+
+void Server::ReapStreamsLocked() {
+  for (auto it = streams_.begin(); it != streams_.end();) {
+    Stream* stream = it->get();
+    if (!stream->done.load(std::memory_order_acquire)) {
+      ++it;
+      continue;
+    }
+    if (stream->thread.joinable()) stream->thread.join();
+    if (stream->fd >= 0) ::close(stream->fd);
+    it = streams_.erase(it);
+  }
+}
+
+void Server::CloseSession(Session* s) {
+  const int fd = s->fd;
+  if (s->in_epoll) ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  parked_fds_.erase(fd);
+  metrics_.connections_open.fetch_sub(1, std::memory_order_acq_rel);
+  metrics_.sessions_reaped.fetch_add(1, std::memory_order_relaxed);
+  sessions_.erase(fd);  // frees the Session - the churn-leak fix itself
+}
+
+Json Server::HandleQuery(const Task& task) {
+  const Request& req = task.req;
   // Deadline precedence: the request's own deadline_ms (0 is a valid
   // "already expired" probe), else the server default, else none.
   CancelToken cancel;
@@ -503,16 +1033,17 @@ Json Server::HandleQuery(const SessionState& session, const Request& req) {
     cancel.SetTimeout(std::chrono::milliseconds(options_.default_deadline_ms));
     cancel_ptr = &cancel;
   }
-  const ml::ExecMode mode = req.mode.has_value() ? *req.mode : session.mode;
+  const ml::ExecMode mode =
+      req.mode.has_value() ? *req.mode : task.session_mode;
 
   const auto start = std::chrono::steady_clock::now();
   Result<ml::QueryResult> result = ml::QueryResult{};
   {
     trace::Span exec_span(trace::Stage::kExecute);
-    result = engine_->QuerySource(req.goal, session.level, mode, cancel_ptr);
+    result = engine_->QuerySource(req.goal, task.level, mode, cancel_ptr);
   }
   const uint64_t micros = ElapsedMicros(start);
-  metrics_.RecordQuery(session.level, static_cast<size_t>(mode), micros);
+  metrics_.RecordQuery(task.level, static_cast<size_t>(mode), micros);
 
   if (!result.ok()) {
     if (result.status().IsDeadlineExceeded()) {
@@ -528,7 +1059,7 @@ Json Server::HandleQuery(const SessionState& session, const Request& req) {
 
   trace::Span serialize_span(trace::Stage::kSerialize);
   Json resp = OkResponse();
-  resp.Set("level", Json::Str(session.level));
+  resp.Set("level", Json::Str(task.level));
   resp.Set("mode", Json::Str(ExecModeName(mode)));
   Json answers = Json::Array();
   for (const datalog::Substitution& answer : result->answers) {
@@ -547,7 +1078,8 @@ Json Server::HandleQuery(const SessionState& session, const Request& req) {
   return resp;
 }
 
-Json Server::HandleWrite(const SessionState& session, const Request& req) {
+Json Server::HandleWrite(const Task& task) {
+  const Request& req = task.req;
   const auto start = std::chrono::steady_clock::now();
   Json resp = OkResponse();
   if (req.cmd == Request::Cmd::kCheckpoint) {
@@ -562,8 +1094,8 @@ Json Server::HandleWrite(const SessionState& session, const Request& req) {
   } else {
     const bool retract = req.cmd == Request::Cmd::kRetract;
     Result<ml::WriteResult> result =
-        retract ? engine_->Retract(req.fact, session.level)
-                : engine_->Assert(req.fact, session.level);
+        retract ? engine_->Retract(req.fact, task.level)
+                : engine_->Assert(req.fact, task.level);
     if (!result.ok()) {
       metrics_.write_errors.fetch_add(1, std::memory_order_relaxed);
       return ErrorResponse(result.status());
@@ -582,9 +1114,53 @@ Json Server::HandleWrite(const SessionState& session, const Request& req) {
     resp.Set("durable", Json::Bool(engine_->storage() != nullptr));
   }
   metrics_.writes_ok.fetch_add(1, std::memory_order_relaxed);
-  resp.Set("level", Json::Str(session.level));
+  resp.Set("level", Json::Str(task.level));
   resp.Set("elapsed_ms",
            Json::Double(static_cast<double>(ElapsedMicros(start)) / 1000.0));
+  return resp;
+}
+
+Json Server::HandleSql(const Task& task) {
+  if (task.sql == nullptr) {
+    metrics_.query_errors.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(Status::InvalidArgument(
+        "this server has no SQL catalog configured"));
+  }
+  const auto start = std::chrono::steady_clock::now();
+  Result<msql::ResultSet> result = [&] {
+    // Pipelined statements on one session serialize here: the
+    // msql::Session is stateful, and two workers must not run it
+    // concurrently.
+    std::lock_guard<std::mutex> lock(task.sql->mu);
+    trace::Span sql_span(trace::Stage::kSqlExecute);
+    return task.sql->session.Execute(task.req.sql);
+  }();
+  const uint64_t micros = ElapsedMicros(start);
+  metrics_.latency().Record(micros);
+
+  if (!result.ok()) {
+    metrics_.query_errors.fetch_add(1, std::memory_order_relaxed);
+    return ErrorResponse(result.status());
+  }
+  metrics_.queries_ok.fetch_add(1, std::memory_order_relaxed);
+  metrics_.rows_returned.fetch_add(result->rows.size(),
+                                   std::memory_order_relaxed);
+
+  Json resp = OkResponse();
+  Json columns = Json::Array();
+  for (const std::string& column : result->columns) {
+    columns.Push(Json::Str(column));
+  }
+  Json rows = Json::Array();
+  for (const std::vector<std::string>& row : result->rows) {
+    Json cells = Json::Array();
+    for (const std::string& cell : row) cells.Push(Json::Str(cell));
+    rows.Push(std::move(cells));
+  }
+  resp.Set("columns", std::move(columns));
+  resp.Set("count", Json::Int(static_cast<int64_t>(result->rows.size())));
+  resp.Set("rows", std::move(rows));
+  resp.Set("elapsed_ms", Json::Double(static_cast<double>(micros) / 1000.0));
   return resp;
 }
 
@@ -630,6 +1206,8 @@ Json Server::StatsJson() {
     storage.Set("wal_bytes", Json::Int(static_cast<int64_t>(sc.wal_bytes)));
     storage.Set("checkpoints", Json::Int(static_cast<int64_t>(
                                    sc.checkpoints)));
+    storage.Set("group_syncs",
+                Json::Int(static_cast<int64_t>(sc.group_syncs)));
     if (!sc.recovery_data_loss.empty()) {
       storage.Set("recovery_data_loss", Json::Str(sc.recovery_data_loss));
     }
@@ -732,6 +1310,9 @@ std::string Server::MetricsText() {
             sc.wal_bytes, "gauge");
     counter("multilog_storage_checkpoints_total", "Checkpoints folded.",
             sc.checkpoints);
+    counter("multilog_storage_group_syncs_total",
+            "Group-commit fsync batches (each covers >= 1 append).",
+            sc.group_syncs);
     counter("multilog_storage_recovery_data_loss",
             "1 when the last recovery truncated a damaged WAL tail.",
             sc.recovery_data_loss.empty() ? 0 : 1, "gauge");
@@ -796,63 +1377,23 @@ std::string Server::MetricsText() {
   return out;
 }
 
-void Server::LogSlowQuery(const SessionState& session, const Request& req,
-                          const trace::SpanNode& root) {
-  const ml::ExecMode mode = req.mode.has_value() ? *req.mode : session.mode;
+void Server::LogSlowQuery(const Task& task, const trace::SpanNode& root) {
+  const ml::ExecMode mode =
+      task.req.mode.has_value() ? *task.req.mode : task.session_mode;
   std::ostringstream line;
   line << "[multilogd] slow query: "
        << static_cast<double>(root.duration_micros) / 1000.0
-       << " ms level=" << session.level << " mode=" << ExecModeName(mode);
+       << " ms level=" << task.level << " mode=" << ExecModeName(mode);
   if (const trace::SpanNode* dominant = DominantSpan(root)) {
     line << " dominant=" << trace::StageName(dominant->stage) << ":"
          << static_cast<double>(dominant->duration_micros) / 1000.0 << "ms";
   }
-  line << " goal=" << req.goal << "\n";
+  line << " goal=" << task.req.goal << "\n";
   std::ostream* sink =
       options_.slow_query_log != nullptr ? options_.slow_query_log
                                          : &std::cerr;
   std::lock_guard<std::mutex> lock(slow_log_mu_);
   (*sink) << line.str() << std::flush;
-}
-
-Json Server::HandleSql(SessionState& session, const Request& req) {
-  if (session.sql == nullptr) {
-    metrics_.query_errors.fetch_add(1, std::memory_order_relaxed);
-    return ErrorResponse(Status::InvalidArgument(
-        "this server has no SQL catalog configured"));
-  }
-  const auto start = std::chrono::steady_clock::now();
-  Result<msql::ResultSet> result = [&] {
-    trace::Span sql_span(trace::Stage::kSqlExecute);
-    return session.sql->Execute(req.sql);
-  }();
-  const uint64_t micros = ElapsedMicros(start);
-  metrics_.latency().Record(micros);
-
-  if (!result.ok()) {
-    metrics_.query_errors.fetch_add(1, std::memory_order_relaxed);
-    return ErrorResponse(result.status());
-  }
-  metrics_.queries_ok.fetch_add(1, std::memory_order_relaxed);
-  metrics_.rows_returned.fetch_add(result->rows.size(),
-                                   std::memory_order_relaxed);
-
-  Json resp = OkResponse();
-  Json columns = Json::Array();
-  for (const std::string& column : result->columns) {
-    columns.Push(Json::Str(column));
-  }
-  Json rows = Json::Array();
-  for (const std::vector<std::string>& row : result->rows) {
-    Json cells = Json::Array();
-    for (const std::string& cell : row) cells.Push(Json::Str(cell));
-    rows.Push(std::move(cells));
-  }
-  resp.Set("columns", std::move(columns));
-  resp.Set("count", Json::Int(static_cast<int64_t>(result->rows.size())));
-  resp.Set("rows", std::move(rows));
-  resp.Set("elapsed_ms", Json::Double(static_cast<double>(micros) / 1000.0));
-  return resp;
 }
 
 }  // namespace multilog::server

@@ -2,12 +2,15 @@
 #define MULTILOG_SERVER_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
@@ -31,21 +34,30 @@ struct ServerOptions {
 
   /// Size of the shared query worker pool. Queries from all
   /// connections dispatch here, so concurrency across sessions is
-  /// min(#connections, num_workers).
+  /// min(#in-flight queries, num_workers).
   size_t num_workers = 4;
 
   /// Admission control: connections beyond this are accepted, told
-  /// "ok":false with kResourceExhausted, and closed immediately.
+  /// "ok":false with kResourceExhausted (best-effort, nonblocking),
+  /// and closed immediately.
   size_t max_connections = 64;
 
-  /// Admission control: QUERY/SQL requests beyond this many in flight
-  /// get a structured overload error (the connection stays open).
+  /// Admission control: QUERY/SQL/write requests beyond this many in
+  /// flight get a structured overload error (the connection stays
+  /// open). Parked min_seqno waits do not hold a slot - admission is
+  /// charged when a query dispatches to a worker, not while it waits.
   size_t max_in_flight = 32;
 
   /// Largest request frame accepted; larger declared lengths are
-  /// rejected without reading the payload and the connection closes
+  /// rejected without buffering the payload and the connection closes
   /// (framing can't be trusted past an oversized header).
   size_t max_request_bytes = 1u << 20;  // 1 MiB
+
+  /// Pipelining backpressure: when a session's undelivered response
+  /// bytes exceed this, the loop stops reading more requests from it
+  /// until the peer drains below half. Bounds per-session memory
+  /// against a client that pipelines requests but never reads.
+  size_t max_session_write_buffer = 8u << 20;  // 8 MiB
 
   /// Deadline applied to queries that don't carry their own
   /// `deadline_ms`; 0 means no default deadline.
@@ -70,6 +82,10 @@ struct ServerOptions {
   /// writer, so a client write would fork the replica's history from
   /// the primary's. Queries, stats, and metrics stay available.
   bool read_only = false;
+
+  /// How long Stop() waits for in-flight requests to complete and
+  /// their responses to flush before force-closing sessions.
+  int64_t drain_deadline_ms = 5000;
 };
 
 /// A relation exposed to wire clients through the `sql` command.
@@ -80,10 +96,24 @@ struct SqlCatalogEntry {
 
 /// multilogd: a concurrent MLS query server over one shared Engine.
 ///
+/// ## Architecture (DESIGN.md §18)
+///
+/// One epoll-driven I/O thread owns every connection: nonblocking
+/// reads feed a per-session FrameDecoder, complete requests are parsed
+/// on the loop, and cheap commands (ping, hello, bye, shardmap) are
+/// answered inline. QUERY/SQL/writes (and stats/metrics, whose
+/// handlers take engine locks) are dispatched to the shared worker
+/// pool; workers serialize the response and post it to a completion
+/// queue that an eventfd wakes the loop to drain, so the loop never
+/// blocks on the engine and a worker never touches a socket. Sessions
+/// live in an fd-keyed map and are freed the moment their connection
+/// closes - connection churn leaves nothing behind (the seed
+/// thread-per-connection server leaked a Connection plus a joinable
+/// thread per accepted session until Stop()).
+///
 /// ## Session model
 ///
-/// Each accepted connection runs its own reader thread and owns a
-/// session. The first request must be HELLO, which binds the session's
+/// The first request must be HELLO, which binds the session's
 /// {clearance level, exec mode} after validating the level against the
 /// database's lattice. From then on every query runs at exactly that
 /// level - the session level *is* the engine's database level, so
@@ -91,23 +121,30 @@ struct SqlCatalogEntry {
 /// when an MSQL catalog is configured, the per-connection msql::Session
 /// has its user context locked at HELLO for the same reason.
 ///
-/// ## Dispatch and limits
+/// ## Pipelining
 ///
-/// Readers parse and validate frames, then dispatch QUERY/SQL work
-/// onto the shared worker pool and block for the result (the protocol
-/// is strictly request/response, so a blocked reader costs nothing).
-/// Admission control rejects connections over `max_connections` and
-/// queries over `max_in_flight`; oversized frames are refused before
-/// allocation. Per-query deadlines arm a CancelToken that the engine
-/// polls cooperatively; an expired query returns kDeadlineExceeded on
-/// the same connection, which remains usable.
+/// A session may tag requests with an integer `id` and keep several in
+/// flight; responses carry the tag and may complete out of order.
+/// HELLO/BYE/`replicate` are ordered: the loop defers them until the
+/// session's in-flight count drains to zero. `min_seqno` queries park
+/// on the loop (no worker, no in-flight slot) until the applied seqno
+/// catches up or `wait_ms` expires.
+///
+/// ## Limits and failure
+///
+/// Admission control rejects connections over `max_connections`
+/// (best-effort nonblocking error frame - a stalled peer cannot delay
+/// the accept path) and dispatches over `max_in_flight`; oversized
+/// frames are refused before buffering. A failed response write counts
+/// `response_write_errors` and closes the session.
 ///
 /// ## Shutdown
 ///
-/// Stop() is graceful: the listener closes first (no new sessions),
-/// in-flight queries run to completion, each connection's read side is
-/// shut down so its reader unblocks after writing its pending
-/// response, and all threads are joined before Stop returns.
+/// Stop() is graceful: the listener closes first, parked queries are
+/// failed with kDeadlineExceeded, in-flight work completes and its
+/// responses flush (bounded by `drain_deadline_ms`), sessions close,
+/// and the loop, replication stream threads, and pool are joined
+/// before Stop returns.
 class Server {
  public:
   /// `engine` must be non-null and outlive the server. `catalog` lists
@@ -120,7 +157,7 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens, and starts the accept loop. Returns once the
+  /// Binds, listens, and starts the event loop. Returns once the
   /// server is reachable (so tests can connect immediately).
   Status Start();
 
@@ -140,41 +177,122 @@ class Server {
   }
 
  private:
-  struct Connection {
+  /// The per-connection MSQL session, shared between the loop (which
+  /// creates it at HELLO) and whichever worker runs an `sql` request.
+  /// msql::Session is stateful, so concurrent pipelined statements
+  /// serialize on `mu`; shared_ptr ownership lets a worker finish a
+  /// statement after the loop already freed the session.
+  struct SqlHandle;
+
+  /// A query parked on the loop until applied_seqno reaches its
+  /// min_seqno floor (or give_up passes). Holds no worker and no
+  /// in-flight slot while parked.
+  struct ParkedQuery;
+
+  /// Everything one connection owns; lives in sessions_ keyed by fd
+  /// and is destroyed on close - that destruction IS the churn fix.
+  struct Session;
+
+  /// What a worker posts back to the loop: the serialized response for
+  /// session (fd, gen). `gen` guards against fd reuse - a completion
+  /// for a dead session is dropped.
+  struct Completion {
     int fd = -1;
-    bool closed = false;  // guarded by conn_mu_; prevents double close
+    uint64_t gen = 0;
+    std::string payload;
   };
 
-  void AcceptLoop();
-  void ServeConnection(size_t conn_index);
+  /// A self-contained unit of worker-side work: owns copies of
+  /// everything it needs, so it is immune to its session dying
+  /// mid-execution.
+  struct Task;
 
-  /// One request end to end: parse, validate, dispatch, respond.
-  /// Returns false when the connection should close (BYE or framing
-  /// damage).
-  bool HandleFrame(struct SessionState& session, int fd);
+  /// A replication stream: the fd handed off from a session, served by
+  /// a dedicated thread (an open-ended stream must not occupy a pool
+  /// worker or the loop). Reaped when done; joined at Stop.
+  struct Stream {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
 
-  Json HandleQuery(const struct SessionState& session, const Request& req);
-  Json HandleSql(struct SessionState& session, const Request& req);
+  // --- event loop (all private state below sessions_ is loop-owned) --
+  void LoopMain();
+  void WakeLoop();
+  /// First reaction to stopping_: close the listener, expire parked
+  /// queries, stop reading, and start the bounded drain.
+  void BeginDrain();
+  void HandleAccept();
+  /// Routes one epoll event (writable first, then readable) to the
+  /// session owning `fd`, if it still exists.
+  void HandleEvent(int fd, uint32_t events);
+  void HandleReadable(Session* s);
+  /// Decodes and processes every complete frame buffered in s, until a
+  /// deferral/backpressure/close stops it. Returns false when the
+  /// session was closed (the pointer is dead in that case - the same
+  /// contract every bool-returning session method here follows).
+  bool ProcessFrames(Session* s);
+  bool ProcessPayload(Session* s, std::string payload);
+  /// Serializes a response (echoing `id` when present), frames it, and
+  /// delivers it through DeliverFrame.
+  bool QueueResponse(Session* s, Json response,
+                     const std::optional<int64_t>& id);
+  /// Appends one already-framed response to s->wbuf, flushes what the
+  /// socket takes, and applies write-buffer backpressure.
+  bool DeliverFrame(Session* s, std::string frame);
+  /// Flushes as much of s->wbuf as the socket takes without blocking.
+  /// A hard send error counts response_write_errors and closes.
+  bool FlushSession(Session* s);
+  /// Lifts read backpressure once the write buffer drained below half
+  /// the cap, and processes frames buffered while paused.
+  bool ResumeReading(Session* s);
+  void UpdateEpoll(Session* s);
+  void CloseSession(Session* s);
+  /// Snapshots session state into a Task and submits it to the pool.
+  /// `admitted` tasks hold an in-flight slot they release on exit.
+  void DispatchTask(Session* s, Request req,
+                    trace::Collector::Clock::time_point t_read,
+                    trace::Collector::Clock::time_point t_parsed,
+                    bool admitted);
+  void RunTask(const std::shared_ptr<Task>& task,
+               trace::Collector::Clock::time_point t_submit);
+  void PostCompletion(int fd, uint64_t gen, std::string frame);
+  void DrainCompletions();
+  /// Re-checks parked min_seqno queries against the applied seqno and
+  /// their give-up deadlines.
+  void CheckParked();
+  /// Runs the deferred ordered command (BYE / replicate) - the caller
+  /// has verified the session is fully drained and flushed.
+  bool RunDeferred(Session* s);
+  /// Hands the fd off to a dedicated replication stream thread and
+  /// frees the session state (the connection stays open as a stream).
+  void StartReplication(Session* s, uint64_t from_seqno);
+  void ReapStreamsLocked();
+  /// Runs a ready deferred command, then closes the session if nothing
+  /// keeps it alive (peer gone / closing / draining, nothing in
+  /// flight, nothing buffered). Returns false when it closed.
+  bool MaybeClose(Session* s);
+
+  // --- worker-side handlers (copies in Task keep them session-safe) --
+  Json HandleQuery(const Task& task);
+  Json HandleSql(const Task& task);
   /// ASSERT / RETRACT / CHECKPOINT at the session clearance. The engine
   /// serializes the mutation against in-flight queries behind its
   /// database lock; by the time the response is written, the write is
   /// durable (when the engine has storage) and visible to every later
   /// query on every connection.
-  Json HandleWrite(const struct SessionState& session, const Request& req);
+  Json HandleWrite(const Task& task);
   /// The STATS payload: server metrics plus the engine's cache/mutation
   /// counters and, when durable, the storage surface.
   Json StatsJson();
-
   /// The METRICS payload: the full Prometheus text exposition -
   /// ServerMetrics::PrometheusText() plus the in-flight gauge, the
   /// engine and storage counter families, and the per-stage trace
   /// aggregates.
   std::string MetricsText();
-
   /// Appends one slow-query line (level, mode, wall ms, dominant stage,
   /// goal) to options_.slow_query_log (stderr when unset).
-  void LogSlowQuery(const struct SessionState& session, const Request& req,
-                    const trace::SpanNode& root);
+  void LogSlowQuery(const Task& task, const trace::SpanNode& root);
 
   ml::Engine* engine_;
   ServerOptions options_;
@@ -189,14 +307,27 @@ class Server {
   std::mutex slow_log_mu_;
 
   int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: workers wake the loop for completions
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   bool started_ = false;
+  std::thread loop_thread_;
 
-  std::thread accept_thread_;
-  std::mutex conn_mu_;
-  std::vector<std::unique_ptr<Connection>> connections_;  // append-only
-  std::vector<std::thread> conn_threads_;                 // append-only
+  /// Loop-owned session table; erasing an entry frees the session.
+  std::unordered_map<int, std::unique_ptr<Session>> sessions_;
+  uint64_t next_session_gen_ = 1;
+  /// Sessions with parked min_seqno queries (loop-owned).
+  std::unordered_set<int> parked_fds_;
+  /// Set once the loop observes stopping_ and begins its drain.
+  bool draining_ = false;
+  std::chrono::steady_clock::time_point drain_deadline_{};
+
+  std::mutex comp_mu_;
+  std::vector<Completion> completions_;  // workers push, loop drains
+
+  std::mutex streams_mu_;
+  std::vector<std::unique_ptr<Stream>> streams_;
 };
 
 }  // namespace multilog::server

@@ -114,9 +114,12 @@ void Router::Stop() {
       if (!conn->closed) ::shutdown(conn->fd, SHUT_RD);
     }
   }
-  for (std::thread& t : conn_threads_) {
-    if (t.joinable()) t.join();
+  // Joining without conn_mu_ is safe: only the accept thread (joined
+  // above) and this function ever mutate connections_.
+  for (const auto& conn : connections_) {
+    if (conn->thread.joinable()) conn->thread.join();
   }
+  connections_.clear();
   started_ = false;
 }
 
@@ -154,15 +157,18 @@ void Router::AcceptLoop() {
     }
     connections_open_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(conn_mu_);
+    // Free what previous sessions left behind before adding another -
+    // under connection churn the table stays bounded by the number of
+    // *live* connections, not the number ever accepted.
+    ReapConnectionsLocked();
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
+    Connection* raw = conn.get();
     try {
       connections_.push_back(std::move(conn));
-      conn_threads_.emplace_back(&Router::ServeConnection, this,
-                                 connections_.size() - 1);
+      raw->thread = std::thread(&Router::ServeConnection, this, raw);
     } catch (...) {
-      if (!connections_.empty() && connections_.back() != nullptr &&
-          connections_.back()->fd == fd) {
+      if (!connections_.empty() && connections_.back().get() == raw) {
         connections_.pop_back();
       }
       ::close(fd);
@@ -171,12 +177,19 @@ void Router::AcceptLoop() {
   }
 }
 
-void Router::ServeConnection(size_t conn_index) {
-  Connection* conn = nullptr;
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    conn = connections_[conn_index].get();
+void Router::ReapConnectionsLocked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    Connection* conn = it->get();
+    if (!conn->done.load(std::memory_order_acquire)) {
+      ++it;
+      continue;
+    }
+    if (conn->thread.joinable()) conn->thread.join();
+    it = connections_.erase(it);
   }
+}
+
+void Router::ServeConnection(Connection* conn) {
   RouterSession session;
   session.mode = options_.default_mode;
   session.backends.resize(options_.shards.size());
@@ -194,6 +207,8 @@ void Router::ServeConnection(size_t conn_index) {
     }
   }
   connections_open_.fetch_sub(1, std::memory_order_acq_rel);
+  // Last store: after this the accept loop may join and free `conn`.
+  conn->done.store(true, std::memory_order_release);
 }
 
 Result<Client*> Router::Backend(RouterSession& session, size_t shard) {

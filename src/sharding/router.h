@@ -112,11 +112,18 @@ class Router {
   struct Connection {
     int fd = -1;
     bool closed = false;  // guarded by conn_mu_
+    /// Set by ServeConnection on exit; the accept loop joins and frees
+    /// finished connections before each accept (and Stop joins the
+    /// rest), so connection churn doesn't accumulate dead threads.
+    std::atomic<bool> done{false};
+    std::thread thread;
   };
   struct RouterSession;
 
   void AcceptLoop();
-  void ServeConnection(size_t conn_index);
+  void ServeConnection(Connection* conn);
+  /// Joins and erases every finished connection. conn_mu_ held.
+  void ReapConnectionsLocked();
   bool HandleFrame(RouterSession& session, int fd);
 
   /// The shard's backend client for this session, dialing and binding
@@ -167,8 +174,8 @@ class Router {
 
   std::thread accept_thread_;
   std::mutex conn_mu_;
-  std::vector<std::unique_ptr<Connection>> connections_;  // append-only
-  std::vector<std::thread> conn_threads_;                 // append-only
+  /// Live (plus not-yet-reaped) connections; each owns its thread.
+  std::vector<std::unique_ptr<Connection>> connections_;
 };
 
 }  // namespace multilog::sharding

@@ -74,25 +74,62 @@ Result<Storage> Storage::Open(const std::string& dir,
 }
 
 Result<uint64_t> Storage::Append(WalRecordType type, const std::string& level,
-                                 const std::string& fact) {
+                                 const std::string& fact, bool sync) {
   WalRecord rec;
   rec.type = type;
   rec.seqno = next_seqno_;
   rec.level = level;
   rec.fact = fact;
-  MULTILOG_RETURN_IF_ERROR(writer_.Append(rec, /*sync=*/true));
+  MULTILOG_RETURN_IF_ERROR(writer_.Append(rec, sync));
   ++wal_records_;
+  if (!sync) {
+    // Publish the ticket only after the record reached the OS, so a
+    // SyncTo leader that reads appended_ticket and fdatasyncs is
+    // guaranteed to cover it.
+    group_->appended_ticket.fetch_add(1, std::memory_order_release);
+  }
   return next_seqno_++;
 }
 
 Result<uint64_t> Storage::AppendAssert(const std::string& level,
-                                       const std::string& fact) {
-  return Append(WalRecordType::kAssert, level, fact);
+                                       const std::string& fact, bool sync) {
+  return Append(WalRecordType::kAssert, level, fact, sync);
 }
 
 Result<uint64_t> Storage::AppendRetract(const std::string& level,
-                                        const std::string& fact) {
-  return Append(WalRecordType::kRetract, level, fact);
+                                        const std::string& fact, bool sync) {
+  return Append(WalRecordType::kRetract, level, fact, sync);
+}
+
+Status Storage::SyncTo(uint64_t ticket) {
+  std::unique_lock<std::mutex> lock(group_->mu);
+  while (group_->durable_ticket < ticket) {
+    if (group_->sync_in_progress) {
+      // A leader's fdatasync is in flight; its result may or may not
+      // cover this ticket - re-check after it lands.
+      group_->cv.wait(lock);
+      continue;
+    }
+    // Become the leader. Capture the high-water mark first: every
+    // append ticketed <= target has already write()n its bytes, so one
+    // fdatasync makes them all durable - that batching is the whole
+    // point. The lock drops during the fsync so later committers can
+    // queue up as followers instead of serializing behind us.
+    group_->sync_in_progress = true;
+    const uint64_t target =
+        group_->appended_ticket.load(std::memory_order_acquire);
+    lock.unlock();
+    const Status synced = writer_.Sync();
+    lock.lock();
+    group_->sync_in_progress = false;
+    group_->group_syncs.fetch_add(1, std::memory_order_relaxed);
+    if (synced.ok() && target > group_->durable_ticket) {
+      group_->durable_ticket = target;
+    }
+    group_->cv.notify_all();
+    if (!synced.ok()) return synced;
+  }
+  return Status::OK();
 }
 
 Status Storage::AppendReplicated(const WalRecord& record) {
@@ -108,6 +145,13 @@ Status Storage::AppendReplicated(const WalRecord& record) {
 }
 
 Status Storage::InstallSnapshot(uint64_t seqno, std::string_view source) {
+  // Quiesce group commit for the writer swap: holding `mu` for the
+  // duration blocks new sync leaders, and the wait drains any
+  // fdatasync already in flight - otherwise the leader would sync a
+  // writer_ this function is closing and reopening under it. Appends
+  // are already excluded by the engine's exclusive database lock.
+  std::unique_lock<std::mutex> lock(group_->mu);
+  group_->cv.wait(lock, [this] { return !group_->sync_in_progress; });
   MULTILOG_RETURN_IF_ERROR(WriteSnapshot(snapshot_path(), seqno, source));
   writer_.Close();
   MULTILOG_RETURN_IF_ERROR(TruncateWal(wal_path(), 0));
@@ -116,6 +160,11 @@ Status Storage::InstallSnapshot(uint64_t seqno, std::string_view source) {
   snapshot_seqno_ = seqno;
   next_seqno_ = seqno + 1;
   ++checkpoints_;
+  // The durably renamed snapshot covers every append buffered so far,
+  // so parked committers' tickets are satisfied without an fsync.
+  group_->durable_ticket =
+      group_->appended_ticket.load(std::memory_order_acquire);
+  group_->cv.notify_all();
   return Status::OK();
 }
 
